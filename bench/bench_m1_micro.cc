@@ -1,0 +1,195 @@
+// M1 — Microbenchmarks for the substrate layers (google-benchmark).
+//
+// Not tied to a paper figure; these quantify the building blocks every
+// experiment runs on: tensor kernels, tokenization, serialization,
+// visibility-mask construction, and whole-model forward passes.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "models/table_encoder.h"
+#include "models/visibility.h"
+#include "serialize/serializer.h"
+#include "serialize/vocab_builder.h"
+#include "nn/optimizer.h"
+#include "table/csv.h"
+#include "table/synth.h"
+#include "tensor/ops.h"
+
+namespace tabrep {
+namespace {
+
+// Shared world, built once (function-local static; never destroyed, so
+// no static-destruction ordering issues).
+struct MicroWorld {
+  TableCorpus corpus;
+  std::unique_ptr<WordPieceTokenizer> tokenizer;
+  std::unique_ptr<TableSerializer> serializer;
+};
+
+MicroWorld& GetWorld() {
+  static MicroWorld& world = *new MicroWorld([] {
+    MicroWorld w;
+    SyntheticCorpusOptions copts;
+    copts.num_tables = 40;
+    w.corpus = GenerateSyntheticCorpus(copts);
+    WordPieceTrainerOptions vopts;
+    vopts.vocab_size = 2000;
+    w.tokenizer = std::make_unique<WordPieceTokenizer>(
+        BuildCorpusTokenizer(w.corpus, vopts));
+    SerializerOptions sopts;
+    sopts.max_tokens = 128;
+    w.serializer = std::make_unique<TableSerializer>(w.tokenizer.get(), sopts);
+    return w;
+  }());
+  return world;
+}
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, rng);
+  Tensor b = Tensor::Randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatMulTransposedB(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(2);
+  Tensor a = Tensor::Randn({n, n}, rng);
+  Tensor b = Tensor::Randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::MatMulTransposedB(a, b));
+  }
+}
+BENCHMARK(BM_MatMulTransposedB)->Arg(128);
+
+void BM_Softmax(benchmark::State& state) {
+  Rng rng(3);
+  Tensor a = Tensor::Randn({256, 256}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::Softmax(a));
+  }
+}
+BENCHMARK(BM_Softmax);
+
+void BM_LayerNorm(benchmark::State& state) {
+  Rng rng(4);
+  Tensor a = Tensor::Randn({256, 128}, rng);
+  Tensor gamma = Tensor::Ones({128});
+  Tensor beta = Tensor::Zeros({128});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::LayerNorm(a, gamma, beta));
+  }
+}
+BENCHMARK(BM_LayerNorm);
+
+void BM_WordPieceEncode(benchmark::State& state) {
+  MicroWorld& w = GetWorld();
+  const std::string text =
+      "the population of france is 67.4 million and its capital is paris";
+  int64_t tokens = 0;
+  for (auto _ : state) {
+    auto ids = w.tokenizer->Encode(text);
+    tokens += static_cast<int64_t>(ids.size());
+    benchmark::DoNotOptimize(ids);
+  }
+  state.SetItemsProcessed(tokens);
+}
+BENCHMARK(BM_WordPieceEncode);
+
+void BM_SerializeTable(benchmark::State& state) {
+  MicroWorld& w = GetWorld();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        w.serializer->Serialize(w.corpus.tables[i++ % w.corpus.tables.size()]));
+  }
+}
+BENCHMARK(BM_SerializeTable);
+
+void BM_BuildTurlVisibility(benchmark::State& state) {
+  MicroWorld& w = GetWorld();
+  TokenizedTable serialized = w.serializer->Serialize(w.corpus.tables[0]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildTurlVisibility(serialized));
+  }
+}
+BENCHMARK(BM_BuildTurlVisibility);
+
+void BM_CsvParse(benchmark::State& state) {
+  MicroWorld& w = GetWorld();
+  std::string csv = WriteCsvString(w.corpus.tables[0]);
+  for (auto _ : state) {
+    auto t = ReadCsvString(csv);
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(csv.size()));
+}
+BENCHMARK(BM_CsvParse);
+
+void BM_ModelForward(benchmark::State& state) {
+  MicroWorld& w = GetWorld();
+  const ModelFamily family = static_cast<ModelFamily>(state.range(0));
+  ModelConfig config;
+  config.family = family;
+  config.vocab_size = w.tokenizer->vocab().size();
+  config.entity_vocab_size = w.corpus.entities.size();
+  config.transformer.dim = 48;
+  config.transformer.num_layers = 2;
+  config.transformer.num_heads = 4;
+  config.transformer.ffn_dim = 96;
+  config.transformer.dropout = 0.0f;
+  static TableEncoderModel* model = nullptr;
+  // One model per family per process run is fine for timing.
+  TableEncoderModel local(config);
+  local.SetTraining(false);
+  model = &local;
+  TokenizedTable serialized = w.serializer->Serialize(w.corpus.tables[0]);
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->Encode(serialized, rng));
+  }
+  state.SetLabel(std::string(ModelFamilyName(family)));
+}
+BENCHMARK(BM_ModelForward)
+    ->Arg(static_cast<int>(ModelFamily::kVanilla))
+    ->Arg(static_cast<int>(ModelFamily::kTapas))
+    ->Arg(static_cast<int>(ModelFamily::kTabert))
+    ->Arg(static_cast<int>(ModelFamily::kTurl))
+    ->Arg(static_cast<int>(ModelFamily::kMate));
+
+void BM_TrainStep(benchmark::State& state) {
+  MicroWorld& w = GetWorld();
+  ModelConfig config;
+  config.family = ModelFamily::kTapas;
+  config.vocab_size = w.tokenizer->vocab().size();
+  config.transformer.dim = 48;
+  config.transformer.num_layers = 2;
+  config.transformer.num_heads = 4;
+  config.transformer.ffn_dim = 96;
+  config.transformer.dropout = 0.0f;
+  TableEncoderModel model(config);
+  TokenizedTable serialized = w.serializer->Serialize(w.corpus.tables[0]);
+  Rng rng(6);
+  nn::Adam opt(model.Parameters(), 1e-3f);
+  for (auto _ : state) {
+    opt.ZeroGrad();
+    models::Encoded enc = model.Encode(serialized, rng);
+    ag::Variable loss = ag::MeanAll(ag::Mul(enc.hidden, enc.hidden));
+    ag::Backward(loss);
+    opt.Step();
+  }
+}
+BENCHMARK(BM_TrainStep);
+
+}  // namespace
+}  // namespace tabrep
+
+BENCHMARK_MAIN();

@@ -1,0 +1,140 @@
+// T2 — Attention efficiency: dense vs structure-sparse (§2.4 / MATE).
+//
+// The survey's efficiency discussion (and MATE [15] specifically)
+// motivates sparse row/column attention: restricting each head to one
+// axis of the grid makes work proportional to the visible pairs rather
+// than T^2. This bench measures, as table size grows:
+//   - the visible-pair fraction of the TURL visibility matrix and the
+//     MATE row/column-head masks,
+//   - inference wall-time of a dense attention kernel vs the sparse
+//     kernel that skips masked pairs,
+//   - the activation-memory proxy (score entries materialized).
+// Expected shape: sparse wins past a crossover and the gap widens with
+// table size, because visible fraction ~ 1/rows + 1/cols.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "eval/metrics.h"
+#include "models/visibility.h"
+#include "nn/sparse_inference.h"
+
+using namespace tabrep;
+using namespace tabrep::bench;
+
+namespace {
+
+/// Builds a rows x 4 synthetic table serialization and its masks.
+struct Workload {
+  TokenizedTable serialized;
+  Tensor turl_bias;
+  Tensor mate_row_bias;
+};
+
+Workload MakeWorkload(const World& w, int64_t rows) {
+  SyntheticCorpusOptions opts;
+  opts.num_tables = 1;
+  opts.min_rows = rows;
+  opts.max_rows = rows;
+  // Numeric (census/sensor-style) tables can grow to any row count;
+  // entity tables are bounded by the fact-base sizes.
+  opts.numeric_table_fraction = 1.0;
+  opts.seed = 1234 + static_cast<uint64_t>(rows);
+  TableCorpus one = GenerateSyntheticCorpus(opts);
+  SerializerOptions sopts = w.serializer->options();
+  sopts.max_tokens = 4096;
+  sopts.max_rows = rows;
+  TableSerializer serializer(w.tokenizer.get(), sopts);
+  Workload out;
+  out.serialized = serializer.Serialize(one.tables[0]);
+  out.turl_bias = BuildTurlVisibility(out.serialized);
+  out.mate_row_bias = BuildMateBiases(out.serialized, 2)[0];
+  return out;
+}
+
+double TimeKernel(const std::function<void()>& fn, int reps) {
+  fn();  // warm up
+  const double t0 = NowSeconds();
+  for (int i = 0; i < reps; ++i) fn();
+  return (NowSeconds() - t0) / reps * 1e3;  // ms
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("T2", "Dense vs structure-sparse attention efficiency (§2.4)");
+  World w = MakeWorld();
+  const int64_t d = 64;
+  Rng rng(9);
+
+  std::printf("\nPer-sequence inference cost of one attention layer "
+              "(single head, dim %lld):\n",
+              static_cast<long long>(d));
+  std::vector<std::vector<std::string>> rows_out;
+  for (int64_t rows : {4, 8, 16, 32, 64, 128}) {
+    Workload wl = MakeWorkload(w, rows);
+    const int64_t t = wl.serialized.size();
+    Tensor q = Tensor::Randn({t, d}, rng);
+    Tensor k = Tensor::Randn({t, d}, rng);
+    Tensor v = Tensor::Randn({t, d}, rng);
+
+    const int reps = t > 800 ? 3 : 10;
+    const double dense_ms =
+        TimeKernel([&] { nn::DenseAttentionForward(q, k, v, nullptr); }, reps);
+    const double turl_ms = TimeKernel(
+        [&] { nn::SparseAttentionForward(q, k, v, wl.turl_bias); }, reps);
+    const double mate_ms = TimeKernel(
+        [&] { nn::SparseAttentionForward(q, k, v, wl.mate_row_bias); }, reps);
+
+    const double turl_frac = VisibleFraction(wl.turl_bias);
+    const double mate_frac = VisibleFraction(wl.mate_row_bias);
+    rows_out.push_back(
+        {std::to_string(rows), std::to_string(t), Fmt(dense_ms, 2),
+         Fmt(turl_ms, 2) + " (" + Fmt(turl_frac, 2) + ")",
+         Fmt(mate_ms, 2) + " (" + Fmt(mate_frac, 2) + ")",
+         Fmt(dense_ms / mate_ms, 1) + "x"});
+  }
+  std::printf(
+      "%s",
+      RenderTextTable({"table rows", "seq len", "dense ms",
+                       "turl sparse ms (visible)", "mate row-head ms (visible)",
+                       "dense/mate speedup"},
+                      rows_out)
+          .c_str());
+
+  // Activation-memory proxy: materialized score entries per layer.
+  std::printf("\nScore-matrix entries materialized per layer (memory proxy, "
+              "float32):\n");
+  std::vector<std::vector<std::string>> mem_rows;
+  for (int64_t rows : {8, 32, 128}) {
+    Workload wl = MakeWorkload(w, rows);
+    const int64_t t = wl.serialized.size();
+    const int64_t dense = t * t;
+    const int64_t turl = nn::CountVisiblePairs(wl.turl_bias);
+    const int64_t mate = nn::CountVisiblePairs(wl.mate_row_bias);
+    mem_rows.push_back({std::to_string(rows), std::to_string(dense),
+                        std::to_string(turl), std::to_string(mate),
+                        Fmt(static_cast<double>(dense) / mate, 1) + "x"});
+  }
+  std::printf("%s", RenderTextTable({"table rows", "dense", "turl visible",
+                                     "mate row-head visible", "dense/mate"},
+                                    mem_rows)
+                        .c_str());
+
+  // Correctness cross-check: the sparse kernel must agree with dense on
+  // the same bias.
+  {
+    Workload wl = MakeWorkload(w, 8);
+    const int64_t t = wl.serialized.size();
+    Tensor q = Tensor::Randn({t, d}, rng);
+    Tensor k = Tensor::Randn({t, d}, rng);
+    Tensor v = Tensor::Randn({t, d}, rng);
+    Tensor dense = nn::DenseAttentionForward(q, k, v, &wl.turl_bias);
+    Tensor sparse = nn::SparseAttentionForward(q, k, v, wl.turl_bias);
+    std::printf("\nKernel agreement (dense-with-mask vs sparse): %s\n",
+                dense.AllClose(sparse, 1e-3f) ? "MATCH" : "MISMATCH");
+  }
+  std::printf("\nbench_t2: OK\n");
+  return 0;
+}

@@ -1,0 +1,132 @@
+// T5 — Dirty-data robustness (§2.4's error-analysis challenge, and the
+// data-integration applications of the intro).
+//
+// Real tables carry typos, abbreviations, case noise, and numeric
+// drift. This bench measures how gracefully the learned components
+// degrade:
+//   1. Entity matching under increasing corruption severity at test
+//      time (trained once at a fixed severity).
+//   2. Representation drift: cosine similarity between a clean table's
+//      pooled embedding and its corrupted copy, per model family, as
+//      severity grows — the model-side view of the same question.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "eval/metrics.h"
+#include "table/corruption.h"
+#include "tasks/entity_matching.h"
+#include "tensor/ops.h"
+
+using namespace tabrep;
+using namespace tabrep::bench;
+
+namespace {
+
+/// Corpus copy with every cell corrupted at the given probability.
+TableCorpus CorruptCorpus(const TableCorpus& corpus, double severity,
+                          uint64_t seed) {
+  CorruptionOptions options;
+  options.cell_prob = severity;
+  Rng rng(seed);
+  TableCorpus out;
+  out.entities = corpus.entities;
+  for (const Table& t : corpus.tables) {
+    Table dirty = t;
+    for (int64_t r = 0; r < t.num_rows(); ++r) {
+      for (int64_t c = 0; c < t.num_columns(); ++c) {
+        if (!t.cell(r, c).is_null() && rng.NextBernoulli(severity)) {
+          dirty.set_cell(r, c, CorruptValue(t.cell(r, c), rng, options));
+        }
+      }
+    }
+    dirty.InferTypes();
+    out.tables.push_back(std::move(dirty));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("T5", "Dirty-data robustness (corruption sweeps)");
+  WorldOptions wopts;
+  wopts.num_tables = 40;
+  World w = MakeWorld(wopts);
+
+  // --- 1. Entity matching vs test-time severity. ------------------------
+  ModelConfig config = BenchModelConfig(ModelFamily::kTapas, w, 48, 1);
+  TableEncoderModel model(config);
+  Rng rng(41);
+  CorruptionOptions train_noise;  // default severity 0.5
+  auto train_pairs = GenerateMatchingExamples(w.train, 8, rng, train_noise);
+  FineTuneConfig fconfig;
+  fconfig.steps = 500;
+  fconfig.batch_size = 2;
+  fconfig.lr = 1.5e-3f;
+  EntityMatchingTask task(&model, w.serializer.get(), fconfig);
+  const double t0 = NowSeconds();
+  task.Train(train_pairs);
+  std::printf("\nMatcher trained in %.0fs (cell corruption prob 0.5). "
+              "Held-out accuracy vs test-time severity:\n",
+              NowSeconds() - t0);
+
+  std::vector<std::vector<std::string>> match_rows;
+  for (double severity : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    CorruptionOptions noise;
+    noise.cell_prob = severity;
+    Rng eval_rng(1000 + static_cast<uint64_t>(severity * 10));
+    auto pairs = GenerateMatchingExamples(w.test, 6, eval_rng, noise);
+    ClassificationReport report = task.Evaluate(pairs);
+    match_rows.push_back({Fmt(severity, 1), Fmt(report.accuracy),
+                          Fmt(report.macro.f1),
+                          std::to_string(report.total)});
+  }
+  std::printf("%s", RenderTextTable({"severity", "accuracy", "macro F1",
+                                     "pairs"},
+                                    match_rows)
+                        .c_str());
+
+  // --- 2. Representation drift per family. ------------------------------
+  std::printf("\nPooled-embedding cosine between clean and corrupted tables "
+              "(mean over 10 held-out tables):\n");
+  std::vector<std::vector<std::string>> drift_rows;
+  for (ModelFamily family :
+       {ModelFamily::kVanilla, ModelFamily::kTapas, ModelFamily::kTurl}) {
+    TableEncoderModel fam_model(BenchModelConfig(family, w, 40, 1));
+    fam_model.SetTraining(false);
+    Rng drift_rng(7);
+    std::vector<std::string> row{std::string(ModelFamilyName(family))};
+    for (double severity : {0.2, 0.5, 0.8}) {
+      TableCorpus dirty = CorruptCorpus(w.test, severity, 99);
+      double total = 0;
+      int64_t n = 0;
+      for (int64_t i = 0; i < 10 && i < w.test.size(); ++i) {
+        Tensor clean =
+            fam_model
+                .Pooled(fam_model.Encode(
+                    w.serializer->Serialize(w.test.tables[i]), drift_rng))
+                .value()
+                .Clone();
+        Tensor corrupted =
+            fam_model
+                .Pooled(fam_model.Encode(
+                    w.serializer->Serialize(dirty.tables[i]), drift_rng))
+                .value();
+        total += ops::CosineSimilarity(clean, corrupted);
+        ++n;
+      }
+      row.push_back(Fmt(total / n));
+    }
+    drift_rows.push_back(std::move(row));
+  }
+  std::printf("%s", RenderTextTable({"model", "severity 0.2", "severity 0.5",
+                                     "severity 0.8"},
+                                    drift_rows)
+                        .c_str());
+  std::printf("\nExpected shape: matcher accuracy degrades smoothly with "
+              "severity; embedding similarity decreases monotonically.\n");
+  std::printf("\nbench_t5: OK\n");
+  return 0;
+}

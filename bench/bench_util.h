@@ -1,0 +1,98 @@
+#ifndef TABREP_BENCH_BENCH_UTIL_H_
+#define TABREP_BENCH_BENCH_UTIL_H_
+
+// Shared setup for the table/figure reproduction benches. Each bench
+// binary builds a "world" (synthetic corpus + tokenizer + serializer)
+// with a fixed seed so every table printed is reproducible run-to-run.
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "models/table_encoder.h"
+#include "serialize/serializer.h"
+#include "serialize/vocab_builder.h"
+#include "table/synth.h"
+
+namespace tabrep::bench {
+
+struct World {
+  TableCorpus corpus;
+  TableCorpus train;
+  TableCorpus test;
+  std::unique_ptr<WordPieceTokenizer> tokenizer;
+  std::unique_ptr<TableSerializer> serializer;
+};
+
+struct WorldOptions {
+  int64_t num_tables = 60;
+  double numeric_fraction = 0.15;
+  double headerless_fraction = 0.0;
+  int64_t max_tokens = 96;
+  int32_t vocab_size = 2000;
+  double holdout = 0.25;
+  uint64_t seed = 42;
+  SerializerOptions serializer;  // strategy/context; max_tokens overridden
+};
+
+inline World MakeWorld(const WorldOptions& options = {}) {
+  World w;
+  SyntheticCorpusOptions copts;
+  copts.num_tables = options.num_tables;
+  copts.numeric_table_fraction = options.numeric_fraction;
+  copts.headerless_fraction = options.headerless_fraction;
+  copts.seed = options.seed;
+  w.corpus = GenerateSyntheticCorpus(copts);
+  Rng split_rng(options.seed + 1);
+  auto [train, test] = w.corpus.Split(options.holdout, split_rng);
+  w.train = std::move(train);
+  w.test = std::move(test);
+  WordPieceTrainerOptions vopts;
+  vopts.vocab_size = options.vocab_size;
+  w.tokenizer = std::make_unique<WordPieceTokenizer>(
+      BuildCorpusTokenizer(w.corpus, vopts));
+  SerializerOptions sopts = options.serializer;
+  sopts.max_tokens = options.max_tokens;
+  w.serializer = std::make_unique<TableSerializer>(w.tokenizer.get(), sopts);
+  return w;
+}
+
+/// A small model config shared by the benches (laptop-scale stand-in
+/// for the published checkpoints).
+inline ModelConfig BenchModelConfig(ModelFamily family, const World& w,
+                                    int64_t dim = 48, int64_t layers = 2) {
+  ModelConfig config;
+  config.family = family;
+  config.vocab_size = w.tokenizer->vocab().size();
+  config.entity_vocab_size = w.corpus.entities.size();
+  config.transformer.dim = dim;
+  config.transformer.num_layers = layers;
+  config.transformer.num_heads = 4;
+  config.transformer.ffn_dim = dim * 2;
+  config.transformer.dropout = 0.0f;
+  config.max_position = 160;
+  return config;
+}
+
+inline double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+inline std::string Fmt(double v, int precision = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+inline void PrintHeader(const char* id, const char* title) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s — %s\n", id, title);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace tabrep::bench
+
+#endif  // TABREP_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,77 @@
+// Table-based fact checking (TabFact-style natural-language inference,
+// one of the survey's headline applications): classify claims as
+// entailed or refuted by a table.
+
+#include <cstdio>
+
+#include "serialize/vocab_builder.h"
+#include "table/synth.h"
+#include "tasks/fact_verification.h"
+
+using namespace tabrep;
+
+int main() {
+  SyntheticCorpusOptions corpus_opts;
+  corpus_opts.num_tables = 16;
+  corpus_opts.numeric_table_fraction = 0.1;
+  TableCorpus corpus = GenerateSyntheticCorpus(corpus_opts);
+  WordPieceTrainerOptions vocab_opts;
+  vocab_opts.vocab_size = 2000;
+  WordPieceTokenizer tokenizer = BuildCorpusTokenizer(corpus, vocab_opts);
+  SerializerOptions sopts;
+  sopts.max_tokens = 128;
+  TableSerializer serializer(&tokenizer, sopts);
+
+  ModelConfig config;
+  config.family = ModelFamily::kTapas;
+  config.vocab_size = tokenizer.vocab().size();
+  config.transformer.dim = 48;
+  config.transformer.num_layers = 2;
+  config.transformer.num_heads = 4;
+  config.transformer.ffn_dim = 96;
+  TableEncoderModel model(config);
+
+  Rng rng(5);
+  std::vector<FactExample> train_claims = GenerateFactExamples(corpus, 8, rng);
+  // Mix in aggregate claims (labeled by the bundled SQL executor) so
+  // the model sees both claim classes.
+  for (FactExample& ex : GenerateAggregateFactExamples(corpus, 4, rng)) {
+    train_claims.push_back(std::move(ex));
+  }
+  std::vector<FactExample> test_claims = GenerateFactExamples(corpus, 2, rng);
+  std::vector<FactExample> test_aggregate =
+      GenerateAggregateFactExamples(corpus, 2, rng);
+  std::printf("Generated %zu train / %zu + %zu test claims\n",
+              train_claims.size(), test_claims.size(), test_aggregate.size());
+
+  FineTuneConfig fconfig;
+  fconfig.steps = 1500;
+  fconfig.batch_size = 4;
+  fconfig.lr = 1e-3f;
+  FactVerificationTask task(&model, &serializer, fconfig);
+  std::printf("Training the entailment classifier ...\n");
+  task.Train(corpus, train_claims);
+  ClassificationReport train_report = task.Evaluate(corpus, train_claims);
+  ClassificationReport report = task.Evaluate(corpus, test_claims);
+  ClassificationReport agg_report = task.Evaluate(corpus, test_aggregate);
+  std::printf(
+      "  train accuracy %.3f | held-out simple claims %.3f | held-out "
+      "aggregate claims %.3f\n"
+      "  (aggregate claims need numeric reasoning (\u00a72.4), but coarse "
+      "25-75%% perturbations\n   also admit a range-plausibility shortcut, "
+      "so either column may lead at this scale)\n\n",
+      train_report.accuracy, report.accuracy, agg_report.accuracy);
+
+  // Demo claims against a corpus table (in-distribution), gold labels
+  // shown for comparison.
+  std::printf("Sample verdicts (gold in brackets):\n");
+  for (size_t i = 0; i < test_claims.size() && i < 6; ++i) {
+    const FactExample& ex = test_claims[i];
+    const Table& t = corpus.tables[static_cast<size_t>(ex.table_index)];
+    std::printf("Claim: \"%s\" -> %s  [gold: %s]\n", ex.claim.c_str(),
+                task.Verify(t, ex.claim) == 1 ? "ENTAILED" : "REFUTED",
+                ex.label == 1 ? "ENTAILED" : "REFUTED");
+  }
+  std::printf("\nfact_checking: OK\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+#ifndef TABREP_COMMON_LOGGING_H_
+#define TABREP_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace tabrep {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Minimum level that is actually emitted; messages below it are
+/// dropped. Defaults to kInfo.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+
+/// Stream-style log sink that writes one line to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Like LogMessage but aborts the process after emitting.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace tabrep
+
+#define TABREP_LOG(level)                                             \
+  ::tabrep::internal_logging::LogMessage(::tabrep::LogLevel::k##level, \
+                                         __FILE__, __LINE__)           \
+      .stream()
+
+/// Invariant check that stays on in release builds. Used for conditions
+/// whose violation means a library bug, not user error.
+#define TABREP_CHECK(cond)                                              \
+  if (cond) {                                                           \
+  } else /* NOLINT */                                                   \
+    ::tabrep::internal_logging::FatalLogMessage(__FILE__, __LINE__, #cond) \
+        .stream()
+
+#endif  // TABREP_COMMON_LOGGING_H_

@@ -1,0 +1,72 @@
+#ifndef TABREP_COMMON_RESULT_H_
+#define TABREP_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace tabrep {
+
+/// A value-or-error holder: either an OK Status paired with a T, or a
+/// non-OK Status and no value. Accessing value() on an error aborts in
+/// debug builds; callers must check ok() first.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value makes `return value;` work in
+  /// functions returning Result<T>.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK Status makes
+  /// TABREP_RETURN_IF_ERROR-style propagation work.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when in error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace tabrep
+
+/// Evaluates `expr` (a Result<T>), propagating the error or binding the
+/// value to `lhs`. Usable in functions returning Status or Result<U>.
+#define TABREP_ASSIGN_OR_RETURN(lhs, expr)              \
+  auto lhs##_result = (expr);                           \
+  if (!lhs##_result.ok()) return lhs##_result.status(); \
+  auto& lhs = *lhs##_result
+
+#endif  // TABREP_COMMON_RESULT_H_

@@ -1,0 +1,61 @@
+#ifndef TABREP_COMMON_RNG_H_
+#define TABREP_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tabrep {
+
+/// Deterministic, fast pseudo-random generator (xoshiro256**), seeded
+/// via splitmix64. Every stochastic component of the library takes an
+/// Rng (or a seed) explicitly so runs are reproducible; nothing in the
+/// library touches global random state.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  /// Re-seeds the generator; identical seeds yield identical streams.
+  void Seed(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t NextU64();
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t NextBelow(uint64_t n);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform float in [lo, hi).
+  float NextUniform(float lo, float hi);
+
+  /// Standard normal via Box-Muller.
+  float NextGaussian();
+
+  /// Bernoulli trial with probability p of true.
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+  /// Fisher-Yates shuffles `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBelow(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) without replacement
+  /// (k <= n). Order is random.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+ private:
+  uint64_t state_[4];
+  bool have_spare_gaussian_ = false;
+  float spare_gaussian_ = 0.0f;
+};
+
+}  // namespace tabrep
+
+#endif  // TABREP_COMMON_RNG_H_

@@ -1,0 +1,50 @@
+#ifndef TABREP_COMMON_STRING_UTIL_H_
+#define TABREP_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tabrep {
+
+/// Splits `s` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits `s` on runs of ASCII whitespace, dropping empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// ASCII lowercase copy.
+std::string ToLowerAscii(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True if `s` ends with `suffix`.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// True if `s` parses fully as a decimal integer (optional sign).
+bool IsInteger(std::string_view s);
+
+/// True if `s` parses fully as a floating point number (optional sign,
+/// decimal point, exponent). Integers also qualify.
+bool IsNumeric(std::string_view s);
+
+/// Parses a double; returns false on failure or trailing garbage.
+bool ParseDouble(std::string_view s, double* out);
+
+/// Parses an int64; returns false on failure or trailing garbage.
+bool ParseInt64(std::string_view s, int64_t* out);
+
+/// Formats a double compactly: integers without a decimal point,
+/// otherwise up to `precision` significant digits.
+std::string FormatDouble(double v, int precision = 6);
+
+}  // namespace tabrep
+
+#endif  // TABREP_COMMON_STRING_UTIL_H_

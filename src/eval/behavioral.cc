@@ -1,0 +1,195 @@
+#include "eval/behavioral.h"
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace tabrep {
+
+std::string_view ProbeKindName(ProbeKind kind) {
+  switch (kind) {
+    case ProbeKind::kRowPermutation:
+      return "row-permutation";
+    case ProbeKind::kSerializationSwap:
+      return "serialization-swap";
+    case ProbeKind::kHeaderRemoval:
+      return "header-removal";
+    case ProbeKind::kValueReplacement:
+      return "value-replacement";
+  }
+  return "?";
+}
+
+bool ProbeExpectsInvariance(ProbeKind kind) {
+  return kind == ProbeKind::kRowPermutation ||
+         kind == ProbeKind::kSerializationSwap;
+}
+
+namespace {
+
+/// Mean cosine similarity of matched logical cells between two
+/// serializations. `map_row` (when non-empty) maps base rows to rows
+/// of the second serialization.
+/// `focus_row`/`focus_col` (when >= 0) restrict scoring to that one
+/// logical cell.
+double MatchedCellSimilarity(TableEncoderModel& model, const TokenizedTable& a,
+                             const TokenizedTable& b,
+                             const std::vector<int64_t>& map_row, Rng& rng,
+                             int32_t focus_row = -1, int32_t focus_col = -1) {
+  models::Encoded ea = model.Encode(a, rng, /*need_cells=*/true);
+  models::Encoded eb = model.Encode(b, rng, /*need_cells=*/true);
+  if (!ea.has_cells || !eb.has_cells) return 0.0;
+  const int64_t dim = model.dim();
+  double total = 0.0;
+  int64_t n = 0;
+  for (size_t i = 0; i < a.cells.size(); ++i) {
+    const CellSpan& ca = a.cells[i];
+    if (focus_row >= 0 && (ca.row != focus_row || ca.col != focus_col)) {
+      continue;
+    }
+    const int64_t target_row =
+        map_row.empty() ? ca.row : map_row[static_cast<size_t>(ca.row)];
+    const CellSpan* cb = b.FindCell(static_cast<int32_t>(target_row), ca.col);
+    if (!cb) continue;
+    int64_t bi = -1;
+    for (size_t j = 0; j < b.cells.size(); ++j) {
+      if (&b.cells[j] == cb) bi = static_cast<int64_t>(j);
+    }
+    Tensor ra = ops::SliceRows(ea.cells.value(), static_cast<int64_t>(i),
+                               static_cast<int64_t>(i) + 1)
+                    .Reshape({dim});
+    Tensor rb = ops::SliceRows(eb.cells.value(), bi, bi + 1).Reshape({dim});
+    total += ops::CosineSimilarity(ra, rb);
+    ++n;
+  }
+  return n > 0 ? total / n : 0.0;
+}
+
+/// The perturbed table + row mapping for one probe on one table.
+struct Perturbation {
+  Table table;
+  std::vector<int64_t> map_row;
+  bool use_alternate_serializer = false;
+  bool valid = true;
+  /// For value replacement: the single cell whose representation is
+  /// scored (all other cells are unchanged and would dilute the probe).
+  int32_t focus_row = -1;
+  int32_t focus_col = -1;
+};
+
+Perturbation Perturb(ProbeKind kind, const Table& t, Rng& rng) {
+  Perturbation out;
+  switch (kind) {
+    case ProbeKind::kRowPermutation: {
+      if (t.num_rows() < 2) {
+        out.valid = false;
+        return out;
+      }
+      std::vector<int64_t> order(static_cast<size_t>(t.num_rows()));
+      for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int64_t>(i);
+      rng.Shuffle(order);
+      out.map_row.resize(order.size());
+      for (size_t pos = 0; pos < order.size(); ++pos) {
+        out.map_row[static_cast<size_t>(order[pos])] =
+            static_cast<int64_t>(pos);
+      }
+      out.table = t.PermuteRows(order);
+      return out;
+    }
+    case ProbeKind::kSerializationSwap:
+      out.table = t;
+      out.use_alternate_serializer = true;
+      return out;
+    case ProbeKind::kHeaderRemoval: {
+      out.table = t.WithoutHeader();
+      out.table.set_title("");
+      out.table.set_caption("");
+      out.valid = t.HasHeader();
+      return out;
+    }
+    case ProbeKind::kValueReplacement: {
+      // Replace one random non-null cell with a value from another row
+      // of the same column; the replaced cell's representation should
+      // move.
+      out.table = t;
+      out.valid = false;
+      for (int attempt = 0; attempt < 10 && t.num_rows() >= 2; ++attempt) {
+        const int64_t r = static_cast<int64_t>(
+            rng.NextBelow(static_cast<uint64_t>(t.num_rows())));
+        const int64_t c = static_cast<int64_t>(
+            rng.NextBelow(static_cast<uint64_t>(t.num_columns())));
+        int64_t r2 = static_cast<int64_t>(
+            rng.NextBelow(static_cast<uint64_t>(t.num_rows())));
+        if (r2 == r || t.cell(r, c).is_null() ||
+            t.cell(r2, c) == t.cell(r, c)) {
+          continue;
+        }
+        out.table.set_cell(r, c, t.cell(r2, c));
+        out.focus_row = static_cast<int32_t>(r);
+        out.focus_col = static_cast<int32_t>(c);
+        out.valid = true;
+        break;
+      }
+      return out;
+    }
+  }
+  out.valid = false;
+  return out;
+}
+
+}  // namespace
+
+ProbeResult RunProbe(ProbeKind kind, TableEncoderModel& model,
+                     const TableSerializer& serializer,
+                     const TableCorpus& corpus,
+                     const BehavioralSuiteOptions& options) {
+  const bool was_training = model.training();
+  model.SetTraining(false);
+  Rng rng(options.seed);
+
+  // Alternate serializer for the serialization-swap probe.
+  SerializerOptions alt_options = serializer.options();
+  alt_options.strategy =
+      alt_options.strategy == LinearizationStrategy::kColumnMajorSep
+          ? LinearizationStrategy::kRowMajorSep
+          : LinearizationStrategy::kColumnMajorSep;
+  TableSerializer alternate(serializer.tokenizer(), alt_options);
+
+  ProbeResult result;
+  result.kind = kind;
+  double total = 0.0;
+  for (const Table& t : corpus.tables) {
+    if (result.tables >= options.max_tables) break;
+    if (t.num_rows() < 1 || t.num_columns() < 1) continue;
+    Perturbation p = Perturb(kind, t, rng);
+    if (!p.valid) continue;
+    TokenizedTable base = serializer.Serialize(t);
+    TokenizedTable other = p.use_alternate_serializer
+                               ? alternate.Serialize(p.table)
+                               : serializer.Serialize(p.table);
+    total += MatchedCellSimilarity(model, base, other, p.map_row, rng,
+                                   p.focus_row, p.focus_col);
+    ++result.tables;
+  }
+  result.similarity = result.tables > 0
+                          ? total / static_cast<double>(result.tables)
+                          : 0.0;
+  result.passed = ProbeExpectsInvariance(kind)
+                      ? result.similarity >= options.invariance_threshold
+                      : result.similarity <= options.sensitivity_threshold;
+  model.SetTraining(was_training);
+  return result;
+}
+
+std::vector<ProbeResult> RunBehavioralSuite(
+    TableEncoderModel& model, const TableSerializer& serializer,
+    const TableCorpus& corpus, const BehavioralSuiteOptions& options) {
+  std::vector<ProbeResult> out;
+  for (ProbeKind kind :
+       {ProbeKind::kRowPermutation, ProbeKind::kSerializationSwap,
+        ProbeKind::kHeaderRemoval, ProbeKind::kValueReplacement}) {
+    out.push_back(RunProbe(kind, model, serializer, corpus, options));
+  }
+  return out;
+}
+
+}  // namespace tabrep

@@ -1,0 +1,72 @@
+#ifndef TABREP_EVAL_BEHAVIORAL_H_
+#define TABREP_EVAL_BEHAVIORAL_H_
+
+#include <string>
+#include <vector>
+
+#include "models/table_encoder.h"
+#include "serialize/serializer.h"
+#include "table/corpus.h"
+
+namespace tabrep {
+
+/// "A new family of data-driven basic tests ... to measure the
+/// consistency of the data representation" (§2.4, after CheckList
+/// [31]). Each probe perturbs tables in a way whose effect on a sound
+/// representation is known a priori, and scores how the model's cell
+/// representations respond:
+///
+///   - invariance probes (row permutation, serialization change,
+///     whitespace-preserving formatting): similarity SHOULD stay high;
+///   - sensitivity probes (header removal, cell value replacement):
+///     similarity SHOULD drop.
+///
+/// Scores are mean cosine similarities of matched logical cells in
+/// [−1, 1]; a probe also carries its expected direction so suites can
+/// be pass/fail aggregated.
+enum class ProbeKind {
+  kRowPermutation,      // invariance expected
+  kSerializationSwap,   // invariance expected (row-major vs column-major)
+  kHeaderRemoval,       // sensitivity expected
+  kValueReplacement,    // sensitivity expected (a cell's value changes)
+};
+
+std::string_view ProbeKindName(ProbeKind kind);
+
+/// True when high similarity is the desired outcome.
+bool ProbeExpectsInvariance(ProbeKind kind);
+
+struct ProbeResult {
+  ProbeKind kind;
+  /// Mean matched-cell cosine similarity under the perturbation.
+  double similarity = 0.0;
+  int64_t tables = 0;
+  /// similarity >= threshold for invariance probes;
+  /// similarity <= threshold for sensitivity probes.
+  bool passed = false;
+};
+
+struct BehavioralSuiteOptions {
+  int64_t max_tables = 10;
+  /// Invariance probes pass when similarity >= this.
+  double invariance_threshold = 0.8;
+  /// Sensitivity probes pass when similarity <= this.
+  double sensitivity_threshold = 0.995;
+  uint64_t seed = 51;
+};
+
+/// Runs every probe against `model` over tables of `corpus`.
+/// The model is evaluated (not trained); eval mode is restored after.
+std::vector<ProbeResult> RunBehavioralSuite(
+    TableEncoderModel& model, const TableSerializer& serializer,
+    const TableCorpus& corpus, const BehavioralSuiteOptions& options = {});
+
+/// Runs a single probe.
+ProbeResult RunProbe(ProbeKind kind, TableEncoderModel& model,
+                     const TableSerializer& serializer,
+                     const TableCorpus& corpus,
+                     const BehavioralSuiteOptions& options = {});
+
+}  // namespace tabrep
+
+#endif  // TABREP_EVAL_BEHAVIORAL_H_

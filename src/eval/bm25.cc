@@ -1,0 +1,104 @@
+#include "eval/bm25.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+#include "text/basic_tokenizer.h"
+
+namespace tabrep {
+
+std::string TableToText(const Table& table) {
+  std::string out = table.title();
+  auto append = [&out](const std::string& s) {
+    if (s.empty()) return;
+    if (!out.empty()) out += " ";
+    out += s;
+  };
+  if (table.caption() != table.title()) append(table.caption());
+  for (const ColumnSpec& col : table.columns()) append(col.name);
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    for (int64_t c = 0; c < table.num_columns(); ++c) {
+      append(table.cell(r, c).ToText());
+    }
+  }
+  return out;
+}
+
+Bm25Index::Bm25Index(Bm25Options options) : options_(options) {}
+
+std::vector<std::string> Bm25Index::TokenizeDoc(
+    const std::string& text) const {
+  BasicTokenizerOptions topts;
+  topts.lowercase = options_.lowercase;
+  return BasicTokenizer(topts).Tokenize(text);
+}
+
+int64_t Bm25Index::AddDocument(const std::string& text) {
+  const int64_t id = num_documents();
+  const std::vector<std::string> tokens = TokenizeDoc(text);
+  for (const std::string& tok : tokens) {
+    ++postings_[tok][id];
+  }
+  doc_lengths_.push_back(static_cast<int64_t>(tokens.size()));
+  total_length_ += static_cast<double>(tokens.size());
+  return id;
+}
+
+Bm25Index Bm25Index::FromCorpus(const TableCorpus& corpus,
+                                Bm25Options options) {
+  Bm25Index index(options);
+  for (const Table& t : corpus.tables) index.AddDocument(TableToText(t));
+  return index;
+}
+
+double Bm25Index::Score(const std::string& query, int64_t doc) const {
+  if (doc < 0 || doc >= num_documents()) return 0.0;
+  const double n = static_cast<double>(num_documents());
+  const double avg_len = n > 0 ? total_length_ / n : 0.0;
+  const double len = static_cast<double>(doc_lengths_[static_cast<size_t>(doc)]);
+  double score = 0.0;
+  for (const std::string& term : TokenizeDoc(query)) {
+    auto it = postings_.find(term);
+    if (it == postings_.end()) continue;
+    const auto& docs = it->second;
+    auto dit = docs.find(doc);
+    if (dit == docs.end()) continue;
+    const double df = static_cast<double>(docs.size());
+    const double tf = static_cast<double>(dit->second);
+    const double idf = std::log((n - df + 0.5) / (df + 0.5) + 1.0);
+    const double denom =
+        tf + options_.k1 * (1.0 - options_.b +
+                            options_.b * (avg_len > 0 ? len / avg_len : 1.0));
+    score += idf * tf * (options_.k1 + 1.0) / denom;
+  }
+  return score;
+}
+
+std::vector<int64_t> Bm25Index::Rank(const std::string& query) const {
+  std::vector<std::pair<double, int64_t>> scored;
+  scored.reserve(static_cast<size_t>(num_documents()));
+  for (int64_t d = 0; d < num_documents(); ++d) {
+    scored.emplace_back(Score(query, d), d);
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const auto& a, const auto& b) {
+                     if (a.first != b.first) return a.first > b.first;
+                     return a.second < b.second;
+                   });
+  std::vector<int64_t> out;
+  out.reserve(scored.size());
+  for (const auto& [score, id] : scored) out.push_back(id);
+  return out;
+}
+
+std::vector<int64_t> Bm25Index::TopK(const std::string& query,
+                                     int64_t k) const {
+  std::vector<int64_t> ranked = Rank(query);
+  if (static_cast<int64_t>(ranked.size()) > k) {
+    ranked.resize(static_cast<size_t>(k));
+  }
+  return ranked;
+}
+
+}  // namespace tabrep

@@ -1,0 +1,63 @@
+#ifndef TABREP_EVAL_BM25_H_
+#define TABREP_EVAL_BM25_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "table/corpus.h"
+
+namespace tabrep {
+
+/// BM25 hyperparameters.
+struct Bm25Options {
+  double k1 = 1.2;
+  double b = 0.75;
+  bool lowercase = true;
+};
+
+/// Classic BM25 ranking over bags of word tokens — the lexical baseline
+/// every neural table-retrieval paper compares against. Documents are
+/// tables flattened to text (title + caption + headers + cells).
+class Bm25Index {
+ public:
+  explicit Bm25Index(Bm25Options options = {});
+
+  /// Adds one document; returns its id (insertion order).
+  int64_t AddDocument(const std::string& text);
+
+  /// Convenience: indexes every table of a corpus (in corpus order).
+  static Bm25Index FromCorpus(const TableCorpus& corpus,
+                              Bm25Options options = {});
+
+  /// BM25 score of `query` against document `doc`.
+  double Score(const std::string& query, int64_t doc) const;
+
+  /// Document ids ranked by descending score (ties by id).
+  std::vector<int64_t> Rank(const std::string& query) const;
+
+  /// Top-k prefix of Rank().
+  std::vector<int64_t> TopK(const std::string& query, int64_t k) const;
+
+  int64_t num_documents() const {
+    return static_cast<int64_t>(doc_lengths_.size());
+  }
+
+ private:
+  std::vector<std::string> TokenizeDoc(const std::string& text) const;
+
+  Bm25Options options_;
+  /// term -> (doc id -> term frequency)
+  std::unordered_map<std::string, std::unordered_map<int64_t, int64_t>>
+      postings_;
+  std::vector<int64_t> doc_lengths_;
+  double total_length_ = 0.0;
+};
+
+/// Flattens a table to the text BM25 indexes.
+std::string TableToText(const Table& table);
+
+}  // namespace tabrep
+
+#endif  // TABREP_EVAL_BM25_H_

@@ -1,0 +1,141 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace tabrep {
+
+ClassificationReport ComputeClassification(
+    const std::vector<int32_t>& predictions,
+    const std::vector<int32_t>& targets, int32_t ignore_label) {
+  TABREP_CHECK(predictions.size() == targets.size());
+  ClassificationReport report;
+  std::map<int32_t, int64_t> tp, fp, fn;
+  std::set<int32_t> classes;
+  int64_t correct = 0;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    const int32_t gold = targets[i];
+    if (gold == ignore_label) continue;
+    const int32_t pred = predictions[i];
+    ++report.total;
+    classes.insert(gold);
+    if (pred == gold) {
+      ++correct;
+      ++tp[gold];
+    } else {
+      ++fp[pred];
+      ++fn[gold];
+    }
+  }
+  if (report.total == 0) return report;
+  report.accuracy = static_cast<double>(correct) / report.total;
+
+  int64_t tp_sum = 0, fp_sum = 0, fn_sum = 0;
+  double macro_p = 0, macro_r = 0, macro_f = 0;
+  for (int32_t c : classes) {
+    PrfStats s;
+    const int64_t ctp = tp.count(c) ? tp[c] : 0;
+    const int64_t cfp = fp.count(c) ? fp[c] : 0;
+    const int64_t cfn = fn.count(c) ? fn[c] : 0;
+    s.support = ctp + cfn;
+    s.precision = ctp + cfp > 0 ? static_cast<double>(ctp) / (ctp + cfp) : 0.0;
+    s.recall = ctp + cfn > 0 ? static_cast<double>(ctp) / (ctp + cfn) : 0.0;
+    s.f1 = s.precision + s.recall > 0
+               ? 2 * s.precision * s.recall / (s.precision + s.recall)
+               : 0.0;
+    report.per_class[c] = s;
+    tp_sum += ctp;
+    fp_sum += cfp;
+    fn_sum += cfn;
+    macro_p += s.precision;
+    macro_r += s.recall;
+    macro_f += s.f1;
+  }
+  const double nc = static_cast<double>(classes.size());
+  report.macro.precision = macro_p / nc;
+  report.macro.recall = macro_r / nc;
+  report.macro.f1 = macro_f / nc;
+  report.macro.support = report.total;
+
+  report.micro.precision =
+      tp_sum + fp_sum > 0 ? static_cast<double>(tp_sum) / (tp_sum + fp_sum)
+                          : 0.0;
+  report.micro.recall =
+      tp_sum + fn_sum > 0 ? static_cast<double>(tp_sum) / (tp_sum + fn_sum)
+                          : 0.0;
+  report.micro.f1 =
+      report.micro.precision + report.micro.recall > 0
+          ? 2 * report.micro.precision * report.micro.recall /
+                (report.micro.precision + report.micro.recall)
+          : 0.0;
+  report.micro.support = report.total;
+  return report;
+}
+
+double ReciprocalRank(int64_t rank_of_first_relevant) {
+  return rank_of_first_relevant > 0 ? 1.0 / rank_of_first_relevant : 0.0;
+}
+
+RankingReport ComputeRanking(const std::vector<int64_t>& ranks) {
+  RankingReport r;
+  r.num_queries = static_cast<int64_t>(ranks.size());
+  if (ranks.empty()) return r;
+  for (int64_t rank : ranks) {
+    r.mrr += ReciprocalRank(rank);
+    r.hit_at_1 += rank > 0 && rank <= 1 ? 1 : 0;
+    r.hit_at_5 += rank > 0 && rank <= 5 ? 1 : 0;
+    r.hit_at_10 += rank > 0 && rank <= 10 ? 1 : 0;
+    // Single-relevant NDCG@10 is 1/log2(rank+1) when rank <= 10.
+    if (rank > 0 && rank <= 10) {
+      r.ndcg_at_10 += 1.0 / std::log2(static_cast<double>(rank) + 1.0);
+    }
+  }
+  const double n = static_cast<double>(ranks.size());
+  r.mrr /= n;
+  r.hit_at_1 /= n;
+  r.hit_at_5 /= n;
+  r.hit_at_10 /= n;
+  r.ndcg_at_10 /= n;
+  return r;
+}
+
+double F1FromCounts(int64_t tp, int64_t fp, int64_t fn) {
+  const double p = tp + fp > 0 ? static_cast<double>(tp) / (tp + fp) : 0.0;
+  const double r = tp + fn > 0 ? static_cast<double>(tp) / (tp + fn) : 0.0;
+  return p + r > 0 ? 2 * p * r / (p + r) : 0.0;
+}
+
+std::string RenderTextTable(
+    const std::vector<std::string>& header,
+    const std::vector<std::vector<std::string>>& rows) {
+  std::vector<size_t> widths(header.size());
+  for (size_t c = 0; c < header.size(); ++c) widths[c] = header[c].size();
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      os << " " << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+    }
+    os << "\n";
+  };
+  emit_row(header);
+  os << "|";
+  for (size_t c = 0; c < widths.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows) emit_row(row);
+  return os.str();
+}
+
+}  // namespace tabrep

@@ -1,0 +1,67 @@
+#ifndef TABREP_EVAL_METRICS_H_
+#define TABREP_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tabrep {
+
+/// Precision/recall/F1 for one class.
+struct PrfStats {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  int64_t support = 0;
+};
+
+/// Aggregate classification metrics computed from parallel vectors of
+/// predicted and gold labels.
+struct ClassificationReport {
+  double accuracy = 0.0;
+  /// Micro-averaged P/R/F1. For single-label classification micro-F1
+  /// equals accuracy; reported separately for clarity.
+  PrfStats micro;
+  /// Macro average over classes present in the gold labels.
+  PrfStats macro;
+  std::map<int32_t, PrfStats> per_class;
+  int64_t total = 0;
+};
+
+/// Computes a report. `predictions` and `targets` must be equal length;
+/// entries where targets[i] == ignore_label are skipped.
+ClassificationReport ComputeClassification(
+    const std::vector<int32_t>& predictions,
+    const std::vector<int32_t>& targets, int32_t ignore_label = -100);
+
+/// Reciprocal rank of the first relevant item; `rank` is 1-based.
+/// 0 when nothing relevant was retrieved.
+double ReciprocalRank(int64_t rank_of_first_relevant);
+
+/// Aggregate ranking metrics over queries with exactly one relevant
+/// item each. ranks[i] is the 1-based rank of query i's relevant item,
+/// or 0 if missing from the candidate list.
+struct RankingReport {
+  double mrr = 0.0;
+  double hit_at_1 = 0.0;
+  double hit_at_5 = 0.0;
+  double hit_at_10 = 0.0;
+  double ndcg_at_10 = 0.0;
+  int64_t num_queries = 0;
+};
+
+RankingReport ComputeRanking(const std::vector<int64_t>& ranks);
+
+/// Binary-F1 convenience from raw counts.
+double F1FromCounts(int64_t tp, int64_t fp, int64_t fn);
+
+/// Pretty-prints a fixed-width text table: `header` then `rows`, each a
+/// vector of cells. Column widths adapt to content. Used by benches to
+/// print paper-style result tables.
+std::string RenderTextTable(const std::vector<std::string>& header,
+                            const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace tabrep
+
+#endif  // TABREP_EVAL_METRICS_H_

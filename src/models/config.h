@@ -1,0 +1,56 @@
+#ifndef TABREP_MODELS_CONFIG_H_
+#define TABREP_MODELS_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "nn/transformer.h"
+
+namespace tabrep {
+
+/// The surveyed model families (§2.3). Each family is the vanilla
+/// transformer plus the structural extension that distinguishes the
+/// corresponding published system:
+///   kVanilla — BERT-style: tokens + positions only; the table is just
+///              text after serialization.
+///   kTapas   — TAPAS [19]: adds row/column/segment/kind/rank embedding
+///              channels at the input level.
+///   kTabert  — TaBERT [41]: vanilla input channels plus a vertical
+///              self-attention layer over column-aligned cells.
+///   kTurl    — TURL [11]: structural embeddings plus a visibility
+///              matrix restricting attention to same row/column, and
+///              entity embeddings for linked cells.
+///   kMate    — MATE [15]: structural embeddings with head-partitioned
+///              sparse attention (row heads and column heads).
+enum class ModelFamily { kVanilla, kTapas, kTabert, kTurl, kMate };
+
+std::string_view ModelFamilyName(ModelFamily family);
+
+/// Everything needed to build a TableEncoderModel.
+struct ModelConfig {
+  ModelFamily family = ModelFamily::kVanilla;
+  /// WordPiece vocabulary size (from the trained Vocab).
+  int64_t vocab_size = 0;
+  /// Entity vocabulary size; required > 0 for kTurl, ignored otherwise.
+  int64_t entity_vocab_size = 0;
+  nn::TransformerConfig transformer;
+  /// Embedding table capacities; inputs are clamped into range.
+  int64_t max_position = 512;
+  int64_t max_rows = 64;     // row channel: 0 = none/header
+  int64_t max_columns = 32;  // column channel: 0 = none
+  int64_t max_rank = 64;     // TAPAS numeric-rank channel
+  int64_t num_segments = 2;  // context vs table
+  uint64_t seed = 1;
+
+  /// True when the family consumes the structural (row/col/kind/...)
+  /// channels at the input level.
+  bool UsesStructuralEmbeddings() const {
+    return family == ModelFamily::kTapas || family == ModelFamily::kTurl ||
+           family == ModelFamily::kMate;
+  }
+};
+
+}  // namespace tabrep
+
+#endif  // TABREP_MODELS_CONFIG_H_

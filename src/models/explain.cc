@@ -1,0 +1,115 @@
+#include "models/explain.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace tabrep::models {
+
+std::vector<double> AttentionRollout(const std::vector<Tensor>& attention,
+                                     int64_t target) {
+  TABREP_CHECK(!attention.empty()) << "no attention maps captured";
+  const int64_t t = attention[0].rows();
+  TABREP_CHECK(target >= 0 && target < t) << "target " << target;
+
+  // rollout = Π_l 0.5 * (A_l + I), row-normalized.
+  // Start from the target's one-hot and walk backwards through layers.
+  std::vector<double> relevance(static_cast<size_t>(t), 0.0);
+  relevance[static_cast<size_t>(target)] = 1.0;
+  for (auto it = attention.rbegin(); it != attention.rend(); ++it) {
+    const Tensor& a = *it;
+    TABREP_CHECK(a.rows() == t && a.cols() == t);
+    std::vector<double> next(static_cast<size_t>(t), 0.0);
+    for (int64_t i = 0; i < t; ++i) {
+      const double r = relevance[static_cast<size_t>(i)];
+      if (r == 0.0) continue;
+      // Row i of 0.5 * (A + I): attention plus the residual stream.
+      for (int64_t j = 0; j < t; ++j) {
+        double w = 0.5 * a.at(i, j);
+        if (i == j) w += 0.5;
+        next[static_cast<size_t>(j)] += r * w;
+      }
+    }
+    relevance = std::move(next);
+  }
+  // Normalize defensively (row-stochasticity should already hold).
+  double total = 0.0;
+  for (double r : relevance) total += r;
+  if (total > 0) {
+    for (double& r : relevance) r /= total;
+  }
+  return relevance;
+}
+
+namespace {
+
+std::string DescribeGroup(const Table& table, int32_t row, int32_t col) {
+  if (row >= 0 && col >= 0) {
+    return "cell (" + std::to_string(row) + ", " + table.column(col).name +
+           ") = '" + table.cell(row, col).ToText() + "'";
+  }
+  if (col >= 0) return "header '" + table.column(col).name + "'";
+  return "context/special tokens";
+}
+
+}  // namespace
+
+std::vector<Attribution> ExplainPosition(TableEncoderModel& model,
+                                         const TokenizedTable& input,
+                                         const Table& table, int64_t target,
+                                         int64_t top_k, Rng& rng) {
+  const bool was_training = model.training();
+  model.SetTraining(false);
+  Encoded enc = model.Encode(input, rng, /*need_cells=*/false,
+                             /*capture_attention=*/true);
+  model.SetTraining(was_training);
+  std::vector<double> relevance = AttentionRollout(enc.attention, target);
+
+  // Aggregate token relevance by (row, col) group.
+  std::map<std::pair<int32_t, int32_t>, double> groups;
+  for (size_t i = 0; i < input.tokens.size(); ++i) {
+    const TokenInfo& tok = input.tokens[i];
+    int32_t row = -1;
+    int32_t col = -1;
+    if (tok.kind == static_cast<int32_t>(TokenKind::kCell)) {
+      row = tok.row - 1;
+      col = tok.column - 1;
+    } else if (tok.kind == static_cast<int32_t>(TokenKind::kHeader)) {
+      col = tok.column - 1;
+    }
+    groups[{row, col}] += relevance[i];
+  }
+
+  std::vector<Attribution> out;
+  out.reserve(groups.size());
+  for (const auto& [key, score] : groups) {
+    Attribution attr;
+    attr.row = key.first;
+    attr.col = key.second;
+    attr.relevance = score;
+    attr.description = DescribeGroup(table, key.first, key.second);
+    out.push_back(std::move(attr));
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.relevance > b.relevance;
+  });
+  if (static_cast<int64_t>(out.size()) > top_k) {
+    out.resize(static_cast<size_t>(top_k));
+  }
+  return out;
+}
+
+std::vector<Attribution> ExplainCell(TableEncoderModel& model,
+                                     const TokenizedTable& input,
+                                     const Table& table, int32_t cell_row,
+                                     int32_t cell_col, int64_t top_k,
+                                     Rng& rng) {
+  const CellSpan* span = input.FindCell(cell_row, cell_col);
+  TABREP_CHECK(span != nullptr)
+      << "cell (" << cell_row << ", " << cell_col << ") not in input";
+  return ExplainPosition(model, input, table, span->begin, top_k, rng);
+}
+
+}  // namespace tabrep::models

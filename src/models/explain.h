@@ -1,0 +1,56 @@
+#ifndef TABREP_MODELS_EXPLAIN_H_
+#define TABREP_MODELS_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "models/table_encoder.h"
+#include "serialize/serializer.h"
+
+namespace tabrep::models {
+
+/// Interpretability utilities (§2.4 lists interpretability as the top
+/// open challenge; "some systems expose a justification of their model
+/// output"). Implements attention rollout (Abnar & Zuidema style):
+/// per-layer attention maps are averaged with a residual term and
+/// multiplied through the stack, giving each input token a relevance
+/// score for a chosen output position.
+
+/// Relevance of every input token for output position `target`,
+/// computed from the per-layer attention maps captured by
+/// Encode(..., capture_attention=true). Scores are non-negative and
+/// sum to ~1.
+std::vector<double> AttentionRollout(const std::vector<Tensor>& attention,
+                                     int64_t target);
+
+/// One contributing unit of an explanation.
+struct Attribution {
+  /// Grid coordinates when the contributor is a cell; (-1, col-1) for
+  /// headers; (-1, -1) for context/special tokens.
+  int32_t row = -1;
+  int32_t col = -1;
+  /// Human-readable rendering ("cell (2, Capital) = 'Paris'").
+  std::string description;
+  double relevance = 0.0;
+};
+
+/// Explains which parts of the input drove the representation at token
+/// position `target`: rolls out attention, aggregates token relevance
+/// into cells / headers / context, and returns the top-k contributors
+/// sorted by relevance.
+std::vector<Attribution> ExplainPosition(TableEncoderModel& model,
+                                         const TokenizedTable& input,
+                                         const Table& table, int64_t target,
+                                         int64_t top_k, Rng& rng);
+
+/// Convenience: explains a cell-level prediction by targeting the
+/// first token of the given cell span.
+std::vector<Attribution> ExplainCell(TableEncoderModel& model,
+                                     const TokenizedTable& input,
+                                     const Table& table, int32_t cell_row,
+                                     int32_t cell_col, int64_t top_k,
+                                     Rng& rng);
+
+}  // namespace tabrep::models
+
+#endif  // TABREP_MODELS_EXPLAIN_H_

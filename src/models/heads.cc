@@ -1,0 +1,66 @@
+#include "models/heads.h"
+
+namespace tabrep::models {
+
+MlmHead::MlmHead(TableEncoderModel* model, Rng& rng)
+    : model_(model),
+      transform_(model->dim(), model->dim(), rng),
+      ln_(model->dim()) {
+  RegisterChild("transform", &transform_);
+  RegisterChild("ln", &ln_);
+  output_bias_ = RegisterParam(
+      "output_bias", Tensor::Zeros({model->config().vocab_size}));
+}
+
+ag::Variable MlmHead::Forward(const ag::Variable& hidden) {
+  ag::Variable h = ln_.Forward(ag::Gelu(transform_.Forward(hidden)));
+  // Weight tying: logits = h E^T + b.
+  ag::Variable logits =
+      ag::MatMulTransposedB(h, model_->token_embedding_weight());
+  return ag::AddRowBroadcast(logits, *output_bias_);
+}
+
+EntityRecoveryHead::EntityRecoveryHead(TableEncoderModel* model, Rng& rng)
+    : model_(model), transform_(model->dim(), model->dim(), rng) {
+  RegisterChild("transform", &transform_);
+  output_bias_ = RegisterParam(
+      "output_bias", Tensor::Zeros({model->config().entity_vocab_size}));
+}
+
+ag::Variable EntityRecoveryHead::Forward(const ag::Variable& cell_reps) {
+  ag::Variable h = ag::Gelu(transform_.Forward(cell_reps));
+  ag::Variable logits =
+      ag::MatMulTransposedB(h, model_->entity_embedding_weight());
+  return ag::AddRowBroadcast(logits, *output_bias_);
+}
+
+ClsHead::ClsHead(int64_t dim, int64_t num_classes, Rng& rng)
+    : pre_(dim, dim, rng), out_(dim, num_classes, rng) {
+  RegisterChild("pre", &pre_);
+  RegisterChild("out", &out_);
+}
+
+ag::Variable ClsHead::Forward(const ag::Variable& cls) {
+  return out_.Forward(ag::Tanh(pre_.Forward(cls)));
+}
+
+CellSelectionHead::CellSelectionHead(int64_t dim, Rng& rng)
+    : score_(dim, 1, rng) {
+  RegisterChild("score", &score_);
+}
+
+ag::Variable CellSelectionHead::Forward(const ag::Variable& cell_reps) {
+  ag::Variable scores = score_.Forward(cell_reps);  // [num_cells, 1]
+  return ag::Transpose(scores);                     // [1, num_cells]
+}
+
+ProjectionHead::ProjectionHead(int64_t dim, int64_t out_dim, Rng& rng)
+    : proj_(dim, out_dim, rng) {
+  RegisterChild("proj", &proj_);
+}
+
+ag::Variable ProjectionHead::Forward(const ag::Variable& pooled) {
+  return proj_.Forward(pooled);
+}
+
+}  // namespace tabrep::models

@@ -1,0 +1,81 @@
+#ifndef TABREP_MODELS_HEADS_H_
+#define TABREP_MODELS_HEADS_H_
+
+#include <memory>
+
+#include "models/table_encoder.h"
+#include "nn/layers.h"
+
+namespace tabrep::models {
+
+/// Masked-language-modeling head: transform + GELU + LayerNorm, then a
+/// weight-tied projection onto the token embedding table. Produces
+/// logits [T, vocab].
+class MlmHead : public nn::Module {
+ public:
+  MlmHead(TableEncoderModel* model, Rng& rng);
+
+  ag::Variable Forward(const ag::Variable& hidden);
+
+ private:
+  TableEncoderModel* model_;  // not owned; provides the tied weights
+  nn::Linear transform_;
+  nn::LayerNorm ln_;
+  ag::Variable* output_bias_;
+};
+
+/// Masked-entity-recovery head (TURL): projects cell representations
+/// onto the entity embedding table -> logits [num_cells, entity_vocab].
+class EntityRecoveryHead : public nn::Module {
+ public:
+  EntityRecoveryHead(TableEncoderModel* model, Rng& rng);
+
+  ag::Variable Forward(const ag::Variable& cell_reps);
+
+ private:
+  TableEncoderModel* model_;  // not owned
+  nn::Linear transform_;
+  ag::Variable* output_bias_;
+};
+
+/// Sequence classification head over the [CLS] representation
+/// (fact verification, NLI, ...).
+class ClsHead : public nn::Module {
+ public:
+  ClsHead(int64_t dim, int64_t num_classes, Rng& rng);
+
+  /// logits [1, num_classes] from the [1, dim] CLS row.
+  ag::Variable Forward(const ag::Variable& cls);
+
+ private:
+  nn::Linear pre_;
+  nn::Linear out_;
+};
+
+/// Cell-selection head (TAPAS-style QA): scores every cell; answer =
+/// argmax. Produces logits [1, num_cells].
+class CellSelectionHead : public nn::Module {
+ public:
+  CellSelectionHead(int64_t dim, Rng& rng);
+
+  ag::Variable Forward(const ag::Variable& cell_reps);
+
+ private:
+  nn::Linear score_;
+};
+
+/// Projection head producing whole-table embeddings for retrieval;
+/// output is [1, out_dim].
+class ProjectionHead : public nn::Module {
+ public:
+  ProjectionHead(int64_t dim, int64_t out_dim, Rng& rng);
+
+  ag::Variable Forward(const ag::Variable& pooled);
+
+ private:
+  nn::Linear proj_;
+};
+
+}  // namespace tabrep::models
+
+#endif  // TABREP_MODELS_HEADS_H_

@@ -1,0 +1,208 @@
+#include "models/table_encoder.h"
+
+#include <algorithm>
+
+#include "models/visibility.h"
+
+namespace tabrep {
+
+std::string_view ModelFamilyName(ModelFamily family) {
+  switch (family) {
+    case ModelFamily::kVanilla:
+      return "vanilla";
+    case ModelFamily::kTapas:
+      return "tapas";
+    case ModelFamily::kTabert:
+      return "tabert";
+    case ModelFamily::kTurl:
+      return "turl";
+    case ModelFamily::kMate:
+      return "mate";
+  }
+  return "?";
+}
+
+namespace models {
+
+namespace {
+
+/// Clamps channel values into an embedding table's range.
+std::vector<int32_t> ClampIds(const std::vector<int32_t>& raw, int64_t limit) {
+  std::vector<int32_t> out(raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    out[i] = static_cast<int32_t>(
+        std::clamp<int64_t>(raw[i], 0, limit - 1));
+  }
+  return out;
+}
+
+}  // namespace
+
+TableEncoderModel::TableEncoderModel(const ModelConfig& config)
+    : config_(config), init_rng_(config.seed) {
+  TABREP_CHECK(config_.vocab_size > 0) << "vocab_size must be set";
+  const int64_t dim = config_.transformer.dim;
+  Rng& rng = init_rng_;
+
+  token_emb_ = std::make_unique<nn::Embedding>(config_.vocab_size, dim, rng);
+  pos_emb_ = std::make_unique<nn::Embedding>(config_.max_position, dim, rng);
+  seg_emb_ = std::make_unique<nn::Embedding>(config_.num_segments, dim, rng);
+  RegisterChild("token_emb", token_emb_.get());
+  RegisterChild("pos_emb", pos_emb_.get());
+  RegisterChild("seg_emb", seg_emb_.get());
+
+  if (config_.UsesStructuralEmbeddings()) {
+    row_emb_ = std::make_unique<nn::Embedding>(config_.max_rows, dim, rng);
+    col_emb_ = std::make_unique<nn::Embedding>(config_.max_columns, dim, rng);
+    kind_emb_ = std::make_unique<nn::Embedding>(kNumTokenKinds, dim, rng);
+    RegisterChild("row_emb", row_emb_.get());
+    RegisterChild("col_emb", col_emb_.get());
+    RegisterChild("kind_emb", kind_emb_.get());
+  }
+  if (config_.family == ModelFamily::kTapas) {
+    rank_emb_ = std::make_unique<nn::Embedding>(config_.max_rank, dim, rng);
+    RegisterChild("rank_emb", rank_emb_.get());
+  }
+  if (config_.family == ModelFamily::kTurl) {
+    TABREP_CHECK(config_.entity_vocab_size > 0)
+        << "kTurl needs entity_vocab_size";
+    entity_emb_ =
+        std::make_unique<nn::Embedding>(config_.entity_vocab_size, dim, rng);
+    RegisterChild("entity_emb", entity_emb_.get());
+  }
+
+  input_ln_ = std::make_unique<nn::LayerNorm>(dim);
+  RegisterChild("input_ln", input_ln_.get());
+  encoder_ = std::make_unique<nn::TransformerEncoder>(config_.transformer, rng);
+  RegisterChild("encoder", encoder_.get());
+
+  if (config_.family == ModelFamily::kTabert) {
+    vertical_attn_ = std::make_unique<nn::MultiHeadSelfAttention>(
+        dim, config_.transformer.num_heads, config_.transformer.dropout, rng);
+    vertical_ln_ = std::make_unique<nn::LayerNorm>(dim);
+    RegisterChild("vertical_attn", vertical_attn_.get());
+    RegisterChild("vertical_ln", vertical_ln_.get());
+  }
+}
+
+ag::Variable TableEncoderModel::EmbedInput(const TokenizedTable& input,
+                                           Rng& rng) {
+  const size_t t = input.tokens.size();
+  std::vector<int32_t> ids(t), positions(t), segments(t), rows(t), cols(t),
+      kinds(t), ranks(t), entities(t);
+  for (size_t i = 0; i < t; ++i) {
+    const TokenInfo& tok = input.tokens[i];
+    ids[i] = tok.id;
+    positions[i] = static_cast<int32_t>(i);
+    segments[i] = tok.segment;
+    rows[i] = tok.row;
+    cols[i] = tok.column;
+    kinds[i] = tok.kind;
+    ranks[i] = tok.rank;
+    entities[i] = tok.entity_id >= 0 ? tok.entity_id : 0;  // 0 = ENT_UNK
+  }
+
+  ag::Variable x = token_emb_->Forward(ClampIds(ids, config_.vocab_size));
+  x = ag::Add(x, pos_emb_->Forward(ClampIds(positions, config_.max_position)));
+  x = ag::Add(x, seg_emb_->Forward(ClampIds(segments, config_.num_segments)));
+  if (config_.UsesStructuralEmbeddings()) {
+    x = ag::Add(x, row_emb_->Forward(ClampIds(rows, config_.max_rows)));
+    x = ag::Add(x, col_emb_->Forward(ClampIds(cols, config_.max_columns)));
+    x = ag::Add(x, kind_emb_->Forward(ClampIds(kinds, kNumTokenKinds)));
+  }
+  if (rank_emb_) {
+    x = ag::Add(x, rank_emb_->Forward(ClampIds(ranks, config_.max_rank)));
+  }
+  if (entity_emb_) {
+    x = ag::Add(
+        x, entity_emb_->Forward(ClampIds(entities, config_.entity_vocab_size)));
+  }
+  x = input_ln_->Forward(x);
+  if (training() && config_.transformer.dropout > 0.0f) {
+    x = ag::Dropout(x, config_.transformer.dropout, rng);
+  }
+  return x;
+}
+
+Encoded TableEncoderModel::Encode(const TokenizedTable& input, Rng& rng,
+                                  bool need_cells, bool capture_attention) {
+  TABREP_CHECK(input.size() > 0) << "empty input";
+  ag::Variable x = EmbedInput(input, rng);
+
+  nn::AttentionBias bias;
+  const nn::AttentionBias* bias_ptr = nullptr;
+  if (config_.family == ModelFamily::kTurl) {
+    bias.shared = BuildTurlVisibility(input);
+    bias_ptr = &bias;
+  } else if (config_.family == ModelFamily::kMate) {
+    bias.per_head = BuildMateBiases(input, config_.transformer.num_heads);
+    bias_ptr = &bias;
+  }
+
+  Encoded out;
+  out.hidden = encoder_->Forward(x, bias_ptr, rng,
+                                 capture_attention ? &out.attention : nullptr);
+
+  if (need_cells && !input.cells.empty()) {
+    // Mean-pool each cell's token span.
+    std::vector<ag::Variable> pooled;
+    pooled.reserve(input.cells.size());
+    for (const CellSpan& span : input.cells) {
+      ag::Variable slice = ag::SliceRows(out.hidden, span.begin, span.end);
+      ag::Variable mean = ag::MeanRows(slice);
+      pooled.push_back(ag::Reshape(mean, {1, dim()}));
+    }
+    ag::Variable cells = ag::ConcatRows(pooled);
+
+    if (config_.family == ModelFamily::kTabert) {
+      // Vertical self-attention: cells attend within their column.
+      const int64_t n = static_cast<int64_t>(input.cells.size());
+      Tensor vbias({n, n});
+      for (int64_t i = 0; i < n; ++i) {
+        for (int64_t j = 0; j < n; ++j) {
+          const bool same_col = input.cells[static_cast<size_t>(i)].col ==
+                                input.cells[static_cast<size_t>(j)].col;
+          vbias.at(i, j) = (i == j || same_col) ? 0.0f : nn::kMaskedScore;
+        }
+      }
+      nn::AttentionBias vb;
+      vb.shared = std::move(vbias);
+      ag::Variable refined = vertical_attn_->Forward(cells, &vb, rng);
+      cells = vertical_ln_->Forward(ag::Add(cells, refined));
+    }
+    out.cells = cells;
+    out.has_cells = true;
+  }
+  return out;
+}
+
+ag::Variable TableEncoderModel::Cls(const Encoded& encoded) const {
+  return ag::SliceRows(encoded.hidden, 0, 1);
+}
+
+ag::Variable TableEncoderModel::Pooled(const Encoded& encoded) const {
+  return ag::Reshape(ag::MeanRows(encoded.hidden), {1, dim()});
+}
+
+ag::Variable& TableEncoderModel::entity_embedding_weight() {
+  TABREP_CHECK(entity_emb_ != nullptr)
+      << "entity embeddings only exist for kTurl";
+  return entity_emb_->weight();
+}
+
+TensorMap TableEncoderModel::ExportStateDict() {
+  TensorMap out;
+  ExportState("model/", &out);
+  return out;
+}
+
+Status TableEncoderModel::ImportStateDict(const TensorMap& state) {
+  return ImportState("model/", state);
+}
+
+std::unique_ptr<TableEncoderModel> CreateModel(const ModelConfig& config) {
+  return std::make_unique<TableEncoderModel>(config);
+}
+
+}  // namespace models
+}  // namespace tabrep

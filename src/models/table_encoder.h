@@ -1,0 +1,97 @@
+#ifndef TABREP_MODELS_TABLE_ENCODER_H_
+#define TABREP_MODELS_TABLE_ENCODER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/config.h"
+#include "nn/layers.h"
+#include "nn/transformer.h"
+#include "serialize/serializer.h"
+
+namespace tabrep {
+
+namespace models {
+
+/// Result of encoding one serialized table.
+struct Encoded {
+  /// Token-level hidden states [T, dim].
+  ag::Variable hidden;
+  /// Cell-level representations [num_cells, dim], mean-pooled over each
+  /// cell's token span (and, for TaBERT, refined by vertical
+  /// attention). Row order matches TokenizedTable::cells. Empty when
+  /// the input has no cell spans.
+  ag::Variable cells;
+  bool has_cells = false;
+  /// Averaged post-softmax attention per encoder layer; filled only
+  /// when requested.
+  std::vector<Tensor> attention;
+};
+
+/// The library's central model: a transformer encoder over serialized
+/// tables, parameterized by ModelFamily (§2.3's design space collapsed
+/// into one implementation with three extension points: input
+/// embedding channels, attention visibility, and a post-hoc vertical
+/// attention stage). See ModelFamily for which extension each family
+/// enables.
+class TableEncoderModel : public nn::Module {
+ public:
+  explicit TableEncoderModel(const ModelConfig& config);
+
+  /// Encodes one serialized table. `need_cells` skips cell pooling for
+  /// token-only objectives; `capture_attention` records attention maps.
+  Encoded Encode(const TokenizedTable& input, Rng& rng,
+                 bool need_cells = true, bool capture_attention = false);
+
+  /// The [CLS] row of `hidden` as a [1, dim] variable.
+  ag::Variable Cls(const Encoded& encoded) const;
+
+  /// Mean over all token positions — the whole-table embedding used by
+  /// retrieval.
+  ag::Variable Pooled(const Encoded& encoded) const;
+
+  /// Token embedding table (for weight-tied output heads).
+  ag::Variable& token_embedding_weight() { return token_emb_->weight(); }
+  /// Entity embedding table; only present for kTurl.
+  ag::Variable& entity_embedding_weight();
+
+  const ModelConfig& config() const { return config_; }
+  int64_t dim() const { return config_.transformer.dim; }
+
+  /// Checkpointing: state dict under a "model/" prefix.
+  TensorMap ExportStateDict();
+  Status ImportStateDict(const TensorMap& state);
+
+ private:
+  ag::Variable EmbedInput(const TokenizedTable& input, Rng& rng);
+
+  ModelConfig config_;
+  Rng init_rng_;
+  std::unique_ptr<nn::Embedding> token_emb_;
+  std::unique_ptr<nn::Embedding> pos_emb_;
+  std::unique_ptr<nn::Embedding> seg_emb_;
+  // Structural channels (Tapas/Turl/Mate).
+  std::unique_ptr<nn::Embedding> row_emb_;
+  std::unique_ptr<nn::Embedding> col_emb_;
+  std::unique_ptr<nn::Embedding> kind_emb_;
+  std::unique_ptr<nn::Embedding> rank_emb_;  // Tapas only
+  // Entity channel (Turl).
+  std::unique_ptr<nn::Embedding> entity_emb_;
+  std::unique_ptr<nn::LayerNorm> input_ln_;
+  std::unique_ptr<nn::TransformerEncoder> encoder_;
+  // Vertical attention over column-aligned cells (Tabert).
+  std::unique_ptr<nn::MultiHeadSelfAttention> vertical_attn_;
+  std::unique_ptr<nn::LayerNorm> vertical_ln_;
+};
+
+/// Convenience factory.
+std::unique_ptr<TableEncoderModel> CreateModel(const ModelConfig& config);
+
+}  // namespace models
+
+using models::TableEncoderModel;
+
+}  // namespace tabrep
+
+#endif  // TABREP_MODELS_TABLE_ENCODER_H_

@@ -1,0 +1,67 @@
+#include "models/visibility.h"
+
+#include "nn/attention.h"
+
+namespace tabrep {
+
+namespace {
+
+bool InGrid(const TokenInfo& t) { return t.row > 0 || t.column > 0; }
+
+bool SameRow(const TokenInfo& a, const TokenInfo& b) {
+  return a.row > 0 && a.row == b.row;
+}
+
+bool SameColumn(const TokenInfo& a, const TokenInfo& b) {
+  return a.column > 0 && a.column == b.column;
+}
+
+}  // namespace
+
+Tensor BuildTurlVisibility(const TokenizedTable& input) {
+  const int64_t t = input.size();
+  Tensor bias({t, t});
+  for (int64_t i = 0; i < t; ++i) {
+    const TokenInfo& a = input.tokens[static_cast<size_t>(i)];
+    for (int64_t j = 0; j < t; ++j) {
+      const TokenInfo& b = input.tokens[static_cast<size_t>(j)];
+      const bool visible = i == j || !InGrid(a) || !InGrid(b) ||
+                           SameRow(a, b) || SameColumn(a, b);
+      bias.at(i, j) = visible ? 0.0f : nn::kMaskedScore;
+    }
+  }
+  return bias;
+}
+
+std::vector<Tensor> BuildMateBiases(const TokenizedTable& input,
+                                    int64_t num_heads) {
+  const int64_t t = input.size();
+  Tensor row_bias({t, t});
+  Tensor col_bias({t, t});
+  for (int64_t i = 0; i < t; ++i) {
+    const TokenInfo& a = input.tokens[static_cast<size_t>(i)];
+    for (int64_t j = 0; j < t; ++j) {
+      const TokenInfo& b = input.tokens[static_cast<size_t>(j)];
+      const bool base = i == j || !InGrid(a) || !InGrid(b);
+      row_bias.at(i, j) = base || SameRow(a, b) ? 0.0f : nn::kMaskedScore;
+      col_bias.at(i, j) = base || SameColumn(a, b) ? 0.0f : nn::kMaskedScore;
+    }
+  }
+  std::vector<Tensor> out;
+  out.reserve(static_cast<size_t>(num_heads));
+  for (int64_t h = 0; h < num_heads; ++h) {
+    out.push_back(h < num_heads / 2 ? row_bias : col_bias);
+  }
+  return out;
+}
+
+double VisibleFraction(const Tensor& bias) {
+  if (bias.numel() == 0) return 1.0;
+  int64_t visible = 0;
+  for (int64_t i = 0; i < bias.numel(); ++i) {
+    if (bias[i] == 0.0f) ++visible;
+  }
+  return static_cast<double>(visible) / static_cast<double>(bias.numel());
+}
+
+}  // namespace tabrep

@@ -1,0 +1,33 @@
+#ifndef TABREP_MODELS_VISIBILITY_H_
+#define TABREP_MODELS_VISIBILITY_H_
+
+#include <vector>
+
+#include "serialize/serializer.h"
+#include "tensor/tensor.h"
+
+namespace tabrep {
+
+/// TURL-style visibility matrix: additive [T, T] bias where token i may
+/// attend to token j iff
+///   - either token is outside the grid (context, specials, headers of
+///     no column), or
+///   - they share a row, or
+///   - they share a column.
+/// Everything else receives kMaskedScore. Diagonal is always visible.
+Tensor BuildTurlVisibility(const TokenizedTable& input);
+
+/// MATE-style per-head biases: the first half of the heads are "row
+/// heads" (grid tokens attend within their row plus all non-grid
+/// tokens), the rest are "column heads" (within their column plus
+/// non-grid). Non-grid tokens attend everywhere in every head.
+std::vector<Tensor> BuildMateBiases(const TokenizedTable& input,
+                                    int64_t num_heads);
+
+/// Fraction of unmasked (visible) entries in an additive bias matrix;
+/// 1.0 = dense. Used by the efficiency bench.
+double VisibleFraction(const Tensor& bias);
+
+}  // namespace tabrep
+
+#endif  // TABREP_MODELS_VISIBILITY_H_

@@ -1,0 +1,82 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+namespace tabrep::nn {
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(int64_t dim, int64_t num_heads,
+                                               float dropout, Rng& rng)
+    : dim_(dim),
+      num_heads_(num_heads),
+      head_dim_(dim / num_heads),
+      dropout_(dropout) {
+  TABREP_CHECK(dim % num_heads == 0)
+      << "dim " << dim << " not divisible by heads " << num_heads;
+  for (int64_t h = 0; h < num_heads_; ++h) {
+    q_.push_back(std::make_unique<Linear>(dim_, head_dim_, rng));
+    k_.push_back(std::make_unique<Linear>(dim_, head_dim_, rng));
+    v_.push_back(std::make_unique<Linear>(dim_, head_dim_, rng));
+    out_.push_back(std::make_unique<Linear>(head_dim_, dim_, rng));
+    const std::string suffix = std::to_string(h);
+    RegisterChild("q" + suffix, q_.back().get());
+    RegisterChild("k" + suffix, k_.back().get());
+    RegisterChild("v" + suffix, v_.back().get());
+    RegisterChild("out" + suffix, out_.back().get());
+  }
+  out_bias_ = RegisterParam("out_bias", Tensor::Zeros({dim_}));
+}
+
+ag::Variable MultiHeadSelfAttention::Forward(const ag::Variable& x,
+                                             const AttentionBias* bias,
+                                             Rng& rng,
+                                             Tensor* attn_probs_out) {
+  const int64_t t = x.value().rows();
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  if (bias) {
+    if (bias->has_per_head()) {
+      TABREP_CHECK(static_cast<int64_t>(bias->per_head.size()) == num_heads_)
+          << "per-head bias count " << bias->per_head.size();
+    }
+  }
+
+  ag::Variable acc;
+  Tensor probs_acc;
+  if (attn_probs_out) probs_acc = Tensor::Zeros({t, t});
+
+  for (int64_t h = 0; h < num_heads_; ++h) {
+    ag::Variable q = q_[static_cast<size_t>(h)]->Forward(x);
+    ag::Variable k = k_[static_cast<size_t>(h)]->Forward(x);
+    ag::Variable v = v_[static_cast<size_t>(h)]->Forward(x);
+    ag::Variable scores = ag::MulScalar(ag::MatMulTransposedB(q, k), scale);
+    const Tensor* head_bias = nullptr;
+    if (bias) {
+      if (bias->has_per_head()) {
+        head_bias = &bias->per_head[static_cast<size_t>(h)];
+      } else if (bias->has_shared()) {
+        head_bias = &bias->shared;
+      }
+    }
+    if (head_bias) {
+      TABREP_CHECK(head_bias->dim() == 2 && head_bias->rows() == t &&
+                   head_bias->cols() == t)
+          << "attention bias shape " << ShapeToString(head_bias->shape())
+          << " vs sequence length " << t;
+      scores = ag::Add(scores, ag::Variable::Constant(*head_bias));
+    }
+    ag::Variable probs = ag::Softmax(scores);
+    if (attn_probs_out) probs_acc.Add(probs.value());
+    if (training() && dropout_ > 0.0f) {
+      probs = ag::Dropout(probs, dropout_, rng);
+    }
+    ag::Variable ctx = ag::MatMul(probs, v);
+    ag::Variable head_out = out_[static_cast<size_t>(h)]->Forward(ctx);
+    acc = h == 0 ? head_out : ag::Add(acc, head_out);
+  }
+  if (attn_probs_out) {
+    probs_acc.Scale(1.0f / static_cast<float>(num_heads_));
+    *attn_probs_out = probs_acc;
+  }
+  return ag::AddRowBroadcast(acc, *out_bias_);
+}
+
+}  // namespace tabrep::nn

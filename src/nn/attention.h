@@ -1,0 +1,64 @@
+#ifndef TABREP_NN_ATTENTION_H_
+#define TABREP_NN_ATTENTION_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace tabrep::nn {
+
+/// Configuration of attention-bias masking. The bias matrices are
+/// additive on pre-softmax scores: 0 keeps a pair, a large negative
+/// value (kMaskedScore) removes it. This is the single extension point
+/// through which the structure-aware models express themselves:
+///   - Vanilla/TAPAS: no bias (dense attention),
+///   - TURL: one shared visibility matrix (same row/column only),
+///   - MATE: per-head biases (row heads vs column heads).
+struct AttentionBias {
+  /// Shared [T, T] bias for every head; empty = dense.
+  Tensor shared;
+  /// Per-head [T, T] biases; when non-empty must have num_heads
+  /// entries and takes precedence over `shared`.
+  std::vector<Tensor> per_head;
+
+  bool has_shared() const { return !shared.empty(); }
+  bool has_per_head() const { return !per_head.empty(); }
+};
+
+/// Additive score for masked pairs.
+inline constexpr float kMaskedScore = -1e9f;
+
+/// Multi-head scaled dot-product self-attention over one sequence
+/// [T, dim]. Heads use separate Q/K/V projections to dim/num_heads and
+/// per-head output projections summed into the residual stream
+/// (equivalent to the fused W_O formulation).
+class MultiHeadSelfAttention : public Module {
+ public:
+  MultiHeadSelfAttention(int64_t dim, int64_t num_heads, float dropout,
+                         Rng& rng);
+
+  /// Runs attention. `bias` may be null for dense attention. When
+  /// `attn_probs_out` is non-null it receives the post-softmax
+  /// attention matrix averaged over heads (for visualization).
+  ag::Variable Forward(const ag::Variable& x, const AttentionBias* bias,
+                       Rng& rng, Tensor* attn_probs_out = nullptr);
+
+  int64_t num_heads() const { return num_heads_; }
+
+ private:
+  int64_t dim_;
+  int64_t num_heads_;
+  int64_t head_dim_;
+  float dropout_;
+  std::vector<std::unique_ptr<Linear>> q_;
+  std::vector<std::unique_ptr<Linear>> k_;
+  std::vector<std::unique_ptr<Linear>> v_;
+  std::vector<std::unique_ptr<Linear>> out_;
+  ag::Variable* out_bias_;
+};
+
+}  // namespace tabrep::nn
+
+#endif  // TABREP_NN_ATTENTION_H_

@@ -1,0 +1,46 @@
+#include "nn/layers.h"
+
+namespace tabrep::nn {
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng& rng,
+               float init_std)
+    : in_features_(in_features), out_features_(out_features) {
+  weight_ = RegisterParam(
+      "weight", Tensor::Randn({in_features, out_features}, rng, init_std));
+  bias_ = RegisterParam("bias", Tensor::Zeros({out_features}));
+}
+
+ag::Variable Linear::Forward(const ag::Variable& x) {
+  return ag::AddRowBroadcast(ag::MatMul(x, *weight_), *bias_);
+}
+
+Embedding::Embedding(int64_t vocab_size, int64_t dim, Rng& rng, float init_std)
+    : vocab_size_(vocab_size), dim_(dim) {
+  weight_ = RegisterParam("weight",
+                          Tensor::Randn({vocab_size, dim}, rng, init_std));
+}
+
+ag::Variable Embedding::Forward(const std::vector<int32_t>& ids) {
+  return ag::EmbeddingLookup(*weight_, ids);
+}
+
+LayerNorm::LayerNorm(int64_t dim, float eps) : eps_(eps) {
+  gamma_ = RegisterParam("gamma", Tensor::Ones({dim}));
+  beta_ = RegisterParam("beta", Tensor::Zeros({dim}));
+}
+
+ag::Variable LayerNorm::Forward(const ag::Variable& x) {
+  return ag::LayerNorm(x, *gamma_, *beta_, eps_);
+}
+
+FeedForward::FeedForward(int64_t dim, int64_t hidden_dim, Rng& rng)
+    : fc1_(dim, hidden_dim, rng), fc2_(hidden_dim, dim, rng) {
+  RegisterChild("fc1", &fc1_);
+  RegisterChild("fc2", &fc2_);
+}
+
+ag::Variable FeedForward::Forward(const ag::Variable& x) {
+  return fc2_.Forward(ag::Gelu(fc1_.Forward(x)));
+}
+
+}  // namespace tabrep::nn

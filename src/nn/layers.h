@@ -1,0 +1,75 @@
+#ifndef TABREP_NN_LAYERS_H_
+#define TABREP_NN_LAYERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace tabrep::nn {
+
+/// Affine map y = x W + b for 2-D inputs [n, in].
+class Linear : public Module {
+ public:
+  /// Initializes W ~ N(0, init_std^2), b = 0.
+  Linear(int64_t in_features, int64_t out_features, Rng& rng,
+         float init_std = 0.02f);
+
+  ag::Variable Forward(const ag::Variable& x);
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  ag::Variable* weight_;  // [in, out]
+  ag::Variable* bias_;    // [out]
+};
+
+/// Trainable lookup table: ids -> rows of a [vocab, dim] matrix.
+class Embedding : public Module {
+ public:
+  Embedding(int64_t vocab_size, int64_t dim, Rng& rng, float init_std = 0.02f);
+
+  ag::Variable Forward(const std::vector<int32_t>& ids);
+
+  /// The raw table, e.g. for weight tying with an output head.
+  ag::Variable& weight() { return *weight_; }
+  int64_t vocab_size() const { return vocab_size_; }
+  int64_t dim() const { return dim_; }
+
+ private:
+  int64_t vocab_size_;
+  int64_t dim_;
+  ag::Variable* weight_;
+};
+
+/// LayerNorm over the last axis with trainable gain/bias.
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(int64_t dim, float eps = 1e-5f);
+
+  ag::Variable Forward(const ag::Variable& x);
+
+ private:
+  float eps_;
+  ag::Variable* gamma_;
+  ag::Variable* beta_;
+};
+
+/// Position-wise feed-forward block: Linear -> GELU -> Linear.
+class FeedForward : public Module {
+ public:
+  FeedForward(int64_t dim, int64_t hidden_dim, Rng& rng);
+
+  ag::Variable Forward(const ag::Variable& x);
+
+ private:
+  Linear fc1_;
+  Linear fc2_;
+};
+
+}  // namespace tabrep::nn
+
+#endif  // TABREP_NN_LAYERS_H_

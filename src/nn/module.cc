@@ -1,0 +1,65 @@
+#include "nn/module.h"
+
+namespace tabrep::nn {
+
+std::vector<ag::Variable*> Module::Parameters() {
+  std::vector<ag::Variable*> out;
+  for (auto& [name, var] : params_) out.push_back(&var);
+  for (auto& [name, child] : children_) {
+    for (ag::Variable* p : child->Parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+int64_t Module::NumParameters() {
+  int64_t n = 0;
+  for (ag::Variable* p : Parameters()) n += p->numel();
+  return n;
+}
+
+void Module::SetTraining(bool training) {
+  training_ = training;
+  for (auto& [name, child] : children_) child->SetTraining(training);
+}
+
+void Module::ExportState(const std::string& prefix, TensorMap* out) {
+  for (auto& [name, var] : params_) {
+    (*out)[prefix + name] = var.value().Clone();
+  }
+  for (auto& [name, child] : children_) {
+    child->ExportState(prefix + name + "/", out);
+  }
+}
+
+Status Module::ImportState(const std::string& prefix, const TensorMap& state) {
+  for (auto& [name, var] : params_) {
+    auto it = state.find(prefix + name);
+    if (it == state.end()) {
+      return Status::NotFound("missing parameter: " + prefix + name);
+    }
+    if (!(it->second.shape() == var.value().shape())) {
+      return Status::InvalidArgument(
+          "shape mismatch for " + prefix + name + ": " +
+          ShapeToString(it->second.shape()) + " vs " +
+          ShapeToString(var.value().shape()));
+    }
+    var.mutable_value() = it->second.Clone();
+  }
+  for (auto& [name, child] : children_) {
+    TABREP_RETURN_IF_ERROR(child->ImportState(prefix + name + "/", state));
+  }
+  return Status::OK();
+}
+
+ag::Variable* Module::RegisterParam(const std::string& name, Tensor init) {
+  auto [it, inserted] =
+      params_.emplace(name, ag::Variable::Param(std::move(init)));
+  TABREP_CHECK(inserted) << "duplicate parameter: " << name;
+  return &it->second;
+}
+
+void Module::RegisterChild(const std::string& name, Module* child) {
+  children_.emplace_back(name, child);
+}
+
+}  // namespace tabrep::nn

@@ -1,0 +1,61 @@
+#ifndef TABREP_NN_MODULE_H_
+#define TABREP_NN_MODULE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tensor/autograd.h"
+#include "tensor/io.h"
+
+namespace tabrep::nn {
+
+/// Base class for neural network building blocks. Owns named parameters
+/// and child modules; supports recursive parameter collection and
+/// state-dict (de)serialization with slash-separated prefixes.
+///
+/// Modules are neither copyable nor movable: children register raw
+/// pointers into their parent.
+class Module {
+ public:
+  Module() = default;
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All trainable parameters, depth-first, this module's own first.
+  std::vector<ag::Variable*> Parameters();
+
+  /// Total scalar parameter count.
+  int64_t NumParameters();
+
+  /// Training mode toggles dropout etc.; propagates to children.
+  void SetTraining(bool training);
+  bool training() const { return training_; }
+
+  /// Copies parameter values into `out` under `prefix`.
+  void ExportState(const std::string& prefix, TensorMap* out);
+
+  /// Loads parameter values from `state` under `prefix`. Missing or
+  /// shape-mismatched entries fail.
+  Status ImportState(const std::string& prefix, const TensorMap& state);
+
+ protected:
+  /// Registers a trainable parameter; the returned pointer is stable
+  /// for the module's lifetime.
+  ag::Variable* RegisterParam(const std::string& name, Tensor init);
+
+  /// Registers a child module (not owned).
+  void RegisterChild(const std::string& name, Module* child);
+
+ private:
+  std::map<std::string, ag::Variable> params_;
+  std::vector<std::pair<std::string, Module*>> children_;
+  bool training_ = true;
+};
+
+}  // namespace tabrep::nn
+
+#endif  // TABREP_NN_MODULE_H_

@@ -1,0 +1,32 @@
+#ifndef TABREP_NN_SPARSE_INFERENCE_H_
+#define TABREP_NN_SPARSE_INFERENCE_H_
+
+#include "tensor/tensor.h"
+
+namespace tabrep::nn {
+
+/// Forward-only scaled dot-product attention kernels used by the
+/// efficiency study (bench_t2). The training path materializes dense
+/// [T, T] score matrices regardless of masking; these kernels show the
+/// inference-time saving a sparse pattern (MATE/TURL-style) enables.
+///
+/// All take q[T, d], k[T, d], v[T, d]; `bias` is the additive mask
+/// (0 = visible, <= kMaskedScore = masked).
+
+/// Dense reference: softmax(q k^T / sqrt(d) + bias) v, computing every
+/// pair.
+Tensor DenseAttentionForward(const Tensor& q, const Tensor& k,
+                             const Tensor& v, const Tensor* bias);
+
+/// Sparse kernel: per query row, only visible pairs are scored,
+/// softmax-normalized and accumulated — work is proportional to the
+/// number of visible pairs instead of T^2.
+Tensor SparseAttentionForward(const Tensor& q, const Tensor& k,
+                              const Tensor& v, const Tensor& bias);
+
+/// Number of visible (bias == 0) entries.
+int64_t CountVisiblePairs(const Tensor& bias);
+
+}  // namespace tabrep::nn
+
+#endif  // TABREP_NN_SPARSE_INFERENCE_H_

@@ -1,0 +1,114 @@
+#include "pretrain/masking.h"
+
+#include "common/logging.h"
+#include "text/vocab.h"
+
+namespace tabrep {
+
+namespace {
+
+bool IsMaskable(const TokenInfo& tok) {
+  return tok.kind == static_cast<int32_t>(TokenKind::kCell) ||
+         tok.kind == static_cast<int32_t>(TokenKind::kHeader);
+}
+
+/// Corrupts input token i per the 80/10/10 recipe and sets its target.
+void CorruptToken(TokenizedTable& input, std::vector<int32_t>& targets,
+                  size_t i, const MlmOptions& options, Rng& rng) {
+  TokenInfo& tok = input.tokens[i];
+  targets[i] = tok.id;
+  const double roll = rng.NextDouble();
+  if (roll < options.replace_with_mask) {
+    tok.id = SpecialTokens::kMaskId;
+  } else if (roll < options.replace_with_mask + options.replace_with_random) {
+    TABREP_CHECK(options.vocab_size > 0)
+        << "MlmOptions::vocab_size required for random replacement";
+    tok.id = static_cast<int32_t>(
+        rng.NextBelow(static_cast<uint64_t>(options.vocab_size)));
+  }  // else: keep original id; the model must still predict it.
+}
+
+}  // namespace
+
+MlmExample ApplyMlmMasking(const TokenizedTable& input,
+                           const MlmOptions& options, Rng& rng) {
+  MlmExample out;
+  out.input = input;
+  out.targets.assign(input.tokens.size(), kIgnoreTarget);
+
+  if (options.whole_cell) {
+    // Select cells; also allow header "pseudo cells" via token pass
+    // below when no grid cells exist.
+    for (const CellSpan& span : input.cells) {
+      if (!rng.NextBernoulli(options.mask_prob)) continue;
+      for (int32_t i = span.begin; i < span.end; ++i) {
+        CorruptToken(out.input, out.targets, static_cast<size_t>(i), options,
+                     rng);
+        ++out.num_masked;
+      }
+    }
+    if (out.num_masked == 0 && !input.cells.empty()) {
+      const CellSpan& span = input.cells[static_cast<size_t>(
+          rng.NextBelow(input.cells.size()))];
+      for (int32_t i = span.begin; i < span.end; ++i) {
+        CorruptToken(out.input, out.targets, static_cast<size_t>(i), options,
+                     rng);
+        ++out.num_masked;
+      }
+    }
+    return out;
+  }
+
+  // Token-level masking.
+  std::vector<size_t> maskable;
+  for (size_t i = 0; i < input.tokens.size(); ++i) {
+    if (IsMaskable(input.tokens[i])) maskable.push_back(i);
+  }
+  for (size_t i : maskable) {
+    if (rng.NextBernoulli(options.mask_prob)) {
+      CorruptToken(out.input, out.targets, i, options, rng);
+      ++out.num_masked;
+    }
+  }
+  if (out.num_masked == 0 && !maskable.empty()) {
+    const size_t i = maskable[rng.NextBelow(maskable.size())];
+    CorruptToken(out.input, out.targets, i, options, rng);
+    ++out.num_masked;
+  }
+  return out;
+}
+
+MerExample ApplyMerMasking(const TokenizedTable& input,
+                           const MerOptions& options, Rng& rng) {
+  MerExample out;
+  out.input = input;
+  out.cell_targets.assign(input.cells.size(), kIgnoreTarget);
+
+  std::vector<size_t> entity_cells;
+  for (size_t c = 0; c < input.cells.size(); ++c) {
+    if (input.cells[c].entity_id > EntityVocab::kEntMaskId) {
+      entity_cells.push_back(c);
+    }
+  }
+  auto mask_cell = [&](size_t c) {
+    const CellSpan& span = out.input.cells[c];
+    out.cell_targets[c] = span.entity_id;
+    for (int32_t i = span.begin; i < span.end; ++i) {
+      TokenInfo& tok = out.input.tokens[static_cast<size_t>(i)];
+      tok.id = SpecialTokens::kMaskId;
+      tok.entity_id = EntityVocab::kEntMaskId;
+    }
+    out.input.cells[c].entity_id = EntityVocab::kEntMaskId;
+    ++out.num_masked;
+  };
+
+  for (size_t c : entity_cells) {
+    if (rng.NextBernoulli(options.mask_prob)) mask_cell(c);
+  }
+  if (out.num_masked == 0 && !entity_cells.empty()) {
+    mask_cell(entity_cells[rng.NextBelow(entity_cells.size())]);
+  }
+  return out;
+}
+
+}  // namespace tabrep

@@ -1,0 +1,69 @@
+#ifndef TABREP_PRETRAIN_MASKING_H_
+#define TABREP_PRETRAIN_MASKING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "serialize/serializer.h"
+#include "table/corpus.h"
+
+namespace tabrep {
+
+/// Target value meaning "not selected; contributes no loss".
+inline constexpr int32_t kIgnoreTarget = -100;
+
+struct MlmOptions {
+  /// Probability that a maskable token is selected.
+  double mask_prob = 0.15;
+  /// Of the selected tokens: 80% -> [MASK], 10% -> random token,
+  /// 10% -> kept (the BERT recipe).
+  double replace_with_mask = 0.8;
+  double replace_with_random = 0.1;
+  /// Mask whole cells instead of independent tokens (whole-cell
+  /// masking is what table models typically do; token-level is the
+  /// plain-BERT ablation).
+  bool whole_cell = true;
+  /// Needed for the random-replacement branch.
+  int32_t vocab_size = 0;
+};
+
+/// A masked-language-modeling training example: the corrupted input
+/// plus per-token targets (kIgnoreTarget where no prediction is asked).
+struct MlmExample {
+  TokenizedTable input;
+  std::vector<int32_t> targets;
+  int64_t num_masked = 0;
+};
+
+/// Applies BERT-style masking to a serialized table. Special tokens
+/// ([CLS]/[SEP]) and context tokens are never masked; headers and cell
+/// tokens are. Guarantees at least one masked position when any
+/// position is maskable.
+MlmExample ApplyMlmMasking(const TokenizedTable& input,
+                           const MlmOptions& options, Rng& rng);
+
+struct MerOptions {
+  /// Probability that an entity cell is selected for recovery.
+  double mask_prob = 0.3;
+};
+
+/// A masked-entity-recovery example (TURL §3.3): selected entity cells
+/// have their tokens replaced by [MASK] and their entity channel set to
+/// ENT_MASK; targets give the original entity id per cell span
+/// (kIgnoreTarget for unselected cells).
+struct MerExample {
+  TokenizedTable input;
+  std::vector<int32_t> cell_targets;
+  int64_t num_masked = 0;
+};
+
+/// Applies entity masking. Cells without a linked entity are never
+/// selected. Guarantees at least one masked entity when any cell has
+/// one.
+MerExample ApplyMerMasking(const TokenizedTable& input,
+                           const MerOptions& options, Rng& rng);
+
+}  // namespace tabrep
+
+#endif  // TABREP_PRETRAIN_MASKING_H_

@@ -1,0 +1,134 @@
+#include "pretrain/tapex.h"
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace tabrep {
+
+std::vector<TapexExample> GenerateTapexExamples(const TableCorpus& corpus,
+                                                int64_t per_table, Rng& rng) {
+  sql::QueryGeneratorOptions options;
+  options.aggregate_prob = 0.0;  // bare SELECT: the answer is a cell
+  options.second_condition_prob = 0.3;
+  std::vector<TapexExample> out;
+  for (size_t ti = 0; ti < corpus.tables.size(); ++ti) {
+    const Table& t = corpus.tables[ti];
+    if (!t.HasHeader()) continue;
+    int64_t accepted = 0;
+    for (int64_t i = 0; i < per_table * 3 && accepted < per_table; ++i) {
+      auto generated = sql::GenerateQuery(t, rng, options);
+      if (!generated) continue;
+      // Require a unique matching row so the answer cell is unambiguous.
+      if (generated->result.rows.size() != 1) continue;
+      TapexExample ex;
+      ex.table_index = static_cast<int64_t>(ti);
+      ex.sql_text = generated->query.ToSql();
+      ex.answer_row = static_cast<int32_t>(generated->result.rows[0]);
+      ex.answer_col = static_cast<int32_t>(
+          t.ColumnIndex(generated->query.select_column));
+      out.push_back(std::move(ex));
+      ++accepted;
+    }
+  }
+  return out;
+}
+
+TapexTrainer::TapexTrainer(TableEncoderModel* model,
+                           const TableSerializer* serializer,
+                           TapexConfig config)
+    : model_(model),
+      serializer_(serializer),
+      config_(config),
+      rng_(config.seed),
+      head_(model->dim(), rng_) {
+  std::vector<ag::Variable*> params = model_->Parameters();
+  for (ag::Variable* p : head_.Parameters()) params.push_back(p);
+  optimizer_ = std::make_unique<nn::Adam>(std::move(params), config_.lr);
+}
+
+ag::Variable TapexTrainer::Forward(const Table& table, const TapexExample& ex,
+                                   Rng& rng, int64_t* gold_index, bool* ok) {
+  *ok = false;
+  // The SQL text rides in the context segment — the executor sees
+  // "SELECT ... WHERE ..." plus the serialized table.
+  TokenizedTable serialized = serializer_->Serialize(table, ex.sql_text);
+  *gold_index = -1;
+  for (size_t i = 0; i < serialized.cells.size(); ++i) {
+    if (serialized.cells[i].row == ex.answer_row &&
+        serialized.cells[i].col == ex.answer_col) {
+      *gold_index = static_cast<int64_t>(i);
+      break;
+    }
+  }
+  if (*gold_index < 0) return ag::Variable();
+  models::Encoded enc = model_->Encode(serialized, rng, /*need_cells=*/true);
+  if (!enc.has_cells) return ag::Variable();
+  *ok = true;
+  return head_.Forward(enc.cells);
+}
+
+double TapexTrainer::Train(const TableCorpus& corpus,
+                           const std::vector<TapexExample>& examples) {
+  TABREP_CHECK(!examples.empty());
+  model_->SetTraining(true);
+  head_.SetTraining(true);
+  std::vector<ag::Variable*> params = model_->Parameters();
+  for (ag::Variable* p : head_.Parameters()) params.push_back(p);
+
+  int64_t tail_correct = 0, tail_total = 0;
+  const int64_t tail_start = config_.steps * 3 / 4;
+  for (int64_t step = 0; step < config_.steps; ++step) {
+    optimizer_->ZeroGrad();
+    for (int64_t b = 0; b < config_.batch_size; ++b) {
+      const TapexExample& ex = examples[rng_.NextBelow(examples.size())];
+      int64_t gold = -1;
+      bool ok = false;
+      ag::Variable logits =
+          Forward(corpus.tables[static_cast<size_t>(ex.table_index)], ex,
+                  rng_, &gold, &ok);
+      if (!ok) continue;
+      int64_t correct = 0, counted = 0;
+      ag::Variable loss =
+          ag::CrossEntropy(logits, {static_cast<int32_t>(gold)}, -100,
+                           &correct, &counted);
+      ag::Backward(loss);
+      if (step >= tail_start) {
+        tail_correct += correct;
+        tail_total += counted;
+      }
+    }
+    nn::ClipGradNorm(params, config_.grad_clip);
+    optimizer_->Step();
+  }
+  return tail_total > 0 ? static_cast<double>(tail_correct) / tail_total
+                        : 0.0;
+}
+
+TensorMap TapexTrainer::ExportHead() {
+  TensorMap out;
+  head_.ExportState("cell_head/", &out);
+  return out;
+}
+
+double TapexTrainer::Evaluate(const TableCorpus& corpus,
+                              const std::vector<TapexExample>& examples) {
+  model_->SetTraining(false);
+  head_.SetTraining(false);
+  Rng eval_rng(config_.seed + 500);
+  int64_t correct = 0, total = 0;
+  for (const TapexExample& ex : examples) {
+    int64_t gold = -1;
+    bool ok = false;
+    ag::Variable logits =
+        Forward(corpus.tables[static_cast<size_t>(ex.table_index)], ex,
+                eval_rng, &gold, &ok);
+    if (!ok) continue;
+    ++total;
+    if (ops::ArgmaxRows(logits.value())[0] == gold) ++correct;
+  }
+  model_->SetTraining(true);
+  head_.SetTraining(true);
+  return total > 0 ? static_cast<double>(correct) / total : 0.0;
+}
+
+}  // namespace tabrep

@@ -1,0 +1,77 @@
+#ifndef TABREP_PRETRAIN_TAPEX_H_
+#define TABREP_PRETRAIN_TAPEX_H_
+
+#include <memory>
+#include <vector>
+
+#include "models/heads.h"
+#include "models/table_encoder.h"
+#include "nn/optimizer.h"
+#include "serialize/serializer.h"
+#include "sql/generator.h"
+#include "table/corpus.h"
+
+namespace tabrep {
+
+/// TAPEX-style pretraining (Liu et al. [27], demonstrated in the
+/// tutorial's §3): instead of masked-token reconstruction, the model is
+/// trained as a *neural SQL executor* — given a table and the SQL text
+/// of a query in the context segment, predict the answer. Our
+/// formulation restricts to queries whose answer is a single table
+/// cell (bare SELECT with a unique matching row) and predicts it with
+/// a cell-selection head, which keeps the objective encoder-only.
+struct TapexConfig {
+  int64_t steps = 200;
+  int64_t batch_size = 4;
+  float lr = 1e-3f;
+  float grad_clip = 1.0f;
+  uint64_t seed = 13;
+  /// Queries per table pre-generated as the training pool.
+  int64_t queries_per_table = 4;
+};
+
+/// One executor-training instance.
+struct TapexExample {
+  int64_t table_index = 0;
+  std::string sql_text;
+  int32_t answer_row = 0;
+  int32_t answer_col = 0;
+};
+
+/// Generates single-cell-answer SQL queries over a corpus.
+std::vector<TapexExample> GenerateTapexExamples(const TableCorpus& corpus,
+                                                int64_t per_table, Rng& rng);
+
+class TapexTrainer {
+ public:
+  TapexTrainer(TableEncoderModel* model, const TableSerializer* serializer,
+               TapexConfig config);
+
+  /// Trains the executor objective; returns final-window training
+  /// accuracy.
+  double Train(const TableCorpus& corpus,
+               const std::vector<TapexExample>& examples);
+
+  /// Answer-cell selection accuracy.
+  double Evaluate(const TableCorpus& corpus,
+                  const std::vector<TapexExample>& examples);
+
+  /// The trained cell-selection head's parameters, for transfer into a
+  /// downstream QA task (TAPEX reuses its executor output layer).
+  TensorMap ExportHead();
+
+ private:
+  ag::Variable Forward(const Table& table, const TapexExample& ex, Rng& rng,
+                       int64_t* gold_index, bool* ok);
+
+  TableEncoderModel* model_;
+  const TableSerializer* serializer_;
+  TapexConfig config_;
+  Rng rng_;
+  models::CellSelectionHead head_;
+  std::unique_ptr<nn::Adam> optimizer_;
+};
+
+}  // namespace tabrep
+
+#endif  // TABREP_PRETRAIN_TAPEX_H_

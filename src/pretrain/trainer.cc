@@ -1,0 +1,192 @@
+#include "pretrain/trainer.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace tabrep {
+
+PretrainTrainer::PretrainTrainer(TableEncoderModel* model,
+                                 const TableSerializer* serializer,
+                                 PretrainConfig config)
+    : model_(model),
+      serializer_(serializer),
+      config_(config),
+      rng_(config.seed),
+      mlm_head_(model, rng_) {
+  TABREP_CHECK(model_ != nullptr && serializer_ != nullptr);
+  config_.mlm.vocab_size =
+      static_cast<int32_t>(model_->config().vocab_size);
+  if (config_.use_mer) {
+    TABREP_CHECK(model_->config().family == ModelFamily::kTurl)
+        << "MER requires a kTurl model";
+    mer_head_ = std::make_unique<models::EntityRecoveryHead>(model_, rng_);
+  }
+  std::vector<ag::Variable*> params = model_->Parameters();
+  for (ag::Variable* p : mlm_head_.Parameters()) params.push_back(p);
+  if (mer_head_) {
+    for (ag::Variable* p : mer_head_->Parameters()) params.push_back(p);
+  }
+  optimizer_ = std::make_unique<nn::Adam>(std::move(params), config_.peak_lr);
+}
+
+PretrainTrainer::StepStats PretrainTrainer::RunExample(
+    const TokenizedTable& serialized, bool train, Rng& rng) {
+  StepStats stats;
+
+  // MLM pass.
+  {
+    MlmExample ex = ApplyMlmMasking(serialized, config_.mlm, rng);
+    if (ex.num_masked > 0) {
+      models::Encoded enc = model_->Encode(ex.input, rng, /*need_cells=*/false);
+      ag::Variable logits = mlm_head_.Forward(enc.hidden);
+      int64_t correct = 0, counted = 0;
+      ag::Variable loss = ag::CrossEntropy(logits, ex.targets, kIgnoreTarget,
+                                           &correct, &counted);
+      stats.mlm_loss = loss.value()[0];
+      stats.mlm_correct = correct;
+      stats.mlm_counted = counted;
+      if (train) ag::Backward(loss);
+    }
+  }
+
+  // MER pass (TURL's second objective).
+  if (mer_head_) {
+    MerExample ex = ApplyMerMasking(serialized, config_.mer, rng);
+    if (ex.num_masked > 0) {
+      models::Encoded enc = model_->Encode(ex.input, rng, /*need_cells=*/true);
+      if (enc.has_cells) {
+        ag::Variable logits = mer_head_->Forward(enc.cells);
+        int64_t correct = 0, counted = 0;
+        ag::Variable loss = ag::CrossEntropy(
+            logits, ex.cell_targets, kIgnoreTarget, &correct, &counted);
+        if (config_.mer_weight != 1.0f) {
+          loss = ag::MulScalar(loss, config_.mer_weight);
+        }
+        stats.mer_loss = loss.value()[0];
+        stats.mer_correct = correct;
+        stats.mer_counted = counted;
+        if (train) ag::Backward(loss);
+      }
+    }
+  }
+  return stats;
+}
+
+std::vector<PretrainLogEntry> PretrainTrainer::Train(
+    const TableCorpus& corpus) {
+  TABREP_CHECK(corpus.size() > 0) << "empty corpus";
+  model_->SetTraining(true);
+  mlm_head_.SetTraining(true);
+  if (mer_head_) mer_head_->SetTraining(true);
+
+  // Serialize every table once up front.
+  std::vector<TokenizedTable> serialized;
+  serialized.reserve(static_cast<size_t>(corpus.size()));
+  for (const Table& t : corpus.tables) {
+    serialized.push_back(serializer_->Serialize(t));
+  }
+
+  nn::WarmupLinearSchedule schedule(config_.peak_lr, config_.warmup_steps,
+                                    config_.steps);
+  std::vector<ag::Variable*> params = model_->Parameters();
+  for (ag::Variable* p : mlm_head_.Parameters()) params.push_back(p);
+  if (mer_head_) {
+    for (ag::Variable* p : mer_head_->Parameters()) params.push_back(p);
+  }
+
+  std::vector<PretrainLogEntry> log;
+  log.reserve(static_cast<size_t>(config_.steps));
+  for (int64_t step = 0; step < config_.steps; ++step) {
+    optimizer_->set_lr(schedule.LrAt(step));
+    optimizer_->ZeroGrad();
+    StepStats acc;
+    for (int64_t b = 0; b < config_.batch_size; ++b) {
+      const TokenizedTable& ex =
+          serialized[rng_.NextBelow(serialized.size())];
+      StepStats s = RunExample(ex, /*train=*/true, rng_);
+      acc.mlm_loss += s.mlm_loss;
+      acc.mlm_correct += s.mlm_correct;
+      acc.mlm_counted += s.mlm_counted;
+      acc.mer_loss += s.mer_loss;
+      acc.mer_correct += s.mer_correct;
+      acc.mer_counted += s.mer_counted;
+    }
+    nn::ClipGradNorm(params, config_.grad_clip);
+    optimizer_->Step();
+
+    PretrainLogEntry entry;
+    entry.step = step;
+    entry.lr = optimizer_->lr();
+    entry.mlm_loss =
+        static_cast<float>(acc.mlm_loss / config_.batch_size);
+    entry.mlm_accuracy =
+        acc.mlm_counted > 0
+            ? static_cast<float>(acc.mlm_correct) / acc.mlm_counted
+            : 0.0f;
+    entry.mer_loss = static_cast<float>(acc.mer_loss / config_.batch_size);
+    entry.mer_accuracy =
+        acc.mer_counted > 0
+            ? static_cast<float>(acc.mer_correct) / acc.mer_counted
+            : 0.0f;
+    if (config_.log_every > 0 && step % config_.log_every == 0) {
+      TABREP_LOG(Info) << "pretrain step " << step << " mlm_loss "
+                       << entry.mlm_loss << " mlm_acc " << entry.mlm_accuracy
+                       << (mer_head_ ? " mer_loss " : "")
+                       << (mer_head_ ? std::to_string(entry.mer_loss) : "");
+    }
+    log.push_back(entry);
+  }
+  return log;
+}
+
+PretrainEval PretrainTrainer::Evaluate(const TableCorpus& corpus,
+                                       int64_t max_tables) {
+  model_->SetTraining(false);
+  mlm_head_.SetTraining(false);
+  if (mer_head_) mer_head_->SetTraining(false);
+
+  Rng eval_rng(config_.seed + 1000);
+  StepStats acc;
+  int64_t n = 0;
+  double mlm_loss_sum = 0.0, mer_loss_sum = 0.0;
+  int64_t mlm_batches = 0, mer_batches = 0;
+  for (const Table& t : corpus.tables) {
+    if (n++ >= max_tables) break;
+    TokenizedTable serialized = serializer_->Serialize(t);
+    StepStats s = RunExample(serialized, /*train=*/false, eval_rng);
+    if (s.mlm_counted > 0) {
+      mlm_loss_sum += s.mlm_loss;
+      ++mlm_batches;
+      acc.mlm_correct += s.mlm_correct;
+      acc.mlm_counted += s.mlm_counted;
+    }
+    if (s.mer_counted > 0) {
+      mer_loss_sum += s.mer_loss;
+      ++mer_batches;
+      acc.mer_correct += s.mer_correct;
+      acc.mer_counted += s.mer_counted;
+    }
+  }
+  model_->SetTraining(true);
+  mlm_head_.SetTraining(true);
+  if (mer_head_) mer_head_->SetTraining(true);
+
+  PretrainEval eval;
+  eval.mlm_loss =
+      mlm_batches > 0 ? static_cast<float>(mlm_loss_sum / mlm_batches) : 0.0f;
+  eval.mlm_accuracy =
+      acc.mlm_counted > 0
+          ? static_cast<float>(acc.mlm_correct) / acc.mlm_counted
+          : 0.0f;
+  eval.mlm_perplexity = std::exp(eval.mlm_loss);
+  eval.mer_loss =
+      mer_batches > 0 ? static_cast<float>(mer_loss_sum / mer_batches) : 0.0f;
+  eval.mer_accuracy =
+      acc.mer_counted > 0
+          ? static_cast<float>(acc.mer_correct) / acc.mer_counted
+          : 0.0f;
+  return eval;
+}
+
+}  // namespace tabrep

@@ -1,0 +1,375 @@
+#include "serialize/serializer.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace tabrep {
+
+std::string_view LinearizationStrategyName(LinearizationStrategy s) {
+  switch (s) {
+    case LinearizationStrategy::kRowMajorSep:
+      return "row_major";
+    case LinearizationStrategy::kColumnMajorSep:
+      return "column_major";
+    case LinearizationStrategy::kTemplate:
+      return "template";
+    case LinearizationStrategy::kMarkdown:
+      return "markdown";
+  }
+  return "?";
+}
+
+std::string_view ContextPlacementName(ContextPlacement p) {
+  switch (p) {
+    case ContextPlacement::kNone:
+      return "none";
+    case ContextPlacement::kBefore:
+      return "before";
+    case ContextPlacement::kAfter:
+      return "after";
+  }
+  return "?";
+}
+
+std::vector<int32_t> TokenizedTable::ids() const {
+  std::vector<int32_t> out;
+  out.reserve(tokens.size());
+  for (const TokenInfo& t : tokens) out.push_back(t.id);
+  return out;
+}
+
+const CellSpan* TokenizedTable::FindCell(int32_t row, int32_t col) const {
+  for (const CellSpan& s : cells) {
+    if (s.row == row && s.col == col) return &s;
+  }
+  return nullptr;
+}
+
+std::vector<int32_t> NumericColumnRanks(const Table& table, int64_t col) {
+  std::vector<int32_t> ranks(static_cast<size_t>(table.num_rows()), 0);
+  std::vector<std::pair<double, int64_t>> vals;
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    const Value& v = table.cell(r, col);
+    if (v.is_numeric()) vals.emplace_back(v.ToNumber(), r);
+  }
+  // Require a mostly-numeric column, mirroring type inference.
+  if (vals.empty() ||
+      static_cast<double>(vals.size()) <
+          0.7 * static_cast<double>(table.num_rows())) {
+    return ranks;
+  }
+  std::sort(vals.begin(), vals.end());
+  int32_t rank = 0;
+  double prev = 0.0;
+  for (size_t i = 0; i < vals.size(); ++i) {
+    if (i == 0 || vals[i].first != prev) rank = static_cast<int32_t>(i) + 1;
+    prev = vals[i].first;
+    ranks[static_cast<size_t>(vals[i].second)] = rank;
+  }
+  return ranks;
+}
+
+namespace {
+
+/// Pre-wordpiece emission unit: either literal text to segment, or a
+/// special token id.
+struct Piece {
+  std::string text;        // used when special_id < 0
+  int32_t special_id = -1; // SpecialTokens id when >= 0
+  int32_t row = 0;
+  int32_t column = 0;
+  int32_t segment = 0;
+  int32_t kind = static_cast<int32_t>(TokenKind::kSpecial);
+  int32_t rank = 0;
+  int32_t entity_id = -1;
+  bool is_cell = false;  // contributes to a CellSpan
+  int32_t cell_row = -1;
+  int32_t cell_col = -1;
+};
+
+class PieceBuilder {
+ public:
+  explicit PieceBuilder(const Table& table) : table_(table) {
+    ranks_.reserve(static_cast<size_t>(table.num_columns()));
+    for (int64_t c = 0; c < table.num_columns(); ++c) {
+      ranks_.push_back(NumericColumnRanks(table, c));
+    }
+  }
+
+  void Special(int32_t id) {
+    Piece p;
+    p.special_id = id;
+    p.segment = segment_;
+    pieces_.push_back(std::move(p));
+  }
+
+  void Context(std::string_view text) {
+    if (text.empty()) return;
+    Piece p;
+    p.text = std::string(text);
+    p.segment = 0;
+    p.kind = static_cast<int32_t>(TokenKind::kContext);
+    pieces_.push_back(std::move(p));
+  }
+
+  void Header(int64_t col) {
+    const std::string& name = table_.column(col).name;
+    if (name.empty()) return;
+    Piece p;
+    p.text = name;
+    p.row = 0;
+    p.column = static_cast<int32_t>(col) + 1;
+    p.segment = 1;
+    p.kind = static_cast<int32_t>(TokenKind::kHeader);
+    pieces_.push_back(std::move(p));
+  }
+
+  void Cell(int64_t row, int64_t col) {
+    const Value& v = table_.cell(row, col);
+    Piece p;
+    if (v.is_null()) {
+      p.special_id = SpecialTokens::kEmptyId;
+    } else {
+      p.text = v.ToText();
+    }
+    p.row = static_cast<int32_t>(row) + 1;
+    p.column = static_cast<int32_t>(col) + 1;
+    p.segment = 1;
+    p.kind = static_cast<int32_t>(TokenKind::kCell);
+    p.rank = ranks_[static_cast<size_t>(col)][static_cast<size_t>(row)];
+    p.entity_id = v.is_entity() ? v.entity_id() : -1;
+    p.is_cell = true;
+    p.cell_row = static_cast<int32_t>(row);
+    p.cell_col = static_cast<int32_t>(col);
+    pieces_.push_back(std::move(p));
+  }
+
+  /// Connective words inside the table segment (template strategy).
+  void Glue(std::string_view text, int64_t row = -1, int64_t col = -1) {
+    Piece p;
+    p.text = std::string(text);
+    p.row = row >= 0 ? static_cast<int32_t>(row) + 1 : 0;
+    p.column = col >= 0 ? static_cast<int32_t>(col) + 1 : 0;
+    p.segment = 1;
+    p.kind = static_cast<int32_t>(TokenKind::kSpecial);
+    pieces_.push_back(std::move(p));
+  }
+
+  void set_segment(int32_t s) { segment_ = s; }
+
+  std::vector<Piece>& pieces() { return pieces_; }
+
+ private:
+  const Table& table_;
+  std::vector<std::vector<int32_t>> ranks_;
+  std::vector<Piece> pieces_;
+  int32_t segment_ = 0;
+};
+
+/// Builds the piece stream for one table per the chosen strategy.
+std::vector<Piece> BuildPieces(const Table& table, std::string_view question,
+                               const SerializerOptions& options) {
+  PieceBuilder b(table);
+
+  std::string context;
+  auto append_ctx = [&context](std::string_view part) {
+    if (part.empty()) return;
+    if (!context.empty()) context += " ";
+    context += std::string(part);
+  };
+  append_ctx(table.title());
+  if (table.caption() != table.title()) append_ctx(table.caption());
+  append_ctx(question);
+  if (options.context == ContextPlacement::kNone) context.clear();
+
+  const int64_t rows = table.num_rows();
+  const int64_t cols = table.num_columns();
+
+  if (options.add_cls) b.Special(SpecialTokens::kClsId);
+  if (options.context == ContextPlacement::kBefore && !context.empty()) {
+    b.Context(context);
+    b.Special(SpecialTokens::kSepId);
+  }
+  b.set_segment(1);
+
+  switch (options.strategy) {
+    case LinearizationStrategy::kRowMajorSep: {
+      if (options.include_header && table.HasHeader()) {
+        for (int64_t c = 0; c < cols; ++c) {
+          if (c) b.Glue("|");
+          b.Header(c);
+        }
+        b.Special(SpecialTokens::kSepId);
+      }
+      for (int64_t r = 0; r < rows; ++r) {
+        for (int64_t c = 0; c < cols; ++c) {
+          if (c) b.Glue("|", r);
+          b.Cell(r, c);
+        }
+        b.Special(SpecialTokens::kSepId);
+      }
+      break;
+    }
+    case LinearizationStrategy::kColumnMajorSep: {
+      for (int64_t c = 0; c < cols; ++c) {
+        if (options.include_header && table.HasHeader()) {
+          b.Header(c);
+          b.Glue(":", -1, c);
+        }
+        for (int64_t r = 0; r < rows; ++r) {
+          if (r) b.Glue("|", -1, c);
+          b.Cell(r, c);
+        }
+        b.Special(SpecialTokens::kSepId);
+      }
+      break;
+    }
+    case LinearizationStrategy::kTemplate: {
+      for (int64_t r = 0; r < rows; ++r) {
+        b.Glue("row", r);
+        b.Glue(std::to_string(r + 1), r);
+        b.Glue(":", r);
+        for (int64_t c = 0; c < cols; ++c) {
+          if (options.include_header && !table.column(c).name.empty()) {
+            b.Header(c);
+          } else {
+            b.Glue("column", r, c);
+            b.Glue(std::to_string(c + 1), r, c);
+          }
+          b.Glue("is", r, c);
+          b.Cell(r, c);
+          b.Glue(c + 1 < cols ? ";" : ".", r, c);
+        }
+      }
+      b.Special(SpecialTokens::kSepId);
+      break;
+    }
+    case LinearizationStrategy::kMarkdown: {
+      if (options.include_header && table.HasHeader()) {
+        b.Glue("|");
+        for (int64_t c = 0; c < cols; ++c) {
+          b.Header(c);
+          b.Glue("|");
+        }
+        b.Special(SpecialTokens::kSepId);
+      }
+      for (int64_t r = 0; r < rows; ++r) {
+        b.Glue("|", r);
+        for (int64_t c = 0; c < cols; ++c) {
+          b.Cell(r, c);
+          b.Glue("|", r);
+        }
+        b.Special(SpecialTokens::kSepId);
+      }
+      break;
+    }
+  }
+
+  if (options.context == ContextPlacement::kAfter && !context.empty()) {
+    b.set_segment(0);
+    b.Context(context);
+    b.Special(SpecialTokens::kSepId);
+  }
+  return std::move(b.pieces());
+}
+
+}  // namespace
+
+TableSerializer::TableSerializer(const WordPieceTokenizer* tokenizer,
+                                 SerializerOptions options)
+    : tokenizer_(tokenizer), options_(options) {
+  TABREP_CHECK(tokenizer_ != nullptr);
+}
+
+TokenizedTable TableSerializer::Serialize(const Table& table,
+                                          std::string_view question) const {
+  // Data filtering step: clip the grid before serializing.
+  Table filtered = table;
+  if (table.num_columns() > options_.max_columns) {
+    std::vector<int64_t> keep;
+    for (int64_t c = 0; c < options_.max_columns; ++c) keep.push_back(c);
+    filtered = filtered.ProjectColumns(keep);
+  }
+  if (filtered.num_rows() > options_.max_rows) {
+    filtered = filtered.SliceRows(0, options_.max_rows);
+  }
+
+  TokenizedTable out;
+  out.table_id = table.id();
+  out.used_rows = filtered.num_rows();
+  out.used_columns = filtered.num_columns();
+
+  CellSpan current;
+  bool in_cell = false;
+  auto close_cell = [&](int32_t end) {
+    if (in_cell) {
+      current.end = end;
+      out.cells.push_back(current);
+      in_cell = false;
+    }
+  };
+
+  for (const Piece& piece : BuildPieces(filtered, question, options_)) {
+    std::vector<int32_t> ids;
+    if (piece.special_id >= 0) {
+      ids.push_back(piece.special_id);
+    } else {
+      ids = tokenizer_->Encode(piece.text);
+      if (ids.empty()) ids.push_back(SpecialTokens::kEmptyId);
+    }
+    if (piece.is_cell) {
+      close_cell(static_cast<int32_t>(out.tokens.size()));
+      current = CellSpan{piece.cell_row, piece.cell_col,
+                         static_cast<int32_t>(out.tokens.size()), 0,
+                         piece.entity_id};
+      in_cell = true;
+    }
+    for (int32_t id : ids) {
+      TokenInfo info;
+      info.id = id;
+      info.row = piece.row;
+      info.column = piece.column;
+      info.segment = piece.segment;
+      info.kind = piece.kind;
+      info.rank = piece.rank;
+      info.entity_id = piece.entity_id;
+      out.tokens.push_back(info);
+    }
+    if (piece.is_cell) close_cell(static_cast<int32_t>(out.tokens.size()));
+  }
+  close_cell(static_cast<int32_t>(out.tokens.size()));
+
+  if (out.size() > options_.max_tokens) {
+    out.tokens.resize(static_cast<size_t>(options_.max_tokens));
+    out.truncated = true;
+    const int32_t limit = static_cast<int32_t>(options_.max_tokens);
+    std::vector<CellSpan> kept;
+    for (CellSpan s : out.cells) {
+      if (s.begin >= limit) continue;
+      s.end = std::min(s.end, limit);
+      kept.push_back(s);
+    }
+    out.cells = std::move(kept);
+  }
+  return out;
+}
+
+std::string TableSerializer::LinearizeToString(
+    const Table& table, std::string_view question) const {
+  std::ostringstream os;
+  bool first = true;
+  for (const Piece& piece : BuildPieces(table, question, options_)) {
+    if (!first) os << " ";
+    first = false;
+    if (piece.special_id >= 0) {
+      os << SpecialTokens::All()[static_cast<size_t>(piece.special_id)];
+    } else {
+      os << piece.text;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace tabrep

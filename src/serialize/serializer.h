@@ -1,0 +1,135 @@
+#ifndef TABREP_SERIALIZE_SERIALIZER_H_
+#define TABREP_SERIALIZE_SERIALIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "table/corpus.h"
+#include "table/table.h"
+#include "text/wordpiece.h"
+
+namespace tabrep {
+
+/// How a 2-D table is flattened into a 1-D token sequence — the paper's
+/// "Table Serialization" dimension (§2.2(2)).
+enum class LinearizationStrategy {
+  /// [CLS] ctx [SEP] h1 | h2 | h3 [SEP] c11 | c12 | c13 [SEP] c21 ...
+  kRowMajorSep,
+  /// [CLS] ctx [SEP] h1 : c11 | c21 ... [SEP] h2 : c12 | c22 ...
+  kColumnMajorSep,
+  /// "row one : Country is Australia ; Capital is Sydney ; ..." —
+  /// the natural-language template of Fig. 2b(2).
+  kTemplate,
+  /// GitHub-markdown-style pipes, rows on separate [SEP] segments.
+  kMarkdown,
+};
+
+std::string_view LinearizationStrategyName(LinearizationStrategy s);
+
+/// Where the textual context (title/caption/question) goes relative to
+/// the serialized table — the ablation several surveyed papers run.
+enum class ContextPlacement { kNone, kBefore, kAfter };
+
+std::string_view ContextPlacementName(ContextPlacement p);
+
+/// What a token is, used as the "type" embedding channel (Fig. 2b:
+/// header / subject / object...).
+enum class TokenKind : int32_t {
+  kSpecial = 0,
+  kContext = 1,
+  kHeader = 2,
+  kCell = 3,
+};
+inline constexpr int32_t kNumTokenKinds = 4;
+
+struct SerializerOptions {
+  LinearizationStrategy strategy = LinearizationStrategy::kRowMajorSep;
+  ContextPlacement context = ContextPlacement::kBefore;
+  /// Hard cap on sequence length (transformer input limit). Longer
+  /// serializations are truncated; truncation never splits the [CLS].
+  int64_t max_tokens = 256;
+  /// Data filtering (§2.2: "Data Retrieval and Filtering"): rows and
+  /// columns beyond these are dropped before serialization.
+  int64_t max_rows = 32;
+  int64_t max_columns = 8;
+  bool include_header = true;
+  /// Prepend [CLS]; required by models that pool from it.
+  bool add_cls = true;
+};
+
+/// One input token with its structural coordinates. Row/column follow
+/// the TAPAS convention: 0 means "not part of the grid" (context,
+/// specials); headers are row 0 with their column; data cells are
+/// (row_index + 1, col_index + 1).
+struct TokenInfo {
+  int32_t id = 0;          // wordpiece id
+  int32_t row = 0;         // 0 = none/header, 1.. = data row
+  int32_t column = 0;      // 0 = none, 1.. = table column
+  int32_t segment = 0;     // 0 = context, 1 = table
+  int32_t kind = 0;        // TokenKind
+  int32_t rank = 0;        // numeric rank within column (1 = smallest)
+  int32_t entity_id = -1;  // entity vocab id when the cell is linked
+};
+
+/// Token span [begin, end) of one grid cell in the serialized sequence.
+struct CellSpan {
+  int32_t row = 0;   // data row index (0-based into the table)
+  int32_t col = 0;   // column index (0-based)
+  int32_t begin = 0;
+  int32_t end = 0;
+  int32_t entity_id = -1;
+};
+
+/// The serialized table: ids plus per-token structure plus the
+/// cell-to-span alignment that cell-level objectives need.
+struct TokenizedTable {
+  std::string table_id;
+  std::vector<TokenInfo> tokens;
+  std::vector<CellSpan> cells;
+  /// Rows/columns surviving the filtering step.
+  int64_t used_rows = 0;
+  int64_t used_columns = 0;
+  /// True if the serialization hit max_tokens and was cut.
+  bool truncated = false;
+
+  int64_t size() const { return static_cast<int64_t>(tokens.size()); }
+  std::vector<int32_t> ids() const;
+  /// Span for a grid cell, or nullptr if it was filtered/truncated away.
+  const CellSpan* FindCell(int32_t row, int32_t col) const;
+};
+
+/// Turns Tables into model inputs using a WordPiece tokenizer.
+/// Stateless and const after construction; cheap to share.
+class TableSerializer {
+ public:
+  TableSerializer(const WordPieceTokenizer* tokenizer,
+                  SerializerOptions options = {});
+
+  /// Serializes `table`, optionally concatenating a natural-language
+  /// `question` into the context segment (the QA setting of Fig. 1).
+  TokenizedTable Serialize(const Table& table,
+                           std::string_view question = "") const;
+
+  /// The human-readable linearization before wordpiece segmentation
+  /// (what Fig. 2b prints). Useful for demos and debugging.
+  std::string LinearizeToString(const Table& table,
+                                std::string_view question = "") const;
+
+  const SerializerOptions& options() const { return options_; }
+  const WordPieceTokenizer* tokenizer() const { return tokenizer_; }
+
+ private:
+  const WordPieceTokenizer* tokenizer_;  // not owned
+  SerializerOptions options_;
+};
+
+/// Ranks of numeric cells within one column: result[r] is the 1-based
+/// rank of row r's value (ties share the lower rank), or 0 for
+/// non-numeric/null cells. Non-numeric columns give all zeros.
+std::vector<int32_t> NumericColumnRanks(const Table& table, int64_t col);
+
+}  // namespace tabrep
+
+#endif  // TABREP_SERIALIZE_SERIALIZER_H_

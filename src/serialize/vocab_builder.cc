@@ -1,0 +1,27 @@
+#include "serialize/vocab_builder.h"
+
+namespace tabrep {
+
+Vocab BuildCorpusVocab(const TableCorpus& corpus,
+                       WordPieceTrainerOptions options) {
+  WordPieceTrainer trainer(options);
+  for (const std::string& text : corpus.AllText()) {
+    trainer.AddDocument(text);
+  }
+  // Serializer glue literals, weighted so they always earn whole-token
+  // status.
+  const char* kGlue[] = {"row", "column", "is", "|", ":", ";", ".", ","};
+  for (const char* g : kGlue) trainer.AddWord(g, 1000);
+  for (int d = 0; d <= 9; ++d) trainer.AddWord(std::to_string(d), 100);
+  for (int n = 1; n <= 64; ++n) trainer.AddWord(std::to_string(n), 50);
+  return trainer.Train();
+}
+
+WordPieceTokenizer BuildCorpusTokenizer(const TableCorpus& corpus,
+                                        WordPieceTrainerOptions options) {
+  WordPieceTokenizerOptions tok_options;
+  tok_options.pre_tokenizer = options.pre_tokenizer;
+  return WordPieceTokenizer(BuildCorpusVocab(corpus, options), tok_options);
+}
+
+}  // namespace tabrep

@@ -1,0 +1,23 @@
+#ifndef TABREP_SERIALIZE_VOCAB_BUILDER_H_
+#define TABREP_SERIALIZE_VOCAB_BUILDER_H_
+
+#include "table/corpus.h"
+#include "text/wordpiece.h"
+
+namespace tabrep {
+
+/// Trains a WordPiece vocabulary over everything a serialized table can
+/// contain: corpus titles, captions, headers, cell text, plus the
+/// serializer's glue literals ("row", "is", "|", ":", digits, ...), so
+/// segmentation of any serialization of corpus tables never produces
+/// spurious [UNK]s.
+Vocab BuildCorpusVocab(const TableCorpus& corpus,
+                       WordPieceTrainerOptions options = {});
+
+/// Convenience: BuildCorpusVocab wrapped into a ready tokenizer.
+WordPieceTokenizer BuildCorpusTokenizer(const TableCorpus& corpus,
+                                        WordPieceTrainerOptions options = {});
+
+}  // namespace tabrep
+
+#endif  // TABREP_SERIALIZE_VOCAB_BUILDER_H_

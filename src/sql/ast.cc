@@ -1,0 +1,109 @@
+#include "sql/ast.h"
+
+#include <cmath>
+
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace tabrep::sql {
+
+std::string_view AggregateName(Aggregate agg) {
+  switch (agg) {
+    case Aggregate::kNone:
+      return "";
+    case Aggregate::kCount:
+      return "COUNT";
+    case Aggregate::kMin:
+      return "MIN";
+    case Aggregate::kMax:
+      return "MAX";
+    case Aggregate::kSum:
+      return "SUM";
+    case Aggregate::kAvg:
+      return "AVG";
+  }
+  return "";
+}
+
+std::string_view CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+std::string LiteralToSql(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kInt:
+    case ValueType::kBool:
+      return v.ToText();
+    case ValueType::kDouble: {
+      // 17 significant digits make the text parse back to the exact
+      // same double; keep a decimal point so the type round-trips too.
+      std::string text = FormatDouble(v.AsDouble(), 17);
+      if (text.find('.') == std::string::npos &&
+          text.find('e') == std::string::npos) {
+        text += ".0";
+      }
+      return text;
+    }
+    default: {
+      // Single-quote, escaping embedded quotes by doubling.
+      std::string out = "'";
+      for (char c : v.ToText()) {
+        if (c == '\'') out += "''";
+        else out.push_back(c);
+      }
+      out += "'";
+      return out;
+    }
+  }
+}
+
+std::string IdentToSql(std::string_view ident) {
+  bool plain = !ident.empty();
+  for (char c : ident) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    plain = plain && ok;
+  }
+  if (plain) return std::string(ident);
+  std::string out = "\"";
+  for (char c : ident) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+std::string Query::ToSql() const {
+  std::ostringstream os;
+  os << "SELECT ";
+  if (aggregate != Aggregate::kNone) {
+    os << AggregateName(aggregate) << "(" << IdentToSql(select_column) << ")";
+  } else {
+    os << IdentToSql(select_column);
+  }
+  os << " FROM t";
+  for (size_t i = 0; i < where.size(); ++i) {
+    os << (i == 0 ? " WHERE " : " AND ");
+    os << IdentToSql(where[i].column) << " " << CompareOpName(where[i].op)
+       << " " << LiteralToSql(where[i].literal);
+  }
+  return os.str();
+}
+
+}  // namespace tabrep::sql

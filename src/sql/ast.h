@@ -1,0 +1,67 @@
+#ifndef TABREP_SQL_AST_H_
+#define TABREP_SQL_AST_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "table/value.h"
+
+namespace tabrep::sql {
+
+/// Aggregate applied to the selected column. kNone selects the bare
+/// cell values.
+enum class Aggregate { kNone = 0, kCount, kMin, kMax, kSum, kAvg };
+inline constexpr int32_t kNumAggregates = 6;
+
+std::string_view AggregateName(Aggregate agg);
+
+/// Comparison operator of a WHERE condition.
+enum class CompareOp { kEq = 0, kNe, kLt, kGt, kLe, kGe };
+inline constexpr int32_t kNumCompareOps = 6;
+
+std::string_view CompareOpName(CompareOp op);
+
+/// One WHERE conjunct: <column> <op> <literal>.
+struct Condition {
+  std::string column;
+  CompareOp op = CompareOp::kEq;
+  Value literal;
+
+  bool operator==(const Condition& other) const {
+    return column == other.column && op == other.op &&
+           literal == other.literal;
+  }
+};
+
+/// A WikiSQL-class query:
+///   SELECT [agg](<column>) FROM t [WHERE c1 AND c2 ...]
+/// — single table, single select column, conjunctive equality and
+/// comparison filters. This is exactly the query class the WikiSQL
+/// dataset (and the tutorial's semantic-parsing discussion) covers.
+struct Query {
+  Aggregate aggregate = Aggregate::kNone;
+  std::string select_column;
+  std::vector<Condition> where;
+
+  /// Canonical SQL text, e.g.
+  ///   SELECT MAX(Population) FROM t WHERE Continent = 'Europe'.
+  std::string ToSql() const;
+
+  bool operator==(const Query& other) const {
+    return aggregate == other.aggregate &&
+           select_column == other.select_column && where == other.where;
+  }
+};
+
+/// Renders a literal for SQL text ('quoted' strings, bare numbers).
+std::string LiteralToSql(const Value& v);
+
+/// Renders an identifier, double-quoting when it contains characters
+/// outside [A-Za-z0-9_].
+std::string IdentToSql(std::string_view ident);
+
+}  // namespace tabrep::sql
+
+#endif  // TABREP_SQL_AST_H_

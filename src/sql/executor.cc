@@ -1,0 +1,138 @@
+#include "sql/executor.h"
+
+#include <algorithm>
+#include <optional>
+
+namespace tabrep::sql {
+
+namespace {
+
+/// Three-way comparison outcome for cell vs literal, or nullopt when
+/// the pair is incomparable.
+std::optional<int> Compare(const Value& cell, const Value& literal) {
+  if (cell.is_null() || literal.is_null()) return std::nullopt;
+  const bool both_numeric =
+      (cell.is_numeric() || cell.type() == ValueType::kBool) &&
+      (literal.is_numeric() || literal.type() == ValueType::kBool);
+  if (both_numeric) {
+    const double a = cell.ToNumber();
+    const double b = literal.ToNumber();
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  const std::string a = cell.ToText();
+  const std::string b = literal.ToText();
+  if (a < b) return -1;
+  if (a > b) return 1;
+  return 0;
+}
+
+}  // namespace
+
+bool MatchesCondition(const Value& cell, CompareOp op, const Value& literal) {
+  std::optional<int> cmp = Compare(cell, literal);
+  if (!cmp) return false;
+  switch (op) {
+    case CompareOp::kEq:
+      return *cmp == 0;
+    case CompareOp::kNe:
+      return *cmp != 0;
+    case CompareOp::kLt:
+      return *cmp < 0;
+    case CompareOp::kGt:
+      return *cmp > 0;
+    case CompareOp::kLe:
+      return *cmp <= 0;
+    case CompareOp::kGe:
+      return *cmp >= 0;
+  }
+  return false;
+}
+
+Result<QueryResult> Execute(const Query& query, const Table& table) {
+  const int64_t select_col = table.ColumnIndex(query.select_column);
+  if (select_col < 0) {
+    return Status::NotFound("unknown column: " + query.select_column);
+  }
+  std::vector<int64_t> where_cols;
+  for (const Condition& cond : query.where) {
+    const int64_t c = table.ColumnIndex(cond.column);
+    if (c < 0) return Status::NotFound("unknown column: " + cond.column);
+    where_cols.push_back(c);
+  }
+
+  QueryResult result;
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    bool match = true;
+    for (size_t i = 0; i < query.where.size(); ++i) {
+      if (!MatchesCondition(table.cell(r, where_cols[i]), query.where[i].op,
+                            query.where[i].literal)) {
+        match = false;
+        break;
+      }
+    }
+    if (match) result.rows.push_back(r);
+  }
+
+  if (query.aggregate == Aggregate::kNone) {
+    for (int64_t r : result.rows) {
+      result.values.push_back(table.cell(r, select_col));
+    }
+    return result;
+  }
+
+  if (query.aggregate == Aggregate::kCount) {
+    // COUNT counts non-null selected cells of matching rows.
+    int64_t n = 0;
+    for (int64_t r : result.rows) {
+      if (!table.cell(r, select_col).is_null()) ++n;
+    }
+    result.values.push_back(Value::Int(n));
+    return result;
+  }
+
+  // Numeric aggregates.
+  std::vector<double> nums;
+  for (int64_t r : result.rows) {
+    const Value& v = table.cell(r, select_col);
+    if (v.is_null()) continue;
+    if (!v.is_numeric()) {
+      return Status::InvalidArgument(
+          "aggregate over non-numeric column: " + query.select_column);
+    }
+    nums.push_back(v.ToNumber());
+  }
+  if (nums.empty()) {
+    result.values.push_back(Value::Null());
+    return result;
+  }
+  double out = 0.0;
+  switch (query.aggregate) {
+    case Aggregate::kMin:
+      out = *std::min_element(nums.begin(), nums.end());
+      break;
+    case Aggregate::kMax:
+      out = *std::max_element(nums.begin(), nums.end());
+      break;
+    case Aggregate::kSum:
+      for (double v : nums) out += v;
+      break;
+    case Aggregate::kAvg: {
+      for (double v : nums) out += v;
+      out /= static_cast<double>(nums.size());
+      break;
+    }
+    default:
+      return Status::Internal("unhandled aggregate");
+  }
+  // Preserve integerness when exact.
+  if (out == static_cast<double>(static_cast<int64_t>(out))) {
+    result.values.push_back(Value::Int(static_cast<int64_t>(out)));
+  } else {
+    result.values.push_back(Value::Double(out));
+  }
+  return result;
+}
+
+}  // namespace tabrep::sql

@@ -1,0 +1,42 @@
+#ifndef TABREP_SQL_EXECUTOR_H_
+#define TABREP_SQL_EXECUTOR_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "sql/ast.h"
+#include "table/table.h"
+
+namespace tabrep::sql {
+
+/// Result of executing a Query: the selected values (one per matching
+/// row) or, for aggregates, a single value.
+struct QueryResult {
+  std::vector<Value> values;
+  /// Rows that satisfied the WHERE clause, in table order. For
+  /// non-aggregate queries values[i] came from rows[i]; for aggregates
+  /// these are the rows aggregated over.
+  std::vector<int64_t> rows;
+
+  bool empty() const { return values.empty(); }
+  /// Text of the first value ("" when empty) — the common
+  /// single-answer case.
+  std::string FirstText() const {
+    return values.empty() ? std::string() : values.front().ToText();
+  }
+};
+
+/// Evaluates `query` against `table`. Errors on unknown columns,
+/// aggregates over non-numeric columns (except COUNT), or type
+/// mismatches in comparisons. NULL cells never satisfy a condition and
+/// are skipped by aggregates.
+Result<QueryResult> Execute(const Query& query, const Table& table);
+
+/// True when `cell` satisfies `op literal` under SQL-ish semantics:
+/// numeric comparison when both sides are numeric, string comparison
+/// otherwise; NULL matches nothing.
+bool MatchesCondition(const Value& cell, CompareOp op, const Value& literal);
+
+}  // namespace tabrep::sql
+
+#endif  // TABREP_SQL_EXECUTOR_H_

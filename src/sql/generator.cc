@@ -1,0 +1,165 @@
+#include "sql/generator.h"
+
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace tabrep::sql {
+
+namespace {
+
+bool NumericColumn(const Table& table, int64_t c) {
+  return table.column(c).type == ColumnType::kNumeric;
+}
+
+/// Columns with at least one non-null cell.
+std::vector<int64_t> UsableColumns(const Table& table) {
+  std::vector<int64_t> out;
+  for (int64_t c = 0; c < table.num_columns(); ++c) {
+    if (table.column(c).name.empty()) continue;
+    for (int64_t r = 0; r < table.num_rows(); ++r) {
+      if (!table.cell(r, c).is_null()) {
+        out.push_back(c);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string OpPhrase(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "is";
+    case CompareOp::kNe:
+      return "is not";
+    case CompareOp::kLt:
+      return "is less than";
+    case CompareOp::kGt:
+      return "is greater than";
+    case CompareOp::kLe:
+      return "is at most";
+    case CompareOp::kGe:
+      return "is at least";
+  }
+  return "is";
+}
+
+std::string AggPhrase(Aggregate agg) {
+  switch (agg) {
+    case Aggregate::kNone:
+      return "what is the";
+    case Aggregate::kCount:
+      return "how many rows have a";
+    case Aggregate::kMin:
+      return "what is the minimum";
+    case Aggregate::kMax:
+      return "what is the maximum";
+    case Aggregate::kSum:
+      return "what is the total";
+    case Aggregate::kAvg:
+      return "what is the average";
+  }
+  return "what is the";
+}
+
+}  // namespace
+
+std::string QueryToQuestion(const Query& query) {
+  std::string out = AggPhrase(query.aggregate) + " " +
+                    ToLowerAscii(query.select_column);
+  for (size_t i = 0; i < query.where.size(); ++i) {
+    out += i == 0 ? " when " : " and ";
+    out += ToLowerAscii(query.where[i].column) + " " +
+           OpPhrase(query.where[i].op) + " " +
+           ToLowerAscii(query.where[i].literal.ToText());
+  }
+  return out;
+}
+
+std::optional<GeneratedQuery> GenerateQuery(
+    const Table& table, Rng& rng, const QueryGeneratorOptions& options) {
+  std::vector<int64_t> usable = UsableColumns(table);
+  if (usable.empty() || table.num_rows() == 0) return std::nullopt;
+
+  for (int attempt = 0; attempt < options.max_attempts; ++attempt) {
+    Query query;
+
+    // Pick the select column; aggregates other than COUNT need numeric.
+    const bool aggregate = rng.NextBernoulli(options.aggregate_prob);
+    if (aggregate) {
+      std::vector<Aggregate> candidates{Aggregate::kCount};
+      for (int64_t c : usable) {
+        if (NumericColumn(table, c)) {
+          candidates.insert(candidates.end(),
+                            {Aggregate::kMin, Aggregate::kMax, Aggregate::kSum,
+                             Aggregate::kAvg});
+          break;
+        }
+      }
+      query.aggregate = candidates[rng.NextBelow(candidates.size())];
+    }
+    std::vector<int64_t> select_candidates;
+    for (int64_t c : usable) {
+      const bool needs_numeric = query.aggregate != Aggregate::kNone &&
+                                 query.aggregate != Aggregate::kCount;
+      if (!needs_numeric || NumericColumn(table, c)) {
+        select_candidates.push_back(c);
+      }
+    }
+    if (select_candidates.empty()) continue;
+    const int64_t select_col =
+        select_candidates[rng.NextBelow(select_candidates.size())];
+    query.select_column = table.column(select_col).name;
+
+    // WHERE: 1 or 2 conditions anchored at actual cell values so the
+    // query is satisfiable.
+    const int conditions =
+        1 + (rng.NextBernoulli(options.second_condition_prob) ? 1 : 0);
+    bool ok = true;
+    std::vector<std::pair<int32_t, int32_t>> anchors;
+    for (int i = 0; i < conditions && ok; ++i) {
+      const int64_t col = usable[rng.NextBelow(usable.size())];
+      const int64_t row = static_cast<int64_t>(
+          rng.NextBelow(static_cast<uint64_t>(table.num_rows())));
+      const Value& anchor = table.cell(row, col);
+      if (anchor.is_null()) {
+        ok = false;
+        break;
+      }
+      Condition cond;
+      cond.column = table.column(col).name;
+      // SQL literals have no entity notion; use the surface string.
+      cond.literal =
+          anchor.is_entity() ? Value::String(anchor.AsString()) : anchor;
+      if (options.allow_inequalities && NumericColumn(table, col) &&
+          rng.NextBernoulli(0.4)) {
+        const CompareOp ops[] = {CompareOp::kLt, CompareOp::kGt,
+                                 CompareOp::kLe, CompareOp::kGe};
+        cond.op = ops[rng.NextBelow(4)];
+      } else {
+        cond.op = CompareOp::kEq;
+      }
+      query.where.push_back(std::move(cond));
+      anchors.emplace_back(static_cast<int32_t>(row),
+                           static_cast<int32_t>(col));
+    }
+    if (!ok) continue;
+
+    Result<QueryResult> result = Execute(query, table);
+    if (!result.ok()) continue;
+    if (options.require_nonempty_result &&
+        (result->empty() || result->values.front().is_null())) {
+      continue;
+    }
+    GeneratedQuery out;
+    out.query = std::move(query);
+    out.question = QueryToQuestion(out.query);
+    out.result = std::move(*result);
+    out.anchors = std::move(anchors);
+    return out;
+  }
+  return std::nullopt;
+}
+
+}  // namespace tabrep::sql

@@ -1,0 +1,50 @@
+#ifndef TABREP_SQL_GENERATOR_H_
+#define TABREP_SQL_GENERATOR_H_
+
+#include <optional>
+#include <string>
+
+#include "common/rng.h"
+#include "sql/ast.h"
+#include "sql/executor.h"
+#include "table/table.h"
+
+namespace tabrep::sql {
+
+struct QueryGeneratorOptions {
+  /// Probability that the query carries an aggregate (vs bare select).
+  double aggregate_prob = 0.5;
+  /// Probability of a second WHERE conjunct.
+  double second_condition_prob = 0.2;
+  /// Allow inequality operators on numeric columns (vs equality only).
+  bool allow_inequalities = true;
+  /// Reject queries whose result is empty or NULL.
+  bool require_nonempty_result = true;
+  int max_attempts = 20;
+};
+
+/// A generated training instance: the query, a natural-language
+/// rendering ("what is the maximum population when continent is
+/// europe"), its execution result on the source table, and the cell
+/// each WHERE literal was anchored at (used as the supervision signal
+/// by span/cell-based semantic parsers).
+struct GeneratedQuery {
+  Query query;
+  std::string question;
+  QueryResult result;
+  /// (row, col) of the anchor cell of where[i].
+  std::vector<std::pair<int32_t, int32_t>> anchors;
+};
+
+/// Samples a valid query over `table`, biased toward answerable,
+/// non-degenerate queries. Returns nullopt when the table offers no
+/// usable columns (e.g. empty or all-null).
+std::optional<GeneratedQuery> GenerateQuery(
+    const Table& table, Rng& rng, const QueryGeneratorOptions& options = {});
+
+/// Renders a query as a WikiSQL-style natural-language question.
+std::string QueryToQuestion(const Query& query);
+
+}  // namespace tabrep::sql
+
+#endif  // TABREP_SQL_GENERATOR_H_

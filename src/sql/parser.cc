@@ -1,0 +1,283 @@
+#include "sql/parser.h"
+
+#include <cctype>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace tabrep::sql {
+
+namespace {
+
+enum class TokenType {
+  kKeyword,    // SELECT, FROM, WHERE, AND, aggregate names
+  kIdent,      // bare or double-quoted identifier
+  kString,     // single-quoted literal
+  kNumber,     // int/double literal
+  kOperator,   // = != < > <= >=
+  kLParen,
+  kRParen,
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;
+  size_t position = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    while (true) {
+      SkipSpace();
+      if (pos_ >= text_.size()) {
+        out.push_back({TokenType::kEnd, "", pos_});
+        return out;
+      }
+      const size_t start = pos_;
+      const char c = text_[pos_];
+      if (c == '(') {
+        ++pos_;
+        out.push_back({TokenType::kLParen, "(", start});
+      } else if (c == ')') {
+        ++pos_;
+        out.push_back({TokenType::kRParen, ")", start});
+      } else if (c == '\'') {
+        TABREP_ASSIGN_OR_RETURN(s, Quoted('\''));
+        out.push_back({TokenType::kString, s, start});
+      } else if (c == '"') {
+        TABREP_ASSIGN_OR_RETURN(s, Quoted('"'));
+        out.push_back({TokenType::kIdent, s, start});
+      } else if (c == '=' || c == '!' || c == '<' || c == '>') {
+        std::string op(1, c);
+        ++pos_;
+        if (pos_ < text_.size() && text_[pos_] == '=') {
+          op += '=';
+          ++pos_;
+        }
+        if (op == "!") {
+          return Status::InvalidArgument("lone '!' at " +
+                                         std::to_string(start));
+        }
+        out.push_back({TokenType::kOperator, op, start});
+      } else if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+                 c == '+' || c == '.') {
+        size_t end = pos_ + 1;
+        while (end < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[end])) ||
+                text_[end] == '.' || text_[end] == 'e' || text_[end] == 'E' ||
+                text_[end] == '-' || text_[end] == '+')) {
+          // Allow sign characters only right after an exponent marker.
+          if ((text_[end] == '-' || text_[end] == '+') &&
+              !(text_[end - 1] == 'e' || text_[end - 1] == 'E')) {
+            break;
+          }
+          ++end;
+        }
+        out.push_back(
+            {TokenType::kNumber, std::string(text_.substr(pos_, end - pos_)),
+             start});
+        pos_ = end;
+      } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t end = pos_;
+        while (end < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[end])) ||
+                text_[end] == '_')) {
+          ++end;
+        }
+        std::string word(text_.substr(pos_, end - pos_));
+        pos_ = end;
+        const std::string upper = [&word] {
+          std::string u = word;
+          for (char& ch : u) ch = static_cast<char>(std::toupper(
+                                 static_cast<unsigned char>(ch)));
+          return u;
+        }();
+        const bool keyword = upper == "SELECT" || upper == "FROM" ||
+                             upper == "WHERE" || upper == "AND" ||
+                             upper == "COUNT" || upper == "MIN" ||
+                             upper == "MAX" || upper == "SUM" ||
+                             upper == "AVG";
+        out.push_back({keyword ? TokenType::kKeyword : TokenType::kIdent,
+                       keyword ? upper : word, start});
+      } else {
+        return Status::InvalidArgument("unexpected character '" +
+                                       std::string(1, c) + "' at " +
+                                       std::to_string(start));
+      }
+    }
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Result<std::string> Quoted(char quote) {
+    ++pos_;  // opening quote
+    std::string out;
+    while (pos_ < text_.size()) {
+      if (text_[pos_] == quote) {
+        if (pos_ + 1 < text_.size() && text_[pos_ + 1] == quote) {
+          out.push_back(quote);
+          pos_ += 2;
+          continue;
+        }
+        ++pos_;
+        return out;
+      }
+      out.push_back(text_[pos_++]);
+    }
+    return Status::InvalidArgument("unterminated quote");
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Query> Parse() {
+    Query query;
+    TABREP_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    // Aggregate or bare column.
+    if (Peek().type == TokenType::kKeyword && Peek().text != "FROM") {
+      const std::string agg = Peek().text;
+      Advance();
+      if (agg == "COUNT") query.aggregate = Aggregate::kCount;
+      else if (agg == "MIN") query.aggregate = Aggregate::kMin;
+      else if (agg == "MAX") query.aggregate = Aggregate::kMax;
+      else if (agg == "SUM") query.aggregate = Aggregate::kSum;
+      else if (agg == "AVG") query.aggregate = Aggregate::kAvg;
+      else return Status::InvalidArgument("unexpected keyword " + agg);
+      TABREP_RETURN_IF_ERROR(Expect(TokenType::kLParen, "("));
+      TABREP_ASSIGN_OR_RETURN(col, ExpectIdent());
+      query.select_column = col;
+      TABREP_RETURN_IF_ERROR(Expect(TokenType::kRParen, ")"));
+    } else {
+      TABREP_ASSIGN_OR_RETURN(col, ExpectIdent());
+      query.select_column = col;
+    }
+    TABREP_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    TABREP_ASSIGN_OR_RETURN(table, ExpectIdent());
+    (void)table;  // single-table dialect; the name is ignored
+    if (Peek().type == TokenType::kKeyword && Peek().text == "WHERE") {
+      Advance();
+      while (true) {
+        TABREP_ASSIGN_OR_RETURN(cond, ParseCondition());
+        query.where.push_back(cond);
+        if (Peek().type == TokenType::kKeyword && Peek().text == "AND") {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    if (Peek().type != TokenType::kEnd) {
+      return Status::InvalidArgument("trailing tokens after query");
+    }
+    return query;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[index_]; }
+  void Advance() {
+    if (index_ + 1 < tokens_.size()) ++index_;
+  }
+
+  Status Expect(TokenType type, const char* what) {
+    if (Peek().type != type) {
+      return Status::InvalidArgument(std::string("expected ") + what +
+                                     " at position " +
+                                     std::to_string(Peek().position));
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status ExpectKeyword(const std::string& kw) {
+    if (Peek().type != TokenType::kKeyword || Peek().text != kw) {
+      return Status::InvalidArgument("expected " + kw + " at position " +
+                                     std::to_string(Peek().position));
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdent() {
+    if (Peek().type != TokenType::kIdent) {
+      return Status::InvalidArgument("expected identifier at position " +
+                                     std::to_string(Peek().position));
+    }
+    std::string out = Peek().text;
+    Advance();
+    return out;
+  }
+
+  Result<Condition> ParseCondition() {
+    Condition cond;
+    TABREP_ASSIGN_OR_RETURN(col, ExpectIdent());
+    cond.column = col;
+    if (Peek().type != TokenType::kOperator) {
+      return Status::InvalidArgument("expected comparison operator at " +
+                                     std::to_string(Peek().position));
+    }
+    const std::string op = Peek().text;
+    Advance();
+    if (op == "=") cond.op = CompareOp::kEq;
+    else if (op == "!=") cond.op = CompareOp::kNe;
+    else if (op == "<") cond.op = CompareOp::kLt;
+    else if (op == ">") cond.op = CompareOp::kGt;
+    else if (op == "<=") cond.op = CompareOp::kLe;
+    else if (op == ">=") cond.op = CompareOp::kGe;
+    else return Status::InvalidArgument("bad operator " + op);
+
+    const Token& lit = Peek();
+    if (lit.type == TokenType::kString) {
+      cond.literal = Value::String(lit.text);
+      Advance();
+    } else if (lit.type == TokenType::kNumber) {
+      int64_t i;
+      double d;
+      if (ParseInt64(lit.text, &i)) {
+        cond.literal = Value::Int(i);
+      } else if (ParseDouble(lit.text, &d)) {
+        cond.literal = Value::Double(d);
+      } else {
+        return Status::InvalidArgument("bad number literal " + lit.text);
+      }
+      Advance();
+    } else if (lit.type == TokenType::kIdent &&
+               (lit.text == "true" || lit.text == "false")) {
+      cond.literal = Value::Bool(lit.text == "true");
+      Advance();
+    } else {
+      return Status::InvalidArgument("expected literal at position " +
+                                     std::to_string(lit.position));
+    }
+    return cond;
+  }
+
+  std::vector<Token> tokens_;
+  size_t index_ = 0;
+};
+
+}  // namespace
+
+Result<Query> ParseQuery(std::string_view text) {
+  Lexer lexer(text);
+  TABREP_ASSIGN_OR_RETURN(tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace tabrep::sql

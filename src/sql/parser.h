@@ -1,0 +1,26 @@
+#ifndef TABREP_SQL_PARSER_H_
+#define TABREP_SQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace tabrep::sql {
+
+/// Parses the WikiSQL-class SQL dialect emitted by Query::ToSql():
+///
+///   query      := SELECT select FROM ident [WHERE cond (AND cond)*]
+///   select     := ident | AGG '(' ident ')'
+///   cond       := ident op literal
+///   op         := = | != | < | > | <= | >=
+///   literal    := number | 'string' (quotes doubled to escape)
+///
+/// Keywords are case-insensitive; identifiers may be bare words or
+/// double-quoted (for names with spaces/dashes). Round-trips with
+/// Query::ToSql() for all queries the generator produces.
+Result<Query> ParseQuery(std::string_view text);
+
+}  // namespace tabrep::sql
+
+#endif  // TABREP_SQL_PARSER_H_

@@ -1,0 +1,65 @@
+#include "table/corpus.h"
+
+#include "common/logging.h"
+
+namespace tabrep {
+
+EntityVocab::EntityVocab() {
+  Add("[ENT_UNK]");
+  Add("[ENT_MASK]");
+}
+
+int32_t EntityVocab::Add(const std::string& surface) {
+  auto it = index_.find(surface);
+  if (it != index_.end()) return it->second;
+  const int32_t id = static_cast<int32_t>(surfaces_.size());
+  surfaces_.push_back(surface);
+  index_.emplace(surface, id);
+  return id;
+}
+
+int32_t EntityVocab::Id(const std::string& surface) const {
+  auto it = index_.find(surface);
+  return it != index_.end() ? it->second : kEntUnkId;
+}
+
+const std::string& EntityVocab::Surface(int32_t id) const {
+  TABREP_CHECK(id >= 0 && id < size()) << "EntityVocab::Surface: id " << id;
+  return surfaces_[static_cast<size_t>(id)];
+}
+
+std::pair<TableCorpus, TableCorpus> TableCorpus::Split(
+    double holdout_fraction, Rng& rng) const {
+  std::vector<size_t> order(tables.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.Shuffle(order);
+  const size_t holdout =
+      static_cast<size_t>(holdout_fraction * static_cast<double>(order.size()));
+  TableCorpus train, test;
+  train.entities = entities;
+  test.entities = entities;
+  for (size_t i = 0; i < order.size(); ++i) {
+    (i < holdout ? test : train).tables.push_back(tables[order[i]]);
+  }
+  return {std::move(train), std::move(test)};
+}
+
+std::vector<std::string> TableCorpus::AllText() const {
+  std::vector<std::string> out;
+  for (const Table& t : tables) {
+    if (!t.title().empty()) out.push_back(t.title());
+    if (!t.caption().empty()) out.push_back(t.caption());
+    for (const ColumnSpec& col : t.columns()) {
+      if (!col.name.empty()) out.push_back(col.name);
+    }
+    for (int64_t r = 0; r < t.num_rows(); ++r) {
+      for (int64_t c = 0; c < t.num_columns(); ++c) {
+        std::string text = t.cell(r, c).ToText();
+        if (!text.empty()) out.push_back(std::move(text));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace tabrep

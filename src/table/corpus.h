@@ -1,0 +1,57 @@
+#ifndef TABREP_TABLE_CORPUS_H_
+#define TABREP_TABLE_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "table/table.h"
+
+namespace tabrep {
+
+/// Maps entity surface forms to dense ids for the TURL-style masked
+/// entity recovery objective. Id 0 is reserved for unknown entities and
+/// id 1 for the entity mask.
+class EntityVocab {
+ public:
+  static constexpr int32_t kEntUnkId = 0;
+  static constexpr int32_t kEntMaskId = 1;
+
+  EntityVocab();
+
+  /// Adds `surface` if absent; returns its id either way.
+  int32_t Add(const std::string& surface);
+  /// Id of `surface` or kEntUnkId.
+  int32_t Id(const std::string& surface) const;
+  const std::string& Surface(int32_t id) const;
+  int32_t size() const { return static_cast<int32_t>(surfaces_.size()); }
+
+ private:
+  std::vector<std::string> surfaces_;
+  std::unordered_map<std::string, int32_t> index_;
+};
+
+/// A collection of tables plus the entity vocabulary their cells link
+/// into. This is the unit of pretraining data (the WikiTables / WDC /
+/// GitTables stand-in).
+struct TableCorpus {
+  std::vector<Table> tables;
+  EntityVocab entities;
+
+  int64_t size() const { return static_cast<int64_t>(tables.size()); }
+
+  /// Random split into train/held-out by table. `holdout_fraction` of
+  /// tables go to the second corpus. Entity vocab is shared (copied).
+  std::pair<TableCorpus, TableCorpus> Split(double holdout_fraction,
+                                            Rng& rng) const;
+
+  /// Concatenation of all text a tokenizer should learn from:
+  /// titles, captions, headers, and cell text of every table.
+  std::vector<std::string> AllText() const;
+};
+
+}  // namespace tabrep
+
+#endif  // TABREP_TABLE_CORPUS_H_

@@ -1,0 +1,150 @@
+#include "table/corruption.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace tabrep {
+
+namespace {
+
+enum class Kind { kTypo, kAbbreviation, kCase, kDropToken };
+
+Kind PickKind(Rng& rng, const CorruptionOptions& options) {
+  const double total = options.typo_weight + options.abbreviation_weight +
+                       options.case_weight + options.drop_token_weight;
+  double roll = rng.NextDouble() * total;
+  if ((roll -= options.typo_weight) < 0) return Kind::kTypo;
+  if ((roll -= options.abbreviation_weight) < 0) return Kind::kAbbreviation;
+  if ((roll -= options.case_weight) < 0) return Kind::kCase;
+  return Kind::kDropToken;
+}
+
+std::string ApplyTypo(const std::string& text, Rng& rng) {
+  if (text.size() < 2) return text + text;  // duplicate the char
+  std::string out = text;
+  const size_t i = rng.NextBelow(out.size() - 1);
+  switch (rng.NextBelow(3)) {
+    case 0:  // swap adjacent
+      std::swap(out[i], out[i + 1]);
+      break;
+    case 1:  // drop
+      out.erase(i, 1);
+      break;
+    default:  // duplicate
+      out.insert(i, 1, out[i]);
+      break;
+  }
+  return out;
+}
+
+std::string ApplyAbbreviation(const std::string& text, Rng& rng) {
+  std::vector<std::string> words = SplitWhitespace(text);
+  if (words.empty()) return text;
+  std::string& word = words[rng.NextBelow(words.size())];
+  if (word.size() > 3) {
+    word = word.substr(0, 1 + rng.NextBelow(3)) + ".";
+  }
+  return Join(words, " ");
+}
+
+std::string ApplyCaseFlip(const std::string& text, Rng& rng) {
+  std::string out = text;
+  bool changed = false;
+  for (char& c : out) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (std::isalpha(u) && rng.NextBernoulli(0.4)) {
+      c = std::isupper(u) ? static_cast<char>(std::tolower(u))
+                          : static_cast<char>(std::toupper(u));
+      changed = true;
+    }
+  }
+  if (!changed && !out.empty()) {
+    const unsigned char u = static_cast<unsigned char>(out[0]);
+    out[0] = std::isupper(u) ? static_cast<char>(std::tolower(u))
+                             : static_cast<char>(std::toupper(u));
+  }
+  return out;
+}
+
+std::string ApplyDropToken(const std::string& text, Rng& rng) {
+  std::vector<std::string> words = SplitWhitespace(text);
+  if (words.size() < 2) return text;
+  words.erase(words.begin() + static_cast<int64_t>(
+                                  rng.NextBelow(words.size())));
+  return Join(words, " ");
+}
+
+}  // namespace
+
+std::string CorruptString(const std::string& text, Rng& rng,
+                          const CorruptionOptions& options) {
+  if (text.empty()) return text;
+  switch (PickKind(rng, options)) {
+    case Kind::kTypo:
+      return ApplyTypo(text, rng);
+    case Kind::kAbbreviation:
+      return ApplyAbbreviation(text, rng);
+    case Kind::kCase:
+      return ApplyCaseFlip(text, rng);
+    case Kind::kDropToken:
+      return ApplyDropToken(text, rng);
+  }
+  return text;
+}
+
+Value CorruptValue(const Value& value, Rng& rng,
+                   const CorruptionOptions& options) {
+  switch (value.type()) {
+    case ValueType::kString:
+      return Value::String(CorruptString(value.AsString(), rng, options));
+    case ValueType::kEntity:
+      // Corrupting the surface breaks the KB link — exactly what dirty
+      // data does.
+      return Value::String(CorruptString(value.AsString(), rng, options));
+    case ValueType::kInt: {
+      const double jitter =
+          1.0 + options.numeric_jitter * (2.0 * rng.NextDouble() - 1.0);
+      return Value::Int(static_cast<int64_t>(
+          static_cast<double>(value.AsInt()) * jitter + 0.5));
+    }
+    case ValueType::kDouble: {
+      const double jitter =
+          1.0 + options.numeric_jitter * (2.0 * rng.NextDouble() - 1.0);
+      return Value::Double(value.AsDouble() * jitter);
+    }
+    default:
+      return value;
+  }
+}
+
+std::vector<Value> CorruptRow(const std::vector<Value>& row, Rng& rng,
+                              const CorruptionOptions& options) {
+  std::vector<Value> out = row;
+  bool any = false;
+  for (Value& v : out) {
+    if (!v.is_null() && rng.NextBernoulli(options.cell_prob)) {
+      v = CorruptValue(v, rng, options);
+      any = true;
+    }
+  }
+  if (!any) {
+    // Some corruption kinds are no-ops on short inputs (e.g. dropping
+    // a token from a one-word string); retry until the cell changes.
+    for (size_t i = 0; i < out.size(); ++i) {
+      if (out[i].is_null()) continue;
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        Value corrupted = CorruptValue(out[i], rng, options);
+        if (!(corrupted == out[i])) {
+          out[i] = std::move(corrupted);
+          any = true;
+          break;
+        }
+      }
+      if (any) break;
+    }
+  }
+  return out;
+}
+
+}  // namespace tabrep

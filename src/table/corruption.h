@@ -1,0 +1,45 @@
+#ifndef TABREP_TABLE_CORRUPTION_H_
+#define TABREP_TABLE_CORRUPTION_H_
+
+#include <string>
+
+#include "common/rng.h"
+#include "table/table.h"
+
+namespace tabrep {
+
+/// Knobs for realistic dirty-data noise, used by the entity-matching
+/// task (two descriptions of the same entity rarely match exactly) and
+/// by robustness probes.
+struct CorruptionOptions {
+  /// Per-cell probability of applying a corruption at all.
+  double cell_prob = 0.5;
+  /// Relative weights of the corruption kinds applied to strings.
+  double typo_weight = 1.0;          // swap/drop/duplicate a character
+  double abbreviation_weight = 1.0;  // truncate a word ("United" -> "Unit.")
+  double case_weight = 1.0;          // case flip
+  double drop_token_weight = 0.5;    // remove one word
+  /// Relative perturbation magnitude for numeric cells (e.g. 0.02 =
+  /// up to ±2%).
+  double numeric_jitter = 0.02;
+};
+
+/// Applies one random corruption to a string (at least one character
+/// changes for strings of length >= 2).
+std::string CorruptString(const std::string& text, Rng& rng,
+                          const CorruptionOptions& options = {});
+
+/// Corrupts a single value: strings/entities via CorruptString, numbers
+/// via relative jitter, nulls/bools unchanged.
+Value CorruptValue(const Value& value, Rng& rng,
+                   const CorruptionOptions& options = {});
+
+/// Copy of `row` (a table row) with each cell independently corrupted
+/// with probability options.cell_prob; at least one cell is always
+/// corrupted when the row is non-empty.
+std::vector<Value> CorruptRow(const std::vector<Value>& row, Rng& rng,
+                              const CorruptionOptions& options = {});
+
+}  // namespace tabrep
+
+#endif  // TABREP_TABLE_CORRUPTION_H_

@@ -1,0 +1,165 @@
+#include "table/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace tabrep {
+
+namespace {
+
+/// Splits CSV text into records of raw fields, honoring quotes.
+Result<std::vector<std::vector<std::string>>> ParseRecords(
+    std::string_view text, char delimiter) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> current;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+  size_t i = 0;
+  auto end_field = [&] {
+    current.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_record = [&] {
+    end_field();
+    records.push_back(std::move(current));
+    current.clear();
+  };
+  while (i < text.size()) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      field.push_back(c);
+      ++i;
+      continue;
+    }
+    if (c == '"' && field.empty() && !field_started) {
+      in_quotes = true;
+      field_started = true;
+      ++i;
+      continue;
+    }
+    if (c == delimiter) {
+      end_field();
+      ++i;
+      continue;
+    }
+    if (c == '\r') {
+      ++i;  // swallow, \n handles the record break
+      continue;
+    }
+    if (c == '\n') {
+      end_record();
+      ++i;
+      continue;
+    }
+    field.push_back(c);
+    field_started = true;
+    ++i;
+  }
+  if (in_quotes) return Status::Corruption("unterminated quote in CSV");
+  // Trailing record without newline.
+  if (field_started || !field.empty() || !current.empty()) end_record();
+  return records;
+}
+
+bool NeedsQuoting(std::string_view s, char delimiter) {
+  for (char c : s) {
+    if (c == delimiter || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+std::string QuoteField(std::string_view s, char delimiter) {
+  if (!NeedsQuoting(s, delimiter)) return std::string(s);
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Result<Table> ReadCsvString(std::string_view text, CsvOptions options) {
+  TABREP_ASSIGN_OR_RETURN(records, ParseRecords(text, options.delimiter));
+  if (records.empty()) return Table();
+
+  size_t width = records[0].size();
+  std::vector<std::string> header;
+  size_t first_data = 0;
+  if (options.has_header) {
+    header = records[0];
+    first_data = 1;
+  } else {
+    header.assign(width, "");
+  }
+  Table table(std::move(header));
+  for (size_t r = first_data; r < records.size(); ++r) {
+    if (records[r].size() != width) {
+      return Status::Corruption("CSV row " + std::to_string(r) + " has " +
+                                std::to_string(records[r].size()) +
+                                " fields, expected " + std::to_string(width));
+    }
+    std::vector<Value> row;
+    row.reserve(width);
+    for (const std::string& f : records[r]) {
+      row.push_back(options.infer_values
+                        ? Value::Parse(f)
+                        : (f.empty() ? Value::Null() : Value::String(f)));
+    }
+    TABREP_RETURN_IF_ERROR(table.AppendRow(std::move(row)));
+  }
+  table.InferTypes();
+  return table;
+}
+
+Result<Table> ReadCsvFile(const std::string& path, CsvOptions options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ReadCsvString(buffer.str(), options);
+}
+
+std::string WriteCsvString(const Table& table, CsvOptions options) {
+  std::ostringstream os;
+  const char d = options.delimiter;
+  if (options.has_header) {
+    for (int64_t c = 0; c < table.num_columns(); ++c) {
+      if (c) os << d;
+      os << QuoteField(table.column(c).name, d);
+    }
+    os << "\n";
+  }
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    for (int64_t c = 0; c < table.num_columns(); ++c) {
+      if (c) os << d;
+      os << QuoteField(table.cell(r, c).ToText(), d);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    CsvOptions options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out << WriteCsvString(table, options);
+  return out ? Status::OK() : Status::IOError("write failed: " + path);
+}
+
+}  // namespace tabrep

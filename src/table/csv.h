@@ -1,0 +1,39 @@
+#ifndef TABREP_TABLE_CSV_H_
+#define TABREP_TABLE_CSV_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "table/table.h"
+
+namespace tabrep {
+
+struct CsvOptions {
+  char delimiter = ',';
+  /// Treat the first record as the header row.
+  bool has_header = true;
+  /// Parse fields into typed Values (numbers, bools, nulls); when off
+  /// every non-empty field stays a string.
+  bool infer_values = true;
+};
+
+/// Parses RFC-4180-style CSV text (quoted fields, escaped quotes,
+/// embedded newlines inside quotes). Rows with inconsistent width fail
+/// with Corruption. Column types are inferred after load.
+Result<Table> ReadCsvString(std::string_view text, CsvOptions options = {});
+
+/// ReadCsvString over a file's contents.
+Result<Table> ReadCsvFile(const std::string& path, CsvOptions options = {});
+
+/// Serializes a table to CSV, quoting fields that need it.
+std::string WriteCsvString(const Table& table, CsvOptions options = {});
+
+/// WriteCsvString into a file.
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    CsvOptions options = {});
+
+}  // namespace tabrep
+
+#endif  // TABREP_TABLE_CSV_H_

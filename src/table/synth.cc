@@ -1,0 +1,540 @@
+#include "table/synth.h"
+
+#include <array>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace tabrep {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Fixed entity records. Each domain is a small fact base with functional
+// dependencies between columns, mimicking entity-centric Wikipedia tables.
+// ---------------------------------------------------------------------------
+
+struct CountryRec {
+  const char* name;
+  const char* capital;
+  const char* continent;
+  const char* language;
+  double population_m;  // millions
+  int area_kkm2;        // thousand km^2
+};
+
+constexpr std::array<CountryRec, 36> kCountries{{
+    {"France", "Paris", "Europe", "French", 67.4, 551},
+    {"Germany", "Berlin", "Europe", "German", 83.2, 357},
+    {"Italy", "Rome", "Europe", "Italian", 59.0, 301},
+    {"Spain", "Madrid", "Europe", "Spanish", 47.4, 506},
+    {"Portugal", "Lisbon", "Europe", "Portuguese", 10.3, 92},
+    {"Netherlands", "Amsterdam", "Europe", "Dutch", 17.5, 42},
+    {"Belgium", "Brussels", "Europe", "Dutch", 11.6, 31},
+    {"Austria", "Vienna", "Europe", "German", 8.9, 84},
+    {"Poland", "Warsaw", "Europe", "Polish", 37.8, 313},
+    {"Sweden", "Stockholm", "Europe", "Swedish", 10.4, 450},
+    {"Norway", "Oslo", "Europe", "Norwegian", 5.4, 385},
+    {"Finland", "Helsinki", "Europe", "Finnish", 5.5, 338},
+    {"Greece", "Athens", "Europe", "Greek", 10.7, 132},
+    {"Ireland", "Dublin", "Europe", "English", 5.0, 70},
+    {"Japan", "Tokyo", "Asia", "Japanese", 125.7, 378},
+    {"China", "Beijing", "Asia", "Mandarin", 1412.0, 9597},
+    {"India", "New Delhi", "Asia", "Hindi", 1380.0, 3287},
+    {"Thailand", "Bangkok", "Asia", "Thai", 69.8, 513},
+    {"Vietnam", "Hanoi", "Asia", "Vietnamese", 97.3, 331},
+    {"Indonesia", "Jakarta", "Asia", "Indonesian", 273.5, 1905},
+    {"Turkey", "Ankara", "Asia", "Turkish", 84.3, 784},
+    {"Iran", "Tehran", "Asia", "Persian", 84.0, 1648},
+    {"Israel", "Jerusalem", "Asia", "Hebrew", 9.2, 22},
+    {"Australia", "Canberra", "Oceania", "English", 25.7, 7692},
+    {"New Zealand", "Wellington", "Oceania", "English", 5.1, 268},
+    {"Brazil", "Brasilia", "South America", "Portuguese", 212.6, 8516},
+    {"Argentina", "Buenos Aires", "South America", "Spanish", 45.4, 2780},
+    {"Chile", "Santiago", "South America", "Spanish", 19.1, 756},
+    {"Peru", "Lima", "South America", "Spanish", 33.0, 1285},
+    {"Colombia", "Bogota", "South America", "Spanish", 50.9, 1142},
+    {"Mexico", "Mexico City", "North America", "Spanish", 128.9, 1964},
+    {"Canada", "Ottawa", "North America", "English", 38.0, 9985},
+    {"United States", "Washington", "North America", "English", 331.0, 9834},
+    {"Egypt", "Cairo", "Africa", "Arabic", 102.3, 1002},
+    {"Nigeria", "Abuja", "Africa", "English", 206.1, 924},
+    {"Kenya", "Nairobi", "Africa", "Swahili", 53.8, 580},
+}};
+
+struct FilmRec {
+  const char* title;
+  const char* director;
+  int year;
+  const char* language;
+  const char* country;
+};
+
+constexpr std::array<FilmRec, 30> kFilms{{
+    {"Chiriyakhana", "Satyajit Ray", 1967, "Bengali", "India"},
+    {"Goopy Gyne Bagha Byne", "Satyajit Ray", 1968, "Bengali", "India"},
+    {"Bhuvan Shome", "Mrinal Sen", 1969, "Hindi", "India"},
+    {"Pather Panchali", "Satyajit Ray", 1955, "Bengali", "India"},
+    {"Seven Samurai", "Akira Kurosawa", 1954, "Japanese", "Japan"},
+    {"Rashomon", "Akira Kurosawa", 1950, "Japanese", "Japan"},
+    {"Ikiru", "Akira Kurosawa", 1952, "Japanese", "Japan"},
+    {"Tokyo Story", "Yasujiro Ozu", 1953, "Japanese", "Japan"},
+    {"Late Spring", "Yasujiro Ozu", 1949, "Japanese", "Japan"},
+    {"Breathless", "Jean-Luc Godard", 1960, "French", "France"},
+    {"Pierrot le Fou", "Jean-Luc Godard", 1965, "French", "France"},
+    {"The 400 Blows", "Francois Truffaut", 1959, "French", "France"},
+    {"Jules and Jim", "Francois Truffaut", 1962, "French", "France"},
+    {"La Dolce Vita", "Federico Fellini", 1960, "Italian", "Italy"},
+    {"8 and a Half", "Federico Fellini", 1963, "Italian", "Italy"},
+    {"Bicycle Thieves", "Vittorio De Sica", 1948, "Italian", "Italy"},
+    {"The Seventh Seal", "Ingmar Bergman", 1957, "Swedish", "Sweden"},
+    {"Wild Strawberries", "Ingmar Bergman", 1957, "Swedish", "Sweden"},
+    {"Persona", "Ingmar Bergman", 1966, "Swedish", "Sweden"},
+    {"Metropolis", "Fritz Lang", 1927, "German", "Germany"},
+    {"M", "Fritz Lang", 1931, "German", "Germany"},
+    {"Vertigo", "Alfred Hitchcock", 1958, "English", "United States"},
+    {"Psycho", "Alfred Hitchcock", 1960, "English", "United States"},
+    {"Rear Window", "Alfred Hitchcock", 1954, "English", "United States"},
+    {"Citizen Kane", "Orson Welles", 1941, "English", "United States"},
+    {"Touch of Evil", "Orson Welles", 1958, "English", "United States"},
+    {"Andrei Rublev", "Andrei Tarkovsky", 1966, "Russian", "Russia"},
+    {"Solaris", "Andrei Tarkovsky", 1972, "Russian", "Russia"},
+    {"Stalker", "Andrei Tarkovsky", 1979, "Russian", "Russia"},
+    {"Viridiana", "Luis Bunuel", 1961, "Spanish", "Spain"},
+}};
+
+struct ScientistRec {
+  const char* name;
+  const char* field;
+  int birth_year;
+  const char* country;
+};
+
+constexpr std::array<ScientistRec, 28> kScientists{{
+    {"Marie Curie", "Physics", 1867, "Poland"},
+    {"Albert Einstein", "Physics", 1879, "Germany"},
+    {"Niels Bohr", "Physics", 1885, "Denmark"},
+    {"Erwin Schrodinger", "Physics", 1887, "Austria"},
+    {"Werner Heisenberg", "Physics", 1901, "Germany"},
+    {"Paul Dirac", "Physics", 1902, "United Kingdom"},
+    {"Richard Feynman", "Physics", 1918, "United States"},
+    {"Enrico Fermi", "Physics", 1901, "Italy"},
+    {"Lise Meitner", "Physics", 1878, "Austria"},
+    {"Emmy Noether", "Mathematics", 1882, "Germany"},
+    {"David Hilbert", "Mathematics", 1862, "Germany"},
+    {"Henri Poincare", "Mathematics", 1854, "France"},
+    {"Srinivasa Ramanujan", "Mathematics", 1887, "India"},
+    {"Alan Turing", "Computer Science", 1912, "United Kingdom"},
+    {"John von Neumann", "Computer Science", 1903, "Hungary"},
+    {"Grace Hopper", "Computer Science", 1906, "United States"},
+    {"Ada Lovelace", "Computer Science", 1815, "United Kingdom"},
+    {"Edsger Dijkstra", "Computer Science", 1930, "Netherlands"},
+    {"Donald Knuth", "Computer Science", 1938, "United States"},
+    {"Barbara Liskov", "Computer Science", 1939, "United States"},
+    {"Charles Darwin", "Biology", 1809, "United Kingdom"},
+    {"Gregor Mendel", "Biology", 1822, "Austria"},
+    {"Rosalind Franklin", "Biology", 1920, "United Kingdom"},
+    {"Barbara McClintock", "Biology", 1902, "United States"},
+    {"Louis Pasteur", "Biology", 1822, "France"},
+    {"Dmitri Mendeleev", "Chemistry", 1834, "Russia"},
+    {"Linus Pauling", "Chemistry", 1901, "United States"},
+    {"Dorothy Hodgkin", "Chemistry", 1910, "United Kingdom"},
+}};
+
+struct CityRec {
+  const char* name;
+  const char* country;
+  double population_m;
+  int founded;
+};
+
+constexpr std::array<CityRec, 24> kCities{{
+    {"Paris", "France", 2.1, 250},
+    {"Lyon", "France", 0.5, 43},
+    {"Berlin", "Germany", 3.6, 1237},
+    {"Munich", "Germany", 1.5, 1158},
+    {"Rome", "Italy", 2.8, 753},
+    {"Milan", "Italy", 1.4, 590},
+    {"Madrid", "Spain", 3.2, 865},
+    {"Barcelona", "Spain", 1.6, 15},
+    {"Tokyo", "Japan", 13.9, 1457},
+    {"Osaka", "Japan", 2.7, 645},
+    {"Beijing", "China", 21.5, 1045},
+    {"Shanghai", "China", 24.8, 1291},
+    {"Mumbai", "India", 12.4, 1507},
+    {"New Delhi", "India", 0.25, 1911},
+    {"Sydney", "Australia", 5.3, 1788},
+    {"Melbourne", "Australia", 5.0, 1835},
+    {"New York", "United States", 8.8, 1624},
+    {"Chicago", "United States", 2.7, 1833},
+    {"Toronto", "Canada", 2.9, 1793},
+    {"Mexico City", "Mexico", 9.2, 1325},
+    {"Sao Paulo", "Brazil", 12.3, 1554},
+    {"Buenos Aires", "Argentina", 3.1, 1536},
+    {"Cairo", "Egypt", 9.5, 969},
+    {"Nairobi", "Kenya", 4.4, 1899},
+}};
+
+struct CompanyRec {
+  const char* name;
+  const char* sector;
+  const char* country;
+  double revenue_b;  // billions
+  int employees_k;   // thousands
+};
+
+constexpr std::array<CompanyRec, 20> kCompanies{{
+    {"Acme Motors", "Automotive", "Germany", 182.5, 120},
+    {"Bluewave Energy", "Energy", "Norway", 76.2, 21},
+    {"Cobalt Systems", "Technology", "United States", 64.1, 58},
+    {"Delta Pharma", "Healthcare", "Switzerland", 44.9, 37},
+    {"Evergreen Foods", "Consumer", "France", 28.4, 90},
+    {"Fujikawa Electric", "Technology", "Japan", 55.3, 77},
+    {"Granite Bank", "Finance", "United Kingdom", 39.7, 65},
+    {"Helios Solar", "Energy", "Spain", 12.8, 9},
+    {"Iberia Textiles", "Consumer", "Portugal", 4.2, 12},
+    {"Juniper Retail", "Consumer", "United States", 97.6, 210},
+    {"Krona Shipping", "Logistics", "Sweden", 18.3, 14},
+    {"Lotus Software", "Technology", "India", 21.5, 180},
+    {"Meridian Air", "Transport", "Netherlands", 24.1, 33},
+    {"Nordwind Steel", "Industrial", "Germany", 31.0, 46},
+    {"Orion Chemicals", "Industrial", "Belgium", 15.7, 18},
+    {"Pacific Mining", "Industrial", "Australia", 42.8, 29},
+    {"Quantum Labs", "Healthcare", "United States", 9.4, 6},
+    {"Riviera Hotels", "Hospitality", "Italy", 7.7, 25},
+    {"Sakura Robotics", "Technology", "Japan", 13.9, 11},
+    {"Tundra Telecom", "Telecom", "Finland", 26.6, 40},
+}};
+
+// GitTables-like categorical/numeric census rows (Fig. 2d right table).
+constexpr std::array<const char*, 6> kWorkclasses{
+    {"Private", "Self-employed", "Federal-gov", "Local-gov", "State-gov",
+     "Never-worked"}};
+constexpr std::array<const char*, 7> kEducation{
+    {"HS-grad", "Some-college", "Bachelors", "Masters", "Assoc-acdm",
+     "Doctorate", "11th"}};
+
+// ---------------------------------------------------------------------------
+
+using SynthRow = std::vector<Value>;
+
+/// Context for one table being generated.
+struct Gen {
+  Rng* rng;
+  EntityVocab* entities;
+  bool link_entities;
+
+  Value Ent(const char* surface) const {
+    if (!link_entities) return Value::String(surface);
+    return Value::Entity(surface, entities->Add(surface));
+  }
+  Value Str(const char* s) const { return Value::String(s); }
+};
+
+Table GenCountryTable(Gen& g) {
+  // Choose a column subset; "Country" is always present.
+  struct Col {
+    const char* header;
+    Value (*get)(const Gen&, const CountryRec&);
+  };
+  static constexpr Col kCols[] = {
+      {"Capital",
+       [](const Gen& g, const CountryRec& r) { return g.Ent(r.capital); }},
+      {"Continent",
+       [](const Gen& g, const CountryRec& r) { return g.Str(r.continent); }},
+      {"Language",
+       [](const Gen& g, const CountryRec& r) { return g.Str(r.language); }},
+      {"Population",
+       [](const Gen&, const CountryRec& r) {
+         return Value::Double(r.population_m);
+       }},
+      {"Area",
+       [](const Gen&, const CountryRec& r) {
+         return Value::Int(r.area_kkm2);
+       }},
+  };
+  std::vector<size_t> picked =
+      g.rng->SampleWithoutReplacement(std::size(kCols),
+                                      2 + g.rng->NextBelow(3));
+  std::vector<std::string> headers{"Country"};
+  for (size_t c : picked) headers.emplace_back(kCols[c].header);
+  Table t(headers);
+  t.set_title("Countries of the world");
+  t.set_caption(picked.size() == 1 && kCols[picked[0]].header ==
+                        std::string("Population")
+                    ? "Population in Million by Country"
+                    : "Country facts");
+  return t;  // rows appended by caller via lambda — see GenTable
+}
+
+}  // namespace
+
+namespace {
+
+/// Generic driver: pick rows of one domain and fill a table.
+template <typename Rec, size_t N, typename MakeTable, typename MakeRow>
+Table FillTable(Gen& g, const std::array<Rec, N>& records, int64_t rows,
+                MakeTable make_table, MakeRow make_row) {
+  Table t = make_table(g);
+  const size_t n = std::min<size_t>(static_cast<size_t>(rows), N);
+  for (size_t i : g.rng->SampleWithoutReplacement(N, n)) {
+    TABREP_CHECK(t.AppendRow(make_row(g, t, records[i])).ok());
+  }
+  return t;
+}
+
+Table GenCountries(Gen& g, int64_t rows) {
+  return FillTable(g, kCountries, rows, GenCountryTable,
+                   [](Gen& gg, const Table& t, const CountryRec& r) {
+                     SynthRow row;
+                     row.push_back(gg.Ent(r.name));
+                     for (int64_t c = 1; c < t.num_columns(); ++c) {
+                       const std::string& h = t.column(c).name;
+                       if (h == "Capital") row.push_back(gg.Ent(r.capital));
+                       else if (h == "Continent") row.push_back(gg.Str(r.continent));
+                       else if (h == "Language") row.push_back(gg.Str(r.language));
+                       else if (h == "Population") row.push_back(Value::Double(r.population_m));
+                       else row.push_back(Value::Int(r.area_kkm2));
+                     }
+                     return row;
+                   });
+}
+
+Table GenFilms(Gen& g, int64_t rows) {
+  auto make_table = [](Gen&) {
+    Table t(std::vector<std::string>{"Film", "Director", "Year", "Language",
+                                     "Country"});
+    t.set_title("World cinema");
+    t.set_caption("Notable films with director and year");
+    return t;
+  };
+  return FillTable(g, kFilms, rows, make_table,
+                   [](Gen& gg, const Table&, const FilmRec& r) {
+                     return SynthRow{gg.Ent(r.title), gg.Ent(r.director),
+                                     Value::Int(r.year), gg.Str(r.language),
+                                     gg.Ent(r.country)};
+                   });
+}
+
+Table GenAwards(Gen& g, int64_t rows) {
+  // The Fig. 2d-style awards table derived from the film fact base:
+  // Year (ordinal), Recipient (director), Film, Language.
+  auto make_table = [](Gen&) {
+    Table t(std::vector<std::string>{"Year", "Recipient", "Film", "Language"});
+    t.set_title("Best Director Award");
+    t.set_caption("Award recipients by year");
+    return t;
+  };
+  return FillTable(g, kFilms, rows, make_table,
+                   [](Gen& gg, const Table&, const FilmRec& r) {
+                     return SynthRow{Value::Int(r.year), gg.Ent(r.director),
+                                     gg.Ent(r.title), gg.Str(r.language)};
+                   });
+}
+
+Table GenScientists(Gen& g, int64_t rows) {
+  auto make_table = [](Gen&) {
+    Table t(std::vector<std::string>{"Name", "Field", "Born", "Country"});
+    t.set_title("Famous scientists");
+    t.set_caption("Scientists with field and birth year");
+    return t;
+  };
+  return FillTable(g, kScientists, rows, make_table,
+                   [](Gen& gg, const Table&, const ScientistRec& r) {
+                     return SynthRow{gg.Ent(r.name), gg.Str(r.field),
+                                     Value::Int(r.birth_year),
+                                     gg.Ent(r.country)};
+                   });
+}
+
+Table GenCities(Gen& g, int64_t rows) {
+  auto make_table = [](Gen&) {
+    Table t(std::vector<std::string>{"City", "Country", "Population",
+                                     "Founded"});
+    t.set_title("Major cities");
+    t.set_caption("City population in millions");
+    return t;
+  };
+  return FillTable(g, kCities, rows, make_table,
+                   [](Gen& gg, const Table&, const CityRec& r) {
+                     return SynthRow{gg.Ent(r.name), gg.Ent(r.country),
+                                     Value::Double(r.population_m),
+                                     Value::Int(r.founded)};
+                   });
+}
+
+Table GenCompanies(Gen& g, int64_t rows) {
+  auto make_table = [](Gen&) {
+    Table t(std::vector<std::string>{"Company", "Sector", "Country", "Revenue",
+                                     "Employees"});
+    t.set_title("Largest companies");
+    t.set_caption("Revenue in billion USD, employees in thousands");
+    return t;
+  };
+  return FillTable(g, kCompanies, rows, make_table,
+                   [](Gen& gg, const Table&, const CompanyRec& r) {
+                     return SynthRow{gg.Ent(r.name), gg.Str(r.sector),
+                                     gg.Ent(r.country),
+                                     Value::Double(r.revenue_b),
+                                     Value::Int(r.employees_k)};
+                   });
+}
+
+Table GenCensus(Gen& g, int64_t rows) {
+  Table t(std::vector<std::string>{"age", "workclass", "education",
+                                   "hours-per-week", "income"});
+  t.set_title("");
+  t.set_caption("");
+  for (int64_t i = 0; i < rows; ++i) {
+    const char* edu =
+        kEducation[g.rng->NextBelow(kEducation.size())];
+    const char* work =
+        kWorkclasses[g.rng->NextBelow(kWorkclasses.size())];
+    const int64_t age = 18 + static_cast<int64_t>(g.rng->NextBelow(50));
+    const int64_t hours = 10 + static_cast<int64_t>(g.rng->NextBelow(51));
+    // Income correlates with education and hours so there is signal.
+    const bool high =
+        (std::string(edu) == "Masters" || std::string(edu) == "Doctorate" ||
+         (std::string(edu) == "Bachelors" && hours > 40));
+    TABREP_CHECK(t.AppendRow(SynthRow{Value::Int(age), g.Str(work),
+                                      g.Str(edu), Value::Int(hours),
+                                      g.Str(high ? ">50K" : "<=50K")})
+                     .ok());
+  }
+  return t;
+}
+
+Table GenSensor(Gen& g, int64_t rows) {
+  Table t(std::vector<std::string>{"hour", "temperature", "humidity",
+                                   "status"});
+  t.set_title("");
+  t.set_caption("");
+  for (int64_t i = 0; i < rows; ++i) {
+    const int64_t hour = static_cast<int64_t>(g.rng->NextBelow(24));
+    // One decimal place, like a real sensor log (and friendlier to the
+    // tokenizer than 15-digit doubles).
+    const double temp =
+        std::round((10.0 + 15.0 * g.rng->NextDouble()) * 10.0) / 10.0;
+    const double hum =
+        std::round((30.0 + 50.0 * g.rng->NextDouble()) * 10.0) / 10.0;
+    TABREP_CHECK(t.AppendRow(SynthRow{Value::Int(hour),
+                                      Value::Double(temp),
+                                      Value::Double(hum),
+                                      g.Str(temp > 20.0 ? "warm" : "cool")})
+                     .ok());
+  }
+  return t;
+}
+
+}  // namespace
+
+TableCorpus GenerateSyntheticCorpus(const SyntheticCorpusOptions& options) {
+  TableCorpus corpus;
+  Rng rng(options.seed);
+  Gen g{&rng, &corpus.entities, options.link_entities};
+  for (int64_t i = 0; i < options.num_tables; ++i) {
+    const int64_t rows =
+        options.min_rows +
+        static_cast<int64_t>(
+            rng.NextBelow(static_cast<uint64_t>(options.max_rows -
+                                                options.min_rows + 1)));
+    Table t;
+    if (rng.NextDouble() < options.numeric_table_fraction) {
+      t = rng.NextBernoulli(0.5) ? GenCensus(g, rows) : GenSensor(g, rows);
+    } else {
+      switch (rng.NextBelow(6)) {
+        case 0: t = GenCountries(g, rows); break;
+        case 1: t = GenFilms(g, rows); break;
+        case 2: t = GenAwards(g, rows); break;
+        case 3: t = GenScientists(g, rows); break;
+        case 4: t = GenCities(g, rows); break;
+        default: t = GenCompanies(g, rows); break;
+      }
+    }
+    if (options.null_fraction > 0.0) {
+      for (int64_t r = 0; r < t.num_rows(); ++r) {
+        for (int64_t c = 0; c < t.num_columns(); ++c) {
+          if (rng.NextBernoulli(options.null_fraction)) {
+            t.set_cell(r, c, Value::Null());
+          }
+        }
+      }
+    }
+    if (rng.NextDouble() < options.headerless_fraction) {
+      t = t.WithoutHeader();
+      t.set_title("");
+      t.set_caption("");
+    }
+    t.set_id("synth-" + std::to_string(i));
+    t.InferTypes();
+    corpus.tables.push_back(std::move(t));
+  }
+  return corpus;
+}
+
+Table MakeCountryDemoTable() {
+  Table t(std::vector<std::string>{"Country", "Capital", "Population"});
+  t.set_id("demo-country");
+  t.set_title("Population in Million by Country");
+  t.set_caption("Population in Million by Country");
+  const char* picks[] = {"France", "Germany", "Italy", "Spain", "Australia",
+                         "Japan"};
+  for (const char* name : picks) {
+    for (const CountryRec& r : kCountries) {
+      if (std::string(name) == r.name) {
+        TABREP_CHECK(t.AppendRow({Value::String(r.name),
+                                  Value::String(r.capital),
+                                  Value::Double(r.population_m)})
+                         .ok());
+      }
+    }
+  }
+  t.InferTypes();
+  return t;
+}
+
+Table MakeAwardsDemoTable() {
+  Table t(std::vector<std::string>{"Year", "Recipient", "Film", "Language"});
+  t.set_id("demo-awards");
+  t.set_title("Best Director Award");
+  t.set_caption("Award recipients by year");
+  TABREP_CHECK(t.AppendRow({Value::String("1967 (15th)"),
+                            Value::String("Satyajit Ray"),
+                            Value::String("Chiriyakhana"), Value::Null()})
+                   .ok());
+  TABREP_CHECK(t.AppendRow({Value::String("1968 (16th)"), Value::Null(),
+                            Value::String("Goopy Gyne Bagha Byne"),
+                            Value::String("Bengali")})
+                   .ok());
+  TABREP_CHECK(t.AppendRow({Value::Null(), Value::String("Mrinal Sen"),
+                            Value::String("Bhuvan Shome"),
+                            Value::String("Hindi")})
+                   .ok());
+  t.InferTypes();
+  return t;
+}
+
+Table MakeCensusDemoTable() {
+  Table t(std::vector<std::string>{"age", "workclass", "education",
+                                   "hours-per-week", "income"});
+  t.set_id("demo-census");
+  TABREP_CHECK(t.AppendRow({Value::Null(), Value::String("Private"),
+                            Value::String("Some-college"), Value::Int(20),
+                            Value::String("<=50K")})
+                   .ok());
+  TABREP_CHECK(t.AppendRow({Value::Int(26), Value::Null(),
+                            Value::String("HS-grad"), Value::Int(40),
+                            Value::String("<=50K")})
+                   .ok());
+  TABREP_CHECK(t.AppendRow({Value::Int(43), Value::String("Private"),
+                            Value::String("Assoc-acdm"), Value::Int(50),
+                            Value::Null()})
+                   .ok());
+  t.InferTypes();
+  return t;
+}
+
+}  // namespace tabrep

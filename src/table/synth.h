@@ -1,0 +1,54 @@
+#ifndef TABREP_TABLE_SYNTH_H_
+#define TABREP_TABLE_SYNTH_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "table/corpus.h"
+#include "table/table.h"
+
+namespace tabrep {
+
+/// Knobs for the WikiTables / GitTables stand-in corpus.
+///
+/// Tables are sampled from fixed per-domain entity records (countries,
+/// films, scientists, cities, companies, film awards) so that cell
+/// contents obey functional dependencies (capital(country) is fixed,
+/// director(film) is fixed, ...). That relational consistency is what
+/// makes masked-cell objectives and data imputation learnable — the
+/// same property real Wikipedia tables have.
+struct SyntheticCorpusOptions {
+  int64_t num_tables = 200;
+  int64_t min_rows = 4;
+  int64_t max_rows = 10;
+  /// Fraction of tables whose headers are blanked (the paper's
+  /// "tables without descriptive headers" failure case).
+  double headerless_fraction = 0.0;
+  /// Fraction of GitTables-style numeric/categorical tables (census,
+  /// housing, sensor logs) instead of entity-centric wiki tables.
+  double numeric_table_fraction = 0.25;
+  /// Fraction of cells independently replaced by NULL.
+  double null_fraction = 0.0;
+  /// Mark entity-like cells as ValueType::kEntity with ids in the
+  /// corpus entity vocabulary (required by TURL-style objectives).
+  bool link_entities = true;
+  uint64_t seed = 42;
+};
+
+/// Generates a deterministic corpus per the options.
+TableCorpus GenerateSyntheticCorpus(const SyntheticCorpusOptions& options);
+
+/// The Fig. 1 running example: a "Population in Million by Country"
+/// table containing France, used by examples and tests.
+Table MakeCountryDemoTable();
+
+/// The Fig. 2d entity table: film awards with year/recipient/film/
+/// language and a few NULL cells to impute.
+Table MakeAwardsDemoTable();
+
+/// The Fig. 2d CSV table: adult-census-like numeric table with NULLs.
+Table MakeCensusDemoTable();
+
+}  // namespace tabrep
+
+#endif  // TABREP_TABLE_SYNTH_H_

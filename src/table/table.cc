@@ -1,0 +1,233 @@
+#include "table/table.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace tabrep {
+
+std::string_view ColumnTypeName(ColumnType type) {
+  switch (type) {
+    case ColumnType::kUnknown:
+      return "unknown";
+    case ColumnType::kText:
+      return "text";
+    case ColumnType::kNumeric:
+      return "numeric";
+    case ColumnType::kDate:
+      return "date";
+    case ColumnType::kBool:
+      return "bool";
+    case ColumnType::kEntity:
+      return "entity";
+  }
+  return "?";
+}
+
+Table::Table(std::vector<std::string> column_names) {
+  columns_.reserve(column_names.size());
+  for (std::string& name : column_names) {
+    columns_.push_back(ColumnSpec{std::move(name), ColumnType::kUnknown});
+  }
+}
+
+const ColumnSpec& Table::column(int64_t c) const {
+  TABREP_CHECK(c >= 0 && c < num_columns()) << "column " << c;
+  return columns_[static_cast<size_t>(c)];
+}
+
+ColumnSpec& Table::mutable_column(int64_t c) {
+  TABREP_CHECK(c >= 0 && c < num_columns()) << "column " << c;
+  return columns_[static_cast<size_t>(c)];
+}
+
+int64_t Table::ColumnIndex(std::string_view name) const {
+  for (int64_t c = 0; c < num_columns(); ++c) {
+    if (columns_[static_cast<size_t>(c)].name == name) return c;
+  }
+  return -1;
+}
+
+bool Table::HasHeader() const {
+  for (const ColumnSpec& col : columns_) {
+    if (!col.name.empty()) return true;
+  }
+  return false;
+}
+
+Status Table::AppendRow(std::vector<Value> row) {
+  if (static_cast<int64_t>(row.size()) != num_columns()) {
+    return Status::InvalidArgument(
+        "row width " + std::to_string(row.size()) + " != " +
+        std::to_string(num_columns()) + " columns");
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+const std::vector<Value>& Table::row(int64_t r) const {
+  TABREP_CHECK(r >= 0 && r < num_rows()) << "row " << r;
+  return rows_[static_cast<size_t>(r)];
+}
+
+const Value& Table::cell(int64_t r, int64_t c) const {
+  TABREP_CHECK(c >= 0 && c < num_columns()) << "cell col " << c;
+  return row(r)[static_cast<size_t>(c)];
+}
+
+Value& Table::mutable_cell(int64_t r, int64_t c) {
+  TABREP_CHECK(r >= 0 && r < num_rows() && c >= 0 && c < num_columns());
+  return rows_[static_cast<size_t>(r)][static_cast<size_t>(c)];
+}
+
+void Table::set_cell(int64_t r, int64_t c, Value v) {
+  mutable_cell(r, c) = std::move(v);
+}
+
+void Table::InferTypes() {
+  for (int64_t c = 0; c < num_columns(); ++c) {
+    std::vector<const Value*> cells;
+    cells.reserve(static_cast<size_t>(num_rows()));
+    for (int64_t r = 0; r < num_rows(); ++r) cells.push_back(&cell(r, c));
+    columns_[static_cast<size_t>(c)].type = InferColumnType(cells);
+  }
+}
+
+Table Table::SliceRows(int64_t begin, int64_t end) const {
+  TABREP_CHECK(begin >= 0 && begin <= end && end <= num_rows());
+  Table out = *this;
+  out.rows_.assign(rows_.begin() + begin, rows_.begin() + end);
+  return out;
+}
+
+Table Table::PermuteRows(const std::vector<int64_t>& order) const {
+  TABREP_CHECK(static_cast<int64_t>(order.size()) == num_rows());
+  Table out = *this;
+  out.rows_.clear();
+  out.rows_.reserve(order.size());
+  for (int64_t r : order) out.rows_.push_back(row(r));
+  return out;
+}
+
+Table Table::ProjectColumns(const std::vector<int64_t>& column_ids) const {
+  Table out;
+  out.id_ = id_;
+  out.title_ = title_;
+  out.caption_ = caption_;
+  for (int64_t c : column_ids) out.columns_.push_back(column(c));
+  for (int64_t r = 0; r < num_rows(); ++r) {
+    std::vector<Value> row_out;
+    row_out.reserve(column_ids.size());
+    for (int64_t c : column_ids) row_out.push_back(cell(r, c));
+    out.rows_.push_back(std::move(row_out));
+  }
+  return out;
+}
+
+Table Table::WithoutHeader() const {
+  Table out = *this;
+  for (ColumnSpec& col : out.columns_) col.name.clear();
+  return out;
+}
+
+int64_t Table::CountNulls() const {
+  int64_t n = 0;
+  for (const auto& row : rows_) {
+    for (const Value& v : row) n += v.is_null() ? 1 : 0;
+  }
+  return n;
+}
+
+std::string Table::ToString(int64_t max_rows) const {
+  std::ostringstream os;
+  if (!title_.empty()) os << "# " << title_ << "\n";
+  if (!caption_.empty()) os << "caption: " << caption_ << "\n";
+  os << "|";
+  for (const ColumnSpec& col : columns_) {
+    os << " " << col.name << " (" << ColumnTypeName(col.type) << ") |";
+  }
+  os << "\n";
+  const int64_t n = std::min(num_rows(), max_rows);
+  for (int64_t r = 0; r < n; ++r) {
+    os << "|";
+    for (int64_t c = 0; c < num_columns(); ++c) {
+      os << " " << cell(r, c).ToText() << " |";
+    }
+    os << "\n";
+  }
+  if (num_rows() > max_rows) {
+    os << "... (" << num_rows() - max_rows << " more rows)\n";
+  }
+  return os.str();
+}
+
+bool LooksLikeDate(std::string_view s) {
+  s = Trim(s);
+  // Pure 4-digit year, possibly with a parenthetical ordinal
+  // ("1967 (15th)"), or dash/slash separated dates.
+  auto all_digits = [](std::string_view t) {
+    if (t.empty()) return false;
+    for (char c : t) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+    }
+    return true;
+  };
+  if (s.size() >= 4 && all_digits(s.substr(0, 4))) {
+    if (s.size() == 4) return true;
+    const char next = s[4];
+    if (next == ' ' || next == '-' || next == '/') return true;
+  }
+  // mm/dd/yyyy or dd-mm-yyyy shapes: digits with 2 separators.
+  int separators = 0;
+  int digits = 0;
+  for (char c : s) {
+    if (c == '/' || c == '-') {
+      ++separators;
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      ++digits;
+    } else {
+      return false;
+    }
+  }
+  return separators == 2 && digits >= 4;
+}
+
+ColumnType InferColumnType(const std::vector<const Value*>& cells) {
+  int64_t non_null = 0;
+  int64_t numeric = 0;
+  int64_t boolean = 0;
+  int64_t entity = 0;
+  int64_t date = 0;
+  for (const Value* v : cells) {
+    if (v->is_null()) continue;
+    ++non_null;
+    switch (v->type()) {
+      case ValueType::kInt:
+      case ValueType::kDouble:
+        ++numeric;
+        break;
+      case ValueType::kBool:
+        ++boolean;
+        break;
+      case ValueType::kEntity:
+        ++entity;
+        break;
+      case ValueType::kString:
+        if (LooksLikeDate(v->AsString())) ++date;
+        break;
+      default:
+        break;
+    }
+  }
+  if (non_null == 0) return ColumnType::kUnknown;
+  const double n = static_cast<double>(non_null);
+  if (entity > 0 && entity >= non_null / 2) return ColumnType::kEntity;
+  if (boolean / n > 0.9) return ColumnType::kBool;
+  if (date / n > 0.6) return ColumnType::kDate;
+  if (numeric / n > 0.7) return ColumnType::kNumeric;
+  return ColumnType::kText;
+}
+
+}  // namespace tabrep

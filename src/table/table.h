@@ -1,0 +1,108 @@
+#ifndef TABREP_TABLE_TABLE_H_
+#define TABREP_TABLE_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "table/value.h"
+
+namespace tabrep {
+
+/// Semantic type inferred for a whole column.
+enum class ColumnType {
+  kUnknown = 0,
+  kText,
+  kNumeric,
+  kDate,
+  kBool,
+  kEntity,
+};
+
+std::string_view ColumnTypeName(ColumnType type);
+
+/// Column metadata: header text plus the inferred semantic type.
+struct ColumnSpec {
+  std::string name;
+  ColumnType type = ColumnType::kUnknown;
+};
+
+/// A relational table: column specs, rows of Values, and the context
+/// the paper's Fig. 1 pipeline concatenates with the serialized
+/// content (title/caption/section).
+class Table {
+ public:
+  Table() = default;
+  /// Header-only constructor; types start kUnknown until InferTypes().
+  explicit Table(std::vector<std::string> column_names);
+
+  // -- Identity / context ----------------------------------------------
+
+  const std::string& id() const { return id_; }
+  void set_id(std::string id) { id_ = std::move(id); }
+  const std::string& title() const { return title_; }
+  void set_title(std::string t) { title_ = std::move(t); }
+  const std::string& caption() const { return caption_; }
+  void set_caption(std::string c) { caption_ = std::move(c); }
+
+  // -- Schema ------------------------------------------------------------
+
+  int64_t num_columns() const { return static_cast<int64_t>(columns_.size()); }
+  int64_t num_rows() const { return static_cast<int64_t>(rows_.size()); }
+  const ColumnSpec& column(int64_t c) const;
+  ColumnSpec& mutable_column(int64_t c);
+  const std::vector<ColumnSpec>& columns() const { return columns_; }
+  /// Index of the column named `name`, or -1.
+  int64_t ColumnIndex(std::string_view name) const;
+  /// True when all headers are empty (the paper's "tables without
+  /// descriptive headers" failure case).
+  bool HasHeader() const;
+
+  // -- Data ---------------------------------------------------------------
+
+  /// Appends a row; its width must match num_columns().
+  Status AppendRow(std::vector<Value> row);
+  const std::vector<Value>& row(int64_t r) const;
+  const Value& cell(int64_t r, int64_t c) const;
+  Value& mutable_cell(int64_t r, int64_t c);
+  void set_cell(int64_t r, int64_t c, Value v);
+
+  // -- Transformations -----------------------------------------------------
+
+  /// Re-infers every column's semantic type from its values.
+  void InferTypes();
+  /// Copy with only rows [begin, end).
+  Table SliceRows(int64_t begin, int64_t end) const;
+  /// Copy with rows rearranged by `order` (a permutation of row ids).
+  Table PermuteRows(const std::vector<int64_t>& order) const;
+  /// Copy with the given columns, in the given order.
+  Table ProjectColumns(const std::vector<int64_t>& column_ids) const;
+  /// Copy with every header replaced by "".
+  Table WithoutHeader() const;
+  /// Number of null cells.
+  int64_t CountNulls() const;
+
+  /// Markdown-ish rendering for debugging.
+  std::string ToString(int64_t max_rows = 5) const;
+
+ private:
+  std::string id_;
+  std::string title_;
+  std::string caption_;
+  std::vector<ColumnSpec> columns_;
+  std::vector<std::vector<Value>> rows_;
+};
+
+/// Infers a ColumnType from the values of one column. Entity wins when
+/// any cell is an entity; Date when most non-null strings look like
+/// years/dates; Numeric when most non-null cells are numeric; etc.
+ColumnType InferColumnType(const std::vector<const Value*>& cells);
+
+/// True for "1967", "1967-05-20", "05/20/1967"-shaped strings.
+bool LooksLikeDate(std::string_view s);
+
+}  // namespace tabrep
+
+#endif  // TABREP_TABLE_TABLE_H_

@@ -1,0 +1,145 @@
+#include "table/value.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace tabrep {
+
+std::string_view ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kString:
+      return "string";
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kBool:
+      return "bool";
+    case ValueType::kEntity:
+      return "entity";
+  }
+  return "?";
+}
+
+Value Value::String(std::string s) {
+  Value v;
+  v.type_ = ValueType::kString;
+  v.data_ = std::move(s);
+  return v;
+}
+
+Value Value::Int(int64_t x) {
+  Value v;
+  v.type_ = ValueType::kInt;
+  v.data_ = x;
+  return v;
+}
+
+Value Value::Double(double x) {
+  Value v;
+  v.type_ = ValueType::kDouble;
+  v.data_ = x;
+  return v;
+}
+
+Value Value::Bool(bool x) {
+  Value v;
+  v.type_ = ValueType::kBool;
+  v.data_ = x;
+  return v;
+}
+
+Value Value::Entity(std::string surface, int32_t entity_id) {
+  Value v;
+  v.type_ = ValueType::kEntity;
+  v.data_ = std::move(surface);
+  v.entity_id_ = entity_id;
+  return v;
+}
+
+Value Value::Parse(std::string_view field) {
+  const std::string_view trimmed = Trim(field);
+  if (trimmed.empty() || trimmed == "null" || trimmed == "NULL" ||
+      trimmed == "NaN" || trimmed == "N/A") {
+    return Null();
+  }
+  int64_t i;
+  if (ParseInt64(trimmed, &i)) return Int(i);
+  double d;
+  if (ParseDouble(trimmed, &d)) return Double(d);
+  if (trimmed == "true" || trimmed == "True" || trimmed == "TRUE") {
+    return Bool(true);
+  }
+  if (trimmed == "false" || trimmed == "False" || trimmed == "FALSE") {
+    return Bool(false);
+  }
+  return String(std::string(trimmed));
+}
+
+const std::string& Value::AsString() const {
+  TABREP_CHECK(type_ == ValueType::kString || type_ == ValueType::kEntity)
+      << "AsString on " << ValueTypeName(type_);
+  return std::get<std::string>(data_);
+}
+
+int64_t Value::AsInt() const {
+  TABREP_CHECK(type_ == ValueType::kInt) << "AsInt on " << ValueTypeName(type_);
+  return std::get<int64_t>(data_);
+}
+
+double Value::AsDouble() const {
+  TABREP_CHECK(type_ == ValueType::kDouble)
+      << "AsDouble on " << ValueTypeName(type_);
+  return std::get<double>(data_);
+}
+
+bool Value::AsBool() const {
+  TABREP_CHECK(type_ == ValueType::kBool)
+      << "AsBool on " << ValueTypeName(type_);
+  return std::get<bool>(data_);
+}
+
+int32_t Value::entity_id() const {
+  TABREP_CHECK(type_ == ValueType::kEntity)
+      << "entity_id on " << ValueTypeName(type_);
+  return entity_id_;
+}
+
+double Value::ToNumber() const {
+  switch (type_) {
+    case ValueType::kInt:
+      return static_cast<double>(std::get<int64_t>(data_));
+    case ValueType::kDouble:
+      return std::get<double>(data_);
+    case ValueType::kBool:
+      return std::get<bool>(data_) ? 1.0 : 0.0;
+    default:
+      return 0.0;
+  }
+}
+
+std::string Value::ToText() const {
+  switch (type_) {
+    case ValueType::kNull:
+      return "";
+    case ValueType::kString:
+    case ValueType::kEntity:
+      return std::get<std::string>(data_);
+    case ValueType::kInt:
+      return std::to_string(std::get<int64_t>(data_));
+    case ValueType::kDouble:
+      return FormatDouble(std::get<double>(data_));
+    case ValueType::kBool:
+      return std::get<bool>(data_) ? "true" : "false";
+  }
+  return "";
+}
+
+bool Value::operator==(const Value& other) const {
+  return type_ == other.type_ && data_ == other.data_ &&
+         entity_id_ == other.entity_id_;
+}
+
+}  // namespace tabrep

@@ -1,0 +1,74 @@
+#ifndef TABREP_TABLE_VALUE_H_
+#define TABREP_TABLE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+namespace tabrep {
+
+/// Runtime type tag of a cell value.
+enum class ValueType {
+  kNull = 0,
+  kString,
+  kInt,
+  kDouble,
+  kBool,
+  /// A linked entity: string surface form that additionally carries an
+  /// id into an entity vocabulary (the TURL setting, where cells are
+  /// entities from a knowledge base).
+  kEntity,
+};
+
+std::string_view ValueTypeName(ValueType type);
+
+/// One table cell. Small, copyable, value-semantic.
+class Value {
+ public:
+  /// NULL cell.
+  Value() = default;
+
+  static Value Null() { return Value(); }
+  static Value String(std::string s);
+  static Value Int(int64_t v);
+  static Value Double(double v);
+  static Value Bool(bool v);
+  /// Entity with surface text and entity-vocabulary id.
+  static Value Entity(std::string surface, int32_t entity_id);
+
+  /// Parses a CSV field: "" -> Null, integers -> Int, floats -> Double,
+  /// "true"/"false" -> Bool, anything else -> String.
+  static Value Parse(std::string_view field);
+
+  ValueType type() const { return type_; }
+  bool is_null() const { return type_ == ValueType::kNull; }
+  bool is_numeric() const {
+    return type_ == ValueType::kInt || type_ == ValueType::kDouble;
+  }
+  bool is_entity() const { return type_ == ValueType::kEntity; }
+
+  /// Underlying data accessors; calling the wrong one aborts.
+  const std::string& AsString() const;
+  int64_t AsInt() const;
+  double AsDouble() const;
+  bool AsBool() const;
+  int32_t entity_id() const;
+
+  /// Numeric value of Int/Double/Bool cells; 0 otherwise.
+  double ToNumber() const;
+
+  /// Human/text rendering used by serializers. Null renders as "".
+  std::string ToText() const;
+
+  bool operator==(const Value& other) const;
+
+ private:
+  ValueType type_ = ValueType::kNull;
+  std::variant<std::monostate, std::string, int64_t, double, bool> data_;
+  int32_t entity_id_ = -1;
+};
+
+}  // namespace tabrep
+
+#endif  // TABREP_TABLE_VALUE_H_

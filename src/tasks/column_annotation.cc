@@ -1,0 +1,140 @@
+#include "tasks/column_annotation.h"
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace tabrep {
+
+ColumnAnnotationTask::ColumnAnnotationTask(TableEncoderModel* model,
+                                           const TableSerializer* serializer,
+                                           const TableCorpus& train,
+                                           FineTuneConfig config)
+    : model_(model),
+      serializer_(serializer),
+      config_(config),
+      rng_(config.seed) {
+  for (const Table& t : train.tables) {
+    for (const ColumnSpec& col : t.columns()) {
+      if (col.name.empty()) continue;
+      if (label_index_
+              .emplace(col.name, static_cast<int32_t>(label_names_.size()))
+              .second) {
+        label_names_.push_back(col.name);
+      }
+    }
+  }
+  TABREP_CHECK(!label_names_.empty()) << "no labeled columns in corpus";
+  head_ = std::make_unique<nn::Linear>(
+      model_->dim(), static_cast<int64_t>(label_names_.size()), rng_);
+  std::vector<ag::Variable*> params;
+  if (!config_.freeze_encoder) params = model_->Parameters();
+  for (ag::Variable* p : head_->Parameters()) params.push_back(p);
+  optimizer_ = std::make_unique<nn::Adam>(std::move(params), config_.lr);
+}
+
+std::vector<ColumnAnnotationExample> ColumnAnnotationTask::CollectExamples(
+    const TableCorpus& corpus) const {
+  std::vector<ColumnAnnotationExample> out;
+  for (size_t ti = 0; ti < corpus.tables.size(); ++ti) {
+    const Table& t = corpus.tables[ti];
+    for (int64_t c = 0; c < t.num_columns(); ++c) {
+      auto it = label_index_.find(t.column(c).name);
+      if (it == label_index_.end()) continue;
+      ColumnAnnotationExample ex;
+      ex.table_index = static_cast<int64_t>(ti);
+      ex.col = static_cast<int32_t>(c);
+      ex.label = it->second;
+      out.push_back(ex);
+    }
+  }
+  return out;
+}
+
+ag::Variable ColumnAnnotationTask::ForwardColumn(const Table& table,
+                                                 int32_t col, Rng& rng,
+                                                 bool* ok) {
+  *ok = false;
+  // Hide all headers: the task is content -> label.
+  TokenizedTable serialized = serializer_->Serialize(table.WithoutHeader());
+  models::Encoded enc = model_->Encode(serialized, rng, /*need_cells=*/true);
+  if (!enc.has_cells) return ag::Variable();
+  std::vector<ag::Variable> column_cells;
+  for (size_t i = 0; i < serialized.cells.size(); ++i) {
+    if (serialized.cells[i].col == col) {
+      column_cells.push_back(ag::SliceRows(
+          enc.cells, static_cast<int64_t>(i), static_cast<int64_t>(i) + 1));
+    }
+  }
+  if (column_cells.empty()) return ag::Variable();
+  ag::Variable pooled = ag::Reshape(
+      ag::MeanRows(ag::ConcatRows(column_cells)), {1, model_->dim()});
+  *ok = true;
+  return head_->Forward(pooled);
+}
+
+void ColumnAnnotationTask::Train(const TableCorpus& train) {
+  std::vector<ColumnAnnotationExample> examples = CollectExamples(train);
+  TABREP_CHECK(!examples.empty());
+  model_->SetTraining(true);
+  head_->SetTraining(true);
+  std::vector<ag::Variable*> params;
+  if (!config_.freeze_encoder) params = model_->Parameters();
+  for (ag::Variable* p : head_->Parameters()) params.push_back(p);
+
+  for (int64_t step = 0; step < config_.steps; ++step) {
+    optimizer_->ZeroGrad();
+    for (int64_t b = 0; b < config_.batch_size; ++b) {
+      const ColumnAnnotationExample& ex =
+          examples[rng_.NextBelow(examples.size())];
+      bool ok = false;
+      ag::Variable logits =
+          ForwardColumn(train.tables[static_cast<size_t>(ex.table_index)],
+                        ex.col, rng_, &ok);
+      if (!ok) continue;
+      ag::Variable loss = ag::CrossEntropy(logits, {ex.label});
+      ag::Backward(loss);
+    }
+    nn::ClipGradNorm(params, config_.grad_clip);
+    optimizer_->Step();
+  }
+}
+
+ClassificationReport ColumnAnnotationTask::Evaluate(const TableCorpus& test,
+                                                    int64_t max_examples) {
+  std::vector<ColumnAnnotationExample> examples = CollectExamples(test);
+  model_->SetTraining(false);
+  head_->SetTraining(false);
+  Rng eval_rng(config_.seed + 500);
+  if (static_cast<int64_t>(examples.size()) > max_examples) {
+    eval_rng.Shuffle(examples);
+    examples.resize(static_cast<size_t>(max_examples));
+  }
+  std::vector<int32_t> predictions, targets;
+  for (const ColumnAnnotationExample& ex : examples) {
+    bool ok = false;
+    ag::Variable logits =
+        ForwardColumn(test.tables[static_cast<size_t>(ex.table_index)],
+                      ex.col, eval_rng, &ok);
+    if (!ok) continue;
+    predictions.push_back(ops::ArgmaxRows(logits.value())[0]);
+    targets.push_back(ex.label);
+  }
+  model_->SetTraining(true);
+  head_->SetTraining(true);
+  return ComputeClassification(predictions, targets);
+}
+
+std::string ColumnAnnotationTask::PredictColumn(const Table& table,
+                                                int32_t col) {
+  model_->SetTraining(false);
+  head_->SetTraining(false);
+  Rng rng(config_.seed + 900);
+  bool ok = false;
+  ag::Variable logits = ForwardColumn(table, col, rng, &ok);
+  model_->SetTraining(true);
+  head_->SetTraining(true);
+  if (!ok) return "";
+  return label_names_[static_cast<size_t>(ops::ArgmaxRows(logits.value())[0])];
+}
+
+}  // namespace tabrep

@@ -1,0 +1,73 @@
+#ifndef TABREP_TASKS_COLUMN_ANNOTATION_H_
+#define TABREP_TASKS_COLUMN_ANNOTATION_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "models/table_encoder.h"
+#include "nn/optimizer.h"
+#include "serialize/serializer.h"
+#include "table/corpus.h"
+#include "tasks/finetune.h"
+
+namespace tabrep {
+
+/// One column-annotation instance: predict the semantic label (the
+/// hidden header name) of column `col` of table `table_index` from its
+/// values alone.
+struct ColumnAnnotationExample {
+  int64_t table_index = 0;
+  int32_t col = 0;
+  int32_t label = 0;
+};
+
+/// Column type/name prediction ("table metadata prediction", §2.1):
+/// the table is serialized WITHOUT headers; the model classifies each
+/// column from content. Labels are the distinct header names of the
+/// training corpus (the Sherlock/Doduo/TURL column-annotation setting
+/// in miniature).
+class ColumnAnnotationTask {
+ public:
+  ColumnAnnotationTask(TableEncoderModel* model,
+                       const TableSerializer* serializer,
+                       const TableCorpus& train, FineTuneConfig config);
+
+  void Train(const TableCorpus& train);
+
+  ClassificationReport Evaluate(const TableCorpus& test,
+                                int64_t max_examples = 200);
+
+  /// Predicts the header name of column `col` of a (possibly
+  /// headerless) table.
+  std::string PredictColumn(const Table& table, int32_t col);
+
+  std::vector<ColumnAnnotationExample> CollectExamples(
+      const TableCorpus& corpus) const;
+
+  int64_t num_labels() const {
+    return static_cast<int64_t>(label_names_.size());
+  }
+  const std::string& label_name(int32_t id) const { return label_names_[id]; }
+
+ private:
+  /// Logits [1, num_labels] for one column; ok=false when every cell
+  /// of the column was truncated away.
+  ag::Variable ForwardColumn(const Table& table, int32_t col, Rng& rng,
+                             bool* ok);
+
+  TableEncoderModel* model_;
+  const TableSerializer* serializer_;
+  FineTuneConfig config_;
+  Rng rng_;
+  std::unordered_map<std::string, int32_t> label_index_;
+  std::vector<std::string> label_names_;
+  std::unique_ptr<nn::Linear> head_;
+  std::unique_ptr<nn::Adam> optimizer_;
+};
+
+}  // namespace tabrep
+
+#endif  // TABREP_TASKS_COLUMN_ANNOTATION_H_

@@ -1,0 +1,119 @@
+#include "tasks/entity_matching.h"
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace tabrep {
+
+std::vector<MatchingExample> GenerateMatchingExamples(
+    const TableCorpus& corpus, int64_t per_table, Rng& rng,
+    const CorruptionOptions& corruption) {
+  std::vector<MatchingExample> out;
+  for (const Table& t : corpus.tables) {
+    if (t.num_rows() < 2) continue;
+    std::vector<std::string> headers;
+    for (const ColumnSpec& col : t.columns()) headers.push_back(col.name);
+    for (int64_t i = 0; i < per_table; ++i) {
+      const int64_t r = static_cast<int64_t>(
+          rng.NextBelow(static_cast<uint64_t>(t.num_rows())));
+      MatchingExample ex;
+      ex.headers = headers;
+      ex.left = t.row(r);
+      if (rng.NextBernoulli(0.5)) {
+        // Positive: a corrupted copy of the same record.
+        ex.right = CorruptRow(t.row(r), rng, corruption);
+        ex.label = 1;
+      } else {
+        // Hard negative: a different record of the same table,
+        // corrupted half the time so "clean == negative" cannot leak.
+        int64_t other = r;
+        while (other == r) {
+          other = static_cast<int64_t>(
+              rng.NextBelow(static_cast<uint64_t>(t.num_rows())));
+        }
+        ex.right = rng.NextBernoulli(0.5)
+                       ? CorruptRow(t.row(other), rng, corruption)
+                       : t.row(other);
+        ex.label = 0;
+      }
+      out.push_back(std::move(ex));
+    }
+  }
+  return out;
+}
+
+EntityMatchingTask::EntityMatchingTask(TableEncoderModel* model,
+                                       const TableSerializer* serializer,
+                                       FineTuneConfig config)
+    : model_(model),
+      serializer_(serializer),
+      config_(config),
+      rng_(config.seed),
+      head_(model->dim(), 2, rng_) {
+  std::vector<ag::Variable*> params;
+  if (!config_.freeze_encoder) params = model_->Parameters();
+  for (ag::Variable* p : head_.Parameters()) params.push_back(p);
+  optimizer_ = std::make_unique<nn::Adam>(std::move(params), config_.lr);
+}
+
+Table EntityMatchingTask::PairTable(const MatchingExample& ex) {
+  Table pair(ex.headers);
+  TABREP_CHECK(pair.AppendRow(ex.left).ok());
+  TABREP_CHECK(pair.AppendRow(ex.right).ok());
+  pair.InferTypes();
+  return pair;
+}
+
+ag::Variable EntityMatchingTask::Forward(const MatchingExample& ex, Rng& rng) {
+  TokenizedTable serialized = serializer_->Serialize(PairTable(ex));
+  models::Encoded enc = model_->Encode(serialized, rng, /*need_cells=*/false);
+  return head_.Forward(model_->Cls(enc));
+}
+
+void EntityMatchingTask::Train(const std::vector<MatchingExample>& examples) {
+  TABREP_CHECK(!examples.empty());
+  model_->SetTraining(true);
+  head_.SetTraining(true);
+  std::vector<ag::Variable*> params;
+  if (!config_.freeze_encoder) params = model_->Parameters();
+  for (ag::Variable* p : head_.Parameters()) params.push_back(p);
+
+  for (int64_t step = 0; step < config_.steps; ++step) {
+    optimizer_->ZeroGrad();
+    for (int64_t b = 0; b < config_.batch_size; ++b) {
+      const MatchingExample& ex = examples[rng_.NextBelow(examples.size())];
+      ag::Variable loss = ag::CrossEntropy(Forward(ex, rng_), {ex.label});
+      ag::Backward(loss);
+    }
+    nn::ClipGradNorm(params, config_.grad_clip);
+    optimizer_->Step();
+  }
+}
+
+ClassificationReport EntityMatchingTask::Evaluate(
+    const std::vector<MatchingExample>& examples) {
+  model_->SetTraining(false);
+  head_.SetTraining(false);
+  Rng eval_rng(config_.seed + 500);
+  std::vector<int32_t> predictions, targets;
+  for (const MatchingExample& ex : examples) {
+    predictions.push_back(
+        ops::ArgmaxRows(Forward(ex, eval_rng).value())[0]);
+    targets.push_back(ex.label);
+  }
+  model_->SetTraining(true);
+  head_.SetTraining(true);
+  return ComputeClassification(predictions, targets);
+}
+
+int32_t EntityMatchingTask::Match(const MatchingExample& pair) {
+  model_->SetTraining(false);
+  head_.SetTraining(false);
+  Rng rng(config_.seed + 900);
+  const int32_t out = ops::ArgmaxRows(Forward(pair, rng).value())[0];
+  model_->SetTraining(true);
+  head_.SetTraining(true);
+  return out;
+}
+
+}  // namespace tabrep

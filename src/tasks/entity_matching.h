@@ -1,0 +1,68 @@
+#ifndef TABREP_TASKS_ENTITY_MATCHING_H_
+#define TABREP_TASKS_ENTITY_MATCHING_H_
+
+#include <memory>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "models/heads.h"
+#include "models/table_encoder.h"
+#include "nn/optimizer.h"
+#include "serialize/serializer.h"
+#include "table/corpus.h"
+#include "table/corruption.h"
+#include "tasks/finetune.h"
+
+namespace tabrep {
+
+/// One entity-matching instance: two records under a shared schema,
+/// labeled 1 when they describe the same entity. Records are stored as
+/// value rows; the task serializes them as a two-row table (the
+/// Ditto-style "serialize the pair, classify with [CLS]" recipe the
+/// paper's data-integration references use).
+struct MatchingExample {
+  std::vector<std::string> headers;
+  std::vector<Value> left;
+  std::vector<Value> right;
+  int32_t label = 0;  // 1 = same entity
+};
+
+/// Generates balanced pairs from a corpus: positives are (row,
+/// corrupted copy of the same row); negatives pair a row with a
+/// different row of the same table (hard negatives sharing the
+/// schema), also corrupted half the time so noise alone cannot
+/// separate the classes.
+std::vector<MatchingExample> GenerateMatchingExamples(
+    const TableCorpus& corpus, int64_t per_table, Rng& rng,
+    const CorruptionOptions& corruption = {});
+
+/// Binary entity matching over the [CLS] of the serialized pair.
+class EntityMatchingTask {
+ public:
+  EntityMatchingTask(TableEncoderModel* model,
+                     const TableSerializer* serializer, FineTuneConfig config);
+
+  void Train(const std::vector<MatchingExample>& examples);
+
+  ClassificationReport Evaluate(const std::vector<MatchingExample>& examples);
+
+  /// Classifies one pair (1 = same entity).
+  int32_t Match(const MatchingExample& pair);
+
+ private:
+  /// Builds the two-row pair table.
+  static Table PairTable(const MatchingExample& ex);
+
+  ag::Variable Forward(const MatchingExample& ex, Rng& rng);
+
+  TableEncoderModel* model_;
+  const TableSerializer* serializer_;
+  FineTuneConfig config_;
+  Rng rng_;
+  models::ClsHead head_;
+  std::unique_ptr<nn::Adam> optimizer_;
+};
+
+}  // namespace tabrep
+
+#endif  // TABREP_TASKS_ENTITY_MATCHING_H_

@@ -1,0 +1,160 @@
+#include "tasks/fact_verification.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "sql/generator.h"
+#include "tensor/ops.h"
+
+namespace tabrep {
+
+std::vector<FactExample> GenerateFactExamples(const TableCorpus& corpus,
+                                              int64_t per_table, Rng& rng) {
+  std::vector<FactExample> out;
+  for (size_t ti = 0; ti < corpus.tables.size(); ++ti) {
+    const Table& t = corpus.tables[ti];
+    if (!t.HasHeader() || t.num_columns() < 2 || t.num_rows() < 2) continue;
+    for (int64_t q = 0; q < per_table; ++q) {
+      const int64_t r = static_cast<int64_t>(
+          rng.NextBelow(static_cast<uint64_t>(t.num_rows())));
+      const int64_t c = 1 + static_cast<int64_t>(rng.NextBelow(
+                                static_cast<uint64_t>(t.num_columns() - 1)));
+      const std::string key = t.cell(r, 0).ToText();
+      const std::string value = t.cell(r, c).ToText();
+      if (key.empty() || value.empty()) continue;
+      const bool entailed = rng.NextBernoulli(0.5);
+      std::string used_value = value;
+      if (!entailed) {
+        // Wrong value from another row of the same column.
+        std::string other;
+        for (int attempt = 0; attempt < 8; ++attempt) {
+          const int64_t r2 = static_cast<int64_t>(
+              rng.NextBelow(static_cast<uint64_t>(t.num_rows())));
+          other = t.cell(r2, c).ToText();
+          if (!other.empty() && other != value) break;
+          other.clear();
+        }
+        if (other.empty()) continue;  // no contrasting value available
+        used_value = other;
+      }
+      FactExample ex;
+      ex.table_index = static_cast<int64_t>(ti);
+      ex.claim = "the " + ToLowerAscii(t.column(c).name) + " of " +
+                 ToLowerAscii(key) + " is " + ToLowerAscii(used_value);
+      ex.label = entailed ? 1 : 0;
+      out.push_back(std::move(ex));
+    }
+  }
+  return out;
+}
+
+std::vector<FactExample> GenerateAggregateFactExamples(
+    const TableCorpus& corpus, int64_t per_table, Rng& rng) {
+  sql::QueryGeneratorOptions options;
+  options.aggregate_prob = 1.0;
+  options.second_condition_prob = 0.0;
+  std::vector<FactExample> out;
+  for (size_t ti = 0; ti < corpus.tables.size(); ++ti) {
+    const Table& t = corpus.tables[ti];
+    if (!t.HasHeader()) continue;
+    for (int64_t i = 0; i < per_table; ++i) {
+      auto generated = sql::GenerateQuery(t, rng, options);
+      if (!generated || generated->result.values.empty()) continue;
+      const Value& answer = generated->result.values.front();
+      if (!answer.is_numeric()) continue;
+      const bool entailed = rng.NextBernoulli(0.5);
+      double claimed = answer.ToNumber();
+      if (!entailed) {
+        // Perturb by 25-75% in a random direction; never a no-op.
+        const double factor = 1.25 + 0.5 * rng.NextDouble();
+        claimed = rng.NextBernoulli(0.5) ? claimed * factor
+                                         : claimed / factor;
+        if (claimed == answer.ToNumber()) claimed += 1.0;
+      }
+      FactExample ex;
+      ex.table_index = static_cast<int64_t>(ti);
+      ex.claim = sql::QueryToQuestion(generated->query);
+      // "what is the average X when Y is Z" -> "the average X ... is V".
+      if (StartsWith(ex.claim, "what is ")) ex.claim = ex.claim.substr(8);
+      ex.claim += " is " + FormatDouble(claimed, 4);
+      ex.label = entailed ? 1 : 0;
+      out.push_back(std::move(ex));
+    }
+  }
+  return out;
+}
+
+FactVerificationTask::FactVerificationTask(TableEncoderModel* model,
+                                           const TableSerializer* serializer,
+                                           FineTuneConfig config)
+    : model_(model),
+      serializer_(serializer),
+      config_(config),
+      rng_(config.seed),
+      head_(model->dim(), 2, rng_) {
+  std::vector<ag::Variable*> params;
+  if (!config_.freeze_encoder) params = model_->Parameters();
+  for (ag::Variable* p : head_.Parameters()) params.push_back(p);
+  optimizer_ = std::make_unique<nn::Adam>(std::move(params), config_.lr);
+}
+
+ag::Variable FactVerificationTask::Forward(const Table& table,
+                                           const std::string& claim,
+                                           Rng& rng) {
+  TokenizedTable serialized = serializer_->Serialize(table, claim);
+  models::Encoded enc = model_->Encode(serialized, rng, /*need_cells=*/false);
+  return head_.Forward(model_->Cls(enc));
+}
+
+void FactVerificationTask::Train(const TableCorpus& corpus,
+                                 const std::vector<FactExample>& examples) {
+  TABREP_CHECK(!examples.empty());
+  model_->SetTraining(true);
+  head_.SetTraining(true);
+  std::vector<ag::Variable*> params;
+  if (!config_.freeze_encoder) params = model_->Parameters();
+  for (ag::Variable* p : head_.Parameters()) params.push_back(p);
+
+  for (int64_t step = 0; step < config_.steps; ++step) {
+    optimizer_->ZeroGrad();
+    for (int64_t b = 0; b < config_.batch_size; ++b) {
+      const FactExample& ex = examples[rng_.NextBelow(examples.size())];
+      ag::Variable logits = Forward(
+          corpus.tables[static_cast<size_t>(ex.table_index)], ex.claim, rng_);
+      ag::Variable loss = ag::CrossEntropy(logits, {ex.label});
+      ag::Backward(loss);
+    }
+    nn::ClipGradNorm(params, config_.grad_clip);
+    optimizer_->Step();
+  }
+}
+
+ClassificationReport FactVerificationTask::Evaluate(
+    const TableCorpus& corpus, const std::vector<FactExample>& examples) {
+  model_->SetTraining(false);
+  head_.SetTraining(false);
+  Rng eval_rng(config_.seed + 500);
+  std::vector<int32_t> predictions, targets;
+  for (const FactExample& ex : examples) {
+    ag::Variable logits =
+        Forward(corpus.tables[static_cast<size_t>(ex.table_index)], ex.claim,
+                eval_rng);
+    predictions.push_back(ops::ArgmaxRows(logits.value())[0]);
+    targets.push_back(ex.label);
+  }
+  model_->SetTraining(true);
+  head_.SetTraining(true);
+  return ComputeClassification(predictions, targets);
+}
+
+int32_t FactVerificationTask::Verify(const Table& table,
+                                     const std::string& claim) {
+  model_->SetTraining(false);
+  head_.SetTraining(false);
+  Rng rng(config_.seed + 900);
+  ag::Variable logits = Forward(table, claim, rng);
+  model_->SetTraining(true);
+  head_.SetTraining(true);
+  return ops::ArgmaxRows(logits.value())[0];
+}
+
+}  // namespace tabrep

@@ -1,0 +1,70 @@
+#ifndef TABREP_TASKS_FACT_VERIFICATION_H_
+#define TABREP_TASKS_FACT_VERIFICATION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "models/heads.h"
+#include "models/table_encoder.h"
+#include "nn/optimizer.h"
+#include "serialize/serializer.h"
+#include "table/corpus.h"
+#include "tasks/finetune.h"
+
+namespace tabrep {
+
+/// One table-fact-verification instance (TabFact-style): a claim that
+/// is either entailed (label 1) or refuted (label 0) by the table.
+struct FactExample {
+  int64_t table_index = 0;
+  std::string claim;
+  int32_t label = 0;  // 1 = entailed, 0 = refuted
+};
+
+/// Generates balanced claims: entailed claims read a (key, column,
+/// value) triple off the table; refuted claims swap in a wrong value
+/// drawn from the same column of another row.
+std::vector<FactExample> GenerateFactExamples(const TableCorpus& corpus,
+                                              int64_t per_table, Rng& rng);
+
+/// Generates *aggregate* claims ("the average population when continent
+/// is europe is 47.4"), labeled by executing the underlying SQL query —
+/// TabFact's "complex claims" class, which requires numeric reasoning
+/// rather than cell lookup. Refuted claims perturb the true aggregate
+/// by a noticeable factor.
+std::vector<FactExample> GenerateAggregateFactExamples(
+    const TableCorpus& corpus, int64_t per_table, Rng& rng);
+
+/// Binary entailment over [CLS] with the claim in the context segment.
+class FactVerificationTask {
+ public:
+  FactVerificationTask(TableEncoderModel* model,
+                       const TableSerializer* serializer,
+                       FineTuneConfig config);
+
+  void Train(const TableCorpus& corpus,
+             const std::vector<FactExample>& examples);
+
+  /// Accuracy + per-class F1 on held-out claims.
+  ClassificationReport Evaluate(const TableCorpus& corpus,
+                                const std::vector<FactExample>& examples);
+
+  /// Classifies one claim against one table (1 = entailed).
+  int32_t Verify(const Table& table, const std::string& claim);
+
+ private:
+  ag::Variable Forward(const Table& table, const std::string& claim, Rng& rng);
+
+  TableEncoderModel* model_;
+  const TableSerializer* serializer_;
+  FineTuneConfig config_;
+  Rng rng_;
+  models::ClsHead head_;
+  std::unique_ptr<nn::Adam> optimizer_;
+};
+
+}  // namespace tabrep
+
+#endif  // TABREP_TASKS_FACT_VERIFICATION_H_

@@ -1,0 +1,23 @@
+#ifndef TABREP_TASKS_FINETUNE_H_
+#define TABREP_TASKS_FINETUNE_H_
+
+#include <cstdint>
+
+namespace tabrep {
+
+/// Shared fine-tuning hyperparameters (§3.4: "the relatively simple
+/// process" of adapting a pretrained model to a downstream task).
+struct FineTuneConfig {
+  int64_t steps = 150;
+  int64_t batch_size = 4;
+  float lr = 5e-4f;
+  float grad_clip = 1.0f;
+  uint64_t seed = 11;
+  /// Freeze the encoder and train only the task head (the "use as
+  /// feature extractor" regime some surveyed works choose).
+  bool freeze_encoder = false;
+};
+
+}  // namespace tabrep
+
+#endif  // TABREP_TASKS_FINETUNE_H_

@@ -1,0 +1,287 @@
+#include "tasks/imputation.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+#include "text/vocab.h"
+
+namespace tabrep {
+
+namespace {
+
+/// Categorical columns: text/entity/date/bool content.
+bool CategoricalColumn(const ColumnSpec& col) {
+  return col.type == ColumnType::kText || col.type == ColumnType::kEntity ||
+         col.type == ColumnType::kBool || col.type == ColumnType::kDate;
+}
+
+bool ColumnMatches(const ColumnSpec& col, CellCategory category,
+                   bool include_numeric) {
+  switch (category) {
+    case CellCategory::kCategorical:
+      return CategoricalColumn(col);
+    case CellCategory::kNumeric:
+      return col.type == ColumnType::kNumeric;
+    case CellCategory::kAll:
+      return CategoricalColumn(col) ||
+             (include_numeric && col.type == ColumnType::kNumeric);
+  }
+  return false;
+}
+
+/// Serialized copy with the target cell's tokens replaced by [MASK]
+/// (and its entity channel by ENT_MASK). Matching the pretraining
+/// corruption exactly is what lets MLM/MER pretraining transfer to
+/// imputation.
+TokenizedTable MaskCellTokens(const TokenizedTable& serialized,
+                              const CellSpan& span) {
+  TokenizedTable masked = serialized;
+  for (int32_t i = span.begin; i < span.end; ++i) {
+    TokenInfo& tok = masked.tokens[static_cast<size_t>(i)];
+    tok.id = SpecialTokens::kMaskId;
+    tok.entity_id = EntityVocab::kEntMaskId;
+  }
+  for (CellSpan& s : masked.cells) {
+    if (s.row == span.row && s.col == span.col) {
+      s.entity_id = EntityVocab::kEntMaskId;
+    }
+  }
+  return masked;
+}
+
+}  // namespace
+
+ImputationTask::ImputationTask(TableEncoderModel* model,
+                               const TableSerializer* serializer,
+                               const TableCorpus& train, FineTuneConfig config,
+                               ImputationOptions options)
+    : model_(model),
+      serializer_(serializer),
+      config_(config),
+      options_(options),
+      rng_(config.seed) {
+  TABREP_CHECK(model_ != nullptr && serializer_ != nullptr);
+  // Value vocabulary: every imputable cell value in the train corpus.
+  for (const Table& t : train.tables) {
+    for (int64_t c = 0; c < t.num_columns(); ++c) {
+      if (!ColumnMatches(t.column(c), CellCategory::kAll,
+                         options_.include_numeric_columns)) {
+        continue;
+      }
+      for (int64_t r = 0; r < t.num_rows(); ++r) {
+        const Value& v = t.cell(r, c);
+        if (v.is_null()) continue;
+        const std::string text = v.ToText();
+        if (value_index_.emplace(text, static_cast<int32_t>(value_names_.size()))
+                .second) {
+          value_names_.push_back(text);
+        }
+      }
+    }
+  }
+  TABREP_CHECK(!value_names_.empty()) << "no imputable values in corpus";
+  head_ = std::make_unique<nn::Linear>(
+      model_->dim(), static_cast<int64_t>(value_names_.size()), rng_);
+
+  std::vector<ag::Variable*> params;
+  if (!config_.freeze_encoder) params = model_->Parameters();
+  for (ag::Variable* p : head_->Parameters()) params.push_back(p);
+  optimizer_ = std::make_unique<nn::Adam>(std::move(params), config_.lr);
+}
+
+ImputationTask::~ImputationTask() = default;
+
+std::vector<ImputationExample> ImputationTask::CollectExamples(
+    const TableCorpus& corpus, bool require_known,
+    CellCategory category) const {
+  std::vector<ImputationExample> out;
+  for (size_t ti = 0; ti < corpus.tables.size(); ++ti) {
+    const Table& t = corpus.tables[ti];
+    for (int64_t c = 0; c < t.num_columns(); ++c) {
+      if (!ColumnMatches(t.column(c), category,
+                         options_.include_numeric_columns)) {
+        continue;
+      }
+      for (int64_t r = 0; r < t.num_rows(); ++r) {
+        const Value& v = t.cell(r, c);
+        if (v.is_null()) continue;
+        auto it = value_index_.find(v.ToText());
+        if (it == value_index_.end()) {
+          if (require_known) continue;
+          // Unknown values cannot be targets; skip regardless.
+          continue;
+        }
+        ImputationExample ex;
+        ex.table_index = static_cast<int64_t>(ti);
+        ex.row = static_cast<int32_t>(r);
+        ex.col = static_cast<int32_t>(c);
+        ex.value_id = it->second;
+        out.push_back(ex);
+      }
+    }
+  }
+  return out;
+}
+
+ag::Variable ImputationTask::ForwardExample(const Table& table, int32_t row,
+                                            int32_t col, Rng& rng, bool* ok) {
+  *ok = false;
+  TokenizedTable plain = serializer_->Serialize(table);
+  const CellSpan* span = plain.FindCell(row, col);
+  if (span == nullptr) return ag::Variable();  // truncated away
+  TokenizedTable serialized = MaskCellTokens(plain, *span);
+  models::Encoded enc = model_->Encode(serialized, rng, /*need_cells=*/true);
+  if (!enc.has_cells) return ag::Variable();
+  // Locate the masked cell's index among the spans.
+  int64_t cell_index = -1;
+  for (size_t i = 0; i < serialized.cells.size(); ++i) {
+    if (serialized.cells[i].row == row && serialized.cells[i].col == col) {
+      cell_index = static_cast<int64_t>(i);
+      break;
+    }
+  }
+  if (cell_index < 0) return ag::Variable();
+  ag::Variable rep = ag::SliceRows(enc.cells, cell_index, cell_index + 1);
+  *ok = true;
+  return head_->Forward(rep);  // [1, num_values]
+}
+
+double ImputationTask::Train(const TableCorpus& train) {
+  std::vector<ImputationExample> examples = CollectExamples(train, true);
+  TABREP_CHECK(!examples.empty()) << "no training examples";
+  model_->SetTraining(true);
+  head_->SetTraining(true);
+
+  std::vector<ag::Variable*> params;
+  if (!config_.freeze_encoder) params = model_->Parameters();
+  for (ag::Variable* p : head_->Parameters()) params.push_back(p);
+
+  int64_t recent_correct = 0, recent_total = 0;
+  const int64_t tail_start = config_.steps * 3 / 4;
+  for (int64_t step = 0; step < config_.steps; ++step) {
+    optimizer_->ZeroGrad();
+    for (int64_t b = 0; b < config_.batch_size; ++b) {
+      const ImputationExample& ex =
+          examples[rng_.NextBelow(examples.size())];
+      bool ok = false;
+      ag::Variable logits =
+          ForwardExample(train.tables[static_cast<size_t>(ex.table_index)],
+                         ex.row, ex.col, rng_, &ok);
+      if (!ok) continue;
+      int64_t correct = 0, counted = 0;
+      ag::Variable loss =
+          ag::CrossEntropy(logits, {ex.value_id}, /*ignore_index=*/-100,
+                           &correct, &counted);
+      ag::Backward(loss);
+      if (step >= tail_start) {
+        recent_correct += correct;
+        recent_total += counted;
+      }
+    }
+    nn::ClipGradNorm(params, config_.grad_clip);
+    optimizer_->Step();
+  }
+  return recent_total > 0
+             ? static_cast<double>(recent_correct) / recent_total
+             : 0.0;
+}
+
+ClassificationReport ImputationTask::Evaluate(const TableCorpus& test,
+                                              int64_t max_examples,
+                                              CellCategory category) {
+  std::vector<ImputationExample> examples =
+      CollectExamples(test, true, category);
+  if (examples.empty()) return ClassificationReport();
+  model_->SetTraining(false);
+  head_->SetTraining(false);
+  Rng eval_rng(config_.seed + 500);
+  if (static_cast<int64_t>(examples.size()) > max_examples) {
+    eval_rng.Shuffle(examples);
+    examples.resize(static_cast<size_t>(max_examples));
+  }
+  std::vector<int32_t> predictions, targets;
+  for (const ImputationExample& ex : examples) {
+    bool ok = false;
+    ag::Variable logits =
+        ForwardExample(test.tables[static_cast<size_t>(ex.table_index)],
+                       ex.row, ex.col, eval_rng, &ok);
+    if (!ok) continue;
+    predictions.push_back(ops::ArgmaxRows(logits.value())[0]);
+    targets.push_back(ex.value_id);
+  }
+  model_->SetTraining(true);
+  head_->SetTraining(true);
+  return ComputeClassification(predictions, targets);
+}
+
+std::vector<std::string> ImputationTask::PredictCellTopK(const Table& table,
+                                                         int32_t row,
+                                                         int32_t col,
+                                                         int64_t k) {
+  model_->SetTraining(false);
+  head_->SetTraining(false);
+  Rng rng(config_.seed + 901);
+  bool ok = false;
+  ag::Variable logits = ForwardExample(table, row, col, rng, &ok);
+  model_->SetTraining(true);
+  head_->SetTraining(true);
+  if (!ok) return {};
+  const Tensor& scores = logits.value();
+  std::vector<std::pair<float, int32_t>> ranked;
+  ranked.reserve(static_cast<size_t>(scores.numel()));
+  for (int64_t i = 0; i < scores.numel(); ++i) {
+    ranked.emplace_back(scores[i], static_cast<int32_t>(i));
+  }
+  std::partial_sort(ranked.begin(),
+                    ranked.begin() + std::min<int64_t>(k, ranked.size()),
+                    ranked.end(),
+                    [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<std::string> out;
+  for (int64_t i = 0; i < k && i < static_cast<int64_t>(ranked.size()); ++i) {
+    out.push_back(value_names_[static_cast<size_t>(ranked[i].second)]);
+  }
+  return out;
+}
+
+double ImputationTask::EvaluateHitAtK(const TableCorpus& test, int64_t k,
+                                      int64_t max_examples) {
+  std::vector<ImputationExample> examples = CollectExamples(test, true);
+  Rng shuffle_rng(config_.seed + 600);
+  if (static_cast<int64_t>(examples.size()) > max_examples) {
+    shuffle_rng.Shuffle(examples);
+    examples.resize(static_cast<size_t>(max_examples));
+  }
+  int64_t hits = 0, total = 0;
+  for (const ImputationExample& ex : examples) {
+    const Table& t = test.tables[static_cast<size_t>(ex.table_index)];
+    std::vector<std::string> candidates =
+        PredictCellTopK(t, ex.row, ex.col, k);
+    if (candidates.empty()) continue;
+    ++total;
+    const std::string& gold = value_names_[static_cast<size_t>(ex.value_id)];
+    for (const std::string& c : candidates) {
+      if (c == gold) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return total > 0 ? static_cast<double>(hits) / total : 0.0;
+}
+
+std::string ImputationTask::PredictCell(const Table& table, int32_t row,
+                                        int32_t col) {
+  model_->SetTraining(false);
+  head_->SetTraining(false);
+  Rng rng(config_.seed + 900);
+  bool ok = false;
+  ag::Variable logits = ForwardExample(table, row, col, rng, &ok);
+  model_->SetTraining(true);
+  head_->SetTraining(true);
+  if (!ok) return "";
+  return value_names_[static_cast<size_t>(
+      ops::ArgmaxRows(logits.value())[0])];
+}
+
+}  // namespace tabrep

@@ -1,0 +1,114 @@
+#ifndef TABREP_TASKS_IMPUTATION_H_
+#define TABREP_TASKS_IMPUTATION_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "models/table_encoder.h"
+#include "nn/optimizer.h"
+#include "serialize/serializer.h"
+#include "table/corpus.h"
+#include "tasks/finetune.h"
+
+namespace tabrep {
+
+/// One imputation instance: table `table_index` with cell (row, col)
+/// hidden; the model must recover the original value.
+struct ImputationExample {
+  int64_t table_index = 0;
+  int32_t row = 0;
+  int32_t col = 0;
+  int32_t value_id = 0;  // index into the task's value vocabulary
+};
+
+/// Which cells count as imputation targets.
+enum class CellCategory {
+  kAll,
+  /// Text/entity/bool/date columns — the setting that works well.
+  kCategorical,
+  /// Numeric columns — the failure case the paper's §3.4 analysis
+  /// highlights (numeric values tokenize poorly and rarely recur).
+  kNumeric,
+};
+
+struct ImputationOptions {
+  /// Admit numeric-column values into the label space and the training
+  /// distribution. Off reproduces the standard categorical setting.
+  bool include_numeric_columns = false;
+};
+
+/// Data imputation (cell population, §3.4): mask one cell and classify
+/// its value over the vocabulary of values observed in the training
+/// corpus.
+class ImputationTask {
+ public:
+  /// Builds the value vocabulary from `train`. `model` and `serializer`
+  /// are borrowed.
+  ImputationTask(TableEncoderModel* model, const TableSerializer* serializer,
+                 const TableCorpus& train, FineTuneConfig config,
+                 ImputationOptions options = {});
+
+  ~ImputationTask();
+  ImputationTask(const ImputationTask&) = delete;
+  ImputationTask& operator=(const ImputationTask&) = delete;
+
+  /// Fine-tunes on examples drawn from `train`. Returns final train
+  /// accuracy over the last quarter of steps.
+  double Train(const TableCorpus& train);
+
+  /// Evaluates on held-out tables; cells whose value never occurred in
+  /// training are skipped (open-world values are unreachable for a
+  /// classifier head). `category` restricts which cells are scored.
+  ClassificationReport Evaluate(const TableCorpus& test,
+                                int64_t max_examples = 200,
+                                CellCategory category = CellCategory::kAll);
+
+  /// Predicts the value of cell (row, col) of `table`; returns the
+  /// predicted surface string (argmax of the head).
+  std::string PredictCell(const Table& table, int32_t row, int32_t col);
+
+  /// Top-k candidate values for cell (row, col), best first (TURL
+  /// reports imputation as Hit@k over such candidate lists). Empty on
+  /// failure (cell truncated away).
+  std::vector<std::string> PredictCellTopK(const Table& table, int32_t row,
+                                           int32_t col, int64_t k);
+
+  /// Hit@k over held-out cells: fraction whose gold value appears in
+  /// the top-k candidates.
+  double EvaluateHitAtK(const TableCorpus& test, int64_t k,
+                        int64_t max_examples = 150);
+
+  /// All imputable (non-null, in-vocabulary) examples in a corpus,
+  /// optionally restricted to one cell category.
+  std::vector<ImputationExample> CollectExamples(
+      const TableCorpus& corpus, bool require_known,
+      CellCategory category = CellCategory::kAll) const;
+
+  int64_t value_vocab_size() const {
+    return static_cast<int64_t>(value_names_.size());
+  }
+  const std::string& value_name(int32_t id) const { return value_names_[id]; }
+
+ private:
+  /// Forward pass for one example; returns logits over values for the
+  /// masked cell, or an empty variable when the cell span is missing.
+  ag::Variable ForwardExample(const Table& table, int32_t row, int32_t col,
+                              Rng& rng, bool* ok);
+
+  TableEncoderModel* model_;
+  const TableSerializer* serializer_;
+  FineTuneConfig config_;
+  ImputationOptions options_;
+  Rng rng_;
+  std::unordered_map<std::string, int32_t> value_index_;
+  std::vector<std::string> value_names_;
+  std::unique_ptr<nn::Linear> head_;
+  std::unique_ptr<nn::Adam> optimizer_;
+};
+
+}  // namespace tabrep
+
+#endif  // TABREP_TASKS_IMPUTATION_H_

@@ -1,0 +1,134 @@
+#include "tasks/qa.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "tensor/ops.h"
+
+namespace tabrep {
+
+std::vector<QaExample> GenerateQaExamples(const TableCorpus& corpus,
+                                          int64_t per_table, Rng& rng) {
+  std::vector<QaExample> out;
+  for (size_t ti = 0; ti < corpus.tables.size(); ++ti) {
+    const Table& t = corpus.tables[ti];
+    if (!t.HasHeader() || t.num_columns() < 2 || t.num_rows() == 0) continue;
+    for (int64_t q = 0; q < per_table; ++q) {
+      const int64_t r = static_cast<int64_t>(
+          rng.NextBelow(static_cast<uint64_t>(t.num_rows())));
+      const int64_t c = 1 + static_cast<int64_t>(rng.NextBelow(
+                                static_cast<uint64_t>(t.num_columns() - 1)));
+      const std::string key = t.cell(r, 0).ToText();
+      if (key.empty() || t.cell(r, c).is_null()) continue;
+      QaExample ex;
+      ex.table_index = static_cast<int64_t>(ti);
+      ex.question = "what is the " + ToLowerAscii(t.column(c).name) +
+                    " of " + ToLowerAscii(key);
+      ex.answer_row = static_cast<int32_t>(r);
+      ex.answer_col = static_cast<int32_t>(c);
+      out.push_back(std::move(ex));
+    }
+  }
+  return out;
+}
+
+QaTask::QaTask(TableEncoderModel* model, const TableSerializer* serializer,
+               FineTuneConfig config)
+    : model_(model),
+      serializer_(serializer),
+      config_(config),
+      rng_(config.seed),
+      head_(model->dim(), rng_) {
+  std::vector<ag::Variable*> params;
+  if (!config_.freeze_encoder) params = model_->Parameters();
+  for (ag::Variable* p : head_.Parameters()) params.push_back(p);
+  optimizer_ = std::make_unique<nn::Adam>(std::move(params), config_.lr);
+}
+
+Status QaTask::ImportHead(const TensorMap& state) {
+  return head_.ImportState("cell_head/", state);
+}
+
+ag::Variable QaTask::Forward(const Table& table, const QaExample& ex, Rng& rng,
+                             int64_t* gold_index, bool* ok) {
+  *ok = false;
+  TokenizedTable serialized = serializer_->Serialize(table, ex.question);
+  *gold_index = -1;
+  for (size_t i = 0; i < serialized.cells.size(); ++i) {
+    if (serialized.cells[i].row == ex.answer_row &&
+        serialized.cells[i].col == ex.answer_col) {
+      *gold_index = static_cast<int64_t>(i);
+      break;
+    }
+  }
+  if (*gold_index < 0) return ag::Variable();
+  models::Encoded enc = model_->Encode(serialized, rng, /*need_cells=*/true);
+  if (!enc.has_cells) return ag::Variable();
+  *ok = true;
+  return head_.Forward(enc.cells);
+}
+
+void QaTask::Train(const TableCorpus& corpus,
+                   const std::vector<QaExample>& examples) {
+  TABREP_CHECK(!examples.empty());
+  model_->SetTraining(true);
+  head_.SetTraining(true);
+  std::vector<ag::Variable*> params;
+  if (!config_.freeze_encoder) params = model_->Parameters();
+  for (ag::Variable* p : head_.Parameters()) params.push_back(p);
+
+  for (int64_t step = 0; step < config_.steps; ++step) {
+    optimizer_->ZeroGrad();
+    for (int64_t b = 0; b < config_.batch_size; ++b) {
+      const QaExample& ex = examples[rng_.NextBelow(examples.size())];
+      int64_t gold = -1;
+      bool ok = false;
+      ag::Variable logits =
+          Forward(corpus.tables[static_cast<size_t>(ex.table_index)], ex,
+                  rng_, &gold, &ok);
+      if (!ok) continue;
+      ag::Variable loss =
+          ag::CrossEntropy(logits, {static_cast<int32_t>(gold)});
+      ag::Backward(loss);
+    }
+    nn::ClipGradNorm(params, config_.grad_clip);
+    optimizer_->Step();
+  }
+}
+
+double QaTask::Evaluate(const TableCorpus& corpus,
+                        const std::vector<QaExample>& examples) {
+  model_->SetTraining(false);
+  head_.SetTraining(false);
+  Rng eval_rng(config_.seed + 500);
+  int64_t correct = 0, total = 0;
+  for (const QaExample& ex : examples) {
+    int64_t gold = -1;
+    bool ok = false;
+    ag::Variable logits =
+        Forward(corpus.tables[static_cast<size_t>(ex.table_index)], ex,
+                eval_rng, &gold, &ok);
+    if (!ok) continue;
+    ++total;
+    if (ops::ArgmaxRows(logits.value())[0] == gold) ++correct;
+  }
+  model_->SetTraining(true);
+  head_.SetTraining(true);
+  return total > 0 ? static_cast<double>(correct) / total : 0.0;
+}
+
+std::string QaTask::Answer(const Table& table, const std::string& question) {
+  model_->SetTraining(false);
+  head_.SetTraining(false);
+  Rng rng(config_.seed + 900);
+  TokenizedTable serialized = serializer_->Serialize(table, question);
+  models::Encoded enc = model_->Encode(serialized, rng, /*need_cells=*/true);
+  model_->SetTraining(true);
+  head_.SetTraining(true);
+  if (!enc.has_cells || serialized.cells.empty()) return "";
+  ag::Variable logits = head_.Forward(enc.cells);
+  const int32_t best = ops::ArgmaxRows(logits.value())[0];
+  const CellSpan& span = serialized.cells[static_cast<size_t>(best)];
+  return table.cell(span.row, span.col).ToText();
+}
+
+}  // namespace tabrep

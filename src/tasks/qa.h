@@ -1,0 +1,73 @@
+#ifndef TABREP_TASKS_QA_H_
+#define TABREP_TASKS_QA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "models/heads.h"
+#include "models/table_encoder.h"
+#include "nn/optimizer.h"
+#include "serialize/serializer.h"
+#include "table/corpus.h"
+#include "tasks/finetune.h"
+
+namespace tabrep {
+
+/// One QA instance over one table: natural-language question whose
+/// answer is a single cell (the Fig. 1 scenario: "what is the
+/// Population of France?" -> highlighted cell).
+struct QaExample {
+  int64_t table_index = 0;
+  std::string question;
+  int32_t answer_row = 0;
+  int32_t answer_col = 0;
+};
+
+/// Generates TAPAS-style cell-selection questions from a corpus: for a
+/// row keyed by its first column, ask for the value of another column.
+/// Only tables with headers and >= 2 columns yield questions.
+std::vector<QaExample> GenerateQaExamples(const TableCorpus& corpus,
+                                          int64_t per_table, Rng& rng);
+
+/// Cell-selection question answering: score every cell given the
+/// question in the context segment; answer = argmax cell.
+class QaTask {
+ public:
+  QaTask(TableEncoderModel* model, const TableSerializer* serializer,
+         FineTuneConfig config);
+
+  /// Fine-tunes on `examples` over `corpus` tables.
+  void Train(const TableCorpus& corpus, const std::vector<QaExample>& examples);
+
+  /// Denotation accuracy: fraction of questions whose argmax cell is
+  /// the gold cell.
+  double Evaluate(const TableCorpus& corpus,
+                  const std::vector<QaExample>& examples);
+
+  /// Answers one question; returns the predicted cell's text (empty on
+  /// failure).
+  std::string Answer(const Table& table, const std::string& question);
+
+  /// Loads cell-selection head parameters exported by a compatible
+  /// trainer (e.g. TapexTrainer::ExportHead).
+  Status ImportHead(const TensorMap& state);
+
+ private:
+  /// Returns logits [1, num_cells] and fills gold cell index; ok=false
+  /// when the answer cell was truncated away.
+  ag::Variable Forward(const Table& table, const QaExample& ex, Rng& rng,
+                       int64_t* gold_index, bool* ok);
+
+  TableEncoderModel* model_;
+  const TableSerializer* serializer_;
+  FineTuneConfig config_;
+  Rng rng_;
+  models::CellSelectionHead head_;
+  std::unique_ptr<nn::Adam> optimizer_;
+};
+
+}  // namespace tabrep
+
+#endif  // TABREP_TASKS_QA_H_

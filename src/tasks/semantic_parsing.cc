@@ -1,0 +1,257 @@
+#include "tasks/semantic_parsing.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace tabrep {
+
+namespace {
+
+/// Multiset-of-texts equality of two query results.
+bool SameDenotation(const sql::QueryResult& a, const sql::QueryResult& b) {
+  if (a.values.size() != b.values.size()) return false;
+  std::vector<std::string> ta, tb;
+  for (const Value& v : a.values) ta.push_back(v.ToText());
+  for (const Value& v : b.values) tb.push_back(v.ToText());
+  std::sort(ta.begin(), ta.end());
+  std::sort(tb.begin(), tb.end());
+  return ta == tb;
+}
+
+}  // namespace
+
+std::vector<ParsingExample> GenerateParsingExamples(const TableCorpus& corpus,
+                                                    int64_t per_table,
+                                                    Rng& rng) {
+  sql::QueryGeneratorOptions options;
+  options.second_condition_prob = 0.0;  // single-condition sketch
+  options.allow_inequalities = false;   // the parser's op slot is fixed to =
+  std::vector<ParsingExample> out;
+  for (size_t ti = 0; ti < corpus.tables.size(); ++ti) {
+    const Table& t = corpus.tables[ti];
+    if (!t.HasHeader()) continue;
+    for (int64_t i = 0; i < per_table; ++i) {
+      auto generated = sql::GenerateQuery(t, rng, options);
+      if (!generated) continue;
+      ParsingExample ex;
+      ex.table_index = static_cast<int64_t>(ti);
+      ex.generated = std::move(*generated);
+      out.push_back(std::move(ex));
+    }
+  }
+  return out;
+}
+
+SemanticParsingTask::SemanticParsingTask(TableEncoderModel* model,
+                                         const TableSerializer* serializer,
+                                         FineTuneConfig config)
+    : model_(model),
+      serializer_(serializer),
+      config_(config),
+      rng_(config.seed),
+      aggregate_head_(model->dim(), sql::kNumAggregates, rng_) {
+  select_score_ = std::make_unique<nn::Linear>(model_->dim(), 1, rng_);
+  where_score_ = std::make_unique<nn::Linear>(model_->dim(), 1, rng_);
+  value_score_ = std::make_unique<nn::Linear>(model_->dim(), 1, rng_);
+  std::vector<ag::Variable*> params;
+  if (!config_.freeze_encoder) params = model_->Parameters();
+  for (ag::Variable* p : aggregate_head_.Parameters()) params.push_back(p);
+  for (ag::Variable* p : select_score_->Parameters()) params.push_back(p);
+  for (ag::Variable* p : where_score_->Parameters()) params.push_back(p);
+  for (ag::Variable* p : value_score_->Parameters()) params.push_back(p);
+  optimizer_ = std::make_unique<nn::Adam>(std::move(params), config_.lr);
+}
+
+SemanticParsingTask::SlotLogits SemanticParsingTask::Forward(
+    const Table& table, const std::string& question, Rng& rng) {
+  SlotLogits out;
+  TokenizedTable serialized = serializer_->Serialize(table, question);
+  last_serialized_ = serialized;
+  if (serialized.cells.empty()) return out;
+  models::Encoded enc = model_->Encode(serialized, rng, /*need_cells=*/true);
+  if (!enc.has_cells) return out;
+
+  // Column representations: mean of the column's cell reps.
+  const int64_t num_cols = serialized.used_columns;
+  std::vector<ag::Variable> col_reps;
+  for (int64_t c = 0; c < num_cols; ++c) {
+    std::vector<ag::Variable> cells;
+    for (size_t i = 0; i < serialized.cells.size(); ++i) {
+      if (serialized.cells[i].col == c) {
+        cells.push_back(ag::SliceRows(enc.cells, static_cast<int64_t>(i),
+                                      static_cast<int64_t>(i) + 1));
+      }
+    }
+    if (cells.empty()) {
+      return out;  // a fully truncated column; give up on this example
+    }
+    col_reps.push_back(ag::Reshape(ag::MeanRows(ag::ConcatRows(cells)),
+                                   {1, model_->dim()}));
+  }
+  ag::Variable columns = ag::ConcatRows(col_reps);  // [C, dim]
+
+  out.aggregate = aggregate_head_.Forward(model_->Cls(enc));
+  out.select_col = ag::Transpose(select_score_->Forward(columns));
+  out.where_col = ag::Transpose(where_score_->Forward(columns));
+  out.where_val = ag::Transpose(value_score_->Forward(enc.cells));
+  out.cell_cols.reserve(serialized.cells.size());
+  for (const CellSpan& span : serialized.cells) {
+    out.cell_cols.push_back(span.col);
+  }
+  out.ok = true;
+  return out;
+}
+
+sql::Query SemanticParsingTask::Assemble(
+    const Table& table, const SlotLogits& logits,
+    const TokenizedTable& serialized) const {
+  sql::Query query;
+  query.aggregate = static_cast<sql::Aggregate>(
+      ops::ArgmaxRows(logits.aggregate.value())[0]);
+  const int32_t select_col = ops::ArgmaxRows(logits.select_col.value())[0];
+  query.select_column = table.column(select_col).name;
+  // Constrained decoding: numeric aggregates over non-numeric columns
+  // are invalid SQL; repair to COUNT, which is type-agnostic.
+  const bool numeric_agg = query.aggregate != sql::Aggregate::kNone &&
+                           query.aggregate != sql::Aggregate::kCount;
+  if (numeric_agg &&
+      table.column(select_col).type != ColumnType::kNumeric) {
+    query.aggregate = sql::Aggregate::kCount;
+  }
+  const int32_t value_cell = ops::ArgmaxRows(logits.where_val.value())[0];
+  const CellSpan& span = serialized.cells[static_cast<size_t>(value_cell)];
+  sql::Condition cond;
+  // The condition column is taken from the chosen value cell, which
+  // keeps column and value consistent (the where_col head is used as
+  // auxiliary supervision only).
+  cond.column = table.column(span.col).name;
+  const Value& anchor = table.cell(span.row, span.col);
+  cond.literal =
+      anchor.is_entity() ? Value::String(anchor.AsString()) : anchor;
+  cond.op = sql::CompareOp::kEq;
+  query.where.push_back(std::move(cond));
+  return query;
+}
+
+void SemanticParsingTask::Train(const TableCorpus& corpus,
+                                const std::vector<ParsingExample>& examples) {
+  TABREP_CHECK(!examples.empty());
+  model_->SetTraining(true);
+  aggregate_head_.SetTraining(true);
+  std::vector<ag::Variable*> params;
+  if (!config_.freeze_encoder) params = model_->Parameters();
+  for (ag::Variable* p : aggregate_head_.Parameters()) params.push_back(p);
+  for (ag::Variable* p : select_score_->Parameters()) params.push_back(p);
+  for (ag::Variable* p : where_score_->Parameters()) params.push_back(p);
+  for (ag::Variable* p : value_score_->Parameters()) params.push_back(p);
+
+  for (int64_t step = 0; step < config_.steps; ++step) {
+    optimizer_->ZeroGrad();
+    for (int64_t b = 0; b < config_.batch_size; ++b) {
+      const ParsingExample& ex = examples[rng_.NextBelow(examples.size())];
+      const Table& table =
+          corpus.tables[static_cast<size_t>(ex.table_index)];
+      SlotLogits logits = Forward(table, ex.generated.question, rng_);
+      if (!logits.ok) continue;
+      const TokenizedTable& serialized = last_serialized_;
+
+      const sql::Query& gold = ex.generated.query;
+      const int32_t gold_agg = static_cast<int32_t>(gold.aggregate);
+      const int64_t gold_select = table.ColumnIndex(gold.select_column);
+      const int64_t gold_where = table.ColumnIndex(gold.where[0].column);
+      // Gold value cell = index of the anchor span.
+      int32_t gold_cell = -1;
+      for (size_t i = 0; i < serialized.cells.size(); ++i) {
+        if (serialized.cells[i].row == ex.generated.anchors[0].first &&
+            serialized.cells[i].col == ex.generated.anchors[0].second) {
+          gold_cell = static_cast<int32_t>(i);
+          break;
+        }
+      }
+      if (gold_select < 0 || gold_where < 0 || gold_cell < 0 ||
+          gold_select >= serialized.used_columns ||
+          gold_where >= serialized.used_columns) {
+        continue;  // truncated away
+      }
+      ag::Variable loss = ag::CrossEntropy(logits.aggregate, {gold_agg});
+      loss = ag::Add(loss,
+                     ag::CrossEntropy(logits.select_col,
+                                      {static_cast<int32_t>(gold_select)}));
+      loss = ag::Add(loss,
+                     ag::CrossEntropy(logits.where_col,
+                                      {static_cast<int32_t>(gold_where)}));
+      loss = ag::Add(loss, ag::CrossEntropy(logits.where_val, {gold_cell}));
+      ag::Backward(loss);
+    }
+    nn::ClipGradNorm(params, config_.grad_clip);
+    optimizer_->Step();
+  }
+}
+
+ParsingEval SemanticParsingTask::Evaluate(
+    const TableCorpus& corpus, const std::vector<ParsingExample>& examples) {
+  model_->SetTraining(false);
+  aggregate_head_.SetTraining(false);
+  Rng eval_rng(config_.seed + 500);
+  ParsingEval eval;
+  for (const ParsingExample& ex : examples) {
+    const Table& table = corpus.tables[static_cast<size_t>(ex.table_index)];
+    SlotLogits logits = Forward(table, ex.generated.question, eval_rng);
+    if (!logits.ok) continue;
+    const TokenizedTable serialized = last_serialized_;
+    ++eval.total;
+
+    const sql::Query& gold = ex.generated.query;
+    const int32_t pred_agg = ops::ArgmaxRows(logits.aggregate.value())[0];
+    eval.aggregate_acc += pred_agg == static_cast<int32_t>(gold.aggregate);
+    const int32_t pred_select = ops::ArgmaxRows(logits.select_col.value())[0];
+    eval.select_acc +=
+        pred_select == static_cast<int32_t>(table.ColumnIndex(
+                           gold.select_column));
+    const int32_t pred_val = ops::ArgmaxRows(logits.where_val.value())[0];
+    const CellSpan& pred_span =
+        serialized.cells[static_cast<size_t>(pred_val)];
+    eval.where_col_acc +=
+        pred_span.col ==
+        static_cast<int32_t>(table.ColumnIndex(gold.where[0].column));
+    eval.where_val_acc +=
+        pred_span.row == ex.generated.anchors[0].first &&
+        pred_span.col == ex.generated.anchors[0].second;
+
+    sql::Query predicted = Assemble(table, logits, serialized);
+    eval.exact_match += predicted == gold;
+    auto result = sql::Execute(predicted, table);
+    if (result.ok() && SameDenotation(*result, ex.generated.result)) {
+      eval.denotation += 1;
+    }
+  }
+  model_->SetTraining(true);
+  aggregate_head_.SetTraining(true);
+  if (eval.total > 0) {
+    const double n = static_cast<double>(eval.total);
+    eval.exact_match /= n;
+    eval.denotation /= n;
+    eval.aggregate_acc /= n;
+    eval.select_acc /= n;
+    eval.where_col_acc /= n;
+    eval.where_val_acc /= n;
+  }
+  return eval;
+}
+
+sql::Query SemanticParsingTask::Parse(const Table& table,
+                                      const std::string& question, bool* ok) {
+  model_->SetTraining(false);
+  aggregate_head_.SetTraining(false);
+  Rng rng(config_.seed + 900);
+  SlotLogits logits = Forward(table, question, rng);
+  model_->SetTraining(true);
+  aggregate_head_.SetTraining(true);
+  *ok = logits.ok;
+  if (!logits.ok) return sql::Query();
+  return Assemble(table, logits, last_serialized_);
+}
+
+}  // namespace tabrep

@@ -1,0 +1,95 @@
+#ifndef TABREP_TASKS_SEMANTIC_PARSING_H_
+#define TABREP_TASKS_SEMANTIC_PARSING_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/heads.h"
+#include "models/table_encoder.h"
+#include "nn/optimizer.h"
+#include "serialize/serializer.h"
+#include "sql/generator.h"
+#include "table/corpus.h"
+#include "tasks/finetune.h"
+
+namespace tabrep {
+
+/// One text-to-SQL instance over a corpus table.
+struct ParsingExample {
+  int64_t table_index = 0;
+  sql::GeneratedQuery generated;
+};
+
+/// Generates single-condition WikiSQL-class examples over a corpus.
+std::vector<ParsingExample> GenerateParsingExamples(const TableCorpus& corpus,
+                                                    int64_t per_table,
+                                                    Rng& rng);
+
+/// Evaluation metrics for text-to-SQL.
+struct ParsingEval {
+  /// Fraction where the assembled Query equals the gold Query exactly.
+  double exact_match = 0.0;
+  /// Fraction where executing the predicted query yields the gold
+  /// result (denotation accuracy — the WikiSQL "execution accuracy").
+  double denotation = 0.0;
+  /// Per-slot accuracies.
+  double aggregate_acc = 0.0;
+  double select_acc = 0.0;
+  double where_col_acc = 0.0;
+  double where_val_acc = 0.0;
+  int64_t total = 0;
+};
+
+/// Sketch-based text-to-SQL semantic parser (the SQLova/TAPAS-style
+/// decomposition the tutorial's semantic-parsing discussion covers):
+/// the query is predicted as independent slots — aggregate (from CLS),
+/// select column and where column (from column representations), and
+/// where value (cell selection). Queries are restricted to a single
+/// equality/inequality condition, the dominant WikiSQL shape.
+class SemanticParsingTask {
+ public:
+  SemanticParsingTask(TableEncoderModel* model,
+                      const TableSerializer* serializer, FineTuneConfig config);
+
+  void Train(const TableCorpus& corpus,
+             const std::vector<ParsingExample>& examples);
+
+  ParsingEval Evaluate(const TableCorpus& corpus,
+                       const std::vector<ParsingExample>& examples);
+
+  /// Parses a question against a table into a Query (inference).
+  /// ok=false when the table yields no cells.
+  sql::Query Parse(const Table& table, const std::string& question, bool* ok);
+
+ private:
+  struct SlotLogits {
+    ag::Variable aggregate;   // [1, kNumAggregates]
+    ag::Variable select_col;  // [1, num_columns]
+    ag::Variable where_col;   // [1, num_columns]
+    ag::Variable where_val;   // [1, num_cells]
+    std::vector<int32_t> cell_cols;  // column of each cell span
+    bool ok = false;
+  };
+  SlotLogits Forward(const Table& table, const std::string& question,
+                     Rng& rng);
+
+  /// Assembles a Query from slot argmaxes.
+  sql::Query Assemble(const Table& table, const SlotLogits& logits,
+                      const TokenizedTable& serialized) const;
+
+  TableEncoderModel* model_;
+  const TableSerializer* serializer_;
+  FineTuneConfig config_;
+  Rng rng_;
+  models::ClsHead aggregate_head_;
+  std::unique_ptr<nn::Linear> select_score_;
+  std::unique_ptr<nn::Linear> where_score_;
+  std::unique_ptr<nn::Linear> value_score_;
+  std::unique_ptr<nn::Adam> optimizer_;
+  TokenizedTable last_serialized_;  // serialization of the last Forward
+};
+
+}  // namespace tabrep
+
+#endif  // TABREP_TASKS_SEMANTIC_PARSING_H_

@@ -1,0 +1,135 @@
+#ifndef TABREP_TENSOR_AUTOGRAD_H_
+#define TABREP_TENSOR_AUTOGRAD_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace tabrep::ag {
+
+class Variable;
+
+namespace internal {
+
+/// Graph node: a value plus (when reachable from a parameter) the
+/// gradient buffer and the local backward rule.
+struct VarImpl {
+  Tensor value;
+  Tensor grad;  // allocated lazily by EnsureGrad()
+  bool requires_grad = false;
+  bool grad_allocated = false;
+  std::vector<std::shared_ptr<VarImpl>> parents;
+  /// Accumulates input gradients given this node's output gradient.
+  std::function<void(const Tensor& grad_out)> backward_fn;
+
+  void EnsureGrad() {
+    if (!grad_allocated) {
+      grad = Tensor::Zeros(value.shape());
+      grad_allocated = true;
+    }
+  }
+};
+
+}  // namespace internal
+
+/// A tensor participating in a dynamically-built computation graph.
+/// Copies share the node. Constant() wraps data the graph does not
+/// differentiate through; Param() marks a trainable leaf.
+class Variable {
+ public:
+  Variable() : impl_(std::make_shared<internal::VarImpl>()) {}
+
+  /// A leaf that gradients flow *through* but are not stored for.
+  static Variable Constant(Tensor value);
+  /// A trainable leaf: gradients accumulate in grad().
+  static Variable Param(Tensor value);
+
+  const Tensor& value() const { return impl_->value; }
+  Tensor& mutable_value() { return impl_->value; }
+
+  /// Gradient buffer; zeros if backward has not touched this leaf.
+  const Tensor& grad() const;
+  bool requires_grad() const { return impl_->requires_grad; }
+
+  /// Zeros the accumulated gradient (no-op when never allocated).
+  void ZeroGrad();
+
+  /// Shape helpers forwarded to the value.
+  const std::vector<int64_t>& shape() const { return impl_->value.shape(); }
+  int64_t numel() const { return impl_->value.numel(); }
+
+  std::shared_ptr<internal::VarImpl> impl() const { return impl_; }
+
+ private:
+  explicit Variable(std::shared_ptr<internal::VarImpl> impl)
+      : impl_(std::move(impl)) {}
+  std::shared_ptr<internal::VarImpl> impl_;
+
+  friend Variable MakeOp(Tensor value, std::vector<Variable> parents,
+                         std::function<void(const Tensor&)> backward_fn);
+};
+
+/// Creates an interior node. Public so model code can add custom ops.
+/// The node requires grad iff any parent does; otherwise backward_fn is
+/// dropped and the node is a cheap constant.
+Variable MakeOp(Tensor value, std::vector<Variable> parents,
+                std::function<void(const Tensor&)> backward_fn);
+
+/// Runs reverse-mode accumulation from `root` (any shape; the seed
+/// gradient is all-ones). Call ZeroGrad on parameters between steps.
+void Backward(const Variable& root);
+
+// -- Differentiable ops (mirror tensor/ops.h) ---------------------------
+
+Variable Add(const Variable& a, const Variable& b);
+Variable Sub(const Variable& a, const Variable& b);
+Variable Mul(const Variable& a, const Variable& b);
+Variable AddScalar(const Variable& a, float s);
+Variable MulScalar(const Variable& a, float s);
+/// Adds 1-D bias b over the last axis of a.
+Variable AddRowBroadcast(const Variable& a, const Variable& b);
+Variable Tanh(const Variable& a);
+Variable Relu(const Variable& a);
+Variable Gelu(const Variable& a);
+Variable Sigmoid(const Variable& a);
+
+Variable MatMul(const Variable& a, const Variable& b);
+/// C = A * B^T.
+Variable MatMulTransposedB(const Variable& a, const Variable& b);
+Variable Transpose(const Variable& a);
+Variable Reshape(const Variable& a, std::vector<int64_t> shape);
+
+Variable Softmax(const Variable& a);
+Variable LayerNorm(const Variable& a, const Variable& gamma,
+                   const Variable& beta, float eps = 1e-5f);
+Variable MeanAll(const Variable& a);
+Variable SumAll(const Variable& a);
+Variable MeanRows(const Variable& a);
+
+/// L2-normalizes each row of a 2-D input: y_i = x_i / max(||x_i||, eps).
+/// The building block of cosine/InfoNCE losses.
+Variable L2NormalizeRows(const Variable& a, float eps = 1e-8f);
+
+/// Differentiable gather into an embedding table (ids are constant).
+Variable EmbeddingLookup(const Variable& table, std::vector<int32_t> ids);
+Variable SliceRows(const Variable& a, int64_t begin, int64_t end);
+Variable ConcatRows(const std::vector<Variable>& parts);
+
+/// Inverted-dropout: keeps each element with prob 1-p and rescales by
+/// 1/(1-p). Identity when p == 0. The mask is drawn from `rng`.
+Variable Dropout(const Variable& a, float p, Rng& rng);
+
+/// Mean cross-entropy over non-ignored targets; see ops::CrossEntropy.
+Variable CrossEntropy(const Variable& logits, std::vector<int32_t> targets,
+                      int32_t ignore_index = -100,
+                      int64_t* correct_out = nullptr,
+                      int64_t* counted_out = nullptr);
+
+}  // namespace tabrep::ag
+
+#endif  // TABREP_TENSOR_AUTOGRAD_H_

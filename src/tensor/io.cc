@@ -1,0 +1,126 @@
+#include <cstring>
+#include "tensor/io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+namespace tabrep {
+
+namespace {
+
+constexpr char kMagic[4] = {'T', 'B', 'R', 'T'};
+constexpr uint32_t kVersion = 1;
+// Guards against reading absurd sizes from corrupt files.
+constexpr uint64_t kMaxNameLen = 1 << 16;
+constexpr uint64_t kMaxRank = 16;
+constexpr uint64_t kMaxNumel = 1ULL << 32;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+bool WriteBytes(std::FILE* f, const void* data, size_t n) {
+  return std::fwrite(data, 1, n, f) == n;
+}
+
+bool ReadBytes(std::FILE* f, void* data, size_t n) {
+  return std::fread(data, 1, n, f) == n;
+}
+
+template <typename T>
+bool WritePod(std::FILE* f, T v) {
+  return WriteBytes(f, &v, sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::FILE* f, T* v) {
+  return ReadBytes(f, v, sizeof(T));
+}
+
+}  // namespace
+
+Status SaveTensors(const TensorMap& tensors, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IOError("cannot open for write: " + path);
+  if (!WriteBytes(f.get(), kMagic, 4) || !WritePod(f.get(), kVersion) ||
+      !WritePod(f.get(), static_cast<uint64_t>(tensors.size()))) {
+    return Status::IOError("write failed: " + path);
+  }
+  for (const auto& [name, tensor] : tensors) {
+    if (!WritePod(f.get(), static_cast<uint64_t>(name.size())) ||
+        !WriteBytes(f.get(), name.data(), name.size()) ||
+        !WritePod(f.get(), static_cast<uint64_t>(tensor.dim()))) {
+      return Status::IOError("write failed: " + path);
+    }
+    for (int64_t d : tensor.shape()) {
+      if (!WritePod(f.get(), static_cast<uint64_t>(d))) {
+        return Status::IOError("write failed: " + path);
+      }
+    }
+    if (!WriteBytes(f.get(), tensor.data(),
+                    sizeof(float) * static_cast<size_t>(tensor.numel()))) {
+      return Status::IOError("write failed: " + path);
+    }
+  }
+  return Status::OK();
+}
+
+Result<TensorMap> LoadTensors(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IOError("cannot open for read: " + path);
+  char magic[4];
+  uint32_t version;
+  uint64_t count;
+  if (!ReadBytes(f.get(), magic, 4) || !ReadPod(f.get(), &version) ||
+      !ReadPod(f.get(), &count)) {
+    return Status::Corruption("truncated header: " + path);
+  }
+  if (std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::Corruption("bad magic: " + path);
+  }
+  if (version != kVersion) {
+    return Status::Corruption("unsupported version: " + path);
+  }
+  TensorMap out;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t name_len;
+    if (!ReadPod(f.get(), &name_len) || name_len > kMaxNameLen) {
+      return Status::Corruption("bad name length: " + path);
+    }
+    std::string name(name_len, '\0');
+    if (!ReadBytes(f.get(), name.data(), name_len)) {
+      return Status::Corruption("truncated name: " + path);
+    }
+    uint64_t rank;
+    if (!ReadPod(f.get(), &rank) || rank > kMaxRank) {
+      return Status::Corruption("bad rank: " + path);
+    }
+    std::vector<int64_t> shape(rank);
+    uint64_t numel = 1;
+    for (uint64_t d = 0; d < rank; ++d) {
+      uint64_t dim;
+      if (!ReadPod(f.get(), &dim) || dim > kMaxNumel) {
+        return Status::Corruption("bad dim: " + path);
+      }
+      shape[d] = static_cast<int64_t>(dim);
+      numel *= dim;
+      if (numel > kMaxNumel) {
+        return Status::Corruption("tensor too large: " + path);
+      }
+    }
+    std::vector<float> data(numel);
+    if (!ReadBytes(f.get(), data.data(), sizeof(float) * numel)) {
+      return Status::Corruption("truncated data: " + path);
+    }
+    out.emplace(std::move(name),
+                Tensor::FromVector(std::move(shape), std::move(data)));
+  }
+  return out;
+}
+
+}  // namespace tabrep

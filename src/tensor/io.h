@@ -1,0 +1,27 @@
+#ifndef TABREP_TENSOR_IO_H_
+#define TABREP_TENSOR_IO_H_
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace tabrep {
+
+/// Named tensors, e.g. a model's state dict.
+using TensorMap = std::map<std::string, Tensor>;
+
+/// Writes `tensors` to `path` in a simple binary container:
+/// magic "TBRT", version, count, then per tensor: name, rank, dims,
+/// raw float32 data. Little-endian only.
+Status SaveTensors(const TensorMap& tensors, const std::string& path);
+
+/// Reads a container written by SaveTensors. Fails with Corruption on
+/// malformed files and IOError on filesystem problems.
+Result<TensorMap> LoadTensors(const std::string& path);
+
+}  // namespace tabrep
+
+#endif  // TABREP_TENSOR_IO_H_

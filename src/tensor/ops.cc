@@ -1,0 +1,369 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tabrep::ops {
+
+namespace {
+
+void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
+  TABREP_CHECK(a.SameShape(b)) << op << ": shape mismatch "
+                               << ShapeToString(a.shape()) << " vs "
+                               << ShapeToString(b.shape());
+}
+
+template <typename F>
+Tensor Unary(const Tensor& a, F f) {
+  Tensor out = a.Clone();
+  float* p = out.data();
+  const int64_t n = out.numel();
+  for (int64_t i = 0; i < n; ++i) p[i] = f(p[i]);
+  return out;
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Add");
+  Tensor out = a.Clone();
+  out.Add(b);
+  return out;
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Sub");
+  Tensor out = a.Clone();
+  out.Add(b, -1.0f);
+  return out;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Mul");
+  Tensor out = a.Clone();
+  float* p = out.data();
+  const float* q = b.data();
+  for (int64_t i = 0; i < out.numel(); ++i) p[i] *= q[i];
+  return out;
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  return Unary(a, [s](float x) { return x + s; });
+}
+
+Tensor MulScalar(const Tensor& a, float s) {
+  return Unary(a, [s](float x) { return x * s; });
+}
+
+Tensor AddRowBroadcast(const Tensor& a, const Tensor& b) {
+  TABREP_CHECK(b.dim() == 1) << "AddRowBroadcast: bias must be 1-D";
+  const int64_t n = b.numel();
+  TABREP_CHECK(a.numel() % n == 0 && a.size(-1) == n)
+      << "AddRowBroadcast: " << ShapeToString(a.shape()) << " vs "
+      << ShapeToString(b.shape());
+  Tensor out = a.Clone();
+  float* p = out.data();
+  const float* q = b.data();
+  const int64_t rows = a.numel() / n;
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < n; ++c) p[r * n + c] += q[c];
+  }
+  return out;
+}
+
+Tensor Tanh(const Tensor& a) {
+  return Unary(a, [](float x) { return std::tanh(x); });
+}
+
+Tensor Relu(const Tensor& a) {
+  return Unary(a, [](float x) { return x > 0 ? x : 0.0f; });
+}
+
+Tensor Gelu(const Tensor& a) {
+  constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
+  return Unary(a, [](float x) {
+    const float inner = kC * (x + 0.044715f * x * x * x);
+    return 0.5f * x * (1.0f + std::tanh(inner));
+  });
+}
+
+Tensor Exp(const Tensor& a) {
+  return Unary(a, [](float x) { return std::exp(x); });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return Unary(a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  TABREP_CHECK(a.dim() == 2 && b.dim() == 2 && a.cols() == b.rows())
+      << "MatMul: " << ShapeToString(a.shape()) << " x "
+      << ShapeToString(b.shape());
+  const int64_t m = a.rows(), k = a.cols(), n = b.cols();
+  Tensor out({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = out.data();
+  // ikj loop order keeps the inner loop contiguous over B and C.
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av = pa[i * k + kk];
+      if (av == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      float* crow = pc + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor MatMulTransposedB(const Tensor& a, const Tensor& b) {
+  TABREP_CHECK(a.dim() == 2 && b.dim() == 2 && a.cols() == b.cols())
+      << "MatMulTransposedB: " << ShapeToString(a.shape()) << " x "
+      << ShapeToString(b.shape()) << "^T";
+  const int64_t m = a.rows(), k = a.cols(), n = b.rows();
+  Tensor out({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = out.data();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      float acc = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      pc[i * n + j] = acc;
+    }
+  }
+  return out;
+}
+
+Tensor Transpose(const Tensor& a) {
+  TABREP_CHECK(a.dim() == 2);
+  const int64_t m = a.rows(), n = a.cols();
+  Tensor out({n, m});
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) out.at(j, i) = a.at(i, j);
+  }
+  return out;
+}
+
+Tensor Softmax(const Tensor& a) {
+  TABREP_CHECK(a.dim() >= 1);
+  const int64_t n = a.size(-1);
+  const int64_t rows = a.numel() / n;
+  Tensor out = a.Clone();
+  float* p = out.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    float* row = p + r * n;
+    float mx = row[0];
+    for (int64_t i = 1; i < n; ++i) mx = std::max(mx, row[i]);
+    float sum = 0.0f;
+    for (int64_t i = 0; i < n; ++i) {
+      row[i] = std::exp(row[i] - mx);
+      sum += row[i];
+    }
+    const float inv = 1.0f / sum;
+    for (int64_t i = 0; i < n; ++i) row[i] *= inv;
+  }
+  return out;
+}
+
+Tensor LogSoftmax(const Tensor& a) {
+  TABREP_CHECK(a.dim() >= 1);
+  const int64_t n = a.size(-1);
+  const int64_t rows = a.numel() / n;
+  Tensor out = a.Clone();
+  float* p = out.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    float* row = p + r * n;
+    float mx = row[0];
+    for (int64_t i = 1; i < n; ++i) mx = std::max(mx, row[i]);
+    float sum = 0.0f;
+    for (int64_t i = 0; i < n; ++i) sum += std::exp(row[i] - mx);
+    const float lse = mx + std::log(sum);
+    for (int64_t i = 0; i < n; ++i) row[i] -= lse;
+  }
+  return out;
+}
+
+Tensor MeanAll(const Tensor& a) {
+  Tensor s = SumAll(a);
+  s.Scale(a.numel() > 0 ? 1.0f / static_cast<float>(a.numel()) : 0.0f);
+  return s;
+}
+
+Tensor SumAll(const Tensor& a) {
+  double acc = 0.0;
+  for (int64_t i = 0; i < a.numel(); ++i) acc += a[i];
+  Tensor out({1});
+  out[0] = static_cast<float>(acc);
+  return out;
+}
+
+Tensor SumRows(const Tensor& a) {
+  TABREP_CHECK(a.dim() == 2);
+  Tensor out({a.cols()});
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    for (int64_t j = 0; j < a.cols(); ++j) out[j] += a.at(i, j);
+  }
+  return out;
+}
+
+Tensor MeanRows(const Tensor& a) {
+  Tensor out = SumRows(a);
+  if (a.rows() > 0) out.Scale(1.0f / static_cast<float>(a.rows()));
+  return out;
+}
+
+Tensor LayerNorm(const Tensor& a, const Tensor& gamma, const Tensor& beta,
+                 float eps) {
+  const int64_t n = a.size(-1);
+  TABREP_CHECK(gamma.numel() == n && beta.numel() == n)
+      << "LayerNorm: feature dim " << n;
+  const int64_t rows = a.numel() / n;
+  Tensor out = a.Clone();
+  float* p = out.data();
+  const float* g = gamma.data();
+  const float* b = beta.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    float* row = p + r * n;
+    float mean = 0.0f;
+    for (int64_t i = 0; i < n; ++i) mean += row[i];
+    mean /= static_cast<float>(n);
+    float var = 0.0f;
+    for (int64_t i = 0; i < n; ++i) {
+      const float d = row[i] - mean;
+      var += d * d;
+    }
+    var /= static_cast<float>(n);
+    const float inv = 1.0f / std::sqrt(var + eps);
+    for (int64_t i = 0; i < n; ++i) {
+      row[i] = (row[i] - mean) * inv * g[i] + b[i];
+    }
+  }
+  return out;
+}
+
+Tensor EmbeddingLookup(const Tensor& table, const std::vector<int32_t>& ids) {
+  TABREP_CHECK(table.dim() == 2);
+  const int64_t d = table.cols();
+  Tensor out({static_cast<int64_t>(ids.size()), d});
+  for (size_t i = 0; i < ids.size(); ++i) {
+    TABREP_CHECK(ids[i] >= 0 && ids[i] < table.rows())
+        << "EmbeddingLookup: id " << ids[i] << " out of [0, " << table.rows()
+        << ")";
+    const float* src = table.data() + static_cast<int64_t>(ids[i]) * d;
+    float* dst = out.data() + static_cast<int64_t>(i) * d;
+    std::copy(src, src + d, dst);
+  }
+  return out;
+}
+
+Tensor SliceRows(const Tensor& a, int64_t begin, int64_t end) {
+  TABREP_CHECK(a.dim() == 2 && begin >= 0 && begin <= end && end <= a.rows());
+  Tensor out({end - begin, a.cols()});
+  std::copy(a.data() + begin * a.cols(), a.data() + end * a.cols(), out.data());
+  return out;
+}
+
+Tensor ConcatRows(const std::vector<Tensor>& parts) {
+  TABREP_CHECK(!parts.empty());
+  const int64_t cols = parts[0].cols();
+  int64_t rows = 0;
+  for (const Tensor& t : parts) {
+    TABREP_CHECK(t.dim() == 2 && t.cols() == cols);
+    rows += t.rows();
+  }
+  Tensor out({rows, cols});
+  float* dst = out.data();
+  for (const Tensor& t : parts) {
+    std::copy(t.data(), t.data() + t.numel(), dst);
+    dst += t.numel();
+  }
+  return out;
+}
+
+Tensor ConcatCols(const std::vector<Tensor>& parts) {
+  TABREP_CHECK(!parts.empty());
+  const int64_t rows = parts[0].rows();
+  int64_t cols = 0;
+  for (const Tensor& t : parts) {
+    TABREP_CHECK(t.dim() == 2 && t.rows() == rows);
+    cols += t.cols();
+  }
+  Tensor out({rows, cols});
+  int64_t offset = 0;
+  for (const Tensor& t : parts) {
+    for (int64_t i = 0; i < rows; ++i) {
+      std::copy(t.data() + i * t.cols(), t.data() + (i + 1) * t.cols(),
+                out.data() + i * cols + offset);
+    }
+    offset += t.cols();
+  }
+  return out;
+}
+
+Tensor CrossEntropy(const Tensor& logits, const std::vector<int32_t>& targets,
+                    int32_t ignore_index, int64_t* correct_out,
+                    int64_t* counted_out) {
+  TABREP_CHECK(logits.dim() == 2 &&
+               logits.rows() == static_cast<int64_t>(targets.size()));
+  const Tensor logp = LogSoftmax(logits);
+  double loss = 0.0;
+  int64_t counted = 0;
+  int64_t correct = 0;
+  const int64_t c = logits.cols();
+  for (int64_t i = 0; i < logits.rows(); ++i) {
+    const int32_t t = targets[static_cast<size_t>(i)];
+    if (t == ignore_index) continue;
+    TABREP_CHECK(t >= 0 && t < c) << "CrossEntropy: target " << t;
+    loss -= logp.at(i, t);
+    ++counted;
+    const float* row = logits.data() + i * c;
+    int64_t best = 0;
+    for (int64_t j = 1; j < c; ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    if (best == t) ++correct;
+  }
+  Tensor out({1});
+  out[0] = counted > 0 ? static_cast<float>(loss / counted) : 0.0f;
+  if (correct_out) *correct_out = correct;
+  if (counted_out) *counted_out = counted;
+  return out;
+}
+
+std::vector<int32_t> ArgmaxRows(const Tensor& a) {
+  TABREP_CHECK(a.dim() == 2);
+  std::vector<int32_t> out(static_cast<size_t>(a.rows()));
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    int64_t best = 0;
+    for (int64_t j = 1; j < a.cols(); ++j) {
+      if (a.at(i, j) > a.at(i, best)) best = j;
+    }
+    out[static_cast<size_t>(i)] = static_cast<int32_t>(best);
+  }
+  return out;
+}
+
+float Dot(const Tensor& a, const Tensor& b) {
+  TABREP_CHECK(a.numel() == b.numel());
+  double acc = 0.0;
+  for (int64_t i = 0; i < a.numel(); ++i) acc += static_cast<double>(a[i]) * b[i];
+  return static_cast<float>(acc);
+}
+
+float CosineSimilarity(const Tensor& a, const Tensor& b) {
+  const float na = Norm(a), nb = Norm(b);
+  if (na == 0.0f || nb == 0.0f) return 0.0f;
+  return Dot(a, b) / (na * nb);
+}
+
+float Norm(const Tensor& a) {
+  double acc = 0.0;
+  for (int64_t i = 0; i < a.numel(); ++i) acc += static_cast<double>(a[i]) * a[i];
+  return static_cast<float>(std::sqrt(acc));
+}
+
+}  // namespace tabrep::ops

@@ -1,0 +1,45 @@
+#include "text/basic_tokenizer.h"
+
+#include <cctype>
+
+namespace tabrep {
+
+bool IsPunctuation(char c) {
+  const unsigned char u = static_cast<unsigned char>(c);
+  return std::ispunct(u) != 0;
+}
+
+std::vector<std::string> BasicTokenizer::Tokenize(std::string_view text) const {
+  std::vector<std::string> out;
+  std::string current;
+  auto flush = [&] {
+    if (!current.empty()) {
+      out.push_back(current);
+      current.clear();
+    }
+  };
+  for (char raw : text) {
+    char c = raw;
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (options_.lowercase) c = static_cast<char>(std::tolower(u));
+    if (std::isspace(u)) {
+      flush();
+      continue;
+    }
+    if (options_.split_punctuation && IsPunctuation(c)) {
+      flush();
+      out.emplace_back(1, c);
+      continue;
+    }
+    if (options_.split_digits && std::isdigit(u)) {
+      flush();
+      out.emplace_back(1, c);
+      continue;
+    }
+    current.push_back(c);
+  }
+  flush();
+  return out;
+}
+
+}  // namespace tabrep

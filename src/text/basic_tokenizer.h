@@ -1,0 +1,43 @@
+#ifndef TABREP_TEXT_BASIC_TOKENIZER_H_
+#define TABREP_TEXT_BASIC_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tabrep {
+
+/// Options for pre-tokenization (the step before subword segmentation).
+struct BasicTokenizerOptions {
+  /// ASCII-lowercase all tokens (BERT "uncased" behaviour).
+  bool lowercase = true;
+  /// Emit each punctuation character as its own token.
+  bool split_punctuation = true;
+  /// Emit each digit as its own token ("1967" -> "1","9","6","7").
+  /// Off by default; TAPAS-style numeric handling keeps numbers whole.
+  bool split_digits = false;
+};
+
+/// Whitespace + punctuation word splitter, the first stage of the BERT
+/// tokenization pipeline. Deterministic and allocation-light.
+class BasicTokenizer {
+ public:
+  explicit BasicTokenizer(BasicTokenizerOptions options = {})
+      : options_(options) {}
+
+  /// Splits `text` into word-level tokens per the options.
+  std::vector<std::string> Tokenize(std::string_view text) const;
+
+  const BasicTokenizerOptions& options() const { return options_; }
+
+ private:
+  BasicTokenizerOptions options_;
+};
+
+/// True for ASCII punctuation (anything non-alphanumeric, non-space in
+/// the printable range).
+bool IsPunctuation(char c);
+
+}  // namespace tabrep
+
+#endif  // TABREP_TEXT_BASIC_TOKENIZER_H_

@@ -1,0 +1,180 @@
+#include "text/wordpiece.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+
+namespace tabrep {
+
+namespace {
+
+/// A word as a sequence of current subword symbols ("p", "##r", ...).
+struct SymbolWord {
+  std::vector<std::string> symbols;
+  int64_t count = 0;
+};
+
+/// Merged text of two adjacent symbols: "p"+"##r" -> "pr",
+/// "##i"+"##x" -> "##ix".
+std::string MergeSymbols(const std::string& a, const std::string& b) {
+  std::string_view tail(b);
+  if (tail.size() >= 2 && tail.substr(0, 2) == "##") tail.remove_prefix(2);
+  return a + std::string(tail);
+}
+
+}  // namespace
+
+void WordPieceTrainer::AddDocument(std::string_view text) {
+  for (const std::string& word : tokenizer_.Tokenize(text)) AddWord(word);
+}
+
+void WordPieceTrainer::AddWord(const std::string& word, int64_t count) {
+  if (word.empty()) return;
+  word_counts_[word] += count;
+  total_words_ += count;
+}
+
+Vocab WordPieceTrainer::Train() const {
+  Vocab vocab = Vocab::NewWithSpecials();
+
+  // Initialize symbol sequences and the character alphabet.
+  std::vector<SymbolWord> words;
+  words.reserve(word_counts_.size());
+  for (const auto& [word, count] : word_counts_) {
+    if (count < options_.min_word_count) continue;
+    SymbolWord sw;
+    sw.count = count;
+    for (size_t i = 0; i < word.size(); ++i) {
+      std::string sym = i == 0 ? std::string(1, word[i])
+                               : "##" + std::string(1, word[i]);
+      sw.symbols.push_back(sym);
+      // Register both forms of the character so greedy segmentation of
+      // unseen words never fails on an in-alphabet character.
+      vocab.AddToken(std::string(1, word[i]));
+      vocab.AddToken("##" + std::string(1, word[i]));
+    }
+    words.push_back(std::move(sw));
+  }
+
+  // Iteratively merge the best-scoring adjacent pair until the budget
+  // is reached or no pair repeats.
+  while (vocab.size() < options_.vocab_size) {
+    std::map<std::pair<std::string, std::string>, int64_t> pair_counts;
+    std::unordered_map<std::string, int64_t> symbol_counts;
+    for (const SymbolWord& sw : words) {
+      for (size_t i = 0; i < sw.symbols.size(); ++i) {
+        symbol_counts[sw.symbols[i]] += sw.count;
+        if (i + 1 < sw.symbols.size()) {
+          pair_counts[{sw.symbols[i], sw.symbols[i + 1]}] += sw.count;
+        }
+      }
+    }
+    if (pair_counts.empty()) break;
+
+    const std::pair<std::string, std::string>* best = nullptr;
+    double best_score = -1.0;
+    for (const auto& [pair, count] : pair_counts) {
+      if (count < 2) continue;  // merging singletons only memorizes words
+      double score;
+      if (options_.scoring == MergeScoring::kFrequency) {
+        score = static_cast<double>(count);
+      } else {
+        const double denom =
+            static_cast<double>(symbol_counts[pair.first]) *
+            static_cast<double>(symbol_counts[pair.second]);
+        score = denom > 0 ? static_cast<double>(count) / denom : 0.0;
+      }
+      if (score > best_score) {
+        best_score = score;
+        best = &pair;
+      }
+    }
+    if (!best) break;
+
+    const std::string merged = MergeSymbols(best->first, best->second);
+    vocab.AddToken(merged);
+    // Apply the merge in place.
+    for (SymbolWord& sw : words) {
+      std::vector<std::string> next;
+      next.reserve(sw.symbols.size());
+      for (size_t i = 0; i < sw.symbols.size(); ++i) {
+        if (i + 1 < sw.symbols.size() && sw.symbols[i] == best->first &&
+            sw.symbols[i + 1] == best->second) {
+          next.push_back(merged);
+          ++i;
+        } else {
+          next.push_back(sw.symbols[i]);
+        }
+      }
+      sw.symbols = std::move(next);
+    }
+  }
+  return vocab;
+}
+
+std::vector<int32_t> WordPieceTokenizer::Encode(std::string_view text) const {
+  std::vector<int32_t> out;
+  for (const std::string& word : tokenizer_.Tokenize(text)) {
+    std::vector<int32_t> piece = EncodeWord(word);
+    out.insert(out.end(), piece.begin(), piece.end());
+  }
+  return out;
+}
+
+std::vector<int32_t> WordPieceTokenizer::EncodeWord(
+    std::string_view word) const {
+  if (word.empty()) return {};
+  if (static_cast<int32_t>(word.size()) > options_.max_chars_per_word) {
+    return {SpecialTokens::kUnkId};
+  }
+  std::vector<int32_t> pieces;
+  size_t start = 0;
+  while (start < word.size()) {
+    size_t end = word.size();
+    int32_t found = -1;
+    // Longest match first.
+    while (end > start) {
+      std::string candidate =
+          (start == 0 ? std::string() : std::string("##")) +
+          std::string(word.substr(start, end - start));
+      if (vocab_.Contains(candidate)) {
+        found = vocab_.Id(candidate);
+        break;
+      }
+      --end;
+    }
+    if (found < 0) {
+      // Out-of-alphabet character: the whole word becomes [UNK],
+      // matching BERT behaviour.
+      return {SpecialTokens::kUnkId};
+    }
+    pieces.push_back(found);
+    start = end;
+  }
+  return pieces;
+}
+
+std::vector<std::string> WordPieceTokenizer::TokenizeToStrings(
+    std::string_view text) const {
+  std::vector<std::string> out;
+  for (int32_t id : Encode(text)) out.push_back(vocab_.Token(id));
+  return out;
+}
+
+std::string WordPieceTokenizer::Decode(const std::vector<int32_t>& ids) const {
+  std::string out;
+  for (int32_t id : ids) {
+    if (vocab_.IsSpecial(id)) continue;
+    const std::string& tok = vocab_.Token(id);
+    if (tok.size() >= 2 && tok[0] == '#' && tok[1] == '#') {
+      out += tok.substr(2);
+    } else {
+      if (!out.empty()) out += ' ';
+      out += tok;
+    }
+  }
+  return out;
+}
+
+}  // namespace tabrep

@@ -1,0 +1,99 @@
+#ifndef TABREP_TEXT_WORDPIECE_H_
+#define TABREP_TEXT_WORDPIECE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "text/basic_tokenizer.h"
+#include "text/vocab.h"
+
+namespace tabrep {
+
+/// How the trainer scores candidate merges.
+enum class MergeScoring {
+  /// Raw pair frequency (classic BPE).
+  kFrequency,
+  /// Pair frequency normalized by part frequencies — the WordPiece
+  /// likelihood criterion, which favours merges that are surprising
+  /// given their parts.
+  kLikelihood,
+};
+
+struct WordPieceTrainerOptions {
+  /// Total vocabulary budget including specials and single characters.
+  int32_t vocab_size = 8000;
+  /// Words rarer than this are ignored during training.
+  int32_t min_word_count = 1;
+  MergeScoring scoring = MergeScoring::kLikelihood;
+  BasicTokenizerOptions pre_tokenizer;
+};
+
+/// Learns a subword vocabulary from raw text. Continuation pieces carry
+/// the "##" prefix, matching the BERT convention; the resulting Vocab
+/// always contains the six special tokens and every observed character,
+/// so segmentation of in-alphabet text never fails.
+class WordPieceTrainer {
+ public:
+  explicit WordPieceTrainer(WordPieceTrainerOptions options = {})
+      : options_(options), tokenizer_(options.pre_tokenizer) {}
+
+  /// Accumulates word counts from a document.
+  void AddDocument(std::string_view text);
+
+  /// Accumulates a pre-tokenized word directly.
+  void AddWord(const std::string& word, int64_t count = 1);
+
+  /// Runs merge learning and returns the vocabulary.
+  Vocab Train() const;
+
+  int64_t total_words() const { return total_words_; }
+
+ private:
+  WordPieceTrainerOptions options_;
+  BasicTokenizer tokenizer_;
+  std::unordered_map<std::string, int64_t> word_counts_;
+  int64_t total_words_ = 0;
+};
+
+struct WordPieceTokenizerOptions {
+  /// Words longer than this map straight to [UNK].
+  int32_t max_chars_per_word = 64;
+  BasicTokenizerOptions pre_tokenizer;
+};
+
+/// Greedy longest-match-first subword segmentation against a Vocab
+/// (the standard WordPiece inference algorithm).
+class WordPieceTokenizer {
+ public:
+  explicit WordPieceTokenizer(Vocab vocab,
+                              WordPieceTokenizerOptions options = {})
+      : vocab_(std::move(vocab)),
+        options_(options),
+        tokenizer_(options.pre_tokenizer) {}
+
+  /// Full pipeline: basic split then subword ids.
+  std::vector<int32_t> Encode(std::string_view text) const;
+
+  /// Subword ids for one pre-split word.
+  std::vector<int32_t> EncodeWord(std::string_view word) const;
+
+  /// Subword strings (not ids) for inspection/debugging.
+  std::vector<std::string> TokenizeToStrings(std::string_view text) const;
+
+  /// Joins subwords back into text, dropping "##" and specials.
+  std::string Decode(const std::vector<int32_t>& ids) const;
+
+  const Vocab& vocab() const { return vocab_; }
+
+ private:
+  Vocab vocab_;
+  WordPieceTokenizerOptions options_;
+  BasicTokenizer tokenizer_;
+};
+
+}  // namespace tabrep
+
+#endif  // TABREP_TEXT_WORDPIECE_H_

@@ -1,0 +1,328 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "tensor/autograd.h"
+#include "tensor/ops.h"
+
+namespace tabrep {
+namespace {
+
+using ag::Variable;
+
+/// Finite-difference gradient check: builds `fn` (a scalar-valued graph
+/// over `x`), runs Backward, and compares x.grad() against central
+/// differences. fn must be deterministic.
+void CheckGradient(Tensor x_init,
+                   const std::function<Variable(const Variable&)>& fn,
+                   float eps = 1e-3f, float tol = 2e-2f) {
+  Variable x = Variable::Param(x_init.Clone());
+  Variable y = fn(x);
+  ASSERT_EQ(y.numel(), 1) << "gradient check needs scalar output";
+  ag::Backward(y);
+  const Tensor analytic = x.grad().Clone();
+
+  for (int64_t i = 0; i < x_init.numel(); ++i) {
+    Tensor plus = x_init.Clone();
+    plus[i] += eps;
+    Tensor minus = x_init.Clone();
+    minus[i] -= eps;
+    const float f_plus = fn(Variable::Param(plus)).value()[0];
+    const float f_minus = fn(Variable::Param(minus)).value()[0];
+    const float numeric = (f_plus - f_minus) / (2.0f * eps);
+    EXPECT_NEAR(analytic[i], numeric, tol)
+        << "element " << i << " analytic=" << analytic[i]
+        << " numeric=" << numeric;
+  }
+}
+
+TEST(AutogradTest, BackwardThroughAdd) {
+  Rng rng(1);
+  CheckGradient(Tensor::Randn({6}, rng), [](const Variable& x) {
+    Variable c = Variable::Constant(Tensor::Of({1, 2, 3, 4, 5, 6}));
+    return ag::SumAll(ag::Add(x, c));
+  });
+}
+
+TEST(AutogradTest, BackwardThroughMul) {
+  Rng rng(2);
+  CheckGradient(Tensor::Randn({5}, rng), [](const Variable& x) {
+    Variable c = Variable::Constant(Tensor::Of({2, -1, 0.5, 3, -2}));
+    return ag::SumAll(ag::Mul(x, c));
+  });
+}
+
+TEST(AutogradTest, BackwardThroughSquare) {
+  Rng rng(3);
+  CheckGradient(Tensor::Randn({4}, rng), [](const Variable& x) {
+    return ag::SumAll(ag::Mul(x, x));
+  });
+}
+
+TEST(AutogradTest, BackwardThroughSubAndScalars) {
+  Rng rng(4);
+  CheckGradient(Tensor::Randn({4}, rng), [](const Variable& x) {
+    Variable c = Variable::Constant(Tensor::Of({1, 1, 1, 1}));
+    return ag::SumAll(ag::MulScalar(ag::Sub(ag::AddScalar(x, 3.0f), c), 2.0f));
+  });
+}
+
+TEST(AutogradTest, BackwardThroughMatMul) {
+  Rng rng(5);
+  Tensor b_init = Tensor::Randn({3, 2}, rng);
+  CheckGradient(Tensor::Randn({2, 3}, rng), [b_init](const Variable& x) {
+    Variable b = Variable::Constant(b_init);
+    return ag::SumAll(ag::MatMul(x, b));
+  });
+}
+
+TEST(AutogradTest, BackwardThroughMatMulRhs) {
+  Rng rng(6);
+  Tensor a_init = Tensor::Randn({2, 3}, rng);
+  CheckGradient(Tensor::Randn({3, 2}, rng), [a_init](const Variable& x) {
+    Variable a = Variable::Constant(a_init);
+    return ag::SumAll(ag::Mul(ag::MatMul(a, x), ag::MatMul(a, x)));
+  });
+}
+
+TEST(AutogradTest, BackwardThroughMatMulTransposedB) {
+  Rng rng(7);
+  Tensor b_init = Tensor::Randn({4, 3}, rng);
+  CheckGradient(Tensor::Randn({2, 3}, rng), [b_init](const Variable& x) {
+    Variable b = Variable::Constant(b_init);
+    Variable y = ag::MatMulTransposedB(x, b);
+    return ag::SumAll(ag::Mul(y, y));
+  });
+}
+
+TEST(AutogradTest, BackwardThroughTranspose) {
+  Rng rng(8);
+  Tensor c_init = Tensor::Randn({3, 2}, rng);
+  CheckGradient(Tensor::Randn({2, 3}, rng), [c_init](const Variable& x) {
+    Variable c = Variable::Constant(c_init);
+    return ag::SumAll(ag::Mul(ag::Transpose(x), c));
+  });
+}
+
+TEST(AutogradTest, BackwardThroughReshape) {
+  Rng rng(9);
+  CheckGradient(Tensor::Randn({6}, rng), [](const Variable& x) {
+    Variable y = ag::Reshape(x, {2, 3});
+    return ag::SumAll(ag::Mul(y, y));
+  });
+}
+
+TEST(AutogradTest, BackwardThroughActivations) {
+  Rng rng(10);
+  for (auto fn : {&ag::Tanh, &ag::Gelu, &ag::Sigmoid}) {
+    CheckGradient(Tensor::Randn({5}, rng), [fn](const Variable& x) {
+      return ag::SumAll(fn(x));
+    });
+  }
+}
+
+TEST(AutogradTest, BackwardThroughRelu) {
+  // Keep inputs away from the kink at 0.
+  CheckGradient(Tensor::Of({-2, -1, 1, 2}), [](const Variable& x) {
+    return ag::SumAll(ag::Relu(x));
+  });
+}
+
+TEST(AutogradTest, BackwardThroughSoftmax) {
+  Rng rng(11);
+  Tensor w_init = Tensor::Randn({2, 4}, rng);
+  CheckGradient(Tensor::Randn({2, 4}, rng), [w_init](const Variable& x) {
+    Variable w = Variable::Constant(w_init);
+    return ag::SumAll(ag::Mul(ag::Softmax(x), w));
+  });
+}
+
+TEST(AutogradTest, BackwardThroughLayerNorm) {
+  Rng rng(12);
+  Tensor gamma_init = Tensor::Randn({6}, rng, 0.5f);
+  Tensor beta_init = Tensor::Randn({6}, rng, 0.5f);
+  Tensor w_init = Tensor::Randn({2, 6}, rng);
+  CheckGradient(
+      Tensor::Randn({2, 6}, rng),
+      [&](const Variable& x) {
+        Variable gamma = Variable::Constant(gamma_init);
+        Variable beta = Variable::Constant(beta_init);
+        Variable w = Variable::Constant(w_init);
+        return ag::SumAll(ag::Mul(ag::LayerNorm(x, gamma, beta), w));
+      },
+      1e-2f, 5e-2f);
+}
+
+TEST(AutogradTest, LayerNormParamGradients) {
+  Rng rng(13);
+  Tensor x_init = Tensor::Randn({3, 4}, rng);
+  // Check gamma gradient.
+  CheckGradient(Tensor::Randn({4}, rng), [&](const Variable& gamma) {
+    Variable x = Variable::Constant(x_init);
+    Variable beta = Variable::Constant(Tensor::Zeros({4}));
+    Variable y = ag::LayerNorm(x, gamma, beta);
+    return ag::SumAll(ag::Mul(y, y));
+  });
+  // Check beta gradient.
+  CheckGradient(Tensor::Randn({4}, rng), [&](const Variable& beta) {
+    Variable x = Variable::Constant(x_init);
+    Variable gamma = Variable::Constant(Tensor::Ones({4}));
+    Variable y = ag::LayerNorm(x, gamma, beta);
+    return ag::SumAll(ag::Mul(y, y));
+  });
+}
+
+TEST(AutogradTest, BackwardThroughAddRowBroadcast) {
+  Rng rng(14);
+  Tensor x_init = Tensor::Randn({3, 4}, rng);
+  CheckGradient(Tensor::Randn({4}, rng), [&](const Variable& b) {
+    Variable x = Variable::Constant(x_init);
+    Variable y = ag::AddRowBroadcast(x, b);
+    return ag::SumAll(ag::Mul(y, y));
+  });
+}
+
+TEST(AutogradTest, BackwardThroughL2NormalizeRows) {
+  Rng rng(30);
+  Tensor w_init = Tensor::Randn({3, 4}, rng);
+  CheckGradient(Tensor::Randn({3, 4}, rng), [w_init](const Variable& x) {
+    Variable w = Variable::Constant(w_init);
+    return ag::SumAll(ag::Mul(ag::L2NormalizeRows(x), w));
+  });
+}
+
+TEST(AutogradTest, L2NormalizeRowsProducesUnitRows) {
+  Rng rng(31);
+  Variable x = Variable::Param(Tensor::Randn({5, 8}, rng, 3.0f));
+  Variable y = ag::L2NormalizeRows(x);
+  for (int64_t r = 0; r < 5; ++r) {
+    double norm = 0;
+    for (int64_t c = 0; c < 8; ++c) {
+      norm += y.value().at(r, c) * y.value().at(r, c);
+    }
+    EXPECT_NEAR(norm, 1.0, 1e-5);
+  }
+}
+
+TEST(AutogradTest, BackwardThroughEmbeddingLookup) {
+  Rng rng(15);
+  CheckGradient(Tensor::Randn({4, 3}, rng), [](const Variable& table) {
+    Variable y = ag::EmbeddingLookup(table, {1, 3, 1});
+    return ag::SumAll(ag::Mul(y, y));
+  });
+}
+
+TEST(AutogradTest, BackwardThroughSliceConcat) {
+  Rng rng(16);
+  CheckGradient(Tensor::Randn({4, 2}, rng), [](const Variable& x) {
+    Variable top = ag::SliceRows(x, 0, 2);
+    Variable bottom = ag::SliceRows(x, 2, 4);
+    Variable y = ag::ConcatRows({bottom, top});
+    return ag::SumAll(ag::Mul(y, y));
+  });
+}
+
+TEST(AutogradTest, BackwardThroughCrossEntropy) {
+  Rng rng(17);
+  CheckGradient(Tensor::Randn({3, 5}, rng), [](const Variable& logits) {
+    return ag::CrossEntropy(logits, {1, 4, 2});
+  });
+}
+
+TEST(AutogradTest, CrossEntropyWithIgnoredRows) {
+  Rng rng(18);
+  CheckGradient(Tensor::Randn({3, 4}, rng), [](const Variable& logits) {
+    return ag::CrossEntropy(logits, {2, -100, 0});
+  });
+}
+
+TEST(AutogradTest, BackwardThroughMeanOps) {
+  Rng rng(19);
+  CheckGradient(Tensor::Randn({3, 4}, rng), [](const Variable& x) {
+    return ag::MeanAll(ag::Mul(x, x));
+  });
+  CheckGradient(Tensor::Randn({3, 4}, rng), [](const Variable& x) {
+    Variable m = ag::MeanRows(ag::Mul(x, x));
+    return ag::SumAll(m);
+  });
+}
+
+TEST(AutogradTest, DiamondGraphAccumulates) {
+  // y = x*x + x*x through two separate paths: grad = 4x.
+  Tensor init = Tensor::Of({1, 2, 3});
+  Variable x = Variable::Param(init.Clone());
+  Variable a = ag::Mul(x, x);
+  Variable b = ag::Mul(x, x);
+  Variable y = ag::SumAll(ag::Add(a, b));
+  ag::Backward(y);
+  EXPECT_TRUE(x.grad().AllClose(Tensor::Of({4, 8, 12}), 1e-4f));
+}
+
+TEST(AutogradTest, ReusedNodeAccumulates) {
+  // z = sum(x + x): grad = 2.
+  Variable x = Variable::Param(Tensor::Of({1, 1}));
+  Variable y = ag::Add(x, x);
+  ag::Backward(ag::SumAll(y));
+  EXPECT_TRUE(x.grad().AllClose(Tensor::Of({2, 2})));
+}
+
+TEST(AutogradTest, ConstantsGetNoGrad) {
+  Variable c = Variable::Constant(Tensor::Of({1, 2}));
+  Variable x = Variable::Param(Tensor::Of({3, 4}));
+  Variable y = ag::SumAll(ag::Mul(x, c));
+  EXPECT_TRUE(y.requires_grad());
+  ag::Backward(y);
+  EXPECT_TRUE(x.grad().AllClose(Tensor::Of({1, 2})));
+  // Constant's grad buffer stays zero.
+  EXPECT_TRUE(c.grad().AllClose(Tensor::Zeros({2})));
+}
+
+TEST(AutogradTest, PureConstantGraphNeedsNoTape) {
+  Variable a = Variable::Constant(Tensor::Of({1, 2}));
+  Variable b = Variable::Constant(Tensor::Of({3, 4}));
+  Variable y = ag::Add(a, b);
+  EXPECT_FALSE(y.requires_grad());
+  EXPECT_TRUE(y.value().AllClose(Tensor::Of({4, 6})));
+}
+
+TEST(AutogradTest, ZeroGradResets) {
+  Variable x = Variable::Param(Tensor::Of({2}));
+  ag::Backward(ag::SumAll(ag::Mul(x, x)));
+  EXPECT_NEAR(x.grad()[0], 4.0f, 1e-5f);
+  x.ZeroGrad();
+  EXPECT_EQ(x.grad()[0], 0.0f);
+  ag::Backward(ag::SumAll(ag::Mul(x, x)));
+  EXPECT_NEAR(x.grad()[0], 4.0f, 1e-5f);
+}
+
+TEST(AutogradTest, DropoutScalesAndMasks) {
+  Rng rng(20);
+  Variable x = Variable::Param(Tensor::Ones({1000}));
+  Variable y = ag::Dropout(x, 0.5f, rng);
+  int64_t zeros = 0;
+  for (int64_t i = 0; i < y.numel(); ++i) {
+    if (y.value()[i] == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_FLOAT_EQ(y.value()[i], 2.0f);
+    }
+  }
+  EXPECT_GT(zeros, 400);
+  EXPECT_LT(zeros, 600);
+  // Gradient flows only through kept elements.
+  ag::Backward(ag::SumAll(y));
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    EXPECT_FLOAT_EQ(x.grad()[i], y.value()[i] == 0.0f ? 0.0f : 2.0f);
+  }
+}
+
+TEST(AutogradTest, DropoutZeroPIsIdentity) {
+  Rng rng(21);
+  Variable x = Variable::Param(Tensor::Of({1, 2, 3}));
+  Variable y = ag::Dropout(x, 0.0f, rng);
+  EXPECT_TRUE(y.value().AllClose(x.value()));
+}
+
+}  // namespace
+}  // namespace tabrep

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace tabrep {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad width");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad width");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad width");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kOutOfRange, StatusCode::kFailedPrecondition,
+        StatusCode::kIOError, StatusCode::kCorruption,
+        StatusCode::kUnimplemented, StatusCode::kInternal}) {
+    EXPECT_NE(StatusCodeName(code), "Unknown");
+  }
+}
+
+Status FailsThenPropagates() {
+  TABREP_RETURN_IF_ERROR(Status::NotFound("inner"));
+  return Status::Internal("unreachable");
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  Status s = FailsThenPropagates();
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x * 2;
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = ParsePositive(21);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = ParsePositive(-1);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+Result<int> UsesAssignOrReturn(int x) {
+  TABREP_ASSIGN_OR_RETURN(v, ParsePositive(x));
+  return v + 1;
+}
+
+TEST(ResultTest, AssignOrReturn) {
+  EXPECT_EQ(*UsesAssignOrReturn(1), 3);
+  EXPECT_FALSE(UsesAssignOrReturn(0).ok());
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, SeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.NextU64() == b.NextU64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(10), 10u);
+  }
+  // Every residue appears.
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.NextBelow(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(11);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(13);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.Shuffle(v);
+  EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), sorted.begin()));
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(17);
+  auto s = rng.SampleWithoutReplacement(20, 10);
+  std::set<size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 10u);
+  for (size_t x : s) EXPECT_LT(x, 20u);
+}
+
+TEST(RngTest, SampleAllElements) {
+  Rng rng(19);
+  auto s = rng.SampleWithoutReplacement(5, 5);
+  std::set<size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 5u);
+}
+
+TEST(StringUtilTest, Split) {
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StringUtilTest, SplitWhitespace) {
+  auto parts = SplitWhitespace("  hello\tworld \n x ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "world");
+}
+
+TEST(StringUtilTest, JoinRoundTrip) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("\t\n"), "");
+  EXPECT_EQ(Trim("abc"), "abc");
+}
+
+TEST(StringUtilTest, CasePrefixSuffix) {
+  EXPECT_EQ(ToLowerAscii("HeLLo"), "hello");
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("ar", "bar"));
+}
+
+TEST(StringUtilTest, NumericPredicates) {
+  EXPECT_TRUE(IsInteger("42"));
+  EXPECT_TRUE(IsInteger("-7"));
+  EXPECT_TRUE(IsInteger("+7"));
+  EXPECT_FALSE(IsInteger("4.2"));
+  EXPECT_FALSE(IsInteger("abc"));
+  EXPECT_FALSE(IsInteger(""));
+  EXPECT_TRUE(IsNumeric("4.2"));
+  EXPECT_TRUE(IsNumeric("-1e3"));
+  EXPECT_FALSE(IsNumeric("12a"));
+}
+
+TEST(StringUtilTest, ParseDoubleRejectsTrailing) {
+  double d;
+  EXPECT_TRUE(ParseDouble(" 2.5 ", &d));
+  EXPECT_DOUBLE_EQ(d, 2.5);
+  EXPECT_FALSE(ParseDouble("2.5x", &d));
+  EXPECT_FALSE(ParseDouble("inf", &d));
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.0), "3");
+  EXPECT_EQ(FormatDouble(-12.0), "-12");
+  EXPECT_EQ(FormatDouble(25.69), "25.69");
+}
+
+}  // namespace
+}  // namespace tabrep

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "eval/behavioral.h"
+#include "eval/bm25.h"
+#include "serialize/vocab_builder.h"
+#include "table/synth.h"
+
+namespace tabrep {
+namespace {
+
+TEST(Bm25Test, ExactTermMatchScoresHigher) {
+  Bm25Index index;
+  index.AddDocument("france paris population europe");
+  index.AddDocument("japan tokyo population asia");
+  index.AddDocument("films directors awards");
+  EXPECT_GT(index.Score("paris france", 0), index.Score("paris france", 1));
+  EXPECT_EQ(index.Score("paris france", 2), 0.0);
+  auto ranked = index.Rank("paris france");
+  EXPECT_EQ(ranked[0], 0);
+}
+
+TEST(Bm25Test, IdfDownweightsCommonTerms) {
+  Bm25Index index;
+  // "population" occurs everywhere; "tokyo" only in doc 1.
+  index.AddDocument("population france");
+  index.AddDocument("population tokyo");
+  index.AddDocument("population berlin");
+  // A query with the rare term must rank its doc first even though the
+  // common term appears in all docs.
+  auto ranked = index.Rank("population tokyo");
+  EXPECT_EQ(ranked[0], 1);
+}
+
+TEST(Bm25Test, TopKLimitsResults) {
+  Bm25Index index;
+  for (int i = 0; i < 10; ++i) index.AddDocument("doc " + std::to_string(i));
+  EXPECT_EQ(index.TopK("doc", 3).size(), 3u);
+  EXPECT_EQ(index.Rank("doc").size(), 10u);
+}
+
+TEST(Bm25Test, EmptyQueryScoresZero) {
+  Bm25Index index;
+  index.AddDocument("something");
+  EXPECT_EQ(index.Score("", 0), 0.0);
+  EXPECT_EQ(index.Score("unknown words only", 0), 0.0);
+}
+
+TEST(Bm25Test, FromCorpusFindsTablesByContent) {
+  SyntheticCorpusOptions opts;
+  opts.num_tables = 30;
+  opts.numeric_table_fraction = 0.0;
+  TableCorpus corpus = GenerateSyntheticCorpus(opts);
+  Bm25Index index = Bm25Index::FromCorpus(corpus);
+  ASSERT_EQ(index.num_documents(), corpus.size());
+  // Query with a distinctive cell value: the top table must contain it.
+  auto ranked = index.TopK("satyajit ray chiriyakhana", 1);
+  ASSERT_EQ(ranked.size(), 1u);
+  const std::string text = TableToText(corpus.tables[ranked[0]]);
+  EXPECT_NE(text.find("Satyajit Ray"), std::string::npos);
+}
+
+TEST(Bm25Test, TableToTextIncludesAllParts) {
+  Table t = MakeCountryDemoTable();
+  std::string text = TableToText(t);
+  EXPECT_NE(text.find("Population in Million"), std::string::npos);  // title
+  EXPECT_NE(text.find("Capital"), std::string::npos);                // header
+  EXPECT_NE(text.find("France"), std::string::npos);                 // cell
+}
+
+class BehavioralFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SyntheticCorpusOptions opts;
+    opts.num_tables = 14;
+    opts.max_rows = 5;
+    corpus_ = new TableCorpus(GenerateSyntheticCorpus(opts));
+    WordPieceTrainerOptions topts;
+    topts.vocab_size = 1000;
+    tokenizer_ = new WordPieceTokenizer(BuildCorpusTokenizer(*corpus_, topts));
+    serializer_ = new TableSerializer(tokenizer_);
+  }
+  static void TearDownTestSuite() {
+    delete serializer_;
+    delete tokenizer_;
+    delete corpus_;
+    serializer_ = nullptr;
+    tokenizer_ = nullptr;
+    corpus_ = nullptr;
+  }
+
+  static TableCorpus* corpus_;
+  static WordPieceTokenizer* tokenizer_;
+  static TableSerializer* serializer_;
+};
+
+TableCorpus* BehavioralFixture::corpus_ = nullptr;
+WordPieceTokenizer* BehavioralFixture::tokenizer_ = nullptr;
+TableSerializer* BehavioralFixture::serializer_ = nullptr;
+
+TEST_F(BehavioralFixture, SuiteRunsEveryProbe) {
+  ModelConfig config;
+  config.family = ModelFamily::kTapas;
+  config.vocab_size = tokenizer_->vocab().size();
+  config.transformer.dim = 32;
+  config.transformer.num_layers = 1;
+  config.transformer.num_heads = 2;
+  config.transformer.ffn_dim = 64;
+  config.transformer.dropout = 0.0f;
+  TableEncoderModel model(config);
+
+  auto results = RunBehavioralSuite(model, *serializer_, *corpus_);
+  ASSERT_EQ(results.size(), 4u);
+  for (const ProbeResult& r : results) {
+    EXPECT_GT(r.tables, 0) << ProbeKindName(r.kind);
+    EXPECT_GE(r.similarity, -1.0);
+    EXPECT_LE(r.similarity, 1.0 + 1e-6);
+  }
+}
+
+TEST_F(BehavioralFixture, ValueReplacementIsMoreDisruptiveThanPermutation) {
+  ModelConfig config;
+  config.family = ModelFamily::kTurl;
+  config.vocab_size = tokenizer_->vocab().size();
+  config.entity_vocab_size = corpus_->entities.size();
+  config.transformer.dim = 32;
+  config.transformer.num_layers = 1;
+  config.transformer.num_heads = 2;
+  config.transformer.ffn_dim = 64;
+  config.transformer.dropout = 0.0f;
+  TableEncoderModel model(config);
+
+  ProbeResult perm = RunProbe(ProbeKind::kRowPermutation, model, *serializer_,
+                              *corpus_);
+  ProbeResult replace = RunProbe(ProbeKind::kValueReplacement, model,
+                                 *serializer_, *corpus_);
+  // Swapping a cell's value must move representations at least as much
+  // as merely reordering rows.
+  EXPECT_LE(replace.similarity, perm.similarity + 0.05);
+}
+
+TEST_F(BehavioralFixture, ProbeMetadata) {
+  EXPECT_TRUE(ProbeExpectsInvariance(ProbeKind::kRowPermutation));
+  EXPECT_TRUE(ProbeExpectsInvariance(ProbeKind::kSerializationSwap));
+  EXPECT_FALSE(ProbeExpectsInvariance(ProbeKind::kHeaderRemoval));
+  EXPECT_FALSE(ProbeExpectsInvariance(ProbeKind::kValueReplacement));
+  EXPECT_EQ(ProbeKindName(ProbeKind::kHeaderRemoval), "header-removal");
+}
+
+TEST_F(BehavioralFixture, EvalModeRestored) {
+  ModelConfig config;
+  config.family = ModelFamily::kVanilla;
+  config.vocab_size = tokenizer_->vocab().size();
+  config.transformer.dim = 32;
+  config.transformer.num_layers = 1;
+  config.transformer.num_heads = 2;
+  config.transformer.ffn_dim = 64;
+  TableEncoderModel model(config);
+  model.SetTraining(true);
+  RunProbe(ProbeKind::kRowPermutation, model, *serializer_, *corpus_);
+  EXPECT_TRUE(model.training());
+  model.SetTraining(false);
+  RunProbe(ProbeKind::kRowPermutation, model, *serializer_, *corpus_);
+  EXPECT_FALSE(model.training());
+}
+
+}  // namespace
+}  // namespace tabrep

@@ -1,0 +1,195 @@
+// End-to-end integration tests: full pipelines across module
+// boundaries — corpus -> vocab -> serialize -> pretrain -> checkpoint
+// -> reload -> fine-tune -> predict. These are the paths the examples
+// and benches exercise, kept here at a smaller budget so regressions
+// surface in ctest.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pretrain/trainer.h"
+#include "serialize/vocab_builder.h"
+#include "table/csv.h"
+#include "table/synth.h"
+#include "tasks/imputation.h"
+#include "tasks/qa.h"
+#include "tensor/io.h"
+
+namespace tabrep {
+namespace {
+
+class IntegrationFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SyntheticCorpusOptions opts;
+    opts.num_tables = 24;
+    opts.max_rows = 6;
+    corpus_ = new TableCorpus(GenerateSyntheticCorpus(opts));
+    WordPieceTrainerOptions topts;
+    topts.vocab_size = 1200;
+    tokenizer_ = new WordPieceTokenizer(BuildCorpusTokenizer(*corpus_, topts));
+    SerializerOptions sopts;
+    sopts.max_tokens = 72;
+    serializer_ = new TableSerializer(tokenizer_, sopts);
+  }
+  static void TearDownTestSuite() {
+    delete serializer_;
+    delete tokenizer_;
+    delete corpus_;
+    serializer_ = nullptr;
+    tokenizer_ = nullptr;
+    corpus_ = nullptr;
+  }
+
+  static ModelConfig TinyConfig(ModelFamily family) {
+    ModelConfig config;
+    config.family = family;
+    config.vocab_size = tokenizer_->vocab().size();
+    config.entity_vocab_size = corpus_->entities.size();
+    config.transformer.dim = 32;
+    config.transformer.num_layers = 1;
+    config.transformer.num_heads = 2;
+    config.transformer.ffn_dim = 64;
+    config.transformer.dropout = 0.0f;
+    config.max_position = 128;
+    return config;
+  }
+
+  static TableCorpus* corpus_;
+  static WordPieceTokenizer* tokenizer_;
+  static TableSerializer* serializer_;
+};
+
+TableCorpus* IntegrationFixture::corpus_ = nullptr;
+WordPieceTokenizer* IntegrationFixture::tokenizer_ = nullptr;
+TableSerializer* IntegrationFixture::serializer_ = nullptr;
+
+TEST_F(IntegrationFixture, PretrainCheckpointReloadFinetune) {
+  // Pretrain briefly, save, reload into a fresh model, fine-tune the
+  // reloaded model for imputation, and predict a cell.
+  ModelConfig config = TinyConfig(ModelFamily::kTurl);
+  const std::string ckpt = ::testing::TempDir() + "/integration_model.bin";
+  {
+    TableEncoderModel model(config);
+    PretrainConfig pconfig;
+    pconfig.steps = 20;
+    pconfig.batch_size = 2;
+    pconfig.use_mer = true;
+    PretrainTrainer trainer(&model, serializer_, pconfig);
+    trainer.Train(*corpus_);
+    ASSERT_TRUE(SaveTensors(model.ExportStateDict(), ckpt).ok());
+  }
+  ModelConfig fresh = config;
+  fresh.seed = 555;
+  TableEncoderModel reloaded(fresh);
+  auto state = LoadTensors(ckpt);
+  ASSERT_TRUE(state.ok());
+  ASSERT_TRUE(reloaded.ImportStateDict(*state).ok());
+
+  FineTuneConfig fconfig;
+  fconfig.steps = 30;
+  fconfig.batch_size = 2;
+  ImputationTask task(&reloaded, serializer_, *corpus_, fconfig);
+  task.Train(*corpus_);
+  const Table& t = corpus_->tables[0];
+  // Find a categorical cell to predict.
+  for (int64_t c = 0; c < t.num_columns(); ++c) {
+    if (t.column(c).type == ColumnType::kText ||
+        t.column(c).type == ColumnType::kEntity) {
+      std::string predicted = task.PredictCell(t, 0, static_cast<int32_t>(c));
+      EXPECT_FALSE(predicted.empty());
+      return;
+    }
+  }
+}
+
+TEST_F(IntegrationFixture, CsvToAnswerPipeline) {
+  // CSV text -> Table -> QA answer, the quickstart path.
+  const char* csv =
+      "Country,Capital,Population\n"
+      "France,Paris,67.4\n"
+      "Japan,Tokyo,125.7\n";
+  auto table = ReadCsvString(csv);
+  ASSERT_TRUE(table.ok());
+  ModelConfig config = TinyConfig(ModelFamily::kTapas);
+  TableEncoderModel model(config);
+  FineTuneConfig fconfig;
+  fconfig.steps = 5;
+  QaTask qa(&model, serializer_, fconfig);
+  std::string answer = qa.Answer(*table, "what is the capital of france");
+  // Untrained model: answer must still be some cell of the table.
+  bool is_cell = false;
+  for (int64_t r = 0; r < table->num_rows(); ++r) {
+    for (int64_t c = 0; c < table->num_columns(); ++c) {
+      if (table->cell(r, c).ToText() == answer) is_cell = true;
+    }
+  }
+  EXPECT_TRUE(is_cell);
+}
+
+TEST_F(IntegrationFixture, VocabPersistenceKeepsSegmentation) {
+  const std::string path = ::testing::TempDir() + "/integration_vocab.txt";
+  ASSERT_TRUE(tokenizer_->vocab().Save(path).ok());
+  auto loaded = Vocab::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  WordPieceTokenizer reloaded(*loaded);
+  for (const std::string& text :
+       {std::string("population of france"), std::string("satyajit ray"),
+        std::string("hours-per-week 40")}) {
+    EXPECT_EQ(tokenizer_->Encode(text), reloaded.Encode(text)) << text;
+  }
+}
+
+TEST_F(IntegrationFixture, WholePipelineIsDeterministic) {
+  // Two independent runs of corpus -> vocab -> model -> short pretrain
+  // must produce bit-identical training curves.
+  auto run = [] {
+    SyntheticCorpusOptions opts;
+    opts.num_tables = 8;
+    TableCorpus corpus = GenerateSyntheticCorpus(opts);
+    WordPieceTrainerOptions topts;
+    topts.vocab_size = 600;
+    WordPieceTokenizer tokenizer = BuildCorpusTokenizer(corpus, topts);
+    TableSerializer serializer(&tokenizer);
+    ModelConfig config;
+    config.family = ModelFamily::kTapas;
+    config.vocab_size = tokenizer.vocab().size();
+    config.transformer.dim = 16;
+    config.transformer.num_layers = 1;
+    config.transformer.num_heads = 2;
+    config.transformer.ffn_dim = 32;
+    config.transformer.dropout = 0.1f;
+    TableEncoderModel model(config);
+    PretrainConfig pconfig;
+    pconfig.steps = 10;
+    PretrainTrainer trainer(&model, &serializer, pconfig);
+    return trainer.Train(corpus);
+  };
+  auto a = run();
+  auto b = run();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_FLOAT_EQ(a[i].mlm_loss, b[i].mlm_loss) << "step " << i;
+  }
+}
+
+TEST_F(IntegrationFixture, TruncatedTablesStillTrain) {
+  // A serializer with a harsh token budget must not break training.
+  SerializerOptions sopts;
+  sopts.max_tokens = 24;
+  TableSerializer tight(tokenizer_, sopts);
+  ModelConfig config = TinyConfig(ModelFamily::kMate);
+  TableEncoderModel model(config);
+  PretrainConfig pconfig;
+  pconfig.steps = 10;
+  PretrainTrainer trainer(&model, &tight, pconfig);
+  auto log = trainer.Train(*corpus_);
+  EXPECT_EQ(log.size(), 10u);
+  for (const auto& entry : log) {
+    EXPECT_TRUE(std::isfinite(entry.mlm_loss));
+  }
+}
+
+}  // namespace
+}  // namespace tabrep

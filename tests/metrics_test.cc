@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+
+namespace tabrep {
+namespace {
+
+TEST(ClassificationTest, PerfectPredictions) {
+  auto r = ComputeClassification({0, 1, 2, 1}, {0, 1, 2, 1});
+  EXPECT_DOUBLE_EQ(r.accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(r.micro.f1, 1.0);
+  EXPECT_DOUBLE_EQ(r.macro.f1, 1.0);
+  EXPECT_EQ(r.total, 4);
+}
+
+TEST(ClassificationTest, AllWrong) {
+  auto r = ComputeClassification({1, 0}, {0, 1});
+  EXPECT_DOUBLE_EQ(r.accuracy, 0.0);
+  EXPECT_DOUBLE_EQ(r.macro.f1, 0.0);
+}
+
+TEST(ClassificationTest, KnownMixedCase) {
+  // gold:  0 0 1 1 1 2 ; pred: 0 1 1 1 0 2
+  auto r = ComputeClassification({0, 1, 1, 1, 0, 2}, {0, 0, 1, 1, 1, 2});
+  EXPECT_NEAR(r.accuracy, 4.0 / 6.0, 1e-9);
+  // class 0: tp=1 fp=1 fn=1 -> p=0.5 r=0.5 f1=0.5
+  EXPECT_NEAR(r.per_class.at(0).f1, 0.5, 1e-9);
+  // class 1: tp=2 fp=1 fn=1 -> p=2/3 r=2/3 f1=2/3
+  EXPECT_NEAR(r.per_class.at(1).f1, 2.0 / 3.0, 1e-9);
+  // class 2: perfect.
+  EXPECT_NEAR(r.per_class.at(2).f1, 1.0, 1e-9);
+  EXPECT_NEAR(r.macro.f1, (0.5 + 2.0 / 3.0 + 1.0) / 3.0, 1e-9);
+  // Single-label micro-F1 == accuracy.
+  EXPECT_NEAR(r.micro.f1, r.accuracy, 1e-9);
+}
+
+TEST(ClassificationTest, IgnoreLabelSkips) {
+  auto r = ComputeClassification({0, 5, 1}, {0, -100, 1});
+  EXPECT_EQ(r.total, 2);
+  EXPECT_DOUBLE_EQ(r.accuracy, 1.0);
+}
+
+TEST(ClassificationTest, EmptyInput) {
+  auto r = ComputeClassification({}, {});
+  EXPECT_EQ(r.total, 0);
+  EXPECT_DOUBLE_EQ(r.accuracy, 0.0);
+}
+
+TEST(ClassificationTest, SupportCounts) {
+  auto r = ComputeClassification({0, 0, 0}, {0, 0, 1});
+  EXPECT_EQ(r.per_class.at(0).support, 2);
+  EXPECT_EQ(r.per_class.at(1).support, 1);
+}
+
+TEST(RankingTest, PerfectRanks) {
+  auto r = ComputeRanking({1, 1, 1});
+  EXPECT_DOUBLE_EQ(r.mrr, 1.0);
+  EXPECT_DOUBLE_EQ(r.hit_at_1, 1.0);
+  EXPECT_DOUBLE_EQ(r.ndcg_at_10, 1.0);
+}
+
+TEST(RankingTest, KnownMixedRanks) {
+  auto r = ComputeRanking({1, 2, 4, 0});
+  EXPECT_NEAR(r.mrr, (1.0 + 0.5 + 0.25 + 0.0) / 4.0, 1e-9);
+  EXPECT_NEAR(r.hit_at_1, 0.25, 1e-9);
+  EXPECT_NEAR(r.hit_at_5, 0.75, 1e-9);
+  EXPECT_NEAR(r.hit_at_10, 0.75, 1e-9);
+  EXPECT_EQ(r.num_queries, 4);
+}
+
+TEST(RankingTest, MissingRelevantGivesZero) {
+  auto r = ComputeRanking({0, 0});
+  EXPECT_DOUBLE_EQ(r.mrr, 0.0);
+  EXPECT_DOUBLE_EQ(r.hit_at_10, 0.0);
+}
+
+TEST(RankingTest, EmptyQueries) {
+  auto r = ComputeRanking({});
+  EXPECT_EQ(r.num_queries, 0);
+  EXPECT_DOUBLE_EQ(r.mrr, 0.0);
+}
+
+TEST(RankingTest, ReciprocalRank) {
+  EXPECT_DOUBLE_EQ(ReciprocalRank(1), 1.0);
+  EXPECT_DOUBLE_EQ(ReciprocalRank(4), 0.25);
+  EXPECT_DOUBLE_EQ(ReciprocalRank(0), 0.0);
+}
+
+TEST(F1Test, FromCounts) {
+  EXPECT_DOUBLE_EQ(F1FromCounts(10, 0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(F1FromCounts(0, 5, 5), 0.0);
+  EXPECT_NEAR(F1FromCounts(5, 5, 5), 0.5, 1e-9);
+}
+
+TEST(RenderTableTest, AlignsColumns) {
+  std::string out = RenderTextTable({"model", "f1"},
+                                    {{"vanilla", "0.50"}, {"turl", "0.80"}});
+  EXPECT_NE(out.find("| model   | f1   |"), std::string::npos);
+  EXPECT_NE(out.find("| turl    | 0.80 |"), std::string::npos);
+  // Separator line present.
+  EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+TEST(RenderTableTest, HandlesShortRows) {
+  std::string out = RenderTextTable({"a", "b"}, {{"only"}});
+  EXPECT_NE(out.find("only"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tabrep

@@ -1,0 +1,323 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/heads.h"
+#include "models/table_encoder.h"
+#include "models/visibility.h"
+#include "serialize/vocab_builder.h"
+#include "table/synth.h"
+#include "tensor/ops.h"
+
+namespace tabrep {
+namespace {
+
+/// Shared tiny-corpus fixture: one tokenizer + serializer for all
+/// model tests (building the vocab is the slow part).
+class ModelsFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SyntheticCorpusOptions opts;
+    opts.num_tables = 30;
+    corpus_ = new TableCorpus(GenerateSyntheticCorpus(opts));
+    WordPieceTrainerOptions topts;
+    topts.vocab_size = 1500;
+    tokenizer_ = new WordPieceTokenizer(BuildCorpusTokenizer(*corpus_, topts));
+    SerializerOptions sopts;
+    sopts.max_tokens = 96;
+    serializer_ = new TableSerializer(tokenizer_, sopts);
+  }
+  static void TearDownTestSuite() {
+    delete serializer_;
+    delete tokenizer_;
+    delete corpus_;
+    serializer_ = nullptr;
+    tokenizer_ = nullptr;
+    corpus_ = nullptr;
+  }
+
+  static ModelConfig TinyConfig(ModelFamily family) {
+    ModelConfig config;
+    config.family = family;
+    config.vocab_size = tokenizer_->vocab().size();
+    config.entity_vocab_size = corpus_->entities.size();
+    config.transformer.dim = 32;
+    config.transformer.num_layers = 1;
+    config.transformer.num_heads = 2;
+    config.transformer.ffn_dim = 64;
+    config.transformer.dropout = 0.0f;
+    config.max_position = 128;
+    return config;
+  }
+
+  static TableCorpus* corpus_;
+  static WordPieceTokenizer* tokenizer_;
+  static TableSerializer* serializer_;
+};
+
+TableCorpus* ModelsFixture::corpus_ = nullptr;
+WordPieceTokenizer* ModelsFixture::tokenizer_ = nullptr;
+TableSerializer* ModelsFixture::serializer_ = nullptr;
+
+TEST_F(ModelsFixture, FamilyNames) {
+  EXPECT_EQ(ModelFamilyName(ModelFamily::kVanilla), "vanilla");
+  EXPECT_EQ(ModelFamilyName(ModelFamily::kTapas), "tapas");
+  EXPECT_EQ(ModelFamilyName(ModelFamily::kTabert), "tabert");
+  EXPECT_EQ(ModelFamilyName(ModelFamily::kTurl), "turl");
+  EXPECT_EQ(ModelFamilyName(ModelFamily::kMate), "mate");
+}
+
+TEST_F(ModelsFixture, VisibilityMatrixStructure) {
+  TokenizedTable serialized = serializer_->Serialize(MakeCountryDemoTable());
+  Tensor bias = BuildTurlVisibility(serialized);
+  const int64_t t = serialized.size();
+  ASSERT_EQ(bias.rows(), t);
+  // Diagonal always visible.
+  for (int64_t i = 0; i < t; ++i) EXPECT_EQ(bias.at(i, i), 0.0f);
+  // Context/specials see everything and are seen by everything.
+  for (int64_t i = 0; i < t; ++i) {
+    const TokenInfo& a = serialized.tokens[static_cast<size_t>(i)];
+    if (a.row == 0 && a.column == 0) {
+      for (int64_t j = 0; j < t; ++j) {
+        EXPECT_EQ(bias.at(i, j), 0.0f);
+        EXPECT_EQ(bias.at(j, i), 0.0f);
+      }
+    }
+  }
+  // Cells in different rows and columns are mutually masked.
+  const CellSpan* a = serialized.FindCell(0, 0);
+  const CellSpan* b = serialized.FindCell(1, 1);
+  ASSERT_TRUE(a && b);
+  EXPECT_LT(bias.at(a->begin, b->begin), 0.0f);
+  // Same row visible.
+  const CellSpan* c = serialized.FindCell(0, 1);
+  ASSERT_TRUE(c);
+  EXPECT_EQ(bias.at(a->begin, c->begin), 0.0f);
+  // Same column visible.
+  const CellSpan* d = serialized.FindCell(1, 0);
+  ASSERT_TRUE(d);
+  EXPECT_EQ(bias.at(a->begin, d->begin), 0.0f);
+}
+
+TEST_F(ModelsFixture, VisibilityIsSymmetric) {
+  TokenizedTable serialized = serializer_->Serialize(corpus_->tables[1]);
+  Tensor bias = BuildTurlVisibility(serialized);
+  for (int64_t i = 0; i < bias.rows(); ++i) {
+    for (int64_t j = 0; j < bias.cols(); ++j) {
+      EXPECT_EQ(bias.at(i, j), bias.at(j, i));
+    }
+  }
+}
+
+TEST_F(ModelsFixture, MateBiasesPartitionHeads) {
+  TokenizedTable serialized = serializer_->Serialize(MakeCountryDemoTable());
+  auto biases = BuildMateBiases(serialized, 4);
+  ASSERT_EQ(biases.size(), 4u);
+  // Head 0 (row head): same-row cell pair visible, same-col masked.
+  const CellSpan* a = serialized.FindCell(0, 0);
+  const CellSpan* same_row = serialized.FindCell(0, 1);
+  const CellSpan* same_col = serialized.FindCell(1, 0);
+  ASSERT_TRUE(a && same_row && same_col);
+  EXPECT_EQ(biases[0].at(a->begin, same_row->begin), 0.0f);
+  EXPECT_LT(biases[0].at(a->begin, same_col->begin), 0.0f);
+  // Head 3 (column head): the reverse.
+  EXPECT_LT(biases[3].at(a->begin, same_row->begin), 0.0f);
+  EXPECT_EQ(biases[3].at(a->begin, same_col->begin), 0.0f);
+}
+
+TEST_F(ModelsFixture, VisibleFractionDenseVsSparse) {
+  TokenizedTable serialized = serializer_->Serialize(corpus_->tables[0]);
+  Tensor turl = BuildTurlVisibility(serialized);
+  EXPECT_LT(VisibleFraction(turl), 1.0);
+  EXPECT_GT(VisibleFraction(turl), 0.0);
+  EXPECT_EQ(VisibleFraction(Tensor::Zeros({4, 4})), 1.0);
+}
+
+class FamilySweep : public ModelsFixture,
+                    public ::testing::WithParamInterface<ModelFamily> {};
+
+TEST_P(FamilySweep, EncodeProducesFiniteHiddenAndCells) {
+  ModelConfig config = TinyConfig(GetParam());
+  TableEncoderModel model(config);
+  model.SetTraining(false);
+  Rng rng(3);
+  TokenizedTable serialized = serializer_->Serialize(MakeCountryDemoTable());
+  models::Encoded enc = model.Encode(serialized, rng, /*need_cells=*/true,
+                                     /*capture_attention=*/true);
+  EXPECT_EQ(enc.hidden.shape(),
+            (std::vector<int64_t>{serialized.size(), config.transformer.dim}));
+  ASSERT_TRUE(enc.has_cells);
+  EXPECT_EQ(enc.cells.shape()[0],
+            static_cast<int64_t>(serialized.cells.size()));
+  for (int64_t i = 0; i < enc.hidden.numel(); ++i) {
+    EXPECT_TRUE(std::isfinite(enc.hidden.value()[i]));
+  }
+  EXPECT_EQ(enc.attention.size(),
+            static_cast<size_t>(config.transformer.num_layers));
+}
+
+TEST_P(FamilySweep, DeterministicInEvalMode) {
+  ModelConfig config = TinyConfig(GetParam());
+  TableEncoderModel model(config);
+  model.SetTraining(false);
+  TokenizedTable serialized = serializer_->Serialize(corpus_->tables[2]);
+  Rng rng_a(1), rng_b(2);  // different rngs: eval must not use them
+  models::Encoded a = model.Encode(serialized, rng_a);
+  models::Encoded b = model.Encode(serialized, rng_b);
+  EXPECT_TRUE(a.hidden.value().AllClose(b.hidden.value()));
+}
+
+TEST_P(FamilySweep, GradientsReachEmbeddings) {
+  ModelConfig config = TinyConfig(GetParam());
+  TableEncoderModel model(config);
+  Rng rng(4);
+  TokenizedTable serialized = serializer_->Serialize(corpus_->tables[3]);
+  models::Encoded enc = model.Encode(serialized, rng);
+  ag::Variable loss = ag::MeanAll(ag::Mul(enc.hidden, enc.hidden));
+  ag::Backward(loss);
+  EXPECT_GT(ops::Norm(model.token_embedding_weight().grad()), 0.0f);
+}
+
+TEST_P(FamilySweep, StateDictRoundTripPreservesOutput) {
+  ModelConfig config = TinyConfig(GetParam());
+  config.seed = 10;
+  TableEncoderModel a(config);
+  config.seed = 99;  // different init
+  TableEncoderModel b(config);
+  a.SetTraining(false);
+  b.SetTraining(false);
+  Rng rng(5);
+  TokenizedTable serialized = serializer_->Serialize(corpus_->tables[4]);
+  Tensor before = b.Encode(serialized, rng).hidden.value().Clone();
+  ASSERT_TRUE(b.ImportStateDict(a.ExportStateDict()).ok());
+  Tensor after_a = a.Encode(serialized, rng).hidden.value();
+  Tensor after_b = b.Encode(serialized, rng).hidden.value();
+  EXPECT_TRUE(after_a.AllClose(after_b, 1e-5f));
+  EXPECT_FALSE(before.AllClose(after_b, 1e-3f));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, FamilySweep,
+    ::testing::Values(ModelFamily::kVanilla, ModelFamily::kTapas,
+                      ModelFamily::kTabert, ModelFamily::kTurl,
+                      ModelFamily::kMate),
+    [](const ::testing::TestParamInfo<ModelFamily>& info) {
+      return std::string(ModelFamilyName(info.param));
+    });
+
+TEST_F(ModelsFixture, TurlAttentionRespectsVisibility) {
+  ModelConfig config = TinyConfig(ModelFamily::kTurl);
+  TableEncoderModel model(config);
+  model.SetTraining(false);
+  Rng rng(6);
+  TokenizedTable serialized = serializer_->Serialize(MakeCountryDemoTable());
+  models::Encoded enc = model.Encode(serialized, rng, /*need_cells=*/false,
+                                     /*capture_attention=*/true);
+  Tensor bias = BuildTurlVisibility(serialized);
+  for (const Tensor& probs : enc.attention) {
+    for (int64_t i = 0; i < probs.rows(); ++i) {
+      for (int64_t j = 0; j < probs.cols(); ++j) {
+        if (bias.at(i, j) < 0.0f) {
+          EXPECT_LT(probs.at(i, j), 1e-5f) << i << "," << j;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(ModelsFixture, StructuralChannelsChangeEncoding) {
+  // Tapas must distinguish two tables whose serializations share token
+  // ids but differ in cell coordinates; we simulate by comparing the
+  // same table encoded normally vs with a row permutation. Vanilla sees
+  // different token order; the test here just verifies Tapas output
+  // depends on the row channel: zeroing rows changes encoding.
+  ModelConfig config = TinyConfig(ModelFamily::kTapas);
+  TableEncoderModel model(config);
+  model.SetTraining(false);
+  Rng rng(7);
+  TokenizedTable serialized = serializer_->Serialize(corpus_->tables[5]);
+  Tensor normal = model.Encode(serialized, rng).hidden.value().Clone();
+  TokenizedTable flattened = serialized;
+  for (TokenInfo& tok : flattened.tokens) tok.row = 0;
+  Tensor no_rows = model.Encode(flattened, rng).hidden.value();
+  EXPECT_FALSE(normal.AllClose(no_rows, 1e-4f));
+}
+
+TEST_F(ModelsFixture, ClsAndPooledShapes) {
+  ModelConfig config = TinyConfig(ModelFamily::kVanilla);
+  TableEncoderModel model(config);
+  model.SetTraining(false);
+  Rng rng(8);
+  TokenizedTable serialized = serializer_->Serialize(corpus_->tables[6]);
+  models::Encoded enc = model.Encode(serialized, rng, false);
+  EXPECT_EQ(model.Cls(enc).shape(), (std::vector<int64_t>{1, 32}));
+  EXPECT_EQ(model.Pooled(enc).shape(), (std::vector<int64_t>{1, 32}));
+}
+
+TEST_F(ModelsFixture, MlmHeadShapesAndTying) {
+  ModelConfig config = TinyConfig(ModelFamily::kVanilla);
+  TableEncoderModel model(config);
+  model.SetTraining(false);
+  Rng rng(9);
+  models::MlmHead head(&model, rng);
+  head.SetTraining(false);
+  TokenizedTable serialized = serializer_->Serialize(corpus_->tables[7]);
+  models::Encoded enc = model.Encode(serialized, rng, false);
+  ag::Variable logits = head.Forward(enc.hidden);
+  EXPECT_EQ(logits.shape(),
+            (std::vector<int64_t>{serialized.size(), config.vocab_size}));
+  // Weight tying: gradient into logits reaches the embedding table.
+  ag::Backward(ag::MeanAll(logits));
+  EXPECT_GT(ops::Norm(model.token_embedding_weight().grad()), 0.0f);
+}
+
+TEST_F(ModelsFixture, EntityHeadShape) {
+  ModelConfig config = TinyConfig(ModelFamily::kTurl);
+  TableEncoderModel model(config);
+  model.SetTraining(false);
+  Rng rng(10);
+  models::EntityRecoveryHead head(&model, rng);
+  head.SetTraining(false);
+  TokenizedTable serialized = serializer_->Serialize(corpus_->tables[8]);
+  models::Encoded enc = model.Encode(serialized, rng, true);
+  ASSERT_TRUE(enc.has_cells);
+  ag::Variable logits = head.Forward(enc.cells);
+  EXPECT_EQ(logits.shape()[1], config.entity_vocab_size);
+}
+
+TEST_F(ModelsFixture, CellSelectionHeadShape) {
+  ModelConfig config = TinyConfig(ModelFamily::kTapas);
+  TableEncoderModel model(config);
+  model.SetTraining(false);
+  Rng rng(11);
+  models::CellSelectionHead head(config.transformer.dim, rng);
+  TokenizedTable serialized = serializer_->Serialize(corpus_->tables[9]);
+  models::Encoded enc = model.Encode(serialized, rng, true);
+  ASSERT_TRUE(enc.has_cells);
+  ag::Variable logits = head.Forward(enc.cells);
+  EXPECT_EQ(logits.shape(),
+            (std::vector<int64_t>{
+                1, static_cast<int64_t>(serialized.cells.size())}));
+}
+
+TEST_F(ModelsFixture, CheckpointSaveLoadViaFile) {
+  ModelConfig config = TinyConfig(ModelFamily::kTapas);
+  TableEncoderModel a(config);
+  const std::string path = ::testing::TempDir() + "/model.bin";
+  ASSERT_TRUE(SaveTensors(a.ExportStateDict(), path).ok());
+  auto loaded = LoadTensors(path);
+  ASSERT_TRUE(loaded.ok());
+  config.seed = 123;
+  TableEncoderModel b(config);
+  ASSERT_TRUE(b.ImportStateDict(*loaded).ok());
+  a.SetTraining(false);
+  b.SetTraining(false);
+  Rng rng(12);
+  TokenizedTable serialized = serializer_->Serialize(corpus_->tables[0]);
+  EXPECT_TRUE(a.Encode(serialized, rng)
+                  .hidden.value()
+                  .AllClose(b.Encode(serialized, rng).hidden.value(), 1e-5f));
+}
+
+}  // namespace
+}  // namespace tabrep

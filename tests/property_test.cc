@@ -1,0 +1,232 @@
+// Property-based sweeps: invariants that must hold for ANY seed/shape,
+// checked across parameter grids with TEST_P. These complement the
+// example-based unit tests with coverage of the long tail of inputs.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "nn/optimizer.h"
+#include "pretrain/masking.h"
+#include "serialize/serializer.h"
+#include "serialize/vocab_builder.h"
+#include "sql/executor.h"
+#include "sql/generator.h"
+#include "sql/parser.h"
+#include "table/synth.h"
+#include "tensor/autograd.h"
+#include "tensor/ops.h"
+
+namespace tabrep {
+namespace {
+
+// ---------------------------------------------------------------------------
+// MatMul gradient property across shapes.
+// ---------------------------------------------------------------------------
+
+class MatMulShapeSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatMulShapeSweep, GradientMatchesFiniteDifference) {
+  auto [m, k, n] = GetParam();
+  Rng rng(static_cast<uint64_t>(m * 100 + k * 10 + n));
+  Tensor a_init = Tensor::Randn({m, k}, rng);
+  Tensor b_init = Tensor::Randn({k, n}, rng);
+
+  ag::Variable a = ag::Variable::Param(a_init.Clone());
+  ag::Variable b = ag::Variable::Constant(b_init);
+  ag::Variable y = ag::SumAll(ag::MatMul(a, b));
+  ag::Backward(y);
+
+  const float eps = 1e-2f;
+  for (int64_t i = 0; i < std::min<int64_t>(a_init.numel(), 6); ++i) {
+    Tensor plus = a_init.Clone();
+    plus[i] += eps;
+    Tensor minus = a_init.Clone();
+    minus[i] -= eps;
+    const float fp = ops::SumAll(ops::MatMul(plus, b_init))[0];
+    const float fm = ops::SumAll(ops::MatMul(minus, b_init))[0];
+    EXPECT_NEAR(a.grad()[i], (fp - fm) / (2 * eps), 5e-2f)
+        << "shape " << m << "x" << k << "x" << n << " elem " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatMulShapeSweep,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(2, 3, 4),
+                      std::make_tuple(5, 1, 7), std::make_tuple(1, 8, 1),
+                      std::make_tuple(4, 4, 4)));
+
+// ---------------------------------------------------------------------------
+// Serializer invariants across random corpora and option grids.
+// ---------------------------------------------------------------------------
+
+class SerializerPropertySweep
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int>> {};
+
+TEST_P(SerializerPropertySweep, InvariantsHoldForAnyTable) {
+  auto [seed, max_tokens] = GetParam();
+  SyntheticCorpusOptions copts;
+  copts.num_tables = 8;
+  copts.seed = seed;
+  copts.null_fraction = 0.1;
+  TableCorpus corpus = GenerateSyntheticCorpus(copts);
+  WordPieceTrainerOptions vopts;
+  vopts.vocab_size = 900;
+  WordPieceTokenizer tokenizer = BuildCorpusTokenizer(corpus, vopts);
+  SerializerOptions sopts;
+  sopts.max_tokens = max_tokens;
+  TableSerializer serializer(&tokenizer, sopts);
+
+  for (const Table& t : corpus.tables) {
+    TokenizedTable out = serializer.Serialize(t);
+    // Budget respected.
+    EXPECT_LE(out.size(), max_tokens);
+    EXPECT_GT(out.size(), 0);
+    // Every token id is in-vocab; every channel in range.
+    for (const TokenInfo& tok : out.tokens) {
+      EXPECT_GE(tok.id, 0);
+      EXPECT_LT(tok.id, tokenizer.vocab().size());
+      EXPECT_GE(tok.row, 0);
+      EXPECT_GE(tok.column, 0);
+      EXPECT_TRUE(tok.segment == 0 || tok.segment == 1);
+      EXPECT_GE(tok.kind, 0);
+      EXPECT_LT(tok.kind, kNumTokenKinds);
+    }
+    // Cell spans: in bounds, disjoint, consistent with FindCell.
+    std::set<std::pair<int32_t, int32_t>> seen;
+    int32_t prev_end = 0;
+    for (const CellSpan& s : out.cells) {
+      EXPECT_GE(s.begin, prev_end);  // spans are emitted in order
+      EXPECT_LT(s.begin, s.end);
+      EXPECT_LE(s.end, out.size());
+      EXPECT_TRUE(seen.emplace(s.row, s.col).second)
+          << "duplicate span for cell " << s.row << "," << s.col;
+      EXPECT_EQ(out.FindCell(s.row, s.col), &s);
+      prev_end = s.end;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndBudgets, SerializerPropertySweep,
+    ::testing::Combine(::testing::Values(uint64_t{1}, uint64_t{77},
+                                         uint64_t{991}),
+                       ::testing::Values(24, 64, 256)));
+
+// ---------------------------------------------------------------------------
+// Masking invariants across rates.
+// ---------------------------------------------------------------------------
+
+class MaskingRateSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MaskingRateSweep, TargetsConsistentAtAnyRate) {
+  const double rate = GetParam();
+  SyntheticCorpusOptions copts;
+  copts.num_tables = 6;
+  TableCorpus corpus = GenerateSyntheticCorpus(copts);
+  WordPieceTrainerOptions vopts;
+  vopts.vocab_size = 900;
+  WordPieceTokenizer tokenizer = BuildCorpusTokenizer(corpus, vopts);
+  TableSerializer serializer(&tokenizer);
+  Rng rng(static_cast<uint64_t>(rate * 1000));
+
+  MlmOptions options;
+  options.mask_prob = rate;
+  options.vocab_size = tokenizer.vocab().size();
+  for (const Table& t : corpus.tables) {
+    TokenizedTable serialized = serializer.Serialize(t);
+    MlmExample ex = ApplyMlmMasking(serialized, options, rng);
+    EXPECT_GE(ex.num_masked, 1);
+    int64_t targets = 0;
+    for (size_t i = 0; i < ex.targets.size(); ++i) {
+      if (ex.targets[i] == kIgnoreTarget) continue;
+      ++targets;
+      // Target stores the ORIGINAL id even when the input kept it.
+      EXPECT_EQ(ex.targets[i], serialized.tokens[i].id);
+      // Specials/context are never targets.
+      const int32_t kind = serialized.tokens[i].kind;
+      EXPECT_TRUE(kind == static_cast<int32_t>(TokenKind::kCell) ||
+                  kind == static_cast<int32_t>(TokenKind::kHeader));
+    }
+    EXPECT_EQ(targets, ex.num_masked);
+    // The corruption touched only targeted positions.
+    for (size_t i = 0; i < ex.targets.size(); ++i) {
+      if (ex.targets[i] == kIgnoreTarget) {
+        EXPECT_EQ(ex.input.tokens[i].id, serialized.tokens[i].id);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, MaskingRateSweep,
+                         ::testing::Values(0.05, 0.15, 0.5, 0.9));
+
+// ---------------------------------------------------------------------------
+// SQL: generate -> render -> parse -> execute round trip across seeds.
+// ---------------------------------------------------------------------------
+
+class SqlRoundTripSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SqlRoundTripSweep, GeneratedQueriesRoundTrip) {
+  SyntheticCorpusOptions copts;
+  copts.num_tables = 10;
+  copts.seed = GetParam();
+  TableCorpus corpus = GenerateSyntheticCorpus(copts);
+  Rng rng(GetParam() + 1);
+  int checked = 0;
+  for (const Table& t : corpus.tables) {
+    for (int i = 0; i < 3; ++i) {
+      auto gq = sql::GenerateQuery(t, rng);
+      if (!gq) continue;
+      ++checked;
+      auto parsed = sql::ParseQuery(gq->query.ToSql());
+      ASSERT_TRUE(parsed.ok()) << gq->query.ToSql();
+      EXPECT_TRUE(*parsed == gq->query) << gq->query.ToSql();
+      auto r1 = sql::Execute(gq->query, t);
+      auto r2 = sql::Execute(*parsed, t);
+      ASSERT_TRUE(r1.ok() && r2.ok());
+      ASSERT_EQ(r1->values.size(), r2->values.size());
+      for (size_t v = 0; v < r1->values.size(); ++v) {
+        EXPECT_EQ(r1->values[v].ToText(), r2->values[v].ToText());
+      }
+    }
+  }
+  EXPECT_GT(checked, 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SqlRoundTripSweep,
+                         ::testing::Values(uint64_t{5}, uint64_t{123},
+                                           uint64_t{888}, uint64_t{31337}));
+
+// ---------------------------------------------------------------------------
+// LR schedules.
+// ---------------------------------------------------------------------------
+
+TEST(ScheduleProperty, CosineWarmupThenMonotoneDecay) {
+  nn::WarmupCosineSchedule sched(1.0f, 10, 100, 0.1f);
+  // Warmup rises.
+  EXPECT_LT(sched.LrAt(0), sched.LrAt(5));
+  EXPECT_NEAR(sched.LrAt(9), 1.0f, 1e-5f);
+  // Decay is monotone non-increasing after warmup.
+  for (int64_t s = 10; s < 99; ++s) {
+    EXPECT_GE(sched.LrAt(s) + 1e-6f, sched.LrAt(s + 1));
+  }
+  // Ends at the floor, never below it.
+  EXPECT_NEAR(sched.LrAt(100), 0.1f, 1e-5f);
+  for (int64_t s = 0; s <= 100; s += 7) {
+    EXPECT_GE(sched.LrAt(s), 0.1f - 1e-6f);
+  }
+}
+
+TEST(ScheduleProperty, LinearAndCosineAgreeAtEndpoints) {
+  nn::WarmupLinearSchedule lin(2.0f, 5, 50);
+  nn::WarmupCosineSchedule cos(2.0f, 5, 50);
+  EXPECT_NEAR(lin.LrAt(4), cos.LrAt(4), 1e-5f);   // end of warmup
+  EXPECT_NEAR(lin.LrAt(50), 0.0f, 1e-5f);
+  EXPECT_NEAR(cos.LrAt(50), 0.0f, 1e-5f);
+}
+
+}  // namespace
+}  // namespace tabrep

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "pretrain/tapex.h"
+#include "serialize/vocab_builder.h"
+#include "sql/executor.h"
+#include "sql/parser.h"
+#include "table/synth.h"
+#include "tasks/semantic_parsing.h"
+
+namespace tabrep {
+namespace {
+
+class ParsingFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SyntheticCorpusOptions opts;
+    opts.num_tables = 24;
+    opts.max_rows = 6;
+    opts.numeric_table_fraction = 0.2;
+    corpus_ = new TableCorpus(GenerateSyntheticCorpus(opts));
+    WordPieceTrainerOptions topts;
+    topts.vocab_size = 1400;
+    tokenizer_ = new WordPieceTokenizer(BuildCorpusTokenizer(*corpus_, topts));
+    SerializerOptions sopts;
+    sopts.max_tokens = 96;
+    serializer_ = new TableSerializer(tokenizer_, sopts);
+  }
+  static void TearDownTestSuite() {
+    delete serializer_;
+    delete tokenizer_;
+    delete corpus_;
+    serializer_ = nullptr;
+    tokenizer_ = nullptr;
+    corpus_ = nullptr;
+  }
+
+  static std::unique_ptr<TableEncoderModel> MakeModel() {
+    ModelConfig config;
+    config.family = ModelFamily::kTapas;
+    config.vocab_size = tokenizer_->vocab().size();
+    config.transformer.dim = 32;
+    config.transformer.num_layers = 1;
+    config.transformer.num_heads = 2;
+    config.transformer.ffn_dim = 64;
+    config.transformer.dropout = 0.0f;
+    config.max_position = 160;
+    return std::make_unique<TableEncoderModel>(config);
+  }
+
+  static TableCorpus* corpus_;
+  static WordPieceTokenizer* tokenizer_;
+  static TableSerializer* serializer_;
+};
+
+TableCorpus* ParsingFixture::corpus_ = nullptr;
+WordPieceTokenizer* ParsingFixture::tokenizer_ = nullptr;
+TableSerializer* ParsingFixture::serializer_ = nullptr;
+
+TEST_F(ParsingFixture, GeneratedExamplesAreConsistent) {
+  Rng rng(1);
+  auto examples = GenerateParsingExamples(*corpus_, 3, rng);
+  ASSERT_GT(examples.size(), 20u);
+  for (const ParsingExample& ex : examples) {
+    const Table& t = corpus_->tables[static_cast<size_t>(ex.table_index)];
+    const sql::Query& q = ex.generated.query;
+    // Single equality condition as promised.
+    ASSERT_EQ(q.where.size(), 1u);
+    EXPECT_EQ(q.where[0].op, sql::CompareOp::kEq);
+    ASSERT_EQ(ex.generated.anchors.size(), 1u);
+    // The anchor cell satisfies the condition.
+    const auto [row, col] = ex.generated.anchors[0];
+    EXPECT_TRUE(sql::MatchesCondition(t.cell(row, col), q.where[0].op,
+                                      q.where[0].literal));
+    // Executing reproduces the stored result.
+    auto result = sql::Execute(q, t);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->values.size(), ex.generated.result.values.size());
+  }
+}
+
+TEST_F(ParsingFixture, UntrainedParserEmitsValidQueries) {
+  auto model = MakeModel();
+  FineTuneConfig config;
+  config.steps = 2;
+  SemanticParsingTask task(model.get(), serializer_, config);
+  const Table& t = corpus_->tables[0];
+  bool ok = false;
+  sql::Query q = task.Parse(t, "what is the capital when country is france",
+                            &ok);
+  ASSERT_TRUE(ok);
+  // The assembled query must reference real columns and execute.
+  EXPECT_GE(t.ColumnIndex(q.select_column), 0);
+  ASSERT_EQ(q.where.size(), 1u);
+  EXPECT_GE(t.ColumnIndex(q.where[0].column), 0);
+  EXPECT_TRUE(sql::Execute(q, t).ok());
+}
+
+TEST_F(ParsingFixture, TrainingImprovesSlotAccuracy) {
+  auto model = MakeModel();
+  Rng rng(2);
+  auto examples = GenerateParsingExamples(*corpus_, 3, rng);
+  FineTuneConfig config;
+  config.steps = 120;
+  config.batch_size = 2;
+  config.lr = 2e-3f;
+  SemanticParsingTask task(model.get(), serializer_, config);
+  ParsingEval before = task.Evaluate(*corpus_, examples);
+  task.Train(*corpus_, examples);
+  ParsingEval after = task.Evaluate(*corpus_, examples);
+  ASSERT_GT(after.total, 0);
+  // The easiest slots must improve over the untrained baseline.
+  EXPECT_GT(after.aggregate_acc + after.select_acc,
+            before.aggregate_acc + before.select_acc);
+  // Denotation accuracy is at least exact-match (exact queries always
+  // denote correctly).
+  EXPECT_GE(after.denotation, after.exact_match);
+}
+
+TEST_F(ParsingFixture, TapexExamplesHaveUniqueAnswers) {
+  Rng rng(3);
+  auto examples = GenerateTapexExamples(*corpus_, 3, rng);
+  ASSERT_GT(examples.size(), 15u);
+  for (const TapexExample& ex : examples) {
+    const Table& t = corpus_->tables[static_cast<size_t>(ex.table_index)];
+    // The SQL text parses and executes to exactly the answer cell.
+    auto q = sql::ParseQuery(ex.sql_text);
+    ASSERT_TRUE(q.ok()) << ex.sql_text;
+    auto r = sql::Execute(*q, t);
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(r->rows.size(), 1u);
+    EXPECT_EQ(r->rows[0], ex.answer_row);
+    EXPECT_EQ(t.ColumnIndex(q->select_column), ex.answer_col);
+  }
+}
+
+TEST_F(ParsingFixture, TapexTrainingLearnsExecution) {
+  auto model = MakeModel();
+  Rng rng(4);
+  auto examples = GenerateTapexExamples(*corpus_, 4, rng);
+  TapexConfig config;
+  config.steps = 150;
+  config.batch_size = 2;
+  TapexTrainer trainer(model.get(), serializer_, config);
+  double before = trainer.Evaluate(*corpus_, examples);
+  trainer.Train(*corpus_, examples);
+  double after = trainer.Evaluate(*corpus_, examples);
+  EXPECT_GT(after, before) << "before " << before << " after " << after;
+}
+
+}  // namespace
+}  // namespace tabrep

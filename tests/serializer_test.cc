@@ -1,0 +1,294 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "serialize/serializer.h"
+#include "serialize/vocab_builder.h"
+#include "table/synth.h"
+
+namespace tabrep {
+namespace {
+
+class SerializerFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SyntheticCorpusOptions opts;
+    opts.num_tables = 40;
+    corpus_ = new TableCorpus(GenerateSyntheticCorpus(opts));
+    WordPieceTrainerOptions topts;
+    topts.vocab_size = 2000;
+    tokenizer_ = new WordPieceTokenizer(BuildCorpusTokenizer(*corpus_, topts));
+  }
+  static void TearDownTestSuite() {
+    delete tokenizer_;
+    tokenizer_ = nullptr;
+    delete corpus_;
+    corpus_ = nullptr;
+  }
+
+  static TableCorpus* corpus_;
+  static WordPieceTokenizer* tokenizer_;
+};
+
+TableCorpus* SerializerFixture::corpus_ = nullptr;
+WordPieceTokenizer* SerializerFixture::tokenizer_ = nullptr;
+
+TEST_F(SerializerFixture, RowMajorStartsWithClsAndHasSeps) {
+  TableSerializer ser(tokenizer_);
+  Table t = MakeCountryDemoTable();
+  TokenizedTable out = ser.Serialize(t);
+  ASSERT_GT(out.size(), 0);
+  EXPECT_EQ(out.tokens[0].id, SpecialTokens::kClsId);
+  int seps = 0;
+  for (const TokenInfo& tok : out.tokens) {
+    if (tok.id == SpecialTokens::kSepId) ++seps;
+  }
+  // context sep + header sep + one per row.
+  EXPECT_GE(seps, 2 + t.num_rows());
+}
+
+TEST_F(SerializerFixture, CellSpansCoverEveryCell) {
+  TableSerializer ser(tokenizer_);
+  Table t = MakeCountryDemoTable();
+  TokenizedTable out = ser.Serialize(t);
+  EXPECT_EQ(static_cast<int64_t>(out.cells.size()),
+            t.num_rows() * t.num_columns());
+  for (int32_t r = 0; r < t.num_rows(); ++r) {
+    for (int32_t c = 0; c < t.num_columns(); ++c) {
+      const CellSpan* span = out.FindCell(r, c);
+      ASSERT_NE(span, nullptr) << "cell " << r << "," << c;
+      EXPECT_LT(span->begin, span->end);
+      // Every token in the span carries the right coordinates.
+      for (int32_t i = span->begin; i < span->end; ++i) {
+        EXPECT_EQ(out.tokens[i].row, r + 1);
+        EXPECT_EQ(out.tokens[i].column, c + 1);
+        EXPECT_EQ(out.tokens[i].kind, static_cast<int32_t>(TokenKind::kCell));
+      }
+    }
+  }
+}
+
+TEST_F(SerializerFixture, HeaderTokensAreRowZero) {
+  TableSerializer ser(tokenizer_);
+  TokenizedTable out = ser.Serialize(MakeCountryDemoTable());
+  bool saw_header = false;
+  for (const TokenInfo& tok : out.tokens) {
+    if (tok.kind == static_cast<int32_t>(TokenKind::kHeader)) {
+      saw_header = true;
+      EXPECT_EQ(tok.row, 0);
+      EXPECT_GT(tok.column, 0);
+      EXPECT_EQ(tok.segment, 1);
+    }
+  }
+  EXPECT_TRUE(saw_header);
+}
+
+TEST_F(SerializerFixture, ContextBeforeVsAfterVsNone) {
+  Table t = MakeCountryDemoTable();
+  SerializerOptions before;
+  before.context = ContextPlacement::kBefore;
+  SerializerOptions after;
+  after.context = ContextPlacement::kAfter;
+  SerializerOptions none;
+  none.context = ContextPlacement::kNone;
+
+  TokenizedTable tb = TableSerializer(tokenizer_, before).Serialize(t);
+  TokenizedTable ta = TableSerializer(tokenizer_, after).Serialize(t);
+  TokenizedTable tn = TableSerializer(tokenizer_, none).Serialize(t);
+
+  // Context tokens (segment 0, kind kContext) exist in before/after only.
+  auto count_ctx = [](const TokenizedTable& tt) {
+    int n = 0;
+    for (const TokenInfo& tok : tt.tokens) {
+      if (tok.kind == static_cast<int32_t>(TokenKind::kContext)) ++n;
+    }
+    return n;
+  };
+  EXPECT_GT(count_ctx(tb), 0);
+  EXPECT_GT(count_ctx(ta), 0);
+  EXPECT_EQ(count_ctx(tn), 0);
+  // Before: first context token precedes first cell token; After: follows.
+  auto first_of = [](const TokenizedTable& tt, TokenKind k) {
+    for (size_t i = 0; i < tt.tokens.size(); ++i) {
+      if (tt.tokens[i].kind == static_cast<int32_t>(k)) {
+        return static_cast<int64_t>(i);
+      }
+    }
+    return static_cast<int64_t>(-1);
+  };
+  EXPECT_LT(first_of(tb, TokenKind::kContext), first_of(tb, TokenKind::kCell));
+  EXPECT_GT(first_of(ta, TokenKind::kContext), first_of(ta, TokenKind::kCell));
+}
+
+TEST_F(SerializerFixture, QuestionJoinsContext) {
+  TableSerializer ser(tokenizer_);
+  Table t = MakeCountryDemoTable();
+  TokenizedTable without = ser.Serialize(t);
+  TokenizedTable with = ser.Serialize(t, "what is the population of france");
+  EXPECT_GT(with.size(), without.size());
+}
+
+TEST_F(SerializerFixture, NullCellsBecomeEmptyToken) {
+  TableSerializer ser(tokenizer_);
+  Table t = MakeAwardsDemoTable();
+  TokenizedTable out = ser.Serialize(t);
+  const CellSpan* span = out.FindCell(0, 3);  // Language of row 0 is NULL
+  ASSERT_NE(span, nullptr);
+  EXPECT_EQ(span->end - span->begin, 1);
+  EXPECT_EQ(out.tokens[span->begin].id, SpecialTokens::kEmptyId);
+}
+
+TEST_F(SerializerFixture, TruncationRespectsMaxTokens) {
+  SerializerOptions opts;
+  opts.max_tokens = 32;
+  TableSerializer ser(tokenizer_, opts);
+  // A big table from the corpus.
+  TokenizedTable out = ser.Serialize(corpus_->tables[0]);
+  EXPECT_LE(out.size(), 32);
+  for (const CellSpan& s : out.cells) {
+    EXPECT_LE(s.end, 32);
+    EXPECT_LT(s.begin, s.end);
+  }
+}
+
+TEST_F(SerializerFixture, RowColumnFiltering) {
+  SerializerOptions opts;
+  opts.max_rows = 2;
+  opts.max_columns = 2;
+  TableSerializer ser(tokenizer_, opts);
+  TokenizedTable out = ser.Serialize(MakeCountryDemoTable());
+  EXPECT_EQ(out.used_rows, 2);
+  EXPECT_EQ(out.used_columns, 2);
+  for (const CellSpan& s : out.cells) {
+    EXPECT_LT(s.row, 2);
+    EXPECT_LT(s.col, 2);
+  }
+}
+
+TEST_F(SerializerFixture, NumericRanks) {
+  Table t = MakeCountryDemoTable();  // Population column is numeric
+  const int64_t pop = t.ColumnIndex("Population");
+  auto ranks = NumericColumnRanks(t, pop);
+  ASSERT_EQ(ranks.size(), static_cast<size_t>(t.num_rows()));
+  // All distinct populations -> ranks are a permutation of 1..n.
+  std::vector<int32_t> sorted = ranks;
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    EXPECT_EQ(sorted[i], static_cast<int32_t>(i) + 1);
+  }
+  // Text column gets all zeros.
+  auto text_ranks = NumericColumnRanks(t, t.ColumnIndex("Country"));
+  for (int32_t r : text_ranks) EXPECT_EQ(r, 0);
+}
+
+TEST_F(SerializerFixture, NumericRankTies) {
+  Table t(std::vector<std::string>{"v"});
+  ASSERT_TRUE(t.AppendRow({Value::Int(5)}).ok());
+  ASSERT_TRUE(t.AppendRow({Value::Int(3)}).ok());
+  ASSERT_TRUE(t.AppendRow({Value::Int(5)}).ok());
+  auto ranks = NumericColumnRanks(t, 0);
+  EXPECT_EQ(ranks[1], 1);
+  EXPECT_EQ(ranks[0], 2);
+  EXPECT_EQ(ranks[2], 2);
+}
+
+TEST_F(SerializerFixture, RankEmbeddingChannelOnCellTokens) {
+  TableSerializer ser(tokenizer_);
+  Table t = MakeCountryDemoTable();
+  TokenizedTable out = ser.Serialize(t);
+  const int64_t pop = t.ColumnIndex("Population");
+  bool saw_rank = false;
+  for (const TokenInfo& tok : out.tokens) {
+    if (tok.column == pop + 1 &&
+        tok.kind == static_cast<int32_t>(TokenKind::kCell)) {
+      EXPECT_GT(tok.rank, 0);
+      saw_rank = true;
+    }
+  }
+  EXPECT_TRUE(saw_rank);
+}
+
+TEST_F(SerializerFixture, EntityIdsPropagate) {
+  SyntheticCorpusOptions opts;
+  opts.num_tables = 5;
+  opts.numeric_table_fraction = 0.0;
+  TableCorpus c = GenerateSyntheticCorpus(opts);
+  TableSerializer ser(tokenizer_);
+  bool saw_entity = false;
+  for (const Table& t : c.tables) {
+    TokenizedTable out = ser.Serialize(t);
+    for (const CellSpan& s : out.cells) {
+      if (s.entity_id >= 0) {
+        saw_entity = true;
+        for (int32_t i = s.begin; i < s.end; ++i) {
+          EXPECT_EQ(out.tokens[i].entity_id, s.entity_id);
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(saw_entity);
+}
+
+TEST_F(SerializerFixture, LinearizeToStringTemplate) {
+  SerializerOptions opts;
+  opts.strategy = LinearizationStrategy::kTemplate;
+  TableSerializer ser(tokenizer_, opts);
+  std::string s = ser.LinearizeToString(MakeCountryDemoTable());
+  EXPECT_NE(s.find("row 1 :"), std::string::npos);
+  EXPECT_NE(s.find("Country is"), std::string::npos);
+  EXPECT_NE(s.find("[CLS]"), std::string::npos);
+}
+
+TEST_F(SerializerFixture, HeaderlessTemplateFallsBackToColumnWords) {
+  SerializerOptions opts;
+  opts.strategy = LinearizationStrategy::kTemplate;
+  TableSerializer ser(tokenizer_, opts);
+  std::string s = ser.LinearizeToString(MakeCountryDemoTable().WithoutHeader());
+  EXPECT_NE(s.find("column 1 is"), std::string::npos);
+}
+
+using StrategyParam = std::tuple<LinearizationStrategy, ContextPlacement>;
+
+class StrategySweep : public SerializerFixture,
+                      public ::testing::WithParamInterface<StrategyParam> {};
+
+TEST_P(StrategySweep, EveryStrategyProducesValidOutput) {
+  auto [strategy, context] = GetParam();
+  SerializerOptions opts;
+  opts.strategy = strategy;
+  opts.context = context;
+  TableSerializer ser(tokenizer_, opts);
+  for (int i = 0; i < 5; ++i) {
+    const Table& t = corpus_->tables[static_cast<size_t>(i)];
+    TokenizedTable out = ser.Serialize(t);
+    ASSERT_GT(out.size(), 0);
+    EXPECT_EQ(out.tokens[0].id, SpecialTokens::kClsId);
+    EXPECT_LE(out.size(), opts.max_tokens);
+    // Cell spans exist unless everything was truncated away.
+    EXPECT_FALSE(out.cells.empty());
+    for (const CellSpan& s : out.cells) {
+      EXPECT_GE(s.begin, 0);
+      EXPECT_LT(s.begin, s.end);
+      EXPECT_LE(s.end, out.size());
+    }
+    // No [UNK] should appear: vocab was trained on this corpus.
+    for (const TokenInfo& tok : out.tokens) {
+      EXPECT_NE(tok.id, SpecialTokens::kUnkId)
+          << "UNK in table " << t.id() << " strategy "
+          << LinearizationStrategyName(strategy);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, StrategySweep,
+    ::testing::Combine(
+        ::testing::Values(LinearizationStrategy::kRowMajorSep,
+                          LinearizationStrategy::kColumnMajorSep,
+                          LinearizationStrategy::kTemplate,
+                          LinearizationStrategy::kMarkdown),
+        ::testing::Values(ContextPlacement::kNone, ContextPlacement::kBefore,
+                          ContextPlacement::kAfter)));
+
+}  // namespace
+}  // namespace tabrep

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "models/visibility.h"
+#include "nn/attention.h"
+#include "nn/sparse_inference.h"
+#include "serialize/vocab_builder.h"
+#include "table/synth.h"
+
+namespace tabrep {
+namespace {
+
+Tensor DiagonalBias(int64_t t) {
+  Tensor bias = Tensor::Full({t, t}, nn::kMaskedScore);
+  for (int64_t i = 0; i < t; ++i) bias.at(i, i) = 0.0f;
+  return bias;
+}
+
+TEST(SparseInferenceTest, MatchesDenseWithFullVisibility) {
+  Rng rng(1);
+  const int64_t t = 12, d = 8;
+  Tensor q = Tensor::Randn({t, d}, rng);
+  Tensor k = Tensor::Randn({t, d}, rng);
+  Tensor v = Tensor::Randn({t, d}, rng);
+  Tensor none = Tensor::Zeros({t, t});
+  Tensor dense = nn::DenseAttentionForward(q, k, v, nullptr);
+  Tensor sparse = nn::SparseAttentionForward(q, k, v, none);
+  EXPECT_TRUE(dense.AllClose(sparse, 1e-4f));
+}
+
+TEST(SparseInferenceTest, MatchesDenseWithRandomMask) {
+  Rng rng(2);
+  const int64_t t = 16, d = 8;
+  Tensor q = Tensor::Randn({t, d}, rng);
+  Tensor k = Tensor::Randn({t, d}, rng);
+  Tensor v = Tensor::Randn({t, d}, rng);
+  Tensor bias({t, t});
+  for (int64_t i = 0; i < t; ++i) {
+    for (int64_t j = 0; j < t; ++j) {
+      bias.at(i, j) = (i == j || rng.NextBernoulli(0.4)) ? 0.0f
+                                                          : nn::kMaskedScore;
+    }
+  }
+  Tensor dense = nn::DenseAttentionForward(q, k, v, &bias);
+  Tensor sparse = nn::SparseAttentionForward(q, k, v, bias);
+  EXPECT_TRUE(dense.AllClose(sparse, 1e-4f));
+}
+
+TEST(SparseInferenceTest, DiagonalMaskCopiesValues) {
+  Rng rng(3);
+  const int64_t t = 6, d = 4;
+  Tensor q = Tensor::Randn({t, d}, rng);
+  Tensor k = Tensor::Randn({t, d}, rng);
+  Tensor v = Tensor::Randn({t, d}, rng);
+  Tensor out = nn::SparseAttentionForward(q, k, v, DiagonalBias(t));
+  // Softmax over a single visible element is 1 -> output == v.
+  EXPECT_TRUE(out.AllClose(v, 1e-5f));
+}
+
+TEST(SparseInferenceTest, CountVisiblePairs) {
+  EXPECT_EQ(nn::CountVisiblePairs(Tensor::Zeros({3, 3})), 9);
+  EXPECT_EQ(nn::CountVisiblePairs(DiagonalBias(5)), 5);
+}
+
+TEST(SparseInferenceTest, MatchesDenseOnRealVisibilityMatrices) {
+  SyntheticCorpusOptions copts;
+  copts.num_tables = 3;
+  TableCorpus corpus = GenerateSyntheticCorpus(copts);
+  WordPieceTrainerOptions vopts;
+  vopts.vocab_size = 800;
+  WordPieceTokenizer tokenizer = BuildCorpusTokenizer(corpus, vopts);
+  TableSerializer serializer(&tokenizer);
+  Rng rng(4);
+  for (const Table& table : corpus.tables) {
+    TokenizedTable serialized = serializer.Serialize(table);
+    const int64_t t = serialized.size();
+    Tensor q = Tensor::Randn({t, 16}, rng);
+    Tensor k = Tensor::Randn({t, 16}, rng);
+    Tensor v = Tensor::Randn({t, 16}, rng);
+    Tensor turl = BuildTurlVisibility(serialized);
+    EXPECT_TRUE(nn::DenseAttentionForward(q, k, v, &turl)
+                    .AllClose(nn::SparseAttentionForward(q, k, v, turl),
+                              1e-3f));
+    for (const Tensor& head : BuildMateBiases(serialized, 2)) {
+      EXPECT_TRUE(nn::DenseAttentionForward(q, k, v, &head)
+                      .AllClose(nn::SparseAttentionForward(q, k, v, head),
+                                1e-3f));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tabrep

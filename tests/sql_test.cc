@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include "sql/ast.h"
+#include "sql/executor.h"
+#include "sql/generator.h"
+#include "sql/parser.h"
+#include "table/synth.h"
+
+namespace tabrep {
+namespace {
+
+using sql::Aggregate;
+using sql::CompareOp;
+using sql::Condition;
+using sql::Execute;
+using sql::GenerateQuery;
+using sql::ParseQuery;
+using sql::Query;
+
+Table TestTable() {
+  Table t(std::vector<std::string>{"Country", "Continent", "Population"});
+  EXPECT_TRUE(t.AppendRow({Value::String("France"), Value::String("Europe"),
+                           Value::Double(67.4)})
+                  .ok());
+  EXPECT_TRUE(t.AppendRow({Value::String("Germany"), Value::String("Europe"),
+                           Value::Double(83.2)})
+                  .ok());
+  EXPECT_TRUE(t.AppendRow({Value::String("Japan"), Value::String("Asia"),
+                           Value::Double(125.7)})
+                  .ok());
+  EXPECT_TRUE(
+      t.AppendRow({Value::String("Peru"), Value::String("South America"),
+                   Value::Null()})
+          .ok());
+  t.InferTypes();
+  return t;
+}
+
+Query MakeQuery(Aggregate agg, std::string select,
+                std::vector<Condition> where = {}) {
+  Query q;
+  q.aggregate = agg;
+  q.select_column = std::move(select);
+  q.where = std::move(where);
+  return q;
+}
+
+TEST(SqlAstTest, ToSqlRendering) {
+  Query q = MakeQuery(Aggregate::kMax, "Population",
+                      {{"Continent", CompareOp::kEq,
+                        Value::String("Europe")}});
+  EXPECT_EQ(q.ToSql(),
+            "SELECT MAX(Population) FROM t WHERE Continent = 'Europe'");
+}
+
+TEST(SqlAstTest, QuotedIdentifiersAndLiterals) {
+  Query q = MakeQuery(Aggregate::kNone, "hours-per-week",
+                      {{"income", CompareOp::kNe,
+                        Value::String("it's")}});
+  EXPECT_EQ(q.ToSql(),
+            "SELECT \"hours-per-week\" FROM t WHERE income != 'it''s'");
+}
+
+TEST(SqlParserTest, RoundTripsSimpleQueries) {
+  for (const Query& q : {
+           MakeQuery(Aggregate::kNone, "Country"),
+           MakeQuery(Aggregate::kCount, "Country",
+                     {{"Continent", CompareOp::kEq,
+                       Value::String("Europe")}}),
+           MakeQuery(Aggregate::kAvg, "Population",
+                     {{"Population", CompareOp::kGt, Value::Double(50.0)},
+                      {"Continent", CompareOp::kNe,
+                       Value::String("Asia")}}),
+           MakeQuery(Aggregate::kSum, "hours-per-week",
+                     {{"age", CompareOp::kLe, Value::Int(40)}}),
+       }) {
+    auto parsed = ParseQuery(q.ToSql());
+    ASSERT_TRUE(parsed.ok()) << q.ToSql() << ": "
+                             << parsed.status().ToString();
+    EXPECT_TRUE(*parsed == q) << q.ToSql() << " vs " << parsed->ToSql();
+  }
+}
+
+TEST(SqlParserTest, CaseInsensitiveKeywords) {
+  auto parsed = ParseQuery("select max(Population) from t where x = 1");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->aggregate, Aggregate::kMax);
+}
+
+TEST(SqlParserTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseQuery("").ok());
+  EXPECT_FALSE(ParseQuery("SELECT FROM t").ok());
+  EXPECT_FALSE(ParseQuery("SELECT a FROM t WHERE").ok());
+  EXPECT_FALSE(ParseQuery("SELECT a FROM t WHERE b ==").ok());
+  EXPECT_FALSE(ParseQuery("SELECT a FROM t extra").ok());
+  EXPECT_FALSE(ParseQuery("SELECT MAX(a FROM t").ok());
+  EXPECT_FALSE(ParseQuery("SELECT a FROM t WHERE b ! 1").ok());
+  EXPECT_FALSE(ParseQuery("SELECT a FROM t WHERE b = 'unterminated").ok());
+}
+
+TEST(SqlExecutorTest, BareSelectFiltersRows) {
+  Table t = TestTable();
+  Query q = MakeQuery(Aggregate::kNone, "Country",
+                      {{"Continent", CompareOp::kEq,
+                        Value::String("Europe")}});
+  auto r = Execute(q, t);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->values.size(), 2u);
+  EXPECT_EQ(r->values[0].ToText(), "France");
+  EXPECT_EQ(r->values[1].ToText(), "Germany");
+  EXPECT_EQ(r->rows, (std::vector<int64_t>{0, 1}));
+}
+
+TEST(SqlExecutorTest, Aggregates) {
+  Table t = TestTable();
+  auto exec = [&](Aggregate agg) {
+    auto r = Execute(MakeQuery(agg, "Population"), t);
+    EXPECT_TRUE(r.ok());
+    return r->values[0];
+  };
+  EXPECT_EQ(exec(Aggregate::kCount).AsInt(), 3);  // NULL skipped
+  EXPECT_DOUBLE_EQ(exec(Aggregate::kMin).AsDouble(), 67.4);
+  EXPECT_DOUBLE_EQ(exec(Aggregate::kMax).AsDouble(), 125.7);
+  EXPECT_NEAR(exec(Aggregate::kSum).AsDouble(), 276.3, 1e-9);
+  EXPECT_NEAR(exec(Aggregate::kAvg).AsDouble(), 92.1, 1e-9);
+}
+
+TEST(SqlExecutorTest, NumericComparisons) {
+  Table t = TestTable();
+  Query q = MakeQuery(Aggregate::kCount, "Country",
+                      {{"Population", CompareOp::kGt, Value::Int(80)}});
+  auto r = Execute(q, t);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->values[0].AsInt(), 2);  // Germany, Japan
+}
+
+TEST(SqlExecutorTest, NullNeverMatches) {
+  Table t = TestTable();
+  Query q = MakeQuery(Aggregate::kCount, "Country",
+                      {{"Population", CompareOp::kLe, Value::Int(10000)}});
+  auto r = Execute(q, t);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->values[0].AsInt(), 3);  // Peru's NULL population excluded
+}
+
+TEST(SqlExecutorTest, UnknownColumnFails) {
+  Table t = TestTable();
+  EXPECT_FALSE(Execute(MakeQuery(Aggregate::kNone, "Nope"), t).ok());
+  Query q = MakeQuery(Aggregate::kNone, "Country",
+                      {{"Nope", CompareOp::kEq, Value::Int(1)}});
+  EXPECT_FALSE(Execute(q, t).ok());
+}
+
+TEST(SqlExecutorTest, AggregateOverTextFails) {
+  Table t = TestTable();
+  EXPECT_FALSE(Execute(MakeQuery(Aggregate::kSum, "Country"), t).ok());
+}
+
+TEST(SqlExecutorTest, EmptyMatchGivesNullAggregate) {
+  Table t = TestTable();
+  Query q = MakeQuery(Aggregate::kMax, "Population",
+                      {{"Continent", CompareOp::kEq,
+                        Value::String("Atlantis")}});
+  auto r = Execute(q, t);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->values[0].is_null());
+}
+
+TEST(SqlExecutorTest, MatchesConditionSemantics) {
+  using sql::MatchesCondition;
+  EXPECT_TRUE(MatchesCondition(Value::Int(5), CompareOp::kEq,
+                               Value::Double(5.0)));
+  EXPECT_TRUE(MatchesCondition(Value::String("b"), CompareOp::kGt,
+                               Value::String("a")));
+  EXPECT_FALSE(MatchesCondition(Value::Null(), CompareOp::kEq,
+                                Value::Int(0)));
+  EXPECT_TRUE(MatchesCondition(Value::Int(3), CompareOp::kNe,
+                               Value::Int(4)));
+}
+
+TEST(SqlGeneratorTest, GeneratedQueriesAreValidAndAnswerable) {
+  SyntheticCorpusOptions opts;
+  opts.num_tables = 20;
+  TableCorpus corpus = GenerateSyntheticCorpus(opts);
+  Rng rng(3);
+  int generated = 0;
+  for (const Table& t : corpus.tables) {
+    for (int i = 0; i < 4; ++i) {
+      auto gq = GenerateQuery(t, rng);
+      if (!gq) continue;
+      ++generated;
+      // Result must be reproducible by re-execution.
+      auto again = Execute(gq->query, t);
+      ASSERT_TRUE(again.ok()) << gq->query.ToSql();
+      EXPECT_EQ(again->values.size(), gq->result.values.size());
+      EXPECT_FALSE(gq->result.empty());
+      EXPECT_FALSE(gq->result.values.front().is_null());
+      // The SQL text round-trips through the parser.
+      auto parsed = ParseQuery(gq->query.ToSql());
+      ASSERT_TRUE(parsed.ok()) << gq->query.ToSql();
+      EXPECT_TRUE(*parsed == gq->query);
+      // The question mentions the select column.
+      EXPECT_FALSE(gq->question.empty());
+    }
+  }
+  EXPECT_GT(generated, 40);
+}
+
+TEST(SqlGeneratorTest, QuestionRendering) {
+  Query q = MakeQuery(Aggregate::kMax, "Population",
+                      {{"Continent", CompareOp::kEq,
+                        Value::String("Europe")}});
+  EXPECT_EQ(sql::QueryToQuestion(q),
+            "what is the maximum population when continent is europe");
+}
+
+TEST(SqlGeneratorTest, EmptyTableYieldsNothing) {
+  Table t(std::vector<std::string>{"a"});
+  Rng rng(4);
+  EXPECT_FALSE(GenerateQuery(t, rng).has_value());
+}
+
+}  // namespace
+}  // namespace tabrep

@@ -1,0 +1,383 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "table/csv.h"
+#include "table/synth.h"
+#include "table/table.h"
+#include "table/value.h"
+
+namespace tabrep {
+namespace {
+
+TEST(ValueTest, NullByDefault) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.ToText(), "");
+  EXPECT_EQ(v.ToNumber(), 0.0);
+}
+
+TEST(ValueTest, TypedFactories) {
+  EXPECT_EQ(Value::String("x").AsString(), "x");
+  EXPECT_EQ(Value::Int(7).AsInt(), 7);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).AsDouble(), 2.5);
+  EXPECT_TRUE(Value::Bool(true).AsBool());
+}
+
+TEST(ValueTest, EntityCarriesIdAndSurface) {
+  Value v = Value::Entity("France", 42);
+  EXPECT_TRUE(v.is_entity());
+  EXPECT_EQ(v.entity_id(), 42);
+  EXPECT_EQ(v.AsString(), "France");
+  EXPECT_EQ(v.ToText(), "France");
+}
+
+TEST(ValueTest, ParseClassifies) {
+  EXPECT_TRUE(Value::Parse("").is_null());
+  EXPECT_TRUE(Value::Parse("null").is_null());
+  EXPECT_TRUE(Value::Parse("N/A").is_null());
+  EXPECT_EQ(Value::Parse("42").type(), ValueType::kInt);
+  EXPECT_EQ(Value::Parse("-3.14").type(), ValueType::kDouble);
+  EXPECT_EQ(Value::Parse("true").type(), ValueType::kBool);
+  EXPECT_EQ(Value::Parse("Paris").type(), ValueType::kString);
+  EXPECT_EQ(Value::Parse("  7 ").AsInt(), 7);
+}
+
+TEST(ValueTest, ToTextFormats) {
+  EXPECT_EQ(Value::Int(-5).ToText(), "-5");
+  EXPECT_EQ(Value::Double(25.69).ToText(), "25.69");
+  EXPECT_EQ(Value::Double(3.0).ToText(), "3");
+  EXPECT_EQ(Value::Bool(false).ToText(), "false");
+}
+
+TEST(ValueTest, Equality) {
+  EXPECT_EQ(Value::Int(1), Value::Int(1));
+  EXPECT_FALSE(Value::Int(1) == Value::Double(1.0));
+  EXPECT_EQ(Value::Null(), Value::Null());
+  EXPECT_FALSE(Value::Entity("a", 1) == Value::Entity("a", 2));
+}
+
+TEST(TableTest, AppendRowChecksWidth) {
+  Table t(std::vector<std::string>{"a", "b"});
+  EXPECT_TRUE(t.AppendRow({Value::Int(1), Value::Int(2)}).ok());
+  Status s = t.AppendRow({Value::Int(1)});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(t.num_rows(), 1);
+}
+
+TEST(TableTest, CellAccessAndMutation) {
+  Table t(std::vector<std::string>{"a"});
+  ASSERT_TRUE(t.AppendRow({Value::Int(1)}).ok());
+  t.set_cell(0, 0, Value::String("x"));
+  EXPECT_EQ(t.cell(0, 0).AsString(), "x");
+}
+
+TEST(TableTest, ColumnIndexAndHeader) {
+  Table t(std::vector<std::string>{"Country", "Capital"});
+  EXPECT_EQ(t.ColumnIndex("Capital"), 1);
+  EXPECT_EQ(t.ColumnIndex("zzz"), -1);
+  EXPECT_TRUE(t.HasHeader());
+  EXPECT_FALSE(t.WithoutHeader().HasHeader());
+}
+
+TEST(TableTest, InferTypesMixedColumns) {
+  Table t(std::vector<std::string>{"name", "year", "score", "flag"});
+  ASSERT_TRUE(t.AppendRow({Value::String("alpha"), Value::String("1967"),
+                           Value::Double(1.5), Value::Bool(true)})
+                  .ok());
+  ASSERT_TRUE(t.AppendRow({Value::String("beta"), Value::String("1968-05-01"),
+                           Value::Double(2.5), Value::Bool(false)})
+                  .ok());
+  t.InferTypes();
+  EXPECT_EQ(t.column(0).type, ColumnType::kText);
+  EXPECT_EQ(t.column(1).type, ColumnType::kDate);
+  EXPECT_EQ(t.column(2).type, ColumnType::kNumeric);
+  EXPECT_EQ(t.column(3).type, ColumnType::kBool);
+}
+
+TEST(TableTest, InferTypesEntityColumn) {
+  Table t(std::vector<std::string>{"who"});
+  ASSERT_TRUE(t.AppendRow({Value::Entity("France", 3)}).ok());
+  ASSERT_TRUE(t.AppendRow({Value::Entity("Spain", 4)}).ok());
+  t.InferTypes();
+  EXPECT_EQ(t.column(0).type, ColumnType::kEntity);
+}
+
+TEST(TableTest, InferTypesAllNull) {
+  Table t(std::vector<std::string>{"x"});
+  ASSERT_TRUE(t.AppendRow({Value::Null()}).ok());
+  t.InferTypes();
+  EXPECT_EQ(t.column(0).type, ColumnType::kUnknown);
+}
+
+TEST(TableTest, SlicePermuteProject) {
+  Table t(std::vector<std::string>{"a", "b"});
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(t.AppendRow({Value::Int(i), Value::Int(10 * i)}).ok());
+  }
+  Table s = t.SliceRows(1, 3);
+  EXPECT_EQ(s.num_rows(), 2);
+  EXPECT_EQ(s.cell(0, 0).AsInt(), 1);
+
+  Table p = t.PermuteRows({3, 2, 1, 0});
+  EXPECT_EQ(p.cell(0, 0).AsInt(), 3);
+  EXPECT_EQ(p.num_rows(), 4);
+
+  Table proj = t.ProjectColumns({1});
+  EXPECT_EQ(proj.num_columns(), 1);
+  EXPECT_EQ(proj.column(0).name, "b");
+  EXPECT_EQ(proj.cell(2, 0).AsInt(), 20);
+}
+
+TEST(TableTest, CountNulls) {
+  Table t(std::vector<std::string>{"a", "b"});
+  ASSERT_TRUE(t.AppendRow({Value::Null(), Value::Int(1)}).ok());
+  ASSERT_TRUE(t.AppendRow({Value::Null(), Value::Null()}).ok());
+  EXPECT_EQ(t.CountNulls(), 3);
+}
+
+TEST(DateDetectionTest, Patterns) {
+  EXPECT_TRUE(LooksLikeDate("1967"));
+  EXPECT_TRUE(LooksLikeDate("1967 (15th)"));
+  EXPECT_TRUE(LooksLikeDate("1967-05-20"));
+  EXPECT_TRUE(LooksLikeDate("05/20/1967"));
+  EXPECT_FALSE(LooksLikeDate("France"));
+  EXPECT_FALSE(LooksLikeDate("12a"));
+  EXPECT_FALSE(LooksLikeDate(""));
+}
+
+TEST(CsvTest, ParseSimple) {
+  auto r = ReadCsvString("a,b\n1,x\n2,y\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 2);
+  EXPECT_EQ(r->num_columns(), 2);
+  EXPECT_EQ(r->column(0).name, "a");
+  EXPECT_EQ(r->cell(0, 0).AsInt(), 1);
+  EXPECT_EQ(r->cell(1, 1).AsString(), "y");
+}
+
+TEST(CsvTest, QuotedFieldsWithCommasAndNewlines) {
+  auto r = ReadCsvString("name,notes\n\"Doe, Jane\",\"line1\nline2\"\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->cell(0, 0).AsString(), "Doe, Jane");
+  EXPECT_EQ(r->cell(0, 1).AsString(), "line1\nline2");
+}
+
+TEST(CsvTest, EscapedQuotes) {
+  auto r = ReadCsvString("q\n\"say \"\"hi\"\"\"\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->cell(0, 0).AsString(), "say \"hi\"");
+}
+
+TEST(CsvTest, EmptyFieldsBecomeNull) {
+  auto r = ReadCsvString("a,b\n,2\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->cell(0, 0).is_null());
+}
+
+TEST(CsvTest, InconsistentWidthFails) {
+  auto r = ReadCsvString("a,b\n1\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+TEST(CsvTest, UnterminatedQuoteFails) {
+  auto r = ReadCsvString("a\n\"oops\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CsvTest, NoHeaderOption) {
+  CsvOptions opts;
+  opts.has_header = false;
+  auto r = ReadCsvString("1,2\n3,4\n", opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 2);
+  EXPECT_FALSE(r->HasHeader());
+}
+
+TEST(CsvTest, CrlfHandling) {
+  auto r = ReadCsvString("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 1);
+  EXPECT_EQ(r->cell(0, 1).AsInt(), 2);
+}
+
+TEST(CsvTest, MissingTrailingNewline) {
+  auto r = ReadCsvString("a\n7");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 1);
+  EXPECT_EQ(r->cell(0, 0).AsInt(), 7);
+}
+
+TEST(CsvTest, WriteReadRoundTrip) {
+  Table t(std::vector<std::string>{"name", "pop"});
+  ASSERT_TRUE(t.AppendRow({Value::String("Doe, Jane"), Value::Double(25.69)}).ok());
+  ASSERT_TRUE(t.AppendRow({Value::Null(), Value::Int(7)}).ok());
+  std::string csv = WriteCsvString(t);
+  auto r = ReadCsvString(csv);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->cell(0, 0).AsString(), "Doe, Jane");
+  EXPECT_DOUBLE_EQ(r->cell(0, 1).AsDouble(), 25.69);
+  EXPECT_TRUE(r->cell(1, 0).is_null());
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  Table t(std::vector<std::string>{"x"});
+  ASSERT_TRUE(t.AppendRow({Value::Int(1)}).ok());
+  const std::string path = ::testing::TempDir() + "/t.csv";
+  ASSERT_TRUE(WriteCsvFile(t, path).ok());
+  auto r = ReadCsvFile(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->cell(0, 0).AsInt(), 1);
+}
+
+TEST(EntityVocabTest, ReservedIds) {
+  EntityVocab ev;
+  EXPECT_EQ(ev.size(), 2);
+  EXPECT_EQ(ev.Id("[ENT_UNK]"), EntityVocab::kEntUnkId);
+  int32_t id = ev.Add("France");
+  EXPECT_EQ(ev.Id("France"), id);
+  EXPECT_EQ(ev.Add("France"), id);
+  EXPECT_EQ(ev.Id("nowhere"), EntityVocab::kEntUnkId);
+  EXPECT_EQ(ev.Surface(id), "France");
+}
+
+TEST(SynthTest, DeterministicForSeed) {
+  SyntheticCorpusOptions opts;
+  opts.num_tables = 10;
+  TableCorpus a = GenerateSyntheticCorpus(opts);
+  TableCorpus b = GenerateSyntheticCorpus(opts);
+  ASSERT_EQ(a.size(), b.size());
+  for (int64_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.tables[i].ToString(100), b.tables[i].ToString(100));
+  }
+}
+
+TEST(SynthTest, RowCountsInRange) {
+  SyntheticCorpusOptions opts;
+  opts.num_tables = 50;
+  opts.min_rows = 3;
+  opts.max_rows = 6;
+  TableCorpus c = GenerateSyntheticCorpus(opts);
+  for (const Table& t : c.tables) {
+    EXPECT_GE(t.num_rows(), 3);
+    EXPECT_LE(t.num_rows(), 6);
+  }
+}
+
+TEST(SynthTest, EntityLinkingPopulatesVocab) {
+  SyntheticCorpusOptions opts;
+  opts.num_tables = 30;
+  opts.numeric_table_fraction = 0.0;
+  TableCorpus c = GenerateSyntheticCorpus(opts);
+  EXPECT_GT(c.entities.size(), 20);
+  bool found_entity_cell = false;
+  for (const Table& t : c.tables) {
+    for (int64_t r = 0; r < t.num_rows() && !found_entity_cell; ++r) {
+      for (int64_t col = 0; col < t.num_columns(); ++col) {
+        if (t.cell(r, col).is_entity()) {
+          found_entity_cell = true;
+          EXPECT_GT(t.cell(r, col).entity_id(), EntityVocab::kEntMaskId);
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(found_entity_cell);
+}
+
+TEST(SynthTest, FunctionalDependencyHolds) {
+  // Capital must be a function of Country across the whole corpus.
+  SyntheticCorpusOptions opts;
+  opts.num_tables = 60;
+  opts.numeric_table_fraction = 0.0;
+  TableCorpus c = GenerateSyntheticCorpus(opts);
+  std::map<std::string, std::string> capital_of;
+  for (const Table& t : c.tables) {
+    const int64_t country = t.ColumnIndex("Country");
+    const int64_t capital = t.ColumnIndex("Capital");
+    if (country < 0 || capital < 0) continue;
+    for (int64_t r = 0; r < t.num_rows(); ++r) {
+      const std::string k = t.cell(r, country).ToText();
+      const std::string v = t.cell(r, capital).ToText();
+      auto [it, inserted] = capital_of.emplace(k, v);
+      EXPECT_EQ(it->second, v) << "conflicting capital for " << k;
+    }
+  }
+}
+
+TEST(SynthTest, HeaderlessFraction) {
+  SyntheticCorpusOptions opts;
+  opts.num_tables = 100;
+  opts.headerless_fraction = 1.0;
+  TableCorpus c = GenerateSyntheticCorpus(opts);
+  for (const Table& t : c.tables) EXPECT_FALSE(t.HasHeader());
+}
+
+TEST(SynthTest, NullInjection) {
+  SyntheticCorpusOptions opts;
+  opts.num_tables = 40;
+  opts.null_fraction = 0.3;
+  TableCorpus c = GenerateSyntheticCorpus(opts);
+  int64_t nulls = 0, cells = 0;
+  for (const Table& t : c.tables) {
+    nulls += t.CountNulls();
+    cells += t.num_rows() * t.num_columns();
+  }
+  const double rate = static_cast<double>(nulls) / cells;
+  EXPECT_GT(rate, 0.2);
+  EXPECT_LT(rate, 0.4);
+}
+
+TEST(SynthTest, NumericFractionProducesNumericTables) {
+  SyntheticCorpusOptions opts;
+  opts.num_tables = 50;
+  opts.numeric_table_fraction = 1.0;
+  TableCorpus c = GenerateSyntheticCorpus(opts);
+  std::set<std::string> headers;
+  for (const Table& t : c.tables) {
+    for (const ColumnSpec& col : t.columns()) headers.insert(col.name);
+  }
+  EXPECT_TRUE(headers.count("age") || headers.count("temperature"));
+}
+
+TEST(SynthTest, CorpusSplit) {
+  SyntheticCorpusOptions opts;
+  opts.num_tables = 40;
+  TableCorpus c = GenerateSyntheticCorpus(opts);
+  Rng rng(1);
+  auto [train, test] = c.Split(0.25, rng);
+  EXPECT_EQ(train.size() + test.size(), c.size());
+  EXPECT_EQ(test.size(), 10);
+  EXPECT_EQ(train.entities.size(), c.entities.size());
+}
+
+TEST(SynthTest, DemoTablesShapedLikeThePaper) {
+  Table country = MakeCountryDemoTable();
+  EXPECT_EQ(country.ColumnIndex("Country"), 0);
+  EXPECT_GE(country.num_rows(), 4);
+  bool has_france = false;
+  for (int64_t r = 0; r < country.num_rows(); ++r) {
+    if (country.cell(r, 0).ToText() == "France") has_france = true;
+  }
+  EXPECT_TRUE(has_france);
+
+  Table awards = MakeAwardsDemoTable();
+  EXPECT_EQ(awards.num_columns(), 4);
+  EXPECT_EQ(awards.CountNulls(), 3);
+
+  Table census = MakeCensusDemoTable();
+  EXPECT_EQ(census.ColumnIndex("income"), 4);
+  EXPECT_EQ(census.CountNulls(), 3);
+}
+
+TEST(SynthTest, AllTextNonEmpty) {
+  SyntheticCorpusOptions opts;
+  opts.num_tables = 5;
+  TableCorpus c = GenerateSyntheticCorpus(opts);
+  auto text = c.AllText();
+  EXPECT_GT(text.size(), 20u);
+  for (const std::string& s : text) EXPECT_FALSE(s.empty());
+}
+
+}  // namespace
+}  // namespace tabrep

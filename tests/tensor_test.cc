@@ -1,0 +1,319 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "tensor/io.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace tabrep {
+namespace {
+
+TEST(TensorTest, ZerosShapeAndContent) {
+  Tensor t = Tensor::Zeros({2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  EXPECT_EQ(t.rows(), 2);
+  EXPECT_EQ(t.cols(), 3);
+  for (int64_t i = 0; i < 6; ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(TensorTest, FromVectorAndAt) {
+  Tensor t = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_EQ(t.at(0, 1), 2.0f);
+  EXPECT_EQ(t.at(1, 0), 3.0f);
+  EXPECT_EQ(t.at(1, 1), 4.0f);
+}
+
+TEST(TensorTest, CopyIsShallowCloneIsDeep) {
+  Tensor a = Tensor::Of({1, 2, 3});
+  Tensor shallow = a;
+  Tensor deep = a.Clone();
+  a[0] = 99;
+  EXPECT_EQ(shallow[0], 99.0f);
+  EXPECT_EQ(deep[0], 1.0f);
+}
+
+TEST(TensorTest, ReshapeSharesBuffer) {
+  Tensor a = Tensor::Of({1, 2, 3, 4});
+  Tensor b = a.Reshape({2, 2});
+  b.at(1, 1) = 7;
+  EXPECT_EQ(a[3], 7.0f);
+}
+
+TEST(TensorTest, FillAddScale) {
+  Tensor a = Tensor::Zeros({4});
+  a.Fill(2.0f);
+  Tensor b = Tensor::Ones({4});
+  a.Add(b, 3.0f);
+  a.Scale(0.5f);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(a[i], 2.5f);
+}
+
+TEST(TensorTest, NegativeAxisSize) {
+  Tensor a = Tensor::Zeros({2, 5});
+  EXPECT_EQ(a.size(-1), 5);
+  EXPECT_EQ(a.size(-2), 2);
+}
+
+TEST(TensorTest, AllClose) {
+  Tensor a = Tensor::Of({1.0f, 2.0f});
+  Tensor b = Tensor::Of({1.0f, 2.0f + 1e-7f});
+  Tensor c = Tensor::Of({1.0f, 2.1f});
+  EXPECT_TRUE(a.AllClose(b));
+  EXPECT_FALSE(a.AllClose(c));
+  EXPECT_FALSE(a.AllClose(Tensor::Zeros({3})));
+}
+
+TEST(TensorTest, RandnStats) {
+  Rng rng(5);
+  Tensor t = Tensor::Randn({10000}, rng, 2.0f);
+  double sum = 0, sq = 0;
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    sum += t[i];
+    sq += t[i] * t[i];
+  }
+  EXPECT_NEAR(sum / t.numel(), 0.0, 0.1);
+  EXPECT_NEAR(sq / t.numel(), 4.0, 0.2);
+}
+
+TEST(OpsTest, AddSubMul) {
+  Tensor a = Tensor::Of({1, 2, 3});
+  Tensor b = Tensor::Of({4, 5, 6});
+  EXPECT_TRUE(ops::Add(a, b).AllClose(Tensor::Of({5, 7, 9})));
+  EXPECT_TRUE(ops::Sub(b, a).AllClose(Tensor::Of({3, 3, 3})));
+  EXPECT_TRUE(ops::Mul(a, b).AllClose(Tensor::Of({4, 10, 18})));
+}
+
+TEST(OpsTest, ScalarOps) {
+  Tensor a = Tensor::Of({1, 2});
+  EXPECT_TRUE(ops::AddScalar(a, 1).AllClose(Tensor::Of({2, 3})));
+  EXPECT_TRUE(ops::MulScalar(a, -2).AllClose(Tensor::Of({-2, -4})));
+}
+
+TEST(OpsTest, AddRowBroadcast) {
+  Tensor a = Tensor::FromVector({2, 3}, {0, 0, 0, 1, 1, 1});
+  Tensor b = Tensor::Of({1, 2, 3});
+  Tensor c = ops::AddRowBroadcast(a, b);
+  EXPECT_TRUE(c.AllClose(Tensor::FromVector({2, 3}, {1, 2, 3, 2, 3, 4})));
+}
+
+TEST(OpsTest, MatMulKnown) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromVector({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = ops::MatMul(a, b);
+  EXPECT_TRUE(c.AllClose(Tensor::FromVector({2, 2}, {58, 64, 139, 154})));
+}
+
+TEST(OpsTest, MatMulTransposedBMatchesExplicit) {
+  Rng rng(1);
+  Tensor a = Tensor::Randn({4, 6}, rng);
+  Tensor b = Tensor::Randn({5, 6}, rng);
+  Tensor direct = ops::MatMulTransposedB(a, b);
+  Tensor viaT = ops::MatMul(a, ops::Transpose(b));
+  EXPECT_TRUE(direct.AllClose(viaT, 1e-4f));
+}
+
+TEST(OpsTest, TransposeRoundTrip) {
+  Rng rng(2);
+  Tensor a = Tensor::Randn({3, 5}, rng);
+  EXPECT_TRUE(ops::Transpose(ops::Transpose(a)).AllClose(a));
+}
+
+TEST(OpsTest, SoftmaxRowsSumToOne) {
+  Rng rng(3);
+  Tensor a = Tensor::Randn({4, 7}, rng, 3.0f);
+  Tensor s = ops::Softmax(a);
+  for (int64_t r = 0; r < 4; ++r) {
+    float sum = 0;
+    for (int64_t c = 0; c < 7; ++c) {
+      EXPECT_GT(s.at(r, c), 0.0f);
+      sum += s.at(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(OpsTest, SoftmaxStableForLargeLogits) {
+  Tensor a = Tensor::Of({1000.0f, 1000.0f});
+  Tensor s = ops::Softmax(a);
+  EXPECT_NEAR(s[0], 0.5f, 1e-5f);
+}
+
+TEST(OpsTest, LogSoftmaxMatchesLogOfSoftmax) {
+  Rng rng(4);
+  Tensor a = Tensor::Randn({2, 5}, rng);
+  Tensor ls = ops::LogSoftmax(a);
+  Tensor s = ops::Softmax(a);
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    EXPECT_NEAR(std::exp(ls[i]), s[i], 1e-5f);
+  }
+}
+
+TEST(OpsTest, Reductions) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  EXPECT_FLOAT_EQ(ops::SumAll(a)[0], 10.0f);
+  EXPECT_FLOAT_EQ(ops::MeanAll(a)[0], 2.5f);
+  EXPECT_TRUE(ops::SumRows(a).AllClose(Tensor::Of({4, 6})));
+  EXPECT_TRUE(ops::MeanRows(a).AllClose(Tensor::Of({2, 3})));
+}
+
+TEST(OpsTest, LayerNormNormalizes) {
+  Rng rng(6);
+  Tensor a = Tensor::Randn({3, 8}, rng, 5.0f);
+  Tensor gamma = Tensor::Ones({8});
+  Tensor beta = Tensor::Zeros({8});
+  Tensor y = ops::LayerNorm(a, gamma, beta);
+  for (int64_t r = 0; r < 3; ++r) {
+    float mean = 0, var = 0;
+    for (int64_t c = 0; c < 8; ++c) mean += y.at(r, c);
+    mean /= 8;
+    for (int64_t c = 0; c < 8; ++c) {
+      var += (y.at(r, c) - mean) * (y.at(r, c) - mean);
+    }
+    var /= 8;
+    EXPECT_NEAR(mean, 0.0f, 1e-4f);
+    EXPECT_NEAR(var, 1.0f, 1e-2f);
+  }
+}
+
+TEST(OpsTest, LayerNormAppliesGainBias) {
+  Tensor a = Tensor::FromVector({1, 2}, {-1, 1});
+  Tensor gamma = Tensor::Of({2, 2});
+  Tensor beta = Tensor::Of({10, 10});
+  Tensor y = ops::LayerNorm(a, gamma, beta);
+  EXPECT_NEAR(y[0], 10 - 2.0f, 1e-3f);
+  EXPECT_NEAR(y[1], 10 + 2.0f, 1e-3f);
+}
+
+TEST(OpsTest, EmbeddingLookup) {
+  Tensor table = Tensor::FromVector({3, 2}, {0, 1, 10, 11, 20, 21});
+  Tensor out = ops::EmbeddingLookup(table, {2, 0, 2});
+  EXPECT_TRUE(
+      out.AllClose(Tensor::FromVector({3, 2}, {20, 21, 0, 1, 20, 21})));
+}
+
+TEST(OpsTest, SliceAndConcatRows) {
+  Tensor a = Tensor::FromVector({3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor mid = ops::SliceRows(a, 1, 2);
+  EXPECT_TRUE(mid.AllClose(Tensor::FromVector({1, 2}, {3, 4})));
+  Tensor cat = ops::ConcatRows({mid, mid});
+  EXPECT_TRUE(cat.AllClose(Tensor::FromVector({2, 2}, {3, 4, 3, 4})));
+}
+
+TEST(OpsTest, ConcatCols) {
+  Tensor a = Tensor::FromVector({2, 1}, {1, 2});
+  Tensor b = Tensor::FromVector({2, 2}, {3, 4, 5, 6});
+  Tensor c = ops::ConcatCols({a, b});
+  EXPECT_TRUE(c.AllClose(Tensor::FromVector({2, 3}, {1, 3, 4, 2, 5, 6})));
+}
+
+TEST(OpsTest, CrossEntropyPerfectPrediction) {
+  // Very confident correct logits -> loss near 0, accuracy counted.
+  Tensor logits = Tensor::FromVector({2, 3}, {10, -10, -10, -10, 10, -10});
+  int64_t correct = 0, counted = 0;
+  Tensor loss = ops::CrossEntropy(logits, {0, 1}, -100, &correct, &counted);
+  EXPECT_LT(loss[0], 1e-3f);
+  EXPECT_EQ(correct, 2);
+  EXPECT_EQ(counted, 2);
+}
+
+TEST(OpsTest, CrossEntropyIgnoreIndex) {
+  Tensor logits = Tensor::FromVector({2, 2}, {5, -5, -5, 5});
+  int64_t correct = 0, counted = 0;
+  Tensor loss = ops::CrossEntropy(logits, {-100, 1}, -100, &correct, &counted);
+  EXPECT_EQ(counted, 1);
+  EXPECT_EQ(correct, 1);
+  EXPECT_LT(loss[0], 1e-3f);
+}
+
+TEST(OpsTest, CrossEntropyUniformIsLogC) {
+  Tensor logits = Tensor::Zeros({1, 4});
+  Tensor loss = ops::CrossEntropy(logits, {2});
+  EXPECT_NEAR(loss[0], std::log(4.0f), 1e-5f);
+}
+
+TEST(OpsTest, ArgmaxRows) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 5, 2, 9, 0, 3});
+  auto idx = ops::ArgmaxRows(a);
+  EXPECT_EQ(idx[0], 1);
+  EXPECT_EQ(idx[1], 0);
+}
+
+TEST(OpsTest, DotCosineNorm) {
+  Tensor a = Tensor::Of({3, 4});
+  EXPECT_FLOAT_EQ(ops::Norm(a), 5.0f);
+  Tensor b = Tensor::Of({3, 4});
+  EXPECT_NEAR(ops::CosineSimilarity(a, b), 1.0f, 1e-6f);
+  Tensor c = Tensor::Of({-4, 3});
+  EXPECT_NEAR(ops::CosineSimilarity(a, c), 0.0f, 1e-6f);
+  EXPECT_FLOAT_EQ(ops::Dot(a, b), 25.0f);
+  EXPECT_EQ(ops::CosineSimilarity(a, Tensor::Zeros({2})), 0.0f);
+}
+
+TEST(OpsTest, Activations) {
+  Tensor x = Tensor::Of({-2, 0, 2});
+  Tensor r = ops::Relu(x);
+  EXPECT_TRUE(r.AllClose(Tensor::Of({0, 0, 2})));
+  Tensor t = ops::Tanh(x);
+  EXPECT_NEAR(t[2], std::tanh(2.0f), 1e-6f);
+  Tensor g = ops::Gelu(x);
+  EXPECT_NEAR(g[1], 0.0f, 1e-6f);
+  EXPECT_GT(g[2], 1.9f);  // gelu(2) ~ 1.954
+  EXPECT_LT(g[0], 0.0f);  // gelu(-2) ~ -0.045
+  Tensor s = ops::Sigmoid(x);
+  EXPECT_NEAR(s[1], 0.5f, 1e-6f);
+}
+
+TEST(TensorIoTest, SaveLoadRoundTrip) {
+  Rng rng(8);
+  TensorMap m;
+  m["a/weight"] = Tensor::Randn({3, 4}, rng);
+  m["b"] = Tensor::Of({1, 2, 3});
+  m["scalar"] = Tensor::Full({1}, 7.0f);
+  const std::string path = ::testing::TempDir() + "/tensors.bin";
+  ASSERT_TRUE(SaveTensors(m, path).ok());
+  auto loaded = LoadTensors(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 3u);
+  EXPECT_TRUE(loaded->at("a/weight").AllClose(m["a/weight"]));
+  EXPECT_TRUE(loaded->at("b").AllClose(m["b"]));
+}
+
+TEST(TensorIoTest, LoadMissingFileFails) {
+  auto r = LoadTensors("/nonexistent/path/x.bin");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST(TensorIoTest, LoadCorruptFileFails) {
+  const std::string path = ::testing::TempDir() + "/corrupt.bin";
+  FILE* f = fopen(path.c_str(), "wb");
+  fputs("NOTATENSORFILE", f);
+  fclose(f);
+  auto r = LoadTensors(path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+TEST(TensorIoTest, TruncatedFileFails) {
+  Rng rng(8);
+  TensorMap m;
+  m["w"] = Tensor::Randn({10, 10}, rng);
+  const std::string path = ::testing::TempDir() + "/trunc.bin";
+  ASSERT_TRUE(SaveTensors(m, path).ok());
+  // Truncate to half size.
+  FILE* f = fopen(path.c_str(), "rb");
+  fseek(f, 0, SEEK_END);
+  long size = ftell(f);
+  fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+  auto r = LoadTensors(path);
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace tabrep

@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include "text/basic_tokenizer.h"
+#include "text/vocab.h"
+#include "text/wordpiece.h"
+
+namespace tabrep {
+namespace {
+
+TEST(VocabTest, SpecialsAtFixedIds) {
+  Vocab v = Vocab::NewWithSpecials();
+  EXPECT_EQ(v.Id("[PAD]"), SpecialTokens::kPadId);
+  EXPECT_EQ(v.Id("[UNK]"), SpecialTokens::kUnkId);
+  EXPECT_EQ(v.Id("[CLS]"), SpecialTokens::kClsId);
+  EXPECT_EQ(v.Id("[SEP]"), SpecialTokens::kSepId);
+  EXPECT_EQ(v.Id("[MASK]"), SpecialTokens::kMaskId);
+  EXPECT_EQ(v.Id("[EMPTY]"), SpecialTokens::kEmptyId);
+  EXPECT_EQ(v.size(), 6);
+}
+
+TEST(VocabTest, AddIsIdempotent) {
+  Vocab v = Vocab::NewWithSpecials();
+  int32_t a = v.AddToken("hello");
+  int32_t b = v.AddToken("hello");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(v.size(), 7);
+}
+
+TEST(VocabTest, UnknownMapsToUnk) {
+  Vocab v = Vocab::NewWithSpecials();
+  EXPECT_EQ(v.Id("zzz"), SpecialTokens::kUnkId);
+  EXPECT_FALSE(v.Contains("zzz"));
+}
+
+TEST(VocabTest, IsSpecial) {
+  Vocab v = Vocab::NewWithSpecials();
+  v.AddToken("word");
+  EXPECT_TRUE(v.IsSpecial(SpecialTokens::kMaskId));
+  EXPECT_FALSE(v.IsSpecial(6));
+}
+
+TEST(VocabTest, SaveLoadRoundTrip) {
+  Vocab v = Vocab::NewWithSpecials();
+  v.AddToken("alpha");
+  v.AddToken("##beta");
+  const std::string path = ::testing::TempDir() + "/vocab.txt";
+  ASSERT_TRUE(v.Save(path).ok());
+  auto loaded = Vocab::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), v.size());
+  EXPECT_EQ(loaded->Id("##beta"), v.Id("##beta"));
+  EXPECT_TRUE(loaded->IsSpecial(SpecialTokens::kPadId));
+}
+
+TEST(BasicTokenizerTest, LowercasesAndSplits) {
+  BasicTokenizer t;
+  auto toks = t.Tokenize("Hello World");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0], "hello");
+  EXPECT_EQ(toks[1], "world");
+}
+
+TEST(BasicTokenizerTest, SplitsPunctuation) {
+  BasicTokenizer t;
+  auto toks = t.Tokenize("a,b.c");
+  ASSERT_EQ(toks.size(), 5u);
+  EXPECT_EQ(toks[1], ",");
+  EXPECT_EQ(toks[3], ".");
+}
+
+TEST(BasicTokenizerTest, CasePreservingOption) {
+  BasicTokenizerOptions opts;
+  opts.lowercase = false;
+  BasicTokenizer t(opts);
+  EXPECT_EQ(t.Tokenize("Paris")[0], "Paris");
+}
+
+TEST(BasicTokenizerTest, DigitSplittingOption) {
+  BasicTokenizerOptions opts;
+  opts.split_digits = true;
+  BasicTokenizer t(opts);
+  auto toks = t.Tokenize("1967");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0], "1");
+}
+
+TEST(BasicTokenizerTest, EmptyAndWhitespaceOnly) {
+  BasicTokenizer t;
+  EXPECT_TRUE(t.Tokenize("").empty());
+  EXPECT_TRUE(t.Tokenize("   \t\n").empty());
+}
+
+class WordPieceFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    WordPieceTrainerOptions opts;
+    opts.vocab_size = 200;
+    WordPieceTrainer trainer(opts);
+    // A tiny corpus with repeated morphology so merges happen.
+    for (int i = 0; i < 10; ++i) {
+      trainer.AddDocument("playing played player plays play");
+      trainer.AddDocument("walking walked walker walks walk");
+      trainer.AddDocument("the cat sat on the mat");
+      trainer.AddDocument("paris france berlin germany");
+    }
+    vocab_ = trainer.Train();
+    tokenizer_ = std::make_unique<WordPieceTokenizer>(vocab_);
+  }
+
+  Vocab vocab_;
+  std::unique_ptr<WordPieceTokenizer> tokenizer_;
+};
+
+TEST_F(WordPieceFixture, KnownWordSegmentsWithoutUnk) {
+  auto ids = tokenizer_->Encode("playing");
+  ASSERT_FALSE(ids.empty());
+  for (int32_t id : ids) EXPECT_NE(id, SpecialTokens::kUnkId);
+}
+
+TEST_F(WordPieceFixture, LearnsWholeFrequentWords) {
+  // "play" occurs 50 times across forms; it should be one token or few.
+  auto ids = tokenizer_->Encode("play");
+  EXPECT_LE(ids.size(), 2u);
+}
+
+TEST_F(WordPieceFixture, ContinuationPiecesHaveHashes) {
+  auto pieces = tokenizer_->TokenizeToStrings("played");
+  ASSERT_GE(pieces.size(), 1u);
+  for (size_t i = 1; i < pieces.size(); ++i) {
+    EXPECT_EQ(pieces[i].substr(0, 2), "##") << pieces[i];
+  }
+  EXPECT_NE(pieces[0].substr(0, 2), "##");
+}
+
+TEST_F(WordPieceFixture, UnknownAlphabetMapsToUnk) {
+  auto ids = tokenizer_->EncodeWord("\xc3\xa9t\xc3\xa9");  // été, non-ASCII
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(ids[0], SpecialTokens::kUnkId);
+}
+
+TEST_F(WordPieceFixture, NovelCombinationOfKnownCharsSegments) {
+  // "catwalk" never seen, but chars are in-alphabet.
+  auto ids = tokenizer_->Encode("catwalk");
+  ASSERT_FALSE(ids.empty());
+  for (int32_t id : ids) EXPECT_NE(id, SpecialTokens::kUnkId);
+}
+
+TEST_F(WordPieceFixture, DecodeInvertsSingleWords) {
+  EXPECT_EQ(tokenizer_->Decode(tokenizer_->Encode("walking")), "walking");
+  EXPECT_EQ(tokenizer_->Decode(tokenizer_->Encode("the cat")), "the cat");
+}
+
+TEST_F(WordPieceFixture, TooLongWordIsUnk) {
+  std::string longword(200, 'a');
+  auto ids = tokenizer_->EncodeWord(longword);
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(ids[0], SpecialTokens::kUnkId);
+}
+
+TEST(WordPieceTrainerTest, VocabBudgetLimitsMerges) {
+  // The full alphabet (both char forms) plus specials is a floor; the
+  // budget limits merges above it. With a budget below the floor, no
+  // merged (multi-char) token may appear.
+  WordPieceTrainerOptions opts;
+  opts.vocab_size = 40;
+  WordPieceTrainer trainer(opts);
+  for (int i = 0; i < 5; ++i) {
+    trainer.AddDocument("abcdef ghijkl mnopqr stuvwx");
+  }
+  Vocab v = trainer.Train();
+  // 24 chars * 2 forms + 6 specials = 54.
+  EXPECT_EQ(v.size(), 54);
+  for (int32_t id = 6; id < v.size(); ++id) {
+    const std::string& tok = v.Token(id);
+    const size_t chars = tok.substr(0, 2) == "##" ? tok.size() - 2 : tok.size();
+    EXPECT_EQ(chars, 1u) << tok;
+  }
+}
+
+TEST(WordPieceTrainerTest, GenerousBudgetLearnsWholeWords) {
+  WordPieceTrainerOptions opts;
+  opts.vocab_size = 500;
+  WordPieceTrainer trainer(opts);
+  for (int i = 0; i < 20; ++i) trainer.AddDocument("population country");
+  Vocab v = trainer.Train();
+  EXPECT_TRUE(v.Contains("population"));
+  EXPECT_TRUE(v.Contains("country"));
+}
+
+TEST(WordPieceTrainerTest, FrequencyVsLikelihoodScoringDiffer) {
+  auto build = [](MergeScoring scoring) {
+    WordPieceTrainerOptions opts;
+    opts.vocab_size = 80;
+    opts.scoring = scoring;
+    WordPieceTrainer trainer(opts);
+    for (int i = 0; i < 20; ++i) {
+      trainer.AddDocument("aaaa aaab aabb abbb bbbb xyzzy xyzzy");
+    }
+    return trainer.Train();
+  };
+  Vocab freq = build(MergeScoring::kFrequency);
+  Vocab lik = build(MergeScoring::kLikelihood);
+  // Both produce working vocabs; exact contents may differ. The key
+  // invariant: every single char is present in both.
+  for (const char* c : {"a", "b", "x", "y", "z"}) {
+    EXPECT_TRUE(freq.Contains(c));
+    EXPECT_TRUE(lik.Contains(c));
+  }
+}
+
+TEST(WordPieceTrainerTest, MinWordCountFilters) {
+  WordPieceTrainerOptions opts;
+  opts.vocab_size = 1000;
+  opts.min_word_count = 5;
+  WordPieceTrainer trainer(opts);
+  trainer.AddWord("rare", 1);
+  trainer.AddWord("common", 10);
+  Vocab v = trainer.Train();
+  // 'r' only occurs in "rare" which was filtered; 'c' from "common"
+  // must be present.
+  EXPECT_FALSE(v.Contains("r"));
+  EXPECT_TRUE(v.Contains("c"));
+}
+
+TEST(WordPieceTokenizerTest, EmptyInput) {
+  Vocab v = Vocab::NewWithSpecials();
+  WordPieceTokenizer t(v);
+  EXPECT_TRUE(t.Encode("").empty());
+  EXPECT_TRUE(t.EncodeWord("").empty());
+}
+
+}  // namespace
+}  // namespace tabrep
