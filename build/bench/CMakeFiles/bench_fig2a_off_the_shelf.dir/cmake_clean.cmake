@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2a_off_the_shelf.dir/bench_fig2a_off_the_shelf.cc.o"
+  "CMakeFiles/bench_fig2a_off_the_shelf.dir/bench_fig2a_off_the_shelf.cc.o.d"
+  "bench_fig2a_off_the_shelf"
+  "bench_fig2a_off_the_shelf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2a_off_the_shelf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig2a_off_the_shelf.
+# This may be replaced when dependencies are built.

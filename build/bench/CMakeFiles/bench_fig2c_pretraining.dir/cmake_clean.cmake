@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2c_pretraining.dir/bench_fig2c_pretraining.cc.o"
+  "CMakeFiles/bench_fig2c_pretraining.dir/bench_fig2c_pretraining.cc.o.d"
+  "bench_fig2c_pretraining"
+  "bench_fig2c_pretraining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2c_pretraining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t3_consistency.dir/bench_t3_consistency.cc.o"
+  "CMakeFiles/bench_t3_consistency.dir/bench_t3_consistency.cc.o.d"
+  "bench_t3_consistency"
+  "bench_t3_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t3_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

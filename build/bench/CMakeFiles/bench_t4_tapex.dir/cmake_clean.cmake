@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t4_tapex.dir/bench_t4_tapex.cc.o"
+  "CMakeFiles/bench_t4_tapex.dir/bench_t4_tapex.cc.o.d"
+  "bench_t4_tapex"
+  "bench_t4_tapex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t4_tapex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

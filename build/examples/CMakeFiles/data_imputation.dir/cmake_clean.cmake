@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_imputation.dir/data_imputation.cpp.o"
+  "CMakeFiles/data_imputation.dir/data_imputation.cpp.o.d"
+  "data_imputation"
+  "data_imputation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_imputation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

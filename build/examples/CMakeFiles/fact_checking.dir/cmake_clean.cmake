@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fact_checking.dir/fact_checking.cpp.o"
+  "CMakeFiles/fact_checking.dir/fact_checking.cpp.o.d"
+  "fact_checking"
+  "fact_checking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fact_checking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_qa.dir/table_qa.cpp.o"
+  "CMakeFiles/table_qa.dir/table_qa.cpp.o.d"
+  "table_qa"
+  "table_qa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_qa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

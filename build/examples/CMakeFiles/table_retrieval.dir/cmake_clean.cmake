@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_retrieval.dir/table_retrieval.cpp.o"
+  "CMakeFiles/table_retrieval.dir/table_retrieval.cpp.o.d"
+  "table_retrieval"
+  "table_retrieval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_retrieval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/text_to_sql.cpp" "examples/CMakeFiles/text_to_sql.dir/text_to_sql.cpp.o" "gcc" "examples/CMakeFiles/text_to_sql.dir/text_to_sql.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tabrep_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/tabrep_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/tabrep_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/tabrep_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/serialize/CMakeFiles/tabrep_serialize.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/tabrep_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/tabrep_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/pretrain/CMakeFiles/tabrep_pretrain.dir/DependInfo.cmake"
+  "/root/repo/build/src/tasks/CMakeFiles/tabrep_tasks.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/tabrep_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/tabrep_sql.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_to_sql.dir/text_to_sql.cpp.o"
+  "CMakeFiles/text_to_sql.dir/text_to_sql.cpp.o.d"
+  "text_to_sql"
+  "text_to_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_to_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabrep_common.dir/logging.cc.o"
+  "CMakeFiles/tabrep_common.dir/logging.cc.o.d"
+  "CMakeFiles/tabrep_common.dir/rng.cc.o"
+  "CMakeFiles/tabrep_common.dir/rng.cc.o.d"
+  "CMakeFiles/tabrep_common.dir/status.cc.o"
+  "CMakeFiles/tabrep_common.dir/status.cc.o.d"
+  "CMakeFiles/tabrep_common.dir/string_util.cc.o"
+  "CMakeFiles/tabrep_common.dir/string_util.cc.o.d"
+  "libtabrep_common.a"
+  "libtabrep_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabrep_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

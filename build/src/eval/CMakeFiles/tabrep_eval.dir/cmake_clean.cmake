@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabrep_eval.dir/behavioral.cc.o"
+  "CMakeFiles/tabrep_eval.dir/behavioral.cc.o.d"
+  "CMakeFiles/tabrep_eval.dir/bm25.cc.o"
+  "CMakeFiles/tabrep_eval.dir/bm25.cc.o.d"
+  "CMakeFiles/tabrep_eval.dir/metrics.cc.o"
+  "CMakeFiles/tabrep_eval.dir/metrics.cc.o.d"
+  "libtabrep_eval.a"
+  "libtabrep_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabrep_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

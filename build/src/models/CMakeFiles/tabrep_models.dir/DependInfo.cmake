@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/explain.cc" "src/models/CMakeFiles/tabrep_models.dir/explain.cc.o" "gcc" "src/models/CMakeFiles/tabrep_models.dir/explain.cc.o.d"
+  "/root/repo/src/models/heads.cc" "src/models/CMakeFiles/tabrep_models.dir/heads.cc.o" "gcc" "src/models/CMakeFiles/tabrep_models.dir/heads.cc.o.d"
+  "/root/repo/src/models/table_encoder.cc" "src/models/CMakeFiles/tabrep_models.dir/table_encoder.cc.o" "gcc" "src/models/CMakeFiles/tabrep_models.dir/table_encoder.cc.o.d"
+  "/root/repo/src/models/visibility.cc" "src/models/CMakeFiles/tabrep_models.dir/visibility.cc.o" "gcc" "src/models/CMakeFiles/tabrep_models.dir/visibility.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/tabrep_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/serialize/CMakeFiles/tabrep_serialize.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/tabrep_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/tabrep_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/tabrep_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tabrep_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabrep_models.dir/explain.cc.o"
+  "CMakeFiles/tabrep_models.dir/explain.cc.o.d"
+  "CMakeFiles/tabrep_models.dir/heads.cc.o"
+  "CMakeFiles/tabrep_models.dir/heads.cc.o.d"
+  "CMakeFiles/tabrep_models.dir/table_encoder.cc.o"
+  "CMakeFiles/tabrep_models.dir/table_encoder.cc.o.d"
+  "CMakeFiles/tabrep_models.dir/visibility.cc.o"
+  "CMakeFiles/tabrep_models.dir/visibility.cc.o.d"
+  "libtabrep_models.a"
+  "libtabrep_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabrep_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabrep_nn.dir/attention.cc.o"
+  "CMakeFiles/tabrep_nn.dir/attention.cc.o.d"
+  "CMakeFiles/tabrep_nn.dir/layers.cc.o"
+  "CMakeFiles/tabrep_nn.dir/layers.cc.o.d"
+  "CMakeFiles/tabrep_nn.dir/module.cc.o"
+  "CMakeFiles/tabrep_nn.dir/module.cc.o.d"
+  "CMakeFiles/tabrep_nn.dir/optimizer.cc.o"
+  "CMakeFiles/tabrep_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/tabrep_nn.dir/sparse_inference.cc.o"
+  "CMakeFiles/tabrep_nn.dir/sparse_inference.cc.o.d"
+  "CMakeFiles/tabrep_nn.dir/transformer.cc.o"
+  "CMakeFiles/tabrep_nn.dir/transformer.cc.o.d"
+  "libtabrep_nn.a"
+  "libtabrep_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabrep_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

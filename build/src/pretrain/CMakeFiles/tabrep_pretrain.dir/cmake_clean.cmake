@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabrep_pretrain.dir/masking.cc.o"
+  "CMakeFiles/tabrep_pretrain.dir/masking.cc.o.d"
+  "CMakeFiles/tabrep_pretrain.dir/tapex.cc.o"
+  "CMakeFiles/tabrep_pretrain.dir/tapex.cc.o.d"
+  "CMakeFiles/tabrep_pretrain.dir/trainer.cc.o"
+  "CMakeFiles/tabrep_pretrain.dir/trainer.cc.o.d"
+  "libtabrep_pretrain.a"
+  "libtabrep_pretrain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabrep_pretrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

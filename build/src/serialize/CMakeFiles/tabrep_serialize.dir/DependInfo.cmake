@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/serialize/serializer.cc" "src/serialize/CMakeFiles/tabrep_serialize.dir/serializer.cc.o" "gcc" "src/serialize/CMakeFiles/tabrep_serialize.dir/serializer.cc.o.d"
+  "/root/repo/src/serialize/vocab_builder.cc" "src/serialize/CMakeFiles/tabrep_serialize.dir/vocab_builder.cc.o" "gcc" "src/serialize/CMakeFiles/tabrep_serialize.dir/vocab_builder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tabrep_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/tabrep_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/tabrep_table.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabrep_serialize.dir/serializer.cc.o"
+  "CMakeFiles/tabrep_serialize.dir/serializer.cc.o.d"
+  "CMakeFiles/tabrep_serialize.dir/vocab_builder.cc.o"
+  "CMakeFiles/tabrep_serialize.dir/vocab_builder.cc.o.d"
+  "libtabrep_serialize.a"
+  "libtabrep_serialize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabrep_serialize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtabrep_serialize.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabrep_sql.dir/ast.cc.o"
+  "CMakeFiles/tabrep_sql.dir/ast.cc.o.d"
+  "CMakeFiles/tabrep_sql.dir/executor.cc.o"
+  "CMakeFiles/tabrep_sql.dir/executor.cc.o.d"
+  "CMakeFiles/tabrep_sql.dir/generator.cc.o"
+  "CMakeFiles/tabrep_sql.dir/generator.cc.o.d"
+  "CMakeFiles/tabrep_sql.dir/parser.cc.o"
+  "CMakeFiles/tabrep_sql.dir/parser.cc.o.d"
+  "libtabrep_sql.a"
+  "libtabrep_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabrep_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

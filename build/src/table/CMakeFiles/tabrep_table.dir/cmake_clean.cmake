@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabrep_table.dir/corpus.cc.o"
+  "CMakeFiles/tabrep_table.dir/corpus.cc.o.d"
+  "CMakeFiles/tabrep_table.dir/corruption.cc.o"
+  "CMakeFiles/tabrep_table.dir/corruption.cc.o.d"
+  "CMakeFiles/tabrep_table.dir/csv.cc.o"
+  "CMakeFiles/tabrep_table.dir/csv.cc.o.d"
+  "CMakeFiles/tabrep_table.dir/synth.cc.o"
+  "CMakeFiles/tabrep_table.dir/synth.cc.o.d"
+  "CMakeFiles/tabrep_table.dir/table.cc.o"
+  "CMakeFiles/tabrep_table.dir/table.cc.o.d"
+  "CMakeFiles/tabrep_table.dir/value.cc.o"
+  "CMakeFiles/tabrep_table.dir/value.cc.o.d"
+  "libtabrep_table.a"
+  "libtabrep_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabrep_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tasks/column_annotation.cc" "src/tasks/CMakeFiles/tabrep_tasks.dir/column_annotation.cc.o" "gcc" "src/tasks/CMakeFiles/tabrep_tasks.dir/column_annotation.cc.o.d"
+  "/root/repo/src/tasks/entity_matching.cc" "src/tasks/CMakeFiles/tabrep_tasks.dir/entity_matching.cc.o" "gcc" "src/tasks/CMakeFiles/tabrep_tasks.dir/entity_matching.cc.o.d"
+  "/root/repo/src/tasks/fact_verification.cc" "src/tasks/CMakeFiles/tabrep_tasks.dir/fact_verification.cc.o" "gcc" "src/tasks/CMakeFiles/tabrep_tasks.dir/fact_verification.cc.o.d"
+  "/root/repo/src/tasks/imputation.cc" "src/tasks/CMakeFiles/tabrep_tasks.dir/imputation.cc.o" "gcc" "src/tasks/CMakeFiles/tabrep_tasks.dir/imputation.cc.o.d"
+  "/root/repo/src/tasks/qa.cc" "src/tasks/CMakeFiles/tabrep_tasks.dir/qa.cc.o" "gcc" "src/tasks/CMakeFiles/tabrep_tasks.dir/qa.cc.o.d"
+  "/root/repo/src/tasks/retrieval.cc" "src/tasks/CMakeFiles/tabrep_tasks.dir/retrieval.cc.o" "gcc" "src/tasks/CMakeFiles/tabrep_tasks.dir/retrieval.cc.o.d"
+  "/root/repo/src/tasks/semantic_parsing.cc" "src/tasks/CMakeFiles/tabrep_tasks.dir/semantic_parsing.cc.o" "gcc" "src/tasks/CMakeFiles/tabrep_tasks.dir/semantic_parsing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/models/CMakeFiles/tabrep_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/pretrain/CMakeFiles/tabrep_pretrain.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/tabrep_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/tabrep_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/tabrep_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/serialize/CMakeFiles/tabrep_serialize.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/tabrep_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/tabrep_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tabrep_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabrep_tasks.dir/column_annotation.cc.o"
+  "CMakeFiles/tabrep_tasks.dir/column_annotation.cc.o.d"
+  "CMakeFiles/tabrep_tasks.dir/entity_matching.cc.o"
+  "CMakeFiles/tabrep_tasks.dir/entity_matching.cc.o.d"
+  "CMakeFiles/tabrep_tasks.dir/fact_verification.cc.o"
+  "CMakeFiles/tabrep_tasks.dir/fact_verification.cc.o.d"
+  "CMakeFiles/tabrep_tasks.dir/imputation.cc.o"
+  "CMakeFiles/tabrep_tasks.dir/imputation.cc.o.d"
+  "CMakeFiles/tabrep_tasks.dir/qa.cc.o"
+  "CMakeFiles/tabrep_tasks.dir/qa.cc.o.d"
+  "CMakeFiles/tabrep_tasks.dir/retrieval.cc.o"
+  "CMakeFiles/tabrep_tasks.dir/retrieval.cc.o.d"
+  "CMakeFiles/tabrep_tasks.dir/semantic_parsing.cc.o"
+  "CMakeFiles/tabrep_tasks.dir/semantic_parsing.cc.o.d"
+  "libtabrep_tasks.a"
+  "libtabrep_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabrep_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

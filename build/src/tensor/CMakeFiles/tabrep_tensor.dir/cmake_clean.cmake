@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabrep_tensor.dir/autograd.cc.o"
+  "CMakeFiles/tabrep_tensor.dir/autograd.cc.o.d"
+  "CMakeFiles/tabrep_tensor.dir/io.cc.o"
+  "CMakeFiles/tabrep_tensor.dir/io.cc.o.d"
+  "CMakeFiles/tabrep_tensor.dir/ops.cc.o"
+  "CMakeFiles/tabrep_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/tabrep_tensor.dir/tensor.cc.o"
+  "CMakeFiles/tabrep_tensor.dir/tensor.cc.o.d"
+  "libtabrep_tensor.a"
+  "libtabrep_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabrep_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabrep_text.dir/basic_tokenizer.cc.o"
+  "CMakeFiles/tabrep_text.dir/basic_tokenizer.cc.o.d"
+  "CMakeFiles/tabrep_text.dir/vocab.cc.o"
+  "CMakeFiles/tabrep_text.dir/vocab.cc.o.d"
+  "CMakeFiles/tabrep_text.dir/wordpiece.cc.o"
+  "CMakeFiles/tabrep_text.dir/wordpiece.cc.o.d"
+  "libtabrep_text.a"
+  "libtabrep_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabrep_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

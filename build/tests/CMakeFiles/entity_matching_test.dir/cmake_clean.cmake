@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/entity_matching_test.dir/entity_matching_test.cc.o"
+  "CMakeFiles/entity_matching_test.dir/entity_matching_test.cc.o.d"
+  "entity_matching_test"
+  "entity_matching_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/entity_matching_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

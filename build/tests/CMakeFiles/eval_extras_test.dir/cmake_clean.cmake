@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_extras_test.dir/eval_extras_test.cc.o"
+  "CMakeFiles/eval_extras_test.dir/eval_extras_test.cc.o.d"
+  "eval_extras_test"
+  "eval_extras_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_extras_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_inference_test.dir/sparse_inference_test.cc.o"
+  "CMakeFiles/sparse_inference_test.dir/sparse_inference_test.cc.o.d"
+  "sparse_inference_test"
+  "sparse_inference_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_inference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
