@@ -60,7 +60,7 @@ int main() {
   for (ModelFamily family : kFamilies) {
     TableEncoderModel model(BenchModelConfig(family, w));
     model.SetTraining(false);
-    models::Encoded enc = model.Encode(serialized, rng, /*need_cells=*/true);
+    models::Encoded enc = model.Encode(serialized, rng);
     Tensor cls = model.Cls(enc).value();
     Tensor pooled = model.Pooled(enc).value();
     Tensor pooled_same =

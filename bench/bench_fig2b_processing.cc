@@ -16,6 +16,7 @@
 #include "bench_util.h"
 #include "eval/metrics.h"
 #include "pretrain/trainer.h"
+#include "runtime/runtime.h"
 
 using namespace tabrep;
 using namespace tabrep::bench;
@@ -124,10 +125,20 @@ int main() {
     opts.strategy = strategy;
     opts.max_tokens = 100000;  // no truncation: measure true length
     TableSerializer serializer(w.tokenizer.get(), opts);
+    // Serialization is independent per table; measure the corpus with
+    // all runtime threads.
+    std::vector<int64_t> sizes(w.corpus.tables.size());
+    runtime::ParallelFor(
+        0, static_cast<int64_t>(w.corpus.tables.size()), 4,
+        [&](int64_t lo, int64_t hi) {
+          for (int64_t i = lo; i < hi; ++i) {
+            sizes[static_cast<size_t>(i)] = serializer
+                .Serialize(w.corpus.tables[static_cast<size_t>(i)])
+                .size();
+          }
+        });
     int64_t total = 0;
-    for (const Table& t : w.corpus.tables) {
-      total += serializer.Serialize(t).size();
-    }
+    for (int64_t n : sizes) total += n;
     lens.push_back({std::string(LinearizationStrategyName(strategy)),
                     Fmt(static_cast<double>(total) / w.corpus.size(), 1)});
   }

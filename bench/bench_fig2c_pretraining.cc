@@ -31,8 +31,8 @@ struct AttentionBreakdown {
 AttentionBreakdown AnalyzeAttention(TableEncoderModel& model,
                                     const TokenizedTable& serialized,
                                     Rng& rng) {
-  models::Encoded enc = model.Encode(serialized, rng, /*need_cells=*/false,
-                                     /*capture_attention=*/true);
+  models::Encoded enc = model.Encode(
+      serialized, rng, {.need_cells = false, .capture_attention = true});
   AttentionBreakdown out;
   double norm = 0;
   for (const Tensor& probs : enc.attention) {

@@ -101,8 +101,8 @@ int main() {
     FineTuneConfig fc = fconfig;
     fc.steps = steps;
     fc.freeze_encoder = freeze;
-    auto* task = new ImputationTask(model.get(), w.serializer.get(), w.train,
-                                    fc, iopts);
+    auto* task = new ImputationTask(model.get(), w.serializer.get(), fc,
+                                    w.train, iopts);
     task->Train(w.train);
     std::vector<EvalRow> out;
     out.push_back({"held-out, categorical cells",

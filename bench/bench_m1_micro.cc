@@ -13,6 +13,7 @@
 #include "serialize/serializer.h"
 #include "serialize/vocab_builder.h"
 #include "nn/optimizer.h"
+#include "runtime/runtime.h"
 #include "table/csv.h"
 #include "table/synth.h"
 #include "tensor/ops.h"
@@ -57,6 +58,28 @@ void BM_MatMul(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
 BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+
+// Thread-scaling curve for the MatMul kernel: args are (n, threads).
+// The ISSUE acceptance bar is >= 2x items/s at 4 threads vs 1.
+void BM_MatMulThreads(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const int threads = static_cast<int>(state.range(1));
+  runtime::Configure({threads});
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, rng);
+  Tensor b = Tensor::Randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::MatMul(a, b));
+  }
+  runtime::Configure({});
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMulThreads)
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 4})
+    ->Args({512, 1})
+    ->Args({512, 4});
 
 void BM_MatMulTransposedB(benchmark::State& state) {
   const int64_t n = state.range(0);

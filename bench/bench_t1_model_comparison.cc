@@ -88,7 +88,7 @@ int main() {
     TaskScores s;
     {
       auto model = fresh_model(0);
-      ImputationTask task(model.get(), w.serializer.get(), w.train, fconfig);
+      ImputationTask task(model.get(), w.serializer.get(), fconfig, w.train);
       task.Train(w.train);
       s.imputation = task.Evaluate(w.test, 120).accuracy;
     }
@@ -106,8 +106,8 @@ int main() {
     }
     {
       auto model = fresh_model(3);
-      ColumnAnnotationTask task(model.get(), w.serializer.get(), w.train,
-                                fconfig);
+      ColumnAnnotationTask task(model.get(), w.serializer.get(), fconfig,
+                                w.train);
       task.Train(w.train);
       s.columns = task.Evaluate(w.test, 120).accuracy;
     }

@@ -54,13 +54,13 @@ int main() {
   fconfig.steps = 500;
   fconfig.batch_size = 4;
   fconfig.lr = 1e-3f;
-  ImputationTask task(&model, &serializer, train, fconfig);
-  const double train_acc = task.Train(train);
+  ImputationTask task(&model, &serializer, fconfig, train);
+  const FineTuneReport train_report = task.Train(train);
   ClassificationReport report = task.Evaluate(test, 120);
   std::printf("  train acc (tail) %.3f | held-out: acc %.3f macro-F1 %.3f "
               "micro-F1 %.3f over %lld cells\n\n",
-              train_acc, report.accuracy, report.macro.f1, report.micro.f1,
-              static_cast<long long>(report.total));
+              train_report.accuracy, report.accuracy, report.macro.f1,
+              report.micro.f1, static_cast<long long>(report.total));
 
   // Fill the paper's demo tables.
   Table awards = MakeAwardsDemoTable();

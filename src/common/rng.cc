@@ -38,6 +38,12 @@ uint64_t Rng::NextU64() {
   return result;
 }
 
+uint64_t Rng::Fork(uint64_t salt) const {
+  uint64_t x = state_[0] ^ Rotl(state_[1], 13) ^ Rotl(state_[2], 29) ^
+               Rotl(state_[3], 43) ^ salt;
+  return SplitMix64(x);
+}
+
 uint64_t Rng::NextBelow(uint64_t n) {
   assert(n > 0);
   // Rejection sampling to avoid modulo bias.

@@ -21,6 +21,13 @@ class Rng {
   /// Uniform 64-bit value.
   uint64_t NextU64();
 
+  /// Derives a seed for a child generator by hashing the current state
+  /// with `salt`, WITHOUT advancing this generator. Callers that fan
+  /// work out (e.g. nn::ParallelBatch) use distinct salts per child;
+  /// because nothing is consumed, code whose forward pass never draws
+  /// keeps an identical stream whether it forks or not.
+  uint64_t Fork(uint64_t salt) const;
+
   /// Uniform in [0, n). n must be > 0.
   uint64_t NextBelow(uint64_t n);
 

@@ -35,8 +35,8 @@ double MatchedCellSimilarity(TableEncoderModel& model, const TokenizedTable& a,
                              const TokenizedTable& b,
                              const std::vector<int64_t>& map_row, Rng& rng,
                              int32_t focus_row = -1, int32_t focus_col = -1) {
-  models::Encoded ea = model.Encode(a, rng, /*need_cells=*/true);
-  models::Encoded eb = model.Encode(b, rng, /*need_cells=*/true);
+  models::Encoded ea = model.Encode(a, rng);
+  models::Encoded eb = model.Encode(b, rng);
   if (!ea.has_cells || !eb.has_cells) return 0.0;
   const int64_t dim = model.dim();
   double total = 0.0;

@@ -62,8 +62,8 @@ std::vector<Attribution> ExplainPosition(TableEncoderModel& model,
                                          int64_t top_k, Rng& rng) {
   const bool was_training = model.training();
   model.SetTraining(false);
-  Encoded enc = model.Encode(input, rng, /*need_cells=*/false,
-                             /*capture_attention=*/true);
+  Encoded enc = model.Encode(
+      input, rng, {.need_cells = false, .capture_attention = true});
   model.SetTraining(was_training);
   std::vector<double> relevance = AttentionRollout(enc.attention, target);
 

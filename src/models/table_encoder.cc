@@ -125,7 +125,7 @@ ag::Variable TableEncoderModel::EmbedInput(const TokenizedTable& input,
 }
 
 Encoded TableEncoderModel::Encode(const TokenizedTable& input, Rng& rng,
-                                  bool need_cells, bool capture_attention) {
+                                  const EncodeOptions& options) {
   TABREP_CHECK(input.size() > 0) << "empty input";
   ag::Variable x = EmbedInput(input, rng);
 
@@ -140,10 +140,10 @@ Encoded TableEncoderModel::Encode(const TokenizedTable& input, Rng& rng,
   }
 
   Encoded out;
-  out.hidden = encoder_->Forward(x, bias_ptr, rng,
-                                 capture_attention ? &out.attention : nullptr);
+  out.hidden = encoder_->Forward(
+      x, bias_ptr, rng, options.capture_attention ? &out.attention : nullptr);
 
-  if (need_cells && !input.cells.empty()) {
+  if (options.need_cells && !input.cells.empty()) {
     // Mean-pool each cell's token span.
     std::vector<ag::Variable> pooled;
     pooled.reserve(input.cells.size());

@@ -14,6 +14,16 @@ namespace tabrep {
 
 namespace models {
 
+/// Per-call knobs for TableEncoderModel::Encode. A struct (rather
+/// than positional bools) so future flags — e.g. activation capture,
+/// layer truncation — extend call sites without churn.
+struct EncodeOptions {
+  /// Pool cell-span representations (skip for token-only objectives).
+  bool need_cells = true;
+  /// Record per-layer averaged attention maps in Encoded::attention.
+  bool capture_attention = false;
+};
+
 /// Result of encoding one serialized table.
 struct Encoded {
   /// Token-level hidden states [T, dim].
@@ -39,10 +49,9 @@ class TableEncoderModel : public nn::Module {
  public:
   explicit TableEncoderModel(const ModelConfig& config);
 
-  /// Encodes one serialized table. `need_cells` skips cell pooling for
-  /// token-only objectives; `capture_attention` records attention maps.
+  /// Encodes one serialized table; see EncodeOptions for the knobs.
   Encoded Encode(const TokenizedTable& input, Rng& rng,
-                 bool need_cells = true, bool capture_attention = false);
+                 const EncodeOptions& options = {});
 
   /// The [CLS] row of `hidden` as a [1, dim] variable.
   ag::Variable Cls(const Encoded& encoded) const;

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "runtime/runtime.h"
+
 namespace tabrep::nn {
 
 MultiHeadSelfAttention::MultiHeadSelfAttention(int64_t dim, int64_t num_heads,
@@ -39,40 +41,61 @@ ag::Variable MultiHeadSelfAttention::Forward(const ag::Variable& x,
     }
   }
 
-  ag::Variable acc;
-  Tensor probs_acc;
-  if (attn_probs_out) probs_acc = Tensor::Zeros({t, t});
+  // Per-head dropout seeds are drawn sequentially up front so the
+  // parallel region never touches the caller's rng; the stream each
+  // head sees depends only on its index, not on thread count.
+  const bool use_dropout = training() && dropout_ > 0.0f;
+  std::vector<uint64_t> seeds;
+  if (use_dropout) {
+    seeds.resize(static_cast<size_t>(num_heads_));
+    for (auto& s : seeds) s = rng.NextU64();
+  }
 
-  for (int64_t h = 0; h < num_heads_; ++h) {
-    ag::Variable q = q_[static_cast<size_t>(h)]->Forward(x);
-    ag::Variable k = k_[static_cast<size_t>(h)]->Forward(x);
-    ag::Variable v = v_[static_cast<size_t>(h)]->Forward(x);
-    ag::Variable scores = ag::MulScalar(ag::MatMulTransposedB(q, k), scale);
-    const Tensor* head_bias = nullptr;
-    if (bias) {
-      if (bias->has_per_head()) {
-        head_bias = &bias->per_head[static_cast<size_t>(h)];
-      } else if (bias->has_shared()) {
-        head_bias = &bias->shared;
+  // Heads write disjoint slots; the Add chain and the probs average
+  // are reduced in head order afterwards.
+  std::vector<ag::Variable> head_outs(static_cast<size_t>(num_heads_));
+  std::vector<Tensor> head_probs(
+      attn_probs_out ? static_cast<size_t>(num_heads_) : 0);
+  runtime::ParallelFor(0, num_heads_, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t h = lo; h < hi; ++h) {
+      ag::Variable q = q_[static_cast<size_t>(h)]->Forward(x);
+      ag::Variable k = k_[static_cast<size_t>(h)]->Forward(x);
+      ag::Variable v = v_[static_cast<size_t>(h)]->Forward(x);
+      ag::Variable scores = ag::MulScalar(ag::MatMulTransposedB(q, k), scale);
+      const Tensor* head_bias = nullptr;
+      if (bias) {
+        if (bias->has_per_head()) {
+          head_bias = &bias->per_head[static_cast<size_t>(h)];
+        } else if (bias->has_shared()) {
+          head_bias = &bias->shared;
+        }
       }
+      if (head_bias) {
+        TABREP_CHECK(head_bias->dim() == 2 && head_bias->rows() == t &&
+                     head_bias->cols() == t)
+            << "attention bias shape " << ShapeToString(head_bias->shape())
+            << " vs sequence length " << t;
+        scores = ag::Add(scores, ag::Variable::Constant(*head_bias));
+      }
+      ag::Variable probs = ag::Softmax(scores);
+      if (attn_probs_out) head_probs[static_cast<size_t>(h)] = probs.value();
+      if (use_dropout) {
+        Rng head_rng(seeds[static_cast<size_t>(h)]);
+        probs = ag::Dropout(probs, dropout_, head_rng);
+      }
+      ag::Variable ctx = ag::MatMul(probs, v);
+      head_outs[static_cast<size_t>(h)] =
+          out_[static_cast<size_t>(h)]->Forward(ctx);
     }
-    if (head_bias) {
-      TABREP_CHECK(head_bias->dim() == 2 && head_bias->rows() == t &&
-                   head_bias->cols() == t)
-          << "attention bias shape " << ShapeToString(head_bias->shape())
-          << " vs sequence length " << t;
-      scores = ag::Add(scores, ag::Variable::Constant(*head_bias));
-    }
-    ag::Variable probs = ag::Softmax(scores);
-    if (attn_probs_out) probs_acc.Add(probs.value());
-    if (training() && dropout_ > 0.0f) {
-      probs = ag::Dropout(probs, dropout_, rng);
-    }
-    ag::Variable ctx = ag::MatMul(probs, v);
-    ag::Variable head_out = out_[static_cast<size_t>(h)]->Forward(ctx);
-    acc = h == 0 ? head_out : ag::Add(acc, head_out);
+  });
+
+  ag::Variable acc = head_outs[0];
+  for (int64_t h = 1; h < num_heads_; ++h) {
+    acc = ag::Add(acc, head_outs[static_cast<size_t>(h)]);
   }
   if (attn_probs_out) {
+    Tensor probs_acc = Tensor::Zeros({t, t});
+    for (const Tensor& p : head_probs) probs_acc.Add(p);
     probs_acc.Scale(1.0f / static_cast<float>(num_heads_));
     *attn_probs_out = probs_acc;
   }

@@ -1,0 +1,58 @@
+#include "nn/data_parallel.h"
+
+#include "runtime/runtime.h"
+
+namespace tabrep::nn {
+
+namespace {
+
+// Distinct stream constants keep the two entry points decorrelated when
+// both fork the same generator state (e.g. retrieval embeds tables with
+// ParallelExamples and immediately trains queries with ParallelBatch).
+constexpr uint64_t kBatchStream = 0x5851f42d4c957f2dULL;
+constexpr uint64_t kExamplesStream = 0x14057b7ef767814fULL;
+
+std::vector<uint64_t> DeriveSeeds(int64_t count, const Rng& seed_rng,
+                                  uint64_t stream) {
+  std::vector<uint64_t> seeds(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    seeds[static_cast<size_t>(i)] = seed_rng.Fork(
+        stream + 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(i + 1));
+  }
+  return seeds;
+}
+
+}  // namespace
+
+void ParallelBatch(int64_t count, const std::vector<ag::Variable*>& params,
+                   const Rng& seed_rng,
+                   const std::function<void(int64_t, Rng&)>& fn) {
+  if (count <= 0) return;
+  const std::vector<uint64_t> seeds = DeriveSeeds(count, seed_rng, kBatchStream);
+  std::vector<ag::GradTable> tables(static_cast<size_t>(count));
+  runtime::ParallelFor(0, count, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      Rng rng(seeds[static_cast<size_t>(i)]);
+      ag::ScopedGradRedirect redirect(&tables[static_cast<size_t>(i)]);
+      fn(i, rng);
+    }
+  });
+  for (const ag::GradTable& table : tables) {
+    ag::AccumulateGrads(table, params);
+  }
+}
+
+void ParallelExamples(int64_t count, const Rng& seed_rng,
+                      const std::function<void(int64_t, Rng&)>& fn) {
+  if (count <= 0) return;
+  const std::vector<uint64_t> seeds =
+      DeriveSeeds(count, seed_rng, kExamplesStream);
+  runtime::ParallelFor(0, count, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      Rng rng(seeds[static_cast<size_t>(i)]);
+      fn(i, rng);
+    }
+  });
+}
+
+}  // namespace tabrep::nn

@@ -1,0 +1,44 @@
+#ifndef TABREP_NN_DATA_PARALLEL_H_
+#define TABREP_NN_DATA_PARALLEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/autograd.h"
+
+namespace tabrep::nn {
+
+/// Deterministic batch-level data parallelism: runs `fn(i, rng_i)` for
+/// each i in [0, count) on the runtime thread pool. Each example gets
+/// (a) an Rng forked from `seed_rng`'s current state (Rng::Fork — no
+/// draws are consumed, so a caller whose forward pass never touches the
+/// rng keeps an rng stream identical to a plain serial loop) and (b) a
+/// private ag::GradTable that captures every gradient written by
+/// ag::Backward inside `fn`. The tables are then folded into `params`
+/// in example order.
+///
+/// Because seeds, chunk boundaries, and the reduction order are all
+/// independent of thread count, a training step produces bitwise-
+/// identical parameters whether it ran on 1 thread or N.
+///
+/// `fn` may freely build graphs, call Backward (even more than once),
+/// and write to caller-owned per-index output slots; it must not touch
+/// shared mutable state (e.g. Module::SetTraining). The caller must
+/// advance `seed_rng` between calls (example selection normally does)
+/// or back-to-back batches would repeat the same forked streams.
+void ParallelBatch(int64_t count, const std::vector<ag::Variable*>& params,
+                   const Rng& seed_rng,
+                   const std::function<void(int64_t, Rng&)>& fn);
+
+/// Forward-only variant: per-example forked Rngs and thread-pool
+/// execution, but no gradient capture/reduction. For evaluation loops
+/// and corpus embedding. Forks under a different stream constant than
+/// ParallelBatch, so both may fork the same generator state.
+void ParallelExamples(int64_t count, const Rng& seed_rng,
+                      const std::function<void(int64_t, Rng&)>& fn);
+
+}  // namespace tabrep::nn
+
+#endif  // TABREP_NN_DATA_PARALLEL_H_

@@ -1,6 +1,9 @@
 #include "pretrain/tapex.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
+#include "nn/data_parallel.h"
 #include "tensor/ops.h"
 
 namespace tabrep {
@@ -61,7 +64,7 @@ ag::Variable TapexTrainer::Forward(const Table& table, const TapexExample& ex,
     }
   }
   if (*gold_index < 0) return ag::Variable();
-  models::Encoded enc = model_->Encode(serialized, rng, /*need_cells=*/true);
+  models::Encoded enc = model_->Encode(serialized, rng);
   if (!enc.has_cells) return ag::Variable();
   *ok = true;
   return head_.Forward(enc.cells);
@@ -77,28 +80,39 @@ double TapexTrainer::Train(const TableCorpus& corpus,
 
   int64_t tail_correct = 0, tail_total = 0;
   const int64_t tail_start = config_.steps * 3 / 4;
+  const size_t bs = static_cast<size_t>(config_.batch_size);
+  std::vector<const TapexExample*> batch(bs);
+  std::vector<int64_t> correct(bs), counted(bs);
   for (int64_t step = 0; step < config_.steps; ++step) {
     optimizer_->ZeroGrad();
-    for (int64_t b = 0; b < config_.batch_size; ++b) {
-      const TapexExample& ex = examples[rng_.NextBelow(examples.size())];
-      int64_t gold = -1;
-      bool ok = false;
-      ag::Variable logits =
-          Forward(corpus.tables[static_cast<size_t>(ex.table_index)], ex,
-                  rng_, &gold, &ok);
-      if (!ok) continue;
-      int64_t correct = 0, counted = 0;
-      ag::Variable loss =
-          ag::CrossEntropy(logits, {static_cast<int32_t>(gold)}, -100,
-                           &correct, &counted);
-      ag::Backward(loss);
-      if (step >= tail_start) {
-        tail_correct += correct;
-        tail_total += counted;
-      }
+    for (size_t b = 0; b < bs; ++b) {
+      batch[b] = &examples[rng_.NextBelow(examples.size())];
     }
+    std::fill(correct.begin(), correct.end(), 0);
+    std::fill(counted.begin(), counted.end(), 0);
+    nn::ParallelBatch(
+        config_.batch_size, params, rng_, [&](int64_t b, Rng& rng) {
+          const size_t i = static_cast<size_t>(b);
+          const TapexExample& ex = *batch[i];
+          int64_t gold = -1;
+          bool ok = false;
+          ag::Variable logits =
+              Forward(corpus.tables[static_cast<size_t>(ex.table_index)], ex,
+                      rng, &gold, &ok);
+          if (!ok) return;
+          ag::Variable loss =
+              ag::CrossEntropy(logits, {static_cast<int32_t>(gold)}, -100,
+                               &correct[i], &counted[i]);
+          ag::Backward(loss);
+        });
     nn::ClipGradNorm(params, config_.grad_clip);
     optimizer_->Step();
+    if (step >= tail_start) {
+      for (size_t b = 0; b < bs; ++b) {
+        tail_correct += correct[b];
+        tail_total += counted[b];
+      }
+    }
   }
   return tail_total > 0 ? static_cast<double>(tail_correct) / tail_total
                         : 0.0;
@@ -115,16 +129,25 @@ double TapexTrainer::Evaluate(const TableCorpus& corpus,
   model_->SetTraining(false);
   head_.SetTraining(false);
   Rng eval_rng(config_.seed + 500);
+  const size_t n = examples.size();
+  std::vector<int8_t> scored(n, 0), hit(n, 0);
+  nn::ParallelExamples(
+      static_cast<int64_t>(n), eval_rng, [&](int64_t i, Rng& rng) {
+        const size_t s = static_cast<size_t>(i);
+        const TapexExample& ex = examples[s];
+        int64_t gold = -1;
+        bool ok = false;
+        ag::Variable logits =
+            Forward(corpus.tables[static_cast<size_t>(ex.table_index)], ex,
+                    rng, &gold, &ok);
+        if (!ok) return;
+        scored[s] = 1;
+        hit[s] = ops::ArgmaxRows(logits.value())[0] == gold ? 1 : 0;
+      });
   int64_t correct = 0, total = 0;
-  for (const TapexExample& ex : examples) {
-    int64_t gold = -1;
-    bool ok = false;
-    ag::Variable logits =
-        Forward(corpus.tables[static_cast<size_t>(ex.table_index)], ex,
-                eval_rng, &gold, &ok);
-    if (!ok) continue;
-    ++total;
-    if (ops::ArgmaxRows(logits.value())[0] == gold) ++correct;
+  for (size_t i = 0; i < n; ++i) {
+    total += scored[i];
+    correct += hit[i];
   }
   model_->SetTraining(true);
   head_.SetTraining(true);

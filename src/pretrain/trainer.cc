@@ -1,8 +1,10 @@
 #include "pretrain/trainer.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.h"
+#include "nn/data_parallel.h"
 
 namespace tabrep {
 
@@ -38,7 +40,7 @@ PretrainTrainer::StepStats PretrainTrainer::RunExample(
   {
     MlmExample ex = ApplyMlmMasking(serialized, config_.mlm, rng);
     if (ex.num_masked > 0) {
-      models::Encoded enc = model_->Encode(ex.input, rng, /*need_cells=*/false);
+      models::Encoded enc = model_->Encode(ex.input, rng, {.need_cells = false});
       ag::Variable logits = mlm_head_.Forward(enc.hidden);
       int64_t correct = 0, counted = 0;
       ag::Variable loss = ag::CrossEntropy(logits, ex.targets, kIgnoreTarget,
@@ -54,7 +56,7 @@ PretrainTrainer::StepStats PretrainTrainer::RunExample(
   if (mer_head_) {
     MerExample ex = ApplyMerMasking(serialized, config_.mer, rng);
     if (ex.num_masked > 0) {
-      models::Encoded enc = model_->Encode(ex.input, rng, /*need_cells=*/true);
+      models::Encoded enc = model_->Encode(ex.input, rng);
       if (enc.has_cells) {
         ag::Variable logits = mer_head_->Forward(enc.cells);
         int64_t correct = 0, counted = 0;
@@ -100,11 +102,21 @@ std::vector<PretrainLogEntry> PretrainTrainer::Train(
   for (int64_t step = 0; step < config_.steps; ++step) {
     optimizer_->set_lr(schedule.LrAt(step));
     optimizer_->ZeroGrad();
+    // Batch example indices (and, inside ParallelBatch, per-example
+    // seeds) are drawn sequentially, so the schedule of rng draws does
+    // not depend on the thread count.
+    std::vector<const TokenizedTable*> batch(
+        static_cast<size_t>(config_.batch_size));
+    for (auto& ex : batch) ex = &serialized[rng_.NextBelow(serialized.size())];
+    std::vector<StepStats> stats(batch.size());
+    nn::ParallelBatch(config_.batch_size, params, rng_,
+                      [&](int64_t b, Rng& rng) {
+                        stats[static_cast<size_t>(b)] = RunExample(
+                            *batch[static_cast<size_t>(b)], /*train=*/true,
+                            rng);
+                      });
     StepStats acc;
-    for (int64_t b = 0; b < config_.batch_size; ++b) {
-      const TokenizedTable& ex =
-          serialized[rng_.NextBelow(serialized.size())];
-      StepStats s = RunExample(ex, /*train=*/true, rng_);
+    for (const StepStats& s : stats) {
       acc.mlm_loss += s.mlm_loss;
       acc.mlm_correct += s.mlm_correct;
       acc.mlm_counted += s.mlm_counted;
@@ -147,14 +159,19 @@ PretrainEval PretrainTrainer::Evaluate(const TableCorpus& corpus,
   if (mer_head_) mer_head_->SetTraining(false);
 
   Rng eval_rng(config_.seed + 1000);
+  const int64_t n = std::min<int64_t>(
+      max_tables, static_cast<int64_t>(corpus.tables.size()));
+  std::vector<StepStats> stats(static_cast<size_t>(n));
+  nn::ParallelExamples(n, eval_rng, [&](int64_t i, Rng& rng) {
+    TokenizedTable serialized =
+        serializer_->Serialize(corpus.tables[static_cast<size_t>(i)]);
+    stats[static_cast<size_t>(i)] =
+        RunExample(serialized, /*train=*/false, rng);
+  });
   StepStats acc;
-  int64_t n = 0;
   double mlm_loss_sum = 0.0, mer_loss_sum = 0.0;
   int64_t mlm_batches = 0, mer_batches = 0;
-  for (const Table& t : corpus.tables) {
-    if (n++ >= max_tables) break;
-    TokenizedTable serialized = serializer_->Serialize(t);
-    StepStats s = RunExample(serialized, /*train=*/false, eval_rng);
+  for (const StepStats& s : stats) {
     if (s.mlm_counted > 0) {
       mlm_loss_sum += s.mlm_loss;
       ++mlm_batches;

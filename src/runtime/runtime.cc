@@ -1,0 +1,162 @@
+#include "runtime/runtime.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <utility>
+
+namespace tabrep::runtime {
+
+namespace {
+
+thread_local bool t_in_parallel_region = false;
+
+/// RAII guard marking the current thread as busy with chunk work so
+/// nested ParallelFor calls degrade to inline execution.
+class ScopedRegionFlag {
+ public:
+  ScopedRegionFlag() : prev_(t_in_parallel_region) {
+    t_in_parallel_region = true;
+  }
+  ~ScopedRegionFlag() { t_in_parallel_region = prev_; }
+
+ private:
+  bool prev_;
+};
+
+int ResolveThreads(const RuntimeConfig& config) {
+  if (config.num_threads > 0) return config.num_threads;
+  if (const char* env = std::getenv("TABREP_NUM_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool;
+RuntimeConfig g_config;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int workers = num_threads < 1 ? 0 : num_threads - 1;
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void Configure(const RuntimeConfig& config) {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  g_config = config;
+  g_pool = std::make_unique<ThreadPool>(ResolveThreads(config));
+}
+
+ThreadPool& GlobalPool() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (!g_pool) g_pool = std::make_unique<ThreadPool>(ResolveThreads(g_config));
+  return *g_pool;
+}
+
+int NumThreads() { return GlobalPool().size(); }
+
+bool InParallelRegion() { return t_in_parallel_region; }
+
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn) {
+  if (end <= begin) return;
+  if (grain < 1) grain = 1;
+  const int64_t range = end - begin;
+  const int64_t num_chunks = (range + grain - 1) / grain;
+
+  ThreadPool& pool = GlobalPool();
+  // Inline when parallelism cannot help (single lane, one chunk) or
+  // would deadlock (already inside a chunk of an enclosing loop).
+  if (pool.size() <= 1 || num_chunks <= 1 || t_in_parallel_region) {
+    ScopedRegionFlag flag;
+    fn(begin, end);
+    return;
+  }
+
+  // Shared ticket state: every lane (workers + caller) pulls the next
+  // chunk index until the range is drained. Chunk *contents* are fixed
+  // by (begin, grain); only the lane executing each chunk varies.
+  struct Shared {
+    std::atomic<int64_t> next{0};
+    std::atomic<int64_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    std::exception_ptr error;  // first exception wins, guarded by mu
+  };
+  auto shared = std::make_shared<Shared>();
+
+  auto run_chunks = [shared, begin, end, grain, num_chunks, &fn]() {
+    ScopedRegionFlag flag;
+    for (;;) {
+      const int64_t chunk = shared->next.fetch_add(1);
+      if (chunk >= num_chunks) return;
+      const int64_t lo = begin + chunk * grain;
+      const int64_t hi = std::min(end, lo + grain);
+      try {
+        fn(lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(shared->mu);
+        if (!shared->error) shared->error = std::current_exception();
+      }
+      if (shared->done.fetch_add(1) + 1 == num_chunks) {
+        std::lock_guard<std::mutex> lock(shared->mu);
+        shared->cv.notify_all();
+      }
+    }
+  };
+
+  // `fn` stays alive until the caller's wait below returns, so workers
+  // may capture it by reference through run_chunks' copy.
+  const int helpers =
+      static_cast<int>(std::min<int64_t>(pool.size() - 1, num_chunks - 1));
+  for (int i = 0; i < helpers; ++i) pool.Submit(run_chunks);
+  run_chunks();
+
+  std::unique_lock<std::mutex> lock(shared->mu);
+  shared->cv.wait(lock, [&shared, num_chunks] {
+    return shared->done.load() == num_chunks;
+  });
+  if (shared->error) std::rethrow_exception(shared->error);
+}
+
+}  // namespace tabrep::runtime

@@ -1,0 +1,82 @@
+#ifndef TABREP_RUNTIME_RUNTIME_H_
+#define TABREP_RUNTIME_RUNTIME_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tabrep::runtime {
+
+/// Process-wide execution settings. `num_threads <= 0` means "resolve
+/// automatically": the TABREP_NUM_THREADS environment variable if set,
+/// otherwise std::thread::hardware_concurrency().
+struct RuntimeConfig {
+  int num_threads = 0;
+};
+
+/// A fixed-size pool of worker threads draining a shared FIFO queue.
+/// There is deliberately no work stealing: ParallelFor hands out
+/// statically-partitioned chunks, so a shared queue plus a ticket
+/// counter is all the scheduling the library needs, and the chunk
+/// boundaries — the only thing that could perturb numerics — depend
+/// solely on (range, grain), never on thread count or timing.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads - 1` workers (the caller thread is always the
+  /// N-th lane). `num_threads < 1` is clamped to 1 (no workers).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallel lanes including the calling thread.
+  int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Enqueues a task for any worker. Used by ParallelFor; exposed for
+  /// tests and future async subsystems.
+  void Submit(std::function<void()> task);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Installs a new global configuration, replacing the global pool.
+/// Safe to call repeatedly (tests and benches switch thread counts);
+/// not safe concurrently with in-flight ParallelFor calls.
+void Configure(const RuntimeConfig& config);
+
+/// The lazily-created process-wide pool.
+ThreadPool& GlobalPool();
+
+/// Parallel lanes the global pool runs with (>= 1).
+int NumThreads();
+
+/// True while the calling thread is executing inside a ParallelFor
+/// chunk; nested ParallelFor calls run inline to avoid deadlocking the
+/// fixed-size pool.
+bool InParallelRegion();
+
+/// Runs fn(chunk_begin, chunk_end) over [begin, end) split into chunks
+/// of at most `grain` indices. Chunks are assigned to lanes in index
+/// order but may execute concurrently; because chunk boundaries depend
+/// only on (begin, end, grain), any per-chunk computation that writes
+/// disjoint outputs produces bitwise-identical results at every thread
+/// count. The first exception thrown by any chunk is rethrown on the
+/// calling thread after all chunks finish.
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn);
+
+}  // namespace tabrep::runtime
+
+#endif  // TABREP_RUNTIME_RUNTIME_H_

@@ -1,14 +1,17 @@
 #include "tasks/column_annotation.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
+#include "nn/data_parallel.h"
 #include "tensor/ops.h"
 
 namespace tabrep {
 
 ColumnAnnotationTask::ColumnAnnotationTask(TableEncoderModel* model,
                                            const TableSerializer* serializer,
-                                           const TableCorpus& train,
-                                           FineTuneConfig config)
+                                           FineTuneConfig config,
+                                           const TableCorpus& train)
     : model_(model),
       serializer_(serializer),
       config_(config),
@@ -56,7 +59,7 @@ ag::Variable ColumnAnnotationTask::ForwardColumn(const Table& table,
   *ok = false;
   // Hide all headers: the task is content -> label.
   TokenizedTable serialized = serializer_->Serialize(table.WithoutHeader());
-  models::Encoded enc = model_->Encode(serialized, rng, /*need_cells=*/true);
+  models::Encoded enc = model_->Encode(serialized, rng);
   if (!enc.has_cells) return ag::Variable();
   std::vector<ag::Variable> column_cells;
   for (size_t i = 0; i < serialized.cells.size(); ++i) {
@@ -72,7 +75,7 @@ ag::Variable ColumnAnnotationTask::ForwardColumn(const Table& table,
   return head_->Forward(pooled);
 }
 
-void ColumnAnnotationTask::Train(const TableCorpus& train) {
+FineTuneReport ColumnAnnotationTask::Train(const TableCorpus& train) {
   std::vector<ColumnAnnotationExample> examples = CollectExamples(train);
   TABREP_CHECK(!examples.empty());
   model_->SetTraining(true);
@@ -81,22 +84,40 @@ void ColumnAnnotationTask::Train(const TableCorpus& train) {
   if (!config_.freeze_encoder) params = model_->Parameters();
   for (ag::Variable* p : head_->Parameters()) params.push_back(p);
 
+  tasks::ReportBuilder report(config_.steps);
+  const size_t bs = static_cast<size_t>(config_.batch_size);
+  std::vector<const ColumnAnnotationExample*> batch(bs);
+  std::vector<float> losses(bs);
+  std::vector<int64_t> correct(bs), counted(bs);
   for (int64_t step = 0; step < config_.steps; ++step) {
     optimizer_->ZeroGrad();
-    for (int64_t b = 0; b < config_.batch_size; ++b) {
-      const ColumnAnnotationExample& ex =
-          examples[rng_.NextBelow(examples.size())];
-      bool ok = false;
-      ag::Variable logits =
-          ForwardColumn(train.tables[static_cast<size_t>(ex.table_index)],
-                        ex.col, rng_, &ok);
-      if (!ok) continue;
-      ag::Variable loss = ag::CrossEntropy(logits, {ex.label});
-      ag::Backward(loss);
+    for (size_t b = 0; b < bs; ++b) {
+      batch[b] = &examples[rng_.NextBelow(examples.size())];
     }
+    std::fill(losses.begin(), losses.end(), 0.0f);
+    std::fill(correct.begin(), correct.end(), 0);
+    std::fill(counted.begin(), counted.end(), 0);
+    nn::ParallelBatch(
+        config_.batch_size, params, rng_, [&](int64_t b, Rng& rng) {
+          const size_t i = static_cast<size_t>(b);
+          const ColumnAnnotationExample& ex = *batch[i];
+          bool ok = false;
+          ag::Variable logits = ForwardColumn(
+              train.tables[static_cast<size_t>(ex.table_index)], ex.col, rng,
+              &ok);
+          if (!ok) return;
+          ag::Variable loss = ag::CrossEntropy(logits, {ex.label}, -100,
+                                               &correct[i], &counted[i]);
+          losses[i] = loss.value()[0];
+          ag::Backward(loss);
+        });
     nn::ClipGradNorm(params, config_.grad_clip);
     optimizer_->Step();
+    for (size_t b = 0; b < bs; ++b) {
+      report.Record(step, losses[b], correct[b], counted[b]);
+    }
   }
+  return report.Build();
 }
 
 ClassificationReport ColumnAnnotationTask::Evaluate(const TableCorpus& test,
@@ -109,15 +130,27 @@ ClassificationReport ColumnAnnotationTask::Evaluate(const TableCorpus& test,
     eval_rng.Shuffle(examples);
     examples.resize(static_cast<size_t>(max_examples));
   }
+  const size_t n = examples.size();
+  std::vector<int8_t> scored(n, 0);
+  std::vector<int32_t> pred_slots(n), target_slots(n);
+  nn::ParallelExamples(
+      static_cast<int64_t>(n), eval_rng, [&](int64_t i, Rng& rng) {
+        const size_t s = static_cast<size_t>(i);
+        const ColumnAnnotationExample& ex = examples[s];
+        bool ok = false;
+        ag::Variable logits = ForwardColumn(
+            test.tables[static_cast<size_t>(ex.table_index)], ex.col, rng,
+            &ok);
+        if (!ok) return;
+        scored[s] = 1;
+        pred_slots[s] = ops::ArgmaxRows(logits.value())[0];
+        target_slots[s] = ex.label;
+      });
   std::vector<int32_t> predictions, targets;
-  for (const ColumnAnnotationExample& ex : examples) {
-    bool ok = false;
-    ag::Variable logits =
-        ForwardColumn(test.tables[static_cast<size_t>(ex.table_index)],
-                      ex.col, eval_rng, &ok);
-    if (!ok) continue;
-    predictions.push_back(ops::ArgmaxRows(logits.value())[0]);
-    targets.push_back(ex.label);
+  for (size_t i = 0; i < n; ++i) {
+    if (!scored[i]) continue;
+    predictions.push_back(pred_slots[i]);
+    targets.push_back(target_slots[i]);
   }
   model_->SetTraining(true);
   head_->SetTraining(true);

@@ -33,9 +33,9 @@ class ColumnAnnotationTask {
  public:
   ColumnAnnotationTask(TableEncoderModel* model,
                        const TableSerializer* serializer,
-                       const TableCorpus& train, FineTuneConfig config);
+                       FineTuneConfig config, const TableCorpus& train);
 
-  void Train(const TableCorpus& train);
+  FineTuneReport Train(const TableCorpus& train);
 
   ClassificationReport Evaluate(const TableCorpus& test,
                                 int64_t max_examples = 200);

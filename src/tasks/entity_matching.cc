@@ -1,6 +1,7 @@
 #include "tasks/entity_matching.h"
 
 #include "common/logging.h"
+#include "nn/data_parallel.h"
 #include "tensor/ops.h"
 
 namespace tabrep {
@@ -66,11 +67,12 @@ Table EntityMatchingTask::PairTable(const MatchingExample& ex) {
 
 ag::Variable EntityMatchingTask::Forward(const MatchingExample& ex, Rng& rng) {
   TokenizedTable serialized = serializer_->Serialize(PairTable(ex));
-  models::Encoded enc = model_->Encode(serialized, rng, /*need_cells=*/false);
+  models::Encoded enc = model_->Encode(serialized, rng, {.need_cells = false});
   return head_.Forward(model_->Cls(enc));
 }
 
-void EntityMatchingTask::Train(const std::vector<MatchingExample>& examples) {
+FineTuneReport EntityMatchingTask::Train(
+    const std::vector<MatchingExample>& examples) {
   TABREP_CHECK(!examples.empty());
   model_->SetTraining(true);
   head_.SetTraining(true);
@@ -78,16 +80,34 @@ void EntityMatchingTask::Train(const std::vector<MatchingExample>& examples) {
   if (!config_.freeze_encoder) params = model_->Parameters();
   for (ag::Variable* p : head_.Parameters()) params.push_back(p);
 
+  tasks::ReportBuilder report(config_.steps);
+  const size_t bs = static_cast<size_t>(config_.batch_size);
+  std::vector<const MatchingExample*> batch(bs);
+  std::vector<float> losses(bs);
+  std::vector<int64_t> correct(bs), counted(bs);
   for (int64_t step = 0; step < config_.steps; ++step) {
     optimizer_->ZeroGrad();
-    for (int64_t b = 0; b < config_.batch_size; ++b) {
-      const MatchingExample& ex = examples[rng_.NextBelow(examples.size())];
-      ag::Variable loss = ag::CrossEntropy(Forward(ex, rng_), {ex.label});
-      ag::Backward(loss);
+    // Samples (and, inside ParallelBatch, per-example seeds) are drawn
+    // sequentially; the parallel region only reads shared state.
+    for (size_t b = 0; b < bs; ++b) {
+      batch[b] = &examples[rng_.NextBelow(examples.size())];
     }
+    nn::ParallelBatch(
+        config_.batch_size, params, rng_, [&](int64_t b, Rng& rng) {
+          const size_t i = static_cast<size_t>(b);
+          ag::Variable loss =
+              ag::CrossEntropy(Forward(*batch[i], rng), {batch[i]->label},
+                               -100, &correct[i], &counted[i]);
+          losses[i] = loss.value()[0];
+          ag::Backward(loss);
+        });
     nn::ClipGradNorm(params, config_.grad_clip);
     optimizer_->Step();
+    for (size_t b = 0; b < bs; ++b) {
+      report.Record(step, losses[b], correct[b], counted[b]);
+    }
   }
+  return report.Build();
 }
 
 ClassificationReport EntityMatchingTask::Evaluate(
@@ -95,12 +115,13 @@ ClassificationReport EntityMatchingTask::Evaluate(
   model_->SetTraining(false);
   head_.SetTraining(false);
   Rng eval_rng(config_.seed + 500);
-  std::vector<int32_t> predictions, targets;
-  for (const MatchingExample& ex : examples) {
-    predictions.push_back(
-        ops::ArgmaxRows(Forward(ex, eval_rng).value())[0]);
-    targets.push_back(ex.label);
-  }
+  const int64_t n = static_cast<int64_t>(examples.size());
+  std::vector<int32_t> predictions(examples.size()), targets(examples.size());
+  nn::ParallelExamples(n, eval_rng, [&](int64_t i, Rng& rng) {
+    const size_t s = static_cast<size_t>(i);
+    predictions[s] = ops::ArgmaxRows(Forward(examples[s], rng).value())[0];
+    targets[s] = examples[s].label;
+  });
   model_->SetTraining(true);
   head_.SetTraining(true);
   return ComputeClassification(predictions, targets);

@@ -42,7 +42,7 @@ class EntityMatchingTask {
   EntityMatchingTask(TableEncoderModel* model,
                      const TableSerializer* serializer, FineTuneConfig config);
 
-  void Train(const std::vector<MatchingExample>& examples);
+  FineTuneReport Train(const std::vector<MatchingExample>& examples);
 
   ClassificationReport Evaluate(const std::vector<MatchingExample>& examples);
 

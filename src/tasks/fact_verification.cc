@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "nn/data_parallel.h"
 #include "sql/generator.h"
 #include "tensor/ops.h"
 
@@ -101,12 +102,12 @@ ag::Variable FactVerificationTask::Forward(const Table& table,
                                            const std::string& claim,
                                            Rng& rng) {
   TokenizedTable serialized = serializer_->Serialize(table, claim);
-  models::Encoded enc = model_->Encode(serialized, rng, /*need_cells=*/false);
+  models::Encoded enc = model_->Encode(serialized, rng, {.need_cells = false});
   return head_.Forward(model_->Cls(enc));
 }
 
-void FactVerificationTask::Train(const TableCorpus& corpus,
-                                 const std::vector<FactExample>& examples) {
+FineTuneReport FactVerificationTask::Train(
+    const TableCorpus& corpus, const std::vector<FactExample>& examples) {
   TABREP_CHECK(!examples.empty());
   model_->SetTraining(true);
   head_.SetTraining(true);
@@ -114,18 +115,35 @@ void FactVerificationTask::Train(const TableCorpus& corpus,
   if (!config_.freeze_encoder) params = model_->Parameters();
   for (ag::Variable* p : head_.Parameters()) params.push_back(p);
 
+  tasks::ReportBuilder report(config_.steps);
+  const size_t bs = static_cast<size_t>(config_.batch_size);
+  std::vector<const FactExample*> batch(bs);
+  std::vector<float> losses(bs);
+  std::vector<int64_t> correct(bs), counted(bs);
   for (int64_t step = 0; step < config_.steps; ++step) {
     optimizer_->ZeroGrad();
-    for (int64_t b = 0; b < config_.batch_size; ++b) {
-      const FactExample& ex = examples[rng_.NextBelow(examples.size())];
-      ag::Variable logits = Forward(
-          corpus.tables[static_cast<size_t>(ex.table_index)], ex.claim, rng_);
-      ag::Variable loss = ag::CrossEntropy(logits, {ex.label});
-      ag::Backward(loss);
+    for (size_t b = 0; b < bs; ++b) {
+      batch[b] = &examples[rng_.NextBelow(examples.size())];
     }
+    nn::ParallelBatch(
+        config_.batch_size, params, rng_, [&](int64_t b, Rng& rng) {
+          const size_t i = static_cast<size_t>(b);
+          const FactExample& ex = *batch[i];
+          ag::Variable logits = Forward(
+              corpus.tables[static_cast<size_t>(ex.table_index)], ex.claim,
+              rng);
+          ag::Variable loss = ag::CrossEntropy(logits, {ex.label}, -100,
+                                               &correct[i], &counted[i]);
+          losses[i] = loss.value()[0];
+          ag::Backward(loss);
+        });
     nn::ClipGradNorm(params, config_.grad_clip);
     optimizer_->Step();
+    for (size_t b = 0; b < bs; ++b) {
+      report.Record(step, losses[b], correct[b], counted[b]);
+    }
   }
+  return report.Build();
 }
 
 ClassificationReport FactVerificationTask::Evaluate(
@@ -133,14 +151,15 @@ ClassificationReport FactVerificationTask::Evaluate(
   model_->SetTraining(false);
   head_.SetTraining(false);
   Rng eval_rng(config_.seed + 500);
-  std::vector<int32_t> predictions, targets;
-  for (const FactExample& ex : examples) {
-    ag::Variable logits =
-        Forward(corpus.tables[static_cast<size_t>(ex.table_index)], ex.claim,
-                eval_rng);
-    predictions.push_back(ops::ArgmaxRows(logits.value())[0]);
-    targets.push_back(ex.label);
-  }
+  const int64_t n = static_cast<int64_t>(examples.size());
+  std::vector<int32_t> predictions(examples.size()), targets(examples.size());
+  nn::ParallelExamples(n, eval_rng, [&](int64_t i, Rng& rng) {
+    const FactExample& ex = examples[static_cast<size_t>(i)];
+    ag::Variable logits = Forward(
+        corpus.tables[static_cast<size_t>(ex.table_index)], ex.claim, rng);
+    predictions[static_cast<size_t>(i)] = ops::ArgmaxRows(logits.value())[0];
+    targets[static_cast<size_t>(i)] = ex.label;
+  });
   model_->SetTraining(true);
   head_.SetTraining(true);
   return ComputeClassification(predictions, targets);

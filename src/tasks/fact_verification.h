@@ -44,8 +44,8 @@ class FactVerificationTask {
                        const TableSerializer* serializer,
                        FineTuneConfig config);
 
-  void Train(const TableCorpus& corpus,
-             const std::vector<FactExample>& examples);
+  FineTuneReport Train(const TableCorpus& corpus,
+                       const std::vector<FactExample>& examples);
 
   /// Accuracy + per-class F1 on held-out claims.
   ClassificationReport Evaluate(const TableCorpus& corpus,

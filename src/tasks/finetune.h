@@ -18,6 +18,58 @@ struct FineTuneConfig {
   bool freeze_encoder = false;
 };
 
+namespace tasks {
+
+/// What every fine-tuner's Train() returns: training-set loss and
+/// accuracy averaged over the last quarter of steps (the "tail", once
+/// the loss has largely settled), plus the step count actually run.
+struct FineTuneReport {
+  float final_loss = 0.0f;
+  float accuracy = 0.0f;
+  int64_t steps = 0;
+};
+
+/// Accumulates per-example training stats into a FineTuneReport,
+/// ignoring everything before the tail window.
+class ReportBuilder {
+ public:
+  explicit ReportBuilder(int64_t steps)
+      : steps_(steps), tail_start_(steps * 3 / 4) {}
+
+  /// Records one example's loss and (optionally) classification
+  /// counts from step `step`.
+  void Record(int64_t step, float loss, int64_t correct = 0,
+              int64_t counted = 0) {
+    if (step < tail_start_) return;
+    loss_sum_ += loss;
+    ++examples_;
+    correct_ += correct;
+    counted_ += counted;
+  }
+
+  FineTuneReport Build() const {
+    FineTuneReport report;
+    report.steps = steps_;
+    report.final_loss =
+        examples_ > 0 ? static_cast<float>(loss_sum_ / examples_) : 0.0f;
+    report.accuracy =
+        counted_ > 0 ? static_cast<float>(correct_) / counted_ : 0.0f;
+    return report;
+  }
+
+ private:
+  int64_t steps_;
+  int64_t tail_start_;
+  double loss_sum_ = 0.0;
+  int64_t examples_ = 0;
+  int64_t correct_ = 0;
+  int64_t counted_ = 0;
+};
+
+}  // namespace tasks
+
+using tasks::FineTuneReport;
+
 }  // namespace tabrep
 
 #endif  // TABREP_TASKS_FINETUNE_H_

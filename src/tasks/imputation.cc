@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "nn/data_parallel.h"
 #include "tensor/ops.h"
 #include "text/vocab.h"
 
@@ -54,7 +55,7 @@ TokenizedTable MaskCellTokens(const TokenizedTable& serialized,
 
 ImputationTask::ImputationTask(TableEncoderModel* model,
                                const TableSerializer* serializer,
-                               const TableCorpus& train, FineTuneConfig config,
+                               FineTuneConfig config, const TableCorpus& train,
                                ImputationOptions options)
     : model_(model),
       serializer_(serializer),
@@ -131,7 +132,7 @@ ag::Variable ImputationTask::ForwardExample(const Table& table, int32_t row,
   const CellSpan* span = plain.FindCell(row, col);
   if (span == nullptr) return ag::Variable();  // truncated away
   TokenizedTable serialized = MaskCellTokens(plain, *span);
-  models::Encoded enc = model_->Encode(serialized, rng, /*need_cells=*/true);
+  models::Encoded enc = model_->Encode(serialized, rng);
   if (!enc.has_cells) return ag::Variable();
   // Locate the masked cell's index among the spans.
   int64_t cell_index = -1;
@@ -147,7 +148,7 @@ ag::Variable ImputationTask::ForwardExample(const Table& table, int32_t row,
   return head_->Forward(rep);  // [1, num_values]
 }
 
-double ImputationTask::Train(const TableCorpus& train) {
+FineTuneReport ImputationTask::Train(const TableCorpus& train) {
   std::vector<ImputationExample> examples = CollectExamples(train, true);
   TABREP_CHECK(!examples.empty()) << "no training examples";
   model_->SetTraining(true);
@@ -157,34 +158,41 @@ double ImputationTask::Train(const TableCorpus& train) {
   if (!config_.freeze_encoder) params = model_->Parameters();
   for (ag::Variable* p : head_->Parameters()) params.push_back(p);
 
-  int64_t recent_correct = 0, recent_total = 0;
-  const int64_t tail_start = config_.steps * 3 / 4;
+  tasks::ReportBuilder report(config_.steps);
+  const size_t bs = static_cast<size_t>(config_.batch_size);
+  std::vector<const ImputationExample*> batch(bs);
+  std::vector<float> losses(bs);
+  std::vector<int64_t> correct(bs), counted(bs);
   for (int64_t step = 0; step < config_.steps; ++step) {
     optimizer_->ZeroGrad();
-    for (int64_t b = 0; b < config_.batch_size; ++b) {
-      const ImputationExample& ex =
-          examples[rng_.NextBelow(examples.size())];
-      bool ok = false;
-      ag::Variable logits =
-          ForwardExample(train.tables[static_cast<size_t>(ex.table_index)],
-                         ex.row, ex.col, rng_, &ok);
-      if (!ok) continue;
-      int64_t correct = 0, counted = 0;
-      ag::Variable loss =
-          ag::CrossEntropy(logits, {ex.value_id}, /*ignore_index=*/-100,
-                           &correct, &counted);
-      ag::Backward(loss);
-      if (step >= tail_start) {
-        recent_correct += correct;
-        recent_total += counted;
-      }
+    for (size_t b = 0; b < bs; ++b) {
+      batch[b] = &examples[rng_.NextBelow(examples.size())];
     }
+    std::fill(losses.begin(), losses.end(), 0.0f);
+    std::fill(correct.begin(), correct.end(), 0);
+    std::fill(counted.begin(), counted.end(), 0);
+    nn::ParallelBatch(
+        config_.batch_size, params, rng_, [&](int64_t b, Rng& rng) {
+          const size_t i = static_cast<size_t>(b);
+          const ImputationExample& ex = *batch[i];
+          bool ok = false;
+          ag::Variable logits = ForwardExample(
+              train.tables[static_cast<size_t>(ex.table_index)], ex.row,
+              ex.col, rng, &ok);
+          if (!ok) return;
+          ag::Variable loss =
+              ag::CrossEntropy(logits, {ex.value_id}, /*ignore_index=*/-100,
+                               &correct[i], &counted[i]);
+          losses[i] = loss.value()[0];
+          ag::Backward(loss);
+        });
     nn::ClipGradNorm(params, config_.grad_clip);
     optimizer_->Step();
+    for (size_t b = 0; b < bs; ++b) {
+      report.Record(step, losses[b], correct[b], counted[b]);
+    }
   }
-  return recent_total > 0
-             ? static_cast<double>(recent_correct) / recent_total
-             : 0.0;
+  return report.Build();
 }
 
 ClassificationReport ImputationTask::Evaluate(const TableCorpus& test,
@@ -200,15 +208,27 @@ ClassificationReport ImputationTask::Evaluate(const TableCorpus& test,
     eval_rng.Shuffle(examples);
     examples.resize(static_cast<size_t>(max_examples));
   }
+  const size_t n = examples.size();
+  std::vector<int8_t> scored(n, 0);
+  std::vector<int32_t> pred_slots(n), target_slots(n);
+  nn::ParallelExamples(
+      static_cast<int64_t>(n), eval_rng, [&](int64_t i, Rng& rng) {
+        const size_t s = static_cast<size_t>(i);
+        const ImputationExample& ex = examples[s];
+        bool ok = false;
+        ag::Variable logits = ForwardExample(
+            test.tables[static_cast<size_t>(ex.table_index)], ex.row, ex.col,
+            rng, &ok);
+        if (!ok) return;
+        scored[s] = 1;
+        pred_slots[s] = ops::ArgmaxRows(logits.value())[0];
+        target_slots[s] = ex.value_id;
+      });
   std::vector<int32_t> predictions, targets;
-  for (const ImputationExample& ex : examples) {
-    bool ok = false;
-    ag::Variable logits =
-        ForwardExample(test.tables[static_cast<size_t>(ex.table_index)],
-                       ex.row, ex.col, eval_rng, &ok);
-    if (!ok) continue;
-    predictions.push_back(ops::ArgmaxRows(logits.value())[0]);
-    targets.push_back(ex.value_id);
+  for (size_t i = 0; i < n; ++i) {
+    if (!scored[i]) continue;
+    predictions.push_back(pred_slots[i]);
+    targets.push_back(target_slots[i]);
   }
   model_->SetTraining(true);
   head_->SetTraining(true);

@@ -48,16 +48,16 @@ class ImputationTask {
   /// Builds the value vocabulary from `train`. `model` and `serializer`
   /// are borrowed.
   ImputationTask(TableEncoderModel* model, const TableSerializer* serializer,
-                 const TableCorpus& train, FineTuneConfig config,
+                 FineTuneConfig config, const TableCorpus& train,
                  ImputationOptions options = {});
 
   ~ImputationTask();
   ImputationTask(const ImputationTask&) = delete;
   ImputationTask& operator=(const ImputationTask&) = delete;
 
-  /// Fine-tunes on examples drawn from `train`. Returns final train
-  /// accuracy over the last quarter of steps.
-  double Train(const TableCorpus& train);
+  /// Fine-tunes on examples drawn from `train`. The report's accuracy
+  /// covers the last quarter of steps.
+  FineTuneReport Train(const TableCorpus& train);
 
   /// Evaluates on held-out tables; cells whose value never occurred in
   /// training are skipped (open-world values are unreachable for a

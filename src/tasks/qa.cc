@@ -1,7 +1,10 @@
 #include "tasks/qa.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "nn/data_parallel.h"
 #include "tensor/ops.h"
 
 namespace tabrep {
@@ -61,14 +64,14 @@ ag::Variable QaTask::Forward(const Table& table, const QaExample& ex, Rng& rng,
     }
   }
   if (*gold_index < 0) return ag::Variable();
-  models::Encoded enc = model_->Encode(serialized, rng, /*need_cells=*/true);
+  models::Encoded enc = model_->Encode(serialized, rng);
   if (!enc.has_cells) return ag::Variable();
   *ok = true;
   return head_.Forward(enc.cells);
 }
 
-void QaTask::Train(const TableCorpus& corpus,
-                   const std::vector<QaExample>& examples) {
+FineTuneReport QaTask::Train(const TableCorpus& corpus,
+                             const std::vector<QaExample>& examples) {
   TABREP_CHECK(!examples.empty());
   model_->SetTraining(true);
   head_.SetTraining(true);
@@ -76,23 +79,42 @@ void QaTask::Train(const TableCorpus& corpus,
   if (!config_.freeze_encoder) params = model_->Parameters();
   for (ag::Variable* p : head_.Parameters()) params.push_back(p);
 
+  tasks::ReportBuilder report(config_.steps);
+  const size_t bs = static_cast<size_t>(config_.batch_size);
+  std::vector<const QaExample*> batch(bs);
+  std::vector<float> losses(bs);
+  std::vector<int64_t> correct(bs), counted(bs);
   for (int64_t step = 0; step < config_.steps; ++step) {
     optimizer_->ZeroGrad();
-    for (int64_t b = 0; b < config_.batch_size; ++b) {
-      const QaExample& ex = examples[rng_.NextBelow(examples.size())];
-      int64_t gold = -1;
-      bool ok = false;
-      ag::Variable logits =
-          Forward(corpus.tables[static_cast<size_t>(ex.table_index)], ex,
-                  rng_, &gold, &ok);
-      if (!ok) continue;
-      ag::Variable loss =
-          ag::CrossEntropy(logits, {static_cast<int32_t>(gold)});
-      ag::Backward(loss);
+    for (size_t b = 0; b < bs; ++b) {
+      batch[b] = &examples[rng_.NextBelow(examples.size())];
     }
+    std::fill(losses.begin(), losses.end(), 0.0f);
+    std::fill(correct.begin(), correct.end(), 0);
+    std::fill(counted.begin(), counted.end(), 0);
+    nn::ParallelBatch(
+        config_.batch_size, params, rng_, [&](int64_t b, Rng& rng) {
+          const size_t i = static_cast<size_t>(b);
+          const QaExample& ex = *batch[i];
+          int64_t gold = -1;
+          bool ok = false;
+          ag::Variable logits =
+              Forward(corpus.tables[static_cast<size_t>(ex.table_index)], ex,
+                      rng, &gold, &ok);
+          if (!ok) return;
+          ag::Variable loss =
+              ag::CrossEntropy(logits, {static_cast<int32_t>(gold)}, -100,
+                               &correct[i], &counted[i]);
+          losses[i] = loss.value()[0];
+          ag::Backward(loss);
+        });
     nn::ClipGradNorm(params, config_.grad_clip);
     optimizer_->Step();
+    for (size_t b = 0; b < bs; ++b) {
+      report.Record(step, losses[b], correct[b], counted[b]);
+    }
   }
+  return report.Build();
 }
 
 double QaTask::Evaluate(const TableCorpus& corpus,
@@ -100,16 +122,24 @@ double QaTask::Evaluate(const TableCorpus& corpus,
   model_->SetTraining(false);
   head_.SetTraining(false);
   Rng eval_rng(config_.seed + 500);
-  int64_t correct = 0, total = 0;
-  for (const QaExample& ex : examples) {
+  const int64_t n = static_cast<int64_t>(examples.size());
+  std::vector<int8_t> scored(examples.size(), 0), hit(examples.size(), 0);
+  nn::ParallelExamples(n, eval_rng, [&](int64_t i, Rng& rng) {
+    const QaExample& ex = examples[static_cast<size_t>(i)];
     int64_t gold = -1;
     bool ok = false;
     ag::Variable logits =
-        Forward(corpus.tables[static_cast<size_t>(ex.table_index)], ex,
-                eval_rng, &gold, &ok);
-    if (!ok) continue;
-    ++total;
-    if (ops::ArgmaxRows(logits.value())[0] == gold) ++correct;
+        Forward(corpus.tables[static_cast<size_t>(ex.table_index)], ex, rng,
+                &gold, &ok);
+    if (!ok) return;
+    scored[static_cast<size_t>(i)] = 1;
+    hit[static_cast<size_t>(i)] =
+        ops::ArgmaxRows(logits.value())[0] == gold ? 1 : 0;
+  });
+  int64_t correct = 0, total = 0;
+  for (size_t i = 0; i < examples.size(); ++i) {
+    total += scored[i];
+    correct += hit[i];
   }
   model_->SetTraining(true);
   head_.SetTraining(true);
@@ -121,7 +151,7 @@ std::string QaTask::Answer(const Table& table, const std::string& question) {
   head_.SetTraining(false);
   Rng rng(config_.seed + 900);
   TokenizedTable serialized = serializer_->Serialize(table, question);
-  models::Encoded enc = model_->Encode(serialized, rng, /*need_cells=*/true);
+  models::Encoded enc = model_->Encode(serialized, rng);
   model_->SetTraining(true);
   head_.SetTraining(true);
   if (!enc.has_cells || serialized.cells.empty()) return "";

@@ -39,7 +39,8 @@ class QaTask {
          FineTuneConfig config);
 
   /// Fine-tunes on `examples` over `corpus` tables.
-  void Train(const TableCorpus& corpus, const std::vector<QaExample>& examples);
+  FineTuneReport Train(const TableCorpus& corpus,
+                       const std::vector<QaExample>& examples);
 
   /// Denotation accuracy: fraction of questions whose argmax cell is
   /// the gold cell.

@@ -4,6 +4,8 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "nn/data_parallel.h"
+#include "runtime/runtime.h"
 #include "tensor/ops.h"
 #include "text/vocab.h"
 
@@ -82,7 +84,7 @@ TokenizedTable RetrievalTask::SerializeQuery(const std::string& query) const {
 
 ag::Variable RetrievalTask::ForwardQuery(const std::string& query, Rng& rng) {
   TokenizedTable serialized = SerializeQuery(query);
-  models::Encoded enc = model_->Encode(serialized, rng, /*need_cells=*/false);
+  models::Encoded enc = model_->Encode(serialized, rng, {.need_cells = false});
   // Unit-norm embeddings make the in-batch softmax an InfoNCE loss and
   // the ranking score a cosine.
   return ag::L2NormalizeRows(query_proj_.Forward(model_->Pooled(enc)));
@@ -90,12 +92,13 @@ ag::Variable RetrievalTask::ForwardQuery(const std::string& query, Rng& rng) {
 
 ag::Variable RetrievalTask::ForwardTable(const Table& table, Rng& rng) {
   TokenizedTable serialized = table_serializer_.Serialize(table);
-  models::Encoded enc = model_->Encode(serialized, rng, /*need_cells=*/false);
+  models::Encoded enc = model_->Encode(serialized, rng, {.need_cells = false});
   return ag::L2NormalizeRows(table_proj_.Forward(model_->Pooled(enc)));
 }
 
-void RetrievalTask::Train(const TableCorpus& corpus,
-                          const std::vector<RetrievalExample>& examples) {
+FineTuneReport RetrievalTask::Train(
+    const TableCorpus& corpus,
+    const std::vector<RetrievalExample>& examples) {
   TABREP_CHECK(!examples.empty());
   model_->SetTraining(true);
   query_proj_.SetTraining(true);
@@ -107,33 +110,48 @@ void RetrievalTask::Train(const TableCorpus& corpus,
 
   // In-batch contrastive training: batch_size queries, their positive
   // tables as shared negatives.
+  tasks::ReportBuilder report(config_.steps);
   const int64_t k = std::max<int64_t>(2, config_.batch_size);
+  const size_t bs = static_cast<size_t>(k);
+  std::vector<const RetrievalExample*> batch(bs);
+  std::vector<ag::Variable> table_embs(bs);
+  std::vector<float> losses(bs);
+  std::vector<int64_t> correct(bs), counted(bs);
   for (int64_t step = 0; step < config_.steps; ++step) {
     optimizer_->ZeroGrad();
-    std::vector<const RetrievalExample*> batch;
-    for (int64_t i = 0; i < k; ++i) {
-      batch.push_back(&examples[rng_.NextBelow(examples.size())]);
+    for (size_t i = 0; i < bs; ++i) {
+      batch[i] = &examples[rng_.NextBelow(examples.size())];
     }
-    std::vector<ag::Variable> table_embs;
-    table_embs.reserve(batch.size());
-    for (const RetrievalExample* ex : batch) {
-      table_embs.push_back(ForwardTable(
-          corpus.tables[static_cast<size_t>(ex->relevant_table)], rng_));
-    }
+    // Phase 1: embed the batch tables in parallel (graph building
+    // only; gradients flow later through each query's backward pass).
+    nn::ParallelExamples(k, rng_, [&](int64_t i, Rng& rng) {
+      table_embs[static_cast<size_t>(i)] = ForwardTable(
+          corpus.tables[static_cast<size_t>(
+              batch[static_cast<size_t>(i)]->relevant_table)],
+          rng);
+    });
     ag::Variable table_matrix = ag::ConcatRows(table_embs);  // [k, e]
-    for (int64_t i = 0; i < k; ++i) {
-      ag::Variable q = ForwardQuery(batch[static_cast<size_t>(i)]->query,
-                                    rng_);            // [1, e]
+    // Phase 2: one InfoNCE loss per query, gradients captured per
+    // example and folded in query order.
+    nn::ParallelBatch(k, params, rng_, [&](int64_t i, Rng& rng) {
+      const size_t s = static_cast<size_t>(i);
+      ag::Variable q = ForwardQuery(batch[s]->query, rng);  // [1, e]
       // Cosine scores sharpened by the InfoNCE temperature.
       ag::Variable logits = ag::MulScalar(
           ag::MatMulTransposedB(q, table_matrix), 1.0f / 0.1f);  // [1, k]
       ag::Variable loss =
-          ag::CrossEntropy(logits, {static_cast<int32_t>(i)});
+          ag::CrossEntropy(logits, {static_cast<int32_t>(i)}, -100,
+                           &correct[s], &counted[s]);
+      losses[s] = loss.value()[0];
       ag::Backward(loss);
-    }
+    });
     nn::ClipGradNorm(params, config_.grad_clip);
     optimizer_->Step();
+    for (size_t i = 0; i < bs; ++i) {
+      report.Record(step, losses[i], correct[i], counted[i]);
+    }
   }
+  return report.Build();
 }
 
 Tensor RetrievalTask::EmbedQuery(const std::string& query) {
@@ -158,14 +176,45 @@ Tensor RetrievalTask::EmbedTable(const Table& table) {
 
 RankingReport RetrievalTask::Evaluate(
     const TableCorpus& corpus, const std::vector<RetrievalExample>& examples) {
-  std::vector<Tensor> table_embs;
-  table_embs.reserve(corpus.tables.size());
-  for (const Table& t : corpus.tables) table_embs.push_back(EmbedTable(t));
+  // Corpus embedding is the hot loop of evaluation: every table runs a
+  // full encoder forward. Embed in parallel with the same per-call rng
+  // EmbedTable uses (eval mode never draws from it).
+  model_->SetTraining(false);
+  query_proj_.SetTraining(false);
+  table_proj_.SetTraining(false);
+  std::vector<Tensor> table_embs(corpus.tables.size());
+  runtime::ParallelFor(
+      0, static_cast<int64_t>(corpus.tables.size()), 1,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          Rng rng(config_.seed + 801);
+          table_embs[static_cast<size_t>(i)] =
+              ForwardTable(corpus.tables[static_cast<size_t>(i)], rng)
+                  .value()
+                  .Clone();
+        }
+      });
+  std::vector<Tensor> query_embs(examples.size());
+  runtime::ParallelFor(
+      0, static_cast<int64_t>(examples.size()), 1,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          Rng rng(config_.seed + 800);
+          query_embs[static_cast<size_t>(i)] =
+              ForwardQuery(examples[static_cast<size_t>(i)].query, rng)
+                  .value()
+                  .Clone();
+        }
+      });
+  model_->SetTraining(true);
+  query_proj_.SetTraining(true);
+  table_proj_.SetTraining(true);
 
   std::vector<int64_t> ranks;
   ranks.reserve(examples.size());
-  for (const RetrievalExample& ex : examples) {
-    Tensor q = EmbedQuery(ex.query);
+  for (size_t qi = 0; qi < examples.size(); ++qi) {
+    const RetrievalExample& ex = examples[qi];
+    const Tensor& q = query_embs[qi];
     std::vector<std::pair<float, int64_t>> scored;
     scored.reserve(table_embs.size());
     for (size_t i = 0; i < table_embs.size(); ++i) {
@@ -191,10 +240,25 @@ std::vector<int64_t> RetrievalTask::TopK(const std::string& query,
                                          const TableCorpus& corpus,
                                          int64_t k) {
   Tensor q = EmbedQuery(query);
+  model_->SetTraining(false);
+  table_proj_.SetTraining(false);
+  std::vector<Tensor> table_embs(corpus.tables.size());
+  runtime::ParallelFor(
+      0, static_cast<int64_t>(corpus.tables.size()), 1,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          Rng rng(config_.seed + 801);
+          table_embs[static_cast<size_t>(i)] =
+              ForwardTable(corpus.tables[static_cast<size_t>(i)], rng)
+                  .value()
+                  .Clone();
+        }
+      });
+  model_->SetTraining(true);
+  table_proj_.SetTraining(true);
   std::vector<std::pair<float, int64_t>> scored;
   for (size_t i = 0; i < corpus.tables.size(); ++i) {
-    scored.emplace_back(ops::Dot(q, EmbedTable(corpus.tables[i])),
-                        static_cast<int64_t>(i));
+    scored.emplace_back(ops::Dot(q, table_embs[i]), static_cast<int64_t>(i));
   }
   std::sort(scored.begin(), scored.end(),
             [](const auto& a, const auto& b) { return a.first > b.first; });

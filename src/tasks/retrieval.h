@@ -36,8 +36,8 @@ class RetrievalTask {
   RetrievalTask(TableEncoderModel* model, const TableSerializer* serializer,
                 FineTuneConfig config, int64_t embed_dim = 32);
 
-  void Train(const TableCorpus& corpus,
-             const std::vector<RetrievalExample>& examples);
+  FineTuneReport Train(const TableCorpus& corpus,
+                       const std::vector<RetrievalExample>& examples);
 
   /// MRR / Hit@k ranking every example's query against all corpus
   /// tables.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "nn/data_parallel.h"
 #include "tensor/ops.h"
 
 namespace tabrep {
@@ -67,10 +68,10 @@ SemanticParsingTask::SemanticParsingTask(TableEncoderModel* model,
 SemanticParsingTask::SlotLogits SemanticParsingTask::Forward(
     const Table& table, const std::string& question, Rng& rng) {
   SlotLogits out;
-  TokenizedTable serialized = serializer_->Serialize(table, question);
-  last_serialized_ = serialized;
+  out.serialized = serializer_->Serialize(table, question);
+  const TokenizedTable& serialized = out.serialized;
   if (serialized.cells.empty()) return out;
-  models::Encoded enc = model_->Encode(serialized, rng, /*need_cells=*/true);
+  models::Encoded enc = model_->Encode(serialized, rng);
   if (!enc.has_cells) return out;
 
   // Column representations: mean of the column's cell reps.
@@ -135,8 +136,8 @@ sql::Query SemanticParsingTask::Assemble(
   return query;
 }
 
-void SemanticParsingTask::Train(const TableCorpus& corpus,
-                                const std::vector<ParsingExample>& examples) {
+FineTuneReport SemanticParsingTask::Train(
+    const TableCorpus& corpus, const std::vector<ParsingExample>& examples) {
   TABREP_CHECK(!examples.empty());
   model_->SetTraining(true);
   aggregate_head_.SetTraining(true);
@@ -147,15 +148,27 @@ void SemanticParsingTask::Train(const TableCorpus& corpus,
   for (ag::Variable* p : where_score_->Parameters()) params.push_back(p);
   for (ag::Variable* p : value_score_->Parameters()) params.push_back(p);
 
+  tasks::ReportBuilder report(config_.steps);
+  const size_t bs = static_cast<size_t>(config_.batch_size);
+  std::vector<const ParsingExample*> batch(bs);
+  std::vector<float> losses(bs);
+  std::vector<int64_t> correct(bs), counted(bs);
   for (int64_t step = 0; step < config_.steps; ++step) {
     optimizer_->ZeroGrad();
-    for (int64_t b = 0; b < config_.batch_size; ++b) {
-      const ParsingExample& ex = examples[rng_.NextBelow(examples.size())];
-      const Table& table =
-          corpus.tables[static_cast<size_t>(ex.table_index)];
-      SlotLogits logits = Forward(table, ex.generated.question, rng_);
-      if (!logits.ok) continue;
-      const TokenizedTable& serialized = last_serialized_;
+    for (size_t b = 0; b < bs; ++b) {
+      batch[b] = &examples[rng_.NextBelow(examples.size())];
+    }
+    std::fill(losses.begin(), losses.end(), 0.0f);
+    std::fill(correct.begin(), correct.end(), 0);
+    std::fill(counted.begin(), counted.end(), 0);
+    nn::ParallelBatch(config_.batch_size, params, rng_, [&](int64_t b,
+                                                            Rng& rng) {
+      const size_t slot = static_cast<size_t>(b);
+      const ParsingExample& ex = *batch[slot];
+      const Table& table = corpus.tables[static_cast<size_t>(ex.table_index)];
+      SlotLogits logits = Forward(table, ex.generated.question, rng);
+      if (!logits.ok) return;
+      const TokenizedTable& serialized = logits.serialized;
 
       const sql::Query& gold = ex.generated.query;
       const int32_t gold_agg = static_cast<int32_t>(gold.aggregate);
@@ -173,21 +186,31 @@ void SemanticParsingTask::Train(const TableCorpus& corpus,
       if (gold_select < 0 || gold_where < 0 || gold_cell < 0 ||
           gold_select >= serialized.used_columns ||
           gold_where >= serialized.used_columns) {
-        continue;  // truncated away
+        return;  // truncated away
       }
-      ag::Variable loss = ag::CrossEntropy(logits.aggregate, {gold_agg});
-      loss = ag::Add(loss,
-                     ag::CrossEntropy(logits.select_col,
-                                      {static_cast<int32_t>(gold_select)}));
-      loss = ag::Add(loss,
-                     ag::CrossEntropy(logits.where_col,
-                                      {static_cast<int32_t>(gold_where)}));
-      loss = ag::Add(loss, ag::CrossEntropy(logits.where_val, {gold_cell}));
+      ag::Variable loss = ag::CrossEntropy(logits.aggregate, {gold_agg}, -100,
+                                           &correct[slot], &counted[slot]);
+      loss = ag::Add(
+          loss, ag::CrossEntropy(logits.select_col,
+                                 {static_cast<int32_t>(gold_select)}, -100,
+                                 &correct[slot], &counted[slot]));
+      loss = ag::Add(
+          loss, ag::CrossEntropy(logits.where_col,
+                                 {static_cast<int32_t>(gold_where)}, -100,
+                                 &correct[slot], &counted[slot]));
+      loss = ag::Add(loss, ag::CrossEntropy(logits.where_val, {gold_cell},
+                                            -100, &correct[slot],
+                                            &counted[slot]));
+      losses[slot] = loss.value()[0];
       ag::Backward(loss);
-    }
+    });
     nn::ClipGradNorm(params, config_.grad_clip);
     optimizer_->Step();
+    for (size_t b = 0; b < bs; ++b) {
+      report.Record(step, losses[b], correct[b], counted[b]);
+    }
   }
+  return report.Build();
 }
 
 ParsingEval SemanticParsingTask::Evaluate(
@@ -196,36 +219,55 @@ ParsingEval SemanticParsingTask::Evaluate(
   aggregate_head_.SetTraining(false);
   Rng eval_rng(config_.seed + 500);
   ParsingEval eval;
-  for (const ParsingExample& ex : examples) {
-    const Table& table = corpus.tables[static_cast<size_t>(ex.table_index)];
-    SlotLogits logits = Forward(table, ex.generated.question, eval_rng);
-    if (!logits.ok) continue;
-    const TokenizedTable serialized = last_serialized_;
+  struct ExampleScore {
+    int8_t scored = 0;
+    int8_t aggregate = 0, select = 0, where_col = 0, where_val = 0;
+    int8_t exact = 0, denotation = 0;
+  };
+  std::vector<ExampleScore> scores(examples.size());
+  nn::ParallelExamples(
+      static_cast<int64_t>(examples.size()), eval_rng,
+      [&](int64_t i, Rng& rng) {
+        const ParsingExample& ex = examples[static_cast<size_t>(i)];
+        const Table& table =
+            corpus.tables[static_cast<size_t>(ex.table_index)];
+        SlotLogits logits = Forward(table, ex.generated.question, rng);
+        if (!logits.ok) return;
+        const TokenizedTable& serialized = logits.serialized;
+        ExampleScore& score = scores[static_cast<size_t>(i)];
+        score.scored = 1;
+
+        const sql::Query& gold = ex.generated.query;
+        const int32_t pred_agg = ops::ArgmaxRows(logits.aggregate.value())[0];
+        score.aggregate = pred_agg == static_cast<int32_t>(gold.aggregate);
+        const int32_t pred_select =
+            ops::ArgmaxRows(logits.select_col.value())[0];
+        score.select = pred_select == static_cast<int32_t>(table.ColumnIndex(
+                                          gold.select_column));
+        const int32_t pred_val = ops::ArgmaxRows(logits.where_val.value())[0];
+        const CellSpan& pred_span =
+            serialized.cells[static_cast<size_t>(pred_val)];
+        score.where_col =
+            pred_span.col ==
+            static_cast<int32_t>(table.ColumnIndex(gold.where[0].column));
+        score.where_val = pred_span.row == ex.generated.anchors[0].first &&
+                          pred_span.col == ex.generated.anchors[0].second;
+
+        sql::Query predicted = Assemble(table, logits, serialized);
+        score.exact = predicted == gold;
+        auto result = sql::Execute(predicted, table);
+        score.denotation =
+            result.ok() && SameDenotation(*result, ex.generated.result);
+      });
+  for (const ExampleScore& score : scores) {
+    if (!score.scored) continue;
     ++eval.total;
-
-    const sql::Query& gold = ex.generated.query;
-    const int32_t pred_agg = ops::ArgmaxRows(logits.aggregate.value())[0];
-    eval.aggregate_acc += pred_agg == static_cast<int32_t>(gold.aggregate);
-    const int32_t pred_select = ops::ArgmaxRows(logits.select_col.value())[0];
-    eval.select_acc +=
-        pred_select == static_cast<int32_t>(table.ColumnIndex(
-                           gold.select_column));
-    const int32_t pred_val = ops::ArgmaxRows(logits.where_val.value())[0];
-    const CellSpan& pred_span =
-        serialized.cells[static_cast<size_t>(pred_val)];
-    eval.where_col_acc +=
-        pred_span.col ==
-        static_cast<int32_t>(table.ColumnIndex(gold.where[0].column));
-    eval.where_val_acc +=
-        pred_span.row == ex.generated.anchors[0].first &&
-        pred_span.col == ex.generated.anchors[0].second;
-
-    sql::Query predicted = Assemble(table, logits, serialized);
-    eval.exact_match += predicted == gold;
-    auto result = sql::Execute(predicted, table);
-    if (result.ok() && SameDenotation(*result, ex.generated.result)) {
-      eval.denotation += 1;
-    }
+    eval.aggregate_acc += score.aggregate;
+    eval.select_acc += score.select;
+    eval.where_col_acc += score.where_col;
+    eval.where_val_acc += score.where_val;
+    eval.exact_match += score.exact;
+    eval.denotation += score.denotation;
   }
   model_->SetTraining(true);
   aggregate_head_.SetTraining(true);
@@ -251,7 +293,7 @@ sql::Query SemanticParsingTask::Parse(const Table& table,
   aggregate_head_.SetTraining(true);
   *ok = logits.ok;
   if (!logits.ok) return sql::Query();
-  return Assemble(table, logits, last_serialized_);
+  return Assemble(table, logits, logits.serialized);
 }
 
 }  // namespace tabrep

@@ -52,8 +52,8 @@ class SemanticParsingTask {
   SemanticParsingTask(TableEncoderModel* model,
                       const TableSerializer* serializer, FineTuneConfig config);
 
-  void Train(const TableCorpus& corpus,
-             const std::vector<ParsingExample>& examples);
+  FineTuneReport Train(const TableCorpus& corpus,
+                       const std::vector<ParsingExample>& examples);
 
   ParsingEval Evaluate(const TableCorpus& corpus,
                        const std::vector<ParsingExample>& examples);
@@ -69,6 +69,7 @@ class SemanticParsingTask {
     ag::Variable where_col;   // [1, num_columns]
     ag::Variable where_val;   // [1, num_cells]
     std::vector<int32_t> cell_cols;  // column of each cell span
+    TokenizedTable serialized;  // the serialization the logits index into
     bool ok = false;
   };
   SlotLogits Forward(const Table& table, const std::string& question,
@@ -87,7 +88,6 @@ class SemanticParsingTask {
   std::unique_ptr<nn::Linear> where_score_;
   std::unique_ptr<nn::Linear> value_score_;
   std::unique_ptr<nn::Adam> optimizer_;
-  TokenizedTable last_serialized_;  // serialization of the last Forward
 };
 
 }  // namespace tabrep

@@ -9,6 +9,54 @@ namespace tabrep::ag {
 
 using internal::VarImpl;
 
+namespace {
+
+thread_local GradTable* t_grad_redirect = nullptr;
+
+/// The buffer gradient writes for `node` must target on this thread:
+/// the active redirect table's slot, or the shared grad buffer.
+Tensor& GradSlot(VarImpl* node) {
+  if (t_grad_redirect) return t_grad_redirect->Slot(node);
+  node->EnsureGrad();
+  return node->grad;
+}
+
+}  // namespace
+
+Tensor& GradTable::Slot(VarImpl* node) {
+  auto it = slots_.find(node);
+  if (it == slots_.end()) {
+    it = slots_.emplace(node, Tensor::Zeros(node->value.shape())).first;
+  }
+  return it->second;
+}
+
+const Tensor* GradTable::Find(const VarImpl* node) const {
+  auto it = slots_.find(node);
+  return it == slots_.end() ? nullptr : &it->second;
+}
+
+void GradTable::Retain(std::shared_ptr<VarImpl> node) {
+  retained_.push_back(std::move(node));
+}
+
+ScopedGradRedirect::ScopedGradRedirect(GradTable* table)
+    : prev_(t_grad_redirect) {
+  t_grad_redirect = table;
+}
+
+ScopedGradRedirect::~ScopedGradRedirect() { t_grad_redirect = prev_; }
+
+void AccumulateGrads(const GradTable& table,
+                     const std::vector<Variable*>& params) {
+  for (Variable* p : params) {
+    const Tensor* g = table.Find(p->impl().get());
+    if (!g) continue;
+    p->impl()->EnsureGrad();
+    p->impl()->grad.Add(*g);
+  }
+}
+
 Variable Variable::Constant(Tensor value) {
   Variable v;
   v.impl_->value = std::move(value);
@@ -54,12 +102,18 @@ void Backward(const Variable& root) {
   std::vector<std::pair<VarImpl*, size_t>> stack;
   stack.emplace_back(root.impl().get(), 0);
   visited.insert(root.impl().get());
+  // A redirect table outlives this graph, and its slots are keyed by
+  // node address: pin every visited node so a later graph cannot reuse
+  // an address and inherit a stale slot.
+  if (t_grad_redirect) t_grad_redirect->Retain(root.impl());
   while (!stack.empty()) {
     auto& [node, next_child] = stack.back();
     if (next_child < node->parents.size()) {
-      VarImpl* child = node->parents[next_child++].get();
+      const std::shared_ptr<VarImpl>& child_sp = node->parents[next_child++];
+      VarImpl* child = child_sp.get();
       if (child->requires_grad && !visited.count(child)) {
         visited.insert(child);
+        if (t_grad_redirect) t_grad_redirect->Retain(child_sp);
         stack.emplace_back(child, 0);
       }
     } else {
@@ -67,14 +121,14 @@ void Backward(const Variable& root) {
       stack.pop_back();
     }
   }
-  // Seed with ones and propagate in reverse topological order.
-  root.impl()->EnsureGrad();
-  root.impl()->grad.Add(Tensor::Ones(root.value().shape()));
+  // Seed with ones and propagate in reverse topological order. All
+  // grad reads/writes go through GradSlot so an active redirect keeps
+  // the whole pass inside its private table.
+  GradSlot(root.impl().get()).Add(Tensor::Ones(root.value().shape()));
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     VarImpl* node = *it;
     if (node->backward_fn) {
-      node->EnsureGrad();
-      node->backward_fn(node->grad);
+      node->backward_fn(GradSlot(node));
     }
   }
 }
@@ -85,8 +139,7 @@ namespace {
 void Accum(const std::shared_ptr<VarImpl>& p, const Tensor& delta,
            float scale = 1.0f) {
   if (!p->requires_grad) return;
-  p->EnsureGrad();
-  p->grad.Add(delta, scale);
+  GradSlot(p.get()).Add(delta, scale);
 }
 
 }  // namespace
@@ -400,10 +453,10 @@ Variable EmbeddingLookup(const Variable& table, std::vector<int32_t> ids) {
   Tensor y = ops::EmbeddingLookup(table.value(), ids);
   return MakeOp(y, {table}, [pt, ids = std::move(ids)](const Tensor& g) {
     if (!pt->requires_grad) return;
-    pt->EnsureGrad();
+    Tensor& grad = GradSlot(pt.get());
     const int64_t d = pt->value.cols();
     for (size_t i = 0; i < ids.size(); ++i) {
-      float* dst = pt->grad.data() + static_cast<int64_t>(ids[i]) * d;
+      float* dst = grad.data() + static_cast<int64_t>(ids[i]) * d;
       const float* src = g.data() + static_cast<int64_t>(i) * d;
       for (int64_t j = 0; j < d; ++j) dst[j] += src[j];
     }
@@ -415,9 +468,8 @@ Variable SliceRows(const Variable& a, int64_t begin, int64_t end) {
   return MakeOp(ops::SliceRows(a.value(), begin, end), {a},
                 [pa, begin, end](const Tensor& g) {
                   if (!pa->requires_grad) return;
-                  pa->EnsureGrad();
                   const int64_t cols = pa->value.cols();
-                  float* dst = pa->grad.data() + begin * cols;
+                  float* dst = GradSlot(pa.get()).data() + begin * cols;
                   const float* src = g.data();
                   for (int64_t i = 0; i < (end - begin) * cols; ++i) {
                     dst[i] += src[i];
@@ -441,9 +493,8 @@ Variable ConcatRows(const std::vector<Variable>& parts) {
                     const int64_t r = p->value.rows();
                     const int64_t c = p->value.cols();
                     if (p->requires_grad) {
-                      p->EnsureGrad();
                       const float* src = g.data() + row * c;
-                      float* dst = p->grad.data();
+                      float* dst = GradSlot(p.get()).data();
                       for (int64_t i = 0; i < r * c; ++i) dst[i] += src[i];
                     }
                     row += r;

@@ -5,6 +5,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.h"
@@ -83,6 +84,59 @@ Variable MakeOp(Tensor value, std::vector<Variable> parents,
 /// Runs reverse-mode accumulation from `root` (any shape; the seed
 /// gradient is all-ones). Call ZeroGrad on parameters between steps.
 void Backward(const Variable& root);
+
+// -- Gradient redirection (deterministic data parallelism) --------------
+//
+// A GradTable is a private side-buffer for gradients: while a
+// ScopedGradRedirect is active on a thread, every gradient write that
+// Backward performs — including the in-place writers like
+// EmbeddingLookup — lands in the table instead of the shared
+// VarImpl::grad buffers. Worker threads each run backward into their
+// own table, and the caller folds the tables into the parameters in a
+// fixed order, making multi-threaded gradient accumulation both
+// race-free and bitwise reproducible.
+
+/// Maps graph nodes to private gradient buffers (created zeroed on
+/// first write).
+class GradTable {
+ public:
+  /// The redirected buffer for `node`, allocated on first use.
+  Tensor& Slot(internal::VarImpl* node);
+  /// The buffer for `node`, or null when backward never wrote it.
+  const Tensor* Find(const internal::VarImpl* node) const;
+
+  /// Keeps `node` alive as long as this table. Slots are keyed by raw
+  /// VarImpl address, so a graph whose nodes were freed while its
+  /// entries remain would let a later allocation reuse an address and
+  /// collide with a stale slot; Backward retains every redirected
+  /// graph here to rule that out.
+  void Retain(std::shared_ptr<internal::VarImpl> node);
+
+  size_t size() const { return slots_.size(); }
+
+ private:
+  std::unordered_map<const internal::VarImpl*, Tensor> slots_;
+  std::vector<std::shared_ptr<internal::VarImpl>> retained_;
+};
+
+/// RAII: routes this thread's gradient writes into `table` (nestable;
+/// the previous redirect target is restored on destruction).
+class ScopedGradRedirect {
+ public:
+  explicit ScopedGradRedirect(GradTable* table);
+  ~ScopedGradRedirect();
+  ScopedGradRedirect(const ScopedGradRedirect&) = delete;
+  ScopedGradRedirect& operator=(const ScopedGradRedirect&) = delete;
+
+ private:
+  GradTable* prev_;
+};
+
+/// Folds the gradients `table` recorded for `params` into their shared
+/// grad buffers, in list order. Call once per example, in example
+/// order, for determinism.
+void AccumulateGrads(const GradTable& table,
+                     const std::vector<Variable*>& params);
 
 // -- Differentiable ops (mirror tensor/ops.h) ---------------------------
 

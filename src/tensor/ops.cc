@@ -3,9 +3,23 @@
 #include <algorithm>
 #include <cmath>
 
+#include "runtime/runtime.h"
+
 namespace tabrep::ops {
 
 namespace {
+
+/// Row-partition grain for the matmul kernels: chunks sized so each
+/// covers roughly kMatMulChunkFlops multiply-adds, amortizing the
+/// pool's dispatch cost on small matrices. Chunk boundaries depend
+/// only on the shapes, keeping results bitwise identical at any
+/// thread count (rows write disjoint output).
+constexpr int64_t kMatMulChunkFlops = 1 << 15;
+
+int64_t MatMulGrain(int64_t k, int64_t n) {
+  const int64_t flops_per_row = std::max<int64_t>(k * n, 1);
+  return std::max<int64_t>(1, kMatMulChunkFlops / flops_per_row);
+}
 
 void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
   TABREP_CHECK(a.SameShape(b)) << op << ": shape mismatch "
@@ -104,16 +118,19 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = out.data();
-  // ikj loop order keeps the inner loop contiguous over B and C.
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float av = pa[i * k + kk];
-      if (av == 0.0f) continue;
-      const float* brow = pb + kk * n;
-      float* crow = pc + i * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+  // ikj loop order keeps the inner loop contiguous over B and C;
+  // output rows are disjoint, so row chunks parallelize exactly.
+  runtime::ParallelFor(0, m, MatMulGrain(k, n), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float av = pa[i * k + kk];
+        if (av == 0.0f) continue;
+        const float* brow = pb + kk * n;
+        float* crow = pc + i * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -126,15 +143,17 @@ Tensor MatMulTransposedB(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = out.data();
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    for (int64_t j = 0; j < n; ++j) {
-      const float* brow = pb + j * k;
-      float acc = 0.0f;
-      for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-      pc[i * n + j] = acc;
+  runtime::ParallelFor(0, m, MatMulGrain(k, n), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const float* arow = pa + i * k;
+      for (int64_t j = 0; j < n; ++j) {
+        const float* brow = pb + j * k;
+        float acc = 0.0f;
+        for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+        pc[i * n + j] = acc;
+      }
     }
-  }
+  });
   return out;
 }
 

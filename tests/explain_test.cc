@@ -57,7 +57,9 @@ TEST_F(ExplainFixture, RolloutIsADistribution) {
   Table t = MakeCountryDemoTable();
   TokenizedTable serialized = serializer_->Serialize(t);
   Rng rng(1);
-  models::Encoded enc = model_->Encode(serialized, rng, false, true);
+  models::Encoded enc = model_->Encode(serialized, rng,
+                                         {.need_cells = false,
+                                          .capture_attention = true});
   auto relevance = models::AttentionRollout(enc.attention, 0);
   ASSERT_EQ(relevance.size(), serialized.tokens.size());
   double total = 0;
@@ -74,7 +76,9 @@ TEST_F(ExplainFixture, TargetRetainsResidualRelevance) {
   Table t = MakeCountryDemoTable();
   TokenizedTable serialized = serializer_->Serialize(t);
   Rng rng(2);
-  models::Encoded enc = model_->Encode(serialized, rng, false, true);
+  models::Encoded enc = model_->Encode(serialized, rng,
+                                         {.need_cells = false,
+                                          .capture_attention = true});
   const int64_t target = serialized.size() / 2;
   auto relevance = models::AttentionRollout(enc.attention, target);
   EXPECT_GE(relevance[static_cast<size_t>(target)], 0.2);
@@ -112,7 +116,9 @@ TEST_F(ExplainFixture, TurlExplanationsRespectStructure) {
   Rng rng(4);
   const CellSpan* span = serialized.FindCell(1, 1);
   ASSERT_NE(span, nullptr);
-  models::Encoded enc = model_->Encode(serialized, rng, false, true);
+  models::Encoded enc = model_->Encode(serialized, rng,
+                                         {.need_cells = false,
+                                          .capture_attention = true});
   auto relevance = models::AttentionRollout(enc.attention, span->begin);
   double related = 0, unrelated = 0;
   for (size_t i = 0; i < serialized.tokens.size(); ++i) {

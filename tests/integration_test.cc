@@ -90,7 +90,7 @@ TEST_F(IntegrationFixture, PretrainCheckpointReloadFinetune) {
   FineTuneConfig fconfig;
   fconfig.steps = 30;
   fconfig.batch_size = 2;
-  ImputationTask task(&reloaded, serializer_, *corpus_, fconfig);
+  ImputationTask task(&reloaded, serializer_, fconfig, *corpus_);
   task.Train(*corpus_);
   const Table& t = corpus_->tables[0];
   // Find a categorical cell to predict.

@@ -142,8 +142,8 @@ TEST_P(FamilySweep, EncodeProducesFiniteHiddenAndCells) {
   model.SetTraining(false);
   Rng rng(3);
   TokenizedTable serialized = serializer_->Serialize(MakeCountryDemoTable());
-  models::Encoded enc = model.Encode(serialized, rng, /*need_cells=*/true,
-                                     /*capture_attention=*/true);
+  models::Encoded enc =
+      model.Encode(serialized, rng, {.capture_attention = true});
   EXPECT_EQ(enc.hidden.shape(),
             (std::vector<int64_t>{serialized.size(), config.transformer.dim}));
   ASSERT_TRUE(enc.has_cells);
@@ -211,8 +211,8 @@ TEST_F(ModelsFixture, TurlAttentionRespectsVisibility) {
   model.SetTraining(false);
   Rng rng(6);
   TokenizedTable serialized = serializer_->Serialize(MakeCountryDemoTable());
-  models::Encoded enc = model.Encode(serialized, rng, /*need_cells=*/false,
-                                     /*capture_attention=*/true);
+  models::Encoded enc = model.Encode(
+      serialized, rng, {.need_cells = false, .capture_attention = true});
   Tensor bias = BuildTurlVisibility(serialized);
   for (const Tensor& probs : enc.attention) {
     for (int64_t i = 0; i < probs.rows(); ++i) {
@@ -249,7 +249,7 @@ TEST_F(ModelsFixture, ClsAndPooledShapes) {
   model.SetTraining(false);
   Rng rng(8);
   TokenizedTable serialized = serializer_->Serialize(corpus_->tables[6]);
-  models::Encoded enc = model.Encode(serialized, rng, false);
+  models::Encoded enc = model.Encode(serialized, rng, {.need_cells = false});
   EXPECT_EQ(model.Cls(enc).shape(), (std::vector<int64_t>{1, 32}));
   EXPECT_EQ(model.Pooled(enc).shape(), (std::vector<int64_t>{1, 32}));
 }
@@ -262,7 +262,7 @@ TEST_F(ModelsFixture, MlmHeadShapesAndTying) {
   models::MlmHead head(&model, rng);
   head.SetTraining(false);
   TokenizedTable serialized = serializer_->Serialize(corpus_->tables[7]);
-  models::Encoded enc = model.Encode(serialized, rng, false);
+  models::Encoded enc = model.Encode(serialized, rng, {.need_cells = false});
   ag::Variable logits = head.Forward(enc.hidden);
   EXPECT_EQ(logits.shape(),
             (std::vector<int64_t>{serialized.size(), config.vocab_size}));
@@ -279,7 +279,7 @@ TEST_F(ModelsFixture, EntityHeadShape) {
   models::EntityRecoveryHead head(&model, rng);
   head.SetTraining(false);
   TokenizedTable serialized = serializer_->Serialize(corpus_->tables[8]);
-  models::Encoded enc = model.Encode(serialized, rng, true);
+  models::Encoded enc = model.Encode(serialized, rng);
   ASSERT_TRUE(enc.has_cells);
   ag::Variable logits = head.Forward(enc.cells);
   EXPECT_EQ(logits.shape()[1], config.entity_vocab_size);
@@ -292,7 +292,7 @@ TEST_F(ModelsFixture, CellSelectionHeadShape) {
   Rng rng(11);
   models::CellSelectionHead head(config.transformer.dim, rng);
   TokenizedTable serialized = serializer_->Serialize(corpus_->tables[9]);
-  models::Encoded enc = model.Encode(serialized, rng, true);
+  models::Encoded enc = model.Encode(serialized, rng);
   ASSERT_TRUE(enc.has_cells);
   ag::Variable logits = head.Forward(enc.cells);
   EXPECT_EQ(logits.shape(),

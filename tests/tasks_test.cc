@@ -71,7 +71,7 @@ TableSerializer* TasksFixture::serializer_ = nullptr;
 
 TEST_F(TasksFixture, ImputationCollectsExamples) {
   auto model = MakeModel(ModelFamily::kTapas);
-  ImputationTask task(model.get(), serializer_, *corpus_, QuickConfig());
+  ImputationTask task(model.get(), serializer_, QuickConfig(), *corpus_);
   EXPECT_GT(task.value_vocab_size(), 10);
   auto examples = task.CollectExamples(*corpus_, true);
   EXPECT_GT(examples.size(), 50u);
@@ -85,7 +85,7 @@ TEST_F(TasksFixture, ImputationLearnsAboveChance) {
   auto model = MakeModel(ModelFamily::kTapas);
   FineTuneConfig config = QuickConfig();
   config.steps = 100;
-  ImputationTask task(model.get(), serializer_, *corpus_, config);
+  ImputationTask task(model.get(), serializer_, config, *corpus_);
   task.Train(*corpus_);
   ClassificationReport r = task.Evaluate(*corpus_, 60);
   ASSERT_GT(r.total, 0);
@@ -98,7 +98,7 @@ TEST_F(TasksFixture, ImputationTopKContainsArgmaxAndGrowsHitRate) {
   auto model = MakeModel(ModelFamily::kTapas);
   FineTuneConfig config = QuickConfig();
   config.steps = 40;
-  ImputationTask task(model.get(), serializer_, *corpus_, config);
+  ImputationTask task(model.get(), serializer_, config, *corpus_);
   task.Train(*corpus_);
   const Table& t = corpus_->tables[0];
   // Find a categorical cell.
@@ -122,7 +122,7 @@ TEST_F(TasksFixture, ImputationTopKContainsArgmaxAndGrowsHitRate) {
 
 TEST_F(TasksFixture, ImputationPredictCellReturnsKnownValue) {
   auto model = MakeModel(ModelFamily::kVanilla);
-  ImputationTask task(model.get(), serializer_, *corpus_, QuickConfig());
+  ImputationTask task(model.get(), serializer_, QuickConfig(), *corpus_);
   Table t = MakeAwardsDemoTable();
   std::string predicted = task.PredictCell(t, 1, 1);  // missing Recipient
   // Untrained model: any in-vocabulary value (or empty on failure) is
@@ -262,7 +262,7 @@ TEST_F(TasksFixture, RetrievalTopKShape) {
 
 TEST_F(TasksFixture, ColumnAnnotationCollectsExamples) {
   auto model = MakeModel(ModelFamily::kTapas);
-  ColumnAnnotationTask task(model.get(), serializer_, *corpus_, QuickConfig());
+  ColumnAnnotationTask task(model.get(), serializer_, QuickConfig(), *corpus_);
   EXPECT_GT(task.num_labels(), 5);
   auto examples = task.CollectExamples(*corpus_);
   EXPECT_GT(examples.size(), 30u);
@@ -272,7 +272,7 @@ TEST_F(TasksFixture, ColumnAnnotationLearnsAboveChance) {
   auto model = MakeModel(ModelFamily::kTapas);
   FineTuneConfig config = QuickConfig();
   config.steps = 80;
-  ColumnAnnotationTask task(model.get(), serializer_, *corpus_, config);
+  ColumnAnnotationTask task(model.get(), serializer_, config, *corpus_);
   task.Train(*corpus_);
   ClassificationReport r = task.Evaluate(*corpus_, 60);
   ASSERT_GT(r.total, 0);
@@ -283,7 +283,7 @@ TEST_F(TasksFixture, ColumnAnnotationLearnsAboveChance) {
 
 TEST_F(TasksFixture, ColumnAnnotationPredictsFromContent) {
   auto model = MakeModel(ModelFamily::kVanilla);
-  ColumnAnnotationTask task(model.get(), serializer_, *corpus_, QuickConfig());
+  ColumnAnnotationTask task(model.get(), serializer_, QuickConfig(), *corpus_);
   std::string label = task.PredictColumn(MakeCountryDemoTable(), 0);
   if (!label.empty()) {
     bool known = false;
@@ -301,7 +301,7 @@ TEST_F(TasksFixture, FrozenEncoderOnlyTrainsHead) {
   config.freeze_encoder = true;
   // Snapshot encoder weights.
   TensorMap before = model->ExportStateDict();
-  ImputationTask task(model.get(), serializer_, *corpus_, config);
+  ImputationTask task(model.get(), serializer_, config, *corpus_);
   task.Train(*corpus_);
   TensorMap after = model->ExportStateDict();
   for (const auto& [name, tensor] : before) {
