@@ -28,6 +28,7 @@ constexpr ModelFamily kFamilies[] = {ModelFamily::kVanilla,
 
 int main() {
   PrintHeader("Fig. 2a", "Off-the-shelf model inputs and outputs (§3.1)");
+  EnableBenchObs();
   World w = MakeWorld();
 
   Table table = MakeCountryDemoTable();
@@ -96,5 +97,6 @@ int main() {
               "structural channels they add):\n%s",
               RenderTextTable({"model", "parameters"}, params).c_str());
   std::printf("\nbench_fig2a: OK\n");
+  WriteBenchObsReport("fig2a");
   return 0;
 }

@@ -45,6 +45,7 @@ PretrainEval ScoreSerialization(const World& w,
 
 int main() {
   PrintHeader("Fig. 2b", "Table processing and encoding (§3.2)");
+  EnableBenchObs();
   World w = MakeWorld();
 
   // -- (1) The structural-channel dump of the Fig. 2b example. ----------
@@ -145,5 +146,6 @@ int main() {
   std::printf("%s", RenderTextTable({"serialization", "mean tokens"}, lens)
                         .c_str());
   std::printf("\nbench_fig2b: OK\n");
+  WriteBenchObsReport("fig2b");
   return 0;
 }

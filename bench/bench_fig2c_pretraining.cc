@@ -65,6 +65,7 @@ AttentionBreakdown AnalyzeAttention(TableEncoderModel& model,
 
 int main() {
   PrintHeader("Fig. 2c", "Pretraining and output encoding (§3.3)");
+  EnableBenchObs();
   WorldOptions wopts;
   wopts.num_tables = 80;
   wopts.numeric_fraction = 0.1;  // entity-rich corpus for MER
@@ -85,9 +86,16 @@ int main() {
   pconfig.peak_lr = 2e-3f;
   pconfig.warmup_steps = 30;
   pconfig.use_mer = true;
+  // The live curve below and the one in examples/quickstart.cpp are
+  // rendered by the same trainer-internal StdoutSink code path.
+  pconfig.log_every = 100;
+  pconfig.eval_every = 250;
   PretrainTrainer trainer(&model, w.serializer.get(), pconfig);
   const double t0 = NowSeconds();
-  std::vector<PretrainLogEntry> curve = trainer.Train(w.train);
+  std::printf("\nLive curve (every %lld steps, eval every %lld):\n",
+              static_cast<long long>(pconfig.log_every),
+              static_cast<long long>(pconfig.eval_every));
+  std::vector<PretrainLogEntry> curve = trainer.Train(w.train, &w.test);
   const double train_time = NowSeconds() - t0;
 
   std::printf("\nTraining curve (TURL objectives: MLM + MER):\n");
@@ -181,5 +189,6 @@ int main() {
               "held-out tables: %.3f (1.0 = dense)\n",
               visible / 8);
   std::printf("\nbench_fig2c: OK\n");
+  WriteBenchObsReport("fig2c");
   return 0;
 }

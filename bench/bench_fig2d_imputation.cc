@@ -43,6 +43,7 @@ void PrintReports(const std::vector<EvalRow>& rows) {
 
 int main() {
   PrintHeader("Fig. 2d", "Fine-tuning for data imputation + analysis (§3.4)");
+  EnableBenchObs();
   WorldOptions wopts;
   wopts.num_tables = 80;
   wopts.numeric_fraction = 0.15;
@@ -192,5 +193,6 @@ int main() {
               "categorical cells beat non-recurring numeric cells; headerless "
               "tables degrade.\n");
   std::printf("\nbench_fig2d: OK\n");
+  WriteBenchObsReport("fig2d");
   return 0;
 }

@@ -40,6 +40,7 @@ struct TaskScores {
 
 int main() {
   PrintHeader("T1", "Model family x downstream task comparison (§2.3)");
+  EnableBenchObs();
   WorldOptions wopts;
   wopts.num_tables = 48;
   wopts.numeric_fraction = 0.1;
@@ -141,5 +142,6 @@ int main() {
                   ? "structure-aware wins (the survey's claim)"
                   : "vanilla wins (unexpected at paper scale)");
   std::printf("\nbench_t1: OK\n");
+  WriteBenchObsReport("t1");
   return 0;
 }

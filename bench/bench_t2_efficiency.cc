@@ -64,6 +64,7 @@ double TimeKernel(const std::function<void()>& fn, int reps) {
 
 int main() {
   PrintHeader("T2", "Dense vs structure-sparse attention efficiency (§2.4)");
+  EnableBenchObs();
   World w = MakeWorld();
   const int64_t d = 64;
   Rng rng(9);
@@ -136,5 +137,6 @@ int main() {
                 dense.AllClose(sparse, 1e-3f) ? "MATCH" : "MISMATCH");
   }
   std::printf("\nbench_t2: OK\n");
+  WriteBenchObsReport("t2");
   return 0;
 }

@@ -41,6 +41,7 @@ constexpr ModelFamily kFamilies[] = {ModelFamily::kVanilla,
 
 int main() {
   PrintHeader("T3", "Representation-consistency probes (§2.4)");
+  EnableBenchObs();
   WorldOptions wopts;
   wopts.num_tables = 48;
   World w = MakeWorld(wopts);
@@ -81,5 +82,6 @@ int main() {
               "invariance probes than vanilla; all families sensitive to "
               "value replacement.\n");
   std::printf("\nbench_t3: OK\n");
+  WriteBenchObsReport("t3");
   return 0;
 }

@@ -27,6 +27,7 @@ using namespace tabrep::bench;
 
 int main() {
   PrintHeader("T4", "Neural SQL execution (TAPEX-style pretraining)");
+  EnableBenchObs();
   WorldOptions wopts;
   wopts.num_tables = 48;
   wopts.numeric_fraction = 0.15;
@@ -87,5 +88,6 @@ int main() {
   std::printf("\nExpected shape: fit > fresh-query > held-out-table >> "
               "no-query control ~ random baseline.\n");
   std::printf("\nbench_t4: OK\n");
+  WriteBenchObsReport("t4");
   return 0;
 }

@@ -51,6 +51,7 @@ TableCorpus CorruptCorpus(const TableCorpus& corpus, double severity,
 
 int main() {
   PrintHeader("T5", "Dirty-data robustness (corruption sweeps)");
+  EnableBenchObs();
   WorldOptions wopts;
   wopts.num_tables = 40;
   World w = MakeWorld(wopts);
@@ -128,5 +129,6 @@ int main() {
   std::printf("\nExpected shape: matcher accuracy degrades smoothly with "
               "severity; embedding similarity decreases monotonically.\n");
   std::printf("\nbench_t5: OK\n");
+  WriteBenchObsReport("t5");
   return 0;
 }

@@ -68,6 +68,7 @@ std::vector<RetrievalExample> CorruptQueries(
 
 int main() {
   PrintHeader("T6", "Table retrieval: neural bi-encoder vs BM25 (§2.1)");
+  EnableBenchObs();
   WorldOptions wopts;
   wopts.num_tables = 50;
   World w = MakeWorld(wopts);
@@ -121,5 +122,6 @@ int main() {
               bm25_drop, neural_drop,
               neural_drop <= bm25_drop ? "bi-encoder" : "BM25");
   std::printf("\nbench_t6: OK\n");
+  WriteBenchObsReport("t6");
   return 0;
 }

@@ -7,10 +7,13 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 
 #include "models/table_encoder.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "serialize/serializer.h"
 #include "serialize/vocab_builder.h"
 #include "table/synth.h"
@@ -91,6 +94,48 @@ inline void PrintHeader(const char* id, const char* title) {
   std::printf("\n==============================================================\n");
   std::printf("%s — %s\n", id, title);
   std::printf("==============================================================\n");
+}
+
+/// Turns tracing on for a bench run (when compiled in), honoring an
+/// explicit TABREP_TRACE=0/off opt-out. Tracing only observes, so the
+/// numbers a bench prints are identical either way.
+inline void EnableBenchObs() {
+  if (!obs::TracingCompiledIn()) return;
+  const char* env = std::getenv("TABREP_TRACE");
+  if (env != nullptr) {
+    const std::string v(env);
+    if (v == "0" || v == "false" || v == "off") return;
+  }
+  obs::SetTracingEnabled(true);
+}
+
+/// Dumps the machine-readable observability artifacts for a bench:
+///   BENCH_<id>.json       — metrics registry + per-op profile
+///   BENCH_<id>.trace.json — chrome://tracing timeline (if tracing ran)
+/// and prints the aggregated per-op profile table.
+inline void WriteBenchObsReport(const char* id) {
+  const std::string profile = obs::ProfileTableText();
+  if (!profile.empty()) {
+    std::printf("\nPer-op profile (self = excluding nested spans):\n%s",
+                profile.c_str());
+  }
+  const std::string report_path = std::string("BENCH_") + id + ".json";
+  Status s = obs::WriteReport(id, report_path);
+  if (s.ok()) {
+    std::printf("\nobs report: %s\n", report_path.c_str());
+  } else {
+    std::printf("\nobs report failed: %s\n", s.ToString().c_str());
+  }
+  if (obs::TracingCompiledIn() && obs::TracingEnabled()) {
+    const std::string trace_path = std::string("BENCH_") + id + ".trace.json";
+    s = obs::WriteChromeTrace(trace_path);
+    if (s.ok()) {
+      std::printf("chrome trace: %s (load via chrome://tracing)\n",
+                  trace_path.c_str());
+    } else {
+      std::printf("chrome trace failed: %s\n", s.ToString().c_str());
+    }
+  }
 }
 
 }  // namespace tabrep::bench

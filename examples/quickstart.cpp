@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "models/table_encoder.h"
+#include "pretrain/trainer.h"
 #include "serialize/serializer.h"
 #include "serialize/vocab_builder.h"
 #include "table/csv.h"
@@ -86,6 +87,25 @@ int main() {
   }
   std::printf("Most similar corpus table: %s, cosine %.3f\n",
               best_id.c_str(), best_sim);
+
+  // --- 5. A taste of pretraining, with telemetry. -----------------------
+  // The trainer emits its curve through an obs::MetricsSink; with only
+  // log_every set it uses an internal StdoutSink — the exact rendering
+  // bench_fig2c_pretraining prints, just fewer steps.
+  Rng split_rng(7);
+  auto [train_split, heldout] = corpus.Split(0.25, split_rng);
+  std::printf("\nPretraining (MLM) on %lld tables, %lld held out:\n",
+              static_cast<long long>(train_split.size()),
+              static_cast<long long>(heldout.size()));
+  TableEncoderModel pretrain_model(config);
+  PretrainConfig pconfig;
+  pconfig.steps = 40;
+  pconfig.batch_size = 2;
+  pconfig.log_every = 10;
+  pconfig.eval_every = 20;
+  PretrainTrainer trainer(&pretrain_model, &serializer, pconfig);
+  trainer.Train(train_split, &heldout);
+
   std::printf("\nquickstart: OK\n");
   return 0;
 }

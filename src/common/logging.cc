@@ -1,11 +1,15 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cstring>
+#include <mutex>
 
 namespace tabrep {
 
 namespace {
+
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+std::once_flag g_env_once;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -20,10 +24,56 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+bool ParseLevel(const char* text, LogLevel* out) {
+  if (std::strcmp(text, "debug") == 0) {
+    *out = LogLevel::kDebug;
+  } else if (std::strcmp(text, "info") == 0) {
+    *out = LogLevel::kInfo;
+  } else if (std::strcmp(text, "warning") == 0 ||
+             std::strcmp(text, "warn") == 0) {
+    *out = LogLevel::kWarning;
+  } else if (std::strcmp(text, "error") == 0) {
+    *out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// TABREP_LOG_LEVEL is consulted exactly once, before the first read
+/// of the level; call_once makes the init safe against concurrent
+/// first logs from pool threads. SetLogLevel takes precedence simply
+/// by storing later (and marks the env as consumed so a subsequent
+/// first GetLogLevel cannot overwrite it).
+void InitFromEnvOnce() {
+  std::call_once(g_env_once, [] {
+    const char* env = std::getenv("TABREP_LOG_LEVEL");
+    LogLevel parsed;
+    if (env != nullptr && ParseLevel(env, &parsed)) {
+      g_log_level.store(static_cast<int>(parsed), std::memory_order_relaxed);
+    } else if (env != nullptr) {
+      std::fprintf(stderr,
+                   "[WARN logging] unrecognized TABREP_LOG_LEVEL '%s' "
+                   "(expected debug/info/warning/error)\n",
+                   env);
+    }
+  });
+}
+
 }  // namespace
 
-LogLevel GetLogLevel() { return static_cast<LogLevel>(g_log_level.load()); }
-void SetLogLevel(LogLevel level) { g_log_level.store(static_cast<int>(level)); }
+LogLevel GetLogLevel() {
+  InitFromEnvOnce();
+  return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
+
+void SetLogLevel(LogLevel level) {
+  // Consume the env first so a racing GetLogLevel's init cannot land
+  // after (and override) this explicit store.
+  InitFromEnvOnce();
+  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
 
 namespace internal_logging {
 

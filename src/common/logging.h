@@ -11,7 +11,11 @@ namespace tabrep {
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
 /// Minimum level that is actually emitted; messages below it are
-/// dropped. Defaults to kInfo.
+/// dropped. Precedence: SetLogLevel wins once called; otherwise the
+/// TABREP_LOG_LEVEL environment variable (debug/info/warning/error),
+/// read exactly once at first use; otherwise kInfo. Both accessors are
+/// atomic and safe to call concurrently with logging from pool
+/// threads.
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/runtime.h"
 
 namespace tabrep::nn {
@@ -32,6 +34,13 @@ ag::Variable MultiHeadSelfAttention::Forward(const ag::Variable& x,
                                              const AttentionBias* bias,
                                              Rng& rng,
                                              Tensor* attn_probs_out) {
+  TABREP_TRACE_SPAN("nn.attention");
+  static obs::Counter& calls =
+      obs::Registry::Get().counter("tabrep.nn.attention.calls");
+  static obs::Histogram& duration_us =
+      obs::Registry::Get().histogram("tabrep.nn.attention.us");
+  calls.Increment();
+  obs::ScopedTimer timer(duration_us);
   const int64_t t = x.value().rows();
   const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
   if (bias) {

@@ -1,5 +1,7 @@
 #include "nn/data_parallel.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/runtime.h"
 
 namespace tabrep::nn {
@@ -28,6 +30,13 @@ void ParallelBatch(int64_t count, const std::vector<ag::Variable*>& params,
                    const Rng& seed_rng,
                    const std::function<void(int64_t, Rng&)>& fn) {
   if (count <= 0) return;
+  TABREP_TRACE_SPAN("nn.parallel_batch");
+  static obs::Counter& examples =
+      obs::Registry::Get().counter("tabrep.nn.parallel_batch.examples");
+  static obs::Histogram& duration_us =
+      obs::Registry::Get().histogram("tabrep.nn.parallel_batch.us");
+  examples.Increment(static_cast<uint64_t>(count));
+  obs::ScopedTimer timer(duration_us);
   const std::vector<uint64_t> seeds = DeriveSeeds(count, seed_rng, kBatchStream);
   std::vector<ag::GradTable> tables(static_cast<size_t>(count));
   runtime::ParallelFor(0, count, 1, [&](int64_t lo, int64_t hi) {
@@ -45,6 +54,10 @@ void ParallelBatch(int64_t count, const std::vector<ag::Variable*>& params,
 void ParallelExamples(int64_t count, const Rng& seed_rng,
                       const std::function<void(int64_t, Rng&)>& fn) {
   if (count <= 0) return;
+  TABREP_TRACE_SPAN("nn.parallel_examples");
+  static obs::Counter& examples =
+      obs::Registry::Get().counter("tabrep.nn.parallel_examples.examples");
+  examples.Increment(static_cast<uint64_t>(count));
   const std::vector<uint64_t> seeds =
       DeriveSeeds(count, seed_rng, kExamplesStream);
   runtime::ParallelFor(0, count, 1, [&](int64_t lo, int64_t hi) {

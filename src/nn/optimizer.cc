@@ -2,7 +2,27 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace tabrep::nn {
+
+namespace {
+
+/// Shared instruments for every optimizer flavor.
+void CountOptimizerStep() {
+  static obs::Counter& steps =
+      obs::Registry::Get().counter("tabrep.nn.optimizer.steps");
+  steps.Increment();
+}
+
+obs::Histogram& OptimizerStepHistogram() {
+  static obs::Histogram& duration_us =
+      obs::Registry::Get().histogram("tabrep.nn.optimizer.step.us");
+  return duration_us;
+}
+
+}  // namespace
 
 void Optimizer::ZeroGrad() {
   for (ag::Variable* p : params_) p->ZeroGrad();
@@ -19,6 +39,9 @@ Sgd::Sgd(std::vector<ag::Variable*> params, float lr, float momentum)
 }
 
 void Sgd::Step() {
+  TABREP_TRACE_SPAN("nn.optimizer.step");
+  CountOptimizerStep();
+  obs::ScopedTimer timer(OptimizerStepHistogram());
   for (size_t i = 0; i < params_.size(); ++i) {
     ag::Variable* p = params_[i];
     const Tensor& g = p->grad();
@@ -44,6 +67,9 @@ Adam::Adam(std::vector<ag::Variable*> params, float lr, AdamOptions options)
 }
 
 void Adam::Step() {
+  TABREP_TRACE_SPAN("nn.optimizer.step");
+  CountOptimizerStep();
+  obs::ScopedTimer timer(OptimizerStepHistogram());
   ++step_;
   const float b1 = options_.beta1;
   const float b2 = options_.beta2;

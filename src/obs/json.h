@@ -1,0 +1,25 @@
+#ifndef TABREP_OBS_JSON_H_
+#define TABREP_OBS_JSON_H_
+
+#include <string>
+#include <string_view>
+
+namespace tabrep::obs {
+
+/// Escapes `s` for embedding inside a JSON string literal (quotes not
+/// included). Control characters become \uXXXX.
+std::string JsonEscape(std::string_view s);
+
+/// Renders a double as a JSON number. NaN/Inf (not representable in
+/// JSON) are emitted as 0 so exported files always stay loadable.
+std::string JsonNumber(double v);
+
+/// Minimal JSON well-formedness check (RFC 8259 grammar: objects,
+/// arrays, strings, numbers, true/false/null; no extensions). Used by
+/// tests to validate chrome-trace exports and JSONL sink lines without
+/// a third-party parser.
+bool JsonLint(std::string_view text);
+
+}  // namespace tabrep::obs
+
+#endif  // TABREP_OBS_JSON_H_

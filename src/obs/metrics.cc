@@ -1,0 +1,211 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "obs/json.h"
+
+namespace tabrep::obs {
+
+namespace {
+
+/// Bucket b holds values in [2^(b-17), 2^(b-16)); out-of-range values
+/// clamp to the end buckets. Non-positive values land in bucket 0.
+int BucketIndex(double value) {
+  if (!(value > 0.0) || !std::isfinite(value)) return 0;
+  int exp = 0;
+  std::frexp(value, &exp);  // value = m * 2^exp, m in [0.5, 1)
+  return std::clamp(exp + 16, 0, Histogram::kNumBuckets - 1);
+}
+
+double BucketLower(int b) { return std::ldexp(1.0, b - 17); }
+double BucketUpper(int b) { return std::ldexp(1.0, b - 16); }
+
+void AtomicMin(std::atomic<double>& slot, double v) {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (v < cur && !slot.compare_exchange_weak(cur, v,
+                                                std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>& slot, double v) {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (v > cur && !slot.compare_exchange_weak(cur, v,
+                                                std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Histogram::Record(double value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(std::isfinite(value) ? value : 0.0,
+                 std::memory_order_relaxed);
+  AtomicMin(min_, value);
+  AtomicMax(max_, value);
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+HistogramStats Histogram::Stats() const {
+  HistogramStats stats;
+  uint64_t counts[kNumBuckets];
+  uint64_t total = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    counts[b] = buckets_[b].load(std::memory_order_relaxed);
+    total += counts[b];
+  }
+  if (total == 0) return stats;
+  stats.count = total;
+  stats.sum = sum_.load(std::memory_order_relaxed);
+  stats.mean = stats.sum / static_cast<double>(total);
+  stats.min = min_.load(std::memory_order_relaxed);
+  stats.max = max_.load(std::memory_order_relaxed);
+
+  const auto percentile = [&](double p) {
+    const double target = p * static_cast<double>(total);
+    uint64_t seen = 0;
+    for (int b = 0; b < kNumBuckets; ++b) {
+      if (counts[b] == 0) continue;
+      const double next = static_cast<double>(seen + counts[b]);
+      if (next >= target) {
+        // Linear interpolation inside the bucket, clamped to observed
+        // extremes so single-bucket histograms report exact values.
+        const double frac =
+            (target - static_cast<double>(seen)) /
+            static_cast<double>(counts[b]);
+        const double v = BucketLower(b) +
+                         frac * (BucketUpper(b) - BucketLower(b));
+        return std::clamp(v, stats.min, stats.max);
+      }
+      seen += counts[b];
+    }
+    return stats.max;
+  };
+  stats.p50 = percentile(0.50);
+  stats.p95 = percentile(0.95);
+  stats.p99 = percentile(0.99);
+  return stats;
+}
+
+Registry& Registry::Get() {
+  static Registry* registry = new Registry();  // never destroyed
+  return *registry;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TABREP_CHECK(gauges_.find(name) == gauges_.end() &&
+               histograms_.find(name) == histograms_.end())
+      << "metric name reused with a different kind: " << name;
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TABREP_CHECK(counters_.find(name) == counters_.end() &&
+               histograms_.find(name) == histograms_.end())
+      << "metric name reused with a different kind: " << name;
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TABREP_CHECK(counters_.find(name) == counters_.end() &&
+               gauges_.find(name) == gauges_.end())
+      << "metric name reused with a different kind: " << name;
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<std::pair<std::string, uint64_t>> Registry::CounterValues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> Registry::GaugeValues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.emplace_back(name, g->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, HistogramStats>> Registry::HistogramValues()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, HistogramStats>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) out.emplace_back(name, h->Stats());
+  return out;
+}
+
+std::string Registry::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : CounterValues()) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + JsonEscape(name) + "\":" + std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : GaugeValues()) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + JsonEscape(name) + "\":" + JsonNumber(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, stats] : HistogramValues()) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + JsonEscape(name) + "\":{";
+    out += "\"count\":" + std::to_string(stats.count);
+    out += ",\"sum\":" + JsonNumber(stats.sum);
+    out += ",\"mean\":" + JsonNumber(stats.mean);
+    out += ",\"min\":" + JsonNumber(stats.count ? stats.min : 0.0);
+    out += ",\"max\":" + JsonNumber(stats.count ? stats.max : 0.0);
+    out += ",\"p50\":" + JsonNumber(stats.p50);
+    out += ",\"p95\":" + JsonNumber(stats.p95);
+    out += ",\"p99\":" + JsonNumber(stats.p99);
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+void Registry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) c->Reset();
+  for (const auto& [name, g] : gauges_) g->Reset();
+  for (const auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace tabrep::obs

@@ -1,0 +1,149 @@
+#ifndef TABREP_OBS_METRICS_H_
+#define TABREP_OBS_METRICS_H_
+
+// Process-wide metrics registry: counters, gauges and fixed-bucket
+// histograms addressable by dotted name ("tabrep.<subsystem>.<name>").
+// Increment/record paths are pure atomics — no locks — so instruments
+// may sit inside MatMul rows or ParallelFor chunks. Registry lookup
+// takes a mutex; hot paths cache the returned reference:
+//
+//   static obs::Counter& calls =
+//       obs::Registry::Get().counter("tabrep.ops.matmul.calls");
+//   calls.Increment();
+//
+// Registered instruments are never removed, so cached references stay
+// valid for the process lifetime (ResetAll zeroes values in place).
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tabrep::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Summary statistics computed from a histogram's bucket counts.
+struct HistogramStats {
+  uint64_t count = 0;
+  double sum = 0.0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Fixed power-of-two-bucket histogram over positive values (the
+/// library records durations in microseconds). Record() is a handful
+/// of relaxed atomic ops; percentiles are estimated by linear
+/// interpolation inside the selected bucket and clamped to the
+/// observed [min, max].
+class Histogram {
+ public:
+  /// Buckets cover [2^-16, 2^47); values outside clamp to the ends.
+  static constexpr int kNumBuckets = 64;
+
+  void Record(double value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  HistogramStats Stats() const;
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  // +/-inf sentinels; meaningful only once count_ > 0.
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// RAII timer recording its scope's wall time, in microseconds, into a
+/// histogram on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& histogram)
+      : histogram_(histogram), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    const auto end = std::chrono::steady_clock::now();
+    histogram_.Record(
+        std::chrono::duration<double, std::micro>(end - start_).count());
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram& histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// The process-wide instrument registry.
+class Registry {
+ public:
+  static Registry& Get();
+
+  /// Finds or creates the named instrument. The reference is valid for
+  /// the process lifetime. A name addresses exactly one instrument
+  /// kind; reusing it with a different kind is a programming error
+  /// (checked).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Name-sorted snapshots for export.
+  std::vector<std::pair<std::string, uint64_t>> CounterValues() const;
+  std::vector<std::pair<std::string, double>> GaugeValues() const;
+  std::vector<std::pair<std::string, HistogramStats>> HistogramValues() const;
+
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":
+  /// {name:{count,sum,mean,min,max,p50,p95,p99},...}}.
+  std::string ToJson() const;
+
+  /// Zeroes every registered instrument in place (benches and tests
+  /// isolate phases this way). Cached references stay valid.
+  void ResetAll();
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace tabrep::obs
+
+#endif  // TABREP_OBS_METRICS_H_

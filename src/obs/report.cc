@@ -1,0 +1,34 @@
+#include "obs/report.h"
+
+#include <cstdio>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace tabrep::obs {
+
+std::string ReportJson(const std::string& label) {
+  // Registry::ToJson() returns "{...}"; splice the label and profile
+  // into the same object.
+  std::string registry = Registry::Get().ToJson();
+  std::string out = "{\"label\":\"" + JsonEscape(label) + "\",";
+  out += registry.substr(1, registry.size() - 2);
+  out += ",\"tracing_enabled\":";
+  out += TracingEnabled() ? "true" : "false";
+  out += ",\"profile\":" + ProfileJson();
+  out += '}';
+  return out;
+}
+
+Status WriteReport(const std::string& label, const std::string& path) {
+  const std::string json = ReportJson(label);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+}  // namespace tabrep::obs

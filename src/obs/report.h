@@ -1,0 +1,24 @@
+#ifndef TABREP_OBS_REPORT_H_
+#define TABREP_OBS_REPORT_H_
+
+// Machine-readable observability reports: a single JSON document
+// combining the metrics registry (counters / gauges / histogram
+// stats) with the aggregated tracing profile. The benches write one
+// next to their printed tables (BENCH_<id>.json) so run-to-run
+// trajectories can be diffed.
+
+#include <string>
+
+#include "common/status.h"
+
+namespace tabrep::obs {
+
+/// {"label":...,"counters":{...},"gauges":{...},"histograms":{...},
+///  "profile":[...]} — registry snapshot plus tracing profile.
+std::string ReportJson(const std::string& label);
+
+Status WriteReport(const std::string& label, const std::string& path);
+
+}  // namespace tabrep::obs
+
+#endif  // TABREP_OBS_REPORT_H_

@@ -1,0 +1,95 @@
+#include "obs/sink.h"
+
+#include "obs/json.h"
+
+namespace tabrep::obs {
+
+double StepRecord::Get(std::string_view name, double fallback) const {
+  for (const Field& f : fields) {
+    if (f.name == name) return f.value;
+  }
+  return fallback;
+}
+
+StdoutSink::StdoutSink(int64_t every, std::FILE* out)
+    : every_(every < 1 ? 1 : every), out_(out) {}
+
+std::string StdoutSink::Render(const StepRecord& record) {
+  std::string line = "  " + record.stream + " step " +
+                     std::to_string(record.step);
+  char buf[64];
+  for (const Field& f : record.fields) {
+    std::snprintf(buf, sizeof(buf), "  %s %.*g", f.name.c_str(), f.precision,
+                  f.value);
+    line += buf;
+  }
+  return line;
+}
+
+void StdoutSink::Record(const StepRecord& record) {
+  // Decimate only plain step streams; eval rows are rare and always
+  // worth printing.
+  const bool is_eval = record.stream.find(".eval") != std::string::npos;
+  if (!is_eval && record.step % every_ != 0) return;
+  const std::string line = Render(record);
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fprintf(out_, "%s\n", line.c_str());
+}
+
+void StdoutSink::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fflush(out_);
+}
+
+JsonlSink::JsonlSink(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "w");
+  if (file_ == nullptr) status_ = Status::IOError("cannot open " + path);
+}
+
+JsonlSink::~JsonlSink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+std::string JsonlSink::Render(const StepRecord& record) {
+  std::string line = "{\"stream\":\"" + JsonEscape(record.stream) +
+                     "\",\"step\":" + std::to_string(record.step);
+  for (const Field& f : record.fields) {
+    line += ",\"" + JsonEscape(f.name) + "\":" + JsonNumber(f.value);
+  }
+  line += '}';
+  return line;
+}
+
+void JsonlSink::Record(const StepRecord& record) {
+  const std::string line = Render(record);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return;
+  if (std::fprintf(file_, "%s\n", line.c_str()) < 0) {
+    status_ = Status::IOError("write failed");
+  }
+}
+
+void JsonlSink::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) std::fflush(file_);
+}
+
+void MemorySink::Record(const StepRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.push_back(record);
+}
+
+std::vector<StepRecord> MemorySink::records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+void FanoutSink::Record(const StepRecord& record) {
+  for (MetricsSink* sink : sinks_) sink->Record(record);
+}
+
+void FanoutSink::Flush() {
+  for (MetricsSink* sink : sinks_) sink->Flush();
+}
+
+}  // namespace tabrep::obs

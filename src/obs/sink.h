@@ -1,0 +1,121 @@
+#ifndef TABREP_OBS_SINK_H_
+#define TABREP_OBS_SINK_H_
+
+// Structured training telemetry: trainers and fine-tuners emit one
+// StepRecord per optimizer step (and per held-out eval) through a
+// MetricsSink instead of bespoke printf logging. Sinks render to
+// stdout, append JSONL, buffer in memory (tests), or fan out.
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tabrep::obs {
+
+/// One named numeric field of a step record.
+struct Field {
+  std::string name;
+  double value = 0.0;
+  /// Significant digits when rendered for humans.
+  int precision = 4;
+};
+
+/// One telemetry row: a training step, an eval point, etc. `stream`
+/// namespaces the record ("pretrain", "pretrain.eval",
+/// "finetune.imputation", ...).
+struct StepRecord {
+  std::string stream;
+  int64_t step = 0;
+  std::vector<Field> fields;
+
+  StepRecord() = default;
+  StepRecord(std::string stream_name, int64_t step_index)
+      : stream(std::move(stream_name)), step(step_index) {}
+
+  StepRecord& Add(std::string name, double value, int precision = 4) {
+    fields.push_back({std::move(name), value, precision});
+    return *this;
+  }
+  /// The named field's value, or `fallback` when absent.
+  double Get(std::string_view name, double fallback = 0.0) const;
+};
+
+/// Receiver of step records. Implementations must tolerate concurrent
+/// Record calls (training code may emit from helper threads).
+class MetricsSink {
+ public:
+  virtual ~MetricsSink() = default;
+  virtual void Record(const StepRecord& record) = 0;
+  virtual void Flush() {}
+};
+
+/// Renders "  <stream> step <n>  k v  k v ..." lines to a FILE*
+/// (stdout by default), emitting only every `every`-th step per stream
+/// (eval/non-step streams always print).
+class StdoutSink : public MetricsSink {
+ public:
+  explicit StdoutSink(int64_t every = 1, std::FILE* out = stdout);
+  void Record(const StepRecord& record) override;
+  void Flush() override;
+
+  /// The rendering used for each line; exposed so callers (and tests)
+  /// can produce identical curves without a sink.
+  static std::string Render(const StepRecord& record);
+
+ private:
+  int64_t every_;
+  std::FILE* out_;
+  std::mutex mu_;
+};
+
+/// Appends one JSON object per record:
+///   {"stream":"pretrain","step":3,"mlm_loss":5.1,...}
+class JsonlSink : public MetricsSink {
+ public:
+  explicit JsonlSink(const std::string& path);
+  ~JsonlSink() override;
+  void Record(const StepRecord& record) override;
+  void Flush() override;
+
+  /// Non-OK when the file could not be opened or written.
+  const Status& status() const { return status_; }
+
+  static std::string Render(const StepRecord& record);
+
+ private:
+  std::FILE* file_ = nullptr;
+  Status status_;
+  std::mutex mu_;
+};
+
+/// Buffers records in memory; tests and benches read them back.
+class MemorySink : public MetricsSink {
+ public:
+  void Record(const StepRecord& record) override;
+  std::vector<StepRecord> records() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<StepRecord> records_;
+};
+
+/// Forwards each record to every child sink (none owned).
+class FanoutSink : public MetricsSink {
+ public:
+  explicit FanoutSink(std::vector<MetricsSink*> sinks)
+      : sinks_(std::move(sinks)) {}
+  void Record(const StepRecord& record) override;
+  void Flush() override;
+
+ private:
+  std::vector<MetricsSink*> sinks_;
+};
+
+}  // namespace tabrep::obs
+
+#endif  // TABREP_OBS_SINK_H_

@@ -1,0 +1,245 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "obs/json.h"
+
+namespace tabrep::obs {
+
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// One thread's recording state. `events` is shared with exporters
+/// (guarded by `mu`); the open-span stack is owner-thread-only.
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;  // guarded by mu
+  uint32_t lane = 0;
+  std::vector<uint64_t> open_child_ns;  // child time per open span
+};
+
+struct TraceState {
+  std::mutex mu;
+  // shared_ptr keeps buffers of exited threads exportable.
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+};
+
+TraceState& State() {
+  static TraceState* state = new TraceState();  // never destroyed
+  return *state;
+}
+
+ThreadBuffer& LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    TraceState& state = State();
+    std::lock_guard<std::mutex> lock(state.mu);
+    b->lane = static_cast<uint32_t>(state.buffers.size());
+    state.buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+bool EnvRequestsTracing() {
+  const char* env = std::getenv("TABREP_TRACE");
+  if (env == nullptr) return false;
+  return std::strcmp(env, "1") == 0 || std::strcmp(env, "true") == 0 ||
+         std::strcmp(env, "on") == 0;
+}
+
+}  // namespace
+
+namespace internal_trace {
+
+std::atomic<bool> g_enabled{TracingCompiledIn() && EnvRequestsTracing()};
+
+void BeginSpan(const char* name, uint64_t* start_ns_out) {
+  (void)name;
+  ThreadBuffer& buf = LocalBuffer();
+  buf.open_child_ns.push_back(0);
+  *start_ns_out = NowNs();
+}
+
+void EndSpan(const char* name, uint64_t start_ns) {
+  const uint64_t end_ns = NowNs();
+  ThreadBuffer& buf = LocalBuffer();
+  TraceEvent ev;
+  ev.name = name;
+  ev.start_ns = start_ns;
+  ev.duration_ns = end_ns > start_ns ? end_ns - start_ns : 0;
+  ev.lane = buf.lane;
+  if (!buf.open_child_ns.empty()) {
+    ev.child_ns = buf.open_child_ns.back();
+    buf.open_child_ns.pop_back();
+  }
+  ev.depth = static_cast<uint32_t>(buf.open_child_ns.size());
+  if (!buf.open_child_ns.empty()) {
+    buf.open_child_ns.back() += ev.duration_ns;
+  }
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.events.push_back(ev);
+}
+
+}  // namespace internal_trace
+
+void SetTracingEnabled(bool enabled) {
+  internal_trace::g_enabled.store(TracingCompiledIn() && enabled,
+                                  std::memory_order_relaxed);
+}
+
+bool TracingEnabled() {
+  return internal_trace::g_enabled.load(std::memory_order_relaxed);
+}
+
+void ClearTrace() {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  for (const auto& buf : state.buffers) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    buf->events.clear();
+  }
+}
+
+std::vector<TraceEvent> CollectTrace() {
+  std::vector<TraceEvent> out;
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  for (const auto& buf : state.buffers) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    out.insert(out.end(), buf->events.begin(), buf->events.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.lane != b.lane) return a.lane < b.lane;
+              return a.start_ns < b.start_ns;
+            });
+  return out;
+}
+
+std::string ChromeTraceJson() {
+  const std::vector<TraceEvent> events = CollectTrace();
+  uint64_t t0 = 0;
+  for (const TraceEvent& e : events) {
+    if (t0 == 0 || e.start_ns < t0) t0 = e.start_ns;
+  }
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"" + JsonEscape(e.name) +
+           "\",\"cat\":\"tabrep\",\"ph\":\"X\",\"pid\":1,\"tid\":" +
+           std::to_string(e.lane) +
+           ",\"ts\":" + JsonNumber(static_cast<double>(e.start_ns - t0) / 1e3) +
+           ",\"dur\":" + JsonNumber(static_cast<double>(e.duration_ns) / 1e3) +
+           '}';
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+Status WriteChromeTrace(const std::string& path) {
+  const std::string json = ChromeTraceJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+std::vector<OpProfile> ProfileTable() {
+  struct Agg {
+    std::vector<uint64_t> durations_ns;
+    uint64_t total_ns = 0;
+    uint64_t child_ns = 0;
+  };
+  std::map<std::string, Agg> by_name;
+  for (const TraceEvent& e : CollectTrace()) {
+    Agg& agg = by_name[e.name];
+    agg.durations_ns.push_back(e.duration_ns);
+    agg.total_ns += e.duration_ns;
+    agg.child_ns += e.child_ns;
+  }
+  std::vector<OpProfile> out;
+  out.reserve(by_name.size());
+  for (auto& [name, agg] : by_name) {
+    std::sort(agg.durations_ns.begin(), agg.durations_ns.end());
+    const size_t n = agg.durations_ns.size();
+    const size_t p95_index =
+        n == 0 ? 0 : std::min(n - 1, static_cast<size_t>(0.95 * n));
+    OpProfile p;
+    p.name = name;
+    p.count = n;
+    p.total_ms = static_cast<double>(agg.total_ns) / 1e6;
+    p.mean_ms = n > 0 ? p.total_ms / static_cast<double>(n) : 0.0;
+    p.p95_ms = n > 0
+                   ? static_cast<double>(agg.durations_ns[p95_index]) / 1e6
+                   : 0.0;
+    p.self_ms = static_cast<double>(agg.total_ns - std::min(agg.child_ns,
+                                                            agg.total_ns)) /
+                1e6;
+    out.push_back(std::move(p));
+  }
+  std::sort(out.begin(), out.end(), [](const OpProfile& a, const OpProfile& b) {
+    return a.total_ms > b.total_ms;
+  });
+  return out;
+}
+
+std::string ProfileTableText() {
+  const std::vector<OpProfile> profile = ProfileTable();
+  if (profile.empty()) return "";
+  size_t name_width = 4;
+  for (const OpProfile& p : profile) {
+    name_width = std::max(name_width, p.name.size());
+  }
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "%-*s %10s %12s %10s %10s %12s\n",
+                static_cast<int>(name_width), "op", "count", "total ms",
+                "mean ms", "p95 ms", "self ms");
+  std::string out = line;
+  for (const OpProfile& p : profile) {
+    std::snprintf(line, sizeof(line),
+                  "%-*s %10llu %12.3f %10.4f %10.4f %12.3f\n",
+                  static_cast<int>(name_width), p.name.c_str(),
+                  static_cast<unsigned long long>(p.count), p.total_ms,
+                  p.mean_ms, p.p95_ms, p.self_ms);
+    out += line;
+  }
+  return out;
+}
+
+std::string ProfileJson() {
+  std::string out = "[";
+  bool first = true;
+  for (const OpProfile& p : ProfileTable()) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"" + JsonEscape(p.name) +
+           "\",\"count\":" + std::to_string(p.count) +
+           ",\"total_ms\":" + JsonNumber(p.total_ms) +
+           ",\"mean_ms\":" + JsonNumber(p.mean_ms) +
+           ",\"p95_ms\":" + JsonNumber(p.p95_ms) +
+           ",\"self_ms\":" + JsonNumber(p.self_ms) + '}';
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace tabrep::obs

@@ -1,0 +1,134 @@
+#ifndef TABREP_OBS_TRACE_H_
+#define TABREP_OBS_TRACE_H_
+
+// Scoped tracing: TABREP_TRACE_SPAN("ops.matmul") opens an RAII span
+// recording wall time, nesting depth and thread lane into a per-thread
+// buffer. Buffers are exportable as chrome://tracing JSON
+// (WriteChromeTrace) and as an aggregated per-op profile
+// (ProfileTable: count / total / mean / p95, self vs children).
+//
+// Cost model:
+//   - compiled out entirely when TABREP_ENABLE_TRACING is 0 (the
+//     macro expands to nothing);
+//   - when compiled in but runtime-disabled (the default), a span is
+//     one relaxed atomic load;
+//   - when enabled, a span is two steady_clock reads plus a push into
+//     a thread-local vector (a brief uncontended mutex protects the
+//     buffer against a concurrent exporter).
+//
+// Tracing observes and never changes behavior: it takes no part in
+// chunk scheduling and draws from no rng, so enabling it cannot
+// perturb numerics (tests/obs_test.cc proves a pretraining step is
+// bitwise-identical with tracing on vs off).
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+// CMake's TABREP_ENABLE_TRACING option defines this to 0/1; plain
+// compiles without the build system default to on.
+#ifndef TABREP_ENABLE_TRACING
+#define TABREP_ENABLE_TRACING 1
+#endif
+
+namespace tabrep::obs {
+
+/// One closed span. Durations are in nanoseconds of steady_clock.
+struct TraceEvent {
+  const char* name = nullptr;  // must be a literal / static string
+  uint64_t start_ns = 0;
+  uint64_t duration_ns = 0;
+  /// Nanoseconds spent inside directly nested spans on the same
+  /// thread; self time = duration_ns - child_ns.
+  uint64_t child_ns = 0;
+  uint32_t depth = 0;  // 0 = top-level span on its thread
+  uint32_t lane = 0;   // per-thread id, assigned in registration order
+};
+
+/// Runtime switch. Reads the TABREP_TRACE environment variable once at
+/// process start (values 1/true/on enable); SetTracingEnabled
+/// overrides it afterwards. No-op (always false) when compiled out.
+void SetTracingEnabled(bool enabled);
+bool TracingEnabled();
+
+/// True when the library was built with span support.
+constexpr bool TracingCompiledIn() { return TABREP_ENABLE_TRACING != 0; }
+
+/// Discards all recorded events (buffers stay registered).
+void ClearTrace();
+
+/// Snapshot of every thread's events, in (lane, start) order.
+std::vector<TraceEvent> CollectTrace();
+
+/// chrome://tracing / about:tracing "traceEvents" JSON.
+std::string ChromeTraceJson();
+Status WriteChromeTrace(const std::string& path);
+
+/// Aggregated per-op profile over the recorded spans.
+struct OpProfile {
+  std::string name;
+  uint64_t count = 0;
+  double total_ms = 0.0;
+  double mean_ms = 0.0;
+  double p95_ms = 0.0;   // exact (computed from all spans)
+  double self_ms = 0.0;  // total minus time in directly nested spans
+};
+
+/// Profiles sorted by total time, descending.
+std::vector<OpProfile> ProfileTable();
+
+/// The profile rendered as an aligned text table (one header line,
+/// one row per op). Empty string when nothing was recorded.
+std::string ProfileTableText();
+
+/// Profile as a JSON array of objects.
+std::string ProfileJson();
+
+namespace internal_trace {
+
+extern std::atomic<bool> g_enabled;
+
+void BeginSpan(const char* name, uint64_t* start_ns_out);
+void EndSpan(const char* name, uint64_t start_ns);
+
+/// RAII span; all work happens only when tracing is runtime-enabled
+/// at construction (a span started before a disable still closes).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (g_enabled.load(std::memory_order_relaxed)) {
+      name_ = name;
+      BeginSpan(name, &start_ns_);
+    }
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr) EndSpan(name_, start_ns_);
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  uint64_t start_ns_ = 0;
+};
+
+}  // namespace internal_trace
+}  // namespace tabrep::obs
+
+#if TABREP_ENABLE_TRACING
+#define TABREP_TRACE_CONCAT_INNER(a, b) a##b
+#define TABREP_TRACE_CONCAT(a, b) TABREP_TRACE_CONCAT_INNER(a, b)
+/// Opens a span covering the rest of the enclosing scope. `name` must
+/// be a string literal (stored by pointer, not copied).
+#define TABREP_TRACE_SPAN(name)                                       \
+  ::tabrep::obs::internal_trace::TraceSpan TABREP_TRACE_CONCAT(       \
+      tabrep_trace_span_, __COUNTER__)(name)
+#else
+#define TABREP_TRACE_SPAN(name) static_cast<void>(0)
+#endif
+
+#endif  // TABREP_OBS_TRACE_H_

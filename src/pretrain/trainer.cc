@@ -5,8 +5,34 @@
 
 #include "common/logging.h"
 #include "nn/data_parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace tabrep {
+
+obs::StepRecord PretrainStepRecord(const PretrainLogEntry& entry,
+                                   bool include_mer) {
+  obs::StepRecord record("pretrain", entry.step);
+  record.Add("mlm_loss", entry.mlm_loss)
+      .Add("mlm_acc", entry.mlm_accuracy)
+      .Add("lr", entry.lr, /*precision=*/6);
+  if (include_mer) {
+    record.Add("mer_loss", entry.mer_loss).Add("mer_acc", entry.mer_accuracy);
+  }
+  return record;
+}
+
+obs::StepRecord PretrainEvalRecord(int64_t step, const PretrainEval& eval,
+                                   bool include_mer) {
+  obs::StepRecord record("pretrain.eval", step);
+  record.Add("mlm_loss", eval.mlm_loss)
+      .Add("mlm_acc", eval.mlm_accuracy)
+      .Add("mlm_ppl", eval.mlm_perplexity, /*precision=*/2);
+  if (include_mer) {
+    record.Add("mer_loss", eval.mer_loss).Add("mer_acc", eval.mer_accuracy);
+  }
+  return record;
+}
 
 PretrainTrainer::PretrainTrainer(TableEncoderModel* model,
                                  const TableSerializer* serializer,
@@ -76,8 +102,15 @@ PretrainTrainer::StepStats PretrainTrainer::RunExample(
 }
 
 std::vector<PretrainLogEntry> PretrainTrainer::Train(
-    const TableCorpus& corpus) {
+    const TableCorpus& corpus, const TableCorpus* heldout) {
   TABREP_CHECK(corpus.size() > 0) << "empty corpus";
+
+  // All telemetry flows through one sink: the caller's, or a stdout
+  // sink decimated by log_every (replacing the old printf path).
+  obs::StdoutSink default_sink(std::max<int64_t>(1, config_.log_every));
+  obs::MetricsSink* sink = config_.sink;
+  if (sink == nullptr && config_.log_every > 0) sink = &default_sink;
+
   model_->SetTraining(true);
   mlm_head_.SetTraining(true);
   if (mer_head_) mer_head_->SetTraining(true);
@@ -100,6 +133,7 @@ std::vector<PretrainLogEntry> PretrainTrainer::Train(
   std::vector<PretrainLogEntry> log;
   log.reserve(static_cast<size_t>(config_.steps));
   for (int64_t step = 0; step < config_.steps; ++step) {
+    TABREP_TRACE_SPAN("pretrain.step");
     optimizer_->set_lr(schedule.LrAt(step));
     optimizer_->ZeroGrad();
     // Batch example indices (and, inside ParallelBatch, per-example
@@ -141,14 +175,20 @@ std::vector<PretrainLogEntry> PretrainTrainer::Train(
         acc.mer_counted > 0
             ? static_cast<float>(acc.mer_correct) / acc.mer_counted
             : 0.0f;
-    if (config_.log_every > 0 && step % config_.log_every == 0) {
-      TABREP_LOG(Info) << "pretrain step " << step << " mlm_loss "
-                       << entry.mlm_loss << " mlm_acc " << entry.mlm_accuracy
-                       << (mer_head_ ? " mer_loss " : "")
-                       << (mer_head_ ? std::to_string(entry.mer_loss) : "");
-    }
+    if (sink) sink->Record(PretrainStepRecord(entry, mer_head_ != nullptr));
     log.push_back(entry);
+
+    // Held-out eval: fixed-seed, read-only w.r.t. the training rng, so
+    // the training curve is bitwise-identical with or without it.
+    if (heldout != nullptr && config_.eval_every > 0 &&
+        (step + 1) % config_.eval_every == 0) {
+      const PretrainEval eval = Evaluate(*heldout, config_.eval_max_tables);
+      if (sink) {
+        sink->Record(PretrainEvalRecord(step, eval, mer_head_ != nullptr));
+      }
+    }
   }
+  if (sink) sink->Flush();
   return log;
 }
 

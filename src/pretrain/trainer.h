@@ -7,6 +7,7 @@
 #include "models/heads.h"
 #include "models/table_encoder.h"
 #include "nn/optimizer.h"
+#include "obs/sink.h"
 #include "pretrain/masking.h"
 #include "serialize/serializer.h"
 #include "table/corpus.h"
@@ -28,8 +29,17 @@ struct PretrainConfig {
   /// Run MER (requires a kTurl model with entity embeddings).
   bool use_mer = false;
   uint64_t seed = 7;
-  /// Log every N steps (0 = never).
+  /// With no `sink`, print every N steps through a default
+  /// obs::StdoutSink (0 = never). With a sink, its decimation applies.
   int64_t log_every = 0;
+  /// Step records ("pretrain" stream) and held-out eval records
+  /// ("pretrain.eval") go here. Borrowed; must outlive Train().
+  obs::MetricsSink* sink = nullptr;
+  /// Evaluate the held-out corpus passed to Train() every N steps and
+  /// emit the result through the sink (0 = never).
+  int64_t eval_every = 0;
+  /// Tables per in-training held-out evaluation.
+  int64_t eval_max_tables = 32;
 };
 
 /// One point of the training curve.
@@ -51,6 +61,16 @@ struct PretrainEval {
   float mer_accuracy = 0.0f;
 };
 
+/// The one rendering of a training-curve point that every caller
+/// (trainer sink emission, benches, examples) shares, so curves
+/// printed anywhere are identical. `include_mer` adds the MER fields.
+obs::StepRecord PretrainStepRecord(const PretrainLogEntry& entry,
+                                   bool include_mer);
+
+/// Same for held-out eval rows (stream "pretrain.eval").
+obs::StepRecord PretrainEvalRecord(int64_t step, const PretrainEval& eval,
+                                   bool include_mer);
+
 /// Drives self-supervised pretraining of a TableEncoderModel over a
 /// table corpus: serialize -> mask -> predict, with MLM always on and
 /// MER optionally (TURL's two objectives, §3.3).
@@ -61,8 +81,14 @@ class PretrainTrainer {
                   PretrainConfig config);
 
   /// Runs `config.steps` optimizer steps over `corpus`; returns the
-  /// loss/accuracy curve (one entry per step).
-  std::vector<PretrainLogEntry> Train(const TableCorpus& corpus);
+  /// loss/accuracy curve (one entry per step). Each step is emitted
+  /// through `config.sink` (stream "pretrain"); when `heldout` is
+  /// given and `config.eval_every > 0`, held-out eval rows (stream
+  /// "pretrain.eval") are interleaved. The held-out evaluation uses a
+  /// fixed seed and never touches the training rng, so passing it
+  /// changes no training numerics.
+  std::vector<PretrainLogEntry> Train(const TableCorpus& corpus,
+                                      const TableCorpus* heldout = nullptr);
 
   /// Evaluates masked prediction on a held-out corpus (no updates).
   PretrainEval Evaluate(const TableCorpus& corpus, int64_t max_tables = 64);

@@ -7,6 +7,9 @@
 #include <memory>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace tabrep::runtime {
 
 namespace {
@@ -104,10 +107,23 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain,
   const int64_t range = end - begin;
   const int64_t num_chunks = (range + grain - 1) / grain;
 
+  // Observation only: counters/spans never influence chunk boundaries
+  // or lane assignment, so determinism is untouched.
+  static obs::Counter& calls =
+      obs::Registry::Get().counter("tabrep.runtime.parallel_for.calls");
+  static obs::Counter& inline_calls =
+      obs::Registry::Get().counter("tabrep.runtime.parallel_for.inline");
+  static obs::Counter& chunk_count =
+      obs::Registry::Get().counter("tabrep.runtime.chunks");
+  static obs::Histogram& chunk_us =
+      obs::Registry::Get().histogram("tabrep.runtime.chunk.us");
+  calls.Increment();
+
   ThreadPool& pool = GlobalPool();
   // Inline when parallelism cannot help (single lane, one chunk) or
   // would deadlock (already inside a chunk of an enclosing loop).
   if (pool.size() <= 1 || num_chunks <= 1 || t_in_parallel_region) {
+    inline_calls.Increment();
     ScopedRegionFlag flag;
     fn(begin, end);
     return;
@@ -132,7 +148,10 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain,
       if (chunk >= num_chunks) return;
       const int64_t lo = begin + chunk * grain;
       const int64_t hi = std::min(end, lo + grain);
+      chunk_count.Increment();
       try {
+        TABREP_TRACE_SPAN("runtime.chunk");
+        obs::ScopedTimer timer(chunk_us);
         fn(lo, hi);
       } catch (...) {
         std::lock_guard<std::mutex> lock(shared->mu);

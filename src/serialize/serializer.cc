@@ -4,6 +4,8 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace tabrep {
 
@@ -285,6 +287,17 @@ TableSerializer::TableSerializer(const WordPieceTokenizer* tokenizer,
 
 TokenizedTable TableSerializer::Serialize(const Table& table,
                                           std::string_view question) const {
+  TABREP_TRACE_SPAN("serialize.table");
+  static obs::Counter& calls =
+      obs::Registry::Get().counter("tabrep.serialize.calls");
+  static obs::Counter& token_count =
+      obs::Registry::Get().counter("tabrep.serialize.tokens");
+  static obs::Counter& truncations =
+      obs::Registry::Get().counter("tabrep.serialize.truncated");
+  static obs::Histogram& duration_us =
+      obs::Registry::Get().histogram("tabrep.serialize.us");
+  calls.Increment();
+  obs::ScopedTimer timer(duration_us);
   // Data filtering step: clip the grid before serializing.
   Table filtered = table;
   if (table.num_columns() > options_.max_columns) {
@@ -353,6 +366,8 @@ TokenizedTable TableSerializer::Serialize(const Table& table,
     }
     out.cells = std::move(kept);
   }
+  token_count.Increment(static_cast<uint64_t>(out.size()));
+  if (out.truncated) truncations.Increment();
   return out;
 }
 

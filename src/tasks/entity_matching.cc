@@ -80,7 +80,8 @@ FineTuneReport EntityMatchingTask::Train(
   if (!config_.freeze_encoder) params = model_->Parameters();
   for (ag::Variable* p : head_.Parameters()) params.push_back(p);
 
-  tasks::ReportBuilder report(config_.steps);
+  tasks::ReportBuilder report(config_.steps, config_.sink,
+                              "finetune.entity_matching");
   const size_t bs = static_cast<size_t>(config_.batch_size);
   std::vector<const MatchingExample*> batch(bs);
   std::vector<float> losses(bs);

@@ -2,6 +2,10 @@
 #define TABREP_TASKS_FINETUNE_H_
 
 #include <cstdint>
+#include <string>
+#include <utility>
+
+#include "obs/sink.h"
 
 namespace tabrep {
 
@@ -16,6 +20,9 @@ struct FineTuneConfig {
   /// Freeze the encoder and train only the task head (the "use as
   /// feature extractor" regime some surveyed works choose).
   bool freeze_encoder = false;
+  /// Per-step telemetry (stream "finetune.<task>") goes here.
+  /// Borrowed; must outlive Train(). Null disables emission.
+  obs::MetricsSink* sink = nullptr;
 };
 
 namespace tasks {
@@ -30,16 +37,30 @@ struct FineTuneReport {
 };
 
 /// Accumulates per-example training stats into a FineTuneReport,
-/// ignoring everything before the tail window.
+/// ignoring everything before the tail window. When given a sink it
+/// also emits one StepRecord per optimizer step (all steps, not just
+/// the tail): fields `loss` (mean over the step's examples) and, when
+/// classification counts were recorded, `acc`.
 class ReportBuilder {
  public:
   explicit ReportBuilder(int64_t steps)
       : steps_(steps), tail_start_(steps * 3 / 4) {}
+  ReportBuilder(int64_t steps, obs::MetricsSink* sink, std::string stream)
+      : steps_(steps), tail_start_(steps * 3 / 4), sink_(sink),
+        stream_(std::move(stream)) {}
 
   /// Records one example's loss and (optionally) classification
-  /// counts from step `step`.
+  /// counts from step `step`. Steps must be recorded in order.
   void Record(int64_t step, float loss, int64_t correct = 0,
               int64_t counted = 0) {
+    if (sink_ != nullptr) {
+      if (step_examples_ > 0 && step != cur_step_) EmitStep();
+      cur_step_ = step;
+      step_loss_ += loss;
+      ++step_examples_;
+      step_correct_ += correct;
+      step_counted_ += counted;
+    }
     if (step < tail_start_) return;
     loss_sum_ += loss;
     ++examples_;
@@ -47,7 +68,11 @@ class ReportBuilder {
     counted_ += counted;
   }
 
-  FineTuneReport Build() const {
+  FineTuneReport Build() {
+    if (sink_ != nullptr) {
+      if (step_examples_ > 0) EmitStep();
+      sink_->Flush();
+    }
     FineTuneReport report;
     report.steps = steps_;
     report.final_loss =
@@ -58,12 +83,33 @@ class ReportBuilder {
   }
 
  private:
+  void EmitStep() {
+    obs::StepRecord record(stream_, cur_step_);
+    record.Add("loss", step_loss_ / step_examples_);
+    if (step_counted_ > 0) {
+      record.Add("acc", static_cast<double>(step_correct_) / step_counted_);
+    }
+    sink_->Record(record);
+    step_loss_ = 0.0;
+    step_examples_ = 0;
+    step_correct_ = 0;
+    step_counted_ = 0;
+  }
+
   int64_t steps_;
   int64_t tail_start_;
+  obs::MetricsSink* sink_ = nullptr;
+  std::string stream_;
   double loss_sum_ = 0.0;
   int64_t examples_ = 0;
   int64_t correct_ = 0;
   int64_t counted_ = 0;
+  // Current step's pending aggregate (sink emission only).
+  int64_t cur_step_ = 0;
+  double step_loss_ = 0.0;
+  int64_t step_examples_ = 0;
+  int64_t step_correct_ = 0;
+  int64_t step_counted_ = 0;
 };
 
 }  // namespace tasks

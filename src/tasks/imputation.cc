@@ -158,7 +158,8 @@ FineTuneReport ImputationTask::Train(const TableCorpus& train) {
   if (!config_.freeze_encoder) params = model_->Parameters();
   for (ag::Variable* p : head_->Parameters()) params.push_back(p);
 
-  tasks::ReportBuilder report(config_.steps);
+  tasks::ReportBuilder report(config_.steps, config_.sink,
+                              "finetune.imputation");
   const size_t bs = static_cast<size_t>(config_.batch_size);
   std::vector<const ImputationExample*> batch(bs);
   std::vector<float> losses(bs);

@@ -110,7 +110,8 @@ FineTuneReport RetrievalTask::Train(
 
   // In-batch contrastive training: batch_size queries, their positive
   // tables as shared negatives.
-  tasks::ReportBuilder report(config_.steps);
+  tasks::ReportBuilder report(config_.steps, config_.sink,
+                              "finetune.retrieval");
   const int64_t k = std::max<int64_t>(2, config_.batch_size);
   const size_t bs = static_cast<size_t>(k);
   std::vector<const RetrievalExample*> batch(bs);

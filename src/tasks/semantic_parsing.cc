@@ -148,7 +148,8 @@ FineTuneReport SemanticParsingTask::Train(
   for (ag::Variable* p : where_score_->Parameters()) params.push_back(p);
   for (ag::Variable* p : value_score_->Parameters()) params.push_back(p);
 
-  tasks::ReportBuilder report(config_.steps);
+  tasks::ReportBuilder report(config_.steps, config_.sink,
+                              "finetune.semantic_parsing");
   const size_t bs = static_cast<size_t>(config_.batch_size);
   std::vector<const ParsingExample*> batch(bs);
   std::vector<float> losses(bs);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/runtime.h"
 
 namespace tabrep::ops {
@@ -113,6 +115,13 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   TABREP_CHECK(a.dim() == 2 && b.dim() == 2 && a.cols() == b.rows())
       << "MatMul: " << ShapeToString(a.shape()) << " x "
       << ShapeToString(b.shape());
+  TABREP_TRACE_SPAN("ops.matmul");
+  static obs::Counter& calls =
+      obs::Registry::Get().counter("tabrep.ops.matmul.calls");
+  static obs::Histogram& duration_us =
+      obs::Registry::Get().histogram("tabrep.ops.matmul.us");
+  calls.Increment();
+  obs::ScopedTimer timer(duration_us);
   const int64_t m = a.rows(), k = a.cols(), n = b.cols();
   Tensor out({m, n});
   const float* pa = a.data();
@@ -138,6 +147,13 @@ Tensor MatMulTransposedB(const Tensor& a, const Tensor& b) {
   TABREP_CHECK(a.dim() == 2 && b.dim() == 2 && a.cols() == b.cols())
       << "MatMulTransposedB: " << ShapeToString(a.shape()) << " x "
       << ShapeToString(b.shape()) << "^T";
+  TABREP_TRACE_SPAN("ops.matmul_tb");
+  static obs::Counter& calls =
+      obs::Registry::Get().counter("tabrep.ops.matmul_tb.calls");
+  static obs::Histogram& duration_us =
+      obs::Registry::Get().histogram("tabrep.ops.matmul_tb.us");
+  calls.Increment();
+  obs::ScopedTimer timer(duration_us);
   const int64_t m = a.rows(), k = a.cols(), n = b.rows();
   Tensor out({m, n});
   const float* pa = a.data();
@@ -169,6 +185,13 @@ Tensor Transpose(const Tensor& a) {
 
 Tensor Softmax(const Tensor& a) {
   TABREP_CHECK(a.dim() >= 1);
+  TABREP_TRACE_SPAN("ops.softmax");
+  static obs::Counter& calls =
+      obs::Registry::Get().counter("tabrep.ops.softmax.calls");
+  static obs::Histogram& duration_us =
+      obs::Registry::Get().histogram("tabrep.ops.softmax.us");
+  calls.Increment();
+  obs::ScopedTimer timer(duration_us);
   const int64_t n = a.size(-1);
   const int64_t rows = a.numel() / n;
   Tensor out = a.Clone();

@@ -1,0 +1,385 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/sink.h"
+#include "obs/trace.h"
+#include "pretrain/trainer.h"
+#include "runtime/runtime.h"
+#include "serialize/vocab_builder.h"
+#include "table/synth.h"
+#include "tasks/finetune.h"
+
+namespace tabrep {
+namespace {
+
+// ---------------------------------------------------------------------------
+// JSON helpers
+
+TEST(ObsJsonTest, EscapeAndNumber) {
+  EXPECT_EQ(obs::JsonEscape("plain"), "plain");
+  EXPECT_EQ(obs::JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(obs::JsonEscape("tab\there"), "tab\\there");
+  EXPECT_EQ(obs::JsonNumber(2.0), "2");
+  // Non-finite values must stay loadable.
+  EXPECT_EQ(obs::JsonNumber(std::numeric_limits<double>::infinity()), "0");
+  EXPECT_EQ(obs::JsonNumber(std::nan("")), "0");
+}
+
+TEST(ObsJsonTest, LintAcceptsAndRejects) {
+  EXPECT_TRUE(obs::JsonLint("{}"));
+  EXPECT_TRUE(obs::JsonLint("[1, 2.5, -3e4, \"x\", true, null]"));
+  EXPECT_TRUE(obs::JsonLint("{\"a\":{\"b\":[{}]}}"));
+  EXPECT_FALSE(obs::JsonLint(""));
+  EXPECT_FALSE(obs::JsonLint("{"));
+  EXPECT_FALSE(obs::JsonLint("{\"a\":1,}"));
+  EXPECT_FALSE(obs::JsonLint("[1 2]"));
+  EXPECT_FALSE(obs::JsonLint("{\"a\":1} extra"));
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+
+TEST(ObsMetricsTest, RegistryReturnsStableReferences) {
+  obs::Counter& a = obs::Registry::Get().counter("tabrep.test.stable");
+  obs::Counter& b = obs::Registry::Get().counter("tabrep.test.stable");
+  EXPECT_EQ(&a, &b);
+  a.Reset();
+  a.Increment(3);
+  EXPECT_EQ(b.value(), 3u);
+}
+
+TEST(ObsMetricsTest, ConcurrentIncrementsAreExact) {
+  obs::Counter& counter = obs::Registry::Get().counter("tabrep.test.conc");
+  obs::Histogram& hist = obs::Registry::Get().histogram("tabrep.test.conc.us");
+  counter.Reset();
+  hist.Reset();
+  constexpr int kThreads = 8;
+  constexpr int kIters = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        counter.Increment();
+        hist.Record(static_cast<double>(t + 1));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter.value(), static_cast<uint64_t>(kThreads) * kIters);
+  const obs::HistogramStats stats = hist.Stats();
+  EXPECT_EQ(stats.count, static_cast<uint64_t>(kThreads) * kIters);
+  EXPECT_DOUBLE_EQ(stats.min, 1.0);
+  EXPECT_DOUBLE_EQ(stats.max, static_cast<double>(kThreads));
+}
+
+TEST(ObsMetricsTest, HistogramStatsSanity) {
+  obs::Histogram hist;
+  EXPECT_EQ(hist.Stats().count, 0u);
+  for (int i = 1; i <= 1000; ++i) hist.Record(static_cast<double>(i));
+  const obs::HistogramStats stats = hist.Stats();
+  EXPECT_EQ(stats.count, 1000u);
+  EXPECT_DOUBLE_EQ(stats.min, 1.0);
+  EXPECT_DOUBLE_EQ(stats.max, 1000.0);
+  EXPECT_NEAR(stats.mean, 500.5, 1e-9);
+  // Power-of-two buckets: percentiles are interpolated, so allow a
+  // bucket's worth of slack but demand the right order of magnitude.
+  EXPECT_GT(stats.p50, 250.0);
+  EXPECT_LT(stats.p50, 1000.0);
+  EXPECT_GE(stats.p95, stats.p50);
+  EXPECT_GE(stats.p99, stats.p95);
+  EXPECT_LE(stats.p99, stats.max);
+  hist.Reset();
+  EXPECT_EQ(hist.Stats().count, 0u);
+}
+
+TEST(ObsMetricsTest, RegistryJsonIsWellFormed) {
+  obs::Registry::Get().counter("tabrep.test.json").Increment();
+  obs::Registry::Get().gauge("tabrep.test.gauge").Set(1.5);
+  obs::Registry::Get().histogram("tabrep.test.hist").Record(3.0);
+  EXPECT_TRUE(obs::JsonLint(obs::Registry::Get().ToJson()));
+  EXPECT_TRUE(obs::JsonLint(obs::ReportJson("obs_test")));
+}
+
+// ---------------------------------------------------------------------------
+// Tracing
+
+TEST(ObsTraceTest, SpanNestingAndChromeExport) {
+  if (!obs::TracingCompiledIn()) GTEST_SKIP() << "tracing compiled out";
+  obs::SetTracingEnabled(true);
+  obs::ClearTrace();
+  {
+    TABREP_TRACE_SPAN("test.outer");
+    {
+      TABREP_TRACE_SPAN("test.inner");
+    }
+  }
+  obs::SetTracingEnabled(false);
+
+  std::vector<obs::TraceEvent> events = obs::CollectTrace();
+  ASSERT_EQ(events.size(), 2u);
+  // CollectTrace orders by (lane, start): outer opened first.
+  EXPECT_STREQ(events[0].name, "test.outer");
+  EXPECT_STREQ(events[1].name, "test.inner");
+  EXPECT_EQ(events[0].depth, 0u);
+  EXPECT_EQ(events[1].depth, 1u);
+  // The inner span nests inside the outer both in time and in the
+  // parent's child-time accounting.
+  EXPECT_GE(events[1].start_ns, events[0].start_ns);
+  EXPECT_GE(events[0].duration_ns, events[1].duration_ns);
+  EXPECT_GE(events[0].child_ns, events[1].duration_ns);
+
+  const std::string chrome = obs::ChromeTraceJson();
+  EXPECT_TRUE(obs::JsonLint(chrome));
+  EXPECT_NE(chrome.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(chrome.find("test.inner"), std::string::npos);
+
+  std::vector<obs::OpProfile> profile = obs::ProfileTable();
+  ASSERT_EQ(profile.size(), 2u);
+  EXPECT_EQ(profile[0].name, "test.outer");  // sorted by total desc
+  EXPECT_EQ(profile[0].count, 1u);
+  EXPECT_LE(profile[0].self_ms, profile[0].total_ms);
+  EXPECT_TRUE(obs::JsonLint(obs::ProfileJson()));
+  EXPECT_FALSE(obs::ProfileTableText().empty());
+  obs::ClearTrace();
+}
+
+TEST(ObsTraceTest, DisabledSpansRecordNothing) {
+  if (!obs::TracingCompiledIn()) GTEST_SKIP() << "tracing compiled out";
+  obs::SetTracingEnabled(false);
+  obs::ClearTrace();
+  {
+    TABREP_TRACE_SPAN("test.disabled");
+  }
+  EXPECT_TRUE(obs::CollectTrace().empty());
+  EXPECT_TRUE(obs::ProfileTableText().empty());
+}
+
+TEST(ObsTraceTest, SpansFromPoolThreadsCarryLanes) {
+  if (!obs::TracingCompiledIn()) GTEST_SKIP() << "tracing compiled out";
+  runtime::Configure({.num_threads = 4});
+  obs::SetTracingEnabled(true);
+  obs::ClearTrace();
+  std::atomic<int64_t> sum{0};
+  runtime::ParallelFor(0, 64, 1, [&](int64_t lo, int64_t hi) {
+    TABREP_TRACE_SPAN("test.chunk");
+    for (int64_t i = lo; i < hi; ++i) sum.fetch_add(i);
+  });
+  obs::SetTracingEnabled(false);
+  std::vector<obs::TraceEvent> events = obs::CollectTrace();
+  // One of the 64 spans per chunk, plus the runtime.chunk spans the
+  // pool itself opens around each chunk body.
+  int64_t test_chunks = 0;
+  for (const obs::TraceEvent& e : events) {
+    if (std::string_view(e.name) == "test.chunk") ++test_chunks;
+  }
+  EXPECT_EQ(test_chunks, 64);
+  EXPECT_EQ(sum.load(), 64 * 63 / 2);
+  EXPECT_TRUE(obs::JsonLint(obs::ChromeTraceJson()));
+  obs::ClearTrace();
+  runtime::Configure({.num_threads = 0});
+}
+
+// ---------------------------------------------------------------------------
+// Sinks
+
+TEST(ObsSinkTest, StepRecordAndRender) {
+  obs::StepRecord record("pretrain", 7);
+  record.Add("mlm_loss", 5.25).Add("lr", 0.001, 6);
+  EXPECT_DOUBLE_EQ(record.Get("mlm_loss"), 5.25);
+  EXPECT_DOUBLE_EQ(record.Get("missing", -1.0), -1.0);
+  const std::string line = obs::StdoutSink::Render(record);
+  EXPECT_NE(line.find("pretrain"), std::string::npos);
+  EXPECT_NE(line.find("step 7"), std::string::npos);
+  EXPECT_NE(line.find("mlm_loss"), std::string::npos);
+}
+
+TEST(ObsSinkTest, MemoryAndFanout) {
+  obs::MemorySink a, b;
+  obs::FanoutSink fan({&a, &b});
+  fan.Record(obs::StepRecord("s", 0).Add("x", 1.0));
+  fan.Record(obs::StepRecord("s", 1).Add("x", 2.0));
+  ASSERT_EQ(a.records().size(), 2u);
+  ASSERT_EQ(b.records().size(), 2u);
+  EXPECT_DOUBLE_EQ(b.records()[1].Get("x"), 2.0);
+}
+
+TEST(ObsSinkTest, JsonlRoundTrip) {
+  const std::string path = "obs_test_sink.jsonl";
+  {
+    obs::JsonlSink sink(path);
+    ASSERT_TRUE(sink.status().ok()) << sink.status().ToString();
+    sink.Record(obs::StepRecord("pretrain", 0).Add("mlm_loss", 5.5));
+    sink.Record(obs::StepRecord("pretrain.eval", 0).Add("mlm_acc", 0.25));
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  for (const std::string& l : lines) {
+    EXPECT_TRUE(obs::JsonLint(l)) << l;
+    EXPECT_NE(l.find("\"stream\""), std::string::npos);
+    EXPECT_NE(l.find("\"step\""), std::string::npos);
+  }
+  EXPECT_NE(lines[0].find("\"mlm_loss\""), std::string::npos);
+  EXPECT_NE(lines[1].find("pretrain.eval"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ObsSinkTest, ReportBuilderEmitsPerStepAggregates) {
+  obs::MemorySink sink;
+  tasks::ReportBuilder report(/*steps=*/2, &sink, "finetune.test");
+  // Two examples per step; the sink sees the per-step means while the
+  // report keeps its tail-window semantics.
+  report.Record(0, 4.0f, /*correct=*/1, /*counted=*/1);
+  report.Record(0, 2.0f, /*correct=*/0, /*counted=*/1);
+  report.Record(1, 1.0f, /*correct=*/1, /*counted=*/1);
+  report.Record(1, 3.0f, /*correct=*/1, /*counted=*/1);
+  FineTuneReport built = report.Build();
+  std::vector<obs::StepRecord> records = sink.records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].stream, "finetune.test");
+  EXPECT_EQ(records[0].step, 0);
+  EXPECT_DOUBLE_EQ(records[0].Get("loss"), 3.0);
+  EXPECT_DOUBLE_EQ(records[0].Get("acc"), 0.5);
+  EXPECT_EQ(records[1].step, 1);
+  EXPECT_DOUBLE_EQ(records[1].Get("loss"), 2.0);
+  EXPECT_DOUBLE_EQ(records[1].Get("acc"), 1.0);
+  // Tail window = last quarter of 2 steps = step >= 1.
+  EXPECT_FLOAT_EQ(built.final_loss, 2.0f);
+  EXPECT_FLOAT_EQ(built.accuracy, 1.0f);
+}
+
+// ---------------------------------------------------------------------------
+// Logging (satellite: thread-safe level accessors)
+
+TEST(ObsLoggingTest, ConcurrentLevelAccessIsSafe) {
+  const LogLevel before = GetLogLevel();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < 500; ++i) {
+        SetLogLevel(t % 2 == 0 ? LogLevel::kWarning : LogLevel::kError);
+        const LogLevel seen = GetLogLevel();
+        EXPECT_TRUE(seen == LogLevel::kWarning || seen == LogLevel::kError);
+        TABREP_LOG(Debug) << "suppressed either way " << i;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  SetLogLevel(before);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: observability must never perturb training numerics.
+
+class ObsDeterminismTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SyntheticCorpusOptions opts;
+    opts.num_tables = 12;
+    opts.max_rows = 5;
+    corpus_ = new TableCorpus(GenerateSyntheticCorpus(opts));
+    WordPieceTrainerOptions topts;
+    topts.vocab_size = 800;
+    tokenizer_ = new WordPieceTokenizer(BuildCorpusTokenizer(*corpus_, topts));
+    SerializerOptions sopts;
+    sopts.max_tokens = 64;
+    serializer_ = new TableSerializer(tokenizer_, sopts);
+  }
+  static void TearDownTestSuite() {
+    delete serializer_;
+    delete tokenizer_;
+    delete corpus_;
+  }
+
+  /// Runs a short pretraining and returns its curve.
+  static std::vector<PretrainLogEntry> RunPretrain(obs::MetricsSink* sink) {
+    ModelConfig config;
+    config.family = ModelFamily::kVanilla;
+    config.vocab_size = tokenizer_->vocab().size();
+    config.transformer.dim = 32;
+    config.transformer.num_layers = 1;
+    config.transformer.num_heads = 2;
+    config.transformer.ffn_dim = 64;
+    config.transformer.dropout = 0.1f;
+    config.max_position = 96;
+    TableEncoderModel model(config);
+    PretrainConfig pconfig;
+    pconfig.steps = 4;
+    pconfig.batch_size = 2;
+    pconfig.sink = sink;
+    PretrainTrainer trainer(&model, serializer_, pconfig);
+    return trainer.Train(*corpus_);
+  }
+
+  static void ExpectIdentical(const std::vector<PretrainLogEntry>& a,
+                              const std::vector<PretrainLogEntry>& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].mlm_loss, b[i].mlm_loss) << "step " << i;
+      EXPECT_EQ(a[i].mlm_accuracy, b[i].mlm_accuracy) << "step " << i;
+      EXPECT_EQ(a[i].lr, b[i].lr) << "step " << i;
+    }
+  }
+
+  static TableCorpus* corpus_;
+  static WordPieceTokenizer* tokenizer_;
+  static TableSerializer* serializer_;
+};
+
+TableCorpus* ObsDeterminismTest::corpus_ = nullptr;
+WordPieceTokenizer* ObsDeterminismTest::tokenizer_ = nullptr;
+TableSerializer* ObsDeterminismTest::serializer_ = nullptr;
+
+TEST_F(ObsDeterminismTest, TracingOnOffBitwiseIdentical) {
+  obs::SetTracingEnabled(false);
+  std::vector<PretrainLogEntry> off = RunPretrain(nullptr);
+  obs::SetTracingEnabled(true);
+  obs::ClearTrace();
+  std::vector<PretrainLogEntry> on = RunPretrain(nullptr);
+  obs::SetTracingEnabled(false);
+  if (obs::TracingCompiledIn()) {
+    EXPECT_FALSE(obs::CollectTrace().empty());
+  }
+  obs::ClearTrace();
+  ExpectIdentical(off, on);
+}
+
+TEST_F(ObsDeterminismTest, SinkEmissionDoesNotPerturbTraining) {
+  std::vector<PretrainLogEntry> silent = RunPretrain(nullptr);
+  obs::MemorySink sink;
+  std::vector<PretrainLogEntry> observed = RunPretrain(&sink);
+  ExpectIdentical(silent, observed);
+  ASSERT_EQ(sink.records().size(), silent.size());
+  EXPECT_EQ(sink.records()[0].stream, "pretrain");
+  EXPECT_EQ(static_cast<float>(sink.records()[0].Get("mlm_loss")),
+            silent[0].mlm_loss);
+}
+
+TEST_F(ObsDeterminismTest, ThreadCountInvariant) {
+  runtime::Configure({.num_threads = 1});
+  std::vector<PretrainLogEntry> one = RunPretrain(nullptr);
+  runtime::Configure({.num_threads = 4});
+  std::vector<PretrainLogEntry> four = RunPretrain(nullptr);
+  runtime::Configure({.num_threads = 0});
+  ExpectIdentical(one, four);
+}
+
+}  // namespace
+}  // namespace tabrep
