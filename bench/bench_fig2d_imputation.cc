@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "eval/failure_analysis.h"
 #include "eval/metrics.h"
 #include "pretrain/trainer.h"
 #include "tasks/imputation.h"
@@ -45,9 +46,10 @@ int main() {
   PrintHeader("Fig. 2d", "Fine-tuning for data imputation + analysis (§3.4)");
   EnableBenchObs();
   WorldOptions wopts;
-  wopts.num_tables = 80;
+  wopts.num_tables = SmokeMode() ? 24 : 80;
   wopts.numeric_fraction = 0.15;
   World w = MakeWorld(wopts);
+  const int64_t eval_n = SmokeMode() ? 40 : 150;
 
   // Degraded variants of the held-out corpus for the failure analysis.
   TableCorpus test_headerless;
@@ -60,10 +62,14 @@ int main() {
   }
   // Numeric-only corpus (GitTables-like CSV tables, Fig. 2d right).
   SyntheticCorpusOptions numeric_opts;
-  numeric_opts.num_tables = 20;
+  numeric_opts.num_tables = SmokeMode() ? 8 : 20;
   numeric_opts.numeric_table_fraction = 1.0;
   numeric_opts.seed = 999;
   TableCorpus numeric_test = GenerateSyntheticCorpus(numeric_opts);
+
+  // Per-example records for the error-slicing table below; only the
+  // full-budget pretrained model writes into it.
+  eval::ExampleLog example_log;
 
   FineTuneConfig fconfig;
   fconfig.steps = 2000;
@@ -79,7 +85,7 @@ int main() {
   {
     TableEncoderModel pretrain_model(config);
     PretrainConfig pconfig;
-    pconfig.steps = 600;
+    pconfig.steps = BenchSteps(600, 12);
     pconfig.batch_size = 2;
     pconfig.use_mer = true;
     PretrainTrainer pretrainer(&pretrain_model, w.serializer.get(), pconfig);
@@ -102,12 +108,14 @@ int main() {
     FineTuneConfig fc = fconfig;
     fc.steps = steps;
     fc.freeze_encoder = freeze;
+    fc.example_log = task_out ? &example_log : nullptr;
     auto* task = new ImputationTask(model.get(), w.serializer.get(), fc,
                                     w.train, iopts);
     task->Train(w.train);
     std::vector<EvalRow> out;
     out.push_back({"held-out, categorical cells",
-                   task->Evaluate(w.test, 150, CellCategory::kCategorical)});
+                   task->Evaluate(w.test, eval_n,
+                                  CellCategory::kCategorical)});
     if (task_out) {
       *task_out = task;
       // Keep the model alive alongside the returned task.
@@ -124,8 +132,9 @@ int main() {
   std::vector<std::vector<std::string>> sweep;
   struct Cond { const char* name; bool freeze; int64_t steps; };
   ImputationTask* task_ptr = nullptr;
-  for (const Cond& cond : {Cond{"frozen encoder, 800 head steps", true, 800},
-                           Cond{"full fine-tune, 2000 steps", false, 2000}}) {
+  for (const Cond& cond :
+       {Cond{"frozen encoder, 800 head steps", true, BenchSteps(800, 30)},
+        Cond{"full fine-tune, 2000 steps", false, BenchSteps(2000, 60)}}) {
     // The full-budget pretrained model doubles as the failure-analysis
     // model below.
     auto pre = run_condition(true, cond.steps, cond.freeze,
@@ -147,30 +156,48 @@ int main() {
   std::printf("value vocabulary: %lld values\n\n",
               static_cast<long long>(task.value_vocab_size()));
 
+  // Reset the log so the slicing table below covers exactly these
+  // held-out evaluations, not the training batches.
+  example_log.Clear();
   std::vector<EvalRow> rows;
   rows.push_back({"held-out, categorical cells",
-                  task.Evaluate(w.test, 150, CellCategory::kCategorical)});
+                  task.Evaluate(w.test, eval_n, CellCategory::kCategorical)});
   rows.push_back({"held-out, numeric cells",
-                  task.Evaluate(w.test, 150, CellCategory::kNumeric)});
+                  task.Evaluate(w.test, eval_n, CellCategory::kNumeric)});
   rows.push_back({"held-out, headers removed (categorical)",
-                  task.Evaluate(test_headerless, 150,
+                  task.Evaluate(test_headerless, eval_n,
                                 CellCategory::kCategorical)});
   rows.push_back({"numeric CSV, categorical cells",
-                  task.Evaluate(numeric_test, 150,
+                  task.Evaluate(numeric_test, eval_n,
                                 CellCategory::kCategorical)});
   rows.push_back({"numeric CSV, numeric cells",
-                  task.Evaluate(numeric_test, 150, CellCategory::kNumeric)});
+                  task.Evaluate(numeric_test, eval_n, CellCategory::kNumeric)});
   std::printf("Failure analysis of §3.4 (pretrained, full budget):\n");
   PrintReports(rows);
+
+  // --- Error slicing over the per-example records the evaluations
+  // just emitted: the same failure modes, now grouped by the corpus
+  // generator's provenance tags instead of hand-built eval corpora.
+  const std::vector<eval::ExampleRecord> records = example_log.records();
+  std::printf("\nError slices (%lld eval records, grouped by table tag):\n%s",
+              static_cast<long long>(records.size()),
+              eval::RenderSliceTable(eval::SliceByTag(records, "eval"))
+                  .c_str());
+  Status slice_status =
+      eval::WriteExampleRecordsJsonl(records, "BENCH_fig2d.examples.jsonl");
+  if (slice_status.ok()) {
+    std::printf("example records: BENCH_fig2d.examples.jsonl\n");
+  }
 
   // Hit@k on held-out categorical cells (TURL reports imputation as
   // Hit@k over candidate lists).
   std::printf("\nHeld-out Hit@k (candidate lists, categorical + numeric "
               "cells):\n");
   std::vector<std::vector<std::string>> hit_rows;
+  const int64_t hit_n = SmokeMode() ? 16 : 80;
   for (int64_t k : {1, 3, 10}) {
-    hit_rows.push_back(
-        {"Hit@" + std::to_string(k), Fmt(task.EvaluateHitAtK(w.test, k, 80))});
+    hit_rows.push_back({"Hit@" + std::to_string(k),
+                        Fmt(task.EvaluateHitAtK(w.test, k, hit_n))});
   }
   std::printf("%s", RenderTextTable({"metric", "value"}, hit_rows).c_str());
 

@@ -78,6 +78,29 @@ inline ModelConfig BenchModelConfig(ModelFamily family, const World& w,
   return config;
 }
 
+/// TABREP_SMOKE=1 shrinks a bench to CI scale (seconds, not minutes);
+/// the numbers stop being meaningful but every code path still runs.
+inline bool SmokeMode() {
+  const char* env = std::getenv("TABREP_SMOKE");
+  return env != nullptr && std::string(env) != "0";
+}
+
+/// TABREP_SMOKE_SCALE multiplies smoke-mode step counts. The ctest
+/// regression gate runs the same bench at scale 1 and scale 2 to
+/// manufacture a genuine workload regression bench_diff must flag.
+inline int64_t SmokeScale() {
+  const char* env = std::getenv("TABREP_SMOKE_SCALE");
+  if (env == nullptr) return 1;
+  const long v = std::strtol(env, nullptr, 10);
+  return v > 0 ? static_cast<int64_t>(v) : 1;
+}
+
+/// `full` steps normally; `smoke` (times TABREP_SMOKE_SCALE) in smoke
+/// mode.
+inline int64_t BenchSteps(int64_t full, int64_t smoke) {
+  return SmokeMode() ? smoke * SmokeScale() : full;
+}
+
 inline double NowSeconds() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())

@@ -1,0 +1,140 @@
+#include "eval/failure_analysis.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+
+#include "obs/json.h"
+
+namespace tabrep::eval {
+
+void ExampleLog::Add(ExampleRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.push_back(std::move(record));
+}
+
+std::vector<ExampleRecord> ExampleLog::records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+int64_t ExampleLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(records_.size());
+}
+
+void ExampleLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.clear();
+}
+
+std::vector<std::string> TableTags(const Table& table) {
+  std::vector<std::string> tags = table.tags();
+  auto add_unique = [&tags](std::string tag) {
+    if (std::find(tags.begin(), tags.end(), tag) == tags.end()) {
+      tags.push_back(std::move(tag));
+    }
+  };
+  if (!table.HasHeader()) add_unique("headerless");
+  if (table.title().empty() && table.caption().empty()) {
+    add_unique("no_context");
+  }
+  add_unique(table.num_rows() <= 8 ? "small_table" : "large_table");
+  return tags;
+}
+
+std::vector<SliceStat> SliceByTag(const std::vector<ExampleRecord>& records,
+                                  std::string_view phase) {
+  std::map<std::string, SliceStat> by_tag;
+  auto bump = [](SliceStat& s, const ExampleRecord& r) {
+    ++s.total;
+    s.correct += r.correct ? 1 : 0;
+    s.loss_sum += r.loss;
+  };
+  SliceStat all;
+  all.tag = "all";
+  for (const ExampleRecord& r : records) {
+    if (!phase.empty() && r.phase != phase) continue;
+    bump(all, r);
+    for (const std::string& tag : r.tags) {
+      SliceStat& s = by_tag[tag];
+      s.tag = tag;
+      bump(s, r);
+    }
+  }
+  std::vector<SliceStat> out;
+  out.reserve(by_tag.size() + 1);
+  if (all.total > 0) out.push_back(std::move(all));
+  for (auto& [tag, stat] : by_tag) out.push_back(std::move(stat));
+  return out;
+}
+
+std::string RenderSliceTable(const std::vector<SliceStat>& slices) {
+  std::string out;
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%-20s %8s %10s %10s\n", "slice", "n",
+                "accuracy", "mean_loss");
+  out += buf;
+  for (const SliceStat& s : slices) {
+    std::snprintf(buf, sizeof(buf), "%-20s %8lld %10.3f %10.4f\n",
+                  s.tag.c_str(), static_cast<long long>(s.total),
+                  s.accuracy(), s.mean_loss());
+    out += buf;
+  }
+  return out;
+}
+
+std::string ExampleRecordsJsonl(const std::vector<ExampleRecord>& records) {
+  std::string out;
+  char buf[64];
+  for (const ExampleRecord& r : records) {
+    out += "{\"task\":\"" + obs::JsonEscape(r.task) + "\",\"phase\":\"" +
+           obs::JsonEscape(r.phase) +
+           "\",\"step\":" + std::to_string(r.step) + ",\"example_id\":\"" +
+           obs::JsonEscape(r.example_id) + "\",\"gold\":\"" +
+           obs::JsonEscape(r.gold) + "\",\"prediction\":\"" +
+           obs::JsonEscape(r.prediction) + "\"";
+    std::snprintf(buf, sizeof(buf), ",\"loss\":%.6g",
+                  static_cast<double>(r.loss));
+    out += buf;
+    out += r.correct ? ",\"correct\":true" : ",\"correct\":false";
+    out += ",\"tags\":[";
+    for (size_t i = 0; i < r.tags.size(); ++i) {
+      if (i > 0) out += ',';
+      out += '"' + obs::JsonEscape(r.tags[i]) + '"';
+    }
+    out += "]}\n";
+  }
+  return out;
+}
+
+Status WriteExampleRecordsJsonl(const std::vector<ExampleRecord>& records,
+                                const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path);
+  out << ExampleRecordsJsonl(records);
+  out.flush();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+std::vector<std::string> TokenLabels(const TokenizedTable& tokenized,
+                                     const WordPieceTokenizer& tokenizer) {
+  std::vector<std::string> labels;
+  labels.reserve(tokenized.tokens.size());
+  for (const TokenInfo& tok : tokenized.tokens) {
+    labels.push_back(tokenizer.vocab().Token(tok.id));
+  }
+  return labels;
+}
+
+std::vector<obs::AttentionEdge> QueryCellAttention(
+    const obs::CaptureScope& scope, const TokenizedTable& tokenized,
+    int32_t row, int32_t col, int64_t k, int64_t site) {
+  const CellSpan* span = tokenized.FindCell(row, col);
+  if (span == nullptr) return {};
+  return scope.TopKSpan(site, span->begin, span->end, k);
+}
+
+}  // namespace tabrep::eval

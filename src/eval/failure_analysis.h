@@ -1,0 +1,103 @@
+#ifndef TABREP_EVAL_FAILURE_ANALYSIS_H_
+#define TABREP_EVAL_FAILURE_ANALYSIS_H_
+
+// Failure analysis (the paper's Fig. 2d): per-example evaluation
+// records emitted by the fine-tuners, sliced by table provenance tags
+// into a per-slice accuracy table, plus the cell-level attention query
+// that connects a prediction back to what the model looked at.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/introspect.h"
+#include "serialize/serializer.h"
+#include "table/table.h"
+#include "text/wordpiece.h"
+
+namespace tabrep::eval {
+
+/// One scored example. `task` is the telemetry stream name
+/// ("finetune.imputation", ...); `phase` distinguishes training-batch
+/// records from held-out evaluation records; `tags` carries the table's
+/// provenance tags plus per-example ones ("cell:numeric", ...).
+struct ExampleRecord {
+  std::string task;
+  std::string phase = "train";  // "train" | "eval"
+  int64_t step = -1;            // optimizer step, or example index in eval
+  std::string example_id;
+  std::string gold;
+  std::string prediction;
+  float loss = 0.0f;
+  bool correct = false;
+  std::vector<std::string> tags;
+};
+
+/// Append-only, thread-safe record store the fine-tuners write into.
+/// Callers append after their parallel regions in slot order, so the
+/// log's contents are deterministic at any thread count.
+class ExampleLog {
+ public:
+  void Add(ExampleRecord record);
+  std::vector<ExampleRecord> records() const;
+  int64_t size() const;
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<ExampleRecord> records_;
+};
+
+/// The table's provenance tags plus derived ones the slicer wants:
+/// "headerless" when no column has a name, "no_context" when title
+/// and caption are both empty, "small_table"/"large_table" by row
+/// count.
+std::vector<std::string> TableTags(const Table& table);
+
+/// Accuracy/loss aggregate of one tag's slice.
+struct SliceStat {
+  std::string tag;
+  int64_t total = 0;
+  int64_t correct = 0;
+  double loss_sum = 0.0;
+
+  double accuracy() const {
+    return total > 0 ? static_cast<double>(correct) / total : 0.0;
+  }
+  double mean_loss() const { return total > 0 ? loss_sum / total : 0.0; }
+};
+
+/// Groups records by tag (a record contributes to every tag it
+/// carries, plus the synthetic "all" slice). `phase` filters records
+/// ("" keeps everything). Slices come back sorted by tag name with
+/// "all" first.
+std::vector<SliceStat> SliceByTag(const std::vector<ExampleRecord>& records,
+                                  std::string_view phase = "");
+
+/// Fixed-width text table: tag, n, accuracy, mean loss.
+std::string RenderSliceTable(const std::vector<SliceStat>& slices);
+
+/// One JSONL line per record (lint-clean; strings escaped).
+std::string ExampleRecordsJsonl(const std::vector<ExampleRecord>& records);
+Status WriteExampleRecordsJsonl(const std::vector<ExampleRecord>& records,
+                                const std::string& path);
+
+/// Wordpiece strings of the serialized table, for
+/// obs::CaptureScope::SetTokenLabels.
+std::vector<std::string> TokenLabels(const TokenizedTable& tokenized,
+                                     const WordPieceTokenizer& tokenizer);
+
+/// "What did cell (row, col) attend to": averages the captured
+/// attention rows over the cell's token span at layer `site` and
+/// returns the top-k key positions with token labels. Empty when the
+/// cell was truncated away or nothing was captured.
+std::vector<obs::AttentionEdge> QueryCellAttention(
+    const obs::CaptureScope& scope, const TokenizedTable& tokenized,
+    int32_t row, int32_t col, int64_t k, int64_t site = 0);
+
+}  // namespace tabrep::eval
+
+#endif  // TABREP_EVAL_FAILURE_ANALYSIS_H_

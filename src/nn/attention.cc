@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/introspect.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/runtime.h"
@@ -61,10 +62,14 @@ ag::Variable MultiHeadSelfAttention::Forward(const ag::Variable& x,
   }
 
   // Heads write disjoint slots; the Add chain and the probs average
-  // are reduced in head order afterwards.
+  // are reduced in head order afterwards. Capture reads the same
+  // pre-dropout probabilities the bias path exposes, so it adds no
+  // computation to the graph and leaves outputs bitwise-identical.
+  const bool capture = obs::AttentionCaptureActive();
+  const bool keep_probs = attn_probs_out != nullptr || capture;
   std::vector<ag::Variable> head_outs(static_cast<size_t>(num_heads_));
-  std::vector<Tensor> head_probs(
-      attn_probs_out ? static_cast<size_t>(num_heads_) : 0);
+  std::vector<Tensor> head_probs(keep_probs ? static_cast<size_t>(num_heads_)
+                                            : 0);
   runtime::ParallelFor(0, num_heads_, 1, [&](int64_t lo, int64_t hi) {
     for (int64_t h = lo; h < hi; ++h) {
       ag::Variable q = q_[static_cast<size_t>(h)]->Forward(x);
@@ -87,7 +92,7 @@ ag::Variable MultiHeadSelfAttention::Forward(const ag::Variable& x,
         scores = ag::Add(scores, ag::Variable::Constant(*head_bias));
       }
       ag::Variable probs = ag::Softmax(scores);
-      if (attn_probs_out) head_probs[static_cast<size_t>(h)] = probs.value();
+      if (keep_probs) head_probs[static_cast<size_t>(h)] = probs.value();
       if (use_dropout) {
         Rng head_rng(seeds[static_cast<size_t>(h)]);
         probs = ag::Dropout(probs, dropout_, head_rng);
@@ -101,6 +106,20 @@ ag::Variable MultiHeadSelfAttention::Forward(const ag::Variable& x,
   ag::Variable acc = head_outs[0];
   for (int64_t h = 1; h < num_heads_; ++h) {
     acc = ag::Add(acc, head_outs[static_cast<size_t>(h)]);
+  }
+  if (capture) {
+    // Published from the calling thread after the head loop, so record
+    // order follows call order regardless of the worker pool.
+    std::vector<obs::AttentionMatrix> heads;
+    heads.reserve(head_probs.size());
+    for (const Tensor& p : head_probs) {
+      obs::AttentionMatrix m;
+      m.rows = p.rows();
+      m.cols = p.cols();
+      m.weights.assign(p.data(), p.data() + p.numel());
+      heads.push_back(std::move(m));
+    }
+    obs::RecordAttention(t, std::move(heads));
   }
   if (attn_probs_out) {
     Tensor probs_acc = Tensor::Zeros({t, t});

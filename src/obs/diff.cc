@@ -1,0 +1,211 @@
+#include "obs/diff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "obs/json.h"
+
+namespace tabrep::obs {
+
+namespace {
+
+double RelChange(double old_v, double new_v) {
+  if (old_v == 0.0) {
+    return new_v == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  return (new_v - old_v) / old_v;
+}
+
+/// Compares one named scalar and appends the line. A regression gates
+/// only when the threshold is set (>= 0), the old value is at or above
+/// `min_gate`, and the relative growth exceeds the threshold.
+void Compare(const std::string& kind, const std::string& name, double old_v,
+             double new_v, double threshold, double min_gate,
+             std::vector<BenchDiffLine>* lines) {
+  BenchDiffLine line;
+  line.kind = kind;
+  line.name = name;
+  line.old_value = old_v;
+  line.new_value = new_v;
+  line.change = RelChange(old_v, new_v);
+  line.violation =
+      threshold >= 0.0 && old_v >= min_gate && line.change > threshold;
+  lines->push_back(std::move(line));
+}
+
+/// Walks one object-of-objects section ("histograms", "profile" is an
+/// array and handled separately) matching members by name.
+void DiffValueMap(const JsonValue* old_section, const JsonValue* new_section,
+                  const std::string& kind,
+                  const std::vector<std::pair<std::string, double>>& fields,
+                  double min_gate, BenchDiffReport* report) {
+  if (old_section == nullptr || new_section == nullptr) return;
+  for (const auto& [name, old_entry] : old_section->members()) {
+    const JsonValue* new_entry = new_section->Find(name);
+    if (new_entry == nullptr) {
+      report->unmatched.push_back(kind + " " + name + " (removed)");
+      continue;
+    }
+    for (const auto& [field, threshold] : fields) {
+      const JsonValue* old_v = old_entry.Find(field);
+      const JsonValue* new_v = new_entry->Find(field);
+      if (old_v == nullptr || new_v == nullptr) continue;
+      Compare(kind + "." + field, name, old_v->AsNumber(), new_v->AsNumber(),
+              threshold, min_gate, &report->lines);
+    }
+  }
+  for (const auto& [name, entry] : new_section->members()) {
+    (void)entry;
+    if (old_section->Find(name) == nullptr) {
+      report->unmatched.push_back(kind + " " + name + " (new)");
+    }
+  }
+}
+
+const JsonValue* FindProfileOp(const JsonValue& profile,
+                               const std::string& name) {
+  for (const JsonValue& op : profile.items()) {
+    const JsonValue* op_name = op.Find("name");
+    if (op_name != nullptr && op_name->AsString() == name) return &op;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Result<BenchDiffReport> DiffBenchReports(std::string_view old_json,
+                                         std::string_view new_json,
+                                         const BenchDiffOptions& options) {
+  Result<JsonValue> old_doc = JsonParse(old_json);
+  if (!old_doc.ok()) {
+    return Status::Corruption("old report: " + old_doc.status().ToString());
+  }
+  Result<JsonValue> new_doc = JsonParse(new_json);
+  if (!new_doc.ok()) {
+    return Status::Corruption("new report: " + new_doc.status().ToString());
+  }
+  if (!old_doc->is_object() || !new_doc->is_object()) {
+    return Status::Corruption("bench report must be a JSON object");
+  }
+
+  BenchDiffReport report;
+  const JsonValue* old_label = old_doc->Find("label");
+  const JsonValue* new_label = new_doc->Find("label");
+  report.old_label = old_label != nullptr ? old_label->AsString() : "";
+  report.new_label = new_label != nullptr ? new_label->AsString() : "";
+
+  // Counters: {"counters":{name:value}}. Deterministic work — gate on
+  // any value, no noise floor.
+  const JsonValue* old_counters = old_doc->Find("counters");
+  const JsonValue* new_counters = new_doc->Find("counters");
+  if (old_counters != nullptr && new_counters != nullptr) {
+    for (const auto& [name, old_v] : old_counters->members()) {
+      const JsonValue* new_v = new_counters->Find(name);
+      if (new_v == nullptr) {
+        report.unmatched.push_back("counter " + name + " (removed)");
+        continue;
+      }
+      Compare("counter", name, old_v.AsNumber(), new_v->AsNumber(),
+              options.max_counter_regress, /*min_gate=*/0.0, &report.lines);
+    }
+    for (const auto& [name, v] : new_counters->members()) {
+      (void)v;
+      if (old_counters->Find(name) == nullptr) {
+        report.unmatched.push_back("counter " + name + " (new)");
+      }
+    }
+  }
+
+  // Histograms: gate p95 (durations in microseconds); report count and
+  // mean without gating (count is already covered by counters where it
+  // matters; mean shifts show up in p95).
+  DiffValueMap(old_doc->Find("histograms"), new_doc->Find("histograms"),
+               "hist",
+               {{"p95", options.max_p95_regress},
+                {"mean", -1.0},
+                {"count", -1.0}},
+               options.min_gate_value, &report);
+
+  // Profile: [{"name":...,"total_ms":...,"p95_ms":...},...]; gate
+  // total_ms and p95_ms.
+  const JsonValue* old_profile = old_doc->Find("profile");
+  const JsonValue* new_profile = new_doc->Find("profile");
+  if (old_profile != nullptr && new_profile != nullptr &&
+      old_profile->is_array() && new_profile->is_array()) {
+    for (const JsonValue& old_op : old_profile->items()) {
+      const JsonValue* name_v = old_op.Find("name");
+      if (name_v == nullptr) continue;
+      const std::string& name = name_v->AsString();
+      const JsonValue* new_op = FindProfileOp(*new_profile, name);
+      if (new_op == nullptr) {
+        report.unmatched.push_back("profile " + name + " (removed)");
+        continue;
+      }
+      const std::vector<std::pair<std::string, double>> fields = {
+          {"total_ms", options.max_total_regress},
+          {"p95_ms", options.max_p95_regress},
+          {"count", -1.0}};
+      for (const auto& [field, threshold] : fields) {
+        const JsonValue* old_v = old_op.Find(field);
+        const JsonValue* new_v = new_op->Find(field);
+        if (old_v == nullptr || new_v == nullptr) continue;
+        // min_gate_value is in microseconds for histograms; profile
+        // totals are milliseconds, so scale down by 1000.
+        const double min_gate =
+            field == "count" ? 0.0 : options.min_gate_value / 1000.0;
+        Compare("profile." + field, name, old_v->AsNumber(),
+                new_v->AsNumber(), threshold, min_gate, &report.lines);
+      }
+    }
+    for (const JsonValue& new_op : new_profile->items()) {
+      const JsonValue* name_v = new_op.Find("name");
+      if (name_v != nullptr &&
+          FindProfileOp(*old_profile, name_v->AsString()) == nullptr) {
+        report.unmatched.push_back("profile " + name_v->AsString() +
+                                   " (new)");
+      }
+    }
+  }
+
+  return report;
+}
+
+std::string RenderBenchDiff(const BenchDiffReport& report, int64_t max_lines) {
+  std::vector<const BenchDiffLine*> order;
+  order.reserve(report.lines.size());
+  for (const BenchDiffLine& line : report.lines) order.push_back(&line);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const BenchDiffLine* a, const BenchDiffLine* b) {
+                     if (a->violation != b->violation) return a->violation;
+                     return std::fabs(a->change) > std::fabs(b->change);
+                   });
+
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "bench_diff: %s -> %s  (%lld compared, %lld violations)\n",
+                report.old_label.c_str(), report.new_label.c_str(),
+                static_cast<long long>(report.lines.size()),
+                static_cast<long long>(report.violations()));
+  out += buf;
+  int64_t shown = 0;
+  for (const BenchDiffLine* line : order) {
+    if (!line->violation && max_lines > 0 && shown >= max_lines) break;
+    const double pct = line->change * 100.0;
+    std::snprintf(buf, sizeof(buf), "  %s %-24s %-40s %14.4g -> %-14.4g %+8.1f%%\n",
+                  line->violation ? "FAIL" : "  ok", line->kind.c_str(),
+                  line->name.c_str(), line->old_value, line->new_value,
+                  std::isfinite(pct) ? pct : 9999.0);
+    out += buf;
+    ++shown;
+  }
+  if (!report.unmatched.empty()) {
+    std::snprintf(buf, sizeof(buf), "  (%lld unmatched entries)\n",
+                  static_cast<long long>(report.unmatched.size()));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace tabrep::obs

@@ -1,0 +1,79 @@
+#ifndef TABREP_OBS_DIFF_H_
+#define TABREP_OBS_DIFF_H_
+
+// Bench-trajectory regression gate: compares two BENCH_<id>.json
+// reports (the obs::WriteReport schema — metrics registry + per-op
+// tracing profile) and flags regressions beyond configurable
+// thresholds. The tools/bench_diff CLI and the ctest gate are thin
+// wrappers over DiffBenchReports.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace tabrep::obs {
+
+struct BenchDiffOptions {
+  /// Maximum allowed relative increase of a histogram's p95 before it
+  /// counts as a violation (0.20 = +20%).
+  double max_p95_regress = 0.20;
+  /// Maximum allowed relative increase of a profile op's total time.
+  double max_total_regress = 0.20;
+  /// Maximum allowed relative increase of a counter. Counters measure
+  /// deterministic work (calls, elements), so run-to-run growth means
+  /// the workload itself regressed — keep this tight.
+  double max_counter_regress = 0.01;
+  /// Timing entries with an old value below this many microseconds
+  /// (histograms) / milliseconds (profile totals) are reported but
+  /// never gate: they sit inside scheduler noise.
+  double min_gate_value = 50.0;
+};
+
+/// One compared entry. `change` is (new - old) / old; +inf when old
+/// was 0 and new is not.
+struct BenchDiffLine {
+  std::string kind;  // "counter" | "hist.p95" | "profile.total_ms" | ...
+  std::string name;
+  double old_value = 0.0;
+  double new_value = 0.0;
+  double change = 0.0;
+  bool violation = false;
+};
+
+struct BenchDiffReport {
+  std::string old_label;
+  std::string new_label;
+  std::vector<BenchDiffLine> lines;
+  /// Entries present in only one report (new instrumentation or
+  /// removed ops) — informational, never violations.
+  std::vector<std::string> unmatched;
+
+  bool ok() const {
+    for (const BenchDiffLine& line : lines) {
+      if (line.violation) return false;
+    }
+    return true;
+  }
+  int64_t violations() const {
+    int64_t n = 0;
+    for (const BenchDiffLine& line : lines) n += line.violation ? 1 : 0;
+    return n;
+  }
+};
+
+/// Parses and compares two reports. Corruption when either input is
+/// not a WriteReport-shaped JSON document.
+Result<BenchDiffReport> DiffBenchReports(std::string_view old_json,
+                                         std::string_view new_json,
+                                         const BenchDiffOptions& options = {});
+
+/// Aligned text rendering: violations first, then the largest moves;
+/// `max_lines` caps the non-violation tail (0 = everything).
+std::string RenderBenchDiff(const BenchDiffReport& report,
+                            int64_t max_lines = 20);
+
+}  // namespace tabrep::obs
+
+#endif  // TABREP_OBS_DIFF_H_

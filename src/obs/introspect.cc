@@ -1,0 +1,183 @@
+#include "obs/introspect.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace tabrep::obs {
+
+namespace {
+
+/// Innermost open scope; the hook publishes through this pointer. The
+/// scope stack is maintained by the constructing thread; concurrent
+/// Record calls synchronize on the scope's own mutex.
+std::atomic<CaptureScope*> g_scope{nullptr};
+
+/// Attention weights are probabilities; 6 significant digits round-trip
+/// them well enough for inspection at a third of the %.17g byte cost.
+std::string WeightJson(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+CaptureScope::CaptureScope() {
+  prev_ = g_scope.load(std::memory_order_relaxed);
+  g_scope.store(this, std::memory_order_release);
+}
+
+CaptureScope::~CaptureScope() {
+  g_scope.store(prev_, std::memory_order_release);
+}
+
+bool AttentionCaptureActive() {
+  return g_scope.load(std::memory_order_relaxed) != nullptr;
+}
+
+void RecordAttention(int64_t seq_len, std::vector<AttentionMatrix> heads) {
+  CaptureScope* scope = g_scope.load(std::memory_order_acquire);
+  if (scope == nullptr) return;
+  static Counter& captures =
+      Registry::Get().counter("tabrep.obs.attention.captures");
+  captures.Increment();
+  std::lock_guard<std::mutex> lock(scope->mu_);
+  AttentionRecord record;
+  record.site = static_cast<int64_t>(scope->records_.size());
+  record.seq_len = seq_len;
+  record.heads = std::move(heads);
+  scope->records_.push_back(std::move(record));
+}
+
+std::vector<AttentionRecord> CaptureScope::records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+int64_t CaptureScope::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(records_.size());
+}
+
+void CaptureScope::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.clear();
+}
+
+void CaptureScope::SetTokenLabels(const std::vector<std::string>& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (AttentionRecord& record : records_) {
+    if (record.seq_len == static_cast<int64_t>(labels.size())) {
+      record.tokens = labels;
+    }
+  }
+}
+
+std::vector<AttentionEdge> CaptureScope::TopK(int64_t site, int64_t query_pos,
+                                              int64_t k, int64_t head) const {
+  return TopKSpanImpl(site, query_pos, query_pos + 1, k, head);
+}
+
+std::vector<AttentionEdge> CaptureScope::TopKSpan(int64_t site, int64_t begin,
+                                                  int64_t end,
+                                                  int64_t k) const {
+  return TopKSpanImpl(site, begin, end, k, /*head=*/-1);
+}
+
+std::vector<AttentionEdge> CaptureScope::TopKSpanImpl(int64_t site,
+                                                      int64_t begin,
+                                                      int64_t end, int64_t k,
+                                                      int64_t head) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (site < 0 || site >= static_cast<int64_t>(records_.size())) return {};
+  const AttentionRecord& record = records_[static_cast<size_t>(site)];
+  const int64_t t = record.seq_len;
+  if (begin < 0 || begin >= end || end > t || record.heads.empty()) return {};
+  if (head >= static_cast<int64_t>(record.heads.size())) return {};
+
+  // Mean over the selected heads of the mean over the query rows.
+  std::vector<double> weight(static_cast<size_t>(t), 0.0);
+  const int64_t head_begin = head >= 0 ? head : 0;
+  const int64_t head_end =
+      head >= 0 ? head + 1 : static_cast<int64_t>(record.heads.size());
+  for (int64_t h = head_begin; h < head_end; ++h) {
+    const AttentionMatrix& m = record.heads[static_cast<size_t>(h)];
+    for (int64_t q = begin; q < end; ++q) {
+      for (int64_t key = 0; key < t; ++key) {
+        weight[static_cast<size_t>(key)] += m.At(q, key);
+      }
+    }
+  }
+  const double scale =
+      1.0 / (static_cast<double>(head_end - head_begin) *
+             static_cast<double>(end - begin));
+
+  std::vector<int64_t> order(static_cast<size_t>(t));
+  for (int64_t i = 0; i < t; ++i) order[static_cast<size_t>(i)] = i;
+  const int64_t take = std::min<int64_t>(k, t);
+  std::partial_sort(order.begin(), order.begin() + take, order.end(),
+                    [&](int64_t a, int64_t b) {
+                      const double wa = weight[static_cast<size_t>(a)];
+                      const double wb = weight[static_cast<size_t>(b)];
+                      if (wa != wb) return wa > wb;
+                      return a < b;
+                    });
+  std::vector<AttentionEdge> out;
+  out.reserve(static_cast<size_t>(take));
+  for (int64_t i = 0; i < take; ++i) {
+    AttentionEdge edge;
+    edge.position = order[static_cast<size_t>(i)];
+    edge.weight = weight[static_cast<size_t>(edge.position)] * scale;
+    edge.token =
+        record.tokens.empty()
+            ? "pos" + std::to_string(edge.position)
+            : record.tokens[static_cast<size_t>(edge.position)];
+    out.push_back(std::move(edge));
+  }
+  return out;
+}
+
+std::string CaptureScope::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"records\":[";
+  for (size_t r = 0; r < records_.size(); ++r) {
+    const AttentionRecord& record = records_[r];
+    if (r > 0) out += ',';
+    out += "{\"site\":" + std::to_string(record.site) +
+           ",\"seq_len\":" + std::to_string(record.seq_len) +
+           ",\"num_heads\":" + std::to_string(record.heads.size());
+    if (!record.tokens.empty()) {
+      out += ",\"tokens\":[";
+      for (size_t i = 0; i < record.tokens.size(); ++i) {
+        if (i > 0) out += ',';
+        out += '"' + JsonEscape(record.tokens[i]) + '"';
+      }
+      out += ']';
+    }
+    out += ",\"heads\":[";
+    for (size_t h = 0; h < record.heads.size(); ++h) {
+      const AttentionMatrix& m = record.heads[h];
+      if (h > 0) out += ',';
+      out += '[';
+      for (int64_t q = 0; q < m.rows; ++q) {
+        if (q > 0) out += ',';
+        out += '[';
+        for (int64_t key = 0; key < m.cols; ++key) {
+          if (key > 0) out += ',';
+          out += WeightJson(m.At(q, key));
+        }
+        out += ']';
+      }
+      out += ']';
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace tabrep::obs

@@ -1,0 +1,125 @@
+#ifndef TABREP_OBS_INTROSPECT_H_
+#define TABREP_OBS_INTROSPECT_H_
+
+// Attention capture: the model-introspection side of tabrep::obs.
+// Opening a CaptureScope makes every nn::MultiHeadSelfAttention
+// forward pass record its post-softmax attention matrices (one per
+// head) into the scope; records can then be labeled with the
+// serialized token strings, exported as JSON, or queried for the top-k
+// positions a token attended to.
+//
+// Cost model (mirrors TABREP_TRACE_SPAN):
+//   - with no scope open, the hook is one relaxed atomic load and
+//     allocates nothing;
+//   - with a scope open, each attention call copies its probability
+//     matrices on the calling thread after the head loop finishes.
+//
+// Capture observes and never changes behavior: it reads the attention
+// probabilities that were computed anyway, takes no part in scheduling
+// and draws from no rng, so model outputs are bitwise-identical with
+// capture on vs off (tests/introspect_test.cc).
+//
+// The obs layer sits below tensor/, so matrices are stored as plain
+// row-major float buffers, not Tensors.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tabrep::obs {
+
+/// One head's post-softmax attention, row-major [rows, cols]: row q
+/// holds the distribution of query position q over key positions.
+struct AttentionMatrix {
+  int64_t rows = 0;
+  int64_t cols = 0;
+  std::vector<float> weights;
+
+  float At(int64_t r, int64_t c) const {
+    return weights[static_cast<size_t>(r * cols + c)];
+  }
+};
+
+/// One captured attention call (one encoder layer, all heads). With a
+/// single Encode under the scope, `site` equals the layer index (the
+/// stack runs its layers in order on the calling thread); TaBERT's
+/// vertical attention appends one extra site after the stack.
+struct AttentionRecord {
+  int64_t site = 0;
+  int64_t seq_len = 0;
+  std::vector<AttentionMatrix> heads;
+  /// Serialized token strings, attached by SetTokenLabels; empty until
+  /// then.
+  std::vector<std::string> tokens;
+};
+
+/// One entry of a top-k "what did position X attend to" query.
+struct AttentionEdge {
+  int64_t position = 0;
+  /// Token label when the record was labeled, "pos<i>" otherwise.
+  std::string token;
+  double weight = 0.0;
+};
+
+/// RAII capture window. Scopes may nest (the innermost receives the
+/// records); the hook itself is thread-safe, but for deterministic
+/// record order capture one Encode at a time from the scope's thread.
+class CaptureScope {
+ public:
+  CaptureScope();
+  ~CaptureScope();
+
+  CaptureScope(const CaptureScope&) = delete;
+  CaptureScope& operator=(const CaptureScope&) = delete;
+
+  std::vector<AttentionRecord> records() const;
+  int64_t size() const;
+  void Clear();
+
+  /// Attaches token labels to every record whose sequence length
+  /// matches `labels.size()` (later records win nothing; all match in
+  /// the single-Encode use).
+  void SetTokenLabels(const std::vector<std::string>& labels);
+
+  /// Top-k key positions attended to by `query_pos` in record `site`,
+  /// averaged over heads (`head` >= 0 selects one head). Sorted by
+  /// weight descending, position ascending on ties. Empty when the
+  /// site or position is out of range.
+  std::vector<AttentionEdge> TopK(int64_t site, int64_t query_pos, int64_t k,
+                                  int64_t head = -1) const;
+
+  /// Same, averaging the attention rows of query positions
+  /// [begin, end) — the span-level query cell-level introspection
+  /// needs (a cell usually spans several tokens).
+  std::vector<AttentionEdge> TopKSpan(int64_t site, int64_t begin, int64_t end,
+                                      int64_t k) const;
+
+  /// {"records":[{"site":0,"seq_len":T,"num_heads":H,"tokens":[...],
+  ///   "heads":[[[...],...],...]},...]} — lint-clean JSON.
+  std::string ToJson() const;
+
+ private:
+  friend void RecordAttention(int64_t, std::vector<AttentionMatrix>);
+
+  std::vector<AttentionEdge> TopKSpanImpl(int64_t site, int64_t begin,
+                                          int64_t end, int64_t k,
+                                          int64_t head) const;
+
+  mutable std::mutex mu_;
+  std::vector<AttentionRecord> records_;
+  CaptureScope* prev_ = nullptr;
+};
+
+/// True while a CaptureScope is open — one relaxed atomic load, safe
+/// on any hot path.
+bool AttentionCaptureActive();
+
+/// The hook nn::MultiHeadSelfAttention calls after its head loop when
+/// capture is active. No-op when no scope is open (races with scope
+/// teardown resolve to dropping the record).
+void RecordAttention(int64_t seq_len, std::vector<AttentionMatrix> heads);
+
+}  // namespace tabrep::obs
+
+#endif  // TABREP_OBS_INTROSPECT_H_

@@ -2,39 +2,98 @@
 
 #include <cctype>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 
 namespace tabrep::obs {
+
+namespace {
+
+/// Length of the valid UTF-8 sequence starting at s[i], or 0 when the
+/// bytes there are not well-formed UTF-8 (overlong forms, surrogates
+/// and out-of-range code points rejected).
+size_t Utf8SequenceLength(std::string_view s, size_t i) {
+  const auto byte = [&](size_t k) {
+    return static_cast<unsigned char>(s[i + k]);
+  };
+  const unsigned char b0 = byte(0);
+  if (b0 < 0x80) return 1;
+  const auto cont = [&](size_t k) {
+    return i + k < s.size() && (byte(k) & 0xc0) == 0x80;
+  };
+  if ((b0 & 0xe0) == 0xc0) {  // 2 bytes, U+0080..U+07FF
+    return (b0 >= 0xc2 && cont(1)) ? 2 : 0;
+  }
+  if ((b0 & 0xf0) == 0xe0) {  // 3 bytes, U+0800..U+FFFF minus surrogates
+    if (!cont(1) || !cont(2)) return 0;
+    if (b0 == 0xe0 && byte(1) < 0xa0) return 0;  // overlong
+    if (b0 == 0xed && byte(1) >= 0xa0) return 0;  // surrogate range
+    return 3;
+  }
+  if ((b0 & 0xf8) == 0xf0) {  // 4 bytes, U+10000..U+10FFFF
+    if (!cont(1) || !cont(2) || !cont(3)) return 0;
+    if (b0 == 0xf0 && byte(1) < 0x90) return 0;  // overlong
+    if (b0 == 0xf4 && byte(1) >= 0x90) return 0;  // > U+10FFFF
+    return b0 <= 0xf4 ? 4 : 0;
+  }
+  return 0;
+}
+
+}  // namespace
 
 std::string JsonEscape(std::string_view s) {
   std::string out;
   out.reserve(s.size());
-  for (const char c : s) {
+  for (size_t i = 0; i < s.size();) {
+    const char c = s[i];
     switch (c) {
       case '"':
         out += "\\\"";
-        break;
+        ++i;
+        continue;
       case '\\':
         out += "\\\\";
-        break;
+        ++i;
+        continue;
       case '\n':
         out += "\\n";
-        break;
+        ++i;
+        continue;
       case '\r':
         out += "\\r";
-        break;
+        ++i;
+        continue;
       case '\t':
         out += "\\t";
-        break;
+        ++i;
+        continue;
       default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out += buf;
-        } else {
-          out += c;
-        }
+        break;
+    }
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (u < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(u));
+      out += buf;
+      ++i;
+      continue;
+    }
+    if (u < 0x80) {
+      out += c;
+      ++i;
+      continue;
+    }
+    // Multi-byte lead: copy the whole sequence if well-formed,
+    // otherwise drop this byte in favor of U+FFFD so the export stays
+    // valid JSON (and valid UTF-8) whatever bytes a cell contained.
+    const size_t len = Utf8SequenceLength(s, i);
+    if (len == 0) {
+      out += "\\ufffd";
+      ++i;
+    } else {
+      out.append(s.substr(i, len));
+      i += len;
     }
   }
   return out;
@@ -217,5 +276,270 @@ class Lint {
 }  // namespace
 
 bool JsonLint(std::string_view text) { return Lint(text).Run(); }
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (auto it = members_.rbegin(); it != members_.rend(); ++it) {
+    if (it->first == key) return &it->second;
+  }
+  return nullptr;
+}
+
+const JsonValue* JsonValue::Get(
+    std::initializer_list<std::string_view> path) const {
+  const JsonValue* v = this;
+  for (std::string_view key : path) {
+    v = v->Find(key);
+    if (v == nullptr) return nullptr;
+  }
+  return v;
+}
+
+/// Recursive-descent parser sharing the Lint grammar; builds a DOM.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Run() {
+    SkipWs();
+    JsonValue v;
+    if (!Value(&v)) return Error();
+    SkipWs();
+    if (pos_ != text_.size()) return Error();
+    return v;
+  }
+
+ private:
+  Status Error() const {
+    return Status::Corruption("invalid JSON near byte " +
+                              std::to_string(pos_));
+  }
+  bool Eof() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  void SkipWs() {
+    while (!Eof() && (Peek() == ' ' || Peek() == '\t' || Peek() == '\n' ||
+                      Peek() == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  static void AppendUtf8(uint32_t cp, std::string* out) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xc0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xe0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    } else {
+      out->push_back(static_cast<char>(0xf0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3f)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    }
+  }
+
+  bool HexQuad(uint32_t* out) {
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (Eof() || !std::isxdigit(static_cast<unsigned char>(Peek()))) {
+        return false;
+      }
+      const char c = Peek();
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<uint32_t>(c - '0');
+      } else {
+        v |= static_cast<uint32_t>((c | 0x20) - 'a' + 10);
+      }
+      ++pos_;
+    }
+    *out = v;
+    return true;
+  }
+
+  bool String(std::string* out) {
+    if (Eof() || Peek() != '"') return false;
+    ++pos_;
+    while (!Eof()) {
+      const char c = Peek();
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c != '\\') {
+        out->push_back(c);
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+      if (Eof()) return false;
+      const char e = Peek();
+      ++pos_;
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          uint32_t cp = 0;
+          if (!HexQuad(&cp)) return false;
+          // Combine surrogate pairs; a lone surrogate becomes U+FFFD.
+          if (cp >= 0xd800 && cp <= 0xdbff) {
+            if (pos_ + 1 < text_.size() && text_[pos_] == '\\' &&
+                text_[pos_ + 1] == 'u') {
+              pos_ += 2;
+              uint32_t lo = 0;
+              if (!HexQuad(&lo)) return false;
+              if (lo >= 0xdc00 && lo <= 0xdfff) {
+                cp = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+              } else {
+                cp = 0xfffd;
+              }
+            } else {
+              cp = 0xfffd;
+            }
+          } else if (cp >= 0xdc00 && cp <= 0xdfff) {
+            cp = 0xfffd;
+          }
+          AppendUtf8(cp, out);
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;
+  }
+
+  bool Number(double* out) {
+    const size_t start = pos_;
+    if (!Eof() && Peek() == '-') ++pos_;
+    if (Eof() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+      return false;
+    }
+    while (!Eof() && std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    if (!Eof() && Peek() == '.') {
+      ++pos_;
+      if (Eof() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return false;
+      }
+      while (!Eof() && std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    if (!Eof() && (Peek() == 'e' || Peek() == 'E')) {
+      ++pos_;
+      if (!Eof() && (Peek() == '+' || Peek() == '-')) ++pos_;
+      if (Eof() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return false;
+      }
+      while (!Eof() && std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    *out = std::strtod(token.c_str(), nullptr);
+    return true;
+  }
+
+  bool Value(JsonValue* out) {
+    if (Eof()) return false;
+    switch (Peek()) {
+      case '{': {
+        ++pos_;
+        out->kind_ = JsonValue::Kind::kObject;
+        SkipWs();
+        if (!Eof() && Peek() == '}') {
+          ++pos_;
+          return true;
+        }
+        for (;;) {
+          SkipWs();
+          std::string key;
+          if (!String(&key)) return false;
+          SkipWs();
+          if (Eof() || Peek() != ':') return false;
+          ++pos_;
+          SkipWs();
+          JsonValue member;
+          if (!Value(&member)) return false;
+          out->members_.emplace_back(std::move(key), std::move(member));
+          SkipWs();
+          if (Eof()) return false;
+          if (Peek() == ',') {
+            ++pos_;
+            continue;
+          }
+          if (Peek() == '}') {
+            ++pos_;
+            return true;
+          }
+          return false;
+        }
+      }
+      case '[': {
+        ++pos_;
+        out->kind_ = JsonValue::Kind::kArray;
+        SkipWs();
+        if (!Eof() && Peek() == ']') {
+          ++pos_;
+          return true;
+        }
+        for (;;) {
+          SkipWs();
+          JsonValue item;
+          if (!Value(&item)) return false;
+          out->items_.push_back(std::move(item));
+          SkipWs();
+          if (Eof()) return false;
+          if (Peek() == ',') {
+            ++pos_;
+            continue;
+          }
+          if (Peek() == ']') {
+            ++pos_;
+            return true;
+          }
+          return false;
+        }
+      }
+      case '"':
+        out->kind_ = JsonValue::Kind::kString;
+        return String(&out->string_);
+      case 't':
+        out->kind_ = JsonValue::Kind::kBool;
+        out->bool_ = true;
+        return Literal("true");
+      case 'f':
+        out->kind_ = JsonValue::Kind::kBool;
+        out->bool_ = false;
+        return Literal("false");
+      case 'n':
+        out->kind_ = JsonValue::Kind::kNull;
+        return Literal("null");
+      default:
+        out->kind_ = JsonValue::Kind::kNumber;
+        return Number(&out->number_);
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+Result<JsonValue> JsonParse(std::string_view text) {
+  return JsonParser(text).Run();
+}
 
 }  // namespace tabrep::obs

@@ -1,13 +1,20 @@
 #ifndef TABREP_OBS_JSON_H_
 #define TABREP_OBS_JSON_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
 
 namespace tabrep::obs {
 
 /// Escapes `s` for embedding inside a JSON string literal (quotes not
-/// included). Control characters become \uXXXX.
+/// included). Control characters become \uXXXX. Bytes that do not form
+/// a valid UTF-8 sequence (synthetic cell values may carry arbitrary
+/// bytes) are replaced by U+FFFD so the output is always valid JSON.
 std::string JsonEscape(std::string_view s);
 
 /// Renders a double as a JSON number. NaN/Inf (not representable in
@@ -19,6 +26,56 @@ std::string JsonNumber(double v);
 /// tests to validate chrome-trace exports and JSONL sink lines without
 /// a third-party parser.
 bool JsonLint(std::string_view text);
+
+/// A parsed JSON value — the minimal DOM the observability tooling
+/// needs to read back its own exports (BENCH_<id>.json, JSONL rows).
+/// Objects keep insertion order; duplicate keys keep the last value on
+/// lookup (Find scans from the back).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+
+  bool AsBool(bool fallback = false) const {
+    return kind_ == Kind::kBool ? bool_ : fallback;
+  }
+  double AsNumber(double fallback = 0.0) const {
+    return kind_ == Kind::kNumber ? number_ : fallback;
+  }
+  const std::string& AsString() const { return string_; }
+  const std::vector<JsonValue>& items() const { return items_; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// Member lookup on objects; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+  /// Nested lookup, e.g. Get({"histograms", "tabrep.nn.attention.us",
+  /// "p95"}). Nullptr as soon as any hop is missing.
+  const JsonValue* Get(std::initializer_list<std::string_view> path) const;
+
+  static JsonValue Null() { return JsonValue(); }
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parses one JSON document (RFC 8259 grammar, same subset JsonLint
+/// accepts). \uXXXX escapes decode to UTF-8; surrogate pairs are
+/// combined.
+Result<JsonValue> JsonParse(std::string_view text);
 
 }  // namespace tabrep::obs
 

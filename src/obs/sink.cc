@@ -28,8 +28,10 @@ std::string StdoutSink::Render(const StepRecord& record) {
 
 void StdoutSink::Record(const StepRecord& record) {
   // Decimate only plain step streams; eval rows are rare and always
-  // worth printing.
-  const bool is_eval = record.stream.find(".eval") != std::string::npos;
+  // worth printing. (The stream-suffix check keeps callers that tag
+  // only the stream name, not `kind`, printing as before.)
+  const bool is_eval =
+      record.kind == "eval" || record.stream.find(".eval") != std::string::npos;
   if (!is_eval && record.step % every_ != 0) return;
   const std::string line = Render(record);
   std::lock_guard<std::mutex> lock(mu_);
@@ -52,6 +54,7 @@ JsonlSink::~JsonlSink() {
 
 std::string JsonlSink::Render(const StepRecord& record) {
   std::string line = "{\"stream\":\"" + JsonEscape(record.stream) +
+                     "\",\"kind\":\"" + JsonEscape(record.kind) +
                      "\",\"step\":" + std::to_string(record.step);
   for (const Field& f : record.fields) {
     line += ",\"" + JsonEscape(f.name) + "\":" + JsonNumber(f.value);

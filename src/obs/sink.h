@@ -27,15 +27,23 @@ struct Field {
 
 /// One telemetry row: a training step, an eval point, etc. `stream`
 /// namespaces the record ("pretrain", "pretrain.eval",
-/// "finetune.imputation", ...).
+/// "finetune.imputation", ...); `kind` discriminates optimizer-step
+/// rows from held-out evaluation rows sharing one JSONL file.
 struct StepRecord {
   std::string stream;
+  /// "train" for optimizer-step rows, "eval" for held-out evaluations.
+  std::string kind = "train";
   int64_t step = 0;
   std::vector<Field> fields;
 
   StepRecord() = default;
   StepRecord(std::string stream_name, int64_t step_index)
       : stream(std::move(stream_name)), step(step_index) {}
+  StepRecord(std::string stream_name, std::string record_kind,
+             int64_t step_index)
+      : stream(std::move(stream_name)),
+        kind(std::move(record_kind)),
+        step(step_index) {}
 
   StepRecord& Add(std::string name, double value, int precision = 4) {
     fields.push_back({std::move(name), value, precision});

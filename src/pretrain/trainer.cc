@@ -24,7 +24,7 @@ obs::StepRecord PretrainStepRecord(const PretrainLogEntry& entry,
 
 obs::StepRecord PretrainEvalRecord(int64_t step, const PretrainEval& eval,
                                    bool include_mer) {
-  obs::StepRecord record("pretrain.eval", step);
+  obs::StepRecord record("pretrain.eval", "eval", step);
   record.Add("mlm_loss", eval.mlm_loss)
       .Add("mlm_acc", eval.mlm_accuracy)
       .Add("mlm_ppl", eval.mlm_perplexity, /*precision=*/2);

@@ -443,16 +443,24 @@ TableCorpus GenerateSyntheticCorpus(const SyntheticCorpusOptions& options) {
                                                 options.min_rows + 1)));
     Table t;
     if (rng.NextDouble() < options.numeric_table_fraction) {
-      t = rng.NextBernoulli(0.5) ? GenCensus(g, rows) : GenSensor(g, rows);
+      if (rng.NextBernoulli(0.5)) {
+        t = GenCensus(g, rows);
+        t.add_tag("domain:census");
+      } else {
+        t = GenSensor(g, rows);
+        t.add_tag("domain:sensor");
+      }
+      t.add_tag("kind:gittables");
     } else {
       switch (rng.NextBelow(6)) {
-        case 0: t = GenCountries(g, rows); break;
-        case 1: t = GenFilms(g, rows); break;
-        case 2: t = GenAwards(g, rows); break;
-        case 3: t = GenScientists(g, rows); break;
-        case 4: t = GenCities(g, rows); break;
-        default: t = GenCompanies(g, rows); break;
+        case 0: t = GenCountries(g, rows); t.add_tag("domain:countries"); break;
+        case 1: t = GenFilms(g, rows); t.add_tag("domain:films"); break;
+        case 2: t = GenAwards(g, rows); t.add_tag("domain:awards"); break;
+        case 3: t = GenScientists(g, rows); t.add_tag("domain:scientists"); break;
+        case 4: t = GenCities(g, rows); t.add_tag("domain:cities"); break;
+        default: t = GenCompanies(g, rows); t.add_tag("domain:companies"); break;
       }
+      t.add_tag("kind:wiki");
     }
     if (options.null_fraction > 0.0) {
       for (int64_t r = 0; r < t.num_rows(); ++r) {
@@ -467,7 +475,9 @@ TableCorpus GenerateSyntheticCorpus(const SyntheticCorpusOptions& options) {
       t = t.WithoutHeader();
       t.set_title("");
       t.set_caption("");
+      t.add_tag("headerless");
     }
+    if (t.CountNulls() > 0) t.add_tag("has_nulls");
     t.set_id("synth-" + std::to_string(i));
     t.InferTypes();
     corpus.tables.push_back(std::move(t));
@@ -478,6 +488,8 @@ TableCorpus GenerateSyntheticCorpus(const SyntheticCorpusOptions& options) {
 Table MakeCountryDemoTable() {
   Table t(std::vector<std::string>{"Country", "Capital", "Population"});
   t.set_id("demo-country");
+  t.add_tag("domain:countries");
+  t.add_tag("kind:wiki");
   t.set_title("Population in Million by Country");
   t.set_caption("Population in Million by Country");
   const char* picks[] = {"France", "Germany", "Italy", "Spain", "Australia",
@@ -499,6 +511,8 @@ Table MakeCountryDemoTable() {
 Table MakeAwardsDemoTable() {
   Table t(std::vector<std::string>{"Year", "Recipient", "Film", "Language"});
   t.set_id("demo-awards");
+  t.add_tag("domain:awards");
+  t.add_tag("kind:wiki");
   t.set_title("Best Director Award");
   t.set_caption("Award recipients by year");
   TABREP_CHECK(t.AppendRow({Value::String("1967 (15th)"),
@@ -521,6 +535,8 @@ Table MakeCensusDemoTable() {
   Table t(std::vector<std::string>{"age", "workclass", "education",
                                    "hours-per-week", "income"});
   t.set_id("demo-census");
+  t.add_tag("domain:census");
+  t.add_tag("kind:gittables");
   TABREP_CHECK(t.AppendRow({Value::Null(), Value::String("Private"),
                             Value::String("Some-college"), Value::Int(20),
                             Value::String("<=50K")})

@@ -57,6 +57,13 @@ bool Table::HasHeader() const {
   return false;
 }
 
+bool Table::HasTag(std::string_view tag) const {
+  for (const std::string& t : tags_) {
+    if (t == tag) return true;
+  }
+  return false;
+}
+
 Status Table::AppendRow(std::vector<Value> row) {
   if (static_cast<int64_t>(row.size()) != num_columns()) {
     return Status::InvalidArgument(
@@ -116,6 +123,7 @@ Table Table::ProjectColumns(const std::vector<int64_t>& column_ids) const {
   out.id_ = id_;
   out.title_ = title_;
   out.caption_ = caption_;
+  out.tags_ = tags_;
   for (int64_t c : column_ids) out.columns_.push_back(column(c));
   for (int64_t r = 0; r < num_rows(); ++r) {
     std::vector<Value> row_out;

@@ -47,6 +47,13 @@ class Table {
   const std::string& caption() const { return caption_; }
   void set_caption(std::string c) { caption_ = std::move(c); }
 
+  /// Provenance tags ("domain:films", "kind:wiki", "headerless", ...)
+  /// stamped by the corpus generators; the failure-analysis slicer
+  /// groups evaluation records by them. Free-form, order-preserving.
+  const std::vector<std::string>& tags() const { return tags_; }
+  void add_tag(std::string tag) { tags_.push_back(std::move(tag)); }
+  bool HasTag(std::string_view tag) const;
+
   // -- Schema ------------------------------------------------------------
 
   int64_t num_columns() const { return static_cast<int64_t>(columns_.size()); }
@@ -91,6 +98,7 @@ class Table {
   std::string id_;
   std::string title_;
   std::string caption_;
+  std::vector<std::string> tags_;
   std::vector<ColumnSpec> columns_;
   std::vector<std::vector<Value>> rows_;
 };

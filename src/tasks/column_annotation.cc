@@ -85,11 +85,13 @@ FineTuneReport ColumnAnnotationTask::Train(const TableCorpus& train) {
   for (ag::Variable* p : head_->Parameters()) params.push_back(p);
 
   tasks::ReportBuilder report(config_.steps, config_.sink,
-                              "finetune.column_annotation");
+                              "finetune.column_annotation",
+                              config_.example_log);
   const size_t bs = static_cast<size_t>(config_.batch_size);
   std::vector<const ColumnAnnotationExample*> batch(bs);
   std::vector<float> losses(bs);
   std::vector<int64_t> correct(bs), counted(bs);
+  std::vector<eval::ExampleRecord> records(report.logging_examples() ? bs : 0);
   for (int64_t step = 0; step < config_.steps; ++step) {
     optimizer_->ZeroGrad();
     for (size_t b = 0; b < bs; ++b) {
@@ -102,20 +104,34 @@ FineTuneReport ColumnAnnotationTask::Train(const TableCorpus& train) {
         config_.batch_size, params, rng_, [&](int64_t b, Rng& rng) {
           const size_t i = static_cast<size_t>(b);
           const ColumnAnnotationExample& ex = *batch[i];
+          const Table& table =
+              train.tables[static_cast<size_t>(ex.table_index)];
           bool ok = false;
-          ag::Variable logits = ForwardColumn(
-              train.tables[static_cast<size_t>(ex.table_index)], ex.col, rng,
-              &ok);
+          ag::Variable logits = ForwardColumn(table, ex.col, rng, &ok);
           if (!ok) return;
           ag::Variable loss = ag::CrossEntropy(logits, {ex.label}, -100,
                                                &correct[i], &counted[i]);
           losses[i] = loss.value()[0];
+          if (report.logging_examples()) {
+            const int32_t pred = ops::ArgmaxRows(logits.value())[0];
+            eval::ExampleRecord rec;
+            rec.example_id = table.id() + ":col" + std::to_string(ex.col);
+            rec.gold = label_names_[static_cast<size_t>(ex.label)];
+            rec.prediction = label_names_[static_cast<size_t>(pred)];
+            rec.loss = losses[i];
+            rec.correct = pred == ex.label;
+            rec.tags = eval::TableTags(table);
+            records[i] = std::move(rec);
+          }
           ag::Backward(loss);
         });
     nn::ClipGradNorm(params, config_.grad_clip);
     optimizer_->Step();
     for (size_t b = 0; b < bs; ++b) {
       report.Record(step, losses[b], correct[b], counted[b]);
+      if (report.logging_examples() && counted[b] > 0) {
+        report.Example(step, std::move(records[b]));
+      }
     }
   }
   return report.Build();

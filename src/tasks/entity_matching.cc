@@ -81,11 +81,12 @@ FineTuneReport EntityMatchingTask::Train(
   for (ag::Variable* p : head_.Parameters()) params.push_back(p);
 
   tasks::ReportBuilder report(config_.steps, config_.sink,
-                              "finetune.entity_matching");
+                              "finetune.entity_matching", config_.example_log);
   const size_t bs = static_cast<size_t>(config_.batch_size);
   std::vector<const MatchingExample*> batch(bs);
   std::vector<float> losses(bs);
   std::vector<int64_t> correct(bs), counted(bs);
+  std::vector<eval::ExampleRecord> records(report.logging_examples() ? bs : 0);
   for (int64_t step = 0; step < config_.steps; ++step) {
     optimizer_->ZeroGrad();
     // Samples (and, inside ParallelBatch, per-example seeds) are drawn
@@ -96,16 +97,32 @@ FineTuneReport EntityMatchingTask::Train(
     nn::ParallelBatch(
         config_.batch_size, params, rng_, [&](int64_t b, Rng& rng) {
           const size_t i = static_cast<size_t>(b);
+          ag::Variable logits = Forward(*batch[i], rng);
           ag::Variable loss =
-              ag::CrossEntropy(Forward(*batch[i], rng), {batch[i]->label},
+              ag::CrossEntropy(logits, {batch[i]->label},
                                -100, &correct[i], &counted[i]);
           losses[i] = loss.value()[0];
+          if (report.logging_examples()) {
+            const int32_t pred = ops::ArgmaxRows(logits.value())[0];
+            eval::ExampleRecord rec;
+            rec.example_id =
+                "pair-" + std::to_string(batch[i] - examples.data());
+            rec.gold = batch[i]->label == 1 ? "match" : "distinct";
+            rec.prediction = pred == 1 ? "match" : "distinct";
+            rec.loss = losses[i];
+            rec.correct = pred == batch[i]->label;
+            rec.tags = eval::TableTags(PairTable(*batch[i]));
+            records[i] = std::move(rec);
+          }
           ag::Backward(loss);
         });
     nn::ClipGradNorm(params, config_.grad_clip);
     optimizer_->Step();
     for (size_t b = 0; b < bs; ++b) {
       report.Record(step, losses[b], correct[b], counted[b]);
+      if (report.logging_examples() && counted[b] > 0) {
+        report.Example(step, std::move(records[b]));
+      }
     }
   }
   return report.Build();

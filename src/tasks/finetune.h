@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "eval/failure_analysis.h"
 #include "obs/sink.h"
 
 namespace tabrep {
@@ -23,6 +24,11 @@ struct FineTuneConfig {
   /// Per-step telemetry (stream "finetune.<task>") goes here.
   /// Borrowed; must outlive Train(). Null disables emission.
   obs::MetricsSink* sink = nullptr;
+  /// Per-example records (gold, prediction, loss, provenance tags) for
+  /// failure analysis go here. Borrowed; must outlive Train(). Null
+  /// disables collection — the fine-tuners then skip building the
+  /// records entirely.
+  eval::ExampleLog* example_log = nullptr;
 };
 
 namespace tasks {
@@ -45,9 +51,24 @@ class ReportBuilder {
  public:
   explicit ReportBuilder(int64_t steps)
       : steps_(steps), tail_start_(steps * 3 / 4) {}
-  ReportBuilder(int64_t steps, obs::MetricsSink* sink, std::string stream)
+  ReportBuilder(int64_t steps, obs::MetricsSink* sink, std::string stream,
+                eval::ExampleLog* example_log = nullptr)
       : steps_(steps), tail_start_(steps * 3 / 4), sink_(sink),
-        stream_(std::move(stream)) {}
+        stream_(std::move(stream)), example_log_(example_log) {}
+
+  /// True when a fine-tuner should spend the extra work of filling
+  /// ExampleRecords (gold/prediction strings, tags).
+  bool logging_examples() const { return example_log_ != nullptr; }
+
+  /// Appends one per-example record, stamping task/phase/step; call
+  /// after the step's parallel region, in slot order.
+  void Example(int64_t step, eval::ExampleRecord record) {
+    if (example_log_ == nullptr) return;
+    record.task = stream_;
+    record.phase = "train";
+    record.step = step;
+    example_log_->Add(std::move(record));
+  }
 
   /// Records one example's loss and (optionally) classification
   /// counts from step `step`. Steps must be recorded in order.
@@ -100,6 +121,7 @@ class ReportBuilder {
   int64_t tail_start_;
   obs::MetricsSink* sink_ = nullptr;
   std::string stream_;
+  eval::ExampleLog* example_log_ = nullptr;
   double loss_sum_ = 0.0;
   int64_t examples_ = 0;
   int64_t correct_ = 0;

@@ -53,6 +53,23 @@ TokenizedTable MaskCellTokens(const TokenizedTable& serialized,
 
 }  // namespace
 
+eval::ExampleRecord ImputationTask::MakeExampleRecord(
+    const Table& table, const ImputationExample& ex, std::string prediction,
+    float loss, bool correct) const {
+  eval::ExampleRecord rec;
+  rec.example_id = table.id() + ":" + std::to_string(ex.row) + "," +
+                   std::to_string(ex.col);
+  rec.gold = value_names_[static_cast<size_t>(ex.value_id)];
+  rec.prediction = std::move(prediction);
+  rec.loss = loss;
+  rec.correct = correct;
+  rec.tags = eval::TableTags(table);
+  rec.tags.push_back(table.column(ex.col).type == ColumnType::kNumeric
+                         ? "cell:numeric"
+                         : "cell:categorical");
+  return rec;
+}
+
 ImputationTask::ImputationTask(TableEncoderModel* model,
                                const TableSerializer* serializer,
                                FineTuneConfig config, const TableCorpus& train,
@@ -159,11 +176,12 @@ FineTuneReport ImputationTask::Train(const TableCorpus& train) {
   for (ag::Variable* p : head_->Parameters()) params.push_back(p);
 
   tasks::ReportBuilder report(config_.steps, config_.sink,
-                              "finetune.imputation");
+                              "finetune.imputation", config_.example_log);
   const size_t bs = static_cast<size_t>(config_.batch_size);
   std::vector<const ImputationExample*> batch(bs);
   std::vector<float> losses(bs);
   std::vector<int64_t> correct(bs), counted(bs);
+  std::vector<eval::ExampleRecord> records(report.logging_examples() ? bs : 0);
   for (int64_t step = 0; step < config_.steps; ++step) {
     optimizer_->ZeroGrad();
     for (size_t b = 0; b < bs; ++b) {
@@ -176,21 +194,31 @@ FineTuneReport ImputationTask::Train(const TableCorpus& train) {
         config_.batch_size, params, rng_, [&](int64_t b, Rng& rng) {
           const size_t i = static_cast<size_t>(b);
           const ImputationExample& ex = *batch[i];
+          const Table& table =
+              train.tables[static_cast<size_t>(ex.table_index)];
           bool ok = false;
-          ag::Variable logits = ForwardExample(
-              train.tables[static_cast<size_t>(ex.table_index)], ex.row,
-              ex.col, rng, &ok);
+          ag::Variable logits =
+              ForwardExample(table, ex.row, ex.col, rng, &ok);
           if (!ok) return;
           ag::Variable loss =
               ag::CrossEntropy(logits, {ex.value_id}, /*ignore_index=*/-100,
                                &correct[i], &counted[i]);
           losses[i] = loss.value()[0];
+          if (report.logging_examples()) {
+            records[i] = MakeExampleRecord(
+                table, ex, value_names_[static_cast<size_t>(
+                               ops::ArgmaxRows(logits.value())[0])],
+                losses[i], correct[i] > 0);
+          }
           ag::Backward(loss);
         });
     nn::ClipGradNorm(params, config_.grad_clip);
     optimizer_->Step();
     for (size_t b = 0; b < bs; ++b) {
       report.Record(step, losses[b], correct[b], counted[b]);
+      if (report.logging_examples() && counted[b] > 0) {
+        report.Example(step, std::move(records[b]));
+      }
     }
   }
   return report.Build();
@@ -210,26 +238,43 @@ ClassificationReport ImputationTask::Evaluate(const TableCorpus& test,
     examples.resize(static_cast<size_t>(max_examples));
   }
   const size_t n = examples.size();
+  const bool logging = config_.example_log != nullptr;
   std::vector<int8_t> scored(n, 0);
   std::vector<int32_t> pred_slots(n), target_slots(n);
+  std::vector<eval::ExampleRecord> records(logging ? n : 0);
   nn::ParallelExamples(
       static_cast<int64_t>(n), eval_rng, [&](int64_t i, Rng& rng) {
         const size_t s = static_cast<size_t>(i);
         const ImputationExample& ex = examples[s];
+        const Table& table = test.tables[static_cast<size_t>(ex.table_index)];
         bool ok = false;
-        ag::Variable logits = ForwardExample(
-            test.tables[static_cast<size_t>(ex.table_index)], ex.row, ex.col,
-            rng, &ok);
+        ag::Variable logits = ForwardExample(table, ex.row, ex.col, rng, &ok);
         if (!ok) return;
         scored[s] = 1;
         pred_slots[s] = ops::ArgmaxRows(logits.value())[0];
         target_slots[s] = ex.value_id;
+        if (logging) {
+          int64_t correct = 0, counted = 0;
+          ag::Variable loss =
+              ag::CrossEntropy(logits, {ex.value_id}, /*ignore_index=*/-100,
+                               &correct, &counted);
+          records[s] = MakeExampleRecord(
+              table, ex,
+              value_names_[static_cast<size_t>(pred_slots[s])],
+              loss.value()[0], pred_slots[s] == ex.value_id);
+        }
       });
   std::vector<int32_t> predictions, targets;
   for (size_t i = 0; i < n; ++i) {
     if (!scored[i]) continue;
     predictions.push_back(pred_slots[i]);
     targets.push_back(target_slots[i]);
+    if (logging) {
+      records[i].task = "finetune.imputation";
+      records[i].phase = "eval";
+      records[i].step = static_cast<int64_t>(i);
+      config_.example_log->Add(std::move(records[i]));
+    }
   }
   model_->SetTraining(true);
   head_->SetTraining(true);

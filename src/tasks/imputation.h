@@ -98,6 +98,13 @@ class ImputationTask {
   ag::Variable ForwardExample(const Table& table, int32_t row, int32_t col,
                               Rng& rng, bool* ok);
 
+  /// Per-example failure-analysis record (gold/prediction strings plus
+  /// the table's provenance tags and the cell-category tag).
+  eval::ExampleRecord MakeExampleRecord(const Table& table,
+                                        const ImputationExample& ex,
+                                        std::string prediction, float loss,
+                                        bool correct) const;
+
   TableEncoderModel* model_;
   const TableSerializer* serializer_;
   FineTuneConfig config_;

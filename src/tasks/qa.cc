@@ -80,11 +80,12 @@ FineTuneReport QaTask::Train(const TableCorpus& corpus,
   for (ag::Variable* p : head_.Parameters()) params.push_back(p);
 
   tasks::ReportBuilder report(config_.steps, config_.sink,
-                              "finetune.qa");
+                              "finetune.qa", config_.example_log);
   const size_t bs = static_cast<size_t>(config_.batch_size);
   std::vector<const QaExample*> batch(bs);
   std::vector<float> losses(bs);
   std::vector<int64_t> correct(bs), counted(bs);
+  std::vector<eval::ExampleRecord> records(report.logging_examples() ? bs : 0);
   for (int64_t step = 0; step < config_.steps; ++step) {
     optimizer_->ZeroGrad();
     for (size_t b = 0; b < bs; ++b) {
@@ -97,22 +98,36 @@ FineTuneReport QaTask::Train(const TableCorpus& corpus,
         config_.batch_size, params, rng_, [&](int64_t b, Rng& rng) {
           const size_t i = static_cast<size_t>(b);
           const QaExample& ex = *batch[i];
+          const Table& table =
+              corpus.tables[static_cast<size_t>(ex.table_index)];
           int64_t gold = -1;
           bool ok = false;
-          ag::Variable logits =
-              Forward(corpus.tables[static_cast<size_t>(ex.table_index)], ex,
-                      rng, &gold, &ok);
+          ag::Variable logits = Forward(table, ex, rng, &gold, &ok);
           if (!ok) return;
           ag::Variable loss =
               ag::CrossEntropy(logits, {static_cast<int32_t>(gold)}, -100,
                                &correct[i], &counted[i]);
           losses[i] = loss.value()[0];
+          if (report.logging_examples()) {
+            const int32_t pred = ops::ArgmaxRows(logits.value())[0];
+            eval::ExampleRecord rec;
+            rec.example_id = table.id() + ":" + ex.question;
+            rec.gold = "cell" + std::to_string(gold);
+            rec.prediction = "cell" + std::to_string(pred);
+            rec.loss = losses[i];
+            rec.correct = pred == gold;
+            rec.tags = eval::TableTags(table);
+            records[i] = std::move(rec);
+          }
           ag::Backward(loss);
         });
     nn::ClipGradNorm(params, config_.grad_clip);
     optimizer_->Step();
     for (size_t b = 0; b < bs; ++b) {
       report.Record(step, losses[b], correct[b], counted[b]);
+      if (report.logging_examples() && counted[b] > 0) {
+        report.Example(step, std::move(records[b]));
+      }
     }
   }
   return report.Build();

@@ -111,13 +111,14 @@ FineTuneReport RetrievalTask::Train(
   // In-batch contrastive training: batch_size queries, their positive
   // tables as shared negatives.
   tasks::ReportBuilder report(config_.steps, config_.sink,
-                              "finetune.retrieval");
+                              "finetune.retrieval", config_.example_log);
   const int64_t k = std::max<int64_t>(2, config_.batch_size);
   const size_t bs = static_cast<size_t>(k);
   std::vector<const RetrievalExample*> batch(bs);
   std::vector<ag::Variable> table_embs(bs);
   std::vector<float> losses(bs);
   std::vector<int64_t> correct(bs), counted(bs);
+  std::vector<eval::ExampleRecord> records(report.logging_examples() ? bs : 0);
   for (int64_t step = 0; step < config_.steps; ++step) {
     optimizer_->ZeroGrad();
     for (size_t i = 0; i < bs; ++i) {
@@ -144,12 +145,29 @@ FineTuneReport RetrievalTask::Train(
           ag::CrossEntropy(logits, {static_cast<int32_t>(i)}, -100,
                            &correct[s], &counted[s]);
       losses[s] = loss.value()[0];
+      if (report.logging_examples()) {
+        const int32_t pred = ops::ArgmaxRows(logits.value())[0];
+        eval::ExampleRecord rec;
+        rec.example_id = batch[s]->query;
+        rec.gold = "table:" + std::to_string(batch[s]->relevant_table);
+        rec.prediction =
+            "table:" +
+            std::to_string(batch[static_cast<size_t>(pred)]->relevant_table);
+        rec.loss = losses[s];
+        rec.correct = pred == static_cast<int32_t>(i);
+        rec.tags = eval::TableTags(
+            corpus.tables[static_cast<size_t>(batch[s]->relevant_table)]);
+        records[s] = std::move(rec);
+      }
       ag::Backward(loss);
     });
     nn::ClipGradNorm(params, config_.grad_clip);
     optimizer_->Step();
     for (size_t i = 0; i < bs; ++i) {
       report.Record(step, losses[i], correct[i], counted[i]);
+      if (report.logging_examples() && counted[i] > 0) {
+        report.Example(step, std::move(records[i]));
+      }
     }
   }
   return report.Build();

@@ -149,11 +149,13 @@ FineTuneReport SemanticParsingTask::Train(
   for (ag::Variable* p : value_score_->Parameters()) params.push_back(p);
 
   tasks::ReportBuilder report(config_.steps, config_.sink,
-                              "finetune.semantic_parsing");
+                              "finetune.semantic_parsing",
+                              config_.example_log);
   const size_t bs = static_cast<size_t>(config_.batch_size);
   std::vector<const ParsingExample*> batch(bs);
   std::vector<float> losses(bs);
   std::vector<int64_t> correct(bs), counted(bs);
+  std::vector<eval::ExampleRecord> records(report.logging_examples() ? bs : 0);
   for (int64_t step = 0; step < config_.steps; ++step) {
     optimizer_->ZeroGrad();
     for (size_t b = 0; b < bs; ++b) {
@@ -203,12 +205,33 @@ FineTuneReport SemanticParsingTask::Train(
                                             -100, &correct[slot],
                                             &counted[slot]));
       losses[slot] = loss.value()[0];
+      if (report.logging_examples()) {
+        auto slots = [](int32_t agg, int64_t sel, int64_t wc, int64_t cell) {
+          return "agg" + std::to_string(agg) + ";sel" + std::to_string(sel) +
+                 ";col" + std::to_string(wc) + ";cell" + std::to_string(cell);
+        };
+        eval::ExampleRecord rec;
+        rec.example_id = table.id() + ":" + ex.generated.question;
+        rec.gold = slots(gold_agg, gold_select, gold_where, gold_cell);
+        rec.prediction =
+            slots(ops::ArgmaxRows(logits.aggregate.value())[0],
+                  ops::ArgmaxRows(logits.select_col.value())[0],
+                  ops::ArgmaxRows(logits.where_col.value())[0],
+                  ops::ArgmaxRows(logits.where_val.value())[0]);
+        rec.loss = losses[slot];
+        rec.correct = counted[slot] > 0 && correct[slot] == counted[slot];
+        rec.tags = eval::TableTags(table);
+        records[slot] = std::move(rec);
+      }
       ag::Backward(loss);
     });
     nn::ClipGradNorm(params, config_.grad_clip);
     optimizer_->Step();
     for (size_t b = 0; b < bs; ++b) {
       report.Record(step, losses[b], correct[b], counted[b]);
+      if (report.logging_examples() && counted[b] > 0) {
+        report.Example(step, std::move(records[b]));
+      }
     }
   }
   return report.Build();

@@ -1,0 +1,501 @@
+// Tests for the model-introspection layer: attention capture
+// (obs::CaptureScope), per-example evaluation records + error slicing
+// (eval::ExampleLog / SliceByTag), and the bench-trajectory regression
+// gate (obs::DiffBenchReports).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "eval/failure_analysis.h"
+#include "obs/diff.h"
+#include "obs/introspect.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "runtime/runtime.h"
+#include "serialize/vocab_builder.h"
+#include "table/synth.h"
+#include "tasks/imputation.h"
+
+namespace tabrep {
+namespace {
+
+/// Shared tiny-corpus fixture (vocab building is the slow part).
+class IntrospectFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SyntheticCorpusOptions opts;
+    opts.num_tables = 30;
+    opts.numeric_table_fraction = 0.2;
+    corpus_ = new TableCorpus(GenerateSyntheticCorpus(opts));
+    WordPieceTrainerOptions topts;
+    topts.vocab_size = 1500;
+    tokenizer_ = new WordPieceTokenizer(BuildCorpusTokenizer(*corpus_, topts));
+    SerializerOptions sopts;
+    sopts.max_tokens = 96;
+    serializer_ = new TableSerializer(tokenizer_, sopts);
+  }
+  static void TearDownTestSuite() {
+    delete serializer_;
+    delete tokenizer_;
+    delete corpus_;
+    serializer_ = nullptr;
+    tokenizer_ = nullptr;
+    corpus_ = nullptr;
+  }
+
+  static ModelConfig TinyConfig(int64_t layers = 2) {
+    ModelConfig config;
+    config.family = ModelFamily::kVanilla;
+    config.vocab_size = tokenizer_->vocab().size();
+    config.entity_vocab_size = corpus_->entities.size();
+    config.transformer.dim = 32;
+    config.transformer.num_layers = layers;
+    config.transformer.num_heads = 2;
+    config.transformer.ffn_dim = 64;
+    config.transformer.dropout = 0.0f;
+    config.max_position = 128;
+    return config;
+  }
+
+  static TableCorpus* corpus_;
+  static WordPieceTokenizer* tokenizer_;
+  static TableSerializer* serializer_;
+};
+
+TableCorpus* IntrospectFixture::corpus_ = nullptr;
+WordPieceTokenizer* IntrospectFixture::tokenizer_ = nullptr;
+TableSerializer* IntrospectFixture::serializer_ = nullptr;
+
+// ---------------------------------------------------------------------------
+// Attention capture.
+
+TEST_F(IntrospectFixture, DisabledCaptureRecordsNothing) {
+  EXPECT_FALSE(obs::AttentionCaptureActive());
+  obs::Counter& captures =
+      obs::Registry::Get().counter("tabrep.obs.attention.captures");
+  const uint64_t before = captures.value();
+
+  TableEncoderModel model(TinyConfig());
+  model.SetTraining(false);
+  TokenizedTable serialized = serializer_->Serialize(MakeCountryDemoTable());
+  Rng rng(7);
+  model.Encode(serialized, rng, {.need_cells = false});
+
+  EXPECT_EQ(captures.value(), before);
+  EXPECT_FALSE(obs::AttentionCaptureActive());
+}
+
+TEST_F(IntrospectFixture, CapturesOneRecordPerLayerWithAllHeads) {
+  TableEncoderModel model(TinyConfig(/*layers=*/2));
+  model.SetTraining(false);
+  TokenizedTable serialized = serializer_->Serialize(MakeCountryDemoTable());
+  const int64_t t = serialized.size();
+
+  obs::CaptureScope scope;
+  EXPECT_TRUE(obs::AttentionCaptureActive());
+  Rng rng(7);
+  model.Encode(serialized, rng, {.need_cells = false});
+
+  const std::vector<obs::AttentionRecord> records = scope.records();
+  ASSERT_EQ(records.size(), 2u);  // one per encoder layer
+  for (size_t layer = 0; layer < records.size(); ++layer) {
+    const obs::AttentionRecord& rec = records[layer];
+    EXPECT_EQ(rec.site, static_cast<int64_t>(layer));
+    EXPECT_EQ(rec.seq_len, t);
+    ASSERT_EQ(rec.heads.size(), 2u);
+    for (const obs::AttentionMatrix& head : rec.heads) {
+      EXPECT_EQ(head.rows, t);
+      EXPECT_EQ(head.cols, t);
+      ASSERT_EQ(head.weights.size(), static_cast<size_t>(t * t));
+      // Each query row is a softmax distribution over key positions.
+      for (int64_t q = 0; q < t; ++q) {
+        double sum = 0.0;
+        for (int64_t k = 0; k < t; ++k) sum += head.At(q, k);
+        EXPECT_NEAR(sum, 1.0, 1e-4);
+      }
+    }
+  }
+}
+
+TEST_F(IntrospectFixture, CaptureDoesNotChangeModelOutputs) {
+  TokenizedTable serialized = serializer_->Serialize(corpus_->tables[0]);
+
+  auto encode = [&](bool capture) {
+    TableEncoderModel model(TinyConfig());
+    model.SetTraining(false);
+    Rng rng(11);
+    if (capture) {
+      obs::CaptureScope scope;
+      models::Encoded enc = model.Encode(serialized, rng);
+      EXPECT_GT(scope.size(), 0);
+      return enc.hidden.value().Clone();
+    }
+    models::Encoded enc = model.Encode(serialized, rng);
+    return enc.hidden.value().Clone();
+  };
+
+  Tensor off = encode(false);
+  Tensor on = encode(true);
+  ASSERT_EQ(off.numel(), on.numel());
+  for (int64_t i = 0; i < off.numel(); ++i) {
+    EXPECT_EQ(off[i], on[i]) << "bit drift at " << i;  // bitwise identical
+  }
+}
+
+TEST_F(IntrospectFixture, CaptureIsDeterministicAcrossThreadCounts) {
+  TokenizedTable serialized = serializer_->Serialize(corpus_->tables[0]);
+
+  auto capture_all = [&](int num_threads) {
+    runtime::Configure(runtime::RuntimeConfig{num_threads});
+    TableEncoderModel model(TinyConfig());
+    model.SetTraining(false);
+    obs::CaptureScope scope;
+    Rng rng(13);
+    model.Encode(serialized, rng, {.need_cells = false});
+    return scope.records();
+  };
+
+  const auto one = capture_all(1);
+  const auto four = capture_all(4);
+  runtime::Configure(runtime::RuntimeConfig{});  // back to auto
+
+  ASSERT_EQ(one.size(), four.size());
+  for (size_t r = 0; r < one.size(); ++r) {
+    EXPECT_EQ(one[r].site, four[r].site);
+    EXPECT_EQ(one[r].seq_len, four[r].seq_len);
+    ASSERT_EQ(one[r].heads.size(), four[r].heads.size());
+    for (size_t h = 0; h < one[r].heads.size(); ++h) {
+      ASSERT_EQ(one[r].heads[h].weights.size(),
+                four[r].heads[h].weights.size());
+      for (size_t i = 0; i < one[r].heads[h].weights.size(); ++i) {
+        EXPECT_EQ(one[r].heads[h].weights[i], four[r].heads[h].weights[i]);
+      }
+    }
+  }
+}
+
+TEST_F(IntrospectFixture, TopKMatchesBruteForce) {
+  TableEncoderModel model(TinyConfig());
+  model.SetTraining(false);
+  TokenizedTable serialized = serializer_->Serialize(MakeCountryDemoTable());
+  obs::CaptureScope scope;
+  Rng rng(17);
+  model.Encode(serialized, rng, {.need_cells = false});
+  ASSERT_GT(scope.size(), 0);
+
+  const obs::AttentionRecord rec = scope.records()[0];
+  const int64_t q = 2;
+  const int64_t k = 5;
+  // Brute force: average the heads' row q, take the k largest.
+  std::vector<std::pair<double, int64_t>> scored;
+  for (int64_t pos = 0; pos < rec.seq_len; ++pos) {
+    double w = 0.0;
+    for (const obs::AttentionMatrix& head : rec.heads) w += head.At(q, pos);
+    scored.emplace_back(w / static_cast<double>(rec.heads.size()), pos);
+  }
+  std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+
+  const std::vector<obs::AttentionEdge> edges = scope.TopK(0, q, k);
+  ASSERT_EQ(edges.size(), static_cast<size_t>(k));
+  for (int64_t i = 0; i < k; ++i) {
+    EXPECT_EQ(edges[static_cast<size_t>(i)].position,
+              scored[static_cast<size_t>(i)].second);
+    EXPECT_NEAR(edges[static_cast<size_t>(i)].weight,
+                scored[static_cast<size_t>(i)].first, 1e-6);
+  }
+  // Out-of-range queries are empty, not UB.
+  EXPECT_TRUE(scope.TopK(99, q, k).empty());
+  EXPECT_TRUE(scope.TopK(0, rec.seq_len + 5, k).empty());
+}
+
+TEST_F(IntrospectFixture, TokenLabelsAndCellQuery) {
+  TableEncoderModel model(TinyConfig());
+  model.SetTraining(false);
+  Table demo = MakeCountryDemoTable();
+  TokenizedTable serialized = serializer_->Serialize(demo);
+  obs::CaptureScope scope;
+  Rng rng(19);
+  model.Encode(serialized, rng, {.need_cells = false});
+
+  scope.SetTokenLabels(eval::TokenLabels(serialized, *tokenizer_));
+  const std::vector<obs::AttentionEdge> edges =
+      eval::QueryCellAttention(scope, serialized, 0, 0, 4);
+  ASSERT_FALSE(edges.empty());
+  for (size_t i = 0; i < edges.size(); ++i) {
+    EXPECT_FALSE(edges[i].token.empty());
+    if (i > 0) {
+      EXPECT_LE(edges[i].weight, edges[i - 1].weight);
+    }
+  }
+  // A cell beyond the table is empty, not UB.
+  EXPECT_TRUE(eval::QueryCellAttention(scope, serialized, 99, 99, 4).empty());
+}
+
+TEST_F(IntrospectFixture, CaptureJsonLintsAndParses) {
+  TableEncoderModel model(TinyConfig(/*layers=*/1));
+  model.SetTraining(false);
+  TokenizedTable serialized = serializer_->Serialize(MakeCountryDemoTable());
+  obs::CaptureScope scope;
+  Rng rng(23);
+  model.Encode(serialized, rng, {.need_cells = false});
+  scope.SetTokenLabels(eval::TokenLabels(serialized, *tokenizer_));
+
+  const std::string json = scope.ToJson();
+  EXPECT_TRUE(obs::JsonLint(json));
+  Result<obs::JsonValue> doc = obs::JsonParse(json);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const obs::JsonValue* records = doc->Find("records");
+  ASSERT_NE(records, nullptr);
+  ASSERT_EQ(records->items().size(), 1u);
+  const obs::JsonValue& rec = records->items()[0];
+  EXPECT_EQ(rec.Get({"seq_len"})->AsNumber(), serialized.size());
+  EXPECT_EQ(rec.Get({"num_heads"})->AsNumber(), 2);
+  EXPECT_EQ(rec.Get({"tokens"})->items().size(),
+            static_cast<size_t>(serialized.size()));
+}
+
+// ---------------------------------------------------------------------------
+// Per-example records and error slicing.
+
+TEST_F(IntrospectFixture, FineTunerEmitsExampleRecords) {
+  eval::ExampleLog log;
+  TableEncoderModel model(TinyConfig());
+  FineTuneConfig fconfig;
+  fconfig.steps = 4;
+  fconfig.batch_size = 2;
+  fconfig.example_log = &log;
+  ImputationOptions iopts;
+  iopts.include_numeric_columns = true;
+  ImputationTask task(&model, serializer_, fconfig, *corpus_, iopts);
+  task.Train(*corpus_);
+  const int64_t train_records = log.size();
+  EXPECT_GT(train_records, 0);
+  task.Evaluate(*corpus_, 10, CellCategory::kCategorical);
+  EXPECT_GT(log.size(), train_records);
+
+  for (const eval::ExampleRecord& rec : log.records()) {
+    EXPECT_EQ(rec.task, "finetune.imputation");
+    EXPECT_TRUE(rec.phase == "train" || rec.phase == "eval") << rec.phase;
+    EXPECT_GE(rec.step, 0);
+    EXPECT_FALSE(rec.example_id.empty());
+    EXPECT_FALSE(rec.gold.empty());
+    EXPECT_FALSE(rec.tags.empty());
+  }
+
+  // JSONL export is lint-clean, one object per line.
+  const std::string jsonl = eval::ExampleRecordsJsonl(log.records());
+  std::istringstream lines(jsonl);
+  std::string line;
+  int64_t n = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_TRUE(obs::JsonLint(line)) << line;
+    ++n;
+  }
+  EXPECT_EQ(n, log.size());
+}
+
+TEST_F(IntrospectFixture, ExampleRecordsDeterministicAcrossThreadCounts) {
+  auto run = [&](int num_threads) {
+    runtime::Configure(runtime::RuntimeConfig{num_threads});
+    eval::ExampleLog log;
+    TableEncoderModel model(TinyConfig());
+    FineTuneConfig fconfig;
+    fconfig.steps = 3;
+    fconfig.batch_size = 4;
+    fconfig.example_log = &log;
+    ImputationTask task(&model, serializer_, fconfig, *corpus_);
+    task.Train(*corpus_);
+    return log.records();
+  };
+
+  const auto one = run(1);
+  const auto four = run(4);
+  runtime::Configure(runtime::RuntimeConfig{});
+
+  ASSERT_EQ(one.size(), four.size());
+  ASSERT_GT(one.size(), 0u);
+  for (size_t i = 0; i < one.size(); ++i) {
+    EXPECT_EQ(one[i].example_id, four[i].example_id);
+    EXPECT_EQ(one[i].step, four[i].step);
+    EXPECT_EQ(one[i].gold, four[i].gold);
+    EXPECT_EQ(one[i].prediction, four[i].prediction);
+    EXPECT_EQ(one[i].loss, four[i].loss);  // bitwise
+    EXPECT_EQ(one[i].correct, four[i].correct);
+  }
+}
+
+TEST(SliceByTagTest, GroupsByTagWithAllSlice) {
+  std::vector<eval::ExampleRecord> records;
+  auto add = [&](std::vector<std::string> tags, bool correct, float loss,
+                 std::string phase = "eval") {
+    eval::ExampleRecord r;
+    r.phase = std::move(phase);
+    r.tags = std::move(tags);
+    r.correct = correct;
+    r.loss = loss;
+    records.push_back(std::move(r));
+  };
+  add({"domain:census", "cell:numeric"}, false, 2.0f);
+  add({"domain:census", "cell:categorical"}, true, 1.0f);
+  add({"domain:films", "cell:categorical"}, true, 0.5f);
+  add({"domain:films"}, true, 0.5f, "train");  // filtered out
+
+  const std::vector<eval::SliceStat> slices =
+      eval::SliceByTag(records, "eval");
+  ASSERT_GE(slices.size(), 4u);
+  EXPECT_EQ(slices[0].tag, "all");
+  EXPECT_EQ(slices[0].total, 3);
+  EXPECT_EQ(slices[0].correct, 2);
+
+  auto find = [&](const std::string& tag) -> const eval::SliceStat* {
+    for (const eval::SliceStat& s : slices) {
+      if (s.tag == tag) return &s;
+    }
+    return nullptr;
+  };
+  const eval::SliceStat* census = find("domain:census");
+  ASSERT_NE(census, nullptr);
+  EXPECT_EQ(census->total, 2);
+  EXPECT_EQ(census->correct, 1);
+  EXPECT_DOUBLE_EQ(census->accuracy(), 0.5);
+  EXPECT_DOUBLE_EQ(census->mean_loss(), 1.5);
+  const eval::SliceStat* numeric = find("cell:numeric");
+  ASSERT_NE(numeric, nullptr);
+  EXPECT_EQ(numeric->total, 1);
+  EXPECT_EQ(numeric->correct, 0);
+  // The train-phase record was filtered out.
+  const eval::SliceStat* films = find("domain:films");
+  ASSERT_NE(films, nullptr);
+  EXPECT_EQ(films->total, 1);
+
+  const std::string table = eval::RenderSliceTable(slices);
+  EXPECT_NE(table.find("all"), std::string::npos);
+  EXPECT_NE(table.find("domain:census"), std::string::npos);
+}
+
+TEST(TableTagsTest, DerivesStructuralTags) {
+  Table demo = MakeCountryDemoTable();
+  const std::vector<std::string> tags = eval::TableTags(demo);
+  EXPECT_NE(std::find(tags.begin(), tags.end(), "small_table"), tags.end());
+
+  Table headerless = demo.WithoutHeader();
+  headerless.set_title("");
+  headerless.set_caption("");
+  const std::vector<std::string> htags = eval::TableTags(headerless);
+  EXPECT_NE(std::find(htags.begin(), htags.end(), "headerless"), htags.end());
+  EXPECT_NE(std::find(htags.begin(), htags.end(), "no_context"), htags.end());
+}
+
+// ---------------------------------------------------------------------------
+// Bench-trajectory regression gate.
+
+namespace diffjson {
+
+std::string Report(double counter, double p95, double total_ms) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"label\":\"t\",\"counters\":{\"tabrep.ops.matmul.calls\":%g},"
+      "\"gauges\":{},"
+      "\"histograms\":{\"tabrep.encode.us\":{\"count\":10,\"mean\":%g,"
+      "\"p95\":%g}},"
+      "\"profile\":[{\"name\":\"encode\",\"count\":10,\"total_ms\":%g,"
+      "\"p95_ms\":%g}]}",
+      counter, p95 * 0.8, p95, total_ms, total_ms / 10.0);
+  return buf;
+}
+
+}  // namespace diffjson
+
+TEST(BenchDiffTest, IdenticalReportsPass) {
+  const std::string report = diffjson::Report(1000, 200, 80);
+  Result<obs::BenchDiffReport> diff =
+      obs::DiffBenchReports(report, report);
+  ASSERT_TRUE(diff.ok()) << diff.status().ToString();
+  EXPECT_TRUE(diff->ok());
+  EXPECT_EQ(diff->violations(), 0);
+  EXPECT_TRUE(diff->unmatched.empty());
+  const std::string rendered = obs::RenderBenchDiff(*diff);
+  EXPECT_NE(rendered.find("0 violations"), std::string::npos);
+}
+
+TEST(BenchDiffTest, FlagsP95Regression) {
+  // +50% p95 on a 200us histogram: over the 20% threshold, above the
+  // 50us noise floor.
+  Result<obs::BenchDiffReport> diff = obs::DiffBenchReports(
+      diffjson::Report(1000, 200, 80), diffjson::Report(1000, 300, 80));
+  ASSERT_TRUE(diff.ok());
+  EXPECT_FALSE(diff->ok());
+  bool found = false;
+  for (const obs::BenchDiffLine& line : diff->lines) {
+    if (line.kind == "hist.p95" && line.violation) {
+      found = true;
+      EXPECT_NEAR(line.change, 0.5, 1e-9);
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_NE(obs::RenderBenchDiff(*diff).find("FAIL"), std::string::npos);
+}
+
+TEST(BenchDiffTest, FlagsCounterRegression) {
+  // Counters are deterministic: +2% gates even though every timing
+  // threshold would tolerate it.
+  Result<obs::BenchDiffReport> diff = obs::DiffBenchReports(
+      diffjson::Report(1000, 200, 80), diffjson::Report(1020, 200, 80));
+  ASSERT_TRUE(diff.ok());
+  EXPECT_FALSE(diff->ok());
+  bool found = false;
+  for (const obs::BenchDiffLine& line : diff->lines) {
+    if (line.kind == "counter" && line.violation) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(BenchDiffTest, NoiseFloorSuppressesTinyTimings) {
+  // p95 triples but from 10us — below the 50us floor, never a gate.
+  Result<obs::BenchDiffReport> diff = obs::DiffBenchReports(
+      diffjson::Report(1000, 10, 0.02), diffjson::Report(1000, 30, 0.04));
+  ASSERT_TRUE(diff.ok());
+  EXPECT_TRUE(diff->ok()) << obs::RenderBenchDiff(*diff);
+}
+
+TEST(BenchDiffTest, ThresholdsAreConfigurable) {
+  obs::BenchDiffOptions options;
+  options.max_p95_regress = 0.60;  // +50% now tolerated
+  Result<obs::BenchDiffReport> diff = obs::DiffBenchReports(
+      diffjson::Report(1000, 200, 80), diffjson::Report(1000, 300, 80),
+      options);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_TRUE(diff->ok());
+}
+
+TEST(BenchDiffTest, UnmatchedEntriesAreInformational) {
+  const std::string old_report =
+      "{\"label\":\"a\",\"counters\":{\"x\":1}}";
+  const std::string new_report =
+      "{\"label\":\"b\",\"counters\":{\"y\":1}}";
+  Result<obs::BenchDiffReport> diff =
+      obs::DiffBenchReports(old_report, new_report);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_TRUE(diff->ok());  // new/removed instruments never gate
+  ASSERT_EQ(diff->unmatched.size(), 2u);
+}
+
+TEST(BenchDiffTest, MalformedInputIsCorruption) {
+  Result<obs::BenchDiffReport> diff =
+      obs::DiffBenchReports("{not json", diffjson::Report(1, 1, 1));
+  EXPECT_FALSE(diff.ok());
+  Result<obs::BenchDiffReport> diff2 =
+      obs::DiffBenchReports("[1,2,3]", diffjson::Report(1, 1, 1));
+  EXPECT_FALSE(diff2.ok());
+}
+
+}  // namespace
+}  // namespace tabrep

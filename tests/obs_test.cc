@@ -49,6 +49,44 @@ TEST(ObsJsonTest, LintAcceptsAndRejects) {
   EXPECT_FALSE(obs::JsonLint("{\"a\":1} extra"));
 }
 
+TEST(ObsJsonTest, EscapeKeepsInvalidUtf8Loadable) {
+  // Synthetic cell values can carry arbitrary bytes; the escaped form
+  // must still be a valid JSON string (invalid sequences -> U+FFFD).
+  const std::string cases[] = {
+      std::string("\xff\xfe", 2),          // not UTF-8 at all
+      std::string("ab\xc3", 3),            // truncated 2-byte sequence
+      std::string("\xe2\x82", 2),          // truncated 3-byte sequence
+      std::string("\xc0\xaf", 2),          // overlong encoding
+      std::string("ok \xf0\x9f\x99\x82"),  // valid 4-byte emoji passes
+  };
+  for (const std::string& raw : cases) {
+    const std::string doc = "{\"v\":\"" + obs::JsonEscape(raw) + "\"}";
+    EXPECT_TRUE(obs::JsonLint(doc)) << doc;
+    EXPECT_TRUE(obs::JsonParse(doc).ok()) << doc;
+  }
+  // Valid multibyte input passes through unchanged.
+  EXPECT_EQ(obs::JsonEscape("caf\xc3\xa9"), "caf\xc3\xa9");
+}
+
+TEST(ObsJsonTest, ParseRoundTrip) {
+  Result<obs::JsonValue> doc = obs::JsonParse(
+      "{\"label\":\"x\",\"n\":-2.5e2,\"ok\":true,\"list\":[1,\"two\",null],"
+      "\"nested\":{\"p95\":42}}");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->Find("label")->AsString(), "x");
+  EXPECT_EQ(doc->Find("n")->AsNumber(), -250.0);
+  EXPECT_TRUE(doc->Find("ok")->AsBool());
+  ASSERT_EQ(doc->Find("list")->items().size(), 3u);
+  EXPECT_EQ(doc->Get({"nested", "p95"})->AsNumber(), 42.0);
+  EXPECT_EQ(doc->Get({"nested", "missing"}), nullptr);
+  // Escapes decode, surrogate pairs combine.
+  Result<obs::JsonValue> esc =
+      obs::JsonParse("\"a\\n\\u0041\\ud83d\\ude42\"");
+  ASSERT_TRUE(esc.ok());
+  EXPECT_EQ(esc->AsString(), "a\nA\xf0\x9f\x99\x82");
+  EXPECT_FALSE(obs::JsonParse("{\"a\":}").ok());
+}
+
 // ---------------------------------------------------------------------------
 // Metrics registry
 
@@ -239,6 +277,27 @@ TEST(ObsSinkTest, JsonlRoundTrip) {
   EXPECT_NE(lines[0].find("\"mlm_loss\""), std::string::npos);
   EXPECT_NE(lines[1].find("pretrain.eval"), std::string::npos);
   std::remove(path.c_str());
+}
+
+TEST(ObsSinkTest, KindDiscriminatesTrainFromEvalRows) {
+  // Default is "train"; the 3-arg constructor sets "eval" rows apart so
+  // one JSONL file can carry both without string-matching stream names.
+  obs::StepRecord train("finetune.imputation", 3);
+  EXPECT_EQ(train.kind, "train");
+  obs::StepRecord eval_rec("finetune.imputation", "eval", 3);
+  EXPECT_EQ(eval_rec.kind, "eval");
+
+  const std::string train_line = obs::JsonlSink::Render(train);
+  const std::string eval_line = obs::JsonlSink::Render(eval_rec);
+  EXPECT_TRUE(obs::JsonLint(train_line));
+  EXPECT_TRUE(obs::JsonLint(eval_line));
+  Result<obs::JsonValue> doc = obs::JsonParse(eval_line);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Find("kind")->AsString(), "eval");
+  EXPECT_EQ(doc->Find("stream")->AsString(), "finetune.imputation");
+  Result<obs::JsonValue> tdoc = obs::JsonParse(train_line);
+  ASSERT_TRUE(tdoc.ok());
+  EXPECT_EQ(tdoc->Find("kind")->AsString(), "train");
 }
 
 TEST(ObsSinkTest, ReportBuilderEmitsPerStepAggregates) {
