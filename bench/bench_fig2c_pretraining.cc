@@ -81,7 +81,7 @@ int main() {
   ModelConfig config = BenchModelConfig(ModelFamily::kTurl, w);
   TableEncoderModel model(config);
   PretrainConfig pconfig;
-  pconfig.steps = 1000;
+  pconfig.steps = BenchSteps(1000, 30);
   pconfig.batch_size = 2;
   pconfig.peak_lr = 2e-3f;
   pconfig.warmup_steps = 30;

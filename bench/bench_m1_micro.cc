@@ -6,8 +6,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <memory>
 
+#include "bench_util.h"
 #include "models/table_encoder.h"
 #include "models/visibility.h"
 #include "serialize/serializer.h"
@@ -16,6 +18,7 @@
 #include "runtime/runtime.h"
 #include "table/csv.h"
 #include "table/synth.h"
+#include "tensor/kernels.h"
 #include "tensor/ops.h"
 
 namespace tabrep {
@@ -47,6 +50,16 @@ MicroWorld& GetWorld() {
   return world;
 }
 
+/// 2*n^3 flops per square matmul, reported as a GFLOP/s counter so
+/// speedups read directly off BENCH_m1_micro.json.
+void SetMatMulCounters(benchmark::State& state, int64_t n) {
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+  state.counters["GFLOPS"] = benchmark::Counter(
+      static_cast<double>(2 * n * n * n),
+      benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1000);
+}
+
 void BM_MatMul(benchmark::State& state) {
   const int64_t n = state.range(0);
   Rng rng(1);
@@ -55,9 +68,26 @@ void BM_MatMul(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(ops::MatMul(a, b));
   }
-  state.SetItemsProcessed(state.iterations() * n * n * n);
+  SetMatMulCounters(state, n);
+  state.SetLabel(kernels::SimdLevelName(kernels::ActiveSimdLevel()));
 }
 BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+
+/// The retained naive reference kernel, same shapes as BM_MatMul: the
+/// ISSUE acceptance bar is BM_MatMul/256 >= 3x this.
+void BM_MatMulNaive(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, rng);
+  Tensor b = Tensor::Randn({n, n}, rng);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    kernels::naive::MatMul(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  SetMatMulCounters(state, n);
+}
+BENCHMARK(BM_MatMulNaive)->Arg(64)->Arg(128)->Arg(256);
 
 // Thread-scaling curve for the MatMul kernel: args are (n, threads).
 // The ISSUE acceptance bar is >= 2x items/s at 4 threads vs 1.
@@ -72,7 +102,7 @@ void BM_MatMulThreads(benchmark::State& state) {
     benchmark::DoNotOptimize(ops::MatMul(a, b));
   }
   runtime::Configure({});
-  state.SetItemsProcessed(state.iterations() * n * n * n);
+  SetMatMulCounters(state, n);
 }
 BENCHMARK(BM_MatMulThreads)
     ->Args({256, 1})
@@ -89,8 +119,71 @@ void BM_MatMulTransposedB(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(ops::MatMulTransposedB(a, b));
   }
+  SetMatMulCounters(state, n);
 }
 BENCHMARK(BM_MatMulTransposedB)->Arg(128);
+
+void BM_Transpose(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(7);
+  Tensor a = Tensor::Randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::Transpose(a));
+  }
+  state.SetBytesProcessed(state.iterations() * n * n *
+                          static_cast<int64_t>(sizeof(float)));
+}
+BENCHMARK(BM_Transpose)->Arg(256)->Arg(1024);
+
+void BM_Gelu(benchmark::State& state) {
+  Rng rng(8);
+  Tensor a = Tensor::Randn({256, 256}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::Gelu(a));
+  }
+  state.SetItemsProcessed(state.iterations() * a.numel());
+}
+BENCHMARK(BM_Gelu);
+
+/// Fused scorer vs. its composed equivalent (MatMulTransposedB +
+/// MulScalar + Softmax + MatMul), square [n,d]=[n,64] attention.
+void BM_FusedAttention(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const int64_t d = 64;
+  Rng rng(9);
+  Tensor q = Tensor::Randn({n, d}, rng);
+  Tensor k = Tensor::Randn({n, d}, rng);
+  Tensor v = Tensor::Randn({n, d}, rng);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::ScaledDotAttention(q, k, v, nullptr, scale));
+  }
+  // Score (2*n*n*d) + context (2*n*n*d) flops, softmax excluded.
+  state.counters["GFLOPS"] = benchmark::Counter(
+      static_cast<double>(4 * n * n * d),
+      benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_FusedAttention)->Arg(128)->Arg(256);
+
+void BM_ComposedAttention(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const int64_t d = 64;
+  Rng rng(9);
+  Tensor q = Tensor::Randn({n, d}, rng);
+  Tensor k = Tensor::Randn({n, d}, rng);
+  Tensor v = Tensor::Randn({n, d}, rng);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::MatMul(
+        ops::Softmax(ops::MulScalar(ops::MatMulTransposedB(q, k), scale)), v));
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      static_cast<double>(4 * n * n * d),
+      benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_ComposedAttention)->Arg(128)->Arg(256);
 
 void BM_Softmax(benchmark::State& state) {
   Rng rng(3);
@@ -215,4 +308,15 @@ BENCHMARK(BM_TrainStep);
 }  // namespace
 }  // namespace tabrep
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): also drop a
+// BENCH_m1_micro.json obs report (counters only — tracing stays off;
+// span capture across millions of benchmark iterations would grow
+// without bound).
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  tabrep::bench::WriteBenchObsReport("m1_micro");
+  return 0;
+}

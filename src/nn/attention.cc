@@ -75,7 +75,6 @@ ag::Variable MultiHeadSelfAttention::Forward(const ag::Variable& x,
       ag::Variable q = q_[static_cast<size_t>(h)]->Forward(x);
       ag::Variable k = k_[static_cast<size_t>(h)]->Forward(x);
       ag::Variable v = v_[static_cast<size_t>(h)]->Forward(x);
-      ag::Variable scores = ag::MulScalar(ag::MatMulTransposedB(q, k), scale);
       const Tensor* head_bias = nullptr;
       if (bias) {
         if (bias->has_per_head()) {
@@ -89,15 +88,30 @@ ag::Variable MultiHeadSelfAttention::Forward(const ag::Variable& x,
                      head_bias->cols() == t)
             << "attention bias shape " << ShapeToString(head_bias->shape())
             << " vs sequence length " << t;
-        scores = ag::Add(scores, ag::Variable::Constant(*head_bias));
       }
-      ag::Variable probs = ag::Softmax(scores);
-      if (keep_probs) head_probs[static_cast<size_t>(h)] = probs.value();
-      if (use_dropout) {
+      ag::Variable ctx;
+      if (!use_dropout) {
+        // Fused path: score + softmax + context in one pass over K/V
+        // (kernels::FusedAttention). Capturing probabilities does not
+        // change the arithmetic, so capture on/off stays
+        // bitwise-identical.
+        Tensor probs_t;
+        ctx = ag::FusedAttention(q, k, v, head_bias, scale,
+                                 keep_probs ? &probs_t : nullptr);
+        if (keep_probs) head_probs[static_cast<size_t>(h)] = probs_t;
+      } else {
+        // Dropout needs the materialized probability matrix to mask.
+        ag::Variable scores =
+            ag::MulScalar(ag::MatMulTransposedB(q, k), scale);
+        if (head_bias) {
+          scores = ag::Add(scores, ag::Variable::Constant(*head_bias));
+        }
+        ag::Variable probs = ag::Softmax(scores);
+        if (keep_probs) head_probs[static_cast<size_t>(h)] = probs.value();
         Rng head_rng(seeds[static_cast<size_t>(h)]);
         probs = ag::Dropout(probs, dropout_, head_rng);
+        ctx = ag::MatMul(probs, v);
       }
-      ag::Variable ctx = ag::MatMul(probs, v);
       head_outs[static_cast<size_t>(h)] =
           out_[static_cast<size_t>(h)]->Forward(ctx);
     }

@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "runtime/runtime.h"
+#include "tensor/kernels.h"
 #include "tensor/ops.h"
 
 namespace tabrep::nn {
@@ -11,9 +13,7 @@ namespace tabrep::nn {
 Tensor DenseAttentionForward(const Tensor& q, const Tensor& k,
                              const Tensor& v, const Tensor* bias) {
   const float scale = 1.0f / std::sqrt(static_cast<float>(q.cols()));
-  Tensor scores = ops::MulScalar(ops::MatMulTransposedB(q, k), scale);
-  if (bias) scores.Add(*bias);
-  return ops::MatMul(ops::Softmax(scores), v);
+  return ops::ScaledDotAttention(q, k, v, bias, scale);
 }
 
 Tensor SparseAttentionForward(const Tensor& q, const Tensor& k,
@@ -24,40 +24,40 @@ Tensor SparseAttentionForward(const Tensor& q, const Tensor& k,
   TABREP_CHECK(bias.dim() == 2 && bias.rows() == t && bias.cols() == t);
   const float scale = 1.0f / std::sqrt(static_cast<float>(d));
 
-  // Precompute the visible column list per row once; reused buffers
-  // keep the inner loop allocation-free.
+  // Rows are independent, so the row loop parallelizes exactly; each
+  // chunk reuses its own visible-list/score buffers so the inner loop
+  // stays allocation-free. Visible columns are walked in ascending
+  // order, so accumulation order per output element is fixed.
   Tensor out({t, d});
-  std::vector<int64_t> visible;
-  std::vector<float> scores;
-  for (int64_t i = 0; i < t; ++i) {
-    visible.clear();
-    for (int64_t j = 0; j < t; ++j) {
-      if (bias.at(i, j) == 0.0f) visible.push_back(j);
+  const int64_t grain = kernels::GrainForFlopsPerRow(2 * t * d);
+  runtime::ParallelFor(0, t, grain, [&](int64_t lo, int64_t hi) {
+    std::vector<int64_t> visible;
+    std::vector<float> scores;
+    for (int64_t i = lo; i < hi; ++i) {
+      visible.clear();
+      for (int64_t j = 0; j < t; ++j) {
+        if (bias.at(i, j) == 0.0f) visible.push_back(j);
+      }
+      TABREP_CHECK(!visible.empty()) << "row " << i << " fully masked";
+      scores.resize(visible.size());
+      const float* qi = q.data() + i * d;
+      float mx = -1e30f;
+      for (size_t n = 0; n < visible.size(); ++n) {
+        scores[n] = kernels::Dot(qi, k.data() + visible[n] * d, d) * scale;
+        mx = std::max(mx, scores[n]);
+      }
+      float denom = 0.0f;
+      for (float& s : scores) {
+        s = std::exp(s - mx);
+        denom += s;
+      }
+      const float inv = 1.0f / denom;
+      float* oi = out.data() + i * d;
+      for (size_t n = 0; n < visible.size(); ++n) {
+        kernels::Axpy(oi, v.data() + visible[n] * d, scores[n] * inv, d);
+      }
     }
-    TABREP_CHECK(!visible.empty()) << "row " << i << " fully masked";
-    scores.resize(visible.size());
-    const float* qi = q.data() + i * d;
-    float mx = -1e30f;
-    for (size_t n = 0; n < visible.size(); ++n) {
-      const float* kj = k.data() + visible[n] * d;
-      float acc = 0.0f;
-      for (int64_t c = 0; c < d; ++c) acc += qi[c] * kj[c];
-      scores[n] = acc * scale;
-      mx = std::max(mx, scores[n]);
-    }
-    float denom = 0.0f;
-    for (float& s : scores) {
-      s = std::exp(s - mx);
-      denom += s;
-    }
-    const float inv = 1.0f / denom;
-    float* oi = out.data() + i * d;
-    for (size_t n = 0; n < visible.size(); ++n) {
-      const float w = scores[n] * inv;
-      const float* vj = v.data() + visible[n] * d;
-      for (int64_t c = 0; c < d; ++c) oi[c] += w * vj[c];
-    }
-  }
+  });
   return out;
 }
 

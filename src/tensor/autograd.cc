@@ -285,6 +285,42 @@ Variable MatMulTransposedB(const Variable& a, const Variable& b) {
                 });
 }
 
+Variable FusedAttention(const Variable& q, const Variable& k,
+                        const Variable& v, const Tensor* bias, float scale,
+                        Tensor* probs_out) {
+  auto pq = q.impl();
+  auto pk = k.impl();
+  auto pv = v.impl();
+  Tensor probs;
+  Tensor y = ops::ScaledDotAttention(q.value(), k.value(), v.value(), bias,
+                                     scale, &probs);
+  if (probs_out != nullptr) *probs_out = probs;
+  return MakeOp(y, {q, k, v}, [pq, pk, pv, probs, scale](const Tensor& g) {
+    // P = softmax(scale Q K^T + bias), out = P V.
+    // dV = P^T g ; dP = g V^T ; dS = P*(dP - rowsum(dP*P)) ;
+    // dQ = scale dS K ; dK = scale dS^T Q.
+    if (pv->requires_grad) {
+      Accum(pv, ops::MatMul(ops::Transpose(probs), g));
+    }
+    if (!pq->requires_grad && !pk->requires_grad) return;
+    const Tensor dp = ops::MatMulTransposedB(g, pv->value);
+    const int64_t tq = probs.rows(), tk = probs.cols();
+    Tensor ds({tq, tk});
+    for (int64_t r = 0; r < tq; ++r) {
+      const float* pr = probs.data() + r * tk;
+      const float* dpr = dp.data() + r * tk;
+      float dot = 0.0f;
+      for (int64_t j = 0; j < tk; ++j) dot += pr[j] * dpr[j];
+      float* dsr = ds.data() + r * tk;
+      for (int64_t j = 0; j < tk; ++j) dsr[j] = pr[j] * (dpr[j] - dot);
+    }
+    if (pq->requires_grad) Accum(pq, ops::MatMul(ds, pk->value), scale);
+    if (pk->requires_grad) {
+      Accum(pk, ops::MatMul(ops::Transpose(ds), pq->value), scale);
+    }
+  });
+}
+
 Variable Transpose(const Variable& a) {
   auto pa = a.impl();
   return MakeOp(ops::Transpose(a.value()), {a}, [pa](const Tensor& g) {

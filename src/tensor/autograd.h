@@ -155,6 +155,16 @@ Variable Sigmoid(const Variable& a);
 Variable MatMul(const Variable& a, const Variable& b);
 /// C = A * B^T.
 Variable MatMulTransposedB(const Variable& a, const Variable& b);
+
+/// Fused scaled-dot-product attention over 2-D q/k/v (see
+/// ops::ScaledDotAttention). `bias` is a constant additive mask
+/// ([tq,tk], not differentiated through) and may be null; `probs_out`,
+/// if non-null, receives the post-softmax probabilities. The backward
+/// pass recomputes nothing — it keeps the probabilities internally —
+/// and accumulates into q/k/v with a fixed order.
+Variable FusedAttention(const Variable& q, const Variable& k,
+                        const Variable& v, const Tensor* bias, float scale,
+                        Tensor* probs_out = nullptr);
 Variable Transpose(const Variable& a);
 Variable Reshape(const Variable& a, std::vector<int64_t> shape);
 

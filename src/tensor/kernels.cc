@@ -1,0 +1,998 @@
+#include "tensor/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "runtime/runtime.h"
+#include "tensor/aligned_buffer.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define TABREP_KERNELS_X86 1
+#include <immintrin.h>
+#else
+#define TABREP_KERNELS_X86 0
+#endif
+
+namespace tabrep::kernels {
+
+namespace {
+
+/// Multiply-add budget per ParallelFor chunk (the PR-1 MatMulGrain
+/// constant, now owned by the kernel layer).
+constexpr int64_t kChunkFlops = 1 << 15;
+
+/// Register tile of the AVX2 matmul microkernel: 6 rows x 16 columns
+/// (12 fp accumulator registers + 2 panel registers + 1 broadcast).
+constexpr int64_t kMR = 6;
+constexpr int64_t kNR = 16;
+
+/// Transpose / packing block edge: a 32x32 float block is 4 KiB per
+/// side, so both the row-major reads and the column-major writes of a
+/// block stay inside L1.
+constexpr int64_t kTransposeBlock = 32;
+
+/// Thread-local scratch for packed-B panels. Packed on the calling
+/// thread before the parallel region and read-only inside it, so
+/// worker lanes never touch each other's buffers.
+AlignedBuffer& PackScratch(size_t n) {
+  thread_local AlignedBuffer buf;
+  if (buf.size() < n) buf = AlignedBuffer(n);
+  return buf;
+}
+
+/// Second thread-local packing scratch, for kernels that hold two
+/// packed operands at once (fused attention packs K^T and V).
+AlignedBuffer& PackScratch2(size_t n) {
+  thread_local AlignedBuffer buf;
+  if (buf.size() < n) buf = AlignedBuffer(n);
+  return buf;
+}
+
+/// Thread-local scratch for a block of attention score rows (only used
+/// when the caller does not want the probabilities kept).
+AlignedBuffer& RowScratch(size_t n) {
+  thread_local AlignedBuffer buf;
+  if (buf.size() < n) buf = AlignedBuffer(n);
+  return buf;
+}
+
+SimdLevel DetectSimdLevel() {
+  SimdLevel best = SimdLevel::kScalar;
+#if TABREP_KERNELS_X86
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    best = SimdLevel::kAvx2;
+  }
+#endif
+  const char* env = std::getenv("TABREP_SIMD");
+  if (env == nullptr) return best;
+  std::string v(env);
+  for (char& c : v) c = static_cast<char>(std::tolower(c));
+  if (v == "0" || v == "off" || v == "false" || v == "scalar" || v == "none") {
+    return SimdLevel::kScalar;
+  }
+  // "avx2" grants the request only when the build and cpu support it;
+  // "auto" / unknown values keep the detected level.
+  return best;
+}
+
+// ======================================================================
+// Scalar paths. Plain loops over __restrict pointers; the compiler
+// auto-vectorizes the inner loops at the baseline ISA, which is the
+// portable fallback the contract asks for.
+// ======================================================================
+
+void MatMulRowsScalar(const float* __restrict a, const float* __restrict b,
+                      float* __restrict c, int64_t k, int64_t n, int64_t lo,
+                      int64_t hi) {
+  for (int64_t i = lo; i < hi; ++i) {
+    float* crow = c + i * n;
+    std::fill_n(crow, n, 0.0f);
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av = a[i * k + kk];
+      const float* brow = b + kk * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void MatMulTBRowScalar(const float* __restrict arow,
+                       const float* __restrict b, float* __restrict crow,
+                       int64_t k, int64_t n) {
+  for (int64_t j = 0; j < n; ++j) {
+    const float* brow = b + j * k;
+    float acc = 0.0f;
+    for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+    crow[j] = acc;
+  }
+}
+
+void SoftmaxRowScalar(float* __restrict row, int64_t n) {
+  float mx = row[0];
+  for (int64_t i = 1; i < n; ++i) mx = std::max(mx, row[i]);
+  float sum = 0.0f;
+  for (int64_t i = 0; i < n; ++i) {
+    row[i] = std::exp(row[i] - mx);
+    sum += row[i];
+  }
+  const float inv = 1.0f / sum;
+  for (int64_t i = 0; i < n; ++i) row[i] *= inv;
+}
+
+void LogSoftmaxRowScalar(float* __restrict row, int64_t n) {
+  float mx = row[0];
+  for (int64_t i = 1; i < n; ++i) mx = std::max(mx, row[i]);
+  float sum = 0.0f;
+  for (int64_t i = 0; i < n; ++i) sum += std::exp(row[i] - mx);
+  const float lse = mx + std::log(sum);
+  for (int64_t i = 0; i < n; ++i) row[i] -= lse;
+}
+
+void LayerNormRowScalar(float* __restrict row, const float* __restrict g,
+                        const float* __restrict b, int64_t n, float eps) {
+  float mean = 0.0f;
+  for (int64_t i = 0; i < n; ++i) mean += row[i];
+  mean /= static_cast<float>(n);
+  float var = 0.0f;
+  for (int64_t i = 0; i < n; ++i) {
+    const float d = row[i] - mean;
+    var += d * d;
+  }
+  var /= static_cast<float>(n);
+  const float inv = 1.0f / std::sqrt(var + eps);
+  for (int64_t i = 0; i < n; ++i) row[i] = (row[i] - mean) * inv * g[i] + b[i];
+}
+
+float DotScalar(const float* __restrict a, const float* __restrict b,
+                int64_t n) {
+  float acc = 0.0f;
+  for (int64_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void AxpyScalar(float* __restrict y, const float* __restrict x, float scale,
+                int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] += scale * x[i];
+}
+
+inline float GeluScalar(float x) {
+  constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
+  const float inner = kC * (x + 0.044715f * x * x * x);
+  return 0.5f * x * (1.0f + std::tanh(inner));
+}
+
+// ======================================================================
+// AVX2/FMA path. Every function carrying intrinsics is tagged with
+// __attribute__((target)) so the translation unit itself stays at the
+// baseline ISA and the binary remains runnable on non-AVX2 hardware
+// (dispatch never reaches these without cpu support).
+// ======================================================================
+
+#if TABREP_KERNELS_X86
+
+__attribute__((target("avx2"))) inline float HSum256(__m256 v) {
+  // Fixed pairwise reduction order: (lo+hi), then halves, then lanes.
+  __m128 s = _mm_add_ps(_mm256_castps256_ps128(v),
+                        _mm256_extractf128_ps(v, 1));
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+  return _mm_cvtss_f32(s);
+}
+
+__attribute__((target("avx2"))) inline float HMax256(__m256 v) {
+  __m128 s = _mm_max_ps(_mm256_castps256_ps128(v),
+                        _mm256_extractf128_ps(v, 1));
+  s = _mm_max_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_max_ss(s, _mm_shuffle_ps(s, s, 1));
+  return _mm_cvtss_f32(s);
+}
+
+/// Vectorized exp (Cephes polynomial, the classic avx_mathfun layout):
+/// exp(x) = 2^floor(x·log2e + 0.5) · e^r with a degree-5 minimax
+/// polynomial for e^r, |relative error| ≲ 2e-7 over the float range.
+__attribute__((target("avx2,fma"))) inline __m256 Exp256(__m256 x) {
+  const __m256 one = _mm256_set1_ps(1.0f);
+  x = _mm256_min_ps(x, _mm256_set1_ps(88.3762626647950f));
+  x = _mm256_max_ps(x, _mm256_set1_ps(-88.3762626647949f));
+  __m256 fx = _mm256_fmadd_ps(x, _mm256_set1_ps(1.44269504088896341f),
+                              _mm256_set1_ps(0.5f));
+  fx = _mm256_floor_ps(fx);
+  // x -= fx * ln2, split in two for extra precision.
+  x = _mm256_fnmadd_ps(fx, _mm256_set1_ps(0.693359375f), x);
+  x = _mm256_fnmadd_ps(fx, _mm256_set1_ps(-2.12194440e-4f), x);
+  const __m256 z = _mm256_mul_ps(x, x);
+  __m256 y = _mm256_set1_ps(1.9875691500e-4f);
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(1.3981999507e-3f));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(8.3334519073e-3f));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(4.1665795894e-2f));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(1.6666665459e-1f));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(5.0000001201e-1f));
+  y = _mm256_fmadd_ps(y, z, x);
+  y = _mm256_add_ps(y, one);
+  __m256i imm = _mm256_cvttps_epi32(fx);
+  imm = _mm256_add_epi32(imm, _mm256_set1_epi32(0x7f));
+  imm = _mm256_slli_epi32(imm, 23);
+  return _mm256_mul_ps(y, _mm256_castsi256_ps(imm));
+}
+
+/// tanh(x) = 1 - 2/(e^{2x}+1), saturating past |x| = 9 where the float
+/// result is exactly ±1 anyway.
+__attribute__((target("avx2,fma"))) inline __m256 Tanh256(__m256 x) {
+  const __m256 limit = _mm256_set1_ps(9.0f);
+  const __m256 one = _mm256_set1_ps(1.0f);
+  x = _mm256_max_ps(_mm256_min_ps(x, limit),
+                    _mm256_sub_ps(_mm256_setzero_ps(), limit));
+  const __m256 e = Exp256(_mm256_add_ps(x, x));
+  return _mm256_div_ps(_mm256_sub_ps(e, one), _mm256_add_ps(e, one));
+}
+
+/// Stores the 16 accumulated columns of one output row, trimming to
+/// the panel's valid width.
+__attribute__((target("avx2"))) inline void StoreRow16(float* c, __m256 v0,
+                                                       __m256 v1,
+                                                       int64_t ncols) {
+  if (ncols == kNR) {
+    _mm256_storeu_ps(c, v0);
+    _mm256_storeu_ps(c + 8, v1);
+    return;
+  }
+  alignas(32) float buf[kNR];
+  _mm256_store_ps(buf, v0);
+  _mm256_store_ps(buf + 8, v1);
+  for (int64_t j = 0; j < ncols; ++j) c[j] = buf[j];
+}
+
+/// 6x16 register-tiled microkernel: C[6,ncols] = A[6,k] · panel, where
+/// `bp` is a packed k-major 16-wide panel (zero-padded columns). Each
+/// output element accumulates over kk in ascending order, so results
+/// never depend on how row blocks were assigned to threads.
+__attribute__((target("avx2,fma"))) void MicroKernel6x16(
+    const float* a, int64_t lda, const float* bp, int64_t k, float* c,
+    int64_t ldc, int64_t ncols) {
+  __m256 acc00 = _mm256_setzero_ps(), acc01 = _mm256_setzero_ps();
+  __m256 acc10 = _mm256_setzero_ps(), acc11 = _mm256_setzero_ps();
+  __m256 acc20 = _mm256_setzero_ps(), acc21 = _mm256_setzero_ps();
+  __m256 acc30 = _mm256_setzero_ps(), acc31 = _mm256_setzero_ps();
+  __m256 acc40 = _mm256_setzero_ps(), acc41 = _mm256_setzero_ps();
+  __m256 acc50 = _mm256_setzero_ps(), acc51 = _mm256_setzero_ps();
+  for (int64_t kk = 0; kk < k; ++kk) {
+    const __m256 b0 = _mm256_load_ps(bp + kk * kNR);
+    const __m256 b1 = _mm256_load_ps(bp + kk * kNR + 8);
+    __m256 av;
+    av = _mm256_broadcast_ss(a + 0 * lda + kk);
+    acc00 = _mm256_fmadd_ps(av, b0, acc00);
+    acc01 = _mm256_fmadd_ps(av, b1, acc01);
+    av = _mm256_broadcast_ss(a + 1 * lda + kk);
+    acc10 = _mm256_fmadd_ps(av, b0, acc10);
+    acc11 = _mm256_fmadd_ps(av, b1, acc11);
+    av = _mm256_broadcast_ss(a + 2 * lda + kk);
+    acc20 = _mm256_fmadd_ps(av, b0, acc20);
+    acc21 = _mm256_fmadd_ps(av, b1, acc21);
+    av = _mm256_broadcast_ss(a + 3 * lda + kk);
+    acc30 = _mm256_fmadd_ps(av, b0, acc30);
+    acc31 = _mm256_fmadd_ps(av, b1, acc31);
+    av = _mm256_broadcast_ss(a + 4 * lda + kk);
+    acc40 = _mm256_fmadd_ps(av, b0, acc40);
+    acc41 = _mm256_fmadd_ps(av, b1, acc41);
+    av = _mm256_broadcast_ss(a + 5 * lda + kk);
+    acc50 = _mm256_fmadd_ps(av, b0, acc50);
+    acc51 = _mm256_fmadd_ps(av, b1, acc51);
+  }
+  StoreRow16(c + 0 * ldc, acc00, acc01, ncols);
+  StoreRow16(c + 1 * ldc, acc10, acc11, ncols);
+  StoreRow16(c + 2 * ldc, acc20, acc21, ncols);
+  StoreRow16(c + 3 * ldc, acc30, acc31, ncols);
+  StoreRow16(c + 4 * ldc, acc40, acc41, ncols);
+  StoreRow16(c + 5 * ldc, acc50, acc51, ncols);
+}
+
+/// 1x16 edge kernel for the m % 6 tail rows.
+__attribute__((target("avx2,fma"))) void MicroKernel1x16(
+    const float* a, const float* bp, int64_t k, float* c, int64_t ncols) {
+  __m256 acc0 = _mm256_setzero_ps(), acc1 = _mm256_setzero_ps();
+  for (int64_t kk = 0; kk < k; ++kk) {
+    const __m256 av = _mm256_broadcast_ss(a + kk);
+    acc0 = _mm256_fmadd_ps(av, _mm256_load_ps(bp + kk * kNR), acc0);
+    acc1 = _mm256_fmadd_ps(av, _mm256_load_ps(bp + kk * kNR + 8), acc1);
+  }
+  StoreRow16(c, acc0, acc1, ncols);
+}
+
+/// One row of C = A · B^T: four dot products at a time so four k-sweep
+/// accumulator vectors stay live, horizontal sums in a fixed order,
+/// scalar k-tail appended after the vector part.
+__attribute__((target("avx2,fma"))) void MatMulTBRowAvx2(
+    const float* arow, const float* b, float* crow, int64_t k, int64_t n) {
+  const int64_t k8 = k & ~int64_t(7);
+  int64_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const float* b0 = b + (j + 0) * k;
+    const float* b1 = b + (j + 1) * k;
+    const float* b2 = b + (j + 2) * k;
+    const float* b3 = b + (j + 3) * k;
+    __m256 a0 = _mm256_setzero_ps(), a1 = _mm256_setzero_ps();
+    __m256 a2 = _mm256_setzero_ps(), a3 = _mm256_setzero_ps();
+    for (int64_t kk = 0; kk < k8; kk += 8) {
+      const __m256 av = _mm256_loadu_ps(arow + kk);
+      a0 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b0 + kk), a0);
+      a1 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b1 + kk), a1);
+      a2 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b2 + kk), a2);
+      a3 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b3 + kk), a3);
+    }
+    float s0 = HSum256(a0), s1 = HSum256(a1), s2 = HSum256(a2),
+          s3 = HSum256(a3);
+    for (int64_t kk = k8; kk < k; ++kk) {
+      const float av = arow[kk];
+      s0 += av * b0[kk];
+      s1 += av * b1[kk];
+      s2 += av * b2[kk];
+      s3 += av * b3[kk];
+    }
+    crow[j + 0] = s0;
+    crow[j + 1] = s1;
+    crow[j + 2] = s2;
+    crow[j + 3] = s3;
+  }
+  for (; j < n; ++j) {
+    const float* brow = b + j * k;
+    __m256 acc = _mm256_setzero_ps();
+    for (int64_t kk = 0; kk < k8; kk += 8) {
+      acc = _mm256_fmadd_ps(_mm256_loadu_ps(arow + kk),
+                            _mm256_loadu_ps(brow + kk), acc);
+    }
+    float s = HSum256(acc);
+    for (int64_t kk = k8; kk < k; ++kk) s += arow[kk] * brow[kk];
+    crow[j] = s;
+  }
+}
+
+__attribute__((target("avx2,fma"))) float DotAvx2(const float* a,
+                                                  const float* b, int64_t n) {
+  const int64_t n8 = n & ~int64_t(7);
+  __m256 acc = _mm256_setzero_ps();
+  for (int64_t i = 0; i < n8; i += 8) {
+    acc = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i), acc);
+  }
+  float s = HSum256(acc);
+  for (int64_t i = n8; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+__attribute__((target("avx2,fma"))) void AxpyAvx2(float* y, const float* x,
+                                                  float scale, int64_t n) {
+  const __m256 sv = _mm256_set1_ps(scale);
+  const int64_t n8 = n & ~int64_t(7);
+  for (int64_t i = 0; i < n8; i += 8) {
+    _mm256_storeu_ps(
+        y + i, _mm256_fmadd_ps(sv, _mm256_loadu_ps(x + i),
+                               _mm256_loadu_ps(y + i)));
+  }
+  for (int64_t i = n8; i < n; ++i) y[i] += scale * x[i];
+}
+
+__attribute__((target("avx2"))) void AddAvx2(float* out, const float* a,
+                                             const float* b, int64_t n) {
+  const int64_t n8 = n & ~int64_t(7);
+  for (int64_t i = 0; i < n8; i += 8) {
+    _mm256_storeu_ps(out + i, _mm256_add_ps(_mm256_loadu_ps(a + i),
+                                            _mm256_loadu_ps(b + i)));
+  }
+  for (int64_t i = n8; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+__attribute__((target("avx2"))) void MulAvx2(float* out, const float* a,
+                                             const float* b, int64_t n) {
+  const int64_t n8 = n & ~int64_t(7);
+  for (int64_t i = 0; i < n8; i += 8) {
+    _mm256_storeu_ps(out + i, _mm256_mul_ps(_mm256_loadu_ps(a + i),
+                                            _mm256_loadu_ps(b + i)));
+  }
+  for (int64_t i = n8; i < n; ++i) out[i] = a[i] * b[i];
+}
+
+__attribute__((target("avx2"))) void ScaleAvx2(float* p, int64_t n, float s) {
+  const __m256 sv = _mm256_set1_ps(s);
+  const int64_t n8 = n & ~int64_t(7);
+  for (int64_t i = 0; i < n8; i += 8) {
+    _mm256_storeu_ps(p + i, _mm256_mul_ps(sv, _mm256_loadu_ps(p + i)));
+  }
+  for (int64_t i = n8; i < n; ++i) p[i] *= s;
+}
+
+__attribute__((target("avx2,fma"))) void TanhAvx2(float* out, const float* x,
+                                                  int64_t lo, int64_t hi) {
+  int64_t i = lo;
+  for (; i + 8 <= hi; i += 8) {
+    _mm256_storeu_ps(out + i, Tanh256(_mm256_loadu_ps(x + i)));
+  }
+  for (; i < hi; ++i) out[i] = std::tanh(x[i]);
+}
+
+__attribute__((target("avx2,fma"))) void GeluAvx2(float* out, const float* x,
+                                                  int64_t lo, int64_t hi) {
+  const __m256 kC = _mm256_set1_ps(0.7978845608028654f);
+  const __m256 kB = _mm256_set1_ps(0.044715f);
+  const __m256 half = _mm256_set1_ps(0.5f);
+  const __m256 one = _mm256_set1_ps(1.0f);
+  int64_t i = lo;
+  for (; i + 8 <= hi; i += 8) {
+    const __m256 v = _mm256_loadu_ps(x + i);
+    const __m256 v3 = _mm256_mul_ps(_mm256_mul_ps(v, v), v);
+    const __m256 inner = _mm256_mul_ps(kC, _mm256_fmadd_ps(kB, v3, v));
+    const __m256 t = Tanh256(inner);
+    _mm256_storeu_ps(
+        out + i,
+        _mm256_mul_ps(_mm256_mul_ps(half, v), _mm256_add_ps(one, t)));
+  }
+  for (; i < hi; ++i) out[i] = GeluScalar(x[i]);
+}
+
+__attribute__((target("avx2,fma"))) void SoftmaxRowAvx2(float* row,
+                                                        int64_t n) {
+  const int64_t n8 = n & ~int64_t(7);
+  float mx;
+  if (n8 > 0) {
+    __m256 vmax = _mm256_loadu_ps(row);
+    for (int64_t i = 8; i < n8; i += 8) {
+      vmax = _mm256_max_ps(vmax, _mm256_loadu_ps(row + i));
+    }
+    mx = HMax256(vmax);
+    for (int64_t i = n8; i < n; ++i) mx = std::max(mx, row[i]);
+  } else {
+    mx = row[0];
+    for (int64_t i = 1; i < n; ++i) mx = std::max(mx, row[i]);
+  }
+  const __m256 vmx = _mm256_set1_ps(mx);
+  __m256 vsum = _mm256_setzero_ps();
+  for (int64_t i = 0; i < n8; i += 8) {
+    const __m256 e = Exp256(_mm256_sub_ps(_mm256_loadu_ps(row + i), vmx));
+    _mm256_storeu_ps(row + i, e);
+    vsum = _mm256_add_ps(vsum, e);
+  }
+  float sum = HSum256(vsum);
+  for (int64_t i = n8; i < n; ++i) {
+    row[i] = std::exp(row[i] - mx);
+    sum += row[i];
+  }
+  const float inv = 1.0f / sum;
+  ScaleAvx2(row, n, inv);
+}
+
+__attribute__((target("avx2,fma"))) void LogSoftmaxRowAvx2(float* row,
+                                                           int64_t n) {
+  const int64_t n8 = n & ~int64_t(7);
+  float mx;
+  if (n8 > 0) {
+    __m256 vmax = _mm256_loadu_ps(row);
+    for (int64_t i = 8; i < n8; i += 8) {
+      vmax = _mm256_max_ps(vmax, _mm256_loadu_ps(row + i));
+    }
+    mx = HMax256(vmax);
+    for (int64_t i = n8; i < n; ++i) mx = std::max(mx, row[i]);
+  } else {
+    mx = row[0];
+    for (int64_t i = 1; i < n; ++i) mx = std::max(mx, row[i]);
+  }
+  const __m256 vmx = _mm256_set1_ps(mx);
+  __m256 vsum = _mm256_setzero_ps();
+  for (int64_t i = 0; i < n8; i += 8) {
+    vsum = _mm256_add_ps(
+        vsum, Exp256(_mm256_sub_ps(_mm256_loadu_ps(row + i), vmx)));
+  }
+  float sum = HSum256(vsum);
+  for (int64_t i = n8; i < n; ++i) sum += std::exp(row[i] - mx);
+  const float lse = mx + std::log(sum);
+  const __m256 vlse = _mm256_set1_ps(lse);
+  for (int64_t i = 0; i < n8; i += 8) {
+    _mm256_storeu_ps(row + i, _mm256_sub_ps(_mm256_loadu_ps(row + i), vlse));
+  }
+  for (int64_t i = n8; i < n; ++i) row[i] -= lse;
+}
+
+__attribute__((target("avx2,fma"))) void LayerNormRowAvx2(
+    float* row, const float* g, const float* b, int64_t n, float eps) {
+  const int64_t n8 = n & ~int64_t(7);
+  __m256 vsum = _mm256_setzero_ps();
+  for (int64_t i = 0; i < n8; i += 8) {
+    vsum = _mm256_add_ps(vsum, _mm256_loadu_ps(row + i));
+  }
+  float mean = HSum256(vsum);
+  for (int64_t i = n8; i < n; ++i) mean += row[i];
+  mean /= static_cast<float>(n);
+  const __m256 vmean = _mm256_set1_ps(mean);
+  __m256 vvar = _mm256_setzero_ps();
+  for (int64_t i = 0; i < n8; i += 8) {
+    const __m256 d = _mm256_sub_ps(_mm256_loadu_ps(row + i), vmean);
+    vvar = _mm256_fmadd_ps(d, d, vvar);
+  }
+  float var = HSum256(vvar);
+  for (int64_t i = n8; i < n; ++i) {
+    const float d = row[i] - mean;
+    var += d * d;
+  }
+  var /= static_cast<float>(n);
+  const float inv = 1.0f / std::sqrt(var + eps);
+  const __m256 vinv = _mm256_set1_ps(inv);
+  for (int64_t i = 0; i < n8; i += 8) {
+    const __m256 d = _mm256_sub_ps(_mm256_loadu_ps(row + i), vmean);
+    const __m256 y = _mm256_fmadd_ps(_mm256_mul_ps(d, vinv),
+                                     _mm256_loadu_ps(g + i),
+                                     _mm256_loadu_ps(b + i));
+    _mm256_storeu_ps(row + i, y);
+  }
+  for (int64_t i = n8; i < n; ++i) {
+    row[i] = (row[i] - mean) * inv * g[i] + b[i];
+  }
+}
+
+/// Packs B[k,n] into 16-wide k-major panels with zero-padded tail
+/// columns: panel p holds bp[(p·k + kk)·16 + lane] = B[kk, p·16+lane].
+/// Each panel pass reads exactly one cache line per B row (the panel's
+/// 16 columns), the packing-side incarnation of the 32x32 blocked
+/// transpose below.
+void PackB(const float* b, int64_t k, int64_t n, float* bp) {
+  const int64_t panels = (n + kNR - 1) / kNR;
+  for (int64_t p = 0; p < panels; ++p) {
+    const int64_t j0 = p * kNR;
+    const int64_t w = std::min(kNR, n - j0);
+    float* dst = bp + p * k * kNR;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float* src = b + kk * n + j0;
+      float* d = dst + kk * kNR;
+      int64_t j = 0;
+      for (; j < w; ++j) d[j] = src[j];
+      for (; j < kNR; ++j) d[j] = 0.0f;
+    }
+  }
+}
+
+void MatMulAvx2(const float* a, const float* b, float* c, int64_t m,
+                int64_t k, int64_t n) {
+  const int64_t panels = (n + kNR - 1) / kNR;
+  AlignedBuffer& pack = PackScratch(static_cast<size_t>(panels * k * kNR));
+  PackB(b, k, n, pack.data());
+  const float* bp = pack.data();
+  const int64_t full_blocks = m / kMR;
+  const int64_t tail_row0 = full_blocks * kMR;
+  const int64_t grain = GrainForFlopsPerRow(kMR * k * n);
+  runtime::ParallelFor(0, full_blocks, grain, [&](int64_t lo, int64_t hi) {
+    for (int64_t blk = lo; blk < hi; ++blk) {
+      const int64_t i0 = blk * kMR;
+      for (int64_t p = 0; p < panels; ++p) {
+        const int64_t j0 = p * kNR;
+        MicroKernel6x16(a + i0 * k, k, bp + p * k * kNR, k, c + i0 * n + j0,
+                        n, std::min(kNR, n - j0));
+      }
+    }
+  });
+  // Tail rows (< kMR of them) on the calling thread.
+  for (int64_t i = tail_row0; i < m; ++i) {
+    for (int64_t p = 0; p < panels; ++p) {
+      const int64_t j0 = p * kNR;
+      MicroKernel1x16(a + i * k, bp + p * k * kNR, k, c + i * n + j0,
+                      std::min(kNR, n - j0));
+    }
+  }
+}
+
+/// Packs B^T into 16-wide k-major panels: dst panel p holds
+/// bp[(p*k_rows... )] such that lane = row index of `b` ([rows, k]
+/// row-major), k-major over k. This is PackB applied to the transpose
+/// of `b` without materializing it: the attention score pass
+/// multiplies Q[*,dk] against K^T via these panels.
+void PackBT(const float* b, int64_t rows, int64_t k, float* bp) {
+  const int64_t panels = (rows + kNR - 1) / kNR;
+  for (int64_t p = 0; p < panels; ++p) {
+    const int64_t r0 = p * kNR;
+    const int64_t w = std::min(kNR, rows - r0);
+    float* dst = bp + p * k * kNR;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      float* d = dst + kk * kNR;
+      int64_t lane = 0;
+      for (; lane < w; ++lane) d[lane] = b[(r0 + lane) * k + kk];
+      for (; lane < kNR; ++lane) d[lane] = 0.0f;
+    }
+  }
+}
+
+/// AVX2 fused attention: query rows in blocks of kMR through the same
+/// 6x16 microkernels as MatMul — score tiles against packed-K^T
+/// panels, softmax rows in place, context tiles against packed-V
+/// panels. Only kMR score rows are live at a time unless the caller
+/// captures them.
+void FusedAttentionAvx2(const float* q, const float* k, const float* v,
+                        const float* bias, float scale, int64_t tq,
+                        int64_t tk, int64_t dk, int64_t dv, float* out,
+                        float* probs_out) {
+  const int64_t kpanels = (tk + kNR - 1) / kNR;
+  const int64_t vpanels = (dv + kNR - 1) / kNR;
+  // Both packs happen once, on the calling thread, before the parallel
+  // region; workers only read them.
+  AlignedBuffer& kp_buf = PackScratch(static_cast<size_t>(kpanels * dk * kNR));
+  PackBT(k, tk, dk, kp_buf.data());
+  AlignedBuffer& vp_buf =
+      PackScratch2(static_cast<size_t>(vpanels * tk * kNR));
+  PackB(v, tk, dv, vp_buf.data());
+  const float* kp = kp_buf.data();
+  const float* vp = vp_buf.data();
+
+  auto process_rows = [&](int64_t i0, int64_t nrows) {
+    float* srows = probs_out != nullptr
+                       ? probs_out + i0 * tk
+                       : RowScratch(static_cast<size_t>(kMR * tk)).data();
+    if (nrows == kMR) {
+      for (int64_t p = 0; p < kpanels; ++p) {
+        MicroKernel6x16(q + i0 * dk, dk, kp + p * dk * kNR, dk,
+                        srows + p * kNR, tk, std::min(kNR, tk - p * kNR));
+      }
+    } else {
+      for (int64_t r = 0; r < nrows; ++r) {
+        for (int64_t p = 0; p < kpanels; ++p) {
+          MicroKernel1x16(q + (i0 + r) * dk, kp + p * dk * kNR, dk,
+                          srows + r * tk + p * kNR,
+                          std::min(kNR, tk - p * kNR));
+        }
+      }
+    }
+    for (int64_t r = 0; r < nrows; ++r) {
+      float* s = srows + r * tk;
+      if (bias != nullptr) {
+        const float* brow = bias + (i0 + r) * tk;
+        for (int64_t j = 0; j < tk; ++j) s[j] = s[j] * scale + brow[j];
+      } else {
+        for (int64_t j = 0; j < tk; ++j) s[j] *= scale;
+      }
+      SoftmaxRowAvx2(s, tk);
+    }
+    if (nrows == kMR) {
+      for (int64_t p = 0; p < vpanels; ++p) {
+        MicroKernel6x16(srows, tk, vp + p * tk * kNR, tk,
+                        out + i0 * dv + p * kNR, dv,
+                        std::min(kNR, dv - p * kNR));
+      }
+    } else {
+      for (int64_t r = 0; r < nrows; ++r) {
+        for (int64_t p = 0; p < vpanels; ++p) {
+          MicroKernel1x16(srows + r * tk, vp + p * tk * kNR, tk,
+                          out + (i0 + r) * dv + p * kNR,
+                          std::min(kNR, dv - p * kNR));
+        }
+      }
+    }
+  };
+
+  const int64_t full_blocks = tq / kMR;
+  const int64_t grain = GrainForFlopsPerRow(kMR * tk * (dk + dv));
+  runtime::ParallelFor(0, full_blocks, grain, [&](int64_t lo, int64_t hi) {
+    for (int64_t blk = lo; blk < hi; ++blk) process_rows(blk * kMR, kMR);
+  });
+  const int64_t tail0 = full_blocks * kMR;
+  if (tail0 < tq) process_rows(tail0, tq - tail0);
+}
+
+#endif  // TABREP_KERNELS_X86
+
+void ContextRowScalar(const float* __restrict s, const float* __restrict v,
+                      float* __restrict orow, int64_t tk, int64_t dv) {
+  std::fill_n(orow, static_cast<size_t>(dv), 0.0f);
+  for (int64_t j = 0; j < tk; ++j) {
+    const float w = s[j];
+    const float* vrow = v + j * dv;
+    for (int64_t c = 0; c < dv; ++c) orow[c] += w * vrow[c];
+  }
+}
+
+/// Dispatches one row of scores for the fused attention kernel.
+void ScoreRow(const float* qrow, const float* k, float* s, int64_t tk,
+              int64_t dk) {
+#if TABREP_KERNELS_X86
+  if (ActiveSimdLevel() == SimdLevel::kAvx2) {
+    MatMulTBRowAvx2(qrow, k, s, dk, tk);
+    return;
+  }
+#endif
+  MatMulTBRowScalar(qrow, k, s, dk, tk);
+}
+
+void SoftmaxRow(float* row, int64_t n) {
+#if TABREP_KERNELS_X86
+  if (ActiveSimdLevel() == SimdLevel::kAvx2) {
+    SoftmaxRowAvx2(row, n);
+    return;
+  }
+#endif
+  SoftmaxRowScalar(row, n);
+}
+
+}  // namespace
+
+SimdLevel ActiveSimdLevel() {
+  static const SimdLevel level = DetectSimdLevel();
+  return level;
+}
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kScalar:
+    default:
+      return "scalar";
+  }
+}
+
+bool Avx2CompiledIn() { return TABREP_KERNELS_X86 != 0; }
+
+int64_t GrainForFlopsPerRow(int64_t flops_per_row) {
+  return std::max<int64_t>(1, kChunkFlops / std::max<int64_t>(flops_per_row, 1));
+}
+
+void Fill(float* p, int64_t n, float value) {
+  std::fill_n(p, static_cast<size_t>(n), value);
+}
+
+void Scale(float* p, int64_t n, float s) {
+#if TABREP_KERNELS_X86
+  if (ActiveSimdLevel() == SimdLevel::kAvx2) {
+    ScaleAvx2(p, n, s);
+    return;
+  }
+#endif
+  for (int64_t i = 0; i < n; ++i) p[i] *= s;
+}
+
+void Axpy(float* y, const float* x, float scale, int64_t n) {
+#if TABREP_KERNELS_X86
+  if (ActiveSimdLevel() == SimdLevel::kAvx2) {
+    AxpyAvx2(y, x, scale, n);
+    return;
+  }
+#endif
+  AxpyScalar(y, x, scale, n);
+}
+
+void Add(float* out, const float* a, const float* b, int64_t n) {
+#if TABREP_KERNELS_X86
+  if (ActiveSimdLevel() == SimdLevel::kAvx2) {
+    AddAvx2(out, a, b, n);
+    return;
+  }
+#endif
+  for (int64_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+void Mul(float* out, const float* a, const float* b, int64_t n) {
+#if TABREP_KERNELS_X86
+  if (ActiveSimdLevel() == SimdLevel::kAvx2) {
+    MulAvx2(out, a, b, n);
+    return;
+  }
+#endif
+  for (int64_t i = 0; i < n; ++i) out[i] = a[i] * b[i];
+}
+
+void Tanh(float* out, const float* a, int64_t n) {
+  // ~20 flops per element once the polynomial exp is inlined.
+  const int64_t grain = GrainForFlopsPerRow(20);
+  runtime::ParallelFor(0, n, grain, [&](int64_t lo, int64_t hi) {
+#if TABREP_KERNELS_X86
+    if (ActiveSimdLevel() == SimdLevel::kAvx2) {
+      TanhAvx2(out, a, lo, hi);
+      return;
+    }
+#endif
+    for (int64_t i = lo; i < hi; ++i) out[i] = std::tanh(a[i]);
+  });
+}
+
+void Gelu(float* out, const float* a, int64_t n) {
+  const int64_t grain = GrainForFlopsPerRow(30);
+  runtime::ParallelFor(0, n, grain, [&](int64_t lo, int64_t hi) {
+#if TABREP_KERNELS_X86
+    if (ActiveSimdLevel() == SimdLevel::kAvx2) {
+      GeluAvx2(out, a, lo, hi);
+      return;
+    }
+#endif
+    for (int64_t i = lo; i < hi; ++i) out[i] = GeluScalar(a[i]);
+  });
+}
+
+float Dot(const float* a, const float* b, int64_t n) {
+#if TABREP_KERNELS_X86
+  if (ActiveSimdLevel() == SimdLevel::kAvx2) return DotAvx2(a, b, n);
+#endif
+  return DotScalar(a, b, n);
+}
+
+void MatMul(const float* a, const float* b, float* c, int64_t m, int64_t k,
+            int64_t n) {
+  if (m <= 0 || n <= 0) return;
+#if TABREP_KERNELS_X86
+  if (ActiveSimdLevel() == SimdLevel::kAvx2) {
+    MatMulAvx2(a, b, c, m, k, n);
+    return;
+  }
+#endif
+  runtime::ParallelFor(0, m, GrainForFlopsPerRow(k * n),
+                       [&](int64_t lo, int64_t hi) {
+                         MatMulRowsScalar(a, b, c, k, n, lo, hi);
+                       });
+}
+
+void MatMulTransposedB(const float* a, const float* b, float* c, int64_t m,
+                       int64_t k, int64_t n) {
+  if (m <= 0 || n <= 0) return;
+  runtime::ParallelFor(0, m, GrainForFlopsPerRow(k * n),
+                       [&](int64_t lo, int64_t hi) {
+                         for (int64_t i = lo; i < hi; ++i) {
+                           ScoreRow(a + i * k, b, c + i * n, n, k);
+                         }
+                       });
+}
+
+void Transpose(const float* a, float* out, int64_t m, int64_t n) {
+  for (int64_t i0 = 0; i0 < m; i0 += kTransposeBlock) {
+    const int64_t i1 = std::min(m, i0 + kTransposeBlock);
+    for (int64_t j0 = 0; j0 < n; j0 += kTransposeBlock) {
+      const int64_t j1 = std::min(n, j0 + kTransposeBlock);
+      for (int64_t i = i0; i < i1; ++i) {
+        const float* src = a + i * n;
+        for (int64_t j = j0; j < j1; ++j) out[j * m + i] = src[j];
+      }
+    }
+  }
+}
+
+void SoftmaxRows(float* p, int64_t rows, int64_t n) {
+  if (rows <= 0 || n <= 0) return;
+  runtime::ParallelFor(0, rows, GrainForFlopsPerRow(4 * n),
+                       [&](int64_t lo, int64_t hi) {
+                         for (int64_t r = lo; r < hi; ++r) {
+                           SoftmaxRow(p + r * n, n);
+                         }
+                       });
+}
+
+void LogSoftmaxRows(float* p, int64_t rows, int64_t n) {
+  if (rows <= 0 || n <= 0) return;
+  runtime::ParallelFor(0, rows, GrainForFlopsPerRow(4 * n),
+                       [&](int64_t lo, int64_t hi) {
+                         for (int64_t r = lo; r < hi; ++r) {
+#if TABREP_KERNELS_X86
+                           if (ActiveSimdLevel() == SimdLevel::kAvx2) {
+                             LogSoftmaxRowAvx2(p + r * n, n);
+                             continue;
+                           }
+#endif
+                           LogSoftmaxRowScalar(p + r * n, n);
+                         }
+                       });
+}
+
+void LayerNormRows(float* p, const float* gamma, const float* beta,
+                   int64_t rows, int64_t n, float eps) {
+  if (rows <= 0 || n <= 0) return;
+  runtime::ParallelFor(0, rows, GrainForFlopsPerRow(6 * n),
+                       [&](int64_t lo, int64_t hi) {
+                         for (int64_t r = lo; r < hi; ++r) {
+#if TABREP_KERNELS_X86
+                           if (ActiveSimdLevel() == SimdLevel::kAvx2) {
+                             LayerNormRowAvx2(p + r * n, gamma, beta, n, eps);
+                             continue;
+                           }
+#endif
+                           LayerNormRowScalar(p + r * n, gamma, beta, n, eps);
+                         }
+                       });
+}
+
+void FusedAttention(const float* q, const float* k, const float* v,
+                    const float* bias, float scale, int64_t tq, int64_t tk,
+                    int64_t dk, int64_t dv, float* out, float* probs_out) {
+  if (tq <= 0 || tk <= 0) return;
+#if TABREP_KERNELS_X86
+  if (ActiveSimdLevel() == SimdLevel::kAvx2) {
+    FusedAttentionAvx2(q, k, v, bias, scale, tq, tk, dk, dv, out, probs_out);
+    return;
+  }
+#endif
+  const int64_t grain = GrainForFlopsPerRow(tk * (dk + dv));
+  runtime::ParallelFor(0, tq, grain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      // The score row lives either directly in the caller's probs
+      // buffer or in thread-local scratch; the arithmetic is identical
+      // either way, so capturing probabilities never perturbs outputs.
+      float* s = probs_out != nullptr
+                     ? probs_out + i * tk
+                     : RowScratch(static_cast<size_t>(tk)).data();
+      MatMulTBRowScalar(q + i * dk, k, s, dk, tk);
+      if (bias != nullptr) {
+        const float* brow = bias + i * tk;
+        for (int64_t j = 0; j < tk; ++j) s[j] = s[j] * scale + brow[j];
+      } else {
+        for (int64_t j = 0; j < tk; ++j) s[j] *= scale;
+      }
+      SoftmaxRowScalar(s, tk);
+      ContextRowScalar(s, v, out + i * dv, tk, dv);
+    }
+  });
+}
+
+// ======================================================================
+// Naive references.
+// ======================================================================
+
+namespace naive {
+
+void MatMul(const float* a, const float* b, float* c, int64_t m, int64_t k,
+            int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    std::fill_n(crow, static_cast<size_t>(n), 0.0f);
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av = a[i * k + kk];
+      const float* brow = b + kk * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void MatMulTransposedB(const float* a, const float* b, float* c, int64_t m,
+                       int64_t k, int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    MatMulTBRowScalar(a + i * k, b, c + i * n, k, n);
+  }
+}
+
+void Transpose(const float* a, float* out, int64_t m, int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) out[j * m + i] = a[i * n + j];
+  }
+}
+
+void SoftmaxRows(float* p, int64_t rows, int64_t n) {
+  for (int64_t r = 0; r < rows; ++r) SoftmaxRowScalar(p + r * n, n);
+}
+
+void LogSoftmaxRows(float* p, int64_t rows, int64_t n) {
+  for (int64_t r = 0; r < rows; ++r) LogSoftmaxRowScalar(p + r * n, n);
+}
+
+void LayerNormRows(float* p, const float* gamma, const float* beta,
+                   int64_t rows, int64_t n, float eps) {
+  for (int64_t r = 0; r < rows; ++r) {
+    LayerNormRowScalar(p + r * n, gamma, beta, n, eps);
+  }
+}
+
+void Tanh(float* out, const float* a, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) out[i] = std::tanh(a[i]);
+}
+
+void Gelu(float* out, const float* a, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) out[i] = GeluScalar(a[i]);
+}
+
+void FusedAttention(const float* q, const float* k, const float* v,
+                    const float* bias, float scale, int64_t tq, int64_t tk,
+                    int64_t dk, int64_t dv, float* out, float* probs_out) {
+  AlignedBuffer scores(static_cast<size_t>(tk));
+  for (int64_t i = 0; i < tq; ++i) {
+    float* s = probs_out != nullptr ? probs_out + i * tk : scores.data();
+    MatMulTBRowScalar(q + i * dk, k, s, dk, tk);
+    for (int64_t j = 0; j < tk; ++j) {
+      s[j] = s[j] * scale + (bias != nullptr ? bias[i * tk + j] : 0.0f);
+    }
+    SoftmaxRowScalar(s, tk);
+    float* orow = out + i * dv;
+    std::fill_n(orow, static_cast<size_t>(dv), 0.0f);
+    for (int64_t j = 0; j < tk; ++j) AxpyScalar(orow, v + j * dv, s[j], dv);
+  }
+}
+
+}  // namespace naive
+
+}  // namespace tabrep::kernels

@@ -1,0 +1,135 @@
+#ifndef TABREP_TENSOR_KERNELS_H_
+#define TABREP_TENSOR_KERNELS_H_
+
+#include <cstdint>
+
+namespace tabrep::kernels {
+
+// The vectorized compute layer under tensor/ops.cc: raw-pointer
+// kernels over row-major float buffers (64-byte-aligned when they come
+// from a Tensor — see tensor/aligned_buffer.h).
+//
+// Contracts every kernel in this file upholds:
+//
+//  * Chunking lives here. Kernels that parallelize call
+//    runtime::ParallelFor themselves with a grain derived only from
+//    the shapes (flops per row), so blocking and chunking decisions
+//    sit side by side and callers never pick grains.
+//  * Fixed accumulation order per output element. Blocking, packing
+//    and chunk boundaries depend only on the shapes, and every output
+//    element is produced by exactly one chunk with a loop structure
+//    independent of the chunk bounds — results are bitwise identical
+//    at any thread count.
+//  * One SIMD decision per process. ActiveSimdLevel() is resolved
+//    once (compiled-in support ∧ cpu detection ∧ TABREP_SIMD
+//    override) and never changes, so a fixed build on a fixed machine
+//    always takes the same code path. The AVX2/FMA path and the
+//    portable path may differ in low-order bits (FMA contraction,
+//    polynomial exp/tanh); the naive references below define the
+//    semantics both must match to tight tolerance.
+
+/// Instruction sets a kernel dispatch can resolve to.
+enum class SimdLevel { kScalar = 0, kAvx2 = 1 };
+
+/// The level every kernel in this process dispatches to. Resolved once
+/// on first use: TABREP_SIMD=off|0|scalar forces kScalar,
+/// TABREP_SIMD=avx2 requests AVX2 (falls back to scalar when the cpu
+/// or build lacks it), anything else auto-detects.
+SimdLevel ActiveSimdLevel();
+
+/// "scalar" / "avx2".
+const char* SimdLevelName(SimdLevel level);
+
+/// True when this binary carries the AVX2/FMA code path at all.
+bool Avx2CompiledIn();
+
+/// Row-partition grain: chunks sized so each covers roughly 2^15
+/// multiply-adds, amortizing pool dispatch on small shapes. Depends
+/// only on the per-row flops, keeping chunk boundaries shape-only.
+int64_t GrainForFlopsPerRow(int64_t flops_per_row);
+
+// -- Elementwise (n = element count; in-place aliasing out==a is OK) ----
+
+void Fill(float* p, int64_t n, float value);
+/// p *= s.
+void Scale(float* p, int64_t n, float s);
+/// y += scale * x.
+void Axpy(float* y, const float* x, float scale, int64_t n);
+/// out = a + b.
+void Add(float* out, const float* a, const float* b, int64_t n);
+/// out = a * b.
+void Mul(float* out, const float* a, const float* b, int64_t n);
+/// out = tanh(a).
+void Tanh(float* out, const float* a, int64_t n);
+/// out = gelu(a) (tanh approximation).
+void Gelu(float* out, const float* a, int64_t n);
+/// Σ a[i]·b[i] with a fixed lane-then-tail reduction order.
+float Dot(const float* a, const float* b, int64_t n);
+
+// -- Matmul family ------------------------------------------------------
+
+/// C[m,n] = A[m,k] · B[k,n]. Register-tiled 6x16 FMA microkernel over
+/// packed-B panels on the AVX2 path; blocked scalar loop otherwise.
+/// Parallel over row blocks.
+void MatMul(const float* a, const float* b, float* c, int64_t m, int64_t k,
+            int64_t n);
+
+/// C[m,n] = A[m,k] · B[n,k]^T (the attention Q·K^T pattern). Parallel
+/// over rows of A.
+void MatMulTransposedB(const float* a, const float* b, float* c, int64_t m,
+                       int64_t k, int64_t n);
+
+/// out[n,m] = a[m,n]^T via 32x32 cache blocks (both sides of the copy
+/// stay within a few cache lines per block). Also used by the matmul
+/// packing path.
+void Transpose(const float* a, float* out, int64_t m, int64_t n);
+
+// -- Row-parallel normalization (in place, `rows` x `n`) ----------------
+
+void SoftmaxRows(float* p, int64_t rows, int64_t n);
+void LogSoftmaxRows(float* p, int64_t rows, int64_t n);
+void LayerNormRows(float* p, const float* gamma, const float* beta,
+                   int64_t rows, int64_t n, float eps);
+
+// -- Fused scaled-dot-product attention ---------------------------------
+
+/// out[tq,dv] = softmax(scale · Q[tq,dk] · K[tk,dk]^T + bias) · V[tk,dv]
+/// without materializing the score matrix: each Q row computes its
+/// score row, softmaxes it in registers/scratch, and accumulates into
+/// the output row, all inside one pass over K/V. `bias` (tq x tk) and
+/// `probs_out` (tq x tk, receives the post-softmax probabilities) may
+/// be null. Parallel over Q rows; whether probs_out is captured does
+/// not change the arithmetic, so outputs are bitwise identical either
+/// way.
+void FusedAttention(const float* q, const float* k, const float* v,
+                    const float* bias, float scale, int64_t tq, int64_t tk,
+                    int64_t dk, int64_t dv, float* out, float* probs_out);
+
+// -- Naive references ---------------------------------------------------
+//
+// The retained scalar reference semantics: serial triple loops,
+// std::exp/std::tanh, no FMA. kernels_test.cc and the BM_*Naive
+// microbenches compare the vectorized kernels against these.
+
+namespace naive {
+
+void MatMul(const float* a, const float* b, float* c, int64_t m, int64_t k,
+            int64_t n);
+void MatMulTransposedB(const float* a, const float* b, float* c, int64_t m,
+                       int64_t k, int64_t n);
+void Transpose(const float* a, float* out, int64_t m, int64_t n);
+void SoftmaxRows(float* p, int64_t rows, int64_t n);
+void LogSoftmaxRows(float* p, int64_t rows, int64_t n);
+void LayerNormRows(float* p, const float* gamma, const float* beta,
+                   int64_t rows, int64_t n, float eps);
+void Tanh(float* out, const float* a, int64_t n);
+void Gelu(float* out, const float* a, int64_t n);
+void FusedAttention(const float* q, const float* k, const float* v,
+                    const float* bias, float scale, int64_t tq, int64_t tk,
+                    int64_t dk, int64_t dv, float* out, float* probs_out);
+
+}  // namespace naive
+
+}  // namespace tabrep::kernels
+
+#endif  // TABREP_TENSOR_KERNELS_H_

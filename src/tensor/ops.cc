@@ -5,23 +5,11 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
-#include "runtime/runtime.h"
+#include "tensor/kernels.h"
 
 namespace tabrep::ops {
 
 namespace {
-
-/// Row-partition grain for the matmul kernels: chunks sized so each
-/// covers roughly kMatMulChunkFlops multiply-adds, amortizing the
-/// pool's dispatch cost on small matrices. Chunk boundaries depend
-/// only on the shapes, keeping results bitwise identical at any
-/// thread count (rows write disjoint output).
-constexpr int64_t kMatMulChunkFlops = 1 << 15;
-
-int64_t MatMulGrain(int64_t k, int64_t n) {
-  const int64_t flops_per_row = std::max<int64_t>(k * n, 1);
-  return std::max<int64_t>(1, kMatMulChunkFlops / flops_per_row);
-}
 
 void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
   TABREP_CHECK(a.SameShape(b)) << op << ": shape mismatch "
@@ -56,10 +44,8 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b, "Mul");
-  Tensor out = a.Clone();
-  float* p = out.data();
-  const float* q = b.data();
-  for (int64_t i = 0; i < out.numel(); ++i) p[i] *= q[i];
+  Tensor out(a.shape());
+  kernels::Mul(out.data(), a.data(), b.data(), a.numel());
   return out;
 }
 
@@ -88,7 +74,9 @@ Tensor AddRowBroadcast(const Tensor& a, const Tensor& b) {
 }
 
 Tensor Tanh(const Tensor& a) {
-  return Unary(a, [](float x) { return std::tanh(x); });
+  Tensor out(a.shape());
+  kernels::Tanh(out.data(), a.data(), a.numel());
+  return out;
 }
 
 Tensor Relu(const Tensor& a) {
@@ -96,11 +84,9 @@ Tensor Relu(const Tensor& a) {
 }
 
 Tensor Gelu(const Tensor& a) {
-  constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
-  return Unary(a, [](float x) {
-    const float inner = kC * (x + 0.044715f * x * x * x);
-    return 0.5f * x * (1.0f + std::tanh(inner));
-  });
+  Tensor out(a.shape());
+  kernels::Gelu(out.data(), a.data(), a.numel());
+  return out;
 }
 
 Tensor Exp(const Tensor& a) {
@@ -124,22 +110,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   obs::ScopedTimer timer(duration_us);
   const int64_t m = a.rows(), k = a.cols(), n = b.cols();
   Tensor out({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = out.data();
-  // ikj loop order keeps the inner loop contiguous over B and C;
-  // output rows are disjoint, so row chunks parallelize exactly.
-  runtime::ParallelFor(0, m, MatMulGrain(k, n), [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) {
-      for (int64_t kk = 0; kk < k; ++kk) {
-        const float av = pa[i * k + kk];
-        if (av == 0.0f) continue;
-        const float* brow = pb + kk * n;
-        float* crow = pc + i * n;
-        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
-  });
+  kernels::MatMul(a.data(), b.data(), out.data(), m, k, n);
   return out;
 }
 
@@ -156,20 +127,7 @@ Tensor MatMulTransposedB(const Tensor& a, const Tensor& b) {
   obs::ScopedTimer timer(duration_us);
   const int64_t m = a.rows(), k = a.cols(), n = b.rows();
   Tensor out({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = out.data();
-  runtime::ParallelFor(0, m, MatMulGrain(k, n), [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) {
-      const float* arow = pa + i * k;
-      for (int64_t j = 0; j < n; ++j) {
-        const float* brow = pb + j * k;
-        float acc = 0.0f;
-        for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-        pc[i * n + j] = acc;
-      }
-    }
-  });
+  kernels::MatMulTransposedB(a.data(), b.data(), out.data(), m, k, n);
   return out;
 }
 
@@ -177,9 +135,41 @@ Tensor Transpose(const Tensor& a) {
   TABREP_CHECK(a.dim() == 2);
   const int64_t m = a.rows(), n = a.cols();
   Tensor out({n, m});
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t j = 0; j < n; ++j) out.at(j, i) = a.at(i, j);
+  kernels::Transpose(a.data(), out.data(), m, n);
+  return out;
+}
+
+Tensor ScaledDotAttention(const Tensor& q, const Tensor& k, const Tensor& v,
+                          const Tensor* bias, float scale, Tensor* probs_out) {
+  TABREP_CHECK(q.dim() == 2 && k.dim() == 2 && v.dim() == 2)
+      << "ScaledDotAttention: 2-D q/k/v required";
+  TABREP_CHECK(q.cols() == k.cols())
+      << "ScaledDotAttention: " << ShapeToString(q.shape()) << " x "
+      << ShapeToString(k.shape()) << "^T";
+  TABREP_CHECK(k.rows() == v.rows())
+      << "ScaledDotAttention: " << ShapeToString(k.shape()) << " vs "
+      << ShapeToString(v.shape());
+  const int64_t tq = q.rows(), dk = q.cols(), tk = k.rows(), dv = v.cols();
+  if (bias != nullptr) {
+    TABREP_CHECK(bias->dim() == 2 && bias->rows() == tq && bias->cols() == tk)
+        << "ScaledDotAttention: bias " << ShapeToString(bias->shape());
   }
+  TABREP_TRACE_SPAN("ops.fused_attention");
+  static obs::Counter& calls =
+      obs::Registry::Get().counter("tabrep.ops.fused_attention.calls");
+  static obs::Histogram& duration_us =
+      obs::Registry::Get().histogram("tabrep.ops.fused_attention.us");
+  calls.Increment();
+  obs::ScopedTimer timer(duration_us);
+  Tensor out({tq, dv});
+  float* probs = nullptr;
+  if (probs_out != nullptr) {
+    *probs_out = Tensor({tq, tk});
+    probs = probs_out->data();
+  }
+  kernels::FusedAttention(q.data(), k.data(), v.data(),
+                          bias != nullptr ? bias->data() : nullptr, scale, tq,
+                          tk, dk, dv, out.data(), probs);
   return out;
 }
 
@@ -195,19 +185,7 @@ Tensor Softmax(const Tensor& a) {
   const int64_t n = a.size(-1);
   const int64_t rows = a.numel() / n;
   Tensor out = a.Clone();
-  float* p = out.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    float* row = p + r * n;
-    float mx = row[0];
-    for (int64_t i = 1; i < n; ++i) mx = std::max(mx, row[i]);
-    float sum = 0.0f;
-    for (int64_t i = 0; i < n; ++i) {
-      row[i] = std::exp(row[i] - mx);
-      sum += row[i];
-    }
-    const float inv = 1.0f / sum;
-    for (int64_t i = 0; i < n; ++i) row[i] *= inv;
-  }
+  kernels::SoftmaxRows(out.data(), rows, n);
   return out;
 }
 
@@ -216,16 +194,7 @@ Tensor LogSoftmax(const Tensor& a) {
   const int64_t n = a.size(-1);
   const int64_t rows = a.numel() / n;
   Tensor out = a.Clone();
-  float* p = out.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    float* row = p + r * n;
-    float mx = row[0];
-    for (int64_t i = 1; i < n; ++i) mx = std::max(mx, row[i]);
-    float sum = 0.0f;
-    for (int64_t i = 0; i < n; ++i) sum += std::exp(row[i] - mx);
-    const float lse = mx + std::log(sum);
-    for (int64_t i = 0; i < n; ++i) row[i] -= lse;
-  }
+  kernels::LogSoftmaxRows(out.data(), rows, n);
   return out;
 }
 
@@ -245,9 +214,10 @@ Tensor SumAll(const Tensor& a) {
 
 Tensor SumRows(const Tensor& a) {
   TABREP_CHECK(a.dim() == 2);
-  Tensor out({a.cols()});
+  const int64_t n = a.cols();
+  Tensor out({n});
   for (int64_t i = 0; i < a.rows(); ++i) {
-    for (int64_t j = 0; j < a.cols(); ++j) out[j] += a.at(i, j);
+    kernels::Axpy(out.data(), a.data() + i * n, 1.0f, n);
   }
   return out;
 }
@@ -265,25 +235,7 @@ Tensor LayerNorm(const Tensor& a, const Tensor& gamma, const Tensor& beta,
       << "LayerNorm: feature dim " << n;
   const int64_t rows = a.numel() / n;
   Tensor out = a.Clone();
-  float* p = out.data();
-  const float* g = gamma.data();
-  const float* b = beta.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    float* row = p + r * n;
-    float mean = 0.0f;
-    for (int64_t i = 0; i < n; ++i) mean += row[i];
-    mean /= static_cast<float>(n);
-    float var = 0.0f;
-    for (int64_t i = 0; i < n; ++i) {
-      const float d = row[i] - mean;
-      var += d * d;
-    }
-    var /= static_cast<float>(n);
-    const float inv = 1.0f / std::sqrt(var + eps);
-    for (int64_t i = 0; i < n; ++i) {
-      row[i] = (row[i] - mean) * inv * g[i] + b[i];
-    }
-  }
+  kernels::LayerNormRows(out.data(), gamma.data(), beta.data(), rows, n, eps);
   return out;
 }
 

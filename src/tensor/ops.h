@@ -47,6 +47,18 @@ Tensor MatMulTransposedB(const Tensor& a, const Tensor& b);
 /// Transpose of a 2-D tensor.
 Tensor Transpose(const Tensor& a);
 
+/// Fused scaled-dot-product attention:
+///   out[tq,dv] = softmax(scale * Q[tq,dk] * K[tk,dk]^T + bias) * V[tk,dv]
+/// in one pass per query row, never materializing the full score
+/// matrix unless the caller asks for it. `bias` (shape [tq,tk]) may be
+/// null; `probs_out`, if non-null, is overwritten with the
+/// post-softmax probabilities [tq,tk]. Capturing probabilities does
+/// not change the arithmetic, so outputs are bitwise identical either
+/// way.
+Tensor ScaledDotAttention(const Tensor& q, const Tensor& k, const Tensor& v,
+                          const Tensor* bias, float scale,
+                          Tensor* probs_out = nullptr);
+
 // -- Reductions / normalization -----------------------------------------
 
 /// Softmax along the last axis.

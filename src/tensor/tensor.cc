@@ -3,6 +3,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "tensor/kernels.h"
+
 namespace tabrep {
 
 int64_t ShapeNumel(const std::vector<int64_t>& shape) {
@@ -26,7 +28,7 @@ std::string ShapeToString(const std::vector<int64_t>& shape) {
 
 Tensor::Tensor(std::vector<int64_t> shape)
     : shape_(std::move(shape)),
-      data_(std::make_shared<std::vector<float>>(
+      data_(std::make_shared<AlignedBuffer>(
           static_cast<size_t>(ShapeNumel(shape_)), 0.0f)) {}
 
 Tensor Tensor::Full(std::vector<int64_t> shape, float value) {
@@ -41,7 +43,7 @@ Tensor Tensor::FromVector(std::vector<int64_t> shape, std::vector<float> values)
       << " values";
   Tensor t;
   t.shape_ = std::move(shape);
-  t.data_ = std::make_shared<std::vector<float>>(std::move(values));
+  t.data_ = std::make_shared<AlignedBuffer>(values);
   return t;
 }
 
@@ -72,7 +74,7 @@ int64_t Tensor::size(int64_t axis) const {
 Tensor Tensor::Clone() const {
   Tensor t;
   t.shape_ = shape_;
-  t.data_ = std::make_shared<std::vector<float>>(*data_);
+  t.data_ = std::make_shared<AlignedBuffer>(*data_);
   return t;
 }
 
@@ -86,23 +88,16 @@ Tensor Tensor::Reshape(std::vector<int64_t> new_shape) const {
   return t;
 }
 
-void Tensor::Fill(float value) {
-  for (float& v : *data_) v = value;
-}
+void Tensor::Fill(float value) { kernels::Fill(data(), numel(), value); }
 
 void Tensor::Add(const Tensor& other, float scale) {
   TABREP_CHECK(numel() == other.numel())
       << "Add: " << ShapeToString(shape_) << " vs "
       << ShapeToString(other.shape_);
-  float* a = data();
-  const float* b = other.data();
-  const int64_t n = numel();
-  for (int64_t i = 0; i < n; ++i) a[i] += scale * b[i];
+  kernels::Axpy(data(), other.data(), scale, numel());
 }
 
-void Tensor::Scale(float scale) {
-  for (float& v : *data_) v *= scale;
-}
+void Tensor::Scale(float scale) { kernels::Scale(data(), numel(), scale); }
 
 bool Tensor::AllClose(const Tensor& other, float tol) const {
   if (!SameShape(other)) return false;

@@ -9,6 +9,7 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "tensor/aligned_buffer.h"
 
 namespace tabrep {
 
@@ -16,13 +17,16 @@ namespace tabrep {
 /// shared); use Clone() for a deep copy. All tensors are contiguous —
 /// shape-changing ops either reinterpret (Reshape) or copy.
 ///
+/// Storage is a 64-byte-aligned AlignedBuffer so the tensor/kernels.h
+/// layer can rely on cache-line-aligned bases.
+///
 /// This is the numeric substrate for the whole library: the nn/ and
 /// models/ layers build autograd on top of it (see tensor/autograd.h),
 /// and inference paths use the forward-only ops in tensor/ops.h.
 class Tensor {
  public:
   /// An empty 0-d tensor with no elements.
-  Tensor() : shape_(), data_(std::make_shared<std::vector<float>>()) {}
+  Tensor() : shape_(), data_(std::make_shared<AlignedBuffer>()) {}
 
   /// Uninitialized-to-zero tensor of the given shape.
   explicit Tensor(std::vector<int64_t> shape);
@@ -37,8 +41,8 @@ class Tensor {
   static Tensor Zeros(std::vector<int64_t> shape) { return Tensor(std::move(shape)); }
   static Tensor Ones(std::vector<int64_t> shape) { return Full(std::move(shape), 1.0f); }
   static Tensor Full(std::vector<int64_t> shape, float value);
-  /// Takes ownership of `values`; its length must equal the shape's
-  /// element count.
+  /// Copies `values` into aligned storage; its length must equal the
+  /// shape's element count.
   static Tensor FromVector(std::vector<int64_t> shape, std::vector<float> values);
   /// 1-D tensor from a brace list, e.g. Tensor::Of({1, 2, 3}).
   static Tensor Of(std::initializer_list<float> values);
@@ -110,7 +114,7 @@ class Tensor {
 
  private:
   std::vector<int64_t> shape_;
-  std::shared_ptr<std::vector<float>> data_;
+  std::shared_ptr<AlignedBuffer> data_;
 };
 
 /// Element count implied by a shape.

@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/rng.h"
+#include "runtime/runtime.h"
+#include "tensor/aligned_buffer.h"
+#include "tensor/kernels.h"
+#include "tensor/tensor.h"
+
+// Proves the vectorized kernels match the retained naive references
+// across odd shapes, tails, and transposed layouts, and that the
+// chunked kernels are bitwise thread-count-invariant.
+
+namespace tabrep {
+namespace {
+
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(int n) { runtime::Configure({n}); }
+  ~ScopedThreads() { runtime::Configure({}); }
+};
+
+std::vector<float> RandomVec(int64_t n, Rng& rng, float lo = -2.0f,
+                             float hi = 2.0f) {
+  std::vector<float> v(static_cast<size_t>(n));
+  for (float& x : v) x = rng.NextUniform(lo, hi);
+  return v;
+}
+
+/// Mixed absolute/relative tolerance for kernels whose accumulation
+/// order legitimately differs from the reference (FMA, lane-wise
+/// reductions, polynomial exp).
+void ExpectAllNear(const std::vector<float>& got, const std::vector<float>& want,
+                   float tol) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    const float bound = tol * std::max(1.0f, std::fabs(want[i]));
+    ASSERT_NEAR(got[i], want[i], bound) << "at index " << i;
+  }
+}
+
+// Shapes deliberately include 1x1, primes, and dims that are not
+// multiples of the 6-row / 16-column register tile or the 8-lane
+// vector width.
+struct MatShape {
+  int64_t m, k, n;
+};
+const MatShape kMatShapes[] = {
+    {1, 1, 1},  {2, 3, 4},    {5, 7, 11},  {6, 16, 16}, {7, 17, 33},
+    {13, 1, 5}, {12, 32, 48}, {3, 129, 31}, {19, 23, 47}, {64, 64, 64},
+};
+
+TEST(KernelsTest, MatMulMatchesNaive) {
+  Rng rng(42);
+  for (const MatShape& s : kMatShapes) {
+    std::vector<float> a = RandomVec(s.m * s.k, rng);
+    std::vector<float> b = RandomVec(s.k * s.n, rng);
+    std::vector<float> got(static_cast<size_t>(s.m * s.n), -99.0f);
+    std::vector<float> want(static_cast<size_t>(s.m * s.n), 99.0f);
+    kernels::MatMul(a.data(), b.data(), got.data(), s.m, s.k, s.n);
+    kernels::naive::MatMul(a.data(), b.data(), want.data(), s.m, s.k, s.n);
+    ExpectAllNear(got, want, 1e-4f);
+  }
+}
+
+TEST(KernelsTest, MatMulTransposedBMatchesNaive) {
+  Rng rng(43);
+  for (const MatShape& s : kMatShapes) {
+    std::vector<float> a = RandomVec(s.m * s.k, rng);
+    std::vector<float> b = RandomVec(s.n * s.k, rng);  // [n, k]
+    std::vector<float> got(static_cast<size_t>(s.m * s.n));
+    std::vector<float> want(static_cast<size_t>(s.m * s.n));
+    kernels::MatMulTransposedB(a.data(), b.data(), got.data(), s.m, s.k, s.n);
+    kernels::naive::MatMulTransposedB(a.data(), b.data(), want.data(), s.m,
+                                      s.k, s.n);
+    ExpectAllNear(got, want, 1e-4f);
+  }
+}
+
+TEST(KernelsTest, TransposeMatchesNaiveExactly) {
+  Rng rng(44);
+  const MatShape shapes[] = {
+      {1, 0, 1}, {1, 0, 33}, {31, 0, 33}, {32, 0, 32}, {100, 0, 7}, {65, 0, 129}};
+  for (const MatShape& s : shapes) {
+    std::vector<float> a = RandomVec(s.m * s.n, rng);
+    std::vector<float> got(static_cast<size_t>(s.m * s.n));
+    std::vector<float> want(static_cast<size_t>(s.m * s.n));
+    kernels::Transpose(a.data(), got.data(), s.m, s.n);
+    kernels::naive::Transpose(a.data(), want.data(), s.m, s.n);
+    ASSERT_EQ(std::memcmp(got.data(), want.data(),
+                          got.size() * sizeof(float)),
+              0)
+        << s.m << "x" << s.n;
+  }
+}
+
+TEST(KernelsTest, ElementwiseMatchReference) {
+  Rng rng(45);
+  for (int64_t n : {1, 7, 8, 9, 64, 257}) {
+    std::vector<float> a = RandomVec(n, rng);
+    std::vector<float> b = RandomVec(n, rng);
+    std::vector<float> out(static_cast<size_t>(n));
+
+    kernels::Add(out.data(), a.data(), b.data(), n);
+    for (int64_t i = 0; i < n; ++i) ASSERT_EQ(out[i], a[i] + b[i]);
+
+    kernels::Mul(out.data(), a.data(), b.data(), n);
+    for (int64_t i = 0; i < n; ++i) ASSERT_EQ(out[i], a[i] * b[i]);
+
+    std::vector<float> y = b;
+    kernels::Axpy(y.data(), a.data(), 0.5f, n);
+    // FMA may contract the multiply-add; allow one-ulp-scale slack.
+    for (int64_t i = 0; i < n; ++i)
+      ASSERT_NEAR(y[i], b[i] + 0.5f * a[i], 1e-6f);
+
+    std::vector<float> want(static_cast<size_t>(n));
+    kernels::Tanh(out.data(), a.data(), n);
+    kernels::naive::Tanh(want.data(), a.data(), n);
+    ExpectAllNear(out, want, 1e-5f);
+
+    kernels::Gelu(out.data(), a.data(), n);
+    kernels::naive::Gelu(want.data(), a.data(), n);
+    ExpectAllNear(out, want, 1e-5f);
+
+    const float dot = kernels::Dot(a.data(), b.data(), n);
+    float ref = 0.0f;
+    for (int64_t i = 0; i < n; ++i) ref += a[i] * b[i];
+    ASSERT_NEAR(dot, ref, 1e-4f * std::max(1.0f, std::fabs(ref)));
+  }
+}
+
+TEST(KernelsTest, RowNormalizationsMatchNaive) {
+  Rng rng(46);
+  for (int64_t rows : {1, 3, 17}) {
+    for (int64_t n : {1, 5, 8, 31, 64, 130}) {
+      std::vector<float> base = RandomVec(rows * n, rng, -4.0f, 4.0f);
+      std::vector<float> gamma = RandomVec(n, rng, 0.5f, 1.5f);
+      std::vector<float> beta = RandomVec(n, rng, -0.5f, 0.5f);
+
+      std::vector<float> got = base;
+      std::vector<float> want = base;
+      kernels::SoftmaxRows(got.data(), rows, n);
+      kernels::naive::SoftmaxRows(want.data(), rows, n);
+      ExpectAllNear(got, want, 1e-5f);
+
+      got = base;
+      want = base;
+      kernels::LogSoftmaxRows(got.data(), rows, n);
+      kernels::naive::LogSoftmaxRows(want.data(), rows, n);
+      ExpectAllNear(got, want, 1e-5f);
+
+      got = base;
+      want = base;
+      kernels::LayerNormRows(got.data(), gamma.data(), beta.data(), rows, n,
+                             1e-5f);
+      kernels::naive::LayerNormRows(want.data(), gamma.data(), beta.data(),
+                                    rows, n, 1e-5f);
+      ExpectAllNear(got, want, 1e-4f);
+    }
+  }
+}
+
+TEST(KernelsTest, FusedAttentionMatchesNaive) {
+  Rng rng(47);
+  struct AttnShape {
+    int64_t tq, tk, dk, dv;
+  };
+  const AttnShape shapes[] = {
+      {1, 1, 1, 1}, {3, 5, 7, 2}, {17, 13, 16, 16}, {9, 33, 24, 40}};
+  for (const AttnShape& s : shapes) {
+    std::vector<float> q = RandomVec(s.tq * s.dk, rng, -1.0f, 1.0f);
+    std::vector<float> k = RandomVec(s.tk * s.dk, rng, -1.0f, 1.0f);
+    std::vector<float> v = RandomVec(s.tk * s.dv, rng, -1.0f, 1.0f);
+    std::vector<float> bias = RandomVec(s.tq * s.tk, rng, -1.0f, 0.0f);
+    const float scale = 1.0f / std::sqrt(static_cast<float>(s.dk));
+    for (const float* b : {static_cast<const float*>(nullptr),
+                           static_cast<const float*>(bias.data())}) {
+      std::vector<float> got(static_cast<size_t>(s.tq * s.dv));
+      std::vector<float> want(static_cast<size_t>(s.tq * s.dv));
+      std::vector<float> got_p(static_cast<size_t>(s.tq * s.tk));
+      std::vector<float> want_p(static_cast<size_t>(s.tq * s.tk));
+      kernels::FusedAttention(q.data(), k.data(), v.data(), b, scale, s.tq,
+                              s.tk, s.dk, s.dv, got.data(), got_p.data());
+      kernels::naive::FusedAttention(q.data(), k.data(), v.data(), b, scale,
+                                     s.tq, s.tk, s.dk, s.dv, want.data(),
+                                     want_p.data());
+      ExpectAllNear(got, want, 1e-4f);
+      ExpectAllNear(got_p, want_p, 1e-5f);
+
+      // Dropping probs capture must not perturb the output bits.
+      std::vector<float> got_nop(static_cast<size_t>(s.tq * s.dv));
+      kernels::FusedAttention(q.data(), k.data(), v.data(), b, scale, s.tq,
+                              s.tk, s.dk, s.dv, got_nop.data(), nullptr);
+      ASSERT_EQ(std::memcmp(got.data(), got_nop.data(),
+                            got.size() * sizeof(float)),
+                0);
+    }
+  }
+}
+
+TEST(KernelsTest, MatMulThreadCountInvariantBitwise) {
+  Rng rng(48);
+  const int64_t m = 37, k = 53, n = 41;
+  std::vector<float> a = RandomVec(m * k, rng);
+  std::vector<float> b = RandomVec(k * n, rng);
+  std::vector<float> c1(static_cast<size_t>(m * n));
+  std::vector<float> c4(static_cast<size_t>(m * n));
+  {
+    ScopedThreads threads(1);
+    kernels::MatMul(a.data(), b.data(), c1.data(), m, k, n);
+  }
+  {
+    ScopedThreads threads(4);
+    kernels::MatMul(a.data(), b.data(), c4.data(), m, k, n);
+  }
+  EXPECT_EQ(std::memcmp(c1.data(), c4.data(), c1.size() * sizeof(float)), 0);
+}
+
+TEST(KernelsTest, FusedAttentionThreadCountInvariantBitwise) {
+  Rng rng(49);
+  const int64_t tq = 29, tk = 31, dk = 24, dv = 24;
+  std::vector<float> q = RandomVec(tq * dk, rng);
+  std::vector<float> k = RandomVec(tk * dk, rng);
+  std::vector<float> v = RandomVec(tk * dv, rng);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dk));
+  std::vector<float> o1(static_cast<size_t>(tq * dv));
+  std::vector<float> o4(static_cast<size_t>(tq * dv));
+  std::vector<float> p4(static_cast<size_t>(tq * tk));
+  {
+    ScopedThreads threads(1);
+    kernels::FusedAttention(q.data(), k.data(), v.data(), nullptr, scale, tq,
+                            tk, dk, dv, o1.data(), nullptr);
+  }
+  {
+    // 4 threads AND probs capture on: both must leave the bits alone.
+    ScopedThreads threads(4);
+    kernels::FusedAttention(q.data(), k.data(), v.data(), nullptr, scale, tq,
+                            tk, dk, dv, o4.data(), p4.data());
+  }
+  EXPECT_EQ(std::memcmp(o1.data(), o4.data(), o1.size() * sizeof(float)), 0);
+}
+
+TEST(KernelsTest, TensorStorageIsCacheLineAligned) {
+  for (auto shape : {std::vector<int64_t>{1}, {3, 5}, {33, 7}, {128, 128}}) {
+    Tensor t = Tensor::Zeros(shape);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(t.data()) %
+                  AlignedBuffer::kAlignment,
+              0u);
+  }
+}
+
+TEST(KernelsTest, GrainTracksFlopsBudget) {
+  EXPECT_EQ(kernels::GrainForFlopsPerRow(0), 1 << 15);
+  EXPECT_EQ(kernels::GrainForFlopsPerRow(1 << 14), 2);
+  EXPECT_EQ(kernels::GrainForFlopsPerRow(1 << 20), 1);
+}
+
+TEST(KernelsTest, SimdLevelIsResolvedAndNamed) {
+  const kernels::SimdLevel level = kernels::ActiveSimdLevel();
+  EXPECT_EQ(level, kernels::ActiveSimdLevel());  // stable across calls
+  const char* name = kernels::SimdLevelName(level);
+  EXPECT_TRUE(std::string(name) == "scalar" || std::string(name) == "avx2");
+  if (level == kernels::SimdLevel::kAvx2) {
+    EXPECT_TRUE(kernels::Avx2CompiledIn());
+  }
+}
+
+}  // namespace
+}  // namespace tabrep

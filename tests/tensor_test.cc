@@ -4,8 +4,12 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <iterator>
 
+#include "runtime/runtime.h"
 #include "tensor/io.h"
+#include "tensor/kernels.h"
 #include "tensor/ops.h"
 #include "tensor/tensor.h"
 
@@ -313,6 +317,135 @@ TEST(TensorIoTest, TruncatedFileFails) {
   ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
   auto r = LoadTensors(path);
   EXPECT_FALSE(r.ok());
+}
+
+// -- Property tests: ops:: against the naive kernel references ----------
+//
+// Randomized shapes deliberately hit 1x1, prime dims, and k/n that are
+// not multiples of the 6x16 register tile or the 8-lane vector width,
+// so packing tails and edge kernels all get exercised through the
+// public ops:: surface.
+
+int64_t RandDim(Rng& rng) {
+  static const int64_t kDims[] = {1, 2, 3, 5, 6, 7, 8, 11, 13, 16,
+                                  17, 23, 31, 32, 33, 47, 64, 97};
+  return kDims[static_cast<size_t>(
+      rng.NextUniform(0.0f, static_cast<float>(std::size(kDims)) - 0.001f))];
+}
+
+TEST(TensorPropertyTest, MatMulMatchesNaiveOnRandomShapes) {
+  Rng rng(1234);
+  for (int iter = 0; iter < 25; ++iter) {
+    const int64_t m = RandDim(rng), k = RandDim(rng), n = RandDim(rng);
+    Tensor a = Tensor::Uniform({m, k}, rng, -2.0f, 2.0f);
+    Tensor b = Tensor::Uniform({k, n}, rng, -2.0f, 2.0f);
+    Tensor got = ops::MatMul(a, b);
+    Tensor want({m, n});
+    kernels::naive::MatMul(a.data(), b.data(), want.data(), m, k, n);
+    ASSERT_TRUE(got.AllClose(want, 1e-3f))
+        << m << "x" << k << "x" << n << ": " << got.ToString() << " vs "
+        << want.ToString();
+  }
+}
+
+TEST(TensorPropertyTest, MatMulTransposedBMatchesNaiveOnRandomShapes) {
+  Rng rng(1235);
+  for (int iter = 0; iter < 25; ++iter) {
+    const int64_t m = RandDim(rng), k = RandDim(rng), n = RandDim(rng);
+    Tensor a = Tensor::Uniform({m, k}, rng, -2.0f, 2.0f);
+    Tensor b = Tensor::Uniform({n, k}, rng, -2.0f, 2.0f);
+    Tensor got = ops::MatMulTransposedB(a, b);
+    Tensor want({m, n});
+    kernels::naive::MatMulTransposedB(a.data(), b.data(), want.data(), m, k,
+                                      n);
+    ASSERT_TRUE(got.AllClose(want, 1e-3f)) << m << "x" << k << "x" << n;
+  }
+}
+
+TEST(TensorPropertyTest, TransposeRoundTripsOnRandomShapes) {
+  Rng rng(1236);
+  for (int iter = 0; iter < 25; ++iter) {
+    const int64_t m = RandDim(rng), n = RandDim(rng);
+    Tensor a = Tensor::Uniform({m, n}, rng, -2.0f, 2.0f);
+    Tensor t = ops::Transpose(a);
+    ASSERT_EQ(t.rows(), n);
+    ASSERT_EQ(t.cols(), m);
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t j = 0; j < n; ++j) ASSERT_EQ(t.at(j, i), a.at(i, j));
+    }
+    ASSERT_TRUE(ops::Transpose(t).AllClose(a, 0.0f));
+  }
+}
+
+TEST(TensorPropertyTest, NormalizationsMatchNaiveOnRandomShapes) {
+  Rng rng(1237);
+  for (int iter = 0; iter < 20; ++iter) {
+    const int64_t rows = RandDim(rng), n = RandDim(rng);
+    Tensor a = Tensor::Uniform({rows, n}, rng, -4.0f, 4.0f);
+    Tensor gamma = Tensor::Uniform({n}, rng, 0.5f, 1.5f);
+    Tensor beta = Tensor::Uniform({n}, rng, -0.5f, 0.5f);
+
+    Tensor want = a.Clone();
+    kernels::naive::SoftmaxRows(want.data(), rows, n);
+    ASSERT_TRUE(ops::Softmax(a).AllClose(want, 1e-5f));
+
+    want = a.Clone();
+    kernels::naive::LogSoftmaxRows(want.data(), rows, n);
+    ASSERT_TRUE(ops::LogSoftmax(a).AllClose(want, 1e-4f));
+
+    want = a.Clone();
+    kernels::naive::LayerNormRows(want.data(), gamma.data(), beta.data(),
+                                  rows, n, 1e-5f);
+    ASSERT_TRUE(ops::LayerNorm(a, gamma, beta).AllClose(want, 1e-4f));
+
+    want = a.Clone();
+    kernels::naive::Gelu(want.data(), a.data(), a.numel());
+    ASSERT_TRUE(ops::Gelu(a).AllClose(want, 1e-5f));
+  }
+}
+
+TEST(TensorPropertyTest, ScaledDotAttentionMatchesComposedOps) {
+  Rng rng(1238);
+  for (int iter = 0; iter < 10; ++iter) {
+    const int64_t tq = RandDim(rng), tk = RandDim(rng);
+    const int64_t dk = RandDim(rng), dv = RandDim(rng);
+    Tensor q = Tensor::Uniform({tq, dk}, rng, -1.0f, 1.0f);
+    Tensor k = Tensor::Uniform({tk, dk}, rng, -1.0f, 1.0f);
+    Tensor v = Tensor::Uniform({tk, dv}, rng, -1.0f, 1.0f);
+    Tensor bias = Tensor::Uniform({tq, tk}, rng, -1.0f, 0.0f);
+    const float scale = 1.0f / std::sqrt(static_cast<float>(dk));
+
+    Tensor probs;
+    Tensor got = ops::ScaledDotAttention(q, k, v, &bias, scale, &probs);
+    Tensor want_p({tq, tk});
+    Tensor want({tq, dv});
+    kernels::naive::FusedAttention(q.data(), k.data(), v.data(), bias.data(),
+                                   scale, tq, tk, dk, dv, want.data(),
+                                   want_p.data());
+    ASSERT_TRUE(got.AllClose(want, 1e-4f));
+    ASSERT_TRUE(probs.AllClose(want_p, 1e-5f));
+  }
+}
+
+TEST(TensorPropertyTest, ScaledDotAttentionThreadCountInvariant) {
+  Rng rng(1239);
+  const int64_t tq = 37, tk = 29, dk = 24, dv = 40;
+  Tensor q = Tensor::Uniform({tq, dk}, rng, -1.0f, 1.0f);
+  Tensor k = Tensor::Uniform({tk, dk}, rng, -1.0f, 1.0f);
+  Tensor v = Tensor::Uniform({tk, dv}, rng, -1.0f, 1.0f);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dk));
+  Tensor one, four, four_probs;
+  runtime::Configure({1});
+  one = ops::ScaledDotAttention(q, k, v, nullptr, scale);
+  runtime::Configure({4});
+  // Capture on at 4 threads vs capture off at 1 thread: the contract
+  // says neither knob may move a single bit of the output.
+  four = ops::ScaledDotAttention(q, k, v, nullptr, scale, &four_probs);
+  runtime::Configure({});
+  ASSERT_TRUE(one.SameShape(four));
+  EXPECT_EQ(std::memcmp(one.data(), four.data(),
+                        static_cast<size_t>(one.numel()) * sizeof(float)),
+            0);
 }
 
 }  // namespace

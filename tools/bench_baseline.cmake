@@ -1,0 +1,74 @@
+# Committed-baseline regression anchor:
+#   cmake -DBENCH_BIN=... -DBENCH_ID=... -DBASELINE_DIR=... -DWORK_DIR=...
+#         [-DDIFF_BIN=...] [-DMODE=check|record] -P bench_baseline.cmake
+#
+# check (default): runs the bench under the pinned environment and
+#   requires bench_diff to pass against bench/baseline/BENCH_<id>.json.
+# record: runs the bench and overwrites the committed baseline file
+#   (invoked via the `record_bench_baseline` build target).
+#
+# The environment is pinned so committed reports are comparable across
+# machines: TABREP_SMOKE=1 fixes the workload, TABREP_TRACE=0 keeps
+# span bookkeeping out of the counters, and TABREP_NUM_THREADS=2 fixes
+# the pool size (parallel_for call/inline/chunk counters depend on it).
+# Wall-clock differs across machines, so the check gates COUNTERS ONLY:
+# the timing thresholds are set beyond any real value while counter
+# growth past +1% (the bench_diff default) fails the gate.
+
+foreach(var BENCH_BIN BENCH_ID BASELINE_DIR WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "bench_baseline: missing -D${var}=...")
+  endif()
+endforeach()
+if(NOT DEFINED MODE)
+  set(MODE check)
+endif()
+
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env
+          TABREP_SMOKE=1 TABREP_TRACE=0 TABREP_NUM_THREADS=2 ${BENCH_BIN}
+  WORKING_DIRECTORY ${WORK_DIR}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bench_baseline: ${BENCH_ID} bench failed (rc=${rc}):\n${out}")
+endif()
+set(report ${WORK_DIR}/BENCH_${BENCH_ID}.json)
+if(NOT EXISTS ${report})
+  message(FATAL_ERROR "bench_baseline: ${report} not written")
+endif()
+
+if(MODE STREQUAL "record")
+  file(MAKE_DIRECTORY ${BASELINE_DIR})
+  file(COPY ${report} DESTINATION ${BASELINE_DIR})
+  message(STATUS "bench_baseline: recorded ${BASELINE_DIR}/BENCH_${BENCH_ID}.json")
+  return()
+endif()
+
+if(NOT DEFINED DIFF_BIN)
+  message(FATAL_ERROR "bench_baseline: check mode needs -DDIFF_BIN=...")
+endif()
+set(baseline ${BASELINE_DIR}/BENCH_${BENCH_ID}.json)
+if(NOT EXISTS ${baseline})
+  message(FATAL_ERROR
+          "bench_baseline: no committed baseline at ${baseline}; run the "
+          "record_bench_baseline target and commit bench/baseline/")
+endif()
+
+execute_process(
+  COMMAND ${DIFF_BIN} --max-p95-regress=1000000 --max-total-regress=1000000
+          ${baseline} ${report}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE out)
+message(STATUS "baseline vs current (${BENCH_ID}):\n${out}")
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "bench_baseline: counters regressed vs committed baseline "
+          "(rc=${rc}); if the workload change is intentional, re-record "
+          "with the record_bench_baseline target and commit the result")
+endif()
+message(STATUS "bench_baseline: ${BENCH_ID} OK")
