@@ -3,6 +3,9 @@
 #include <algorithm>
 
 #include "models/visibility.h"
+#include "obs/metrics.h"
+#include "tensor/arena.h"
+#include "tensor/ops.h"
 
 namespace tabrep {
 
@@ -127,6 +130,17 @@ ag::Variable TableEncoderModel::EmbedInput(const TokenizedTable& input,
 Encoded TableEncoderModel::Encode(const TokenizedTable& input, Rng& rng,
                                   const EncodeOptions& options) {
   TABREP_CHECK(input.size() > 0) << "empty input";
+  TABREP_CHECK(!options.inference || !training())
+      << "EncodeOptions::inference requires eval mode";
+  static obs::Counter& graph_calls =
+      obs::Registry::Get().counter("tabrep.models.encode.graph");
+  static obs::Counter& infer_calls =
+      obs::Registry::Get().counter("tabrep.models.encode.infer");
+  if ((options.inference || ag::NoGradScope::Active()) && !training()) {
+    infer_calls.Increment();
+    return EncodeInference(input, options);
+  }
+  graph_calls.Increment();
   ag::Variable x = EmbedInput(input, rng);
 
   nn::AttentionBias bias;
@@ -171,6 +185,122 @@ Encoded TableEncoderModel::Encode(const TokenizedTable& input, Rng& rng,
       cells = vertical_ln_->Forward(ag::Add(cells, refined));
     }
     out.cells = cells;
+    out.has_cells = true;
+  }
+  return out;
+}
+
+Tensor TableEncoderModel::EmbedInputInference(const TokenizedTable& input) {
+  // Same channel sum as EmbedInput, with the id staging arrays in
+  // thread-arena scratch instead of heap vectors (the caller's
+  // ScratchScope reclaims them).
+  const int64_t t = input.size();
+  mem::Arena& arena = mem::Arena::ThreadLocal();
+  auto staged = [&](int64_t limit, auto&& channel) {
+    int32_t* out = arena.AllocSpan<int32_t>(static_cast<size_t>(t));
+    for (int64_t i = 0; i < t; ++i) {
+      out[i] = static_cast<int32_t>(std::clamp<int64_t>(
+          channel(input.tokens[static_cast<size_t>(i)], i), 0, limit - 1));
+    }
+    return out;
+  };
+
+  Tensor x = token_emb_->ForwardInference(
+      staged(config_.vocab_size,
+             [](const TokenInfo& tok, int64_t) { return tok.id; }),
+      t);
+  x = ops::Add(x, pos_emb_->ForwardInference(
+                      staged(config_.max_position,
+                             [](const TokenInfo&, int64_t i) { return i; }),
+                      t));
+  x = ops::Add(
+      x, seg_emb_->ForwardInference(
+             staged(config_.num_segments,
+                    [](const TokenInfo& tok, int64_t) { return tok.segment; }),
+             t));
+  if (config_.UsesStructuralEmbeddings()) {
+    x = ops::Add(
+        x, row_emb_->ForwardInference(
+               staged(config_.max_rows,
+                      [](const TokenInfo& tok, int64_t) { return tok.row; }),
+               t));
+    x = ops::Add(x, col_emb_->ForwardInference(
+                        staged(config_.max_columns,
+                               [](const TokenInfo& tok, int64_t) {
+                                 return tok.column;
+                               }),
+                        t));
+    x = ops::Add(
+        x, kind_emb_->ForwardInference(
+               staged(kNumTokenKinds,
+                      [](const TokenInfo& tok, int64_t) { return tok.kind; }),
+               t));
+  }
+  if (rank_emb_) {
+    x = ops::Add(
+        x, rank_emb_->ForwardInference(
+               staged(config_.max_rank,
+                      [](const TokenInfo& tok, int64_t) { return tok.rank; }),
+               t));
+  }
+  if (entity_emb_) {
+    x = ops::Add(x, entity_emb_->ForwardInference(
+                        staged(config_.entity_vocab_size,
+                               [](const TokenInfo& tok, int64_t) {
+                                 return tok.entity_id >= 0 ? tok.entity_id
+                                                           : 0;  // ENT_UNK
+                               }),
+                        t));
+  }
+  return input_ln_->ForwardInference(x);
+}
+
+Encoded TableEncoderModel::EncodeInference(const TokenizedTable& input,
+                                           const EncodeOptions& options) {
+  mem::ScratchScope scratch;
+  Tensor x = EmbedInputInference(input);
+
+  nn::AttentionBias bias;
+  const nn::AttentionBias* bias_ptr = nullptr;
+  if (config_.family == ModelFamily::kTurl) {
+    bias.shared = BuildTurlVisibility(input);
+    bias_ptr = &bias;
+  } else if (config_.family == ModelFamily::kMate) {
+    bias.per_head = BuildMateBiases(input, config_.transformer.num_heads);
+    bias_ptr = &bias;
+  }
+
+  Encoded out;
+  Tensor hidden = encoder_->ForwardInference(
+      x, bias_ptr, options.capture_attention ? &out.attention : nullptr);
+  out.hidden = ag::Variable::Constant(hidden);
+
+  if (options.need_cells && !input.cells.empty()) {
+    std::vector<Tensor> pooled;
+    pooled.reserve(input.cells.size());
+    for (const CellSpan& span : input.cells) {
+      pooled.push_back(
+          ops::MeanRows(ops::SliceRows(hidden, span.begin, span.end))
+              .Reshape({1, dim()}));
+    }
+    Tensor cells = ops::ConcatRows(pooled);
+
+    if (config_.family == ModelFamily::kTabert) {
+      const int64_t n = static_cast<int64_t>(input.cells.size());
+      Tensor vbias({n, n});
+      for (int64_t i = 0; i < n; ++i) {
+        for (int64_t j = 0; j < n; ++j) {
+          const bool same_col = input.cells[static_cast<size_t>(i)].col ==
+                                input.cells[static_cast<size_t>(j)].col;
+          vbias.at(i, j) = (i == j || same_col) ? 0.0f : nn::kMaskedScore;
+        }
+      }
+      nn::AttentionBias vb;
+      vb.shared = std::move(vbias);
+      Tensor refined = vertical_attn_->ForwardInference(cells, &vb);
+      cells = vertical_ln_->ForwardInference(ops::Add(cells, refined));
+    }
+    out.cells = ag::Variable::Constant(cells);
     out.has_cells = true;
   }
   return out;

@@ -22,6 +22,13 @@ struct EncodeOptions {
   bool need_cells = true;
   /// Record per-layer averaged attention maps in Encoded::attention.
   bool capture_attention = false;
+  /// Run graph-free: no VarImpl nodes or backward closures are built;
+  /// the forward runs on plain tensors (ops::/kernels::) with
+  /// arena-backed scratch and the results come back as Constant
+  /// variables. Values are bitwise identical to the graph path.
+  /// Requires eval mode (training() == false). Encode also switches to
+  /// this path automatically when an ag::NoGradScope is active.
+  bool inference = false;
 };
 
 /// Result of encoding one serialized table.
@@ -74,6 +81,11 @@ class TableEncoderModel : public nn::Module {
 
  private:
   ag::Variable EmbedInput(const TokenizedTable& input, Rng& rng);
+  /// Tensor-path twins of EmbedInput/Encode used when
+  /// EncodeOptions::inference is set (or a NoGradScope is active).
+  Tensor EmbedInputInference(const TokenizedTable& input);
+  Encoded EncodeInference(const TokenizedTable& input,
+                          const EncodeOptions& options);
 
   ModelConfig config_;
   Rng init_rng_;

@@ -6,6 +6,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/runtime.h"
+#include "tensor/ops.h"
 
 namespace tabrep::nn {
 
@@ -142,6 +143,86 @@ ag::Variable MultiHeadSelfAttention::Forward(const ag::Variable& x,
     *attn_probs_out = probs_acc;
   }
   return ag::AddRowBroadcast(acc, *out_bias_);
+}
+
+Tensor MultiHeadSelfAttention::ForwardInference(const Tensor& x,
+                                                const AttentionBias* bias,
+                                                Tensor* attn_probs_out) {
+  TABREP_TRACE_SPAN("nn.attention");
+  static obs::Counter& calls =
+      obs::Registry::Get().counter("tabrep.nn.attention.calls");
+  static obs::Histogram& duration_us =
+      obs::Registry::Get().histogram("tabrep.nn.attention.us");
+  calls.Increment();
+  obs::ScopedTimer timer(duration_us);
+  TABREP_CHECK(!(training() && dropout_ > 0.0f))
+      << "ForwardInference cannot apply dropout; call SetTraining(false)";
+  const int64_t t = x.rows();
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  if (bias && bias->has_per_head()) {
+    TABREP_CHECK(static_cast<int64_t>(bias->per_head.size()) == num_heads_)
+        << "per-head bias count " << bias->per_head.size();
+  }
+
+  // Same shape as the graph path's dropout-off branch: heads fill
+  // disjoint slots under the same ParallelFor, the reduction runs in
+  // head order, and capture publishes from the calling thread.
+  const bool capture = obs::AttentionCaptureActive();
+  const bool keep_probs = attn_probs_out != nullptr || capture;
+  std::vector<Tensor> head_outs(static_cast<size_t>(num_heads_));
+  std::vector<Tensor> head_probs(keep_probs ? static_cast<size_t>(num_heads_)
+                                            : 0);
+  runtime::ParallelFor(0, num_heads_, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t h = lo; h < hi; ++h) {
+      Tensor q = q_[static_cast<size_t>(h)]->ForwardInference(x);
+      Tensor k = k_[static_cast<size_t>(h)]->ForwardInference(x);
+      Tensor v = v_[static_cast<size_t>(h)]->ForwardInference(x);
+      const Tensor* head_bias = nullptr;
+      if (bias) {
+        if (bias->has_per_head()) {
+          head_bias = &bias->per_head[static_cast<size_t>(h)];
+        } else if (bias->has_shared()) {
+          head_bias = &bias->shared;
+        }
+      }
+      if (head_bias) {
+        TABREP_CHECK(head_bias->dim() == 2 && head_bias->rows() == t &&
+                     head_bias->cols() == t)
+            << "attention bias shape " << ShapeToString(head_bias->shape())
+            << " vs sequence length " << t;
+      }
+      Tensor probs_t;
+      Tensor ctx = ops::ScaledDotAttention(q, k, v, head_bias, scale,
+                                           keep_probs ? &probs_t : nullptr);
+      if (keep_probs) head_probs[static_cast<size_t>(h)] = probs_t;
+      head_outs[static_cast<size_t>(h)] =
+          out_[static_cast<size_t>(h)]->ForwardInference(ctx);
+    }
+  });
+
+  Tensor acc = head_outs[0];
+  for (int64_t h = 1; h < num_heads_; ++h) {
+    acc = ops::Add(acc, head_outs[static_cast<size_t>(h)]);
+  }
+  if (capture) {
+    std::vector<obs::AttentionMatrix> heads;
+    heads.reserve(head_probs.size());
+    for (const Tensor& p : head_probs) {
+      obs::AttentionMatrix m;
+      m.rows = p.rows();
+      m.cols = p.cols();
+      m.weights.assign(p.data(), p.data() + p.numel());
+      heads.push_back(std::move(m));
+    }
+    obs::RecordAttention(t, std::move(heads));
+  }
+  if (attn_probs_out) {
+    Tensor probs_acc = Tensor::Zeros({t, t});
+    for (const Tensor& p : head_probs) probs_acc.Add(p);
+    probs_acc.Scale(1.0f / static_cast<float>(num_heads_));
+    *attn_probs_out = probs_acc;
+  }
+  return ops::AddRowBroadcast(acc, out_bias_->value());
 }
 
 }  // namespace tabrep::nn

@@ -45,6 +45,14 @@ class MultiHeadSelfAttention : public Module {
   ag::Variable Forward(const ag::Variable& x, const AttentionBias* bias,
                        Rng& rng, Tensor* attn_probs_out = nullptr);
 
+  /// Graph-free forward on plain tensors. Mirrors Forward's
+  /// dropout-off path op for op (same per-head ParallelFor, same
+  /// head-order reduction, same capture hook), so outputs are bitwise
+  /// identical to the graph path at any thread count. Must not be
+  /// called with dropout active (checked).
+  Tensor ForwardInference(const Tensor& x, const AttentionBias* bias,
+                          Tensor* attn_probs_out = nullptr);
+
   int64_t num_heads() const { return num_heads_; }
 
  private:

@@ -1,5 +1,7 @@
 #include "nn/layers.h"
 
+#include "tensor/ops.h"
+
 namespace tabrep::nn {
 
 Linear::Linear(int64_t in_features, int64_t out_features, Rng& rng,
@@ -14,6 +16,11 @@ ag::Variable Linear::Forward(const ag::Variable& x) {
   return ag::AddRowBroadcast(ag::MatMul(x, *weight_), *bias_);
 }
 
+Tensor Linear::ForwardInference(const Tensor& x) const {
+  return ops::AddRowBroadcast(ops::MatMul(x, weight_->value()),
+                              bias_->value());
+}
+
 Embedding::Embedding(int64_t vocab_size, int64_t dim, Rng& rng, float init_std)
     : vocab_size_(vocab_size), dim_(dim) {
   weight_ = RegisterParam("weight",
@@ -22,6 +29,10 @@ Embedding::Embedding(int64_t vocab_size, int64_t dim, Rng& rng, float init_std)
 
 ag::Variable Embedding::Forward(const std::vector<int32_t>& ids) {
   return ag::EmbeddingLookup(*weight_, ids);
+}
+
+Tensor Embedding::ForwardInference(const int32_t* ids, int64_t n) const {
+  return ops::EmbeddingLookup(weight_->value(), ids, n);
 }
 
 LayerNorm::LayerNorm(int64_t dim, float eps) : eps_(eps) {
@@ -33,6 +44,10 @@ ag::Variable LayerNorm::Forward(const ag::Variable& x) {
   return ag::LayerNorm(x, *gamma_, *beta_, eps_);
 }
 
+Tensor LayerNorm::ForwardInference(const Tensor& x) const {
+  return ops::LayerNorm(x, gamma_->value(), beta_->value(), eps_);
+}
+
 FeedForward::FeedForward(int64_t dim, int64_t hidden_dim, Rng& rng)
     : fc1_(dim, hidden_dim, rng), fc2_(hidden_dim, dim, rng) {
   RegisterChild("fc1", &fc1_);
@@ -41,6 +56,10 @@ FeedForward::FeedForward(int64_t dim, int64_t hidden_dim, Rng& rng)
 
 ag::Variable FeedForward::Forward(const ag::Variable& x) {
   return fc2_.Forward(ag::Gelu(fc1_.Forward(x)));
+}
+
+Tensor FeedForward::ForwardInference(const Tensor& x) const {
+  return fc2_.ForwardInference(ops::Gelu(fc1_.ForwardInference(x)));
 }
 
 }  // namespace tabrep::nn

@@ -16,6 +16,9 @@ class Linear : public Module {
          float init_std = 0.02f);
 
   ag::Variable Forward(const ag::Variable& x);
+  /// Graph-free forward on plain tensors: the same ops:: sequence as
+  /// Forward, so the values are bitwise identical.
+  Tensor ForwardInference(const Tensor& x) const;
 
   int64_t in_features() const { return in_features_; }
   int64_t out_features() const { return out_features_; }
@@ -33,6 +36,8 @@ class Embedding : public Module {
   Embedding(int64_t vocab_size, int64_t dim, Rng& rng, float init_std = 0.02f);
 
   ag::Variable Forward(const std::vector<int32_t>& ids);
+  /// Graph-free gather over a raw id span.
+  Tensor ForwardInference(const int32_t* ids, int64_t n) const;
 
   /// The raw table, e.g. for weight tying with an output head.
   ag::Variable& weight() { return *weight_; }
@@ -51,6 +56,8 @@ class LayerNorm : public Module {
   explicit LayerNorm(int64_t dim, float eps = 1e-5f);
 
   ag::Variable Forward(const ag::Variable& x);
+  /// Graph-free forward (same ops:: call as Forward).
+  Tensor ForwardInference(const Tensor& x) const;
 
  private:
   float eps_;
@@ -64,6 +71,8 @@ class FeedForward : public Module {
   FeedForward(int64_t dim, int64_t hidden_dim, Rng& rng);
 
   ag::Variable Forward(const ag::Variable& x);
+  /// Graph-free forward (same ops:: sequence as Forward).
+  Tensor ForwardInference(const Tensor& x) const;
 
  private:
   Linear fc1_;

@@ -1,5 +1,7 @@
 #include "nn/transformer.h"
 
+#include "tensor/ops.h"
+
 namespace tabrep::nn {
 
 TransformerEncoderLayer::TransformerEncoderLayer(
@@ -27,6 +29,17 @@ ag::Variable TransformerEncoderLayer::Forward(const ag::Variable& x,
   return ln2_.Forward(ag::Add(h, ffn));
 }
 
+Tensor TransformerEncoderLayer::ForwardInference(const Tensor& x,
+                                                 const AttentionBias* bias,
+                                                 Tensor* attn_probs_out) {
+  TABREP_CHECK(!(training() && dropout_ > 0.0f))
+      << "ForwardInference cannot apply dropout; call SetTraining(false)";
+  Tensor attn = attention_.ForwardInference(x, bias, attn_probs_out);
+  Tensor h = ln1_.ForwardInference(ops::Add(x, attn));
+  Tensor ffn = ffn_.ForwardInference(h);
+  return ln2_.ForwardInference(ops::Add(h, ffn));
+}
+
 TransformerEncoder::TransformerEncoder(const TransformerConfig& config,
                                        Rng& rng)
     : config_(config) {
@@ -43,6 +56,18 @@ ag::Variable TransformerEncoder::Forward(
   for (auto& layer : layers_) {
     Tensor probs;
     h = layer->Forward(h, bias, rng, attn_probs_out ? &probs : nullptr);
+    if (attn_probs_out) attn_probs_out->push_back(std::move(probs));
+  }
+  return h;
+}
+
+Tensor TransformerEncoder::ForwardInference(
+    const Tensor& x, const AttentionBias* bias,
+    std::vector<Tensor>* attn_probs_out) {
+  Tensor h = x;
+  for (auto& layer : layers_) {
+    Tensor probs;
+    h = layer->ForwardInference(h, bias, attn_probs_out ? &probs : nullptr);
     if (attn_probs_out) attn_probs_out->push_back(std::move(probs));
   }
   return h;

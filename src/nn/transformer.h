@@ -28,6 +28,10 @@ class TransformerEncoderLayer : public Module {
   ag::Variable Forward(const ag::Variable& x, const AttentionBias* bias,
                        Rng& rng, Tensor* attn_probs_out = nullptr);
 
+  /// Graph-free forward; requires eval mode (dropout would need rng).
+  Tensor ForwardInference(const Tensor& x, const AttentionBias* bias,
+                          Tensor* attn_probs_out = nullptr);
+
  private:
   float dropout_;
   MultiHeadSelfAttention attention_;
@@ -46,6 +50,10 @@ class TransformerEncoder : public Module {
   ag::Variable Forward(const ag::Variable& x, const AttentionBias* bias,
                        Rng& rng,
                        std::vector<Tensor>* attn_probs_out = nullptr);
+
+  /// Graph-free forward over the stack (eval mode only).
+  Tensor ForwardInference(const Tensor& x, const AttentionBias* bias,
+                          std::vector<Tensor>* attn_probs_out = nullptr);
 
   const TransformerConfig& config() const { return config_; }
 

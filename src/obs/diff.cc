@@ -20,18 +20,20 @@ double RelChange(double old_v, double new_v) {
 
 /// Compares one named scalar and appends the line. A regression gates
 /// only when the threshold is set (>= 0), the old value is at or above
-/// `min_gate`, and the relative growth exceeds the threshold.
+/// `min_gate`, the relative growth exceeds the threshold, and the
+/// absolute growth exceeds `abs_slack` (0 for most entries; noisy
+/// counters get a small allowance).
 void Compare(const std::string& kind, const std::string& name, double old_v,
              double new_v, double threshold, double min_gate,
-             std::vector<BenchDiffLine>* lines) {
+             std::vector<BenchDiffLine>* lines, double abs_slack = 0.0) {
   BenchDiffLine line;
   line.kind = kind;
   line.name = name;
   line.old_value = old_v;
   line.new_value = new_v;
   line.change = RelChange(old_v, new_v);
-  line.violation =
-      threshold >= 0.0 && old_v >= min_gate && line.change > threshold;
+  line.violation = threshold >= 0.0 && old_v >= min_gate &&
+                   line.change > threshold && (new_v - old_v) > abs_slack;
   lines->push_back(std::move(line));
 }
 
@@ -107,8 +109,16 @@ Result<BenchDiffReport> DiffBenchReports(std::string_view old_json,
         report.unmatched.push_back("counter " + name + " (removed)");
         continue;
       }
+      double abs_slack = 0.0;
+      for (const std::string& prefix : options.noisy_counter_prefixes) {
+        if (name.rfind(prefix, 0) == 0) {
+          abs_slack = options.noisy_counter_slack;
+          break;
+        }
+      }
       Compare("counter", name, old_v.AsNumber(), new_v->AsNumber(),
-              options.max_counter_regress, /*min_gate=*/0.0, &report.lines);
+              options.max_counter_regress, /*min_gate=*/0.0, &report.lines,
+              abs_slack);
     }
     for (const auto& [name, v] : new_counters->members()) {
       (void)v;

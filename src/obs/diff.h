@@ -29,6 +29,18 @@ struct BenchDiffOptions {
   /// (histograms) / milliseconds (profile totals) are reported but
   /// never gate: they sit inside scheduler noise.
   double min_gate_value = 50.0;
+  /// Counters whose name starts with one of these prefixes also get an
+  /// absolute slack: growth within `noisy_counter_slack` units never
+  /// gates, whatever the relative change. The allocator/serving
+  /// counters need this — which thread first touches a buffer size
+  /// (pool.miss) or whether a request coalesces vs hits the cache
+  /// moves a few hundred counts between runs (the hit/miss *sum* is
+  /// workload-invariant; only the split shifts) — while a real
+  /// allocation regression (per-op misses) moves thousands and still
+  /// fails.
+  std::vector<std::string> noisy_counter_prefixes = {"tabrep.mem.",
+                                                     "tabrep.serve."};
+  double noisy_counter_slack = 512.0;
 };
 
 /// One compared entry. `change` is (new - old) / old; +inf when old

@@ -133,6 +133,7 @@ double TapexTrainer::Evaluate(const TableCorpus& corpus,
   std::vector<int8_t> scored(n, 0), hit(n, 0);
   nn::ParallelExamples(
       static_cast<int64_t>(n), eval_rng, [&](int64_t i, Rng& rng) {
+        ag::NoGradScope no_grad;  // eval: graph-free encode
         const size_t s = static_cast<size_t>(i);
         const TapexExample& ex = examples[s];
         int64_t gold = -1;

@@ -203,6 +203,7 @@ PretrainEval PretrainTrainer::Evaluate(const TableCorpus& corpus,
       max_tables, static_cast<int64_t>(corpus.tables.size()));
   std::vector<StepStats> stats(static_cast<size_t>(n));
   nn::ParallelExamples(n, eval_rng, [&](int64_t i, Rng& rng) {
+    ag::NoGradScope no_grad;  // eval: graph-free encode
     TokenizedTable serialized =
         serializer_->Serialize(corpus.tables[static_cast<size_t>(i)]);
     stats[static_cast<size_t>(i)] =

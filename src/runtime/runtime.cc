@@ -122,10 +122,18 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain,
   ThreadPool& pool = GlobalPool();
   // Inline when parallelism cannot help (single lane, one chunk) or
   // would deadlock (already inside a chunk of an enclosing loop).
+  // Chunk boundaries are replayed exactly as the pooled path would
+  // issue them: kernels may round differently at chunk edges (SIMD
+  // tails), so handing fn one merged range would make a nested or
+  // single-lane call bitwise-diverge from the same call on the pool.
   if (pool.size() <= 1 || num_chunks <= 1 || t_in_parallel_region) {
     inline_calls.Increment();
     ScopedRegionFlag flag;
-    fn(begin, end);
+    for (int64_t chunk = 0; chunk < num_chunks; ++chunk) {
+      const int64_t lo = begin + chunk * grain;
+      const int64_t hi = std::min(end, lo + grain);
+      fn(lo, hi);
+    }
     return;
   }
 

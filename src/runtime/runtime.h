@@ -70,10 +70,12 @@ bool InParallelRegion();
 /// Runs fn(chunk_begin, chunk_end) over [begin, end) split into chunks
 /// of at most `grain` indices. Chunks are assigned to lanes in index
 /// order but may execute concurrently; because chunk boundaries depend
-/// only on (begin, end, grain), any per-chunk computation that writes
-/// disjoint outputs produces bitwise-identical results at every thread
-/// count. The first exception thrown by any chunk is rethrown on the
-/// calling thread after all chunks finish.
+/// only on (begin, end, grain) — including when the call degrades to
+/// inline execution (single lane, or nested inside another chunk),
+/// which replays the same chunk sequence — any per-chunk computation
+/// that writes disjoint outputs produces bitwise-identical results at
+/// every thread count and nesting depth. The first exception thrown by
+/// any chunk is rethrown on the calling thread after all chunks finish.
 void ParallelFor(int64_t begin, int64_t end, int64_t grain,
                  const std::function<void(int64_t, int64_t)>& fn);
 

@@ -1,0 +1,230 @@
+#include "serve/serve.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "runtime/runtime.h"
+#include "tensor/autograd.h"
+
+namespace tabrep::serve {
+
+namespace {
+
+constexpr int64_t kDefaultCacheCapacity = 256;
+
+inline void HashMix(uint64_t& h, uint64_t v) {
+  // FNV-1a over the value's bytes, 8 at a time.
+  h ^= v;
+  h *= 0x100000001b3ull;
+}
+
+int64_t ResolveCacheCapacity(int64_t requested) {
+  if (requested >= 0) return requested;
+  const char* env = std::getenv("TABREP_ENCODE_CACHE");
+  if (env == nullptr || *env == '\0') return kDefaultCacheCapacity;
+  return static_cast<int64_t>(std::strtoll(env, nullptr, 10));
+}
+
+obs::Counter& RequestsCounter() {
+  static obs::Counter& c =
+      obs::Registry::Get().counter("tabrep.serve.requests");
+  return c;
+}
+obs::Counter& CacheHitCounter() {
+  static obs::Counter& c =
+      obs::Registry::Get().counter("tabrep.serve.cache.hit");
+  return c;
+}
+obs::Counter& CacheMissCounter() {
+  static obs::Counter& c =
+      obs::Registry::Get().counter("tabrep.serve.cache.miss");
+  return c;
+}
+obs::Counter& CoalescedCounter() {
+  static obs::Counter& c =
+      obs::Registry::Get().counter("tabrep.serve.coalesced");
+  return c;
+}
+obs::Counter& EncodedCounter() {
+  static obs::Counter& c = obs::Registry::Get().counter("tabrep.serve.encoded");
+  return c;
+}
+
+}  // namespace
+
+uint64_t HashTokenizedTable(const TokenizedTable& input) {
+  uint64_t h = 0xcbf29ce484222325ull;  // FNV offset basis
+  HashMix(h, static_cast<uint64_t>(input.tokens.size()));
+  for (const TokenInfo& tok : input.tokens) {
+    HashMix(h, (static_cast<uint64_t>(static_cast<uint32_t>(tok.id)) << 32) |
+                   static_cast<uint32_t>(tok.row));
+    HashMix(h,
+            (static_cast<uint64_t>(static_cast<uint32_t>(tok.column)) << 32) |
+                static_cast<uint32_t>(tok.segment));
+    HashMix(h, (static_cast<uint64_t>(static_cast<uint32_t>(tok.kind)) << 32) |
+                   static_cast<uint32_t>(tok.rank));
+    HashMix(h, static_cast<uint64_t>(static_cast<uint32_t>(tok.entity_id)));
+  }
+  HashMix(h, static_cast<uint64_t>(input.cells.size()));
+  for (const CellSpan& cell : input.cells) {
+    HashMix(h, (static_cast<uint64_t>(static_cast<uint32_t>(cell.row)) << 32) |
+                   static_cast<uint32_t>(cell.col));
+    HashMix(h,
+            (static_cast<uint64_t>(static_cast<uint32_t>(cell.begin)) << 32) |
+                static_cast<uint32_t>(cell.end));
+    HashMix(h, static_cast<uint64_t>(static_cast<uint32_t>(cell.entity_id)));
+  }
+  HashMix(h, static_cast<uint64_t>(input.used_rows));
+  HashMix(h, static_cast<uint64_t>(input.used_columns));
+  return h;
+}
+
+EncodeCache::EncodeCache(std::size_t capacity) : capacity_(capacity) {}
+
+EncodedTablePtr EncodeCache::Get(uint64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);  // promote, iterator stays valid
+  return it->second->value;
+}
+
+void EncodeCache::Put(uint64_t key, EncodedTablePtr value) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->value = std::move(value);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, std::move(value)});
+  index_[key] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+}
+
+std::size_t EncodeCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+BatchedEncoder::BatchedEncoder(models::TableEncoderModel* model,
+                               BatchedEncoderOptions options)
+    : model_(model),
+      options_(options),
+      cache_(static_cast<std::size_t>(
+          std::max<int64_t>(0, ResolveCacheCapacity(options.cache_capacity)))) {
+  TABREP_CHECK(model_ != nullptr) << "BatchedEncoder needs a model";
+  TABREP_CHECK(options_.max_batch >= 1) << "max_batch must be >= 1";
+  model_->SetTraining(false);  // serving is inference-only
+  dispatcher_ = std::thread([this] { DispatcherLoop(); });
+}
+
+BatchedEncoder::~BatchedEncoder() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  dispatcher_.join();
+}
+
+EncodedTablePtr BatchedEncoder::Encode(const TokenizedTable& input) {
+  RequestsCounter().Increment();
+  const uint64_t key = HashTokenizedTable(input);
+  if (EncodedTablePtr cached = cache_.Get(key)) {
+    CacheHitCounter().Increment();
+    return cached;
+  }
+  CacheMissCounter().Increment();
+
+  std::shared_ptr<Pending> pending;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    TABREP_CHECK(!stop_) << "Encode after BatchedEncoder shutdown";
+    auto it = inflight_.find(key);
+    if (it != inflight_.end()) {
+      // Same table already queued or being encoded: attach to it.
+      CoalescedCounter().Increment();
+      pending = it->second;
+    } else {
+      pending = std::make_shared<Pending>();
+      pending->key = key;
+      pending->table = &input;
+      inflight_[key] = pending;
+      queue_.push_back(pending);
+      work_cv_.notify_one();
+    }
+    done_cv_.wait(lock, [&] { return pending->done; });
+  }
+  return pending->result;
+}
+
+void BatchedEncoder::DispatcherLoop() {
+  static obs::Histogram& batch_size =
+      obs::Registry::Get().histogram("tabrep.serve.batch.size");
+  while (true) {
+    std::vector<std::shared_ptr<Pending>> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop requested and fully drained
+      if (options_.max_wait_us > 0 &&
+          static_cast<int64_t>(queue_.size()) < options_.max_batch) {
+        // Linger briefly so concurrent clients can fill the batch.
+        // Only the batch composition depends on this timing, never the
+        // encoded values.
+        work_cv_.wait_for(
+            lock, std::chrono::microseconds(options_.max_wait_us), [&] {
+              return stop_ ||
+                     static_cast<int64_t>(queue_.size()) >= options_.max_batch;
+            });
+      }
+      const int64_t n =
+          std::min<int64_t>(options_.max_batch,
+                            static_cast<int64_t>(queue_.size()));
+      batch.assign(queue_.begin(), queue_.begin() + n);
+      queue_.erase(queue_.begin(), queue_.begin() + n);
+    }
+
+    const int64_t n = static_cast<int64_t>(batch.size());
+    batch_size.Record(static_cast<double>(n));
+    runtime::ParallelFor(0, n, 1, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        Pending& p = *batch[static_cast<size_t>(i)];
+        ag::NoGradScope no_grad;
+        Rng rng(0);  // inference draws nothing from it (dropout is off)
+        models::EncodeOptions opts;
+        opts.need_cells = options_.need_cells;
+        opts.inference = true;
+        models::Encoded enc = model_->Encode(*p.table, rng, opts);
+        auto result = std::make_shared<EncodedTable>();
+        result->hidden = enc.hidden.value();
+        if (enc.has_cells) {
+          result->cells = enc.cells.value();
+          result->has_cells = true;
+        }
+        p.result = std::move(result);
+      }
+    });
+    EncodedCounter().Increment(static_cast<uint64_t>(n));
+
+    for (const auto& p : batch) cache_.Put(p->key, p->result);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const auto& p : batch) {
+        inflight_.erase(p->key);
+        p->done = true;
+      }
+    }
+    done_cv_.notify_all();
+  }
+}
+
+}  // namespace tabrep::serve

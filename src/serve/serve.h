@@ -1,0 +1,134 @@
+#ifndef TABREP_SERVE_SERVE_H_
+#define TABREP_SERVE_SERVE_H_
+
+// tabrep::serve — the encode-serving layer (ROADMAP north star:
+// "serves heavy traffic"). A BatchedEncoder accepts blocking Encode
+// calls from any number of client threads, micro-batches them onto the
+// runtime thread pool, runs each table through the graph-free
+// inference path (EncodeOptions::inference), and memoizes results in
+// an LRU cache keyed by the serialized-table hash. Identical in-flight
+// requests are coalesced: each distinct table is encoded exactly once
+// no matter how many clients ask for it concurrently.
+//
+// Counters (tabrep.serve.*): requests, cache.hit, cache.miss,
+// coalesced, encoded; histogram batch.size records how many tables
+// each dispatcher wakeup carried.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "models/table_encoder.h"
+
+namespace tabrep::serve {
+
+/// Stable FNV-1a 64-bit hash over everything Encode reads from the
+/// input: token fields, cell spans, and the used-rows/columns counts.
+/// Tables that hash equal are served the same cached encoding.
+uint64_t HashTokenizedTable(const TokenizedTable& input);
+
+/// A served encoding: plain tensors (the serving path is graph-free),
+/// shared immutably between the cache and every requester.
+struct EncodedTable {
+  Tensor hidden;  // [T, dim]
+  Tensor cells;   // [num_cells, dim]; meaningful when has_cells
+  bool has_cells = false;
+};
+
+using EncodedTablePtr = std::shared_ptr<const EncodedTable>;
+
+/// Mutex-guarded LRU map from table hash to encoding. Capacity 0
+/// disables caching (every Get misses, Put is a no-op).
+class EncodeCache {
+ public:
+  explicit EncodeCache(std::size_t capacity);
+
+  /// The cached encoding, promoted to most-recently-used; null on miss.
+  EncodedTablePtr Get(uint64_t key);
+  /// Inserts (or refreshes) `value`, evicting the least-recently-used
+  /// entry when over capacity.
+  void Put(uint64_t key, EncodedTablePtr value);
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    uint64_t key;
+    EncodedTablePtr value;
+  };
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
+};
+
+struct BatchedEncoderOptions {
+  /// Most tables one dispatcher wakeup encodes (fanned out over the
+  /// runtime pool with ParallelFor).
+  int64_t max_batch = 8;
+  /// How long the dispatcher lingers for the batch to fill once the
+  /// first request arrives. Affects batching/latency only, never the
+  /// encoded values.
+  int64_t max_wait_us = 200;
+  /// LRU capacity; -1 reads TABREP_ENCODE_CACHE (default 256), 0
+  /// disables caching.
+  int64_t cache_capacity = -1;
+  /// Ask Encode for pooled cell representations.
+  bool need_cells = false;
+};
+
+/// Thread-safe blocking facade over TableEncoderModel::Encode. Puts
+/// the model in eval mode on construction; the destructor drains every
+/// accepted request before joining the dispatcher.
+class BatchedEncoder {
+ public:
+  explicit BatchedEncoder(models::TableEncoderModel* model,
+                          BatchedEncoderOptions options = {});
+  ~BatchedEncoder();
+
+  BatchedEncoder(const BatchedEncoder&) = delete;
+  BatchedEncoder& operator=(const BatchedEncoder&) = delete;
+
+  /// Blocks until `input` is encoded (or served from cache). Safe to
+  /// call from many threads concurrently. `input` must stay alive for
+  /// the duration of the call (it is not copied).
+  EncodedTablePtr Encode(const TokenizedTable& input);
+
+  const EncodeCache& cache() const { return cache_; }
+  const BatchedEncoderOptions& options() const { return options_; }
+
+ private:
+  /// One distinct in-flight table; concurrent requests for the same
+  /// key share a Pending (coalescing).
+  struct Pending {
+    uint64_t key = 0;
+    const TokenizedTable* table = nullptr;  // the leader's input
+    EncodedTablePtr result;
+    bool done = false;
+  };
+
+  void DispatcherLoop();
+
+  models::TableEncoderModel* model_;
+  BatchedEncoderOptions options_;
+  EncodeCache cache_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // dispatcher: queue became non-empty
+  std::condition_variable done_cv_;  // clients: some batch finished
+  std::deque<std::shared_ptr<Pending>> queue_;
+  std::unordered_map<uint64_t, std::shared_ptr<Pending>> inflight_;
+  bool stop_ = false;
+  std::thread dispatcher_;
+};
+
+}  // namespace tabrep::serve
+
+#endif  // TABREP_SERVE_SERVE_H_

@@ -152,6 +152,7 @@ ClassificationReport ColumnAnnotationTask::Evaluate(const TableCorpus& test,
   std::vector<int32_t> pred_slots(n), target_slots(n);
   nn::ParallelExamples(
       static_cast<int64_t>(n), eval_rng, [&](int64_t i, Rng& rng) {
+        ag::NoGradScope no_grad;  // eval: graph-free encode
         const size_t s = static_cast<size_t>(i);
         const ColumnAnnotationExample& ex = examples[s];
         bool ok = false;

@@ -136,6 +136,7 @@ ClassificationReport EntityMatchingTask::Evaluate(
   const int64_t n = static_cast<int64_t>(examples.size());
   std::vector<int32_t> predictions(examples.size()), targets(examples.size());
   nn::ParallelExamples(n, eval_rng, [&](int64_t i, Rng& rng) {
+    ag::NoGradScope no_grad;  // eval: graph-free encode
     const size_t s = static_cast<size_t>(i);
     predictions[s] = ops::ArgmaxRows(Forward(examples[s], rng).value())[0];
     targets[s] = examples[s].label;

@@ -171,6 +171,7 @@ ClassificationReport FactVerificationTask::Evaluate(
   const int64_t n = static_cast<int64_t>(examples.size());
   std::vector<int32_t> predictions(examples.size()), targets(examples.size());
   nn::ParallelExamples(n, eval_rng, [&](int64_t i, Rng& rng) {
+    ag::NoGradScope no_grad;  // eval: graph-free encode
     const FactExample& ex = examples[static_cast<size_t>(i)];
     ag::Variable logits = Forward(
         corpus.tables[static_cast<size_t>(ex.table_index)], ex.claim, rng);

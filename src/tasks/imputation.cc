@@ -244,6 +244,7 @@ ClassificationReport ImputationTask::Evaluate(const TableCorpus& test,
   std::vector<eval::ExampleRecord> records(logging ? n : 0);
   nn::ParallelExamples(
       static_cast<int64_t>(n), eval_rng, [&](int64_t i, Rng& rng) {
+        ag::NoGradScope no_grad;  // eval: graph-free encode
         const size_t s = static_cast<size_t>(i);
         const ImputationExample& ex = examples[s];
         const Table& table = test.tables[static_cast<size_t>(ex.table_index)];

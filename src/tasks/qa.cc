@@ -141,6 +141,7 @@ double QaTask::Evaluate(const TableCorpus& corpus,
   const int64_t n = static_cast<int64_t>(examples.size());
   std::vector<int8_t> scored(examples.size(), 0), hit(examples.size(), 0);
   nn::ParallelExamples(n, eval_rng, [&](int64_t i, Rng& rng) {
+    ag::NoGradScope no_grad;  // eval: graph-free encode
     const QaExample& ex = examples[static_cast<size_t>(i)];
     int64_t gold = -1;
     bool ok = false;

@@ -205,6 +205,7 @@ RankingReport RetrievalTask::Evaluate(
   runtime::ParallelFor(
       0, static_cast<int64_t>(corpus.tables.size()), 1,
       [&](int64_t lo, int64_t hi) {
+        ag::NoGradScope no_grad;  // eval: graph-free encode
         for (int64_t i = lo; i < hi; ++i) {
           Rng rng(config_.seed + 801);
           table_embs[static_cast<size_t>(i)] =
@@ -217,6 +218,7 @@ RankingReport RetrievalTask::Evaluate(
   runtime::ParallelFor(
       0, static_cast<int64_t>(examples.size()), 1,
       [&](int64_t lo, int64_t hi) {
+        ag::NoGradScope no_grad;  // eval: graph-free encode
         for (int64_t i = lo; i < hi; ++i) {
           Rng rng(config_.seed + 800);
           query_embs[static_cast<size_t>(i)] =
@@ -265,6 +267,7 @@ std::vector<int64_t> RetrievalTask::TopK(const std::string& query,
   runtime::ParallelFor(
       0, static_cast<int64_t>(corpus.tables.size()), 1,
       [&](int64_t lo, int64_t hi) {
+        ag::NoGradScope no_grad;  // eval: graph-free encode
         for (int64_t i = lo; i < hi; ++i) {
           Rng rng(config_.seed + 801);
           table_embs[static_cast<size_t>(i)] =

@@ -252,6 +252,7 @@ ParsingEval SemanticParsingTask::Evaluate(
   nn::ParallelExamples(
       static_cast<int64_t>(examples.size()), eval_rng,
       [&](int64_t i, Rng& rng) {
+        ag::NoGradScope no_grad;  // eval: graph-free encode
         const ParsingExample& ex = examples[static_cast<size_t>(i)];
         const Table& table =
             corpus.tables[static_cast<size_t>(ex.table_index)];

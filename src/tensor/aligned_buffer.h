@@ -21,6 +21,12 @@ class AlignedBuffer {
 
   AlignedBuffer() = default;
 
+  /// Tag type: allocate without writing the elements. The caller must
+  /// fill the buffer before reading it (mem::TensorPool uses this so
+  /// recycled-or-fresh buffers behave identically).
+  struct Uninit {};
+  AlignedBuffer(Uninit, std::size_t n) : size_(n), data_(Allocate(n)) {}
+
   explicit AlignedBuffer(std::size_t n, float value = 0.0f)
       : size_(n), data_(Allocate(n)) {
     std::fill_n(data_, n, value);

@@ -12,6 +12,7 @@ using internal::VarImpl;
 namespace {
 
 thread_local GradTable* t_grad_redirect = nullptr;
+thread_local bool t_no_grad = false;
 
 /// The buffer gradient writes for `node` must target on this thread:
 /// the active redirect table's slot, or the shared grad buffer.
@@ -46,6 +47,12 @@ ScopedGradRedirect::ScopedGradRedirect(GradTable* table)
 }
 
 ScopedGradRedirect::~ScopedGradRedirect() { t_grad_redirect = prev_; }
+
+NoGradScope::NoGradScope() : prev_(t_no_grad) { t_no_grad = true; }
+
+NoGradScope::~NoGradScope() { t_no_grad = prev_; }
+
+bool NoGradScope::Active() { return t_no_grad; }
 
 void AccumulateGrads(const GradTable& table,
                      const std::vector<Variable*>& params) {
@@ -84,6 +91,11 @@ Variable MakeOp(Tensor value, std::vector<Variable> parents,
                 std::function<void(const Tensor&)> backward_fn) {
   auto impl = std::make_shared<VarImpl>();
   impl->value = std::move(value);
+  if (t_no_grad) {
+    // Inference: the node is a leaf constant — no parent edges, no
+    // backward closure, nothing retains the upstream graph.
+    return Variable(std::move(impl));
+  }
   bool needs = false;
   for (const Variable& p : parents) needs = needs || p.requires_grad();
   impl->requires_grad = needs;
@@ -291,9 +303,13 @@ Variable FusedAttention(const Variable& q, const Variable& k,
   auto pq = q.impl();
   auto pk = k.impl();
   auto pv = v.impl();
+  // Under no-grad the backward pass never runs, so the probabilities
+  // are only materialized when the caller asked for them (capture).
+  // ops::ScaledDotAttention computes the same values either way.
+  const bool keep_probs = probs_out != nullptr || !NoGradScope::Active();
   Tensor probs;
   Tensor y = ops::ScaledDotAttention(q.value(), k.value(), v.value(), bias,
-                                     scale, &probs);
+                                     scale, keep_probs ? &probs : nullptr);
   if (probs_out != nullptr) *probs_out = probs;
   return MakeOp(y, {q, k, v}, [pq, pk, pv, probs, scale](const Tensor& g) {
     // P = softmax(scale Q K^T + bias), out = P V.

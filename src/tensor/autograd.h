@@ -85,6 +85,27 @@ Variable MakeOp(Tensor value, std::vector<Variable> parents,
 /// gradient is all-ones). Call ZeroGrad on parameters between steps.
 void Backward(const Variable& root);
 
+/// RAII: while active on the current thread, MakeOp produces constant
+/// nodes — no parent edges are kept and the backward closure is
+/// dropped, so the ag:: layer stops retaining the graph. Forward
+/// VALUES are untouched (every op computes through the same ops::
+/// routines), which is what makes graph-free inference bitwise
+/// identical to the graph path. Nests freely; each worker thread of a
+/// ParallelFor region needs its own scope.
+class NoGradScope {
+ public:
+  NoGradScope();
+  ~NoGradScope();
+  NoGradScope(const NoGradScope&) = delete;
+  NoGradScope& operator=(const NoGradScope&) = delete;
+
+  /// True when a NoGradScope is open on this thread.
+  static bool Active();
+
+ private:
+  bool prev_;
+};
+
 // -- Gradient redirection (deterministic data parallelism) --------------
 //
 // A GradTable is a private side-buffer for gradients: while a

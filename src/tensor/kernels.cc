@@ -8,6 +8,7 @@
 
 #include "runtime/runtime.h"
 #include "tensor/aligned_buffer.h"
+#include "tensor/arena.h"
 
 #if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
 #define TABREP_KERNELS_X86 1
@@ -979,9 +980,10 @@ void Gelu(float* out, const float* a, int64_t n) {
 void FusedAttention(const float* q, const float* k, const float* v,
                     const float* bias, float scale, int64_t tq, int64_t tk,
                     int64_t dk, int64_t dv, float* out, float* probs_out) {
-  AlignedBuffer scores(static_cast<size_t>(tk));
+  mem::ScratchScope scratch;
+  float* scores = mem::ArenaFloats(static_cast<size_t>(tk));
   for (int64_t i = 0; i < tq; ++i) {
-    float* s = probs_out != nullptr ? probs_out + i * tk : scores.data();
+    float* s = probs_out != nullptr ? probs_out + i * tk : scores;
     MatMulTBRowScalar(q + i * dk, k, s, dk, tk);
     for (int64_t j = 0; j < tk; ++j) {
       s[j] = s[j] * scale + (bias != nullptr ? bias[i * tk + j] : 0.0f);

@@ -240,15 +240,20 @@ Tensor LayerNorm(const Tensor& a, const Tensor& gamma, const Tensor& beta,
 }
 
 Tensor EmbeddingLookup(const Tensor& table, const std::vector<int32_t>& ids) {
+  return EmbeddingLookup(table, ids.data(),
+                         static_cast<int64_t>(ids.size()));
+}
+
+Tensor EmbeddingLookup(const Tensor& table, const int32_t* ids, int64_t n) {
   TABREP_CHECK(table.dim() == 2);
   const int64_t d = table.cols();
-  Tensor out({static_cast<int64_t>(ids.size()), d});
-  for (size_t i = 0; i < ids.size(); ++i) {
+  Tensor out({n, d});
+  for (int64_t i = 0; i < n; ++i) {
     TABREP_CHECK(ids[i] >= 0 && ids[i] < table.rows())
         << "EmbeddingLookup: id " << ids[i] << " out of [0, " << table.rows()
         << ")";
     const float* src = table.data() + static_cast<int64_t>(ids[i]) * d;
-    float* dst = out.data() + static_cast<int64_t>(i) * d;
+    float* dst = out.data() + i * d;
     std::copy(src, src + d, dst);
   }
   return out;

@@ -82,6 +82,9 @@ Tensor LayerNorm(const Tensor& a, const Tensor& gamma, const Tensor& beta,
 
 /// Gathers rows: out[i, :] = table[ids[i], :]. table is [V, D].
 Tensor EmbeddingLookup(const Tensor& table, const std::vector<int32_t>& ids);
+/// Same gather over a raw id span (lets callers stage ids in arena
+/// scratch instead of a heap vector).
+Tensor EmbeddingLookup(const Tensor& table, const int32_t* ids, int64_t n);
 /// Rows [begin, end) of a 2-D tensor, copied.
 Tensor SliceRows(const Tensor& a, int64_t begin, int64_t end);
 /// Vertical concatenation of 2-D tensors with equal column counts.

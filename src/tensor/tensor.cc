@@ -3,6 +3,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "tensor/arena.h"
 #include "tensor/kernels.h"
 
 namespace tabrep {
@@ -26,10 +27,15 @@ std::string ShapeToString(const std::vector<int64_t>& shape) {
   return os.str();
 }
 
+Tensor::Tensor() : shape_(), data_(mem::TensorPool::Empty()) {}
+
 Tensor::Tensor(std::vector<int64_t> shape)
     : shape_(std::move(shape)),
-      data_(std::make_shared<AlignedBuffer>(
-          static_cast<size_t>(ShapeNumel(shape_)), 0.0f)) {}
+      data_(mem::TensorPool::Acquire(static_cast<size_t>(ShapeNumel(shape_)))) {
+  // Pooled buffers arrive with stale contents; a Tensor(shape) is
+  // documented to be zero-filled either way.
+  kernels::Fill(data_->data(), static_cast<int64_t>(data_->size()), 0.0f);
+}
 
 Tensor Tensor::Full(std::vector<int64_t> shape, float value) {
   Tensor t(std::move(shape));
@@ -43,7 +49,10 @@ Tensor Tensor::FromVector(std::vector<int64_t> shape, std::vector<float> values)
       << " values";
   Tensor t;
   t.shape_ = std::move(shape);
-  t.data_ = std::make_shared<AlignedBuffer>(values);
+  t.data_ = mem::TensorPool::Acquire(values.size());
+  if (!values.empty()) {
+    std::memcpy(t.data_->data(), values.data(), values.size() * sizeof(float));
+  }
   return t;
 }
 
@@ -74,7 +83,11 @@ int64_t Tensor::size(int64_t axis) const {
 Tensor Tensor::Clone() const {
   Tensor t;
   t.shape_ = shape_;
-  t.data_ = std::make_shared<AlignedBuffer>(*data_);
+  t.data_ = mem::TensorPool::Acquire(data_->size());
+  if (!data_->empty()) {
+    std::memcpy(t.data_->data(), data_->data(),
+                data_->size() * sizeof(float));
+  }
   return t;
 }
 

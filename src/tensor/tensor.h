@@ -25,10 +25,12 @@ namespace tabrep {
 /// and inference paths use the forward-only ops in tensor/ops.h.
 class Tensor {
  public:
-  /// An empty 0-d tensor with no elements.
-  Tensor() : shape_(), data_(std::make_shared<AlignedBuffer>()) {}
+  /// An empty 0-d tensor with no elements. All default-constructed
+  /// tensors share one static empty buffer (no allocation).
+  Tensor();
 
-  /// Uninitialized-to-zero tensor of the given shape.
+  /// Zero-filled tensor of the given shape (storage comes from
+  /// mem::TensorPool, so steady-state loops recycle buffers).
   explicit Tensor(std::vector<int64_t> shape);
 
   Tensor(const Tensor&) = default;

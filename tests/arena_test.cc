@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "tensor/arena.h"
+#include "tensor/tensor.h"
+
+namespace tabrep {
+namespace {
+
+uint64_t PoolHits() {
+  return obs::Registry::Get().counter("tabrep.mem.pool.hit").value();
+}
+uint64_t PoolMisses() {
+  return obs::Registry::Get().counter("tabrep.mem.pool.miss").value();
+}
+
+TEST(ArenaTest, AllocationsAre64ByteAligned) {
+  mem::ScratchScope scope;
+  for (std::size_t bytes : {1u, 7u, 64u, 100u, 4096u}) {
+    void* p = mem::Arena::ThreadLocal().Alloc(bytes);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % AlignedBuffer::kAlignment, 0u)
+        << bytes << " bytes";
+    // The storage must be writable end to end.
+    std::memset(p, 0xAB, bytes);
+  }
+}
+
+TEST(ArenaTest, ScratchScopeRewindsToTheSameBytes) {
+  // Warm the arena so both scopes below run in the steady state.
+  { mem::ScratchScope warm;  (void)mem::ArenaFloats(1 << 12); }
+  float* first = nullptr;
+  {
+    mem::ScratchScope scope;
+    first = mem::ArenaFloats(1 << 12);
+    first[0] = 1.0f;
+  }
+  float* second = nullptr;
+  {
+    mem::ScratchScope scope;
+    second = mem::ArenaFloats(1 << 12);
+  }
+  // Same watermark on entry -> the exact same slab bytes come back.
+  EXPECT_EQ(first, second);
+}
+
+TEST(ArenaTest, NestedScopesRewindIndependently) {
+  mem::ScratchScope outer;
+  float* a = mem::ArenaFloats(128);
+  float* inner_ptr = nullptr;
+  {
+    mem::ScratchScope inner;
+    inner_ptr = mem::ArenaFloats(256);
+    EXPECT_NE(inner_ptr, a);
+  }
+  // The inner scope rewound past its own allocation only.
+  float* b = mem::ArenaFloats(256);
+  EXPECT_EQ(b, inner_ptr);
+  a[0] = 2.0f;  // outer allocation still live and writable
+}
+
+TEST(ArenaTest, GrowsSlabsForLargeRequests) {
+  mem::Arena& arena = mem::Arena::ThreadLocal();
+  const std::size_t before = arena.reserved_bytes();
+  mem::ScratchScope scope;
+  const std::size_t big = 3u << 20;  // larger than the 1 MiB min slab
+  float* p = arena.AllocSpan<float>(big / sizeof(float));
+  ASSERT_NE(p, nullptr);
+  p[0] = 1.0f;
+  p[big / sizeof(float) - 1] = 2.0f;
+  EXPECT_GE(arena.reserved_bytes(), before);
+  EXPECT_GE(arena.reserved_bytes(), big);
+}
+
+TEST(ArenaTest, ArenaBytesCounterTracksRequests) {
+  obs::Counter& bytes = obs::Registry::Get().counter("tabrep.mem.arena.bytes");
+  const uint64_t before = bytes.value();
+  mem::ScratchScope scope;
+  (void)mem::ArenaFloats(1000);
+  EXPECT_GE(bytes.value() - before, 1000u * sizeof(float));
+}
+
+TEST(TensorPoolTest, AcquireReturnsExactSize) {
+  for (std::size_t n : {1u, 17u, 64u, 1000u}) {
+    std::shared_ptr<AlignedBuffer> buf = mem::TensorPool::Acquire(n);
+    ASSERT_NE(buf, nullptr);
+    EXPECT_EQ(buf->size(), n);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(buf->data()) %
+                  AlignedBuffer::kAlignment,
+              0u);
+  }
+}
+
+TEST(TensorPoolTest, RecyclesReleasedBuffers) {
+  if (!mem::TensorPool::Enabled()) GTEST_SKIP() << "pool disabled via env";
+  mem::TensorPool::Clear();
+  Tensor t({4, 5});
+  const float* storage = t.data();
+  t = Tensor();  // release: the buffer goes back to the thread cache
+  const uint64_t hits_before = PoolHits();
+  Tensor u({4, 5});
+  EXPECT_EQ(u.data(), storage);  // the very same buffer came back
+  EXPECT_EQ(PoolHits(), hits_before + 1);
+}
+
+TEST(TensorPoolTest, RecycledTensorsAreZeroFilled) {
+  if (!mem::TensorPool::Enabled()) GTEST_SKIP() << "pool disabled via env";
+  mem::TensorPool::Clear();
+  Tensor t({8});
+  for (int64_t i = 0; i < t.numel(); ++i) t.data()[i] = 123.0f;
+  t = Tensor();
+  Tensor u({8});  // recycled storage, but Tensor(shape) means zeros
+  for (int64_t i = 0; i < u.numel(); ++i) EXPECT_EQ(u[i], 0.0f);
+}
+
+TEST(TensorPoolTest, DifferentSizeMisses) {
+  if (!mem::TensorPool::Enabled()) GTEST_SKIP() << "pool disabled via env";
+  mem::TensorPool::Clear();
+  { Tensor t({17}); }  // released into the 17-float bucket
+  const uint64_t misses_before = PoolMisses();
+  Tensor u({16});  // no 16-float buffer cached: fresh allocation
+  EXPECT_EQ(PoolMisses(), misses_before + 1);
+}
+
+TEST(TensorPoolTest, ClearDropsCachedBuffers) {
+  if (!mem::TensorPool::Enabled()) GTEST_SKIP() << "pool disabled via env";
+  { Tensor t({32, 32}); }
+  EXPECT_GT(mem::TensorPool::CachedFloats(), 0u);
+  mem::TensorPool::Clear();
+  EXPECT_EQ(mem::TensorPool::CachedFloats(), 0u);
+}
+
+TEST(TensorPoolTest, DefaultTensorsShareOneEmptyBuffer) {
+  const long before = mem::TensorPool::Empty().use_count();
+  Tensor a;
+  Tensor b;
+  // Both defaults alias the shared empty buffer instead of allocating.
+  EXPECT_EQ(mem::TensorPool::Empty().use_count(), before + 2);
+  EXPECT_EQ(a.numel(), 0);
+  EXPECT_EQ(b.numel(), 0);
+}
+
+TEST(TensorPoolTest, SteadyStateLoopStopsMissing) {
+  if (!mem::TensorPool::Enabled()) GTEST_SKIP() << "pool disabled via env";
+  mem::TensorPool::Clear();
+  // Warm up: the first iteration faults buffers in.
+  { Tensor a({16, 16}); Tensor b = a.Clone(); }
+  const uint64_t misses_before = PoolMisses();
+  const uint64_t hits_before = PoolHits();
+  for (int i = 0; i < 50; ++i) {
+    Tensor a({16, 16});
+    Tensor b = a.Clone();
+  }
+  EXPECT_EQ(PoolMisses(), misses_before);  // no fresh heap allocations
+  EXPECT_GE(PoolHits(), hits_before + 100);
+}
+
+}  // namespace
+}  // namespace tabrep

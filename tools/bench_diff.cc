@@ -11,6 +11,8 @@
 //     --max-total-regress=0.20    profile total_ms threshold
 //     --max-counter-regress=0.01  counter threshold
 //     --min-gate=50               noise floor (us hist / ms*1e-3 profile)
+//     --noisy-counter-slack=512   absolute growth allowed on tabrep.mem.* /
+//                                 tabrep.serve.* counters before gating
 //     --max-lines=20              rendered non-violation rows (0 = all)
 //
 // Exit codes: 0 = no regressions, 1 = regressions found,
@@ -53,7 +55,8 @@ bool ParseDoubleFlag(const char* arg, const char* name, double* out) {
 void Usage() {
   std::fprintf(stderr,
                "usage: bench_diff [--max-p95-regress=F] [--max-total-regress=F]"
-               " [--max-counter-regress=F] [--min-gate=F] [--max-lines=N]"
+               " [--max-counter-regress=F] [--min-gate=F]"
+               " [--noisy-counter-slack=F] [--max-lines=N]"
                " OLD.json NEW.json\n");
   std::exit(2);
 }
@@ -77,6 +80,8 @@ int main(int argc, char** argv) {
         ParseDoubleFlag(arg, "--max-counter-regress",
                         &options.max_counter_regress) ||
         ParseDoubleFlag(arg, "--min-gate", &options.min_gate_value) ||
+        ParseDoubleFlag(arg, "--noisy-counter-slack",
+                        &options.noisy_counter_slack) ||
         ParseDoubleFlag(arg, "--max-lines", &max_lines)) {
       continue;
     }
