@@ -145,9 +145,10 @@ int main() {
         for (int64_t round = 0; round < rounds; ++round) {
           for (int64_t i = c; i < num_inputs; i += num_clients) {
             obs::ScopedTimer timer(hist);
-            serve::EncodedTablePtr out =
+            StatusOr<serve::EncodedTablePtr> out =
                 encoder.Encode(inputs[static_cast<size_t>(i)]);
-            TABREP_CHECK(out != nullptr && out->hidden.numel() > 0);
+            TABREP_CHECK(out.ok()) << out.status().ToString();
+            TABREP_CHECK(*out != nullptr && (*out)->hidden.numel() > 0);
           }
         }
       });

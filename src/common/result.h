@@ -60,6 +60,13 @@ class Result {
   std::optional<T> value_;
 };
 
+/// The serving layers' name for Result<T>: a value or a typed Status.
+/// One type, two names — StatusOr reads naturally at call sites that
+/// deal in Status codes (Submit futures, wire-protocol responses)
+/// while existing Result-based code keeps compiling unchanged.
+template <typename T>
+using StatusOr = Result<T>;
+
 }  // namespace tabrep
 
 /// Evaluates `expr` (a Result<T>), propagating the error or binding the

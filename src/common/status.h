@@ -20,6 +20,14 @@ enum class StatusCode {
   kCorruption,
   kUnimplemented,
   kInternal,
+  /// The system accepted as much work as its admission bounds allow;
+  /// the caller should back off and retry. Serving layers return this
+  /// instead of queueing without bound (see serve::BatchedEncoder and
+  /// net::Server load shedding).
+  kOverloaded,
+  /// The operation was abandoned before producing a value — e.g. a
+  /// request still queued when its serving component shut down.
+  kCancelled,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -63,6 +71,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

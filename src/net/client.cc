@@ -1,0 +1,148 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace tabrep::net {
+
+namespace {
+
+Status ErrnoStatus(const char* what) {
+  return Status::IOError(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+StatusOr<Client> Client::Connect(const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket");
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status status = ErrnoStatus("connect");
+    ::close(fd);
+    return status;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Client(fd);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      decoder_(std::move(other.decoder_)),
+      next_seq_(other.next_seq_) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    decoder_ = std::move(other.decoder_);
+    next_seq_ = other.next_seq_;
+  }
+  return *this;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status Client::WriteAll(const std::string& bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("send");
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+StatusOr<Frame> Client::ReadFrame() {
+  Frame frame;
+  while (true) {
+    StatusOr<bool> got = decoder_.Next(&frame);
+    TABREP_RETURN_IF_ERROR(got.status());
+    if (*got) return frame;
+    char buf[64 * 1024];
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("read");
+    }
+    if (n == 0) {
+      return Status::IOError("connection closed mid-response");
+    }
+    decoder_.Append(buf, static_cast<size_t>(n));
+  }
+}
+
+Status Client::SendEncodeRequest(const TokenizedTable& table, uint32_t seq) {
+  Frame frame;
+  frame.type = MessageType::kEncodeRequest;
+  frame.seq = seq;
+  EncodeTokenizedTable(table, &frame.payload);
+  return WriteAll(EncodeFrame(frame));
+}
+
+StatusOr<EncodeResult> Client::ReadResponse() {
+  TABREP_ASSIGN_OR_RETURN(frame, ReadFrame());
+  if (frame.type != MessageType::kEncodeResponse) {
+    return Status::InvalidArgument("expected an encode response frame");
+  }
+  EncodeResult result;
+  result.seq = frame.seq;
+  if (frame.status != StatusCode::kOk) {
+    result.status = Status(frame.status, std::move(frame.payload));
+    return result;
+  }
+  TABREP_ASSIGN_OR_RETURN(encoded,
+                          DecodeEncodedTable(frame.payload, frame.flags));
+  result.encoded = std::move(encoded);
+  return result;
+}
+
+StatusOr<EncodeResult> Client::Encode(const TokenizedTable& table) {
+  const uint32_t seq = next_seq_++;
+  TABREP_RETURN_IF_ERROR(SendEncodeRequest(table, seq));
+  TABREP_ASSIGN_OR_RETURN(result, ReadResponse());
+  if (result.seq != seq) {
+    return Status::Internal("response seq mismatch (pipelining misuse?)");
+  }
+  return result;
+}
+
+Status Client::Ping() {
+  Frame frame;
+  frame.type = MessageType::kPingRequest;
+  frame.seq = next_seq_++;
+  frame.payload = "ping";
+  TABREP_RETURN_IF_ERROR(WriteAll(EncodeFrame(frame)));
+  TABREP_ASSIGN_OR_RETURN(pong, ReadFrame());
+  if (pong.type != MessageType::kPingResponse || pong.payload != "ping" ||
+      pong.seq != frame.seq) {
+    return Status::Internal("malformed pong");
+  }
+  return Status::OK();
+}
+
+void Client::ShutdownWrite() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+}  // namespace tabrep::net
+

@@ -1,0 +1,77 @@
+#ifndef TABREP_NET_CLIENT_H_
+#define TABREP_NET_CLIENT_H_
+
+// tabrep::net — blocking/pipelining client for the TCP front-end.
+// One Client owns one connection. Two usage shapes:
+//
+//   closed loop:  StatusOr<EncodeResult> r = client.Encode(table);
+//   pipelined:    client.SendEncodeRequest(t1, 1);
+//                 client.SendEncodeRequest(t2, 2);
+//                 ... client.ReadResponse() twice, matching on seq.
+//
+// ReadResponse separates transport failure from application status: a
+// socket/framing error is the StatusOr's error; a response frame whose
+// status byte is non-OK (kOverloaded shed, kInvalidArgument reject)
+// comes back Ok(EncodeResult) with that Status inside — the request's
+// fate is data, not a broken connection.
+
+#include <cstdint>
+#include <string>
+
+#include "net/wire.h"
+
+namespace tabrep::net {
+
+/// One answered request.
+struct EncodeResult {
+  uint32_t seq = 0;
+  /// The server's verdict: OK, kOverloaded, kInvalidArgument, ...
+  Status status;
+  /// Meaningful only when status.ok().
+  serve::EncodedTable encoded;
+};
+
+class Client {
+ public:
+  /// Connects (blocking) to the front-end. IPv4 dotted-quad hosts only
+  /// — the serving stack has no resolver dependency.
+  static StatusOr<Client> Connect(const std::string& host, uint16_t port);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  /// Frames and writes one encode request carrying `seq`.
+  Status SendEncodeRequest(const TokenizedTable& table, uint32_t seq);
+
+  /// Blocks for the next response frame (encode responses only; pongs
+  /// are surfaced to Ping callers, not here).
+  StatusOr<EncodeResult> ReadResponse();
+
+  /// Closed-loop convenience: send + read one response.
+  StatusOr<EncodeResult> Encode(const TokenizedTable& table);
+
+  /// Round-trips a ping frame (connectivity probe).
+  Status Ping();
+
+  /// Half-closes the write side so the server sees EOF and can finish
+  /// flushing; further Sends fail.
+  void ShutdownWrite();
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  Status WriteAll(const std::string& bytes);
+  /// Blocks until one complete frame is reassembled.
+  StatusOr<Frame> ReadFrame();
+
+  int fd_ = -1;
+  FrameDecoder decoder_;
+  uint32_t next_seq_ = 1;
+};
+
+}  // namespace tabrep::net
+
+#endif  // TABREP_NET_CLIENT_H_

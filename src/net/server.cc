@@ -1,0 +1,513 @@
+#include "net/server.h"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace tabrep::net {
+
+namespace {
+
+// epoll_event.data.u64 sentinels for the two non-connection fds.
+constexpr uint64_t kListenTag = 0;
+constexpr uint64_t kWakeTag = ~0ull;
+
+obs::Counter& AcceptedCounter() {
+  static obs::Counter& c =
+      obs::Registry::Get().counter("tabrep.net.connections.accepted");
+  return c;
+}
+obs::Counter& ClosedCounter() {
+  static obs::Counter& c =
+      obs::Registry::Get().counter("tabrep.net.connections.closed");
+  return c;
+}
+obs::Counter& FramesInCounter() {
+  static obs::Counter& c = obs::Registry::Get().counter("tabrep.net.frames.in");
+  return c;
+}
+obs::Counter& ResponsesCounter() {
+  static obs::Counter& c =
+      obs::Registry::Get().counter("tabrep.net.responses.out");
+  return c;
+}
+obs::Counter& BytesInCounter() {
+  static obs::Counter& c = obs::Registry::Get().counter("tabrep.net.bytes.in");
+  return c;
+}
+obs::Counter& BytesOutCounter() {
+  static obs::Counter& c = obs::Registry::Get().counter("tabrep.net.bytes.out");
+  return c;
+}
+obs::Counter& RequestsCounter() {
+  static obs::Counter& c = obs::Registry::Get().counter("tabrep.net.requests");
+  return c;
+}
+obs::Counter& ShedCounter() {
+  static obs::Counter& c = obs::Registry::Get().counter("tabrep.net.shed");
+  return c;
+}
+obs::Counter& ErrorsCounter() {
+  static obs::Counter& c = obs::Registry::Get().counter("tabrep.net.errors");
+  return c;
+}
+obs::Histogram& RequestUsHistogram() {
+  static obs::Histogram& h =
+      obs::Registry::Get().histogram("tabrep.net.request.us");
+  return h;
+}
+
+Status ErrnoStatus(const char* what) {
+  return Status::IOError(std::string(what) + ": " +
+                         std::strerror(errno));
+}
+
+/// An error-response frame: the status byte carries the code, the
+/// payload carries the human-readable message.
+Frame ErrorFrame(MessageType type, uint32_t seq, const Status& status) {
+  Frame frame;
+  frame.type = type;
+  frame.seq = seq;
+  frame.status = status.code();
+  frame.payload = status.message();
+  return frame;
+}
+
+}  // namespace
+
+ServerOptions ServerOptions::FromEnv() {
+  ServerOptions options;
+  options.port =
+      static_cast<int32_t>(serve::EnvInt64("TABREP_NET_PORT", options.port));
+  options.backlog = static_cast<int32_t>(
+      serve::EnvInt64("TABREP_NET_BACKLOG", options.backlog));
+  options.max_connections =
+      serve::EnvInt64("TABREP_NET_MAX_CONNECTIONS", options.max_connections);
+  options.max_queue = serve::EnvInt64("TABREP_NET_MAX_QUEUE",
+                                      options.max_queue);
+  options.max_inflight_per_conn = serve::EnvInt64(
+      "TABREP_NET_MAX_INFLIGHT_PER_CONN", options.max_inflight_per_conn);
+  options.max_payload_bytes =
+      serve::EnvInt64("TABREP_NET_MAX_PAYLOAD", options.max_payload_bytes);
+  return options;
+}
+
+Server::Server(serve::BatchedEncoder* encoder, ServerOptions options)
+    : encoder_(encoder), options_(options) {
+  TABREP_CHECK(encoder_ != nullptr) << "net::Server needs an encoder";
+}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  TABREP_CHECK(!started_) << "Server::Start called twice";
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (listen_fd_ < 0) return ErrnoStatus("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  // Loopback only: tabrep has no authentication story yet, so the
+  // front-end refuses to be reachable off-host by default.
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return ErrnoStatus("bind");
+  }
+  if (::listen(listen_fd_, options_.backlog) < 0) return ErrnoStatus("listen");
+
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) < 0) {
+    return ErrnoStatus("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+
+  epoll_fd_ = ::epoll_create1(0);
+  if (epoll_fd_ < 0) return ErrnoStatus("epoll_create1");
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK);
+  if (wake_fd_ < 0) return ErrnoStatus("eventfd");
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenTag;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) < 0) {
+    return ErrnoStatus("epoll_ctl(listen)");
+  }
+  ev.events = EPOLLIN;
+  ev.data.u64 = kWakeTag;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) < 0) {
+    return ErrnoStatus("epoll_ctl(wake)");
+  }
+
+  started_ = true;
+  loop_thread_ = std::thread([this] { EventLoop(); });
+  completion_thread_ = std::thread([this] { CompletionLoop(); });
+  return Status::OK();
+}
+
+void Server::Stop() {
+  if (!started_) {
+    // Start may have failed partway: release whatever it opened.
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+    return;
+  }
+  if (stop_.exchange(true)) return;  // idempotent
+  const uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  loop_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(completion_mu_);
+    completion_stop_ = true;
+  }
+  completion_cv_.notify_all();
+  completion_thread_.join();
+  ::close(listen_fd_);
+  ::close(epoll_fd_);
+  ::close(wake_fd_);
+  listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+  started_ = false;
+  stop_.store(false);
+}
+
+void Server::EventLoop() {
+  std::vector<epoll_event> events(64);
+  while (true) {
+    const int n =
+        ::epoll_wait(epoll_fd_, events.data(), static_cast<int>(events.size()),
+                     /*timeout_ms=*/-1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      TABREP_LOG(Error) << "epoll_wait: " << std::strerror(errno);
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const uint64_t tag = events[static_cast<size_t>(i)].data.u64;
+      const uint32_t mask = events[static_cast<size_t>(i)].events;
+      if (tag == kWakeTag) {
+        uint64_t drained = 0;
+        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        DrainCompletions();
+        continue;
+      }
+      if (tag == kListenTag) {
+        AcceptNew();
+        continue;
+      }
+      auto it = conns_.find(tag);
+      if (it == conns_.end()) continue;  // closed earlier this wakeup
+      Connection& conn = *it->second;
+      if (mask & (EPOLLHUP | EPOLLERR)) {
+        CloseConnection(conn.id);
+        continue;
+      }
+      if (mask & EPOLLIN) HandleReadable(conn);
+      // HandleReadable may have closed the connection; re-resolve.
+      auto again = conns_.find(tag);
+      if (again != conns_.end() && (mask & EPOLLOUT)) {
+        HandleWritable(*again->second);
+      }
+    }
+    if (stop_.load(std::memory_order_relaxed)) break;
+  }
+  // Loop exit: every connection closes without draining (Stop is
+  // immediate by contract).
+  std::vector<uint64_t> ids;
+  ids.reserve(conns_.size());
+  for (const auto& [id, conn] : conns_) ids.push_back(id);
+  for (uint64_t id : ids) CloseConnection(id);
+}
+
+void Server::AcceptNew() {
+  while (true) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      TABREP_LOG(Warning) << "accept4: " << std::strerror(errno);
+      return;
+    }
+    if (static_cast<int64_t>(conns_.size()) >= options_.max_connections) {
+      // Connection-level admission: no frame to answer yet, so this is
+      // the one reject that cannot carry a status byte.
+      ShedCounter().Increment();
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    auto conn = std::make_unique<Connection>(
+        static_cast<size_t>(options_.max_payload_bytes));
+    conn->fd = fd;
+    conn->id = next_conn_id_++;
+
+    epoll_event ev{};
+    // Edge-triggered both ways, registered once: reads drain to EAGAIN
+    // on every edge, writes are attempted eagerly and EPOLLOUT edges
+    // resume them after a full socket buffer.
+    ev.events = EPOLLIN | EPOLLOUT | EPOLLET | EPOLLRDHUP;
+    ev.data.u64 = conn->id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      TABREP_LOG(Warning) << "epoll_ctl(conn): " << std::strerror(errno);
+      ::close(fd);
+      continue;
+    }
+    AcceptedCounter().Increment();
+    conns_[conn->id] = std::move(conn);
+  }
+}
+
+void Server::HandleReadable(Connection& conn) {
+  if (conn.state == ConnState::kClosing) return;  // input abandoned
+  char buf[64 * 1024];
+  const uint64_t conn_id = conn.id;
+  bool saw_eof = false;
+  while (true) {
+    const ssize_t n = ::read(conn.fd, buf, sizeof(buf));
+    if (n > 0) {
+      BytesInCounter().Increment(static_cast<uint64_t>(n));
+      conn.decoder.Append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      saw_eof = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    CloseConnection(conn_id);
+    return;
+  }
+
+  // Pump every complete frame out of the reassembly buffer.
+  while (true) {
+    Frame frame;
+    StatusOr<bool> got = conn.decoder.Next(&frame);
+    if (!got.ok()) {
+      // Framing is lost: answer with the typed error, flush, close.
+      ErrorsCounter().Increment();
+      QueueResponse(conn,
+                    ErrorFrame(MessageType::kEncodeResponse, 0, got.status()));
+      conn.state = ConnState::kClosing;
+      break;
+    }
+    if (!*got) break;
+    FramesInCounter().Increment();
+    HandleFrame(conn, std::move(frame));
+    if (conn.state == ConnState::kClosing) break;
+  }
+
+  if (saw_eof) {
+    conn.peer_eof = true;
+    if (conn.state == ConnState::kOpen && conn.decoder.buffered() > 0) {
+      // The peer hung up mid-frame: typed error for the truncation,
+      // queued behind any in-flight responses.
+      ErrorsCounter().Increment();
+      QueueResponse(
+          conn,
+          ErrorFrame(MessageType::kEncodeResponse, 0,
+                     Status::InvalidArgument("connection closed mid-frame")));
+      conn.state = ConnState::kClosing;
+    }
+  }
+
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  HandleWritable(*it->second);  // flush whatever the frames produced
+}
+
+void Server::HandleFrame(Connection& conn, Frame frame) {
+  switch (frame.type) {
+    case MessageType::kPingRequest: {
+      Frame pong;
+      pong.type = MessageType::kPingResponse;
+      pong.seq = frame.seq;
+      pong.payload = std::move(frame.payload);
+      QueueResponse(conn, pong);
+      return;
+    }
+    case MessageType::kEncodeRequest:
+      break;
+    default:
+      // Response types arriving at the server: protocol misuse, but
+      // framing is intact, so answer and keep the connection.
+      ErrorsCounter().Increment();
+      QueueResponse(
+          conn, ErrorFrame(MessageType::kEncodeResponse, frame.seq,
+                           Status::InvalidArgument(
+                               "server received a response-type frame")));
+      return;
+  }
+
+  RequestsCounter().Increment();
+  // Admission control, cheapest check first. Every reject is a typed
+  // kOverloaded response — the client always learns the fate of its
+  // request.
+  if (conn.inflight >= options_.max_inflight_per_conn) {
+    ShedCounter().Increment();
+    QueueResponse(conn,
+                  ErrorFrame(MessageType::kEncodeResponse, frame.seq,
+                             Status::Overloaded(
+                                 "connection in-flight cap reached")));
+    return;
+  }
+  if (global_inflight_ >= options_.max_queue) {
+    ShedCounter().Increment();
+    QueueResponse(conn, ErrorFrame(MessageType::kEncodeResponse, frame.seq,
+                                   Status::Overloaded("server queue full")));
+    return;
+  }
+
+  StatusOr<TokenizedTable> table = DecodeTokenizedTable(frame.payload);
+  if (!table.ok()) {
+    ErrorsCounter().Increment();
+    QueueResponse(conn, ErrorFrame(MessageType::kEncodeResponse, frame.seq,
+                                   table.status()));
+    return;
+  }
+
+  PendingCompletion pending;
+  pending.conn_id = conn.id;
+  pending.seq = frame.seq;
+  pending.start = std::chrono::steady_clock::now();
+  // Submit copies the table and never blocks on inference; shed or
+  // shutdown comes back through the future as a typed status.
+  pending.future = encoder_->Submit(*table);
+  conn.inflight += 1;
+  global_inflight_ += 1;
+  {
+    std::lock_guard<std::mutex> lock(completion_mu_);
+    pending_.push_back(std::move(pending));
+  }
+  completion_cv_.notify_one();
+}
+
+void Server::QueueResponse(Connection& conn, const Frame& frame) {
+  ResponsesCounter().Increment();
+  conn.outbuf.append(EncodeFrame(frame));
+}
+
+void Server::HandleWritable(Connection& conn) {
+  const uint64_t conn_id = conn.id;
+  while (conn.out_off < conn.outbuf.size()) {
+    const ssize_t n =
+        ::send(conn.fd, conn.outbuf.data() + conn.out_off,
+               conn.outbuf.size() - conn.out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      BytesOutCounter().Increment(static_cast<uint64_t>(n));
+      conn.out_off += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    CloseConnection(conn_id);  // peer vanished mid-response
+    return;
+  }
+  if (conn.out_off == conn.outbuf.size()) {
+    conn.outbuf.clear();
+    conn.out_off = 0;
+    MaybeClose(conn);
+  }
+}
+
+void Server::DrainCompletions() {
+  std::deque<ReadyCompletion> ready;
+  {
+    std::lock_guard<std::mutex> lock(completion_mu_);
+    ready.swap(ready_);
+  }
+  for (ReadyCompletion& done : ready) {
+    global_inflight_ -= 1;
+    auto it = conns_.find(done.conn_id);
+    if (it == conns_.end()) continue;  // connection closed while encoding
+    Connection& conn = *it->second;
+    conn.inflight -= 1;
+
+    Frame frame;
+    frame.type = MessageType::kEncodeResponse;
+    frame.seq = done.seq;
+    if (done.result.ok()) {
+      EncodeEncodedTable(**done.result, &frame.payload, &frame.flags);
+    } else {
+      frame.status = done.result.status().code();
+      frame.payload = done.result.status().message();
+    }
+    RequestUsHistogram().Record(
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - done.start)
+            .count());
+    QueueResponse(conn, frame);
+    HandleWritable(conn);
+  }
+}
+
+void Server::CloseConnection(uint64_t conn_id) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  Connection& conn = *it->second;
+  // In-pipeline completions for this connection still arrive and fix
+  // up global_inflight_; only the per-connection count dies here.
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn.fd, nullptr);
+  ::close(conn.fd);
+  ClosedCounter().Increment();
+  conns_.erase(it);
+}
+
+void Server::MaybeClose(Connection& conn) {
+  const bool done_writing = conn.out_off == conn.outbuf.size();
+  const bool finished = conn.state == ConnState::kClosing || conn.peer_eof;
+  if (finished && done_writing && conn.inflight == 0) {
+    CloseConnection(conn.id);
+  }
+}
+
+void Server::CompletionLoop() {
+  while (true) {
+    PendingCompletion pending;
+    {
+      std::unique_lock<std::mutex> lock(completion_mu_);
+      completion_cv_.wait(lock,
+                          [&] { return completion_stop_ || !pending_.empty(); });
+      if (completion_stop_) return;  // abandoned futures resolve harmlessly
+      pending = std::move(pending_.front());
+      pending_.pop_front();
+    }
+    // The only blocking wait in the front-end, deliberately off the
+    // event loop. FIFO order keeps per-connection responses in request
+    // order even when a cache hit resolves before an earlier encode.
+    ReadyCompletion done;
+    done.conn_id = pending.conn_id;
+    done.seq = pending.seq;
+    done.start = pending.start;
+    done.result = pending.future.get();
+    {
+      std::lock_guard<std::mutex> lock(completion_mu_);
+      ready_.push_back(std::move(done));
+    }
+    const uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  }
+}
+
+}  // namespace tabrep::net

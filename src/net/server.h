@@ -1,0 +1,174 @@
+#ifndef TABREP_NET_SERVER_H_
+#define TABREP_NET_SERVER_H_
+
+// tabrep::net — the TCP serving front-end (ISSUE 6 tentpole). A
+// Server listens on one port, speaks the versioned frame protocol
+// (net/wire.h), and bridges encode requests onto a serve::
+// BatchedEncoder through its non-blocking Submit() path.
+//
+// Threading boundary (see DESIGN.md "Network serving"):
+//   event-loop thread  — epoll (edge-triggered) over the listen
+//     socket, a wake eventfd, and every connection; owns all socket
+//     reads/writes, frame reassembly, admission control, and response
+//     serialization. It never blocks on inference.
+//   completion thread  — pops {connection, seq, future} entries in
+//     submission order, waits on the future (the only place a wait
+//     happens), and hands the result back to the event loop through a
+//     completion queue + eventfd wake.
+//   dispatcher thread  — inside BatchedEncoder, unchanged.
+//
+// Admission control (all rejects are typed kOverloaded response
+// frames — never silent drops):
+//   - global bound: at most max_queue requests submitted-but-not-
+//     yet-answered across all connections;
+//   - per-connection bound: at most max_inflight_per_conn outstanding
+//     requests per connection;
+//   - the BatchedEncoder's own max_queue, whose kOverloaded future
+//     resolves into the same wire status.
+//
+// Counters (tabrep.net.*): connections.accepted, connections.closed,
+// frames.in, responses.out, bytes.in, bytes.out, requests, shed,
+// errors; histogram request.us spans frame-parsed to response-queued.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "net/wire.h"
+#include "serve/serve.h"
+
+namespace tabrep::net {
+
+struct ServerOptions {
+  /// TCP port; 0 binds an ephemeral port (read it back via port()).
+  int32_t port = 0;
+  /// listen(2) backlog.
+  int32_t backlog = 64;
+  /// Accepted connections beyond this are closed immediately.
+  int64_t max_connections = 256;
+  /// Global admission bound: requests submitted but not yet answered.
+  int64_t max_queue = 256;
+  /// Per-connection outstanding-request cap.
+  int64_t max_inflight_per_conn = 32;
+  /// Largest request payload a client may announce.
+  int64_t max_payload_bytes = static_cast<int64_t>(kDefaultMaxPayload);
+
+  /// Every field resolved through serve::EnvInt64 (one documented
+  /// defaulting path, same idiom as serve::OptionsFromEnv):
+  ///   TABREP_NET_PORT, TABREP_NET_BACKLOG, TABREP_NET_MAX_CONNECTIONS,
+  ///   TABREP_NET_MAX_QUEUE, TABREP_NET_MAX_INFLIGHT_PER_CONN,
+  ///   TABREP_NET_MAX_PAYLOAD.
+  static ServerOptions FromEnv();
+};
+
+/// The TCP front-end. Construction does not touch the network; Start()
+/// binds/listens and spins up the event-loop and completion threads;
+/// Stop() (idempotent, also run by the destructor) closes every
+/// connection and joins them. The encoder must outlive the Server.
+class Server {
+ public:
+  explicit Server(serve::BatchedEncoder* encoder, ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and starts serving. kIOError with errno context
+  /// when the socket setup fails.
+  Status Start();
+
+  /// Drains nothing: outstanding encodes complete inside the
+  /// BatchedEncoder, but their responses are not written once the
+  /// loop exits. Safe to call twice.
+  void Stop();
+
+  /// The bound port (meaningful after Start; resolves port 0).
+  uint16_t port() const { return port_; }
+
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  /// Per-connection lifecycle state machine. kOpen accepts requests;
+  /// kClosing flushes queued responses but reads nothing more (entered
+  /// on protocol error or peer half-close with responses pending);
+  /// destruction of the Connection is kClosed.
+  enum class ConnState { kOpen, kClosing };
+
+  struct Connection {
+    int fd = -1;
+    uint64_t id = 0;
+    ConnState state = ConnState::kOpen;
+    FrameDecoder decoder;
+    std::string outbuf;     // serialized frames awaiting the socket
+    size_t out_off = 0;     // written prefix of outbuf
+    int64_t inflight = 0;   // submitted, response not yet queued
+    bool peer_eof = false;  // read side saw EOF
+
+    explicit Connection(size_t max_payload) : decoder(max_payload) {}
+  };
+
+  /// One request bridged onto the encoder, waiting for its future.
+  struct PendingCompletion {
+    uint64_t conn_id = 0;
+    uint32_t seq = 0;
+    std::chrono::steady_clock::time_point start;
+    std::future<StatusOr<serve::EncodedTablePtr>> future;
+  };
+
+  /// A resolved completion travelling back to the event loop.
+  struct ReadyCompletion {
+    uint64_t conn_id = 0;
+    uint32_t seq = 0;
+    std::chrono::steady_clock::time_point start;
+    StatusOr<serve::EncodedTablePtr> result{serve::EncodedTablePtr()};
+  };
+
+  void EventLoop();
+  void CompletionLoop();
+
+  void AcceptNew();
+  /// Edge-triggered read drain; parses frames and dispatches them.
+  void HandleReadable(Connection& conn);
+  void HandleWritable(Connection& conn);
+  void HandleFrame(Connection& conn, Frame frame);
+  void QueueResponse(Connection& conn, const Frame& frame);
+  void DrainCompletions();
+  void CloseConnection(uint64_t conn_id);
+  /// Close now if nothing is pending; else enter kClosing.
+  void MaybeClose(Connection& conn);
+  void UpdateEpoll(Connection& conn);
+
+  serve::BatchedEncoder* encoder_;
+  ServerOptions options_;
+  uint16_t port_ = 0;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: completions ready or stop requested
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+
+  uint64_t next_conn_id_ = 1;
+  std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns_;
+  int64_t global_inflight_ = 0;  // across all connections
+
+  std::mutex completion_mu_;
+  std::condition_variable completion_cv_;
+  std::deque<PendingCompletion> pending_;  // completion thread input
+  std::deque<ReadyCompletion> ready_;      // event loop input
+  bool completion_stop_ = false;
+
+  std::thread loop_thread_;
+  std::thread completion_thread_;
+};
+
+}  // namespace tabrep::net
+
+#endif  // TABREP_NET_SERVER_H_

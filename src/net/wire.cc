@@ -1,0 +1,302 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+namespace tabrep::net {
+
+namespace {
+
+// --- Little-endian primitive append/read over std::string. ------------
+
+void AppendU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void AppendU32(std::string* out, uint32_t v) {
+  char bytes[4];
+  std::memcpy(bytes, &v, 4);
+  out->append(bytes, 4);
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char bytes[8];
+  std::memcpy(bytes, &v, 8);
+  out->append(bytes, 8);
+}
+
+void AppendI32(std::string* out, int32_t v) {
+  AppendU32(out, static_cast<uint32_t>(v));
+}
+
+/// Bounds-checked sequential reader over a payload view. Every Read*
+/// fails with the same typed error instead of walking off the end.
+class WireReader {
+ public:
+  explicit WireReader(std::string_view data) : data_(data) {}
+
+  Status ReadU8(uint8_t* v) {
+    if (pos_ + 1 > data_.size()) return Truncated();
+    *v = static_cast<uint8_t>(data_[pos_++]);
+    return Status::OK();
+  }
+  Status ReadU32(uint32_t* v) {
+    if (pos_ + 4 > data_.size()) return Truncated();
+    std::memcpy(v, data_.data() + pos_, 4);
+    pos_ += 4;
+    return Status::OK();
+  }
+  Status ReadU64(uint64_t* v) {
+    if (pos_ + 8 > data_.size()) return Truncated();
+    std::memcpy(v, data_.data() + pos_, 8);
+    pos_ += 8;
+    return Status::OK();
+  }
+  Status ReadI32(int32_t* v) {
+    uint32_t u = 0;
+    TABREP_RETURN_IF_ERROR(ReadU32(&u));
+    *v = static_cast<int32_t>(u);
+    return Status::OK();
+  }
+  Status ReadBytes(size_t n, std::string_view* v) {
+    if (pos_ + n > data_.size() || pos_ + n < pos_) return Truncated();
+    *v = data_.substr(pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  static Status Truncated() {
+    return Status::InvalidArgument("wire payload truncated");
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+Status ExpectFullyConsumed(const WireReader& reader) {
+  if (reader.remaining() != 0) {
+    return Status::InvalidArgument("wire payload has trailing bytes");
+  }
+  return Status::OK();
+}
+
+/// Tensors cross the wire as [rows, cols, raw row-major float32].
+void AppendTensor(std::string* out, const Tensor& t) {
+  const auto& shape = t.shape();
+  const uint32_t rows =
+      shape.size() == 2 ? static_cast<uint32_t>(shape[0]) : 0u;
+  const uint32_t cols =
+      shape.size() == 2 ? static_cast<uint32_t>(shape[1]) : 0u;
+  AppendU32(out, rows);
+  AppendU32(out, cols);
+  out->append(reinterpret_cast<const char*>(t.data()),
+              static_cast<size_t>(rows) * cols * sizeof(float));
+}
+
+StatusOr<Tensor> ReadTensor(WireReader& reader) {
+  uint32_t rows = 0, cols = 0;
+  TABREP_RETURN_IF_ERROR(reader.ReadU32(&rows));
+  TABREP_RETURN_IF_ERROR(reader.ReadU32(&cols));
+  const size_t bytes = static_cast<size_t>(rows) * cols * sizeof(float);
+  std::string_view raw;
+  TABREP_RETURN_IF_ERROR(reader.ReadBytes(bytes, &raw));
+  Tensor t({static_cast<int64_t>(rows), static_cast<int64_t>(cols)});
+  std::memcpy(t.data(), raw.data(), bytes);
+  return t;
+}
+
+}  // namespace
+
+uint8_t WireStatusByte(StatusCode code) {
+  return static_cast<uint8_t>(code);
+}
+
+StatusCode StatusCodeFromWireByte(uint8_t byte) {
+  if (byte > static_cast<uint8_t>(StatusCode::kCancelled)) {
+    return StatusCode::kInternal;
+  }
+  return static_cast<StatusCode>(byte);
+}
+
+std::string EncodeFrame(const Frame& frame) {
+  std::string out;
+  out.reserve(kFrameHeaderSize + frame.payload.size());
+  AppendU32(&out, kWireMagic);
+  AppendU8(&out, frame.version);
+  AppendU8(&out, static_cast<uint8_t>(frame.type));
+  AppendU8(&out, WireStatusByte(frame.status));
+  AppendU8(&out, frame.flags);
+  AppendU32(&out, frame.seq);
+  AppendU32(&out, static_cast<uint32_t>(frame.payload.size()));
+  out.append(frame.payload);
+  return out;
+}
+
+FrameDecoder::FrameDecoder(size_t max_payload) : max_payload_(max_payload) {}
+
+void FrameDecoder::Append(const char* data, size_t size) {
+  // Compact the parsed prefix before growing: amortized O(1), keeps the
+  // buffer at most one frame plus one read ahead of the parser.
+  if (consumed_ > 0 && consumed_ == buffer_.size()) {
+    buffer_.clear();
+    consumed_ = 0;
+  } else if (consumed_ > (64u << 10)) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(data, size);
+}
+
+StatusOr<bool> FrameDecoder::Next(Frame* out) {
+  if (!error_.ok()) return error_;
+  const size_t available = buffer_.size() - consumed_;
+  if (available < kFrameHeaderSize) return false;
+  const char* head = buffer_.data() + consumed_;
+
+  uint32_t magic = 0;
+  std::memcpy(&magic, head, 4);
+  if (magic != kWireMagic) {
+    error_ = Status::InvalidArgument("bad frame magic");
+    return error_;
+  }
+  const uint8_t version = static_cast<uint8_t>(head[4]);
+  if (version != kWireVersion) {
+    error_ = Status::InvalidArgument(
+        "unsupported wire version " + std::to_string(version) +
+        " (speaking " + std::to_string(kWireVersion) + ")");
+    return error_;
+  }
+  const uint8_t type = static_cast<uint8_t>(head[5]);
+  if (type < static_cast<uint8_t>(MessageType::kEncodeRequest) ||
+      type > static_cast<uint8_t>(MessageType::kPingResponse)) {
+    error_ = Status::InvalidArgument("unknown frame type " +
+                                     std::to_string(type));
+    return error_;
+  }
+  uint32_t payload_size = 0;
+  std::memcpy(&payload_size, head + 12, 4);
+  if (payload_size > max_payload_) {
+    error_ = Status::InvalidArgument(
+        "frame payload of " + std::to_string(payload_size) +
+        " bytes exceeds the " + std::to_string(max_payload_) + " byte bound");
+    return error_;
+  }
+  if (available < kFrameHeaderSize + payload_size) return false;
+
+  out->version = version;
+  out->type = static_cast<MessageType>(type);
+  out->status = StatusCodeFromWireByte(static_cast<uint8_t>(head[6]));
+  out->flags = static_cast<uint8_t>(head[7]);
+  std::memcpy(&out->seq, head + 8, 4);
+  out->payload.assign(head + kFrameHeaderSize, payload_size);
+  consumed_ += kFrameHeaderSize + payload_size;
+  return true;
+}
+
+void EncodeTokenizedTable(const TokenizedTable& table, std::string* out) {
+  AppendU32(out, static_cast<uint32_t>(table.table_id.size()));
+  out->append(table.table_id);
+  AppendU32(out, static_cast<uint32_t>(table.tokens.size()));
+  for (const TokenInfo& tok : table.tokens) {
+    AppendI32(out, tok.id);
+    AppendI32(out, tok.row);
+    AppendI32(out, tok.column);
+    AppendI32(out, tok.segment);
+    AppendI32(out, tok.kind);
+    AppendI32(out, tok.rank);
+    AppendI32(out, tok.entity_id);
+  }
+  AppendU32(out, static_cast<uint32_t>(table.cells.size()));
+  for (const CellSpan& cell : table.cells) {
+    AppendI32(out, cell.row);
+    AppendI32(out, cell.col);
+    AppendI32(out, cell.begin);
+    AppendI32(out, cell.end);
+    AppendI32(out, cell.entity_id);
+  }
+  AppendU64(out, static_cast<uint64_t>(table.used_rows));
+  AppendU64(out, static_cast<uint64_t>(table.used_columns));
+  AppendU8(out, table.truncated ? 1 : 0);
+}
+
+StatusOr<TokenizedTable> DecodeTokenizedTable(std::string_view payload) {
+  WireReader reader(payload);
+  TokenizedTable table;
+
+  uint32_t id_size = 0;
+  TABREP_RETURN_IF_ERROR(reader.ReadU32(&id_size));
+  std::string_view id;
+  TABREP_RETURN_IF_ERROR(reader.ReadBytes(id_size, &id));
+  table.table_id.assign(id);
+
+  uint32_t num_tokens = 0;
+  TABREP_RETURN_IF_ERROR(reader.ReadU32(&num_tokens));
+  // 7 i32 fields per token: a count the payload cannot hold is a lie.
+  if (static_cast<uint64_t>(num_tokens) * 28 > reader.remaining()) {
+    return Status::InvalidArgument("token count exceeds payload");
+  }
+  table.tokens.resize(num_tokens);
+  for (TokenInfo& tok : table.tokens) {
+    TABREP_RETURN_IF_ERROR(reader.ReadI32(&tok.id));
+    TABREP_RETURN_IF_ERROR(reader.ReadI32(&tok.row));
+    TABREP_RETURN_IF_ERROR(reader.ReadI32(&tok.column));
+    TABREP_RETURN_IF_ERROR(reader.ReadI32(&tok.segment));
+    TABREP_RETURN_IF_ERROR(reader.ReadI32(&tok.kind));
+    TABREP_RETURN_IF_ERROR(reader.ReadI32(&tok.rank));
+    TABREP_RETURN_IF_ERROR(reader.ReadI32(&tok.entity_id));
+  }
+
+  uint32_t num_cells = 0;
+  TABREP_RETURN_IF_ERROR(reader.ReadU32(&num_cells));
+  if (static_cast<uint64_t>(num_cells) * 20 > reader.remaining()) {
+    return Status::InvalidArgument("cell count exceeds payload");
+  }
+  table.cells.resize(num_cells);
+  for (CellSpan& cell : table.cells) {
+    TABREP_RETURN_IF_ERROR(reader.ReadI32(&cell.row));
+    TABREP_RETURN_IF_ERROR(reader.ReadI32(&cell.col));
+    TABREP_RETURN_IF_ERROR(reader.ReadI32(&cell.begin));
+    TABREP_RETURN_IF_ERROR(reader.ReadI32(&cell.end));
+    TABREP_RETURN_IF_ERROR(reader.ReadI32(&cell.entity_id));
+  }
+
+  uint64_t used_rows = 0, used_columns = 0;
+  TABREP_RETURN_IF_ERROR(reader.ReadU64(&used_rows));
+  TABREP_RETURN_IF_ERROR(reader.ReadU64(&used_columns));
+  table.used_rows = static_cast<int64_t>(used_rows);
+  table.used_columns = static_cast<int64_t>(used_columns);
+  uint8_t truncated = 0;
+  TABREP_RETURN_IF_ERROR(reader.ReadU8(&truncated));
+  table.truncated = truncated != 0;
+
+  TABREP_RETURN_IF_ERROR(ExpectFullyConsumed(reader));
+  return table;
+}
+
+void EncodeEncodedTable(const serve::EncodedTable& encoded, std::string* out,
+                        uint8_t* flags) {
+  AppendTensor(out, encoded.hidden);
+  if (encoded.has_cells) {
+    *flags |= kFlagHasCells;
+    AppendTensor(out, encoded.cells);
+  }
+}
+
+StatusOr<serve::EncodedTable> DecodeEncodedTable(std::string_view payload,
+                                                 uint8_t flags) {
+  WireReader reader(payload);
+  serve::EncodedTable encoded;
+  TABREP_ASSIGN_OR_RETURN(hidden, ReadTensor(reader));
+  encoded.hidden = std::move(hidden);
+  if (flags & kFlagHasCells) {
+    TABREP_ASSIGN_OR_RETURN(cells, ReadTensor(reader));
+    encoded.cells = std::move(cells);
+    encoded.has_cells = true;
+  }
+  TABREP_RETURN_IF_ERROR(ExpectFullyConsumed(reader));
+  return encoded;
+}
+
+}  // namespace tabrep::net

@@ -1,0 +1,138 @@
+#ifndef TABREP_NET_WIRE_H_
+#define TABREP_NET_WIRE_H_
+
+// tabrep::net wire protocol — the length-prefixed, versioned binary
+// framing the TCP front-end speaks (ISSUE 6 tentpole).
+//
+// Every message is one frame: a fixed 16-byte little-endian header
+// followed by `payload_size` payload bytes.
+//
+//   offset size field
+//   0      4    magic        0x50524254 — the bytes "TBRP"
+//   4      1    version      kWireVersion (currently 1)
+//   5      1    type         MessageType
+//   6      1    status       StatusCode, 1:1 via WireStatusByte()
+//   7      1    flags        kFlagHasCells on encode responses
+//   8      4    seq          client-chosen id, echoed in the response
+//   12     4    payload_size bounded by the decoder's max_payload
+//   16     …    payload
+//
+// The version byte is second only to the magic: a server can reject a
+// frame from a future client (or a client a future server) with a
+// typed kInvalidArgument *before* trusting any of the later fields,
+// whose meaning is allowed to change across versions. Payloads:
+//
+//   kEncodeRequest   serialized TokenizedTable (EncodeTokenizedTable)
+//   kEncodeResponse  status==kOk: EncodeEncodedTable payload;
+//                    otherwise: UTF-8 error message bytes
+//   kPingRequest     arbitrary bytes
+//   kPingResponse    the request payload, echoed
+//
+// Responses carry a typed status byte on every frame — overload and
+// malformed input are answers, never dropped connections.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "serialize/serializer.h"
+#include "serve/serve.h"
+
+namespace tabrep::net {
+
+inline constexpr uint32_t kWireMagic = 0x50524254u;  // "TBRP" little-endian
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr size_t kFrameHeaderSize = 16;
+/// Default payload bound; a header announcing more is a typed error
+/// (protects the reassembly buffer from hostile length prefixes).
+inline constexpr size_t kDefaultMaxPayload = 8u << 20;
+
+enum class MessageType : uint8_t {
+  kEncodeRequest = 1,
+  kEncodeResponse = 2,
+  kPingRequest = 3,
+  kPingResponse = 4,
+};
+
+/// Encode responses: payload carries a cells tensor after the hidden
+/// tensor.
+inline constexpr uint8_t kFlagHasCells = 0x1;
+
+/// StatusCode <-> wire status byte. The mapping is the enum's
+/// underlying value, pinned by tests so the wire contract survives
+/// enum reordering.
+uint8_t WireStatusByte(StatusCode code);
+/// Unknown bytes decode to kInternal (a future peer's new code is
+/// still an error, just an unclassified one).
+StatusCode StatusCodeFromWireByte(uint8_t byte);
+
+/// One parsed frame. `payload` is owned (copied out of the stream
+/// buffer) so frames outlive the decoder's compaction.
+struct Frame {
+  uint8_t version = kWireVersion;
+  MessageType type = MessageType::kPingRequest;
+  StatusCode status = StatusCode::kOk;
+  uint8_t flags = 0;
+  uint32_t seq = 0;
+  std::string payload;
+};
+
+/// Serializes header + payload into one wire-ready byte string.
+std::string EncodeFrame(const Frame& frame);
+
+/// Incremental stream reassembly: feed arbitrarily split bytes with
+/// Append, pull complete frames with Next. A TCP read boundary can
+/// land anywhere — mid-magic, mid-length, mid-payload — and the
+/// decoder accumulates until a whole frame is available (fuzz-tested
+/// against every split point in net_test).
+///
+/// Errors are sticky: after a malformed header (bad magic, unsupported
+/// version, payload over the bound) every later Next returns the same
+/// typed error, because a byte stream that lost framing can never be
+/// trusted again.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(size_t max_payload = kDefaultMaxPayload);
+
+  /// Buffers `size` bytes from the stream.
+  void Append(const char* data, size_t size);
+
+  /// Ok(true): one complete frame moved into *out. Ok(false): the
+  /// buffered bytes form only a prefix — feed more. Error: the stream
+  /// is corrupt (typed, sticky).
+  StatusOr<bool> Next(Frame* out);
+
+  /// Bytes buffered but not yet consumed by a complete frame. Non-zero
+  /// at connection close means the peer truncated a frame mid-stream.
+  size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  size_t max_payload_;
+  std::string buffer_;
+  size_t consumed_ = 0;  // parsed prefix, compacted lazily
+  Status error_;         // sticky once non-OK
+};
+
+/// Appends the TokenizedTable request payload to *out. All fields that
+/// Encode (and HashTokenizedTable) read cross the wire: table_id,
+/// tokens, cell spans, used rows/columns, truncated.
+void EncodeTokenizedTable(const TokenizedTable& table, std::string* out);
+
+/// Parses a request payload. Typed kInvalidArgument on truncation,
+/// trailing garbage, or counts that do not fit the payload.
+StatusOr<TokenizedTable> DecodeTokenizedTable(std::string_view payload);
+
+/// Appends the encode-response payload (hidden, optionally cells) to
+/// *out and sets kFlagHasCells in *flags when cells ride along.
+/// Tensors cross the wire as raw row-major float32 — bitwise exact.
+void EncodeEncodedTable(const serve::EncodedTable& encoded, std::string* out,
+                        uint8_t* flags);
+
+/// Parses an encode-response payload (flags from the frame header).
+StatusOr<serve::EncodedTable> DecodeEncodedTable(std::string_view payload,
+                                                 uint8_t flags);
+
+}  // namespace tabrep::net
+
+#endif  // TABREP_NET_WIRE_H_

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -23,9 +24,7 @@ inline void HashMix(uint64_t& h, uint64_t v) {
 
 int64_t ResolveCacheCapacity(int64_t requested) {
   if (requested >= 0) return requested;
-  const char* env = std::getenv("TABREP_ENCODE_CACHE");
-  if (env == nullptr || *env == '\0') return kDefaultCacheCapacity;
-  return static_cast<int64_t>(std::strtoll(env, nullptr, 10));
+  return EnvInt64("TABREP_ENCODE_CACHE", kDefaultCacheCapacity);
 }
 
 obs::Counter& RequestsCounter() {
@@ -52,8 +51,40 @@ obs::Counter& EncodedCounter() {
   static obs::Counter& c = obs::Registry::Get().counter("tabrep.serve.encoded");
   return c;
 }
+obs::Counter& ShedCounter() {
+  static obs::Counter& c = obs::Registry::Get().counter("tabrep.serve.shed");
+  return c;
+}
+
+/// A future that is already resolved to `value`.
+std::future<StatusOr<EncodedTablePtr>> ReadyFuture(
+    StatusOr<EncodedTablePtr> value) {
+  std::promise<StatusOr<EncodedTablePtr>> promise;
+  promise.set_value(std::move(value));
+  return promise.get_future();
+}
 
 }  // namespace
+
+int64_t EnvInt64(const char* name, int64_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(env, &end, 10);
+  if (end == env) return fallback;
+  return static_cast<int64_t>(v);
+}
+
+BatchedEncoderOptions OptionsFromEnv() {
+  BatchedEncoderOptions options;
+  options.max_batch = EnvInt64("TABREP_SERVE_MAX_BATCH", options.max_batch);
+  options.max_wait_us =
+      EnvInt64("TABREP_SERVE_MAX_WAIT_US", options.max_wait_us);
+  options.cache_capacity = EnvInt64("TABREP_ENCODE_CACHE",
+                                    kDefaultCacheCapacity);
+  options.max_queue = EnvInt64("TABREP_SERVE_MAX_QUEUE", options.max_queue);
+  return options;
+}
 
 uint64_t HashTokenizedTable(const TokenizedTable& input) {
   uint64_t h = 0xcbf29ce484222325ull;  // FNV offset basis
@@ -135,35 +166,53 @@ BatchedEncoder::~BatchedEncoder() {
   dispatcher_.join();
 }
 
-EncodedTablePtr BatchedEncoder::Encode(const TokenizedTable& input) {
+std::future<StatusOr<EncodedTablePtr>> BatchedEncoder::Submit(
+    const TokenizedTable& input) {
   RequestsCounter().Increment();
   const uint64_t key = HashTokenizedTable(input);
   if (EncodedTablePtr cached = cache_.Get(key)) {
     CacheHitCounter().Increment();
-    return cached;
+    return ReadyFuture(std::move(cached));
   }
   CacheMissCounter().Increment();
 
-  std::shared_ptr<Pending> pending;
+  std::promise<StatusOr<EncodedTablePtr>> promise;
+  std::future<StatusOr<EncodedTablePtr>> future = promise.get_future();
   {
     std::unique_lock<std::mutex> lock(mu_);
-    TABREP_CHECK(!stop_) << "Encode after BatchedEncoder shutdown";
+    if (stop_) {
+      promise.set_value(
+          Status::Cancelled("Submit after BatchedEncoder shutdown"));
+      return future;
+    }
     auto it = inflight_.find(key);
     if (it != inflight_.end()) {
       // Same table already queued or being encoded: attach to it.
+      // Coalescing adds no encode work, so it bypasses the admission
+      // bound.
       CoalescedCounter().Increment();
-      pending = it->second;
-    } else {
-      pending = std::make_shared<Pending>();
-      pending->key = key;
-      pending->table = &input;
-      inflight_[key] = pending;
-      queue_.push_back(pending);
-      work_cv_.notify_one();
+      it->second->waiters.push_back(std::move(promise));
+      return future;
     }
-    done_cv_.wait(lock, [&] { return pending->done; });
+    if (options_.max_queue > 0 &&
+        static_cast<int64_t>(queue_.size()) >= options_.max_queue) {
+      ShedCounter().Increment();
+      promise.set_value(Status::Overloaded("encode queue full"));
+      return future;
+    }
+    auto pending = std::make_shared<Pending>();
+    pending->key = key;
+    pending->table = input;  // the documented copy
+    pending->waiters.push_back(std::move(promise));
+    inflight_[key] = pending;
+    queue_.push_back(std::move(pending));
   }
-  return pending->result;
+  work_cv_.notify_one();
+  return future;
+}
+
+StatusOr<EncodedTablePtr> BatchedEncoder::Encode(const TokenizedTable& input) {
+  return Submit(input).get();
 }
 
 void BatchedEncoder::DispatcherLoop() {
@@ -193,8 +242,14 @@ void BatchedEncoder::DispatcherLoop() {
       queue_.erase(queue_.begin(), queue_.begin() + n);
     }
 
+    if (options_.dispatch_delay_us > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(options_.dispatch_delay_us));
+    }
+
     const int64_t n = static_cast<int64_t>(batch.size());
     batch_size.Record(static_cast<double>(n));
+    std::vector<EncodedTablePtr> results(static_cast<size_t>(n));
     runtime::ParallelFor(0, n, 1, [&](int64_t lo, int64_t hi) {
       for (int64_t i = lo; i < hi; ++i) {
         Pending& p = *batch[static_cast<size_t>(i)];
@@ -203,27 +258,41 @@ void BatchedEncoder::DispatcherLoop() {
         models::EncodeOptions opts;
         opts.need_cells = options_.need_cells;
         opts.inference = true;
-        models::Encoded enc = model_->Encode(*p.table, rng, opts);
+        models::Encoded enc = model_->Encode(p.table, rng, opts);
         auto result = std::make_shared<EncodedTable>();
         result->hidden = enc.hidden.value();
         if (enc.has_cells) {
           result->cells = enc.cells.value();
           result->has_cells = true;
         }
-        p.result = std::move(result);
+        results[static_cast<size_t>(i)] = std::move(result);
       }
     });
     EncodedCounter().Increment(static_cast<uint64_t>(n));
 
-    for (const auto& p : batch) cache_.Put(p->key, p->result);
+    for (int64_t i = 0; i < n; ++i) {
+      cache_.Put(batch[static_cast<size_t>(i)]->key,
+                 results[static_cast<size_t>(i)]);
+    }
+    // Detach each Pending from the coalescing map before fulfilling its
+    // waiters: once inflight_ no longer holds the key, new Submits for
+    // the same table hit the cache (already Put above) instead of
+    // attaching to a Pending whose promises are being consumed.
+    std::vector<std::vector<std::promise<StatusOr<EncodedTablePtr>>>> waiters(
+        static_cast<size_t>(n));
     {
       std::lock_guard<std::mutex> lock(mu_);
-      for (const auto& p : batch) {
-        inflight_.erase(p->key);
-        p->done = true;
+      for (int64_t i = 0; i < n; ++i) {
+        Pending& p = *batch[static_cast<size_t>(i)];
+        inflight_.erase(p.key);
+        waiters[static_cast<size_t>(i)] = std::move(p.waiters);
       }
     }
-    done_cv_.notify_all();
+    for (int64_t i = 0; i < n; ++i) {
+      for (auto& promise : waiters[static_cast<size_t>(i)]) {
+        promise.set_value(results[static_cast<size_t>(i)]);
+      }
+    }
   }
 }
 

@@ -2,27 +2,38 @@
 #define TABREP_SERVE_SERVE_H_
 
 // tabrep::serve — the encode-serving layer (ROADMAP north star:
-// "serves heavy traffic"). A BatchedEncoder accepts blocking Encode
-// calls from any number of client threads, micro-batches them onto the
-// runtime thread pool, runs each table through the graph-free
-// inference path (EncodeOptions::inference), and memoizes results in
-// an LRU cache keyed by the serialized-table hash. Identical in-flight
-// requests are coalesced: each distinct table is encoded exactly once
-// no matter how many clients ask for it concurrently.
+// "serves heavy traffic"). A BatchedEncoder accepts requests from any
+// number of client threads, micro-batches them onto the runtime thread
+// pool, runs each table through the graph-free inference path
+// (EncodeOptions::inference), and memoizes results in an LRU cache
+// keyed by the serialized-table hash. Identical in-flight requests are
+// coalesced: each distinct table is encoded exactly once no matter how
+// many clients ask for it concurrently.
+//
+// The API is typed-status/async (ISSUE 6 redesign): the primitive is
+// the non-blocking Submit(), which copies the input, enqueues it, and
+// returns a std::future carrying a StatusOr — Ok with the shared
+// encoding, kOverloaded when admission control sheds the request, or
+// kCancelled when the encoder shut down first. Blocking Encode() is a
+// thin wrapper (Submit + wait). Nothing in this layer blocks without a
+// typed way out, and nothing crashes on overload or shutdown.
 //
 // Counters (tabrep.serve.*): requests, cache.hit, cache.miss,
-// coalesced, encoded; histogram batch.size records how many tables
-// each dispatcher wakeup carried.
+// coalesced, encoded, shed; histogram batch.size records how many
+// tables each dispatcher wakeup carried.
 
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <future>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
+#include <vector>
 
+#include "common/result.h"
 #include "models/table_encoder.h"
 
 namespace tabrep::serve {
@@ -80,13 +91,40 @@ struct BatchedEncoderOptions {
   /// LRU capacity; -1 reads TABREP_ENCODE_CACHE (default 256), 0
   /// disables caching.
   int64_t cache_capacity = -1;
+  /// Admission bound: distinct tables allowed to wait in the dispatch
+  /// queue before Submit sheds with kOverloaded. 0 = unbounded
+  /// (in-process callers provide their own backpressure by blocking);
+  /// the network front-end sets this so a traffic burst degrades into
+  /// typed rejects instead of unbounded memory growth. Cache hits and
+  /// coalesced requests are always admitted — they add no encode work.
+  int64_t max_queue = 0;
+  /// Artificial stall (microseconds) before each batch is encoded.
+  /// Exists so tests and the overload phase of bench_s2_net can create
+  /// deterministic backpressure; leave at 0 in production.
+  int64_t dispatch_delay_us = 0;
   /// Ask Encode for pooled cell representations.
   bool need_cells = false;
 };
 
-/// Thread-safe blocking facade over TableEncoderModel::Encode. Puts
-/// the model in eval mode on construction; the destructor drains every
-/// accepted request before joining the dispatcher.
+/// One documented defaulting path for every serve-layer tunable: reads
+/// `name` from the environment, returning `fallback` when unset, empty,
+/// or unparsable. Shared by BatchedEncoderOptions resolution and
+/// net::ServerOptions::FromEnv so no subsystem grows ad-hoc getenv
+/// calls again.
+int64_t EnvInt64(const char* name, int64_t fallback);
+
+/// BatchedEncoderOptions with every field resolved from its
+/// environment variable (falling back to the struct defaults):
+///   TABREP_SERVE_MAX_BATCH    -> max_batch
+///   TABREP_SERVE_MAX_WAIT_US  -> max_wait_us
+///   TABREP_ENCODE_CACHE       -> cache_capacity
+///   TABREP_SERVE_MAX_QUEUE    -> max_queue
+BatchedEncoderOptions OptionsFromEnv();
+
+/// Thread-safe micro-batching facade over TableEncoderModel::Encode.
+/// Puts the model in eval mode on construction; the destructor drains
+/// every accepted request (fulfilling its future) before joining the
+/// dispatcher.
 class BatchedEncoder {
  public:
   explicit BatchedEncoder(models::TableEncoderModel* model,
@@ -96,22 +134,31 @@ class BatchedEncoder {
   BatchedEncoder(const BatchedEncoder&) = delete;
   BatchedEncoder& operator=(const BatchedEncoder&) = delete;
 
-  /// Blocks until `input` is encoded (or served from cache). Safe to
-  /// call from many threads concurrently. `input` must stay alive for
-  /// the duration of the call (it is not copied).
-  EncodedTablePtr Encode(const TokenizedTable& input);
+  /// Non-blocking admission: hashes `input`, serves cache hits
+  /// immediately, coalesces onto an identical in-flight request, or
+  /// enqueues a copy for the dispatcher. COPIES the table — unlike the
+  /// pre-ISSUE-6 Encode, the caller need not keep `input` alive after
+  /// the call returns. The future resolves to:
+  ///   Ok(EncodedTablePtr)  — encoded (or served from cache)
+  ///   kOverloaded          — the dispatch queue was at max_queue
+  ///   kCancelled           — submitted after shutdown began
+  std::future<StatusOr<EncodedTablePtr>> Submit(const TokenizedTable& input);
+
+  /// Blocking convenience wrapper: Submit + wait. Same status
+  /// contract, same lifetime contract (the table is copied; safe to
+  /// destroy `input` while the request is in flight).
+  StatusOr<EncodedTablePtr> Encode(const TokenizedTable& input);
 
   const EncodeCache& cache() const { return cache_; }
   const BatchedEncoderOptions& options() const { return options_; }
 
  private:
   /// One distinct in-flight table; concurrent requests for the same
-  /// key share a Pending (coalescing).
+  /// key share a Pending (coalescing) and each holds a waiter promise.
   struct Pending {
     uint64_t key = 0;
-    const TokenizedTable* table = nullptr;  // the leader's input
-    EncodedTablePtr result;
-    bool done = false;
+    TokenizedTable table;  // owned copy of the leader's input
+    std::vector<std::promise<StatusOr<EncodedTablePtr>>> waiters;
   };
 
   void DispatcherLoop();
@@ -122,7 +169,6 @@ class BatchedEncoder {
 
   std::mutex mu_;
   std::condition_variable work_cv_;  // dispatcher: queue became non-empty
-  std::condition_variable done_cv_;  // clients: some batch finished
   std::deque<std::shared_ptr<Pending>> queue_;
   std::unordered_map<uint64_t, std::shared_ptr<Pending>> inflight_;
   bool stop_ = false;

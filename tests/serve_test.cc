@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <cstring>
+#include <future>
 #include <thread>
 #include <vector>
+
+#include "common/result.h"
 
 #include "models/table_encoder.h"
 #include "obs/metrics.h"
@@ -196,14 +200,17 @@ TEST_F(ServeFixture, BatchedEncoderMatchesDirectEncodeAndCaches) {
   sopts.cache_capacity = 8;
   sopts.need_cells = true;
   serve::BatchedEncoder encoder(&model, sopts);
-  serve::EncodedTablePtr first = encoder.Encode(serialized);
+  StatusOr<serve::EncodedTablePtr> first_or = encoder.Encode(serialized);
+  ASSERT_TRUE(first_or.ok()) << first_or.status().ToString();
+  serve::EncodedTablePtr first = *first_or;
   ASSERT_NE(first, nullptr);
   EXPECT_TRUE(BitwiseEqual(first->hidden, direct.hidden.value()));
   ASSERT_TRUE(first->has_cells);
   EXPECT_TRUE(BitwiseEqual(first->cells, direct.cells.value()));
   // Second request is a cache hit: the very same shared encoding.
-  serve::EncodedTablePtr second = encoder.Encode(serialized);
-  EXPECT_EQ(second, first);
+  StatusOr<serve::EncodedTablePtr> second = encoder.Encode(serialized);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*second, first);
   EXPECT_EQ(encoder.cache().size(), 1u);
 }
 
@@ -266,8 +273,9 @@ TEST_F(ServeFixture, BatchedEncoderConcurrentClients) {
     clients.emplace_back([&, c] {
       for (int r = 0; r < rounds; ++r) {
         for (size_t i = 0; i < inputs.size(); ++i) {
-          serve::EncodedTablePtr out = encoder.Encode(inputs[i]);
-          if (out == nullptr || !BitwiseEqual(out->hidden, expected[i])) {
+          StatusOr<serve::EncodedTablePtr> out = encoder.Encode(inputs[i]);
+          if (!out.ok() || *out == nullptr ||
+              !BitwiseEqual((*out)->hidden, expected[i])) {
             ++failures[static_cast<size_t>(c)];
           }
         }
@@ -293,7 +301,7 @@ TEST_F(ServeFixture, BatchedEncoderDrainsOnDestruction) {
     std::vector<std::thread> clients;
     for (size_t i = 0; i < inputs.size(); ++i) {
       clients.emplace_back(
-          [&, i] { results[i] = encoder.Encode(inputs[i]); });
+          [&, i] { results[i] = encoder.Encode(inputs[i]).value_or(nullptr); });
     }
     for (std::thread& t : clients) t.join();
   }  // destructor joins the dispatcher after every request completed
@@ -301,6 +309,93 @@ TEST_F(ServeFixture, BatchedEncoderDrainsOnDestruction) {
     ASSERT_NE(r, nullptr);
     EXPECT_GT(r->hidden.numel(), 0);
   }
+}
+
+TEST_F(ServeFixture, SubmitIsAsyncAndCopiesTheInput) {
+  ModelConfig config = TinyConfig(ModelFamily::kVanilla);
+  TableEncoderModel model(config);
+  model.SetTraining(false);
+  TokenizedTable serialized = serializer_->Serialize(corpus_->tables[0]);
+  Rng rng(1);
+  models::EncodeOptions opts;
+  opts.need_cells = false;
+  opts.inference = true;
+  Tensor expected = model.Encode(serialized, rng, opts).hidden.value();
+
+  serve::BatchedEncoder encoder(&model, {});
+  std::future<StatusOr<serve::EncodedTablePtr>> future = [&] {
+    // The input dies before the future resolves: Submit must have
+    // copied it (the documented ISSUE-6 lifetime change).
+    TokenizedTable doomed = serialized;
+    return encoder.Submit(doomed);
+  }();
+  StatusOr<serve::EncodedTablePtr> out = future.get();
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_TRUE(BitwiseEqual((*out)->hidden, expected));
+}
+
+TEST_F(ServeFixture, SubmitShedsWithTypedOverloadedWhenQueueIsFull) {
+  ModelConfig config = TinyConfig(ModelFamily::kVanilla);
+  TableEncoderModel model(config);
+  model.SetTraining(false);
+
+  serve::BatchedEncoderOptions sopts;
+  sopts.max_batch = 1;
+  sopts.max_wait_us = 0;
+  sopts.cache_capacity = 0;  // every request is fresh work
+  sopts.max_queue = 1;
+  sopts.dispatch_delay_us = 100000;  // hold the dispatcher: queue backs up
+  serve::BatchedEncoder encoder(&model, sopts);
+
+  std::vector<std::future<StatusOr<serve::EncodedTablePtr>>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(encoder.Submit(
+        serializer_->Serialize(corpus_->tables[static_cast<size_t>(i)])));
+  }
+  int ok = 0, overloaded = 0;
+  for (auto& f : futures) {
+    StatusOr<serve::EncodedTablePtr> out = f.get();
+    if (out.ok()) {
+      ++ok;
+      EXPECT_NE(*out, nullptr);
+    } else {
+      EXPECT_EQ(out.status().code(), StatusCode::kOverloaded);
+      ++overloaded;
+    }
+  }
+  // 8 submitted against queue bound 1 and a 100ms-per-batch dispatcher:
+  // at least one admitted, and the burst cannot all fit.
+  EXPECT_EQ(ok + overloaded, 8);  // zero silent drops
+  EXPECT_GE(ok, 1);
+  EXPECT_GE(overloaded, 5);
+}
+
+TEST(ServeOptionsTest, OptionsFromEnvReadsEveryTunable) {
+  setenv("TABREP_SERVE_MAX_BATCH", "3", 1);
+  setenv("TABREP_SERVE_MAX_WAIT_US", "77", 1);
+  setenv("TABREP_ENCODE_CACHE", "11", 1);
+  setenv("TABREP_SERVE_MAX_QUEUE", "5", 1);
+  serve::BatchedEncoderOptions options = serve::OptionsFromEnv();
+  EXPECT_EQ(options.max_batch, 3);
+  EXPECT_EQ(options.max_wait_us, 77);
+  EXPECT_EQ(options.cache_capacity, 11);
+  EXPECT_EQ(options.max_queue, 5);
+  unsetenv("TABREP_SERVE_MAX_BATCH");
+  unsetenv("TABREP_SERVE_MAX_WAIT_US");
+  unsetenv("TABREP_ENCODE_CACHE");
+  unsetenv("TABREP_SERVE_MAX_QUEUE");
+  serve::BatchedEncoderOptions defaults = serve::OptionsFromEnv();
+  EXPECT_EQ(defaults.max_batch, serve::BatchedEncoderOptions{}.max_batch);
+  EXPECT_EQ(defaults.cache_capacity, 256);  // the documented default
+}
+
+TEST(ServeOptionsTest, EnvInt64FallsBackOnGarbage) {
+  setenv("TABREP_TEST_TUNABLE", "not-a-number", 1);
+  EXPECT_EQ(serve::EnvInt64("TABREP_TEST_TUNABLE", 42), 42);
+  setenv("TABREP_TEST_TUNABLE", "-7", 1);
+  EXPECT_EQ(serve::EnvInt64("TABREP_TEST_TUNABLE", 42), -7);
+  unsetenv("TABREP_TEST_TUNABLE");
+  EXPECT_EQ(serve::EnvInt64("TABREP_TEST_TUNABLE", 42), 42);
 }
 
 }  // namespace

@@ -12,7 +12,8 @@
 //     --max-counter-regress=0.01  counter threshold
 //     --min-gate=50               noise floor (us hist / ms*1e-3 profile)
 //     --noisy-counter-slack=512   absolute growth allowed on tabrep.mem.* /
-//                                 tabrep.serve.* counters before gating
+//                                 tabrep.serve.* / tabrep.net.* counters
+//                                 before gating
 //     --max-lines=20              rendered non-violation rows (0 = all)
 //
 // Exit codes: 0 = no regressions, 1 = regressions found,

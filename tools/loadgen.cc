@@ -1,0 +1,276 @@
+// loadgen — multi-connection load generator for the tabrep::net server.
+//
+// Builds the same synthetic-corpus workload as the benches (fixed
+// seed: every run sends byte-identical requests), opens N concurrent
+// connections, and drives the wire protocol in one of two modes:
+//
+//   closed  (default) each connection sends one request and waits for
+//           its response before sending the next — measures latency
+//           under a fixed concurrency level;
+//   open    each connection sends at a fixed --rate regardless of
+//           responses (pipelined), with a reader draining responses —
+//           measures behaviour at a chosen offered load, including
+//           typed kOverloaded sheds once the server's admission
+//           bounds are hit.
+//
+// Usage:
+//   loadgen --port=PORT [--host=127.0.0.1] [--connections=4]
+//           [--requests=64] [--mode=closed|open] [--rate=200]
+//           [--tables=24]
+//
+//   --requests is per connection; --rate is per connection in req/s
+//   (open mode only). Exit code 0 unless a transport error occurred.
+//
+// Every response is accounted: the final line reports ok / overloaded /
+// error counts that must sum to the number of requests sent — the
+// zero-silent-drops contract, observable from outside the process.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "net/client.h"
+#include "serialize/serializer.h"
+#include "serialize/vocab_builder.h"
+#include "table/synth.h"
+
+namespace {
+
+using namespace tabrep;
+
+struct Options {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  int connections = 4;
+  int requests = 64;     // per connection
+  bool open_loop = false;
+  double rate = 200.0;   // per connection, open loop only
+  int num_tables = 24;
+};
+
+bool ParseIntFlag(const char* arg, const char* name, int* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = std::atoi(arg + len + 1);
+  return true;
+}
+
+bool ParseStringFlag(const char* arg, const char* name, std::string* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = arg + len + 1;
+  return true;
+}
+
+[[noreturn]] void Usage() {
+  std::fprintf(stderr,
+               "usage: loadgen --port=PORT [--host=H] [--connections=N]\n"
+               "               [--requests=R] [--mode=closed|open]\n"
+               "               [--rate=QPS] [--tables=T]\n");
+  std::exit(2);
+}
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Per-connection tally; merged after the threads join.
+struct ConnStats {
+  std::vector<double> latencies_us;  // closed loop only
+  uint64_t ok = 0;
+  uint64_t overloaded = 0;
+  uint64_t app_error = 0;        // typed non-overload server errors
+  uint64_t transport_error = 0;  // connect/read/write failures
+};
+
+double Percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const size_t idx = std::min(
+      v.size() - 1, static_cast<size_t>(p * static_cast<double>(v.size())));
+  return v[idx];
+}
+
+void Tally(const StatusOr<net::EncodeResult>& result, ConnStats* stats) {
+  if (!result.ok()) {
+    ++stats->transport_error;
+  } else if (result->status.ok()) {
+    ++stats->ok;
+  } else if (result->status.code() == StatusCode::kOverloaded) {
+    ++stats->overloaded;
+  } else {
+    ++stats->app_error;
+  }
+}
+
+void RunClosed(const Options& options,
+               const std::vector<TokenizedTable>& inputs, int conn_index,
+               ConnStats* stats) {
+  StatusOr<net::Client> client =
+      net::Client::Connect(options.host, static_cast<uint16_t>(options.port));
+  if (!client.ok()) {
+    stats->transport_error += static_cast<uint64_t>(options.requests);
+    return;
+  }
+  for (int r = 0; r < options.requests; ++r) {
+    const TokenizedTable& in =
+        inputs[static_cast<size_t>(conn_index + r) % inputs.size()];
+    const double t0 = NowSeconds();
+    StatusOr<net::EncodeResult> result = client->Encode(in);
+    stats->latencies_us.push_back((NowSeconds() - t0) * 1e6);
+    Tally(result, stats);
+    if (!result.ok()) return;  // transport is gone; stop this connection
+  }
+}
+
+void RunOpen(const Options& options,
+             const std::vector<TokenizedTable>& inputs, int conn_index,
+             ConnStats* stats) {
+  StatusOr<net::Client> client =
+      net::Client::Connect(options.host, static_cast<uint16_t>(options.port));
+  if (!client.ok()) {
+    stats->transport_error += static_cast<uint64_t>(options.requests);
+    return;
+  }
+  // Reader drains pipelined responses while the sender paces sends; the
+  // server answers in request order, so counts (not seqs) suffice.
+  std::atomic<int> sent{0};
+  std::atomic<bool> send_done{false};
+  std::thread reader([&] {
+    int received = 0;
+    while (!send_done.load(std::memory_order_acquire) ||
+           received < sent.load(std::memory_order_acquire)) {
+      if (received >= sent.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+        continue;
+      }
+      StatusOr<net::EncodeResult> result = client->ReadResponse();
+      Tally(result, stats);
+      if (!result.ok()) {
+        // Transport failure: everything still in flight is lost too.
+        stats->transport_error += static_cast<uint64_t>(
+            sent.load(std::memory_order_acquire) - received - 1);
+        return;
+      }
+      ++received;
+    }
+  });
+  const double interval = options.rate > 0.0 ? 1.0 / options.rate : 0.0;
+  const double start = NowSeconds();
+  for (int r = 0; r < options.requests; ++r) {
+    const TokenizedTable& in =
+        inputs[static_cast<size_t>(conn_index + r) % inputs.size()];
+    if (!client->SendEncodeRequest(in, static_cast<uint32_t>(r + 1)).ok()) {
+      break;
+    }
+    sent.fetch_add(1, std::memory_order_release);
+    const double next = start + interval * static_cast<double>(r + 1);
+    while (NowSeconds() < next) std::this_thread::yield();
+  }
+  send_done.store(true, std::memory_order_release);
+  reader.join();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  std::string mode = "closed";
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    int rate_int = 0;
+    if (ParseIntFlag(arg, "--port", &options.port) ||
+        ParseIntFlag(arg, "--connections", &options.connections) ||
+        ParseIntFlag(arg, "--requests", &options.requests) ||
+        ParseIntFlag(arg, "--tables", &options.num_tables) ||
+        ParseStringFlag(arg, "--host", &options.host) ||
+        ParseStringFlag(arg, "--mode", &mode)) {
+      continue;
+    }
+    if (ParseIntFlag(arg, "--rate", &rate_int)) {
+      options.rate = rate_int;
+      continue;
+    }
+    std::fprintf(stderr, "loadgen: unknown flag '%s'\n", arg);
+    Usage();
+  }
+  if (options.port <= 0) Usage();
+  if (mode == "open") {
+    options.open_loop = true;
+  } else if (mode != "closed") {
+    Usage();
+  }
+
+  // Fixed-seed workload: identical tables every run, so two loadgen
+  // invocations against the same server are comparable.
+  SyntheticCorpusOptions copts;
+  copts.num_tables = options.num_tables;
+  TableCorpus corpus = GenerateSyntheticCorpus(copts);
+  WordPieceTrainerOptions topts;
+  topts.vocab_size = 1500;
+  WordPieceTokenizer tokenizer = BuildCorpusTokenizer(corpus, topts);
+  SerializerOptions sopts;
+  sopts.max_tokens = 96;
+  TableSerializer serializer(&tokenizer, sopts);
+  std::vector<TokenizedTable> inputs;
+  inputs.reserve(corpus.tables.size());
+  for (const Table& t : corpus.tables) {
+    inputs.push_back(serializer.Serialize(t));
+  }
+
+  std::printf("loadgen: %d connections x %d requests, mode=%s, "
+              "target %s:%d\n",
+              options.connections, options.requests, mode.c_str(),
+              options.host.c_str(), options.port);
+
+  std::vector<ConnStats> stats(static_cast<size_t>(options.connections));
+  std::vector<std::thread> threads;
+  const double t0 = NowSeconds();
+  for (int c = 0; c < options.connections; ++c) {
+    threads.emplace_back([&, c] {
+      if (options.open_loop) {
+        RunOpen(options, inputs, c, &stats[static_cast<size_t>(c)]);
+      } else {
+        RunClosed(options, inputs, c, &stats[static_cast<size_t>(c)]);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double elapsed = NowSeconds() - t0;
+
+  ConnStats total;
+  std::vector<double> latencies;
+  for (ConnStats& s : stats) {
+    total.ok += s.ok;
+    total.overloaded += s.overloaded;
+    total.app_error += s.app_error;
+    total.transport_error += s.transport_error;
+    latencies.insert(latencies.end(), s.latencies_us.begin(),
+                     s.latencies_us.end());
+  }
+  const uint64_t answered = total.ok + total.overloaded + total.app_error;
+  std::printf("elapsed %.3f s, %llu responses (%.1f rsp/sec)\n", elapsed,
+              static_cast<unsigned long long>(answered),
+              elapsed > 0.0 ? static_cast<double>(answered) / elapsed : 0.0);
+  if (!latencies.empty()) {
+    std::printf("latency p50 %.1f us  p95 %.1f us  p99 %.1f us\n",
+                Percentile(latencies, 0.50), Percentile(latencies, 0.95),
+                Percentile(latencies, 0.99));
+  }
+  std::printf("ok %llu  overloaded %llu  error %llu  transport %llu\n",
+              static_cast<unsigned long long>(total.ok),
+              static_cast<unsigned long long>(total.overloaded),
+              static_cast<unsigned long long>(total.app_error),
+              static_cast<unsigned long long>(total.transport_error));
+  return total.transport_error == 0 ? 0 : 1;
+}

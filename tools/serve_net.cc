@@ -1,0 +1,105 @@
+// serve_net — a standalone tabrep::net server for manual testing and
+// tools/loadgen runs.
+//
+// Builds the fixed-seed synthetic world (the same corpus loadgen
+// generates, so request token ids are always in-vocab), pretends the
+// resulting small model is a published checkpoint, and serves encode
+// requests until SIGINT/SIGTERM.
+//
+// Usage:
+//   serve_net [--port=PORT] [--tables=T]
+//
+// Every net::ServerOptions tunable is also honored from the
+// environment (TABREP_NET_PORT etc., see net/server.h); --port wins
+// over TABREP_NET_PORT. Prints the bound port on startup (port 0
+// binds an ephemeral one).
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "models/table_encoder.h"
+#include "net/server.h"
+#include "serialize/serializer.h"
+#include "serialize/vocab_builder.h"
+#include "serve/serve.h"
+#include "table/synth.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void HandleSignal(int) { g_stop = 1; }
+
+bool ParseIntFlag(const char* arg, const char* name, int* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = std::atoi(arg + len + 1);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tabrep;
+
+  int port = -1;
+  int num_tables = 24;
+  for (int i = 1; i < argc; ++i) {
+    if (ParseIntFlag(argv[i], "--port", &port) ||
+        ParseIntFlag(argv[i], "--tables", &num_tables)) {
+      continue;
+    }
+    std::fprintf(stderr, "usage: serve_net [--port=PORT] [--tables=T]\n");
+    return 2;
+  }
+
+  // The same fixed-seed world loadgen builds: the vocab (and so every
+  // token id a default loadgen can send) matches this model.
+  SyntheticCorpusOptions copts;
+  copts.num_tables = num_tables;
+  TableCorpus corpus = GenerateSyntheticCorpus(copts);
+  WordPieceTrainerOptions topts;
+  topts.vocab_size = 1500;
+  WordPieceTokenizer tokenizer = BuildCorpusTokenizer(corpus, topts);
+
+  ModelConfig config;
+  config.family = ModelFamily::kTabert;
+  config.vocab_size = tokenizer.vocab().size();
+  config.entity_vocab_size = corpus.entities.size();
+  config.transformer.dim = 48;
+  config.transformer.num_layers = 2;
+  config.transformer.num_heads = 4;
+  config.transformer.ffn_dim = 96;
+  config.transformer.dropout = 0.0f;
+  config.max_position = 160;
+  TableEncoderModel model(config);
+  model.SetTraining(false);
+
+  serve::BatchedEncoder encoder(&model, serve::OptionsFromEnv());
+  net::ServerOptions options = net::ServerOptions::FromEnv();
+  if (port >= 0) options.port = port;
+  net::Server server(&encoder, options);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "serve_net: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  const std::string family(ModelFamilyName(config.family));
+  std::printf("serve_net: listening on 127.0.0.1:%u (model %s, vocab %lld)\n",
+              server.port(), family.c_str(),
+              static_cast<long long>(config.vocab_size));
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (g_stop == 0) {
+    struct timespec ts = {0, 100 * 1000 * 1000};  // 100ms
+    nanosleep(&ts, nullptr);
+  }
+  std::printf("serve_net: shutting down\n");
+  return 0;
+}
