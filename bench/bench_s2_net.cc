@@ -19,6 +19,16 @@
 // depends on completion timing, which is why tabrep.net.* counters are
 // on the bench_diff noisy list (absolute slack, currently 512) — the
 // split moves by a handful of requests run-to-run, never by hundreds.
+// The shed volume is additionally reported as a *fraction of sent*
+// (gauge tabrep.net.bench.shed.rate) so the baseline gate compares a
+// scale-free number: a raw shed count doubles when the burst doubles,
+// a rate only moves when admission behaviour changes.
+//
+// The bench also asserts the request-scoped stage instrumentation adds
+// up: summed means of tabrep.serve.stage.{queue,batch,inference,
+// serialize}.us must cover >= 80% of mean tabrep.net.request.us, i.e.
+// the per-stage breakdown accounts for where server-side latency
+// actually goes rather than leaving it in an unattributed gap.
 
 #include <cstdio>
 #include <cstring>
@@ -200,6 +210,50 @@ int main() {
       << "burst failed to trigger admission control";
 
   obs::Registry& reg = obs::Registry::Get();
+
+  // Shed rate as a fraction of sent: the scale-free overload signal the
+  // baseline gate compares (noisy_gauge_slack absorbs timing wobble).
+  const double shed_rate =
+      burst > 0 ? static_cast<double>(shed_overloaded) /
+                      static_cast<double>(burst)
+                : 0.0;
+  reg.gauge("tabrep.net.bench.shed.rate").Set(shed_rate);
+  std::printf("  shed rate %.4f of %lld sent\n", shed_rate,
+              static_cast<long long>(burst));
+
+  // Stage attribution: the per-request breakdown must account for the
+  // server-side latency it claims to explain. Sum of stage means vs the
+  // server's own request histogram (received -> response queued); both
+  // are recorded for OK submitted requests only, so they describe the
+  // same population. admission/decode/write are excluded: they are not
+  // part of the received->serialized span's encoder path budget and are
+  // each sub-microsecond here.
+  {
+    const char* stage_names[] = {
+        "tabrep.serve.stage.queue.us", "tabrep.serve.stage.batch.us",
+        "tabrep.serve.stage.inference.us", "tabrep.serve.stage.serialize.us"};
+    double stage_sum_means = 0.0;
+    std::printf("\nServer-side stage breakdown (OK requests):\n");
+    for (const char* name : stage_names) {
+      const obs::HistogramStats ss = reg.histogram(name).Stats();
+      TABREP_CHECK(ss.count > 0) << name << " never recorded";
+      stage_sum_means += ss.mean;
+      std::printf("  %-36s count %8llu  mean %10.1f us\n", name,
+                  static_cast<unsigned long long>(ss.count), ss.mean);
+    }
+    const obs::HistogramStats req =
+        reg.histogram("tabrep.net.request.us").Stats();
+    TABREP_CHECK(req.count > 0) << "tabrep.net.request.us never recorded";
+    const double coverage =
+        req.mean > 0.0 ? stage_sum_means / req.mean : 0.0;
+    std::printf("  stage sum %.1f us vs request mean %.1f us  "
+                "(coverage %.1f%%)\n",
+                stage_sum_means, req.mean, coverage * 100.0);
+    TABREP_CHECK(coverage >= 0.80)
+        << "stage breakdown covers only " << coverage * 100.0
+        << "% of mean request latency";
+  }
+
   std::printf("\nnet counters: requests %llu  responses %llu  shed %llu  "
               "errors %llu\n",
               static_cast<unsigned long long>(

@@ -140,6 +140,40 @@ Status Client::Ping() {
   return Status::OK();
 }
 
+StatusOr<std::string> Client::RoundTripIntrospection(
+    MessageType request_type, MessageType response_type) {
+  Frame frame;
+  frame.type = request_type;
+  frame.seq = next_seq_++;
+  TABREP_RETURN_IF_ERROR(WriteAll(EncodeFrame(frame)));
+  TABREP_ASSIGN_OR_RETURN(resp, ReadFrame());
+  if (resp.type != response_type || resp.seq != frame.seq) {
+    return Status::Internal("unexpected frame answering an introspection "
+                            "request (pipelining misuse?)");
+  }
+  if (resp.status != StatusCode::kOk) {
+    return Status(resp.status, std::move(resp.payload));
+  }
+  return std::move(resp.payload);
+}
+
+StatusOr<std::string> Client::Stats() {
+  return RoundTripIntrospection(MessageType::kStatsRequest,
+                                MessageType::kStatsResponse);
+}
+
+StatusOr<std::string> Client::Health() {
+  return RoundTripIntrospection(MessageType::kHealthRequest,
+                                MessageType::kHealthResponse);
+}
+
+Status Client::SendStatsRequest(uint32_t seq) {
+  Frame frame;
+  frame.type = MessageType::kStatsRequest;
+  frame.seq = seq;
+  return WriteAll(EncodeFrame(frame));
+}
+
 void Client::ShutdownWrite() {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
 }

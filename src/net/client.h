@@ -56,6 +56,26 @@ class Client {
   /// Round-trips a ping frame (connectivity probe).
   Status Ping();
 
+  /// Fetches the server's kStats JSON: {"server":{...},"metrics":
+  /// Registry::ToJson()}. Transport/framing failures are the error;
+  /// a typed server reject comes back as that Status.
+  StatusOr<std::string> Stats();
+
+  /// Fetches the server's kHealth JSON (queue depth, in-flight count,
+  /// shed rate). Same status contract as Stats().
+  StatusOr<std::string> Health();
+
+  /// Pipelining primitive: frames and writes one bare stats request
+  /// carrying `seq` without waiting for the response (pair with
+  /// ReadAnyFrame on streams mixing encode and stats traffic).
+  Status SendStatsRequest(uint32_t seq);
+
+  /// Blocks for the next frame of any type. For pipelined streams
+  /// where encode responses and stats/health responses interleave —
+  /// the server answers stats on the event loop, so those may arrive
+  /// ahead of earlier encode requests.
+  StatusOr<Frame> ReadAnyFrame() { return ReadFrame(); }
+
   /// Half-closes the write side so the server sees EOF and can finish
   /// flushing; further Sends fail.
   void ShutdownWrite();
@@ -66,6 +86,9 @@ class Client {
   Status WriteAll(const std::string& bytes);
   /// Blocks until one complete frame is reassembled.
   StatusOr<Frame> ReadFrame();
+  /// Shared closed-loop body for Stats/Health.
+  StatusOr<std::string> RoundTripIntrospection(MessageType request_type,
+                                               MessageType response_type);
 
   int fd_ = -1;
   FrameDecoder decoder_;

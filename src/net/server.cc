@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
 
 namespace tabrep::net {
@@ -102,6 +103,8 @@ ServerOptions ServerOptions::FromEnv() {
       "TABREP_NET_MAX_INFLIGHT_PER_CONN", options.max_inflight_per_conn);
   options.max_payload_bytes =
       serve::EnvInt64("TABREP_NET_MAX_PAYLOAD", options.max_payload_bytes);
+  options.access_log_path =
+      serve::EnvString("TABREP_NET_ACCESS_LOG", options.access_log_path);
   return options;
 }
 
@@ -154,6 +157,11 @@ Status Server::Start() {
   ev.data.u64 = kWakeTag;
   if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) < 0) {
     return ErrnoStatus("epoll_ctl(wake)");
+  }
+
+  start_time_ = std::chrono::steady_clock::now();
+  if (!options_.access_log_path.empty()) {
+    access_log_ = std::make_unique<obs::AccessLog>(options_.access_log_path);
   }
 
   started_ = true;
@@ -338,6 +346,9 @@ void Server::HandleReadable(Connection& conn) {
 }
 
 void Server::HandleFrame(Connection& conn, Frame frame) {
+  // Stamped before any per-type work: the trace's "received" means
+  // "the frame left the reassembly buffer".
+  const auto received = std::chrono::steady_clock::now();
   switch (frame.type) {
     case MessageType::kPingRequest: {
       Frame pong;
@@ -345,6 +356,32 @@ void Server::HandleFrame(Connection& conn, Frame frame) {
       pong.seq = frame.seq;
       pong.payload = std::move(frame.payload);
       QueueResponse(conn, pong);
+      return;
+    }
+    case MessageType::kStatsRequest:
+    case MessageType::kHealthRequest: {
+      // The introspection plane (ISSUE 7): answered right here on the
+      // event loop, never routed through the encoder, so stats and
+      // health probes keep working when inference is drowning. This
+      // response may therefore overtake encode responses still in
+      // flight on the same connection (encode-vs-encode order is
+      // untouched — those still flow FIFO through the completion
+      // queue).
+      const bool is_stats = frame.type == MessageType::kStatsRequest;
+      Frame resp;
+      resp.type = is_stats ? MessageType::kStatsResponse
+                           : MessageType::kHealthResponse;
+      resp.seq = frame.seq;
+      if (!frame.payload.empty()) {
+        // A payload on a parameterless request is protocol misuse:
+        // typed reject, framing intact, connection stays.
+        ErrorsCounter().Increment();
+        resp.status = StatusCode::kInvalidArgument;
+        resp.payload = "stats/health requests carry no payload";
+      } else {
+        resp.payload = is_stats ? StatsJson() : HealthJson();
+      }
+      QueueResponse(conn, resp);
       return;
     }
     case MessageType::kEncodeRequest:
@@ -361,39 +398,61 @@ void Server::HandleFrame(Connection& conn, Frame frame) {
   }
 
   RequestsCounter().Increment();
-  // Admission control, cheapest check first. Every reject is a typed
+  auto trace = std::make_unique<obs::RequestContext>();
+  trace->request_id = next_request_id_++;
+  trace->conn_id = conn.id;
+  trace->seq = frame.seq;
+  trace->received = received;
+
+  // Admission control, cheapest check first (before decode — a shed
+  // must not pay the parse; its trace shows admission/decode/queue at
+  // zero and the whole latency in `write`). Every reject is a typed
   // kOverloaded response — the client always learns the fate of its
   // request.
   if (conn.inflight >= options_.max_inflight_per_conn) {
     ShedCounter().Increment();
+    trace->status = StatusCode::kOverloaded;
     QueueResponse(conn,
                   ErrorFrame(MessageType::kEncodeResponse, frame.seq,
                              Status::Overloaded(
                                  "connection in-flight cap reached")));
+    trace->written = std::chrono::steady_clock::now();
+    FinishRequest(*trace);
     return;
   }
   if (global_inflight_ >= options_.max_queue) {
     ShedCounter().Increment();
+    trace->status = StatusCode::kOverloaded;
     QueueResponse(conn, ErrorFrame(MessageType::kEncodeResponse, frame.seq,
                                    Status::Overloaded("server queue full")));
+    trace->written = std::chrono::steady_clock::now();
+    FinishRequest(*trace);
     return;
   }
+  trace->admitted = std::chrono::steady_clock::now();
 
   StatusOr<TokenizedTable> table = DecodeTokenizedTable(frame.payload);
+  trace->decoded = std::chrono::steady_clock::now();
   if (!table.ok()) {
     ErrorsCounter().Increment();
+    trace->status = table.status().code();
     QueueResponse(conn, ErrorFrame(MessageType::kEncodeResponse, frame.seq,
                                    table.status()));
+    trace->written = std::chrono::steady_clock::now();
+    FinishRequest(*trace);
     return;
   }
 
   PendingCompletion pending;
   pending.conn_id = conn.id;
   pending.seq = frame.seq;
-  pending.start = std::chrono::steady_clock::now();
   // Submit copies the table and never blocks on inference; shed or
-  // shutdown comes back through the future as a typed status.
-  pending.future = encoder_->Submit(*table);
+  // shutdown comes back through the future as a typed status. The
+  // dispatcher stamps the trace's dequeued/encode triple through the
+  // raw pointer before resolving the future; ownership stays with the
+  // PendingCompletion so the trace outlives the encode.
+  pending.future = encoder_->Submit(*table, trace.get());
+  pending.trace = std::move(trace);
   conn.inflight += 1;
   global_inflight_ += 1;
   {
@@ -439,8 +498,20 @@ void Server::DrainCompletions() {
   }
   for (ReadyCompletion& done : ready) {
     global_inflight_ -= 1;
+    // Every PendingCompletion carries a trace; by now the dispatcher
+    // has resolved the future, so its stamps are quiescent and this
+    // thread owns the context.
+    obs::RequestContext& trace = *done.trace;
+    trace.status =
+        done.result.ok() ? StatusCode::kOk : done.result.status().code();
     auto it = conns_.find(done.conn_id);
-    if (it == conns_.end()) continue;  // connection closed while encoding
+    if (it == conns_.end()) {
+      // Connection closed while encoding. The work still happened, so
+      // the trace is still finished (no serialized/written stamps —
+      // those stages read 0).
+      FinishRequest(trace);
+      continue;
+    }
     Connection& conn = *it->second;
     conn.inflight -= 1;
 
@@ -453,13 +524,83 @@ void Server::DrainCompletions() {
       frame.status = done.result.status().code();
       frame.payload = done.result.status().message();
     }
-    RequestUsHistogram().Record(
-        std::chrono::duration<double, std::micro>(
-            std::chrono::steady_clock::now() - done.start)
-            .count());
+    trace.serialized = std::chrono::steady_clock::now();
+    RequestUsHistogram().Record(std::chrono::duration<double, std::micro>(
+                                    trace.serialized - trace.received)
+                                    .count());
     QueueResponse(conn, frame);
     HandleWritable(conn);
+    // HandleWritable may close the connection (peer gone mid-write);
+    // `conn` must not be touched after it. The trace rides `done`.
+    trace.written = std::chrono::steady_clock::now();
+    FinishRequest(trace);
   }
+}
+
+std::string Server::StatsJson() const {
+  const double uptime_us = std::chrono::duration<double, std::micro>(
+                               std::chrono::steady_clock::now() - start_time_)
+                               .count();
+  std::string out = "{\"server\":{\"impl\":\"tabrep::net\",\"wire_version\":";
+  out += std::to_string(static_cast<int>(kWireVersion));
+  out += ",\"pid\":";
+  out += std::to_string(static_cast<long long>(::getpid()));
+  out += ",\"port\":";
+  out += std::to_string(port_);
+  out += ",\"uptime_us\":";
+  out += obs::JsonNumber(uptime_us);
+  out += ",\"connections\":";
+  out += std::to_string(conns_.size());
+  out += ",\"inflight\":";
+  out += std::to_string(global_inflight_);
+  out += ",\"access_log\":";
+  out += access_log_ != nullptr && access_log_->enabled() ? "true" : "false";
+  out += "},\"metrics\":";
+  // The whole registry — counters, gauges, and the stage histograms
+  // with count/sum, which is what lets statscope and loadgen compute
+  // per-stage delta means between two snapshots.
+  out += obs::Registry::Get().ToJson();
+  out += "}";
+  return out;
+}
+
+std::string Server::HealthJson() const {
+  // Counters are process-wide; on the (test-only) multi-server-per-
+  // process layout the rate aggregates across servers, which is still
+  // the honest overload signal.
+  const uint64_t requests = RequestsCounter().value();
+  const uint64_t shed = ShedCounter().value();
+  const double shed_rate =
+      requests > 0
+          ? static_cast<double>(shed) / static_cast<double>(requests)
+          : 0.0;
+  const double uptime_us = std::chrono::duration<double, std::micro>(
+                               std::chrono::steady_clock::now() - start_time_)
+                               .count();
+  std::string out = "{\"status\":\"ok\",\"queue_depth\":";
+  out += std::to_string(encoder_->queue_depth());
+  out += ",\"inflight\":";
+  out += std::to_string(global_inflight_);
+  out += ",\"connections\":";
+  out += std::to_string(conns_.size());
+  out += ",\"shed_rate\":";
+  out += obs::JsonNumber(shed_rate);
+  out += ",\"uptime_us\":";
+  out += obs::JsonNumber(uptime_us);
+  out += "}";
+  return out;
+}
+
+void Server::FinishRequest(obs::RequestContext& trace) {
+  // Stage histograms are the aggregate latency attribution: only
+  // requests that reached the encoder and succeeded belong there — a
+  // shed's near-zero stages would silently dilute every mean. The
+  // access log is the complete forensic record: every request, every
+  // outcome.
+  if (trace.status == StatusCode::kOk && trace.submitted) {
+    obs::RecordStageMetrics(trace);
+  }
+  if (access_log_ != nullptr) access_log_->Append(trace);
 }
 
 void Server::CloseConnection(uint64_t conn_id) {
@@ -499,8 +640,10 @@ void Server::CompletionLoop() {
     ReadyCompletion done;
     done.conn_id = pending.conn_id;
     done.seq = pending.seq;
-    done.start = pending.start;
     done.result = pending.future.get();
+    // Only after the get(): the dispatcher's stamp writes happen-
+    // before set_value, so moving the trace here is race-free.
+    done.trace = std::move(pending.trace);
     {
       std::lock_guard<std::mutex> lock(completion_mu_);
       ready_.push_back(std::move(done));

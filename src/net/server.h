@@ -29,6 +29,17 @@
 // Counters (tabrep.net.*): connections.accepted, connections.closed,
 // frames.in, responses.out, bytes.in, bytes.out, requests, shed,
 // errors; histogram request.us spans frame-parsed to response-queued.
+//
+// Request observability (ISSUE 7): every encode request carries an
+// obs::RequestContext with monotonic stage stamps (see obs/reqtrace.h
+// for the chain and DESIGN.md for which thread writes which stamp).
+// Successful requests land in the tabrep.serve.stage.*.us histograms;
+// every request (sheds and rejects included) gets one JSONL line in
+// the optional access log. The kStats/kHealth wire messages are
+// answered directly on the event loop — the introspection plane must
+// keep working precisely when the encoder is drowning — so a stats
+// response may overtake pending encode responses on the same
+// connection; encode-vs-encode order is still FIFO.
 
 #include <atomic>
 #include <chrono>
@@ -42,6 +53,7 @@
 #include <unordered_map>
 
 #include "net/wire.h"
+#include "obs/reqtrace.h"
 #include "serve/serve.h"
 
 namespace tabrep::net {
@@ -59,12 +71,17 @@ struct ServerOptions {
   int64_t max_inflight_per_conn = 32;
   /// Largest request payload a client may announce.
   int64_t max_payload_bytes = static_cast<int64_t>(kDefaultMaxPayload);
+  /// JSONL access-log path (obs::AccessLog schema, one line per
+  /// finished request). Empty disables the log — the default, because
+  /// the log writes a line per request from the event loop.
+  std::string access_log_path;
 
-  /// Every field resolved through serve::EnvInt64 (one documented
-  /// defaulting path, same idiom as serve::OptionsFromEnv):
+  /// Every field resolved through serve::EnvInt64 / serve::EnvString
+  /// (one documented defaulting path, same idiom as
+  /// serve::OptionsFromEnv):
   ///   TABREP_NET_PORT, TABREP_NET_BACKLOG, TABREP_NET_MAX_CONNECTIONS,
   ///   TABREP_NET_MAX_QUEUE, TABREP_NET_MAX_INFLIGHT_PER_CONN,
-  ///   TABREP_NET_MAX_PAYLOAD.
+  ///   TABREP_NET_MAX_PAYLOAD, TABREP_NET_ACCESS_LOG.
   static ServerOptions FromEnv();
 };
 
@@ -115,10 +132,14 @@ class Server {
   };
 
   /// One request bridged onto the encoder, waiting for its future.
+  /// The trace is owned here (and by the ReadyCompletion after it):
+  /// the dispatcher holds only a raw pointer and writes its stamps
+  /// before resolving the future, so by the time the completion
+  /// thread's get() returns the trace is quiescent.
   struct PendingCompletion {
     uint64_t conn_id = 0;
     uint32_t seq = 0;
-    std::chrono::steady_clock::time_point start;
+    std::unique_ptr<obs::RequestContext> trace;
     std::future<StatusOr<serve::EncodedTablePtr>> future;
   };
 
@@ -126,7 +147,7 @@ class Server {
   struct ReadyCompletion {
     uint64_t conn_id = 0;
     uint32_t seq = 0;
-    std::chrono::steady_clock::time_point start;
+    std::unique_ptr<obs::RequestContext> trace;
     StatusOr<serve::EncodedTablePtr> result{serve::EncodedTablePtr()};
   };
 
@@ -145,6 +166,14 @@ class Server {
   void MaybeClose(Connection& conn);
   void UpdateEpoll(Connection& conn);
 
+  /// kStats payload: {"server":{...},"metrics":Registry::ToJson()}.
+  /// Event-loop only (reads conns_/global_inflight_ unlocked).
+  std::string StatsJson() const;
+  /// kHealth payload: queue depth, in-flight, shed rate, connections.
+  std::string HealthJson() const;
+  /// Stage histograms (OK requests only) + access log (all requests).
+  void FinishRequest(obs::RequestContext& trace);
+
   serve::BatchedEncoder* encoder_;
   ServerOptions options_;
   uint16_t port_ = 0;
@@ -156,8 +185,12 @@ class Server {
   bool started_ = false;
 
   uint64_t next_conn_id_ = 1;
+  uint64_t next_request_id_ = 1;  // event-loop owned, process-unique
   std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns_;
   int64_t global_inflight_ = 0;  // across all connections
+  std::chrono::steady_clock::time_point start_time_{};
+  /// Null when options_.access_log_path is empty; opened by Start().
+  std::unique_ptr<obs::AccessLog> access_log_;
 
   std::mutex completion_mu_;
   std::condition_variable completion_cv_;

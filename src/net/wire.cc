@@ -170,7 +170,7 @@ StatusOr<bool> FrameDecoder::Next(Frame* out) {
   }
   const uint8_t type = static_cast<uint8_t>(head[5]);
   if (type < static_cast<uint8_t>(MessageType::kEncodeRequest) ||
-      type > static_cast<uint8_t>(MessageType::kPingResponse)) {
+      type > static_cast<uint8_t>(MessageType::kHealthResponse)) {
     error_ = Status::InvalidArgument("unknown frame type " +
                                      std::to_string(type));
     return error_;

@@ -27,6 +27,21 @@
 //                    otherwise: UTF-8 error message bytes
 //   kPingRequest     arbitrary bytes
 //   kPingResponse    the request payload, echoed
+//   kStatsRequest    empty (anything else is a typed kInvalidArgument)
+//   kStatsResponse   status==kOk: UTF-8 JSON — {"server":{...},
+//                    "metrics":Registry::ToJson()}; else error bytes
+//   kHealthRequest   empty (same contract as kStatsRequest)
+//   kHealthResponse  status==kOk: UTF-8 JSON — queue depth, in-flight
+//                    count, shed rate, connections, uptime
+//
+// The stats/health pair was added within version 1: old frames parse
+// unchanged, and an old server answers the unknown type bytes with its
+// sticky "unknown frame type" error rather than misreading them.
+// Both are answered by the server's event loop without touching the
+// encoder, so the health plane stays responsive under overload (see
+// DESIGN.md) — which also means a stats response may overtake encode
+// responses still waiting on inference; per-connection ordering is
+// guaranteed among encode responses only.
 //
 // Responses carry a typed status byte on every frame — overload and
 // malformed input are answers, never dropped connections.
@@ -53,6 +68,10 @@ enum class MessageType : uint8_t {
   kEncodeResponse = 2,
   kPingRequest = 3,
   kPingResponse = 4,
+  kStatsRequest = 5,
+  kStatsResponse = 6,
+  kHealthRequest = 7,
+  kHealthResponse = 8,
 };
 
 /// Encode responses: payload carries a cells tensor after the hidden

@@ -128,6 +128,37 @@ Result<BenchDiffReport> DiffBenchReports(std::string_view old_json,
     }
   }
 
+  // Gauges: {"gauges":{name:value}}. Levels and rates — same relative
+  // threshold as counters, but noisy prefixes get the gauge-sized
+  // absolute slack (a count-sized slack would never gate a fraction).
+  const JsonValue* old_gauges = old_doc->Find("gauges");
+  const JsonValue* new_gauges = new_doc->Find("gauges");
+  if (old_gauges != nullptr && new_gauges != nullptr) {
+    for (const auto& [name, old_v] : old_gauges->members()) {
+      const JsonValue* new_v = new_gauges->Find(name);
+      if (new_v == nullptr) {
+        report.unmatched.push_back("gauge " + name + " (removed)");
+        continue;
+      }
+      double abs_slack = 0.0;
+      for (const std::string& prefix : options.noisy_counter_prefixes) {
+        if (name.rfind(prefix, 0) == 0) {
+          abs_slack = options.noisy_gauge_slack;
+          break;
+        }
+      }
+      Compare("gauge", name, old_v.AsNumber(), new_v->AsNumber(),
+              options.max_counter_regress, /*min_gate=*/0.0, &report.lines,
+              abs_slack);
+    }
+    for (const auto& [name, v] : new_gauges->members()) {
+      (void)v;
+      if (old_gauges->Find(name) == nullptr) {
+        report.unmatched.push_back("gauge " + name + " (new)");
+      }
+    }
+  }
+
   // Histograms: gate p95 (durations in microseconds); report count and
   // mean without gating (count is already covered by counters where it
   // matters; mean shifts show up in p95).

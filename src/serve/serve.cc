@@ -75,6 +75,12 @@ int64_t EnvInt64(const char* name, int64_t fallback) {
   return static_cast<int64_t>(v);
 }
 
+std::string EnvString(const char* name, std::string fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  return env;
+}
+
 BatchedEncoderOptions OptionsFromEnv() {
   BatchedEncoderOptions options;
   options.max_batch = EnvInt64("TABREP_SERVE_MAX_BATCH", options.max_batch);
@@ -167,11 +173,24 @@ BatchedEncoder::~BatchedEncoder() {
 }
 
 std::future<StatusOr<EncodedTablePtr>> BatchedEncoder::Submit(
-    const TokenizedTable& input) {
+    const TokenizedTable& input, obs::RequestContext* trace) {
   RequestsCounter().Increment();
+  if (trace != nullptr) trace->submitted = true;
+  // Fast paths resolve here without ever touching the dispatcher;
+  // stamp the dispatcher triple to "now" so every stage downstream of
+  // the queue reads as ~zero rather than unstamped.
+  const auto StampFastPath = [&trace] {
+    if (trace == nullptr) return;
+    const auto now = obs::RequestContext::Clock::now();
+    trace->dequeued = now;
+    trace->encode_start = now;
+    trace->encode_end = now;
+  };
   const uint64_t key = HashTokenizedTable(input);
   if (EncodedTablePtr cached = cache_.Get(key)) {
     CacheHitCounter().Increment();
+    if (trace != nullptr) trace->cache_hit = true;
+    StampFastPath();
     return ReadyFuture(std::move(cached));
   }
   CacheMissCounter().Increment();
@@ -181,6 +200,7 @@ std::future<StatusOr<EncodedTablePtr>> BatchedEncoder::Submit(
   {
     std::unique_lock<std::mutex> lock(mu_);
     if (stop_) {
+      StampFastPath();
       promise.set_value(
           Status::Cancelled("Submit after BatchedEncoder shutdown"));
       return future;
@@ -191,19 +211,20 @@ std::future<StatusOr<EncodedTablePtr>> BatchedEncoder::Submit(
       // Coalescing adds no encode work, so it bypasses the admission
       // bound.
       CoalescedCounter().Increment();
-      it->second->waiters.push_back(std::move(promise));
+      it->second->waiters.push_back(Waiter{std::move(promise), trace});
       return future;
     }
     if (options_.max_queue > 0 &&
         static_cast<int64_t>(queue_.size()) >= options_.max_queue) {
       ShedCounter().Increment();
+      StampFastPath();
       promise.set_value(Status::Overloaded("encode queue full"));
       return future;
     }
     auto pending = std::make_shared<Pending>();
     pending->key = key;
     pending->table = input;  // the documented copy
-    pending->waiters.push_back(std::move(promise));
+    pending->waiters.push_back(Waiter{std::move(promise), trace});
     inflight_[key] = pending;
     queue_.push_back(std::move(pending));
   }
@@ -213,6 +234,11 @@ std::future<StatusOr<EncodedTablePtr>> BatchedEncoder::Submit(
 
 StatusOr<EncodedTablePtr> BatchedEncoder::Encode(const TokenizedTable& input) {
   return Submit(input).get();
+}
+
+int64_t BatchedEncoder::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(queue_.size());
 }
 
 void BatchedEncoder::DispatcherLoop() {
@@ -242,6 +268,17 @@ void BatchedEncoder::DispatcherLoop() {
       queue_.erase(queue_.begin(), queue_.begin() + n);
     }
 
+    // Stage stamps (ISSUE 7): dequeued -> encode_start is the
+    // batch-wait (linger already happened under the lock; the
+    // dispatch_delay_us stall lands here, which is what the reqtrace
+    // tests measure), encode_start -> encode_end is inference for the
+    // whole batch. Only the dispatcher writes these; waiters read them
+    // after their promise resolves.
+    {
+      const auto now = obs::RequestContext::Clock::now();
+      for (const auto& p : batch) p->dequeued = now;
+    }
+
     if (options_.dispatch_delay_us > 0) {
       std::this_thread::sleep_for(
           std::chrono::microseconds(options_.dispatch_delay_us));
@@ -249,6 +286,13 @@ void BatchedEncoder::DispatcherLoop() {
 
     const int64_t n = static_cast<int64_t>(batch.size());
     batch_size.Record(static_cast<double>(n));
+    {
+      const auto now = obs::RequestContext::Clock::now();
+      for (const auto& p : batch) {
+        p->encode_start = now;
+        p->batch_size = n;
+      }
+    }
     std::vector<EncodedTablePtr> results(static_cast<size_t>(n));
     runtime::ParallelFor(0, n, 1, [&](int64_t lo, int64_t hi) {
       for (int64_t i = lo; i < hi; ++i) {
@@ -269,6 +313,10 @@ void BatchedEncoder::DispatcherLoop() {
       }
     });
     EncodedCounter().Increment(static_cast<uint64_t>(n));
+    {
+      const auto now = obs::RequestContext::Clock::now();
+      for (const auto& p : batch) p->encode_end = now;
+    }
 
     for (int64_t i = 0; i < n; ++i) {
       cache_.Put(batch[static_cast<size_t>(i)]->key,
@@ -278,8 +326,7 @@ void BatchedEncoder::DispatcherLoop() {
     // waiters: once inflight_ no longer holds the key, new Submits for
     // the same table hit the cache (already Put above) instead of
     // attaching to a Pending whose promises are being consumed.
-    std::vector<std::vector<std::promise<StatusOr<EncodedTablePtr>>>> waiters(
-        static_cast<size_t>(n));
+    std::vector<std::vector<Waiter>> waiters(static_cast<size_t>(n));
     {
       std::lock_guard<std::mutex> lock(mu_);
       for (int64_t i = 0; i < n; ++i) {
@@ -289,8 +336,18 @@ void BatchedEncoder::DispatcherLoop() {
       }
     }
     for (int64_t i = 0; i < n; ++i) {
-      for (auto& promise : waiters[static_cast<size_t>(i)]) {
-        promise.set_value(results[static_cast<size_t>(i)]);
+      const Pending& p = *batch[static_cast<size_t>(i)];
+      for (Waiter& waiter : waiters[static_cast<size_t>(i)]) {
+        // Copy the batch stamps into the waiter's trace BEFORE
+        // set_value: the promise/future pair is the happens-before
+        // edge that publishes them to the waiting thread.
+        if (waiter.trace != nullptr) {
+          waiter.trace->dequeued = p.dequeued;
+          waiter.trace->encode_start = p.encode_start;
+          waiter.trace->encode_end = p.encode_end;
+          waiter.trace->batch_size = p.batch_size;
+        }
+        waiter.promise.set_value(results[static_cast<size_t>(i)]);
       }
     }
   }

@@ -35,6 +35,7 @@
 
 #include "common/result.h"
 #include "models/table_encoder.h"
+#include "obs/reqtrace.h"
 
 namespace tabrep::serve {
 
@@ -113,6 +114,11 @@ struct BatchedEncoderOptions {
 /// calls again.
 int64_t EnvInt64(const char* name, int64_t fallback);
 
+/// String-valued companion to EnvInt64 (same defaulting contract:
+/// unset or empty falls back). Used by net::ServerOptions::FromEnv for
+/// the access-log path.
+std::string EnvString(const char* name, std::string fallback);
+
 /// BatchedEncoderOptions with every field resolved from its
 /// environment variable (falling back to the struct defaults):
 ///   TABREP_SERVE_MAX_BATCH    -> max_batch
@@ -142,7 +148,19 @@ class BatchedEncoder {
   ///   Ok(EncodedTablePtr)  — encoded (or served from cache)
   ///   kOverloaded          — the dispatch queue was at max_queue
   ///   kCancelled           — submitted after shutdown began
-  std::future<StatusOr<EncodedTablePtr>> Submit(const TokenizedTable& input);
+  ///
+  /// `trace` (optional) is the request-scoped observability context
+  /// (ISSUE 7): Submit marks it submitted and fills cache_hit; the
+  /// dispatcher stamps dequeued/encode_start/encode_end and batch_size
+  /// before fulfilling the promise, so by the time the future is
+  /// ready the stamps are visible to the caller (the set_value/get
+  /// pair is the synchronizing edge — the caller must not read the
+  /// trace before the future resolves, and must keep it alive until
+  /// then). Fast paths that never reach the dispatcher (cache hit,
+  /// shed, shutdown) stamp the dispatcher triple to the Submit call
+  /// time so the queue/batch/inference stages read as ~zero.
+  std::future<StatusOr<EncodedTablePtr>> Submit(
+      const TokenizedTable& input, obs::RequestContext* trace = nullptr);
 
   /// Blocking convenience wrapper: Submit + wait. Same status
   /// contract, same lifetime contract (the table is copied; safe to
@@ -152,13 +170,32 @@ class BatchedEncoder {
   const EncodeCache& cache() const { return cache_; }
   const BatchedEncoderOptions& options() const { return options_; }
 
+  /// Distinct tables waiting for the dispatcher right now (kHealth
+  /// wire probes report this; it is racy by nature, like any depth).
+  int64_t queue_depth() const;
+
  private:
+  /// One promise waiting on a Pending, plus the trace to stamp (null
+  /// for untraced callers) before that promise is fulfilled.
+  struct Waiter {
+    std::promise<StatusOr<EncodedTablePtr>> promise;
+    obs::RequestContext* trace = nullptr;
+  };
+
   /// One distinct in-flight table; concurrent requests for the same
-  /// key share a Pending (coalescing) and each holds a waiter promise.
+  /// key share a Pending (coalescing) and each holds a waiter. The
+  /// dispatcher records its stage stamps here once per batch and
+  /// copies them into every waiter's trace at fulfillment time (late
+  /// coalescers may attach after dequeue; the copy under mu_ catches
+  /// them all).
   struct Pending {
     uint64_t key = 0;
     TokenizedTable table;  // owned copy of the leader's input
-    std::vector<std::promise<StatusOr<EncodedTablePtr>>> waiters;
+    std::vector<Waiter> waiters;
+    obs::RequestContext::TimePoint dequeued{};
+    obs::RequestContext::TimePoint encode_start{};
+    obs::RequestContext::TimePoint encode_end{};
+    int64_t batch_size = 0;
   };
 
   void DispatcherLoop();
@@ -167,7 +204,7 @@ class BatchedEncoder {
   BatchedEncoderOptions options_;
   EncodeCache cache_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_cv_;  // dispatcher: queue became non-empty
   std::deque<std::shared_ptr<Pending>> queue_;
   std::unordered_map<uint64_t, std::shared_ptr<Pending>> inflight_;

@@ -19,6 +19,7 @@
 #include "net/client.h"
 #include "net/server.h"
 #include "net/wire.h"
+#include "obs/json.h"
 #include "serialize/vocab_builder.h"
 #include "serve/serve.h"
 #include "table/synth.h"
@@ -665,6 +666,184 @@ TEST_F(NetFixture, ServerOptionsFromEnv) {
   unsetenv("TABREP_NET_MAX_INFLIGHT_PER_CONN");
   net::ServerOptions defaults = net::ServerOptions::FromEnv();
   EXPECT_EQ(defaults.max_queue, net::ServerOptions{}.max_queue);
+}
+
+// --- Stats/health introspection plane. ----------------------------------
+
+TEST(WireTypeTest, IntrospectionTypeBytesArePinned) {
+  // Wire contract: the introspection types extend v1 additively and
+  // their bytes are frozen (a future peer must agree on them).
+  EXPECT_EQ(static_cast<uint8_t>(net::MessageType::kStatsRequest), 5);
+  EXPECT_EQ(static_cast<uint8_t>(net::MessageType::kStatsResponse), 6);
+  EXPECT_EQ(static_cast<uint8_t>(net::MessageType::kHealthRequest), 7);
+  EXPECT_EQ(static_cast<uint8_t>(net::MessageType::kHealthResponse), 8);
+}
+
+TEST_F(NetFixture, StatsAndHealthRoundTripUnderLoad) {
+  serve::BatchedEncoder encoder(model_, {});
+  net::Server server(&encoder);
+  ASSERT_TRUE(server.Start().ok());
+  StatusOr<net::Client> client = net::Client::Connect("127.0.0.1",
+                                                      server.port());
+  ASSERT_TRUE(client.ok());
+
+  // Some real traffic first so the metrics plane has content, with a
+  // second connection hammering encodes while we poll — the stats path
+  // must answer on the event loop regardless of encoder state.
+  for (int i = 0; i < 4; ++i) {
+    TokenizedTable t = serializer_->Serialize(corpus_->tables[i]);
+    ASSERT_TRUE(client->Encode(t).ok());
+  }
+  std::thread hammer([&] {
+    StatusOr<net::Client> c2 = net::Client::Connect("127.0.0.1",
+                                                    server.port());
+    if (!c2.ok()) return;
+    for (int i = 0; i < 12; ++i) {
+      (void)c2->Encode(serializer_->Serialize(corpus_->tables[i % 8]));
+    }
+  });
+
+  for (int poll = 0; poll < 3; ++poll) {
+    StatusOr<std::string> stats_json = client->Stats();
+    ASSERT_TRUE(stats_json.ok()) << stats_json.status().ToString();
+    Result<obs::JsonValue> stats = obs::JsonParse(*stats_json);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    const obs::JsonValue* port = stats->Get({"server", "port"});
+    ASSERT_NE(port, nullptr);
+    EXPECT_EQ(static_cast<uint16_t>(port->AsNumber()), server.port());
+    ASSERT_NE(stats->Get({"server", "wire_version"}), nullptr);
+    ASSERT_NE(stats->Get({"server", "uptime_us"}), nullptr);
+    // The embedded registry dump is the same shape statscope parses.
+    const obs::JsonValue* counters = stats->Get({"metrics", "counters"});
+    ASSERT_NE(counters, nullptr);
+    const obs::JsonValue* requests = counters->Find("tabrep.net.requests");
+    ASSERT_NE(requests, nullptr);
+    EXPECT_GE(requests->AsNumber(), 4.0);
+    // Stage histograms carry count+sum (the delta-mean contract).
+    const obs::JsonValue* histograms = stats->Get({"metrics", "histograms"});
+    ASSERT_NE(histograms, nullptr);
+    const obs::JsonValue* queue_h =
+        histograms->Find("tabrep.serve.stage.queue.us");
+    ASSERT_NE(queue_h, nullptr);
+    ASSERT_NE(queue_h->Find("count"), nullptr);
+    ASSERT_NE(queue_h->Find("sum"), nullptr);
+    EXPECT_GE(queue_h->Find("count")->AsNumber(), 1.0);
+
+    StatusOr<std::string> health_json = client->Health();
+    ASSERT_TRUE(health_json.ok()) << health_json.status().ToString();
+    Result<obs::JsonValue> health = obs::JsonParse(*health_json);
+    ASSERT_TRUE(health.ok()) << health.status().ToString();
+    ASSERT_NE(health->Find("status"), nullptr);
+    EXPECT_EQ(health->Find("status")->AsString(), "ok");
+    for (const char* key : {"queue_depth", "inflight", "connections",
+                            "shed_rate", "uptime_us"}) {
+      ASSERT_NE(health->Find(key), nullptr) << key;
+    }
+    EXPECT_GE(health->Find("queue_depth")->AsNumber(), 0.0);
+  }
+  hammer.join();
+}
+
+TEST_F(NetFixture, StatsRequestWithPayloadIsTypedInvalidArgument) {
+  serve::BatchedEncoder encoder(model_, {});
+  net::Server server(&encoder);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Introspection requests carry no payload; a non-empty one must come
+  // back as a typed error on the matching response type, and the
+  // connection must stay usable (same contract as malformed encodes).
+  net::Frame bad;
+  bad.type = net::MessageType::kStatsRequest;
+  bad.seq = 31;
+  bad.payload = "unexpected";
+  const std::string wire = net::EncodeFrame(bad);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  ASSERT_EQ(::send(fd, wire.data(), wire.size(), 0),
+            static_cast<ssize_t>(wire.size()));
+
+  net::FrameDecoder decoder;
+  net::Frame response;
+  bool done = false;
+  while (!done) {
+    char buf[4096];
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    ASSERT_GT(n, 0);
+    decoder.Append(buf, static_cast<size_t>(n));
+    StatusOr<bool> got = decoder.Next(&response);
+    ASSERT_TRUE(got.ok());
+    done = *got;
+  }
+  EXPECT_EQ(response.type, net::MessageType::kStatsResponse);
+  EXPECT_EQ(response.seq, 31u);
+  EXPECT_EQ(response.status, StatusCode::kInvalidArgument);
+
+  // Still alive: a well-formed health request on the same socket works.
+  net::Frame good;
+  good.type = net::MessageType::kHealthRequest;
+  good.seq = 32;
+  const std::string wire2 = net::EncodeFrame(good);
+  ASSERT_EQ(::send(fd, wire2.data(), wire2.size(), 0),
+            static_cast<ssize_t>(wire2.size()));
+  done = false;
+  while (!done) {
+    char buf[4096];
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    ASSERT_GT(n, 0);
+    decoder.Append(buf, static_cast<size_t>(n));
+    StatusOr<bool> got = decoder.Next(&response);
+    ASSERT_TRUE(got.ok());
+    done = *got;
+  }
+  ::close(fd);
+  EXPECT_EQ(response.type, net::MessageType::kHealthResponse);
+  EXPECT_EQ(response.status, StatusCode::kOk);
+  EXPECT_TRUE(obs::JsonParse(response.payload).ok());
+}
+
+TEST_F(NetFixture, PipelinedStatsOvertakesSlowEncodes) {
+  // kStats/kHealth are answered directly on the event loop: a stats
+  // frame pipelined behind slow encode requests comes back FIRST (the
+  // health plane must work while the encoder is saturated), while the
+  // encode responses themselves keep FIFO order.
+  serve::BatchedEncoderOptions eopts;
+  eopts.max_batch = 1;
+  eopts.max_wait_us = 0;
+  eopts.cache_capacity = 0;
+  eopts.dispatch_delay_us = 100000;  // 100ms/batch: encodes are slow
+  serve::BatchedEncoder encoder(model_, eopts);
+  net::Server server(&encoder);
+  ASSERT_TRUE(server.Start().ok());
+  StatusOr<net::Client> client = net::Client::Connect("127.0.0.1",
+                                                      server.port());
+  ASSERT_TRUE(client.ok());
+
+  const uint32_t n = 2;
+  for (uint32_t seq = 1; seq <= n; ++seq) {
+    TokenizedTable t = serializer_->Serialize(corpus_->tables[seq]);
+    ASSERT_TRUE(client->SendEncodeRequest(t, seq).ok());
+  }
+  const uint32_t stats_seq = 99;
+  ASSERT_TRUE(client->SendStatsRequest(stats_seq).ok());
+
+  StatusOr<net::Frame> first = client->ReadAnyFrame();
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->type, net::MessageType::kStatsResponse);
+  EXPECT_EQ(first->seq, stats_seq);
+  EXPECT_TRUE(obs::JsonParse(first->payload).ok());
+
+  for (uint32_t seq = 1; seq <= n; ++seq) {
+    StatusOr<net::EncodeResult> out = client->ReadResponse();
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    EXPECT_EQ(out->seq, seq);  // encode-vs-encode FIFO is preserved
+    EXPECT_TRUE(out->status.ok()) << out->status.ToString();
+  }
 }
 
 TEST_F(NetFixture, StopWhileClientsConnectedIsClean) {

@@ -14,6 +14,9 @@
 //     --noisy-counter-slack=512   absolute growth allowed on tabrep.mem.* /
 //                                 tabrep.serve.* / tabrep.net.* counters
 //                                 before gating
+//     --noisy-gauge-slack=0.2     absolute growth allowed on noisy-prefix
+//                                 gauges (rates/levels, e.g. the bench_s2
+//                                 shed-rate fraction) before gating
 //     --max-lines=20              rendered non-violation rows (0 = all)
 //
 // Exit codes: 0 = no regressions, 1 = regressions found,
@@ -57,7 +60,8 @@ void Usage() {
   std::fprintf(stderr,
                "usage: bench_diff [--max-p95-regress=F] [--max-total-regress=F]"
                " [--max-counter-regress=F] [--min-gate=F]"
-               " [--noisy-counter-slack=F] [--max-lines=N]"
+               " [--noisy-counter-slack=F] [--noisy-gauge-slack=F]"
+               " [--max-lines=N]"
                " OLD.json NEW.json\n");
   std::exit(2);
 }
@@ -83,6 +87,8 @@ int main(int argc, char** argv) {
         ParseDoubleFlag(arg, "--min-gate", &options.min_gate_value) ||
         ParseDoubleFlag(arg, "--noisy-counter-slack",
                         &options.noisy_counter_slack) ||
+        ParseDoubleFlag(arg, "--noisy-gauge-slack",
+                        &options.noisy_gauge_slack) ||
         ParseDoubleFlag(arg, "--max-lines", &max_lines)) {
       continue;
     }

@@ -1,0 +1,36 @@
+# Stage-instrumentation presence gate for the S2 serving bench:
+#   cmake -DREPORT=.../BENCH_s2.json -P bench_stage_gate.cmake
+#
+# Companion to bench_baseline_gate_s2: bench_diff tolerates entries that
+# exist in only one report (new/removed instrumentation is informational
+# there), so a regression that silently stops recording the per-request
+# stage histograms would slip through the counter gate. This check
+# pins the contract directly: the committed BENCH_s2.json must carry a
+# non-empty (count >= 1) histogram for every serving stage the request
+# tracer claims to attribute. The >= 80% coverage property itself is
+# asserted inside bench_s2_net (it needs the live means); this gate
+# guards the committed artifact.
+
+if(NOT DEFINED REPORT)
+  message(FATAL_ERROR "bench_stage_gate: missing -DREPORT=...")
+endif()
+if(NOT EXISTS ${REPORT})
+  message(FATAL_ERROR "bench_stage_gate: ${REPORT} does not exist")
+endif()
+file(READ ${REPORT} report_json)
+
+foreach(stage queue batch inference serialize)
+  set(name "tabrep.serve.stage.${stage}.us")
+  # WriteReport emits {"<name>":{"count":N,...}} with count first; a
+  # non-empty histogram therefore matches count":<nonzero leading digit>.
+  string(REGEX MATCH "\"${name}\":{\"count\":[1-9]" hit "${report_json}")
+  if(hit STREQUAL "")
+    message(FATAL_ERROR
+            "bench_stage_gate: ${REPORT} has no non-empty histogram for "
+            "${name}; the request tracer stopped recording this stage "
+            "(or the baseline predates the stage instrumentation — "
+            "re-record with the record_bench_baseline target)")
+  endif()
+  message(STATUS "bench_stage_gate: ${name} present and non-empty")
+endforeach()
+message(STATUS "bench_stage_gate: OK")

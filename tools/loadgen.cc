@@ -16,7 +16,7 @@
 // Usage:
 //   loadgen --port=PORT [--host=127.0.0.1] [--connections=4]
 //           [--requests=64] [--mode=closed|open] [--rate=200]
-//           [--tables=24]
+//           [--tables=24] [--stats=1]
 //
 //   --requests is per connection; --rate is per connection in req/s
 //   (open mode only). Exit code 0 unless a transport error occurred.
@@ -24,6 +24,15 @@
 // Every response is accounted: the final line reports ok / overloaded /
 // error counts that must sum to the number of requests sent — the
 // zero-silent-drops contract, observable from outside the process.
+//
+// With --stats=1 (the default) loadgen snapshots the server's kStats
+// JSON before and after the run and prints the server-side per-stage
+// latency breakdown for exactly this run's requests (delta means from
+// the stage histograms' count/sum), followed by client-vs-server
+// attribution: how much of the client-observed mean latency the server
+// accounts for, and how much was wire + client scheduling. A server
+// that predates the stats plane just skips the report (never an
+// error).
 
 #include <algorithm>
 #include <atomic>
@@ -31,13 +40,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
 #include "net/client.h"
+#include "obs/json.h"
 #include "serialize/serializer.h"
 #include "serialize/vocab_builder.h"
 #include "table/synth.h"
@@ -54,6 +66,7 @@ struct Options {
   bool open_loop = false;
   double rate = 200.0;   // per connection, open loop only
   int num_tables = 24;
+  int stats = 1;         // fetch kStats before/after, print attribution
 };
 
 bool ParseIntFlag(const char* arg, const char* name, int* out) {
@@ -74,7 +87,7 @@ bool ParseStringFlag(const char* arg, const char* name, std::string* out) {
   std::fprintf(stderr,
                "usage: loadgen --port=PORT [--host=H] [--connections=N]\n"
                "               [--requests=R] [--mode=closed|open]\n"
-               "               [--rate=QPS] [--tables=T]\n");
+               "               [--rate=QPS] [--tables=T] [--stats=0|1]\n");
   std::exit(2);
 }
 
@@ -110,6 +123,78 @@ void Tally(const StatusOr<net::EncodeResult>& result, ConnStats* stats) {
     ++stats->overloaded;
   } else {
     ++stats->app_error;
+  }
+}
+
+/// Cumulative {count, sum} per stage histogram, read off one kStats
+/// snapshot. `ok` is false when the server has no stats plane (old
+/// binary) or the fetch failed — the caller then skips attribution.
+struct StageSnapshot {
+  bool ok = false;
+  std::map<std::string, std::pair<double, double>> count_sum;
+};
+
+StageSnapshot FetchStageSnapshot(const Options& options) {
+  StageSnapshot snap;
+  StatusOr<net::Client> client =
+      net::Client::Connect(options.host, static_cast<uint16_t>(options.port));
+  if (!client.ok()) return snap;
+  StatusOr<std::string> json = client->Stats();
+  if (!json.ok()) return snap;
+  Result<obs::JsonValue> doc = obs::JsonParse(*json);
+  if (!doc.ok()) return snap;
+  const obs::JsonValue* hists = doc->Get({"metrics", "histograms"});
+  if (hists == nullptr) return snap;
+  for (const auto& [name, h] : hists->members()) {
+    if (name.rfind("tabrep.serve.stage.", 0) != 0 &&
+        name != "tabrep.net.request.us") {
+      continue;
+    }
+    const obs::JsonValue* count = h.Find("count");
+    const obs::JsonValue* sum = h.Find("sum");
+    if (count == nullptr || sum == nullptr) continue;
+    snap.count_sum[name] = {count->AsNumber(), sum->AsNumber()};
+  }
+  snap.ok = true;
+  return snap;
+}
+
+/// Server-side view of this run: per-stage delta means between the two
+/// snapshots, then client-vs-server latency attribution.
+void PrintAttribution(const StageSnapshot& before, const StageSnapshot& after,
+                      double client_mean_us) {
+  std::printf("\nserver-side stage breakdown (this run):\n");
+  std::printf("  %-34s %10s %12s\n", "stage", "requests", "mean_us");
+  double stage_mean_total = 0.0;
+  double request_mean = 0.0;
+  for (const auto& [name, cs] : after.count_sum) {
+    const auto it = before.count_sum.find(name);
+    const double c0 = it != before.count_sum.end() ? it->second.first : 0.0;
+    const double s0 = it != before.count_sum.end() ? it->second.second : 0.0;
+    const double dc = cs.first - c0;
+    if (dc <= 0.0) continue;  // stage saw no traffic this run
+    const double mean = (cs.second - s0) / dc;
+    std::printf("  %-34s %10.0f %12.1f\n", name.c_str(), dc, mean);
+    if (name == "tabrep.net.request.us") {
+      request_mean = mean;
+    } else {
+      stage_mean_total += mean;
+    }
+  }
+  if (request_mean > 0.0) {
+    std::printf("  stage sum %.1f us covers %.1f%% of server request mean "
+                "%.1f us\n",
+                stage_mean_total,
+                100.0 * stage_mean_total / request_mean, request_mean);
+  }
+  if (client_mean_us > 0.0 && request_mean > 0.0) {
+    const double overhead = client_mean_us - request_mean;
+    std::printf("client mean %.1f us = server %.1f us (%.1f%%) + wire/client "
+                "%.1f us (%.1f%%)\n",
+                client_mean_us, request_mean,
+                100.0 * request_mean / client_mean_us,
+                overhead > 0.0 ? overhead : 0.0,
+                overhead > 0.0 ? 100.0 * overhead / client_mean_us : 0.0);
   }
 }
 
@@ -193,6 +278,7 @@ int main(int argc, char** argv) {
         ParseIntFlag(arg, "--connections", &options.connections) ||
         ParseIntFlag(arg, "--requests", &options.requests) ||
         ParseIntFlag(arg, "--tables", &options.num_tables) ||
+        ParseIntFlag(arg, "--stats", &options.stats) ||
         ParseStringFlag(arg, "--host", &options.host) ||
         ParseStringFlag(arg, "--mode", &mode)) {
       continue;
@@ -233,6 +319,9 @@ int main(int argc, char** argv) {
               options.connections, options.requests, mode.c_str(),
               options.host.c_str(), options.port);
 
+  const StageSnapshot before =
+      options.stats != 0 ? FetchStageSnapshot(options) : StageSnapshot();
+
   std::vector<ConnStats> stats(static_cast<size_t>(options.connections));
   std::vector<std::thread> threads;
   const double t0 = NowSeconds();
@@ -272,5 +361,18 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(total.overloaded),
               static_cast<unsigned long long>(total.app_error),
               static_cast<unsigned long long>(total.transport_error));
+
+  if (options.stats != 0 && before.ok) {
+    const StageSnapshot after = FetchStageSnapshot(options);
+    if (after.ok) {
+      double client_mean_us = 0.0;
+      if (!latencies.empty()) {
+        double sum = 0.0;
+        for (double v : latencies) sum += v;
+        client_mean_us = sum / static_cast<double>(latencies.size());
+      }
+      PrintAttribution(before, after, client_mean_us);
+    }
+  }
   return total.transport_error == 0 ? 0 : 1;
 }

@@ -1,0 +1,216 @@
+// statscope — live metrics viewer for a running tabrep::net server.
+//
+// Polls the kStats/kHealth wire messages (answered on the server's
+// event loop, so this works even when the encoder is saturated) and
+// renders, per tick:
+//   - the health line (queue depth, in-flight, shed rate);
+//   - a counter table with per-interval deltas;
+//   - the stage-histogram table (tabrep.serve.stage.*.us plus
+//     tabrep.net.request.us): cumulative count/mean/p50/p95/p99 and
+//     the interval mean, computed as (sum2-sum1)/(count2-count1) —
+//     which is why Registry::ToJson carries count and sum.
+//
+// Usage:
+//   statscope --port=PORT [--host=127.0.0.1] [--interval-ms=1000]
+//             [--count=1] [--prefix=tabrep.]
+//
+//   --count=N polls N times (0 = until interrupted). Exit code 0 on
+//   success, 1 on transport/parse failure.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "common/result.h"
+#include "net/client.h"
+#include "obs/json.h"
+
+namespace {
+
+using namespace tabrep;
+
+struct Options {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  int interval_ms = 1000;
+  int count = 1;
+  std::string prefix = "tabrep.";
+};
+
+bool ParseIntFlag(const char* arg, const char* name, int* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = std::atoi(arg + len + 1);
+  return true;
+}
+
+bool ParseStringFlag(const char* arg, const char* name, std::string* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = arg + len + 1;
+  return true;
+}
+
+[[noreturn]] void Usage() {
+  std::fprintf(stderr,
+               "usage: statscope --port=PORT [--host=H] [--interval-ms=MS]\n"
+               "                 [--count=N] [--prefix=P]\n");
+  std::exit(2);
+}
+
+/// The prior tick's cumulative state, for deltas.
+struct Snapshot {
+  std::map<std::string, double> counters;
+  std::map<std::string, std::pair<double, double>> hist_count_sum;
+};
+
+bool IsStageHistogram(const std::string& name) {
+  return name.rfind("tabrep.serve.stage.", 0) == 0 ||
+         name == "tabrep.net.request.us";
+}
+
+void PrintHealth(const obs::JsonValue& health) {
+  const obs::JsonValue* queue = health.Find("queue_depth");
+  const obs::JsonValue* inflight = health.Find("inflight");
+  const obs::JsonValue* conns = health.Find("connections");
+  const obs::JsonValue* shed = health.Find("shed_rate");
+  std::printf("health: queue_depth %.0f  inflight %.0f  connections %.0f  "
+              "shed_rate %.4f\n",
+              queue != nullptr ? queue->AsNumber() : 0.0,
+              inflight != nullptr ? inflight->AsNumber() : 0.0,
+              conns != nullptr ? conns->AsNumber() : 0.0,
+              shed != nullptr ? shed->AsNumber() : 0.0);
+}
+
+void PrintTick(const obs::JsonValue& stats, const obs::JsonValue& health,
+               const Options& options, const Snapshot* prev, Snapshot* next) {
+  const obs::JsonValue* server = stats.Find("server");
+  if (server != nullptr) {
+    const obs::JsonValue* port = server->Find("port");
+    const obs::JsonValue* uptime = server->Find("uptime_us");
+    const obs::JsonValue* conns = server->Find("connections");
+    std::printf("server: port %.0f  uptime %.1f s  connections %.0f\n",
+                port != nullptr ? port->AsNumber() : 0.0,
+                (uptime != nullptr ? uptime->AsNumber() : 0.0) / 1e6,
+                conns != nullptr ? conns->AsNumber() : 0.0);
+  }
+  PrintHealth(health);
+
+  const obs::JsonValue* counters = stats.Get({"metrics", "counters"});
+  if (counters != nullptr) {
+    std::printf("%-44s %14s %12s\n", "counter", "value", "delta");
+    for (const auto& [name, value] : counters->members()) {
+      if (name.rfind(options.prefix, 0) != 0) continue;
+      const double v = value.AsNumber();
+      next->counters[name] = v;
+      if (prev != nullptr) {
+        const auto it = prev->counters.find(name);
+        const double d = v - (it != prev->counters.end() ? it->second : 0.0);
+        std::printf("%-44s %14.0f %+12.0f\n", name.c_str(), v, d);
+      } else {
+        std::printf("%-44s %14.0f %12s\n", name.c_str(), v, "-");
+      }
+    }
+  }
+
+  const obs::JsonValue* histograms = stats.Get({"metrics", "histograms"});
+  if (histograms != nullptr) {
+    std::printf("%-34s %10s %10s %10s %10s %10s %12s\n", "stage histogram",
+                "count", "mean_us", "p50", "p95", "p99", "interval_mean");
+    for (const auto& [name, h] : histograms->members()) {
+      if (!IsStageHistogram(name)) continue;
+      const obs::JsonValue* count = h.Find("count");
+      const obs::JsonValue* sum = h.Find("sum");
+      const obs::JsonValue* mean = h.Find("mean");
+      const obs::JsonValue* p50 = h.Find("p50");
+      const obs::JsonValue* p95 = h.Find("p95");
+      const obs::JsonValue* p99 = h.Find("p99");
+      const double c = count != nullptr ? count->AsNumber() : 0.0;
+      const double s = sum != nullptr ? sum->AsNumber() : 0.0;
+      next->hist_count_sum[name] = {c, s};
+      std::string interval = "-";
+      if (prev != nullptr) {
+        const auto it = prev->hist_count_sum.find(name);
+        const double pc = it != prev->hist_count_sum.end() ? it->second.first
+                                                          : 0.0;
+        const double ps = it != prev->hist_count_sum.end() ? it->second.second
+                                                           : 0.0;
+        if (c > pc) {
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), "%.1f", (s - ps) / (c - pc));
+          interval = buf;
+        }
+      }
+      std::printf("%-34s %10.0f %10.1f %10.1f %10.1f %10.1f %12s\n",
+                  name.c_str(), c, mean != nullptr ? mean->AsNumber() : 0.0,
+                  p50 != nullptr ? p50->AsNumber() : 0.0,
+                  p95 != nullptr ? p95->AsNumber() : 0.0,
+                  p99 != nullptr ? p99->AsNumber() : 0.0, interval.c_str());
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (ParseIntFlag(arg, "--port", &options.port) ||
+        ParseIntFlag(arg, "--interval-ms", &options.interval_ms) ||
+        ParseIntFlag(arg, "--count", &options.count) ||
+        ParseStringFlag(arg, "--host", &options.host) ||
+        ParseStringFlag(arg, "--prefix", &options.prefix)) {
+      continue;
+    }
+    std::fprintf(stderr, "statscope: unknown flag '%s'\n", arg);
+    Usage();
+  }
+  if (options.port <= 0) Usage();
+
+  StatusOr<net::Client> client =
+      net::Client::Connect(options.host, static_cast<uint16_t>(options.port));
+  if (!client.ok()) {
+    std::fprintf(stderr, "statscope: %s\n", client.status().ToString().c_str());
+    return 1;
+  }
+
+  Snapshot prev, next;
+  bool have_prev = false;
+  for (int tick = 0; options.count <= 0 || tick < options.count; ++tick) {
+    if (tick > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options.interval_ms));
+      std::printf("\n");
+    }
+    StatusOr<std::string> stats_json = client->Stats();
+    if (!stats_json.ok()) {
+      std::fprintf(stderr, "statscope: stats: %s\n",
+                   stats_json.status().ToString().c_str());
+      return 1;
+    }
+    StatusOr<std::string> health_json = client->Health();
+    if (!health_json.ok()) {
+      std::fprintf(stderr, "statscope: health: %s\n",
+                   health_json.status().ToString().c_str());
+      return 1;
+    }
+    Result<obs::JsonValue> stats = obs::JsonParse(*stats_json);
+    Result<obs::JsonValue> health = obs::JsonParse(*health_json);
+    if (!stats.ok() || !health.ok()) {
+      std::fprintf(stderr, "statscope: server sent unparsable JSON\n");
+      return 1;
+    }
+    next = Snapshot();
+    PrintTick(*stats, *health, options, have_prev ? &prev : nullptr, &next);
+    prev = std::move(next);
+    have_prev = true;
+    std::fflush(stdout);
+  }
+  return 0;
+}
