@@ -29,7 +29,16 @@
 // serialize}.us must cover >= 80% of mean tabrep.net.request.us, i.e.
 // the per-stage breakdown accounts for where server-side latency
 // actually goes rather than leaving it in an unattributed gap.
+//
+// Phase (b) additionally runs under a bench-owned obs::WindowedRegistry
+// ticked at ~10 Hz (ISSUE 8): after the load drains, the windowed
+// request count must equal the phase's request count exactly and the
+// windowed p99 must agree with the cumulative p99 within log-bucket
+// tolerance. The window rides into BENCH_s2.json as the trailing
+// "window" section, where bench_stage_gate.cmake pins its p99 fields.
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -40,6 +49,7 @@
 #include "net/client.h"
 #include "net/server.h"
 #include "obs/metrics.h"
+#include "obs/window.h"
 #include "serve/serve.h"
 
 using namespace tabrep;
@@ -106,6 +116,14 @@ int main() {
       obs::Registry::Get().histogram("tabrep.net.bench.request.us");
   double load_sec = 0.0;
   int64_t load_requests = 0;
+  // Windowed view of the steady-load phase (ISSUE 8): a bench-owned
+  // ring ticked at ~10 Hz while the load runs. Constructed here — after
+  // phase (a) — so its baseline excludes the parity traffic and the
+  // merged window describes exactly the phase-(b) population. The ring
+  // is long enough that no phase-(b) slot ever rotates out.
+  obs::WindowOptions window_opts;
+  window_opts.window_secs = 512;
+  obs::WindowedRegistry window(window_opts);
   {
     serve::BatchedEncoderOptions eopts;
     eopts.max_batch = 8;
@@ -114,6 +132,14 @@ int main() {
     serve::BatchedEncoder encoder(&model, eopts);
     net::Server server(&encoder);
     TABREP_CHECK(server.Start().ok());
+
+    std::atomic<bool> ticker_stop{false};
+    std::thread ticker([&] {
+      while (!ticker_stop.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        window.Tick();
+      }
+    });
 
     const int64_t num_conns = 4;
     const int64_t rounds = BenchSteps(12, 2);
@@ -143,6 +169,9 @@ int main() {
     }
     for (std::thread& t : conns) t.join();
     load_sec = NowSeconds() - t0;
+    ticker_stop.store(true, std::memory_order_relaxed);
+    ticker.join();
+    window.Tick();  // close the final partial slot
     for (int64_t f : failures) TABREP_CHECK(f == 0) << f << " failures";
   }
   const obs::HistogramStats rs = request_us.Stats();
@@ -157,6 +186,37 @@ int main() {
   std::printf("  latency: p50 %s us  p95 %s us  p99 %s us\n",
               Fmt(rs.p50, 1).c_str(), Fmt(rs.p95, 1).c_str(),
               Fmt(rs.p99, 1).c_str());
+
+  // Windowed-vs-cumulative agreement (ISSUE 8 acceptance): merging the
+  // per-slot ring must reproduce the cumulative percentile up to
+  // log-bucket resolution. The window saw exactly the phase-(b)
+  // server-side requests (its baseline was taken after phase (a), its
+  // final tick after the load joined), so the count pins the
+  // snapshot-difference bookkeeping exactly; the p99s come from the
+  // same power-of-two buckets, so they agree within the 2x bucket
+  // width on each side (factor-4 tolerance overall — the cumulative
+  // histogram additionally clamps to observed extremes and includes
+  // the few phase-(a) parity requests).
+  {
+    obs::WindowedHistogramStats wreq;
+    TABREP_CHECK(window.HistogramWindow("tabrep.net.request.us", &wreq))
+        << "window never saw tabrep.net.request.us";
+    TABREP_CHECK(static_cast<int64_t>(wreq.count) == load_requests)
+        << "window count " << wreq.count << " != phase-(b) requests "
+        << load_requests;
+    const obs::HistogramStats cum =
+        obs::Registry::Get().histogram("tabrep.net.request.us").Stats();
+    std::printf("  window: %lld requests over %s s  p50 %s us  p99 %s us  "
+                "(cumulative p99 %s us)\n",
+                static_cast<long long>(wreq.count),
+                Fmt(window.covered_secs()).c_str(), Fmt(wreq.p50, 1).c_str(),
+                Fmt(wreq.p99, 1).c_str(), Fmt(cum.p99, 1).c_str());
+    TABREP_CHECK(wreq.p99 > 0.0);
+    TABREP_CHECK(wreq.p99 >= cum.p99 * 0.25 && wreq.p99 <= cum.p99 * 4.0)
+        << "windowed p99 " << wreq.p99
+        << " disagrees with cumulative p99 " << cum.p99
+        << " beyond log-bucket tolerance";
+  }
 
   // --- (c) Deterministic overload: typed sheds, zero silent drops. ------
   int64_t shed_ok = 0, shed_overloaded = 0, shed_other = 0;
@@ -269,6 +329,8 @@ int main() {
               "sheds with typed kOverloaded and every request is "
               "answered.\n");
   std::printf("\nbench_s2: OK\n");
-  WriteBenchObsReport("s2");
+  // The steady-load window rides along as the report's trailing
+  // "window" section; bench_stage_gate.cmake pins its p99 fields.
+  WriteBenchObsReport("s2", window.ToJson());
   return 0;
 }

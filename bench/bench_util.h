@@ -135,15 +135,19 @@ inline void EnableBenchObs() {
 /// Dumps the machine-readable observability artifacts for a bench:
 ///   BENCH_<id>.json       — metrics registry + per-op profile
 ///   BENCH_<id>.trace.json — chrome://tracing timeline (if tracing ran)
-/// and prints the aggregated per-op profile table.
-inline void WriteBenchObsReport(const char* id) {
+/// and prints the aggregated per-op profile table. A non-empty
+/// `window_json` (obs::WindowedRegistry::ToJson()) lands as the
+/// report's trailing "window" section (bench_s2_net passes its
+/// steady-load window so bench_stage_gate can pin windowed p99s).
+inline void WriteBenchObsReport(const char* id,
+                                const std::string& window_json = "") {
   const std::string profile = obs::ProfileTableText();
   if (!profile.empty()) {
     std::printf("\nPer-op profile (self = excluding nested spans):\n%s",
                 profile.c_str());
   }
   const std::string report_path = std::string("BENCH_") + id + ".json";
-  Status s = obs::WriteReport(id, report_path);
+  Status s = obs::WriteReport(id, report_path, window_json);
   if (s.ok()) {
     std::printf("\nobs report: %s\n", report_path.c_str());
   } else {

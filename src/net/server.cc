@@ -8,6 +8,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <string>
@@ -17,6 +18,7 @@
 #include "common/logging.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "tensor/arena.h"
 
 namespace tabrep::net {
 
@@ -105,6 +107,15 @@ ServerOptions ServerOptions::FromEnv() {
       serve::EnvInt64("TABREP_NET_MAX_PAYLOAD", options.max_payload_bytes);
   options.access_log_path =
       serve::EnvString("TABREP_NET_ACCESS_LOG", options.access_log_path);
+  options.watchdog =
+      serve::EnvInt64("TABREP_NET_WATCHDOG", options.watchdog ? 1 : 0) != 0;
+  options.window_secs =
+      serve::EnvInt64("TABREP_WINDOW_SECS", options.window_secs);
+  options.watchdog_interval_ms = serve::EnvInt64(
+      "TABREP_WATCHDOG_INTERVAL_MS", options.watchdog_interval_ms);
+  options.watchdog_deadman_ms = serve::EnvInt64(
+      "TABREP_WATCHDOG_DEADMAN_MS", options.watchdog_deadman_ms);
+  options.slo = obs::SloConfig::FromEnv();
   return options;
 }
 
@@ -164,6 +175,45 @@ Status Server::Start() {
     access_log_ = std::make_unique<obs::AccessLog>(options_.access_log_path);
   }
 
+  if (options_.watchdog) {
+    obs::WindowOptions wopts;
+    wopts.window_secs = static_cast<int>(options_.window_secs);
+    window_ = std::make_unique<obs::WindowedRegistry>(wopts);
+
+    obs::WatchdogOptions wd;
+    wd.interval_ms = static_cast<int>(options_.watchdog_interval_ms);
+    wd.deadman_ms = static_cast<int>(options_.watchdog_deadman_ms);
+    wd.slo = options_.slo;
+    watchdog_ = std::make_unique<obs::Watchdog>(wd, window_.get());
+    // The watchdog layer is generic (obs knows nothing about serve or
+    // net); the server wires the concrete loops and probes here. Probe
+    // samples surface only in the health verdict, never the Registry —
+    // they are machine- and moment-dependent, and the bench baseline
+    // gate diffs Registry values across runs.
+    watchdog_->WatchHeartbeat("event_loop", &loop_heartbeat_);
+    watchdog_->WatchHeartbeat("dispatcher", &encoder_->heartbeat());
+    watchdog_->AddProbe("queue_depth", [this] {
+      return static_cast<double>(encoder_->queue_depth());
+    });
+    watchdog_->AddProbe("inflight", [this] {
+      return static_cast<double>(
+          global_inflight_.load(std::memory_order_relaxed));
+    });
+    watchdog_->AddProbe("rss_bytes", [] {
+      return static_cast<double>(obs::ProcessRssBytes());
+    });
+    watchdog_->AddProbe("arena_reserved_bytes", [] {
+      return obs::Registry::Get()
+          .gauge("tabrep.mem.arena.reserved_bytes")
+          .value();
+    });
+    watchdog_->AddProbe("pool_cached_bytes", [] {
+      return static_cast<double>(mem::TensorPool::CachedFloats()) *
+             static_cast<double>(sizeof(float));
+    });
+    watchdog_->Start();
+  }
+
   started_ = true;
   loop_thread_ = std::thread([this] { EventLoop(); });
   completion_thread_ = std::thread([this] { CompletionLoop(); });
@@ -189,6 +239,23 @@ void Server::Stop() {
   }
   completion_cv_.notify_all();
   completion_thread_.join();
+  // Completions the loop abandoned still own traces the dispatcher
+  // may be stamping (it holds raw pointers and writes before
+  // resolving each future). Wait on the futures — resolution
+  // happens-after the stamp writes — so dropping the traces below
+  // cannot free memory under the dispatcher's pen.
+  for (PendingCompletion& pending : pending_) {
+    if (pending.future.valid()) pending.future.wait();
+  }
+  pending_.clear();
+  ready_.clear();
+  // Watchdog before window: the watchdog thread ticks the window.
+  watchdog_.reset();
+  window_.reset();
+  // Force the access-log tail to disk (fflush + fsync) so a process
+  // kill right after shutdown loses no lines; the object stays alive
+  // so late FinishRequest callers during a future Start reuse it.
+  if (access_log_ != nullptr) access_log_->Flush();
   ::close(listen_fd_);
   ::close(epoll_fd_);
   ::close(wake_fd_);
@@ -199,10 +266,20 @@ void Server::Stop() {
 
 void Server::EventLoop() {
   std::vector<epoll_event> events(64);
+  // Bounded poll instead of blocking forever: the loop must beat its
+  // heartbeat even when idle, else the watchdog's deadman would read
+  // an idle server as a stalled one. With the watchdog on, the poll
+  // tracks its interval (floored at 10ms) so heartbeat lag stays well
+  // under any usable deadman.
+  const int timeout_ms =
+      options_.watchdog
+          ? std::clamp(static_cast<int>(options_.watchdog_interval_ms), 10,
+                       100)
+          : 100;
   while (true) {
-    const int n =
-        ::epoll_wait(epoll_fd_, events.data(), static_cast<int>(events.size()),
-                     /*timeout_ms=*/-1);
+    const int n = ::epoll_wait(epoll_fd_, events.data(),
+                               static_cast<int>(events.size()), timeout_ms);
+    loop_heartbeat_.Beat();
     if (n < 0) {
       if (errno == EINTR) continue;
       TABREP_LOG(Error) << "epoll_wait: " << std::strerror(errno);
@@ -420,7 +497,8 @@ void Server::HandleFrame(Connection& conn, Frame frame) {
     FinishRequest(*trace);
     return;
   }
-  if (global_inflight_ >= options_.max_queue) {
+  if (global_inflight_.load(std::memory_order_relaxed) >=
+      options_.max_queue) {
     ShedCounter().Increment();
     trace->status = StatusCode::kOverloaded;
     QueueResponse(conn, ErrorFrame(MessageType::kEncodeResponse, frame.seq,
@@ -454,7 +532,7 @@ void Server::HandleFrame(Connection& conn, Frame frame) {
   pending.future = encoder_->Submit(*table, trace.get());
   pending.trace = std::move(trace);
   conn.inflight += 1;
-  global_inflight_ += 1;
+  global_inflight_.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(completion_mu_);
     pending_.push_back(std::move(pending));
@@ -497,7 +575,7 @@ void Server::DrainCompletions() {
     ready.swap(ready_);
   }
   for (ReadyCompletion& done : ready) {
-    global_inflight_ -= 1;
+    global_inflight_.fetch_sub(1, std::memory_order_relaxed);
     // Every PendingCompletion carries a trace; by now the dispatcher
     // has resolved the future, so its stamps are quiescent and this
     // thread owns the context.
@@ -552,7 +630,7 @@ std::string Server::StatsJson() const {
   out += ",\"connections\":";
   out += std::to_string(conns_.size());
   out += ",\"inflight\":";
-  out += std::to_string(global_inflight_);
+  out += std::to_string(global_inflight_.load(std::memory_order_relaxed));
   out += ",\"access_log\":";
   out += access_log_ != nullptr && access_log_->enabled() ? "true" : "false";
   out += "},\"metrics\":";
@@ -560,6 +638,12 @@ std::string Server::StatsJson() const {
   // with count/sum, which is what lets statscope and loadgen compute
   // per-stage delta means between two snapshots.
   out += obs::Registry::Get().ToJson();
+  // Additive within wire v1 (ISSUE 8): the sliding-window view, so
+  // clients get last-N-seconds rates and percentiles straight from
+  // the server instead of reconstructing deltas poll-to-poll. Empty
+  // object with the watchdog disabled.
+  out += ",\"window\":";
+  out += window_ != nullptr ? window_->ToJson() : "{}";
   out += "}";
   return out;
 }
@@ -577,16 +661,32 @@ std::string Server::HealthJson() const {
   const double uptime_us = std::chrono::duration<double, std::micro>(
                                std::chrono::steady_clock::now() - start_time_)
                                .count();
-  std::string out = "{\"status\":\"ok\",\"queue_depth\":";
+  // With the watchdog running, "status" carries its verdict — stall
+  // deadman plus SLO evaluation — instead of the static "ok".
+  std::string out = "{\"status\":\"";
+  if (watchdog_ != nullptr) {
+    out += obs::HealthLevelName(watchdog_->verdict().level);
+  } else {
+    out += "ok";
+  }
+  out += "\",\"queue_depth\":";
   out += std::to_string(encoder_->queue_depth());
   out += ",\"inflight\":";
-  out += std::to_string(global_inflight_);
+  out += std::to_string(global_inflight_.load(std::memory_order_relaxed));
   out += ",\"connections\":";
   out += std::to_string(conns_.size());
   out += ",\"shed_rate\":";
   out += obs::JsonNumber(shed_rate);
   out += ",\"uptime_us\":";
   out += obs::JsonNumber(uptime_us);
+  if (watchdog_ != nullptr) {
+    // Additive within wire v1 (ISSUE 8): the full verdict — reasons,
+    // windowed p99/shed vs their SLO targets, probe samples, and
+    // per-loop heartbeat lag.
+    out += ",\"slo\":";
+    out += obs::HealthVerdictJson(watchdog_->verdict(),
+                                  watchdog_->options().slo);
+  }
   out += "}";
   return out;
 }
@@ -630,7 +730,7 @@ void Server::CompletionLoop() {
       std::unique_lock<std::mutex> lock(completion_mu_);
       completion_cv_.wait(lock,
                           [&] { return completion_stop_ || !pending_.empty(); });
-      if (completion_stop_) return;  // abandoned futures resolve harmlessly
+      if (completion_stop_) return;  // Stop() drains abandoned futures
       pending = std::move(pending_.front());
       pending_.pop_front();
     }

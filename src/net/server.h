@@ -54,6 +54,8 @@
 
 #include "net/wire.h"
 #include "obs/reqtrace.h"
+#include "obs/watchdog.h"
+#include "obs/window.h"
 #include "serve/serve.h"
 
 namespace tabrep::net {
@@ -76,12 +78,27 @@ struct ServerOptions {
   /// the log writes a line per request from the event loop.
   std::string access_log_path;
 
+  /// Runtime self-observability (ISSUE 8). When true, Start() spins up
+  /// a WindowedRegistry (ticked once per watchdog interval) plus an
+  /// obs::Watchdog that checks the event-loop and dispatcher
+  /// heartbeats against the deadman, samples runtime probes (queue
+  /// depth, inflight, RSS, arena/pool bytes), and evaluates `slo` into
+  /// the verdict served by kHealth.
+  bool watchdog = true;
+  int64_t window_secs = 10;
+  int64_t watchdog_interval_ms = 1000;
+  int64_t watchdog_deadman_ms = 5000;
+  obs::SloConfig slo;  ///< zero targets = SLO checks disabled
+
   /// Every field resolved through serve::EnvInt64 / serve::EnvString
   /// (one documented defaulting path, same idiom as
   /// serve::OptionsFromEnv):
   ///   TABREP_NET_PORT, TABREP_NET_BACKLOG, TABREP_NET_MAX_CONNECTIONS,
   ///   TABREP_NET_MAX_QUEUE, TABREP_NET_MAX_INFLIGHT_PER_CONN,
-  ///   TABREP_NET_MAX_PAYLOAD, TABREP_NET_ACCESS_LOG.
+  ///   TABREP_NET_MAX_PAYLOAD, TABREP_NET_ACCESS_LOG,
+  ///   TABREP_NET_WATCHDOG (0 disables), TABREP_WINDOW_SECS,
+  ///   TABREP_WATCHDOG_INTERVAL_MS, TABREP_WATCHDOG_DEADMAN_MS,
+  ///   TABREP_SLO_P99_US, TABREP_SLO_SHED_RATE.
   static ServerOptions FromEnv();
 };
 
@@ -166,10 +183,13 @@ class Server {
   void MaybeClose(Connection& conn);
   void UpdateEpoll(Connection& conn);
 
-  /// kStats payload: {"server":{...},"metrics":Registry::ToJson()}.
-  /// Event-loop only (reads conns_/global_inflight_ unlocked).
+  /// kStats payload: {"server":{...},"metrics":Registry::ToJson(),
+  /// "window":WindowedRegistry::ToJson()} (window is {} with the
+  /// watchdog disabled). Event-loop only (reads conns_ unlocked).
   std::string StatsJson() const;
-  /// kHealth payload: queue depth, in-flight, shed rate, connections.
+  /// kHealth payload: watchdog verdict status, queue depth, in-flight,
+  /// shed rate, connections, plus an additive "slo" section with the
+  /// machine-readable reasons (absent with the watchdog disabled).
   std::string HealthJson() const;
   /// Stage histograms (OK requests only) + access log (all requests).
   void FinishRequest(obs::RequestContext& trace);
@@ -187,10 +207,20 @@ class Server {
   uint64_t next_conn_id_ = 1;
   uint64_t next_request_id_ = 1;  // event-loop owned, process-unique
   std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns_;
-  int64_t global_inflight_ = 0;  // across all connections
+  /// Across all connections. Written by the event loop only; atomic so
+  /// the watchdog's inflight probe may read it cross-thread.
+  std::atomic<int64_t> global_inflight_{0};
   std::chrono::steady_clock::time_point start_time_{};
   /// Null when options_.access_log_path is empty; opened by Start().
   std::unique_ptr<obs::AccessLog> access_log_;
+
+  /// Event-loop liveness beacon: beaten once per epoll wakeup (the
+  /// loop polls with a bounded timeout, so beats flow even when idle).
+  obs::Heartbeat loop_heartbeat_{"tabrep.net.loop.heartbeat.us"};
+  /// Both null when options_.watchdog is false; created by Start(),
+  /// torn down by Stop(). The watchdog references the window.
+  std::unique_ptr<obs::WindowedRegistry> window_;
+  std::unique_ptr<obs::Watchdog> watchdog_;
 
   std::mutex completion_mu_;
   std::condition_variable completion_cv_;

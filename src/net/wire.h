@@ -29,14 +29,20 @@
 //   kPingResponse    the request payload, echoed
 //   kStatsRequest    empty (anything else is a typed kInvalidArgument)
 //   kStatsResponse   status==kOk: UTF-8 JSON — {"server":{...},
-//                    "metrics":Registry::ToJson()}; else error bytes
+//                    "metrics":Registry::ToJson(),"window":
+//                    WindowedRegistry::ToJson()}; else error bytes
 //   kHealthRequest   empty (same contract as kStatsRequest)
-//   kHealthResponse  status==kOk: UTF-8 JSON — queue depth, in-flight
-//                    count, shed rate, connections, uptime
+//   kHealthResponse  status==kOk: UTF-8 JSON — watchdog verdict
+//                    status (ok|degraded|critical), queue depth,
+//                    in-flight count, shed rate, connections, uptime,
+//                    and an "slo" section with machine-readable
+//                    reasons, probe samples, and heartbeat lag
 //
 // The stats/health pair was added within version 1: old frames parse
 // unchanged, and an old server answers the unknown type bytes with its
-// sticky "unknown frame type" error rather than misreading them.
+// sticky "unknown frame type" error rather than misreading them. The
+// "window" and "slo" sections (ISSUE 8) are likewise additive within
+// version 1 — clients that predate them ignore unknown keys.
 // Both are answered by the server's event loop without touching the
 // encoder, so the health plane stays responsive under overload (see
 // DESIGN.md) — which also means a stats response may overtake encode

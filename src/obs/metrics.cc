@@ -8,19 +8,17 @@
 
 namespace tabrep::obs {
 
-namespace {
-
-/// Bucket b holds values in [2^(b-17), 2^(b-16)); out-of-range values
-/// clamp to the end buckets. Non-positive values land in bucket 0.
-int BucketIndex(double value) {
+int Histogram::BucketIndex(double value) {
   if (!(value > 0.0) || !std::isfinite(value)) return 0;
   int exp = 0;
   std::frexp(value, &exp);  // value = m * 2^exp, m in [0.5, 1)
   return std::clamp(exp + 16, 0, Histogram::kNumBuckets - 1);
 }
 
-double BucketLower(int b) { return std::ldexp(1.0, b - 17); }
-double BucketUpper(int b) { return std::ldexp(1.0, b - 16); }
+double Histogram::BucketLowerBound(int b) { return std::ldexp(1.0, b - 17); }
+double Histogram::BucketUpperBound(int b) { return std::ldexp(1.0, b - 16); }
+
+namespace {
 
 void AtomicMin(std::atomic<double>& slot, double v) {
   double cur = slot.load(std::memory_order_relaxed);
@@ -57,25 +55,33 @@ void Histogram::Reset() {
              std::memory_order_relaxed);
 }
 
-HistogramStats Histogram::Stats() const {
-  HistogramStats stats;
-  uint64_t counts[kNumBuckets];
-  uint64_t total = 0;
+void Histogram::SnapshotBuckets(uint64_t (&out)[kNumBuckets]) const {
   for (int b = 0; b < kNumBuckets; ++b) {
-    counts[b] = buckets_[b].load(std::memory_order_relaxed);
-    total += counts[b];
+    out[b] = buckets_[b].load(std::memory_order_relaxed);
   }
+}
+
+HistogramStats StatsFromBucketCounts(
+    const uint64_t (&counts)[Histogram::kNumBuckets], double sum, double min,
+    double max) {
+  HistogramStats stats;
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
   if (total == 0) return stats;
   stats.count = total;
-  stats.sum = sum_.load(std::memory_order_relaxed);
-  stats.mean = stats.sum / static_cast<double>(total);
-  stats.min = min_.load(std::memory_order_relaxed);
-  stats.max = max_.load(std::memory_order_relaxed);
+  stats.sum = sum;
+  stats.mean = sum / static_cast<double>(total);
+  // Unknown extremes (inf sentinels) fall back to the end buckets'
+  // bounds so the percentile clamp below stays a no-op.
+  stats.min = std::isfinite(min) ? min : Histogram::BucketLowerBound(0);
+  stats.max = std::isfinite(max)
+                  ? max
+                  : Histogram::BucketUpperBound(Histogram::kNumBuckets - 1);
 
   const auto percentile = [&](double p) {
     const double target = p * static_cast<double>(total);
     uint64_t seen = 0;
-    for (int b = 0; b < kNumBuckets; ++b) {
+    for (int b = 0; b < Histogram::kNumBuckets; ++b) {
       if (counts[b] == 0) continue;
       const double next = static_cast<double>(seen + counts[b]);
       if (next >= target) {
@@ -84,8 +90,9 @@ HistogramStats Histogram::Stats() const {
         const double frac =
             (target - static_cast<double>(seen)) /
             static_cast<double>(counts[b]);
-        const double v = BucketLower(b) +
-                         frac * (BucketUpper(b) - BucketLower(b));
+        const double v = Histogram::BucketLowerBound(b) +
+                         frac * (Histogram::BucketUpperBound(b) -
+                                 Histogram::BucketLowerBound(b));
         return std::clamp(v, stats.min, stats.max);
       }
       seen += counts[b];
@@ -96,6 +103,14 @@ HistogramStats Histogram::Stats() const {
   stats.p95 = percentile(0.95);
   stats.p99 = percentile(0.99);
   return stats;
+}
+
+HistogramStats Histogram::Stats() const {
+  uint64_t counts[kNumBuckets];
+  SnapshotBuckets(counts);
+  return StatsFromBucketCounts(counts, sum_.load(std::memory_order_relaxed),
+                               min_.load(std::memory_order_relaxed),
+                               max_.load(std::memory_order_relaxed));
 }
 
 Registry& Registry::Get() {
@@ -163,6 +178,24 @@ std::vector<std::pair<std::string, HistogramStats>> Registry::HistogramValues()
   std::vector<std::pair<std::string, HistogramStats>> out;
   out.reserve(histograms_.size());
   for (const auto& [name, h] : histograms_) out.emplace_back(name, h->Stats());
+  return out;
+}
+
+std::vector<std::pair<std::string, const Counter*>> Registry::CounterHandles()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, const Counter*>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c.get());
+  return out;
+}
+
+std::vector<std::pair<std::string, const Histogram*>>
+Registry::HistogramHandles() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, const Histogram*>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) out.emplace_back(name, h.get());
   return out;
 }
 

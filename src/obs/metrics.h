@@ -73,12 +73,25 @@ class Histogram {
   /// Buckets cover [2^-16, 2^47); values outside clamp to the ends.
   static constexpr int kNumBuckets = 64;
 
+  /// Bucket b holds values in [2^(b-17), 2^(b-16)); out-of-range values
+  /// clamp to the end buckets. Non-positive values land in bucket 0.
+  static int BucketIndex(double value);
+  static double BucketLowerBound(int b);
+  static double BucketUpperBound(int b);
+
   void Record(double value);
 
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double min() const { return min_.load(std::memory_order_relaxed); }
+  double max() const { return max_.load(std::memory_order_relaxed); }
   HistogramStats Stats() const;
   void Reset();
+
+  /// Copies the raw bucket counts (relaxed loads; buckets recorded
+  /// concurrently may or may not be visible). The windowed-telemetry
+  /// layer differences successive snapshots into per-second slices.
+  void SnapshotBuckets(uint64_t (&out)[kNumBuckets]) const;
 
  private:
   std::atomic<uint64_t> buckets_[kNumBuckets] = {};
@@ -88,6 +101,14 @@ class Histogram {
   std::atomic<double> min_{std::numeric_limits<double>::infinity()};
   std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
 };
+
+/// Summary statistics from a raw bucket-count array (the same math
+/// Histogram::Stats applies to its own buckets). `sum` feeds the mean;
+/// pass +/-inf min/max sentinels when the extremes are unknown and the
+/// percentile clamp falls back to the bucket bounds.
+HistogramStats StatsFromBucketCounts(
+    const uint64_t (&counts)[Histogram::kNumBuckets], double sum, double min,
+    double max);
 
 /// RAII timer recording its scope's wall time, in microseconds, into a
 /// histogram on destruction.
@@ -126,6 +147,13 @@ class Registry {
   std::vector<std::pair<std::string, uint64_t>> CounterValues() const;
   std::vector<std::pair<std::string, double>> GaugeValues() const;
   std::vector<std::pair<std::string, HistogramStats>> HistogramValues() const;
+
+  /// Name-sorted instrument pointers. Instruments are never removed,
+  /// so the pointers stay valid for the process lifetime; the windowed
+  /// registry scans these without re-taking the name lock per metric.
+  std::vector<std::pair<std::string, const Counter*>> CounterHandles() const;
+  std::vector<std::pair<std::string, const Histogram*>> HistogramHandles()
+      const;
 
   /// One JSON object: {"counters":{...},"gauges":{...},"histograms":
   /// {name:{count,sum,mean,min,max,p50,p95,p99},...}}.

@@ -8,7 +8,8 @@
 
 namespace tabrep::obs {
 
-std::string ReportJson(const std::string& label) {
+std::string ReportJson(const std::string& label,
+                       const std::string& window_json) {
   // Registry::ToJson() returns "{...}"; splice the label and profile
   // into the same object.
   std::string registry = Registry::Get().ToJson();
@@ -17,12 +18,21 @@ std::string ReportJson(const std::string& label) {
   out += ",\"tracing_enabled\":";
   out += TracingEnabled() ? "true" : "false";
   out += ",\"profile\":" + ProfileJson();
+  if (!window_json.empty()) {
+    // Deliberately the LAST section: bench_stage_gate.cmake slices the
+    // committed report from `"window":` to end-of-file, so windowed
+    // histogram entries cannot be confused with the cumulative ones
+    // above. bench_diff ignores unknown top-level keys, so this stays
+    // out of the counter/gauge gates.
+    out += ",\"window\":" + window_json;
+  }
   out += '}';
   return out;
 }
 
-Status WriteReport(const std::string& label, const std::string& path) {
-  const std::string json = ReportJson(label);
+Status WriteReport(const std::string& label, const std::string& path,
+                   const std::string& window_json) {
+  const std::string json = ReportJson(label, window_json);
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return Status::IOError("cannot open " + path);
   const size_t written = std::fwrite(json.data(), 1, json.size(), f);

@@ -15,9 +15,14 @@ namespace tabrep::obs {
 
 /// {"label":...,"counters":{...},"gauges":{...},"histograms":{...},
 ///  "profile":[...]} — registry snapshot plus tracing profile.
-std::string ReportJson(const std::string& label);
+/// A non-empty `window_json` (a WindowedRegistry::ToJson() document)
+/// is appended as a trailing "window" section; bench_diff ignores it,
+/// while bench_stage_gate.cmake pins its windowed p99 fields.
+std::string ReportJson(const std::string& label,
+                       const std::string& window_json = "");
 
-Status WriteReport(const std::string& label, const std::string& path);
+Status WriteReport(const std::string& label, const std::string& path,
+                   const std::string& window_json = "");
 
 }  // namespace tabrep::obs
 

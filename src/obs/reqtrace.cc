@@ -1,5 +1,7 @@
 #include "obs/reqtrace.h"
 
+#include <unistd.h>
+
 #include <string>
 
 #include "common/logging.h"
@@ -79,7 +81,19 @@ AccessLog::AccessLog(const std::string& path) {
 }
 
 AccessLog::~AccessLog() {
-  if (file_ != nullptr) std::fclose(file_);
+  if (file_ == nullptr) return;
+  Flush();
+  std::fclose(file_);
+}
+
+void AccessLog::Flush() {
+  if (file_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fflush(file_);
+  // fsync so a kill -9 immediately after shutdown cannot lose the tail
+  // of the log; the shutdown path is the only caller, so the cost is
+  // off the request path.
+  fsync(fileno(file_));
 }
 
 std::string AccessLog::FormatLine(const RequestContext& ctx) {

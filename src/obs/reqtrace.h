@@ -113,6 +113,12 @@ class AccessLog {
   bool enabled() const { return file_ != nullptr; }
   void Append(const RequestContext& ctx);
 
+  /// Flushes stdio buffers AND fsyncs the fd, so every line appended
+  /// so far survives a process kill. Called by net::Server::Stop()
+  /// (and the destructor) — Append's own fflush makes lines visible to
+  /// other processes but does not force them to disk.
+  void Flush();
+
   /// The line Append writes (no trailing newline): one JSON object
   /// with request_id/conn/seq/status/cache_hit/batch_size/total_us and
   /// a stages_us sub-object keyed by stage name. Exposed so tests can

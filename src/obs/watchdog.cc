@@ -1,0 +1,260 @@
+#include "obs/watchdog.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <unistd.h>
+
+#include "obs/json.h"
+#include "obs/window.h"
+
+namespace tabrep::obs {
+
+namespace {
+
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int EnvIntOr(const char* name, int fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  return static_cast<int>(std::strtol(raw, nullptr, 10));
+}
+
+double EnvDoubleOr(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  return std::strtod(raw, nullptr);
+}
+
+/// Verdict levels only ever escalate within one evaluation.
+void Raise(HealthVerdict* verdict, HealthLevel level) {
+  if (static_cast<int>(level) > static_cast<int>(verdict->level)) {
+    verdict->level = level;
+  }
+}
+
+std::string FormatUs(double us) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.0fus", us);
+  return buf;
+}
+
+}  // namespace
+
+Heartbeat::Heartbeat(std::string_view lag_histogram_name)
+    : lag_(Registry::Get().histogram(lag_histogram_name)) {}
+
+void Heartbeat::Beat() {
+  const int64_t now_ns = SteadyNowNs();
+  const int64_t prev_ns =
+      last_beat_ns_.exchange(now_ns, std::memory_order_relaxed);
+  if (prev_ns != 0) {
+    lag_.Record(static_cast<double>(now_ns - prev_ns) * 1e-3);
+  }
+}
+
+double Heartbeat::MicrosSinceBeat() const {
+  const int64_t last_ns = last_beat_ns_.load(std::memory_order_relaxed);
+  if (last_ns == 0) return -1.0;
+  return static_cast<double>(SteadyNowNs() - last_ns) * 1e-3;
+}
+
+SloConfig SloConfig::FromEnv() {
+  SloConfig slo;
+  slo.target_p99_us = EnvDoubleOr("TABREP_SLO_P99_US", slo.target_p99_us);
+  slo.max_shed_rate = EnvDoubleOr("TABREP_SLO_SHED_RATE", slo.max_shed_rate);
+  return slo;
+}
+
+const char* HealthLevelName(HealthLevel level) {
+  switch (level) {
+    case HealthLevel::kOk:
+      return "ok";
+    case HealthLevel::kDegraded:
+      return "degraded";
+    case HealthLevel::kCritical:
+      return "critical";
+  }
+  return "ok";
+}
+
+void ApplySlo(const SloConfig& slo, double p99_us, double shed_rate,
+              HealthVerdict* verdict) {
+  verdict->window_p99_us = p99_us;
+  verdict->window_shed_rate = shed_rate;
+  if (slo.target_p99_us > 0.0 && p99_us > slo.target_p99_us) {
+    Raise(verdict, p99_us > 2.0 * slo.target_p99_us ? HealthLevel::kCritical
+                                                    : HealthLevel::kDegraded);
+    verdict->reasons.push_back(
+        {"slo_p99", "window p99 " + FormatUs(p99_us) + " exceeds target " +
+                        FormatUs(slo.target_p99_us)});
+  }
+  if (slo.max_shed_rate > 0.0 && shed_rate > slo.max_shed_rate) {
+    Raise(verdict, shed_rate > 2.0 * slo.max_shed_rate
+                       ? HealthLevel::kCritical
+                       : HealthLevel::kDegraded);
+    char detail[96];
+    std::snprintf(detail, sizeof(detail),
+                  "window shed rate %.4f exceeds limit %.4f", shed_rate,
+                  slo.max_shed_rate);
+    verdict->reasons.push_back({"slo_shed_rate", detail});
+  }
+}
+
+std::string HealthVerdictJson(const HealthVerdict& verdict,
+                              const SloConfig& slo) {
+  std::string out = "{\"status\":\"";
+  out += HealthLevelName(verdict.level);
+  out += "\",\"reasons\":[";
+  bool first = true;
+  for (const auto& reason : verdict.reasons) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"code\":\"" + JsonEscape(reason.code) + "\",\"detail\":\"" +
+           JsonEscape(reason.detail) + "\"}";
+  }
+  out += "],\"target_p99_us\":" + JsonNumber(slo.target_p99_us);
+  out += ",\"max_shed_rate\":" + JsonNumber(slo.max_shed_rate);
+  out += ",\"window_p99_us\":" + JsonNumber(verdict.window_p99_us);
+  out += ",\"window_shed_rate\":" + JsonNumber(verdict.window_shed_rate);
+  out += ",\"ticks\":" + std::to_string(verdict.ticks);
+  out += ",\"probes\":{";
+  first = true;
+  for (const auto& [name, value] : verdict.probes) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + JsonEscape(name) + "\":" + JsonNumber(value);
+  }
+  out += "},\"heartbeat_lag_us\":{";
+  first = true;
+  for (const auto& [name, lag] : verdict.heartbeat_lag_us) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + JsonEscape(name) + "\":" + JsonNumber(lag);
+  }
+  out += "}}";
+  return out;
+}
+
+int64_t ProcessRssBytes() {
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  long long size_pages = 0;
+  long long rss_pages = 0;
+  const int n = std::fscanf(f, "%lld %lld", &size_pages, &rss_pages);
+  std::fclose(f);
+  if (n != 2) return 0;
+  return static_cast<int64_t>(rss_pages) *
+         static_cast<int64_t>(sysconf(_SC_PAGESIZE));
+}
+
+WatchdogOptions WatchdogOptions::FromEnv() {
+  WatchdogOptions opts;
+  opts.interval_ms =
+      EnvIntOr("TABREP_WATCHDOG_INTERVAL_MS", opts.interval_ms);
+  opts.deadman_ms = EnvIntOr("TABREP_WATCHDOG_DEADMAN_MS", opts.deadman_ms);
+  opts.slo = SloConfig::FromEnv();
+  return opts;
+}
+
+Watchdog::Watchdog(const WatchdogOptions& options, WindowedRegistry* window)
+    : options_(options), window_(window) {}
+
+Watchdog::~Watchdog() { Stop(); }
+
+void Watchdog::WatchHeartbeat(std::string name, const Heartbeat* heartbeat) {
+  heartbeats_.emplace_back(std::move(name), heartbeat);
+}
+
+void Watchdog::AddProbe(std::string name, std::function<double()> probe) {
+  probes_.emplace_back(std::move(name), std::move(probe));
+}
+
+void Watchdog::TickOnce() {
+  HealthVerdict next;
+
+  if (window_ != nullptr) {
+    window_->Tick();
+    WindowedHistogramStats latency;
+    if (window_->HistogramWindow(options_.latency_histogram, &latency)) {
+      next.window_p99_us = latency.p99;
+    }
+    WindowedCounterStats requests;
+    WindowedCounterStats shed;
+    if (window_->CounterWindow(options_.requests_counter, &requests) &&
+        requests.delta > 0 &&
+        window_->CounterWindow(options_.shed_counter, &shed)) {
+      next.window_shed_rate = static_cast<double>(shed.delta) /
+                              static_cast<double>(requests.delta);
+    }
+  }
+
+  // Stall deadman: a loop that registered, beat at least once, and has
+  // now been silent past the deadman is wedged. 4x the deadman
+  // escalates to critical.
+  const double deadman_us = static_cast<double>(options_.deadman_ms) * 1e3;
+  next.heartbeat_lag_us.reserve(heartbeats_.size());
+  for (const auto& [name, hb] : heartbeats_) {
+    const double lag_us = hb->MicrosSinceBeat();
+    next.heartbeat_lag_us.emplace_back(name, lag_us);
+    if (!hb->ever_beat() || lag_us <= deadman_us) continue;
+    Raise(&next, lag_us > 4.0 * deadman_us ? HealthLevel::kCritical
+                                           : HealthLevel::kDegraded);
+    next.reasons.push_back(
+        {name + "_stall", "lag " + FormatUs(lag_us) + " exceeds deadman " +
+                              FormatUs(deadman_us)});
+  }
+
+  next.probes.reserve(probes_.size());
+  for (const auto& [name, probe] : probes_) {
+    next.probes.emplace_back(name, probe());
+  }
+
+  ApplySlo(options_.slo, next.window_p99_us, next.window_shed_rate, &next);
+
+  std::lock_guard<std::mutex> lock(verdict_mu_);
+  next.ticks = verdict_.ticks + 1;
+  verdict_ = std::move(next);
+}
+
+HealthVerdict Watchdog::verdict() const {
+  std::lock_guard<std::mutex> lock(verdict_mu_);
+  return verdict_;
+}
+
+void Watchdog::Start() {
+  if (thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    stop_ = false;
+  }
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void Watchdog::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    stop_ = true;
+  }
+  stop_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Watchdog::Loop() {
+  std::unique_lock<std::mutex> lock(stop_mu_);
+  while (!stop_) {
+    stop_cv_.wait_for(lock, std::chrono::milliseconds(options_.interval_ms),
+                      [this] { return stop_; });
+    if (stop_) break;
+    lock.unlock();
+    TickOnce();
+    lock.lock();
+  }
+}
+
+}  // namespace tabrep::obs

@@ -1,0 +1,181 @@
+#ifndef TABREP_OBS_WATCHDOG_H_
+#define TABREP_OBS_WATCHDOG_H_
+
+// Runtime self-observability: loop heartbeats, liveness probes, and a
+// background watchdog thread that folds windowed telemetry plus a
+// configurable SLO into an ok|degraded|critical health verdict with
+// machine-readable reasons.
+//
+// A Heartbeat is owned by a loop (the epoll event loop, the batching
+// dispatcher); the loop calls Beat() every wakeup. Beat() is two
+// relaxed atomics plus one histogram Record — allocation-free, safe on
+// hot loops. The watchdog reads the last-beat stamp cross-thread: a
+// lag beyond the deadman means the loop is wedged (stuck syscall,
+// runaway batch, deadlock) even though its cumulative counters look
+// frozen-but-healthy.
+//
+// The watchdog is deliberately generic: it knows nothing about serve
+// or net types. Owners register heartbeats and sampling probes
+// (std::function<double()>) before Start(); the serving front-end
+// wires queue depth, inflight, RSS, and pool bytes at startup. Probe
+// samples land only in the health verdict, never in the Registry —
+// they are machine- and moment-dependent, and the bench baseline gate
+// diffs Registry gauges across runs.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace tabrep::obs {
+
+class WindowedRegistry;
+
+/// Loop-liveness beacon. The owning loop calls Beat() once per wakeup;
+/// the watchdog polls MicrosSinceBeat() for the deadman check. Inter-
+/// beat gaps are recorded into the named registry histogram so lag is
+/// also visible as a windowed percentile.
+class Heartbeat {
+ public:
+  explicit Heartbeat(std::string_view lag_histogram_name);
+
+  /// Allocation-free; callable from the hot loop every iteration.
+  void Beat();
+
+  /// Microseconds since the last Beat(); negative if never beaten.
+  double MicrosSinceBeat() const;
+
+  bool ever_beat() const {
+    return last_beat_ns_.load(std::memory_order_relaxed) != 0;
+  }
+
+ private:
+  Histogram& lag_;
+  std::atomic<int64_t> last_beat_ns_{0};
+};
+
+/// Service-level objective. A zero target disables that check.
+struct SloConfig {
+  double target_p99_us = 0.0;  ///< windowed request p99 ceiling
+  double max_shed_rate = 0.0;  ///< windowed shed/requests ceiling
+
+  /// Reads TABREP_SLO_P99_US and TABREP_SLO_SHED_RATE over the
+  /// defaults above.
+  static SloConfig FromEnv();
+};
+
+enum class HealthLevel { kOk = 0, kDegraded = 1, kCritical = 2 };
+
+const char* HealthLevelName(HealthLevel level);
+
+/// One machine-readable cause for a non-ok verdict, e.g.
+/// {"dispatcher_stall", "lag 812000us exceeds deadman 250000us"}.
+struct HealthReason {
+  std::string code;
+  std::string detail;
+};
+
+/// The watchdog's most recent evaluation.
+struct HealthVerdict {
+  HealthLevel level = HealthLevel::kOk;
+  std::vector<HealthReason> reasons;
+  double window_p99_us = 0.0;     ///< 0 when the window saw no traffic
+  double window_shed_rate = 0.0;
+  int64_t ticks = 0;              ///< watchdog evaluations so far
+  /// Probe samples from the last tick, registration order.
+  std::vector<std::pair<std::string, double>> probes;
+  /// Lag (us) per registered heartbeat; negative if never beaten.
+  std::vector<std::pair<std::string, double>> heartbeat_lag_us;
+};
+
+/// Applies the SLO thresholds to a measured p99 + shed rate, raising
+/// `verdict->level` and appending reasons. Exceeding a target is
+/// degraded; exceeding it 2x is critical. Shared by the watchdog and
+/// loadgen's end-of-run verdict.
+void ApplySlo(const SloConfig& slo, double p99_us, double shed_rate,
+              HealthVerdict* verdict);
+
+/// {"status":"ok","reasons":[{"code":..,"detail":..}],"target_p99_us":..,
+///  "max_shed_rate":..,"window_p99_us":..,"window_shed_rate":..,
+///  "ticks":..,"probes":{..},"heartbeat_lag_us":{..}}
+std::string HealthVerdictJson(const HealthVerdict& verdict,
+                              const SloConfig& slo);
+
+/// Current process resident set size in bytes (from /proc/self/statm);
+/// 0 if unreadable.
+int64_t ProcessRssBytes();
+
+struct WatchdogOptions {
+  int interval_ms = 1000;  ///< evaluation cadence (also ticks the window)
+  int deadman_ms = 5000;   ///< heartbeat lag beyond this is a stall
+  SloConfig slo;
+  /// Registry names folded into the SLO evaluation.
+  std::string latency_histogram = "tabrep.net.request.us";
+  std::string requests_counter = "tabrep.net.requests";
+  std::string shed_counter = "tabrep.net.shed";
+
+  /// Reads TABREP_WATCHDOG_INTERVAL_MS / TABREP_WATCHDOG_DEADMAN_MS
+  /// plus SloConfig::FromEnv over the defaults above.
+  static WatchdogOptions FromEnv();
+};
+
+/// Background evaluator. Register heartbeats/probes, then Start();
+/// each tick advances the window, samples every probe, checks every
+/// heartbeat against the deadman, applies the SLO, and publishes a
+/// fresh verdict. TickOnce() is public so tests can drive evaluation
+/// without the thread.
+class Watchdog {
+ public:
+  /// `window` may be null (no windowed SLO evaluation, stall checks
+  /// only). Not owned; must outlive the watchdog.
+  Watchdog(const WatchdogOptions& options, WindowedRegistry* window);
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Registration is not thread-safe; finish before Start(). The
+  /// pointed-to heartbeat must outlive the watchdog.
+  void WatchHeartbeat(std::string name, const Heartbeat* heartbeat);
+  void AddProbe(std::string name, std::function<double()> probe);
+
+  void Start();
+  void Stop();
+
+  /// Runs one evaluation synchronously (also driven by the thread).
+  void TickOnce();
+
+  /// Copy of the most recent verdict (pre-Start: level ok, ticks 0).
+  HealthVerdict verdict() const;
+
+  const WatchdogOptions& options() const { return options_; }
+
+ private:
+  void Loop();
+
+  const WatchdogOptions options_;
+  WindowedRegistry* const window_;
+
+  std::vector<std::pair<std::string, const Heartbeat*>> heartbeats_;
+  std::vector<std::pair<std::string, std::function<double()>>> probes_;
+
+  mutable std::mutex verdict_mu_;
+  HealthVerdict verdict_;
+
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace tabrep::obs
+
+#endif  // TABREP_OBS_WATCHDOG_H_

@@ -1,0 +1,259 @@
+#include "obs/window.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "obs/json.h"
+
+namespace tabrep::obs {
+
+namespace {
+
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int EnvIntOr(const char* name, int fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  return static_cast<int>(std::strtol(raw, nullptr, 10));
+}
+
+/// Delta of a cumulative value that may have been reset in place
+/// (Registry::ResetAll): a shrink means everything current accrued
+/// after the reset, so the post-reset value is the honest delta.
+uint64_t CumulativeDelta(uint64_t cur, uint64_t last) {
+  return cur >= last ? cur - last : cur;
+}
+
+}  // namespace
+
+WindowOptions WindowOptions::FromEnv() {
+  WindowOptions opts;
+  opts.window_secs = EnvIntOr("TABREP_WINDOW_SECS", opts.window_secs);
+  return opts;
+}
+
+WindowedRegistry::WindowedRegistry(const WindowOptions& options,
+                                   Registry& registry)
+    : registry_(registry),
+      window_secs_(std::clamp(options.window_secs, 2, 3600)) {
+  elapsed_ring_.assign(window_secs_, 0.0);
+  // Baseline every instrument that already exists so the first Tick()
+  // captures only post-construction activity.
+  for (const auto& [name, c] : registry_.CounterHandles()) {
+    CounterTrack& track = counters_[name];
+    track.last = c->value();
+    track.ring.assign(window_secs_, 0);
+  }
+  for (const auto& [name, h] : registry_.HistogramHandles()) {
+    HistogramTrack& track = histograms_[name];
+    h->SnapshotBuckets(track.last);
+    track.last_sum = h->sum();
+    track.ring.assign(
+        static_cast<size_t>(window_secs_) * Histogram::kNumBuckets, 0);
+    track.sum_ring.assign(window_secs_, 0.0);
+  }
+  last_tick_ns_ = SteadyNowNs();
+}
+
+void WindowedRegistry::Tick() {
+  const auto counter_handles = registry_.CounterHandles();
+  const auto histogram_handles = registry_.HistogramHandles();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const int slot = static_cast<int>(ticks_ % window_secs_);
+  const int64_t now_ns = SteadyNowNs();
+  // Floor at 1ms so a hot-spinning ticker cannot divide rates by ~0.
+  elapsed_ring_[slot] =
+      std::max(1e-3, static_cast<double>(now_ns - last_tick_ns_) * 1e-9);
+  last_tick_ns_ = now_ns;
+
+  for (const auto& [name, c] : counter_handles) {
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+      // First sighting: the metric was created after construction, so
+      // its whole cumulative value is post-baseline activity.
+      it = counters_.emplace(name, CounterTrack{}).first;
+      it->second.ring.assign(window_secs_, 0);
+    }
+    CounterTrack& track = it->second;
+    const uint64_t cur = c->value();
+    track.ring[slot] = CumulativeDelta(cur, track.last);
+    track.last = cur;
+  }
+
+  for (const auto& [name, h] : histogram_handles) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      it = histograms_.emplace(name, HistogramTrack{}).first;
+      it->second.ring.assign(
+          static_cast<size_t>(window_secs_) * Histogram::kNumBuckets, 0);
+      it->second.sum_ring.assign(window_secs_, 0.0);
+    }
+    HistogramTrack& track = it->second;
+    uint64_t cur[Histogram::kNumBuckets];
+    h->SnapshotBuckets(cur);
+    uint64_t* slot_buckets =
+        track.ring.data() +
+        static_cast<size_t>(slot) * Histogram::kNumBuckets;
+    for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+      slot_buckets[b] = CumulativeDelta(cur[b], track.last[b]);
+      track.last[b] = cur[b];
+    }
+    const double cur_sum = h->sum();
+    track.sum_ring[slot] =
+        cur_sum >= track.last_sum ? cur_sum - track.last_sum : cur_sum;
+    track.last_sum = cur_sum;
+  }
+
+  ++ticks_;
+}
+
+int64_t WindowedRegistry::ticks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ticks_;
+}
+
+double WindowedRegistry::CoveredSecsLocked() const {
+  const int filled =
+      static_cast<int>(std::min<int64_t>(ticks_, window_secs_));
+  double covered = 0.0;
+  for (int s = 0; s < filled; ++s) covered += elapsed_ring_[s];
+  return covered;
+}
+
+double WindowedRegistry::covered_secs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CoveredSecsLocked();
+}
+
+void WindowedRegistry::MergeCounterLocked(const CounterTrack& track,
+                                          WindowedCounterStats* out) const {
+  *out = WindowedCounterStats{};
+  const int filled =
+      static_cast<int>(std::min<int64_t>(ticks_, window_secs_));
+  for (int s = 0; s < filled; ++s) out->delta += track.ring[s];
+  const double covered = CoveredSecsLocked();
+  if (covered > 0.0) {
+    out->rate_per_sec = static_cast<double>(out->delta) / covered;
+  }
+}
+
+void WindowedRegistry::MergeHistogramLocked(
+    const HistogramTrack& track, WindowedHistogramStats* out) const {
+  *out = WindowedHistogramStats{};
+  const int filled =
+      static_cast<int>(std::min<int64_t>(ticks_, window_secs_));
+  uint64_t counts[Histogram::kNumBuckets] = {};
+  double sum = 0.0;
+  for (int s = 0; s < filled; ++s) {
+    const uint64_t* slot_buckets =
+        track.ring.data() + static_cast<size_t>(s) * Histogram::kNumBuckets;
+    for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+      counts[b] += slot_buckets[b];
+    }
+    sum += track.sum_ring[s];
+  }
+  // Windowed slices carry no per-slice min/max; inf sentinels make the
+  // percentile clamp fall back to the log-bucket bounds.
+  const HistogramStats stats = StatsFromBucketCounts(
+      counts, sum, std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity());
+  out->count = stats.count;
+  out->mean = stats.mean;
+  out->p50 = stats.p50;
+  out->p95 = stats.p95;
+  out->p99 = stats.p99;
+  const double covered = CoveredSecsLocked();
+  if (covered > 0.0) {
+    out->rate_per_sec = static_cast<double>(out->count) / covered;
+  }
+}
+
+bool WindowedRegistry::CounterWindow(std::string_view name,
+                                     WindowedCounterStats* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) return false;
+  MergeCounterLocked(it->second, out);
+  return true;
+}
+
+bool WindowedRegistry::HistogramWindow(std::string_view name,
+                                       WindowedHistogramStats* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) return false;
+  MergeHistogramLocked(it->second, out);
+  return true;
+}
+
+std::vector<std::pair<std::string, WindowedCounterStats>>
+WindowedRegistry::CounterWindows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, WindowedCounterStats>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, track] : counters_) {
+    WindowedCounterStats stats;
+    MergeCounterLocked(track, &stats);
+    out.emplace_back(name, stats);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, WindowedHistogramStats>>
+WindowedRegistry::HistogramWindows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, WindowedHistogramStats>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, track] : histograms_) {
+    WindowedHistogramStats stats;
+    MergeHistogramLocked(track, &stats);
+    out.emplace_back(name, stats);
+  }
+  return out;
+}
+
+std::string WindowedRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"window_secs\":" + std::to_string(window_secs_);
+  out += ",\"ticks\":" + std::to_string(ticks_);
+  out += ",\"covered_secs\":" + JsonNumber(CoveredSecsLocked());
+  out += ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, track] : counters_) {
+    WindowedCounterStats stats;
+    MergeCounterLocked(track, &stats);
+    if (!first) out += ',';
+    first = false;
+    out += '"' + JsonEscape(name) + "\":{\"delta\":" +
+           std::to_string(stats.delta) +
+           ",\"rate\":" + JsonNumber(stats.rate_per_sec) + '}';
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, track] : histograms_) {
+    WindowedHistogramStats stats;
+    MergeHistogramLocked(track, &stats);
+    if (!first) out += ',';
+    first = false;
+    out += '"' + JsonEscape(name) + "\":{";
+    out += "\"count\":" + std::to_string(stats.count);
+    out += ",\"rate\":" + JsonNumber(stats.rate_per_sec);
+    out += ",\"mean\":" + JsonNumber(stats.mean);
+    out += ",\"p50\":" + JsonNumber(stats.p50);
+    out += ",\"p95\":" + JsonNumber(stats.p95);
+    out += ",\"p99\":" + JsonNumber(stats.p99);
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace tabrep::obs

@@ -1,0 +1,151 @@
+#ifndef TABREP_OBS_WINDOW_H_
+#define TABREP_OBS_WINDOW_H_
+
+// Sliding-window aggregation layered on the cumulative Registry.
+//
+// The Registry's instruments are cumulative-forever: perfect for
+// offline bench diffing, useless for "what is p99 over the last 10
+// seconds". WindowedRegistry closes that gap with a snapshot-and-
+// difference design:
+//
+//   - Tick() (called about once per second, normally by the Watchdog
+//     thread) snapshots every registered counter value and histogram
+//     bucket array, differences it against the previous snapshot, and
+//     stores the delta in a ring of per-second slots.
+//   - Queries merge the ring's slots on demand: counter deltas sum
+//     into windowed rates; histogram bucket deltas add bucket-wise and
+//     feed the same percentile estimator the cumulative path uses
+//     (StatsFromBucketCounts), yielding windowed p50/p95/p99.
+//
+// Nothing on the metric *record* path changes — writers keep hitting
+// the Registry's relaxed atomics and never see this class, so the
+// record path stays allocation-free and lock-free by construction
+// (pinned by a test). All cost is merge-on-read, paid by the ~1 Hz
+// ticker and the occasional stats query.
+//
+// Memory is bounded by construction: per tracked histogram the ring
+// holds window_secs * (kNumBuckets * 8 + 24) bytes, per counter
+// window_secs * 8 bytes, plus one baseline snapshot each. Tracks are
+// created only when Tick() first sees a metric, never removed.
+//
+// Thread safety: Tick() and all queries take one internal mutex; any
+// thread may call them. The intended topology is a single ticker
+// (watchdog or bench ticker thread) plus query traffic from the stats
+// plane.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace tabrep::obs {
+
+struct WindowOptions {
+  /// Ring length in slots; one slot per Tick() (nominally one per
+  /// second). Clamped to [2, 3600].
+  int window_secs = 10;
+
+  /// Reads TABREP_WINDOW_SECS over the defaults above.
+  static WindowOptions FromEnv();
+};
+
+/// Windowed view of one counter.
+struct WindowedCounterStats {
+  uint64_t delta = 0;        ///< events inside the window
+  double rate_per_sec = 0.0; ///< delta / covered seconds
+};
+
+/// Windowed view of one histogram.
+struct WindowedHistogramStats {
+  uint64_t count = 0;
+  double rate_per_sec = 0.0;  ///< count / covered seconds
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+class WindowedRegistry {
+ public:
+  /// Baselines every instrument currently in `registry` so the first
+  /// Tick() only captures activity after construction.
+  explicit WindowedRegistry(const WindowOptions& options = WindowOptions(),
+                            Registry& registry = Registry::Get());
+
+  WindowedRegistry(const WindowedRegistry&) = delete;
+  WindowedRegistry& operator=(const WindowedRegistry&) = delete;
+
+  /// Closes the current per-second slot: snapshots all instruments,
+  /// stores cumulative-minus-previous deltas in the ring, and advances.
+  /// A cumulative value that shrank (Registry::ResetAll, counter
+  /// reset) contributes its post-reset value as the delta.
+  void Tick();
+
+  int window_secs() const { return window_secs_; }
+
+  /// Number of Tick() calls so far.
+  int64_t ticks() const;
+
+  /// Wall-clock seconds the filled slots actually span (slots are
+  /// stamped with measured elapsed time, so rates stay honest when the
+  /// ticker runs faster or slower than 1 Hz).
+  double covered_secs() const;
+
+  /// Windowed stats for one instrument; false if the window has never
+  /// seen it. Zero-activity windows report zeroed stats with ok=true.
+  bool CounterWindow(std::string_view name, WindowedCounterStats* out) const;
+  bool HistogramWindow(std::string_view name,
+                       WindowedHistogramStats* out) const;
+
+  /// All tracked instruments, name-sorted.
+  std::vector<std::pair<std::string, WindowedCounterStats>> CounterWindows()
+      const;
+  std::vector<std::pair<std::string, WindowedHistogramStats>>
+  HistogramWindows() const;
+
+  /// {"window_secs":W,"ticks":N,"covered_secs":S,
+  ///  "counters":{name:{"delta":D,"rate":R},...},
+  ///  "histograms":{name:{"count":C,"rate":R,"mean":M,
+  ///                      "p50":..,"p95":..,"p99":..},...}}
+  std::string ToJson() const;
+
+ private:
+  struct CounterTrack {
+    uint64_t last = 0;                ///< cumulative value at last Tick
+    std::vector<uint64_t> ring;       ///< per-slot deltas
+  };
+  struct HistogramTrack {
+    uint64_t last[Histogram::kNumBuckets] = {};
+    double last_sum = 0.0;
+    /// Flat ring of per-slot bucket deltas: slot s occupies
+    /// [s * kNumBuckets, (s + 1) * kNumBuckets).
+    std::vector<uint64_t> ring;
+    std::vector<double> sum_ring;     ///< per-slot sum deltas
+  };
+
+  // All require mu_ held.
+  double CoveredSecsLocked() const;
+  void MergeHistogramLocked(const HistogramTrack& track,
+                            WindowedHistogramStats* out) const;
+  void MergeCounterLocked(const CounterTrack& track,
+                          WindowedCounterStats* out) const;
+
+  Registry& registry_;
+  const int window_secs_;
+
+  mutable std::mutex mu_;
+  int64_t ticks_ = 0;
+  std::vector<double> elapsed_ring_;  ///< measured seconds per slot
+  int64_t last_tick_ns_ = 0;          ///< steady-clock stamp of last Tick
+  std::map<std::string, CounterTrack, std::less<>> counters_;
+  std::map<std::string, HistogramTrack, std::less<>> histograms_;
+};
+
+}  // namespace tabrep::obs
+
+#endif  // TABREP_OBS_WINDOW_H_

@@ -245,10 +245,19 @@ void BatchedEncoder::DispatcherLoop() {
   static obs::Histogram& batch_size =
       obs::Registry::Get().histogram("tabrep.serve.batch.size");
   while (true) {
+    // Liveness beacon (ISSUE 8): one beat per iteration and per idle
+    // wakeup. A batch that wedges (runaway inference, injected
+    // dispatch_delay_us) stops the beats, and the watchdog's deadman
+    // turns the growing lag into a dispatcher_stall health reason.
+    heartbeat_.Beat();
     std::vector<std::shared_ptr<Pending>> batch;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      while (!stop_ && queue_.empty()) {
+        work_cv_.wait_for(lock, std::chrono::milliseconds(100),
+                          [&] { return stop_ || !queue_.empty(); });
+        heartbeat_.Beat();
+      }
       if (queue_.empty()) return;  // stop requested and fully drained
       if (options_.max_wait_us > 0 &&
           static_cast<int64_t>(queue_.size()) < options_.max_batch) {

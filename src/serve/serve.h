@@ -36,6 +36,7 @@
 #include "common/result.h"
 #include "models/table_encoder.h"
 #include "obs/reqtrace.h"
+#include "obs/watchdog.h"
 
 namespace tabrep::serve {
 
@@ -174,6 +175,13 @@ class BatchedEncoder {
   /// wire probes report this; it is racy by nature, like any depth).
   int64_t queue_depth() const;
 
+  /// Dispatcher liveness beacon (ISSUE 8): beaten at the top of every
+  /// dispatcher iteration and on every idle wakeup, so a wedged batch
+  /// (runaway inference, injected dispatch_delay_us) shows up as lag.
+  /// The watchdog polls this for its deadman check; inter-beat gaps
+  /// land in the tabrep.serve.dispatcher.heartbeat.us histogram.
+  const obs::Heartbeat& heartbeat() const { return heartbeat_; }
+
  private:
   /// One promise waiting on a Pending, plus the trace to stamp (null
   /// for untraced callers) before that promise is fulfilled.
@@ -209,6 +217,7 @@ class BatchedEncoder {
   std::deque<std::shared_ptr<Pending>> queue_;
   std::unordered_map<uint64_t, std::shared_ptr<Pending>> inflight_;
   bool stop_ = false;
+  obs::Heartbeat heartbeat_{"tabrep.serve.dispatcher.heartbeat.us"};
   std::thread dispatcher_;
 };
 

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -332,6 +333,68 @@ TEST_F(ReqTraceFixture, ServerWritesParsableAccessLogWithUniqueRequestIds) {
   std::remove(log_path.c_str());
 }
 
+TEST_F(ReqTraceFixture, StopMidLoadFlushesEveryAccountedResponse) {
+  // Shutdown durability (ISSUE 8): Stop() flushes + fsyncs the access
+  // log after the event loop exits, so every response the server
+  // accounted before dying is on disk as a complete JSONL line — no
+  // truncated tail from buffered stdio. The server is stopped while
+  // clients are mid-flight; a response a client managed to read was
+  // logged before its bytes hit the socket, so the on-disk line count
+  // must be at least the clients' received total, and every line must
+  // still parse.
+  const std::string log_path =
+      ::testing::TempDir() + "/tabrep_access_log_midload.jsonl";
+  std::remove(log_path.c_str());
+  std::atomic<uint64_t> received{0};  // ok + shed + typed errors read back
+  {
+    serve::BatchedEncoderOptions eopts;
+    eopts.max_batch = 1;
+    eopts.max_wait_us = 0;
+    eopts.cache_capacity = 0;
+    eopts.dispatch_delay_us = 5000;  // 5ms/batch: Stop() lands mid-load
+    serve::BatchedEncoder encoder(model_, eopts);
+    net::ServerOptions sopts;
+    sopts.access_log_path = log_path;
+    sopts.max_inflight_per_conn = 2;  // small cap: some requests shed
+    net::Server server(&encoder, sopts);
+    ASSERT_TRUE(server.Start().ok());
+
+    std::vector<std::thread> clients;
+    for (int c = 0; c < 3; ++c) {
+      clients.emplace_back([&, c] {
+        StatusOr<net::Client> client =
+            net::Client::Connect("127.0.0.1", server.port());
+        if (!client.ok()) return;
+        for (int r = 0; r < 400; ++r) {
+          StatusOr<net::EncodeResult> out = client->Encode(
+              serializer_->Serialize(corpus_->tables[(c + r) % 6]));
+          if (!out.ok()) return;  // server stopped under us — expected
+          received.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    server.Stop();  // mid-load: clients still have requests in flight
+    for (std::thread& t : clients) t.join();
+  }
+
+  EXPECT_GT(received.load(), 0u) << "no response landed before Stop()";
+  std::ifstream in(log_path);
+  ASSERT_TRUE(in.good()) << log_path << " was not written";
+  uint64_t lines = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    Result<obs::JsonValue> doc = obs::JsonParse(line);
+    ASSERT_TRUE(doc.ok()) << "truncated/corrupt access-log line: " << line;
+    ASSERT_NE(doc->Find("status"), nullptr);
+  }
+  EXPECT_GE(lines, received.load())
+      << "a response reached a client but never reached the flushed log";
+  std::remove(log_path.c_str());
+}
+
 TEST_F(ReqTraceFixture, StageHistogramsPopulateAfterServedTraffic) {
   obs::Registry& reg = obs::Registry::Get();
   const uint64_t queue_before =
@@ -353,6 +416,17 @@ TEST_F(ReqTraceFixture, StageHistogramsPopulateAfterServedTraffic) {
     ASSERT_TRUE(out->status.ok());
   }
 
+  // The event loop writes the response before it records stage
+  // metrics (trace.written must stamp after the socket write), so the
+  // client can observe the last reply a beat before FinishRequest
+  // lands. Poll briefly instead of asserting immediately.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (reg.histogram("tabrep.serve.stage.queue.us").Stats().count <
+             queue_before + n &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
   EXPECT_EQ(reg.histogram("tabrep.serve.stage.queue.us").Stats().count,
             queue_before + n);
   EXPECT_EQ(reg.histogram("tabrep.serve.stage.inference.us").Stats().count,

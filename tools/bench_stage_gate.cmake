@@ -33,4 +33,38 @@ foreach(stage queue batch inference serialize)
   endif()
   message(STATUS "bench_stage_gate: ${name} present and non-empty")
 endforeach()
+
+# Windowed-telemetry presence: the report's trailing "window" section
+# (a WindowedRegistry::ToJson document — deliberately the last top-level
+# key, so slicing from `"window":` cannot pick up the cumulative
+# histogram entries above it) must carry a non-empty windowed
+# tabrep.net.request.us entry with a nonzero p99. This pins that the
+# sliding-window plane actually aggregated the bench's steady-load
+# phase, not just that the code compiled.
+string(FIND "${report_json}" "\"window\":" window_pos)
+if(window_pos EQUAL -1)
+  message(FATAL_ERROR
+          "bench_stage_gate: ${REPORT} has no \"window\" section; "
+          "bench_s2_net stopped exporting its windowed registry (or the "
+          "baseline predates windowed telemetry — re-record with the "
+          "record_bench_baseline target)")
+endif()
+string(SUBSTRING "${report_json}" ${window_pos} -1 window_json)
+string(REGEX MATCH "\"tabrep\\.net\\.request\\.us\":{[^}]*}" window_entry
+       "${window_json}")
+if(window_entry STREQUAL "")
+  message(FATAL_ERROR
+          "bench_stage_gate: the window section of ${REPORT} has no "
+          "tabrep.net.request.us histogram")
+endif()
+string(REGEX MATCH "\"count\":[1-9]" window_count "${window_entry}")
+string(REGEX MATCH "\"p99\":[0-9]*\\.?[0-9]*" window_p99 "${window_entry}")
+if(window_count STREQUAL "" OR window_p99 STREQUAL "\"p99\":0"
+   OR window_p99 STREQUAL "\"p99\":" OR window_p99 STREQUAL "")
+  message(FATAL_ERROR
+          "bench_stage_gate: windowed tabrep.net.request.us is empty "
+          "(${window_entry}); the window never saw the bench's requests")
+endif()
+message(STATUS "bench_stage_gate: windowed tabrep.net.request.us "
+               "present with nonzero count and p99")
 message(STATUS "bench_stage_gate: OK")

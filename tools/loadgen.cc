@@ -17,9 +17,16 @@
 //   loadgen --port=PORT [--host=127.0.0.1] [--connections=4]
 //           [--requests=64] [--mode=closed|open] [--rate=200]
 //           [--tables=24] [--stats=1]
+//           [--slo-p99-us=US] [--slo-shed-rate=FRACTION]
 //
 //   --requests is per connection; --rate is per connection in req/s
 //   (open mode only). Exit code 0 unless a transport error occurred.
+//
+// The run ends with an SLO verdict: the measured client-side p99 and
+// shed rate evaluated against the same thresholds the server watchdog
+// uses (obs::ApplySlo). Targets default from TABREP_SLO_P99_US /
+// TABREP_SLO_SHED_RATE; the flags override. A zero target disables
+// that check, so with no SLO configured the verdict is always ok.
 //
 // Every response is accounted: the final line reports ok / overloaded /
 // error counts that must sum to the number of requests sent — the
@@ -50,6 +57,7 @@
 #include "common/status.h"
 #include "net/client.h"
 #include "obs/json.h"
+#include "obs/watchdog.h"
 #include "serialize/serializer.h"
 #include "serialize/vocab_builder.h"
 #include "table/synth.h"
@@ -67,6 +75,7 @@ struct Options {
   double rate = 200.0;   // per connection, open loop only
   int num_tables = 24;
   int stats = 1;         // fetch kStats before/after, print attribution
+  obs::SloConfig slo;    // env defaults; --slo-* flags override
 };
 
 bool ParseIntFlag(const char* arg, const char* name, int* out) {
@@ -83,11 +92,19 @@ bool ParseStringFlag(const char* arg, const char* name, std::string* out) {
   return true;
 }
 
+bool ParseDoubleFlag(const char* arg, const char* name, double* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = std::atof(arg + len + 1);
+  return true;
+}
+
 [[noreturn]] void Usage() {
   std::fprintf(stderr,
                "usage: loadgen --port=PORT [--host=H] [--connections=N]\n"
                "               [--requests=R] [--mode=closed|open]\n"
-               "               [--rate=QPS] [--tables=T] [--stats=0|1]\n");
+               "               [--rate=QPS] [--tables=T] [--stats=0|1]\n"
+               "               [--slo-p99-us=US] [--slo-shed-rate=F]\n");
   std::exit(2);
 }
 
@@ -270,6 +287,7 @@ void RunOpen(const Options& options,
 
 int main(int argc, char** argv) {
   Options options;
+  options.slo = obs::SloConfig::FromEnv();
   std::string mode = "closed";
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -280,7 +298,9 @@ int main(int argc, char** argv) {
         ParseIntFlag(arg, "--tables", &options.num_tables) ||
         ParseIntFlag(arg, "--stats", &options.stats) ||
         ParseStringFlag(arg, "--host", &options.host) ||
-        ParseStringFlag(arg, "--mode", &mode)) {
+        ParseStringFlag(arg, "--mode", &mode) ||
+        ParseDoubleFlag(arg, "--slo-p99-us", &options.slo.target_p99_us) ||
+        ParseDoubleFlag(arg, "--slo-shed-rate", &options.slo.max_shed_rate)) {
       continue;
     }
     if (ParseIntFlag(arg, "--rate", &rate_int)) {
@@ -372,6 +392,42 @@ int main(int argc, char** argv) {
         client_mean_us = sum / static_cast<double>(latencies.size());
       }
       PrintAttribution(before, after, client_mean_us);
+    }
+  }
+
+  // End-of-run SLO verdict: this client's measured numbers through the
+  // same thresholds the server watchdog applies. Open-loop runs have no
+  // client latencies, so only the shed-rate check can fire there.
+  const double measured_p99 =
+      latencies.empty() ? 0.0 : Percentile(latencies, 0.99);
+  const double shed_rate =
+      answered > 0
+          ? static_cast<double>(total.overloaded) / static_cast<double>(answered)
+          : 0.0;
+  obs::HealthVerdict verdict;
+  obs::ApplySlo(options.slo, measured_p99, shed_rate, &verdict);
+  std::printf("slo verdict: %s (p99 %.1f us vs target %.0f us, shed %.4f vs "
+              "max %.4f)\n",
+              obs::HealthLevelName(verdict.level), measured_p99,
+              options.slo.target_p99_us, shed_rate, options.slo.max_shed_rate);
+  for (const obs::HealthReason& reason : verdict.reasons) {
+    std::printf("  reason: %s — %s\n", reason.code.c_str(),
+                reason.detail.c_str());
+  }
+  if (options.stats != 0) {
+    // The server's own view, from its watchdog (window + heartbeats).
+    StatusOr<net::Client> client = net::Client::Connect(
+        options.host, static_cast<uint16_t>(options.port));
+    if (client.ok()) {
+      StatusOr<std::string> health = client->Health();
+      if (health.ok()) {
+        Result<obs::JsonValue> doc = obs::JsonParse(*health);
+        const obs::JsonValue* status =
+            doc.ok() ? doc->Find("status") : nullptr;
+        if (status != nullptr) {
+          std::printf("server health: %s\n", status->AsString().c_str());
+        }
+      }
     }
   }
   return total.transport_error == 0 ? 0 : 1;

@@ -3,16 +3,35 @@
 // Polls the kStats/kHealth wire messages (answered on the server's
 // event loop, so this works even when the encoder is saturated) and
 // renders, per tick:
-//   - the health line (queue depth, in-flight, shed rate);
+//   - the health line (watchdog status, queue depth, in-flight, shed
+//     rate, SLO reasons);
 //   - a counter table with per-interval deltas;
 //   - the stage-histogram table (tabrep.serve.stage.*.us plus
 //     tabrep.net.request.us): cumulative count/mean/p50/p95/p99 and
 //     the interval mean, computed as (sum2-sum1)/(count2-count1) —
 //     which is why Registry::ToJson carries count and sum.
 //
+// A server restart between polls resets every cumulative counter, so a
+// raw delta would go negative; deltas are clamped at zero and the row
+// is marked `reset` instead of printing garbage rates. A dropped
+// connection (the usual restart symptom) is retried once per tick
+// before giving up.
+//
+// Modes:
+//   --json  one JSON object per poll on one line —
+//           {"poll":N,"stats":{...},"health":{...}} — for scripting
+//           and dashboard ingestion; raw server payloads, no client
+//           math.
+//   --dash  live dashboard: clears the screen each tick and renders
+//           the server's own sliding-window section (ISSUE 8) — rates
+//           and percentiles computed server-side over the last
+//           TABREP_WINDOW_SECS seconds, no client-side deltas — plus
+//           sparklines of how each windowed value moved across recent
+//           polls (render-only history; the numbers are the server's).
+//
 // Usage:
 //   statscope --port=PORT [--host=127.0.0.1] [--interval-ms=1000]
-//             [--count=1] [--prefix=tabrep.]
+//             [--count=1] [--prefix=tabrep.] [--json | --dash]
 //
 //   --count=N polls N times (0 = until interrupted). Exit code 0 on
 //   success, 1 on transport/parse failure.
@@ -21,7 +40,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <map>
+#include <optional>
 #include <string>
 #include <thread>
 #include <utility>
@@ -40,6 +61,8 @@ struct Options {
   int interval_ms = 1000;
   int count = 1;
   std::string prefix = "tabrep.";
+  bool json = false;
+  bool dash = false;
 };
 
 bool ParseIntFlag(const char* arg, const char* name, int* out) {
@@ -59,7 +82,7 @@ bool ParseStringFlag(const char* arg, const char* name, std::string* out) {
 [[noreturn]] void Usage() {
   std::fprintf(stderr,
                "usage: statscope --port=PORT [--host=H] [--interval-ms=MS]\n"
-               "                 [--count=N] [--prefix=P]\n");
+               "                 [--count=N] [--prefix=P] [--json | --dash]\n");
   std::exit(2);
 }
 
@@ -75,16 +98,29 @@ bool IsStageHistogram(const std::string& name) {
 }
 
 void PrintHealth(const obs::JsonValue& health) {
+  const obs::JsonValue* status = health.Find("status");
   const obs::JsonValue* queue = health.Find("queue_depth");
   const obs::JsonValue* inflight = health.Find("inflight");
   const obs::JsonValue* conns = health.Find("connections");
   const obs::JsonValue* shed = health.Find("shed_rate");
-  std::printf("health: queue_depth %.0f  inflight %.0f  connections %.0f  "
-              "shed_rate %.4f\n",
+  std::printf("health: %s  queue_depth %.0f  inflight %.0f  "
+              "connections %.0f  shed_rate %.4f\n",
+              status != nullptr ? status->AsString().c_str() : "?",
               queue != nullptr ? queue->AsNumber() : 0.0,
               inflight != nullptr ? inflight->AsNumber() : 0.0,
               conns != nullptr ? conns->AsNumber() : 0.0,
               shed != nullptr ? shed->AsNumber() : 0.0);
+  // Machine-readable causes from the watchdog, when non-ok.
+  const obs::JsonValue* reasons = health.Get({"slo", "reasons"});
+  if (reasons != nullptr) {
+    for (const obs::JsonValue& reason : reasons->items()) {
+      const obs::JsonValue* code = reason.Find("code");
+      const obs::JsonValue* detail = reason.Find("detail");
+      std::printf("  reason: %s — %s\n",
+                  code != nullptr ? code->AsString().c_str() : "?",
+                  detail != nullptr ? detail->AsString().c_str() : "");
+    }
+  }
 }
 
 void PrintTick(const obs::JsonValue& stats, const obs::JsonValue& health,
@@ -111,7 +147,14 @@ void PrintTick(const obs::JsonValue& stats, const obs::JsonValue& health,
       if (prev != nullptr) {
         const auto it = prev->counters.find(name);
         const double d = v - (it != prev->counters.end() ? it->second : 0.0);
-        std::printf("%-44s %14.0f %+12.0f\n", name.c_str(), v, d);
+        if (d < 0.0) {
+          // The server restarted (or ResetAll ran) between polls: the
+          // cumulative value shrank. Clamp to zero and say why instead
+          // of printing a negative rate.
+          std::printf("%-44s %14.0f %12s\n", name.c_str(), v, "reset");
+        } else {
+          std::printf("%-44s %14.0f %+12.0f\n", name.c_str(), v, d);
+        }
       } else {
         std::printf("%-44s %14.0f %12s\n", name.c_str(), v, "-");
       }
@@ -140,7 +183,9 @@ void PrintTick(const obs::JsonValue& stats, const obs::JsonValue& health,
                                                           : 0.0;
         const double ps = it != prev->hist_count_sum.end() ? it->second.second
                                                            : 0.0;
-        if (c > pc) {
+        if (c < pc) {
+          interval = "reset";  // server restart: cumulative count shrank
+        } else if (c > pc) {
           char buf[32];
           std::snprintf(buf, sizeof(buf), "%.1f", (s - ps) / (c - pc));
           interval = buf;
@@ -153,6 +198,149 @@ void PrintTick(const obs::JsonValue& stats, const obs::JsonValue& health,
                   p99 != nullptr ? p99->AsNumber() : 0.0, interval.c_str());
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// --dash: live dashboard over the server's sliding-window section.
+
+/// Render-only sparkline history: the newest value per metric appended
+/// each poll, capped at kSparkWidth. The values themselves are the
+/// server's windowed aggregates — nothing here recomputes them.
+constexpr size_t kSparkWidth = 32;
+using SparkHistory = std::map<std::string, std::deque<double>>;
+
+void PushSpark(SparkHistory* history, const std::string& name, double value) {
+  std::deque<double>& h = (*history)[name];
+  h.push_back(value);
+  while (h.size() > kSparkWidth) h.pop_front();
+}
+
+std::string Sparkline(const std::deque<double>& values) {
+  static const char* kBlocks[] = {"▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+  double max = 0.0;
+  for (double v : values) max = v > max ? v : max;
+  std::string out;
+  for (double v : values) {
+    if (max <= 0.0 || v <= 0.0) {
+      out += ' ';
+      continue;
+    }
+    int idx = static_cast<int>(v / max * 8.0);
+    if (idx > 7) idx = 7;
+    if (idx < 0) idx = 0;
+    out += kBlocks[idx];
+  }
+  return out;
+}
+
+void PrintDash(const obs::JsonValue& stats, const obs::JsonValue& health,
+               const Options& options, int poll, SparkHistory* history) {
+  // Clear + home; the dashboard repaints in place.
+  std::printf("\x1b[2J\x1b[H");
+  const obs::JsonValue* server = stats.Find("server");
+  const double uptime_us =
+      server != nullptr && server->Find("uptime_us") != nullptr
+          ? server->Find("uptime_us")->AsNumber()
+          : 0.0;
+  std::printf("tabrep statscope — %s:%d   poll %d   uptime %.1f s\n",
+              options.host.c_str(), options.port, poll, uptime_us / 1e6);
+
+  const obs::JsonValue* window = stats.Find("window");
+  const obs::JsonValue* wsecs =
+      window != nullptr ? window->Find("window_secs") : nullptr;
+  const obs::JsonValue* covered =
+      window != nullptr ? window->Find("covered_secs") : nullptr;
+  std::printf("window: %.0f s configured, %.1f s covered\n",
+              wsecs != nullptr ? wsecs->AsNumber() : 0.0,
+              covered != nullptr ? covered->AsNumber() : 0.0);
+  PrintHealth(health);
+
+  const obs::JsonValue* wc =
+      window != nullptr ? window->Find("counters") : nullptr;
+  if (wc == nullptr) {
+    std::printf("\n(no window section — server runs with the watchdog "
+                "disabled, TABREP_NET_WATCHDOG=0)\n");
+    return;
+  }
+
+  std::printf("\n%-40s %10s %10s  %s\n", "counter (windowed)", "delta",
+              "rate/s", "trend");
+  for (const auto& [name, entry] : wc->members()) {
+    if (name.rfind(options.prefix, 0) != 0) continue;
+    const obs::JsonValue* delta = entry.Find("delta");
+    const obs::JsonValue* rate = entry.Find("rate");
+    const double d = delta != nullptr ? delta->AsNumber() : 0.0;
+    const double r = rate != nullptr ? rate->AsNumber() : 0.0;
+    // Keep the board small: show a row once the metric has moved
+    // inside any window this session.
+    const bool seen = history->find("c:" + name) != history->end();
+    if (d <= 0.0 && !seen) continue;
+    PushSpark(history, "c:" + name, r);
+    std::printf("%-40s %10.0f %10.1f  %s\n", name.c_str(), d, r,
+                Sparkline((*history)["c:" + name]).c_str());
+  }
+
+  const obs::JsonValue* wh =
+      window != nullptr ? window->Find("histograms") : nullptr;
+  if (wh != nullptr) {
+    std::printf("\n%-40s %8s %8s %8s %8s  %s\n", "histogram (windowed)",
+                "rate/s", "p50", "p95", "p99", "p99 trend");
+    for (const auto& [name, entry] : wh->members()) {
+      if (name.rfind(options.prefix, 0) != 0) continue;
+      const obs::JsonValue* count = entry.Find("count");
+      const obs::JsonValue* rate = entry.Find("rate");
+      const obs::JsonValue* p50 = entry.Find("p50");
+      const obs::JsonValue* p95 = entry.Find("p95");
+      const obs::JsonValue* p99 = entry.Find("p99");
+      const double c = count != nullptr ? count->AsNumber() : 0.0;
+      const double p99v = p99 != nullptr ? p99->AsNumber() : 0.0;
+      const bool seen = history->find("h:" + name) != history->end();
+      if (c <= 0.0 && !seen) continue;
+      PushSpark(history, "h:" + name, p99v);
+      std::printf("%-40s %8.1f %8.1f %8.1f %8.1f  %s\n", name.c_str(),
+                  rate != nullptr ? rate->AsNumber() : 0.0,
+                  p50 != nullptr ? p50->AsNumber() : 0.0,
+                  p95 != nullptr ? p95->AsNumber() : 0.0, p99v,
+                  Sparkline((*history)["h:" + name]).c_str());
+    }
+  }
+}
+
+/// Fetches stats+health, reconnecting once on transport failure (the
+/// common statscope failure is the server restarting under it — the
+/// TCP connection dies, the new process listens on the same port).
+bool FetchBoth(std::optional<net::Client>* client, const Options& options,
+               std::string* stats_json, std::string* health_json) {
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (!client->has_value()) {
+      StatusOr<net::Client> fresh = net::Client::Connect(
+          options.host, static_cast<uint16_t>(options.port));
+      if (!fresh.ok()) {
+        std::fprintf(stderr, "statscope: reconnect: %s\n",
+                     fresh.status().ToString().c_str());
+        return false;
+      }
+      client->emplace(std::move(*fresh));
+      std::fprintf(stderr, "statscope: reconnected\n");
+    }
+    StatusOr<std::string> stats = (*client)->Stats();
+    if (stats.ok()) {
+      StatusOr<std::string> health = (*client)->Health();
+      if (health.ok()) {
+        *stats_json = std::move(*stats);
+        *health_json = std::move(*health);
+        return true;
+      }
+      std::fprintf(stderr, "statscope: health: %s\n",
+                   health.status().ToString().c_str());
+    } else {
+      std::fprintf(stderr, "statscope: stats: %s\n",
+                   stats.status().ToString().c_str());
+    }
+    client->reset();  // drop the dead connection; retry once
+  }
+  return false;
 }
 
 }  // namespace
@@ -168,48 +356,72 @@ int main(int argc, char** argv) {
         ParseStringFlag(arg, "--prefix", &options.prefix)) {
       continue;
     }
+    if (std::strcmp(arg, "--json") == 0) {
+      options.json = true;
+      continue;
+    }
+    if (std::strcmp(arg, "--dash") == 0) {
+      options.dash = true;
+      continue;
+    }
     std::fprintf(stderr, "statscope: unknown flag '%s'\n", arg);
     Usage();
   }
   if (options.port <= 0) Usage();
+  if (options.json && options.dash) {
+    std::fprintf(stderr, "statscope: --json and --dash are exclusive\n");
+    Usage();
+  }
 
-  StatusOr<net::Client> client =
-      net::Client::Connect(options.host, static_cast<uint16_t>(options.port));
-  if (!client.ok()) {
-    std::fprintf(stderr, "statscope: %s\n", client.status().ToString().c_str());
-    return 1;
+  std::optional<net::Client> client;
+  {
+    StatusOr<net::Client> first = net::Client::Connect(
+        options.host, static_cast<uint16_t>(options.port));
+    if (!first.ok()) {
+      std::fprintf(stderr, "statscope: %s\n",
+                   first.status().ToString().c_str());
+      return 1;
+    }
+    client.emplace(std::move(*first));
   }
 
   Snapshot prev, next;
+  SparkHistory spark_history;
   bool have_prev = false;
   for (int tick = 0; options.count <= 0 || tick < options.count; ++tick) {
     if (tick > 0) {
       std::this_thread::sleep_for(
           std::chrono::milliseconds(options.interval_ms));
-      std::printf("\n");
+      if (!options.json && !options.dash) std::printf("\n");
     }
-    StatusOr<std::string> stats_json = client->Stats();
-    if (!stats_json.ok()) {
-      std::fprintf(stderr, "statscope: stats: %s\n",
-                   stats_json.status().ToString().c_str());
-      return 1;
+    std::string stats_json, health_json;
+    if (!FetchBoth(&client, options, &stats_json, &health_json)) {
+      // Server gone (restarting, most likely). Skip this poll and keep
+      // trying — the next tick reconnects once it is back up.
+      std::fprintf(stderr, "statscope: server unreachable, retrying\n");
+      continue;
     }
-    StatusOr<std::string> health_json = client->Health();
-    if (!health_json.ok()) {
-      std::fprintf(stderr, "statscope: health: %s\n",
-                   health_json.status().ToString().c_str());
-      return 1;
+    if (options.json) {
+      // Machine-readable: the raw server payloads, spliced untouched.
+      std::printf("{\"poll\":%d,\"stats\":%s,\"health\":%s}\n", tick,
+                  stats_json.c_str(), health_json.c_str());
+      std::fflush(stdout);
+      continue;
     }
-    Result<obs::JsonValue> stats = obs::JsonParse(*stats_json);
-    Result<obs::JsonValue> health = obs::JsonParse(*health_json);
+    Result<obs::JsonValue> stats = obs::JsonParse(stats_json);
+    Result<obs::JsonValue> health = obs::JsonParse(health_json);
     if (!stats.ok() || !health.ok()) {
       std::fprintf(stderr, "statscope: server sent unparsable JSON\n");
       return 1;
     }
-    next = Snapshot();
-    PrintTick(*stats, *health, options, have_prev ? &prev : nullptr, &next);
-    prev = std::move(next);
-    have_prev = true;
+    if (options.dash) {
+      PrintDash(*stats, *health, options, tick, &spark_history);
+    } else {
+      next = Snapshot();
+      PrintTick(*stats, *health, options, have_prev ? &prev : nullptr, &next);
+      prev = std::move(next);
+      have_prev = true;
+    }
     std::fflush(stdout);
   }
   return 0;
