@@ -272,7 +272,8 @@ Encoded TableEncoderModel::EncodeInference(const TokenizedTable& input,
 
   Encoded out;
   Tensor hidden = encoder_->ForwardInference(
-      x, bias_ptr, options.capture_attention ? &out.attention : nullptr);
+      x, bias_ptr, options.capture_attention ? &out.attention : nullptr,
+      options.precision);
   out.hidden = ag::Variable::Constant(hidden);
 
   if (options.need_cells && !input.cells.empty()) {
@@ -297,7 +298,9 @@ Encoded TableEncoderModel::EncodeInference(const TokenizedTable& input,
       }
       nn::AttentionBias vb;
       vb.shared = std::move(vbias);
-      Tensor refined = vertical_attn_->ForwardInference(cells, &vb);
+      Tensor refined =
+          vertical_attn_->ForwardInference(cells, &vb, nullptr,
+                                           options.precision);
       cells = vertical_ln_->ForwardInference(ops::Add(cells, refined));
     }
     out.cells = ag::Variable::Constant(cells);
@@ -320,14 +323,85 @@ ag::Variable& TableEncoderModel::entity_embedding_weight() {
   return entity_emb_->weight();
 }
 
+int64_t TableEncoderModel::CalibrateInt8(
+    const std::vector<TokenizedTable>& corpus) {
+  TABREP_CHECK(!training()) << "CalibrateInt8 requires eval mode";
+  {
+    nn::Int8CalibrationScope scope;
+    ag::NoGradScope no_grad;
+    EncodeOptions opts;
+    opts.inference = true;
+    for (const TokenizedTable& table : corpus) {
+      Encode(table, init_rng_, opts);
+    }
+  }
+  int64_t calibrated = 0;
+  Visit("model/", [&calibrated](const std::string&, nn::Module* m) {
+    auto* linear = dynamic_cast<nn::Linear*>(m);
+    if (linear != nullptr && linear->act_absmax() > 0.0f) {
+      linear->FinalizeInt8();
+      ++calibrated;
+    }
+  });
+  return calibrated;
+}
+
 TensorMap TableEncoderModel::ExportStateDict() {
   TensorMap out;
   ExportState("model/", &out);
+  Visit("model/", [&out](const std::string& prefix, nn::Module* m) {
+    auto* linear = dynamic_cast<nn::Linear*>(m);
+    if (linear == nullptr || !(linear->act_absmax() > 0.0f)) return;
+    out["quant/" + prefix + "act_absmax"] =
+        Tensor::Of({linear->act_absmax()});
+    const kernels::QuantizedMatrix& q = linear->quantized_weights();
+    if (!q.empty()) {
+      out["quant/" + prefix + "w_scale"] = Tensor::FromVector(
+          {linear->out_features()},
+          std::vector<float>(q.scale.begin(), q.scale.end()));
+    }
+  });
   return out;
 }
 
 Status TableEncoderModel::ImportStateDict(const TensorMap& state) {
-  return ImportState("model/", state);
+  TABREP_RETURN_IF_ERROR(ImportState("model/", state));
+  Status status = Status::OK();
+  Visit("model/", [&](const std::string& prefix, nn::Module* m) {
+    auto* linear = dynamic_cast<nn::Linear*>(m);
+    if (linear == nullptr || !status.ok()) return;
+    auto absmax_it = state.find("quant/" + prefix + "act_absmax");
+    if (absmax_it == state.end()) return;
+    if (absmax_it->second.numel() != 1) {
+      status = Status::InvalidArgument("quant/" + prefix +
+                                       "act_absmax must hold one scalar");
+      return;
+    }
+    linear->set_act_absmax(absmax_it->second[0]);
+    // Repacking from the imported f32 weights is deterministic, so the
+    // packed bytes need not travel; the recorded scales cross-check
+    // that the weights the absmax was calibrated against match.
+    linear->FinalizeInt8();
+    auto scale_it = state.find("quant/" + prefix + "w_scale");
+    if (scale_it == state.end()) return;
+    const kernels::QuantizedMatrix& q = linear->quantized_weights();
+    if (scale_it->second.numel() != linear->out_features()) {
+      status = Status::InvalidArgument(
+          "quant/" + prefix + "w_scale has " +
+          std::to_string(scale_it->second.numel()) + " entries; expected " +
+          std::to_string(linear->out_features()));
+      return;
+    }
+    for (int64_t j = 0; j < linear->out_features(); ++j) {
+      if (scale_it->second[j] != q.scale[static_cast<size_t>(j)]) {
+        status = Status::InvalidArgument(
+            "quant/" + prefix + "w_scale[" + std::to_string(j) +
+            "] does not match the scale repacked from the imported weights");
+        return;
+      }
+    }
+  });
+  return status;
 }
 
 std::unique_ptr<TableEncoderModel> CreateModel(const ModelConfig& config) {

@@ -29,6 +29,12 @@ struct EncodeOptions {
   /// Requires eval mode (training() == false). Encode also switches to
   /// this path automatically when an ag::NoGradScope is active.
   bool inference = false;
+  /// Numeric precision for the inference path's Linear projections
+  /// (attention Q/K/V/out and FFN). kInt8 takes effect only on the
+  /// graph-free path and only for layers calibrated via CalibrateInt8
+  /// or an imported quantized checkpoint; uncalibrated layers fall
+  /// back to f32. The graph path ignores this field.
+  kernels::Precision precision = kernels::Precision::kFloat32;
 };
 
 /// Result of encoding one serialized table.
@@ -75,7 +81,20 @@ class TableEncoderModel : public nn::Module {
   const ModelConfig& config() const { return config_; }
   int64_t dim() const { return config_.transformer.dim; }
 
-  /// Checkpointing: state dict under a "model/" prefix.
+  /// Calibration pass for the int8 inference path: encodes each table
+  /// graph-free under an Int8CalibrationScope (recording per-layer
+  /// activation absmax), then quantizes and packs every Linear that
+  /// saw data. Deterministic for a fixed corpus: absmax is a
+  /// commutative max, so thread count and table order don't change the
+  /// scales. Requires eval mode. Returns the number of calibrated
+  /// Linear layers.
+  int64_t CalibrateInt8(const std::vector<TokenizedTable>& corpus);
+
+  /// Checkpointing: state dict under a "model/" prefix. Calibrated
+  /// layers additionally export "quant/model/<path>act_absmax" ([1])
+  /// and "quant/model/<path>w_scale" ([out]); import restores the
+  /// absmax and repacks the int8 weights from the imported f32 weights
+  /// (deterministic), cross-checking the recorded per-channel scales.
   TensorMap ExportStateDict();
   Status ImportStateDict(const TensorMap& state);
 

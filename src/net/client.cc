@@ -91,10 +91,12 @@ StatusOr<Frame> Client::ReadFrame() {
   }
 }
 
-Status Client::SendEncodeRequest(const TokenizedTable& table, uint32_t seq) {
+Status Client::SendEncodeRequest(const TokenizedTable& table, uint32_t seq,
+                                 kernels::Precision precision) {
   Frame frame;
   frame.type = MessageType::kEncodeRequest;
   frame.seq = seq;
+  if (precision == kernels::Precision::kInt8) frame.flags |= kFlagInt8;
   EncodeTokenizedTable(table, &frame.payload);
   return WriteAll(EncodeFrame(frame));
 }
@@ -116,9 +118,10 @@ StatusOr<EncodeResult> Client::ReadResponse() {
   return result;
 }
 
-StatusOr<EncodeResult> Client::Encode(const TokenizedTable& table) {
+StatusOr<EncodeResult> Client::Encode(const TokenizedTable& table,
+                                      kernels::Precision precision) {
   const uint32_t seq = next_seq_++;
-  TABREP_RETURN_IF_ERROR(SendEncodeRequest(table, seq));
+  TABREP_RETURN_IF_ERROR(SendEncodeRequest(table, seq, precision));
   TABREP_ASSIGN_OR_RETURN(result, ReadResponse());
   if (result.seq != seq) {
     return Status::Internal("response seq mismatch (pipelining misuse?)");

@@ -43,15 +43,20 @@ class Client {
   Client& operator=(const Client&) = delete;
   ~Client();
 
-  /// Frames and writes one encode request carrying `seq`.
-  Status SendEncodeRequest(const TokenizedTable& table, uint32_t seq);
+  /// Frames and writes one encode request carrying `seq`. kInt8 sets
+  /// kFlagInt8 so the server runs the quantized inference path.
+  Status SendEncodeRequest(
+      const TokenizedTable& table, uint32_t seq,
+      kernels::Precision precision = kernels::Precision::kFloat32);
 
   /// Blocks for the next response frame (encode responses only; pongs
   /// are surfaced to Ping callers, not here).
   StatusOr<EncodeResult> ReadResponse();
 
   /// Closed-loop convenience: send + read one response.
-  StatusOr<EncodeResult> Encode(const TokenizedTable& table);
+  StatusOr<EncodeResult> Encode(
+      const TokenizedTable& table,
+      kernels::Precision precision = kernels::Precision::kFloat32);
 
   /// Round-trips a ping frame (connectivity probe).
   Status Ping();

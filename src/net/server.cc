@@ -19,6 +19,7 @@
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "tensor/arena.h"
+#include "tensor/kernels.h"
 
 namespace tabrep::net {
 
@@ -529,7 +530,10 @@ void Server::HandleFrame(Connection& conn, Frame frame) {
   // dispatcher stamps the trace's dequeued/encode triple through the
   // raw pointer before resolving the future; ownership stays with the
   // PendingCompletion so the trace outlives the encode.
-  pending.future = encoder_->Submit(*table, trace.get());
+  const kernels::Precision precision = (frame.flags & kFlagInt8) != 0
+                                           ? kernels::Precision::kInt8
+                                           : kernels::Precision::kFloat32;
+  pending.future = encoder_->Submit(*table, trace.get(), precision);
   pending.trace = std::move(trace);
   conn.inflight += 1;
   global_inflight_.fetch_add(1, std::memory_order_relaxed);
@@ -633,6 +637,12 @@ std::string Server::StatsJson() const {
   out += std::to_string(global_inflight_.load(std::memory_order_relaxed));
   out += ",\"access_log\":";
   out += access_log_ != nullptr && access_log_->enabled() ? "true" : "false";
+  // The kernel dispatch registry's resolved variant table (ISSUE 9):
+  // which implementation every op runs in this process, so a stats
+  // probe shows the deployed SIMD/int8 configuration. Additive within
+  // wire v1.
+  out += ",\"kernels\":";
+  out += kernels::VariantTableJson();
   out += "},\"metrics\":";
   // The whole registry — counters, gauges, and the stage histograms
   // with count/sum, which is what lets statscope and loadgen compute

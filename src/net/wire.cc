@@ -282,6 +282,7 @@ void EncodeEncodedTable(const serve::EncodedTable& encoded, std::string* out,
     *flags |= kFlagHasCells;
     AppendTensor(out, encoded.cells);
   }
+  if (encoded.precision == kernels::Precision::kInt8) *flags |= kFlagInt8;
 }
 
 StatusOr<serve::EncodedTable> DecodeEncodedTable(std::string_view payload,
@@ -295,6 +296,7 @@ StatusOr<serve::EncodedTable> DecodeEncodedTable(std::string_view payload,
     encoded.cells = std::move(cells);
     encoded.has_cells = true;
   }
+  if (flags & kFlagInt8) encoded.precision = kernels::Precision::kInt8;
   TABREP_RETURN_IF_ERROR(ExpectFullyConsumed(reader));
   return encoded;
 }

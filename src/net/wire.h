@@ -12,7 +12,10 @@
 //   4      1    version      kWireVersion (currently 1)
 //   5      1    type         MessageType
 //   6      1    status       StatusCode, 1:1 via WireStatusByte()
-//   7      1    flags        kFlagHasCells on encode responses
+//   7      1    flags        kFlagHasCells on encode responses;
+//                            kFlagInt8 on encode requests (asks for
+//                            the int8 inference path) and responses
+//                            (the precision the encode ran under)
 //   8      4    seq          client-chosen id, echoed in the response
 //   12     4    payload_size bounded by the decoder's max_payload
 //   16     …    payload
@@ -83,6 +86,10 @@ enum class MessageType : uint8_t {
 /// Encode responses: payload carries a cells tensor after the hidden
 /// tensor.
 inline constexpr uint8_t kFlagHasCells = 0x1;
+/// Encode requests: run the int8 quantized inference path. Echoed on
+/// the response. Additive within version 1 — old servers ignore
+/// unknown flag bits and serve f32, old clients never set it.
+inline constexpr uint8_t kFlagInt8 = 0x2;
 
 /// StatusCode <-> wire status byte. The mapping is the enum's
 /// underlying value, pinned by tests so the wire contract survives

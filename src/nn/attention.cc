@@ -147,7 +147,8 @@ ag::Variable MultiHeadSelfAttention::Forward(const ag::Variable& x,
 
 Tensor MultiHeadSelfAttention::ForwardInference(const Tensor& x,
                                                 const AttentionBias* bias,
-                                                Tensor* attn_probs_out) {
+                                                Tensor* attn_probs_out,
+                                                kernels::Precision precision) {
   TABREP_TRACE_SPAN("nn.attention");
   static obs::Counter& calls =
       obs::Registry::Get().counter("tabrep.nn.attention.calls");
@@ -174,9 +175,9 @@ Tensor MultiHeadSelfAttention::ForwardInference(const Tensor& x,
                                             : 0);
   runtime::ParallelFor(0, num_heads_, 1, [&](int64_t lo, int64_t hi) {
     for (int64_t h = lo; h < hi; ++h) {
-      Tensor q = q_[static_cast<size_t>(h)]->ForwardInference(x);
-      Tensor k = k_[static_cast<size_t>(h)]->ForwardInference(x);
-      Tensor v = v_[static_cast<size_t>(h)]->ForwardInference(x);
+      Tensor q = q_[static_cast<size_t>(h)]->ForwardInference(x, precision);
+      Tensor k = k_[static_cast<size_t>(h)]->ForwardInference(x, precision);
+      Tensor v = v_[static_cast<size_t>(h)]->ForwardInference(x, precision);
       const Tensor* head_bias = nullptr;
       if (bias) {
         if (bias->has_per_head()) {
@@ -196,7 +197,7 @@ Tensor MultiHeadSelfAttention::ForwardInference(const Tensor& x,
                                            keep_probs ? &probs_t : nullptr);
       if (keep_probs) head_probs[static_cast<size_t>(h)] = probs_t;
       head_outs[static_cast<size_t>(h)] =
-          out_[static_cast<size_t>(h)]->ForwardInference(ctx);
+          out_[static_cast<size_t>(h)]->ForwardInference(ctx, precision);
     }
   });
 

@@ -45,13 +45,17 @@ class MultiHeadSelfAttention : public Module {
   ag::Variable Forward(const ag::Variable& x, const AttentionBias* bias,
                        Rng& rng, Tensor* attn_probs_out = nullptr);
 
-  /// Graph-free forward on plain tensors. Mirrors Forward's
-  /// dropout-off path op for op (same per-head ParallelFor, same
-  /// head-order reduction, same capture hook), so outputs are bitwise
-  /// identical to the graph path at any thread count. Must not be
-  /// called with dropout active (checked).
-  Tensor ForwardInference(const Tensor& x, const AttentionBias* bias,
-                          Tensor* attn_probs_out = nullptr);
+  /// Graph-free forward on plain tensors. At kFloat32 it mirrors
+  /// Forward's dropout-off path op for op (same per-head ParallelFor,
+  /// same head-order reduction, same capture hook), so outputs are
+  /// bitwise identical to the graph path at any thread count. At kInt8
+  /// the Q/K/V/output projections run quantized (when calibrated);
+  /// score and context matmuls stay f32. Must not be called with
+  /// dropout active (checked).
+  Tensor ForwardInference(
+      const Tensor& x, const AttentionBias* bias,
+      Tensor* attn_probs_out = nullptr,
+      kernels::Precision precision = kernels::Precision::kFloat32);
 
   int64_t num_heads() const { return num_heads_; }
 

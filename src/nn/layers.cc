@@ -1,8 +1,31 @@
 #include "nn/layers.h"
 
+#include <cmath>
+
+#include "obs/metrics.h"
 #include "tensor/ops.h"
 
 namespace tabrep::nn {
+
+namespace {
+
+/// Depth of live calibration scopes, process-global (see the class
+/// comment in layers.h for why this is not thread-local).
+std::atomic<int> g_calibration_depth{0};
+
+}  // namespace
+
+Int8CalibrationScope::Int8CalibrationScope() {
+  g_calibration_depth.fetch_add(1, std::memory_order_relaxed);
+}
+
+Int8CalibrationScope::~Int8CalibrationScope() {
+  g_calibration_depth.fetch_sub(1, std::memory_order_relaxed);
+}
+
+bool Int8CalibrationScope::Active() {
+  return g_calibration_depth.load(std::memory_order_relaxed) > 0;
+}
 
 Linear::Linear(int64_t in_features, int64_t out_features, Rng& rng,
                float init_std)
@@ -16,9 +39,37 @@ ag::Variable Linear::Forward(const ag::Variable& x) {
   return ag::AddRowBroadcast(ag::MatMul(x, *weight_), *bias_);
 }
 
-Tensor Linear::ForwardInference(const Tensor& x) const {
+Tensor Linear::ForwardInference(const Tensor& x,
+                                kernels::Precision precision) const {
+  if (Int8CalibrationScope::Active()) {
+    float m = 0.0f;
+    const float* p = x.data();
+    const int64_t n = x.numel();
+    for (int64_t i = 0; i < n; ++i) m = std::max(m, std::fabs(p[i]));
+    float cur = act_absmax_.load(std::memory_order_relaxed);
+    while (m > cur && !act_absmax_.compare_exchange_weak(
+                          cur, m, std::memory_order_relaxed)) {
+    }
+  }
+  if (precision == kernels::Precision::kInt8) {
+    if (HasInt8()) {
+      Tensor out({x.rows(), out_features_});
+      kernels::MatMulInt8(x.data(), x.rows(), quant_, bias_->value().data(),
+                          act_absmax_.load(std::memory_order_relaxed),
+                          out.data());
+      return out;
+    }
+    static obs::Counter& fallback =
+        obs::Registry::Get().counter("tabrep.nn.int8_fallback");
+    fallback.Increment();
+  }
   return ops::AddRowBroadcast(ops::MatMul(x, weight_->value()),
                               bias_->value());
+}
+
+void Linear::FinalizeInt8() {
+  quant_ = kernels::PackWeightsInt8(weight_->value().data(), in_features_,
+                                    out_features_);
 }
 
 Embedding::Embedding(int64_t vocab_size, int64_t dim, Rng& rng, float init_std)
@@ -58,8 +109,10 @@ ag::Variable FeedForward::Forward(const ag::Variable& x) {
   return fc2_.Forward(ag::Gelu(fc1_.Forward(x)));
 }
 
-Tensor FeedForward::ForwardInference(const Tensor& x) const {
-  return fc2_.ForwardInference(ops::Gelu(fc1_.ForwardInference(x)));
+Tensor FeedForward::ForwardInference(const Tensor& x,
+                                     kernels::Precision precision) const {
+  return fc2_.ForwardInference(ops::Gelu(fc1_.ForwardInference(x, precision)),
+                               precision);
 }
 
 }  // namespace tabrep::nn

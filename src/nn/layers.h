@@ -1,12 +1,32 @@
 #ifndef TABREP_NN_LAYERS_H_
 #define TABREP_NN_LAYERS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
 #include "nn/module.h"
+#include "tensor/kernels_int8.h"
 
 namespace tabrep::nn {
+
+/// While a scope object is live (on any thread), every
+/// Linear::ForwardInference records the absmax of its input into the
+/// layer's activation calibration state. The flag is a process-global
+/// depth counter rather than thread-local because inference work fans
+/// out across the runtime pool's threads; absmax recording is a
+/// commutative max, so the result is independent of thread count and
+/// interleaving.
+class Int8CalibrationScope {
+ public:
+  Int8CalibrationScope();
+  ~Int8CalibrationScope();
+
+  Int8CalibrationScope(const Int8CalibrationScope&) = delete;
+  Int8CalibrationScope& operator=(const Int8CalibrationScope&) = delete;
+
+  static bool Active();
+};
 
 /// Affine map y = x W + b for 2-D inputs [n, in].
 class Linear : public Module {
@@ -16,9 +36,34 @@ class Linear : public Module {
          float init_std = 0.02f);
 
   ag::Variable Forward(const ag::Variable& x);
-  /// Graph-free forward on plain tensors: the same ops:: sequence as
-  /// Forward, so the values are bitwise identical.
-  Tensor ForwardInference(const Tensor& x) const;
+  /// Graph-free forward on plain tensors. At kFloat32 this is the same
+  /// ops:: sequence as Forward, so the values are bitwise identical.
+  /// At kInt8 it runs kernels::MatMulInt8 against the packed weights —
+  /// but only when the layer is calibrated (FinalizeInt8 ran after a
+  /// calibration pass observed a positive input absmax); otherwise it
+  /// falls back to f32 and bumps tabrep.nn.int8_fallback.
+  Tensor ForwardInference(
+      const Tensor& x,
+      kernels::Precision precision = kernels::Precision::kFloat32) const;
+
+  /// Quantizes and packs the current weight values for the int8 path.
+  /// Deterministic given the weights (see PackWeightsInt8); call after
+  /// weights are final (post-training / post-import).
+  void FinalizeInt8();
+
+  /// True when the int8 path is live: weights packed and a calibrated
+  /// activation absmax recorded.
+  bool HasInt8() const {
+    return !quant_.empty() && act_absmax_.load(std::memory_order_relaxed) > 0;
+  }
+
+  float act_absmax() const {
+    return act_absmax_.load(std::memory_order_relaxed);
+  }
+  void set_act_absmax(float absmax) {
+    act_absmax_.store(absmax, std::memory_order_relaxed);
+  }
+  const kernels::QuantizedMatrix& quantized_weights() const { return quant_; }
 
   int64_t in_features() const { return in_features_; }
   int64_t out_features() const { return out_features_; }
@@ -28,6 +73,11 @@ class Linear : public Module {
   int64_t out_features_;
   ag::Variable* weight_;  // [in, out]
   ag::Variable* bias_;    // [out]
+
+  /// Calibrated per-tensor input absmax; written via CAS-max during a
+  /// calibration scope (hence atomic + mutable through const forward).
+  mutable std::atomic<float> act_absmax_{0.0f};
+  kernels::QuantizedMatrix quant_;
 };
 
 /// Trainable lookup table: ids -> rows of a [vocab, dim] matrix.
@@ -71,8 +121,11 @@ class FeedForward : public Module {
   FeedForward(int64_t dim, int64_t hidden_dim, Rng& rng);
 
   ag::Variable Forward(const ag::Variable& x);
-  /// Graph-free forward (same ops:: sequence as Forward).
-  Tensor ForwardInference(const Tensor& x) const;
+  /// Graph-free forward (same ops:: sequence as Forward at kFloat32);
+  /// precision routes to both inner Linears.
+  Tensor ForwardInference(
+      const Tensor& x,
+      kernels::Precision precision = kernels::Precision::kFloat32) const;
 
  private:
   Linear fc1_;

@@ -51,6 +51,15 @@ Status Module::ImportState(const std::string& prefix, const TensorMap& state) {
   return Status::OK();
 }
 
+void Module::Visit(
+    const std::string& prefix,
+    const std::function<void(const std::string&, Module*)>& fn) {
+  fn(prefix, this);
+  for (auto& [name, child] : children_) {
+    child->Visit(prefix + name + "/", fn);
+  }
+}
+
 ag::Variable* Module::RegisterParam(const std::string& name, Tensor init) {
   auto [it, inserted] =
       params_.emplace(name, ag::Variable::Param(std::move(init)));

@@ -1,6 +1,7 @@
 #ifndef TABREP_NN_MODULE_H_
 #define TABREP_NN_MODULE_H_
 
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -41,6 +42,13 @@ class Module {
   /// Loads parameter values from `state` under `prefix`. Missing or
   /// shape-mismatched entries fail.
   Status ImportState(const std::string& prefix, const TensorMap& state);
+
+  /// Depth-first walk over this module and all children, with the same
+  /// slash-separated paths ExportState uses. Lets callers address
+  /// specific submodule types (e.g. every Linear) without each
+  /// composite forwarding a bespoke hook.
+  void Visit(const std::string& prefix,
+             const std::function<void(const std::string&, Module*)>& fn);
 
  protected:
   /// Registers a trainable parameter; the returned pointer is stable

@@ -12,6 +12,10 @@ namespace tabrep::nn {
 ///
 /// All take q[T, d], k[T, d], v[T, d]; `bias` is the additive mask
 /// (0 = visible, <= kMaskedScore = masked).
+///
+/// The per-pair work runs on kernels::Dot/Axpy, so these paths follow
+/// the kernel dispatch registry like everything else: pin TABREP_SIMD
+/// and the sparse sweep reruns on the pinned variant.
 
 /// Dense reference: softmax(q k^T / sqrt(d) + bias) v, computing every
 /// pair.

@@ -31,12 +31,13 @@ ag::Variable TransformerEncoderLayer::Forward(const ag::Variable& x,
 
 Tensor TransformerEncoderLayer::ForwardInference(const Tensor& x,
                                                  const AttentionBias* bias,
-                                                 Tensor* attn_probs_out) {
+                                                 Tensor* attn_probs_out,
+                                                 kernels::Precision precision) {
   TABREP_CHECK(!(training() && dropout_ > 0.0f))
       << "ForwardInference cannot apply dropout; call SetTraining(false)";
-  Tensor attn = attention_.ForwardInference(x, bias, attn_probs_out);
+  Tensor attn = attention_.ForwardInference(x, bias, attn_probs_out, precision);
   Tensor h = ln1_.ForwardInference(ops::Add(x, attn));
-  Tensor ffn = ffn_.ForwardInference(h);
+  Tensor ffn = ffn_.ForwardInference(h, precision);
   return ln2_.ForwardInference(ops::Add(h, ffn));
 }
 
@@ -63,11 +64,12 @@ ag::Variable TransformerEncoder::Forward(
 
 Tensor TransformerEncoder::ForwardInference(
     const Tensor& x, const AttentionBias* bias,
-    std::vector<Tensor>* attn_probs_out) {
+    std::vector<Tensor>* attn_probs_out, kernels::Precision precision) {
   Tensor h = x;
   for (auto& layer : layers_) {
     Tensor probs;
-    h = layer->ForwardInference(h, bias, attn_probs_out ? &probs : nullptr);
+    h = layer->ForwardInference(h, bias, attn_probs_out ? &probs : nullptr,
+                                precision);
     if (attn_probs_out) attn_probs_out->push_back(std::move(probs));
   }
   return h;

@@ -29,8 +29,12 @@ class TransformerEncoderLayer : public Module {
                        Rng& rng, Tensor* attn_probs_out = nullptr);
 
   /// Graph-free forward; requires eval mode (dropout would need rng).
-  Tensor ForwardInference(const Tensor& x, const AttentionBias* bias,
-                          Tensor* attn_probs_out = nullptr);
+  /// `precision` routes to the attention projections and the FFN
+  /// Linears; LayerNorms and residual adds stay f32.
+  Tensor ForwardInference(
+      const Tensor& x, const AttentionBias* bias,
+      Tensor* attn_probs_out = nullptr,
+      kernels::Precision precision = kernels::Precision::kFloat32);
 
  private:
   float dropout_;
@@ -52,8 +56,10 @@ class TransformerEncoder : public Module {
                        std::vector<Tensor>* attn_probs_out = nullptr);
 
   /// Graph-free forward over the stack (eval mode only).
-  Tensor ForwardInference(const Tensor& x, const AttentionBias* bias,
-                          std::vector<Tensor>* attn_probs_out = nullptr);
+  Tensor ForwardInference(
+      const Tensor& x, const AttentionBias* bias,
+      std::vector<Tensor>* attn_probs_out = nullptr,
+      kernels::Precision precision = kernels::Precision::kFloat32);
 
   const TransformerConfig& config() const { return config_; }
 

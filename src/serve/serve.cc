@@ -173,7 +173,8 @@ BatchedEncoder::~BatchedEncoder() {
 }
 
 std::future<StatusOr<EncodedTablePtr>> BatchedEncoder::Submit(
-    const TokenizedTable& input, obs::RequestContext* trace) {
+    const TokenizedTable& input, obs::RequestContext* trace,
+    kernels::Precision precision) {
   RequestsCounter().Increment();
   if (trace != nullptr) trace->submitted = true;
   // Fast paths resolve here without ever touching the dispatcher;
@@ -186,7 +187,13 @@ std::future<StatusOr<EncodedTablePtr>> BatchedEncoder::Submit(
     trace->encode_start = now;
     trace->encode_end = now;
   };
-  const uint64_t key = HashTokenizedTable(input);
+  // f32 requests keep the bare table hash (the key committed baselines
+  // and older callers observe); int8 salts it so the two precisions
+  // cache and coalesce independently.
+  uint64_t key = HashTokenizedTable(input);
+  if (precision == kernels::Precision::kInt8) {
+    HashMix(key, 0x38746e69ull);  // "int8"
+  }
   if (EncodedTablePtr cached = cache_.Get(key)) {
     CacheHitCounter().Increment();
     if (trace != nullptr) trace->cache_hit = true;
@@ -224,6 +231,7 @@ std::future<StatusOr<EncodedTablePtr>> BatchedEncoder::Submit(
     auto pending = std::make_shared<Pending>();
     pending->key = key;
     pending->table = input;  // the documented copy
+    pending->precision = precision;
     pending->waiters.push_back(Waiter{std::move(promise), trace});
     inflight_[key] = pending;
     queue_.push_back(std::move(pending));
@@ -232,8 +240,9 @@ std::future<StatusOr<EncodedTablePtr>> BatchedEncoder::Submit(
   return future;
 }
 
-StatusOr<EncodedTablePtr> BatchedEncoder::Encode(const TokenizedTable& input) {
-  return Submit(input).get();
+StatusOr<EncodedTablePtr> BatchedEncoder::Encode(const TokenizedTable& input,
+                                                 kernels::Precision precision) {
+  return Submit(input, nullptr, precision).get();
 }
 
 int64_t BatchedEncoder::queue_depth() const {
@@ -311,8 +320,10 @@ void BatchedEncoder::DispatcherLoop() {
         models::EncodeOptions opts;
         opts.need_cells = options_.need_cells;
         opts.inference = true;
+        opts.precision = p.precision;
         models::Encoded enc = model_->Encode(p.table, rng, opts);
         auto result = std::make_shared<EncodedTable>();
+        result->precision = p.precision;
         result->hidden = enc.hidden.value();
         if (enc.has_cells) {
           result->cells = enc.cells.value();

@@ -51,6 +51,10 @@ struct EncodedTable {
   Tensor hidden;  // [T, dim]
   Tensor cells;   // [num_cells, dim]; meaningful when has_cells
   bool has_cells = false;
+  /// Precision the encode actually ran at (int8 requests fall back to
+  /// f32 per layer when uncalibrated, but the request-level label is
+  /// what was asked for and cached under).
+  kernels::Precision precision = kernels::Precision::kFloat32;
 };
 
 using EncodedTablePtr = std::shared_ptr<const EncodedTable>;
@@ -161,12 +165,15 @@ class BatchedEncoder {
   /// shed, shutdown) stamp the dispatcher triple to the Submit call
   /// time so the queue/batch/inference stages read as ~zero.
   std::future<StatusOr<EncodedTablePtr>> Submit(
-      const TokenizedTable& input, obs::RequestContext* trace = nullptr);
+      const TokenizedTable& input, obs::RequestContext* trace = nullptr,
+      kernels::Precision precision = kernels::Precision::kFloat32);
 
   /// Blocking convenience wrapper: Submit + wait. Same status
   /// contract, same lifetime contract (the table is copied; safe to
   /// destroy `input` while the request is in flight).
-  StatusOr<EncodedTablePtr> Encode(const TokenizedTable& input);
+  StatusOr<EncodedTablePtr> Encode(
+      const TokenizedTable& input,
+      kernels::Precision precision = kernels::Precision::kFloat32);
 
   const EncodeCache& cache() const { return cache_; }
   const BatchedEncoderOptions& options() const { return options_; }
@@ -199,6 +206,7 @@ class BatchedEncoder {
   struct Pending {
     uint64_t key = 0;
     TokenizedTable table;  // owned copy of the leader's input
+    kernels::Precision precision = kernels::Precision::kFloat32;
     std::vector<Waiter> waiters;
     obs::RequestContext::TimePoint dequeued{};
     obs::RequestContext::TimePoint encode_start{};

@@ -1,0 +1,58 @@
+#ifndef TABREP_TENSOR_KERNEL_REGISTRY_H_
+#define TABREP_TENSOR_KERNEL_REGISTRY_H_
+
+// Internal machinery behind the kernel dispatch registry (see the
+// "Dispatch registry" section of kernels.h). Included only by kernel
+// translation units; each declares its ops as OpEntry<Fn> members of a
+// function-local-static registry struct, resolves them once against
+// ActiveSimdLevel(), and publishes their descriptors through
+// detail::RegisterVariantProvider.
+
+#include <vector>
+
+#include "tensor/kernels.h"
+
+namespace tabrep::kernels::detail {
+
+/// One candidate implementation of an op.
+template <typename Fn>
+struct Variant {
+  SimdLevel level;
+  const char* name;
+  Fn fn;
+};
+
+/// One op's variant table plus its resolved dispatch target. Variants
+/// must be listed in ascending level order; Resolve picks the highest
+/// variant at or below the cap, falling back to the lowest registered
+/// variant when none qualifies (an op with no naive algorithm still
+/// dispatches at TABREP_SIMD=naive — to its scalar tier).
+template <typename Fn>
+struct OpEntry {
+  const char* op = "";
+  std::vector<Variant<Fn>> variants;
+  Fn fn = nullptr;
+  const char* active = "";
+
+  void Resolve(SimdLevel cap) {
+    const Variant<Fn>* pick = &variants.front();
+    for (const Variant<Fn>& v : variants) {
+      if (v.level <= cap) pick = &v;
+    }
+    fn = pick->fn;
+    active = pick->name;
+  }
+
+  void Describe(std::vector<OpVariants>* out) const {
+    OpVariants d;
+    d.op = op;
+    d.active = active;
+    d.available.reserve(variants.size());
+    for (const Variant<Fn>& v : variants) d.available.emplace_back(v.name);
+    out->push_back(std::move(d));
+  }
+};
+
+}  // namespace tabrep::kernels::detail
+
+#endif  // TABREP_TENSOR_KERNEL_REGISTRY_H_

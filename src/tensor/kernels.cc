@@ -1,14 +1,18 @@
 #include "tensor/kernels.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
+#include "common/logging.h"
 #include "runtime/runtime.h"
 #include "tensor/aligned_buffer.h"
 #include "tensor/arena.h"
+#include "tensor/kernel_registry.h"
 
 #if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
 #define TABREP_KERNELS_X86 1
@@ -68,14 +72,30 @@ SimdLevel DetectSimdLevel() {
   }
 #endif
   const char* env = std::getenv("TABREP_SIMD");
-  if (env == nullptr) return best;
+  if (env == nullptr || *env == '\0') return best;
   std::string v(env);
-  for (char& c : v) c = static_cast<char>(std::tolower(c));
+  for (char& c : v) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (v == "auto" || v == "detect") return best;
+  if (v == "avx2") {
+    if (best != SimdLevel::kAvx2) {
+      TABREP_LOG(Warning) << "TABREP_SIMD=avx2 requested but "
+                          << (Avx2CompiledIn() ? "the cpu" : "this build")
+                          << " lacks AVX2/FMA; falling back to "
+                          << SimdLevelName(best);
+    }
+    return best;
+  }
   if (v == "0" || v == "off" || v == "false" || v == "scalar" || v == "none") {
     return SimdLevel::kScalar;
   }
-  // "avx2" grants the request only when the build and cpu support it;
-  // "auto" / unknown values keep the detected level.
+  if (v == "naive") return SimdLevel::kNaive;
+  TABREP_LOG(Warning) << "TABREP_SIMD=" << env
+                      << " is not a recognized level (accepted: auto, detect, "
+                         "avx2, scalar, 0, off, false, none, naive); "
+                         "auto-detecting "
+                      << SimdLevelName(best);
   return best;
 }
 
@@ -685,156 +705,65 @@ void ContextRowScalar(const float* __restrict s, const float* __restrict v,
   }
 }
 
-/// Dispatches one row of scores for the fused attention kernel.
-void ScoreRow(const float* qrow, const float* k, float* s, int64_t tk,
-              int64_t dk) {
-#if TABREP_KERNELS_X86
-  if (ActiveSimdLevel() == SimdLevel::kAvx2) {
-    MatMulTBRowAvx2(qrow, k, s, dk, tk);
-    return;
-  }
-#endif
-  MatMulTBRowScalar(qrow, k, s, dk, tk);
-}
+// ======================================================================
+// Registry variants. Full-signature wrappers around the scalar/AVX2
+// helpers above, one per (op, tier), so every implementation has a
+// name the dispatch registry can resolve and enumerate. Parallelism
+// lives inside the variant (or in the public wrapper for row/range
+// ops), never in the caller.
+// ======================================================================
 
-void SoftmaxRow(float* row, int64_t n) {
-#if TABREP_KERNELS_X86
-  if (ActiveSimdLevel() == SimdLevel::kAvx2) {
-    SoftmaxRowAvx2(row, n);
-    return;
-  }
-#endif
-  SoftmaxRowScalar(row, n);
-}
-
-}  // namespace
-
-SimdLevel ActiveSimdLevel() {
-  static const SimdLevel level = DetectSimdLevel();
-  return level;
-}
-
-const char* SimdLevelName(SimdLevel level) {
-  switch (level) {
-    case SimdLevel::kAvx2:
-      return "avx2";
-    case SimdLevel::kScalar:
-    default:
-      return "scalar";
-  }
-}
-
-bool Avx2CompiledIn() { return TABREP_KERNELS_X86 != 0; }
-
-int64_t GrainForFlopsPerRow(int64_t flops_per_row) {
-  return std::max<int64_t>(1, kChunkFlops / std::max<int64_t>(flops_per_row, 1));
-}
-
-void Fill(float* p, int64_t n, float value) {
-  std::fill_n(p, static_cast<size_t>(n), value);
-}
-
-void Scale(float* p, int64_t n, float s) {
-#if TABREP_KERNELS_X86
-  if (ActiveSimdLevel() == SimdLevel::kAvx2) {
-    ScaleAvx2(p, n, s);
-    return;
-  }
-#endif
+void ScaleScalar(float* p, int64_t n, float s) {
   for (int64_t i = 0; i < n; ++i) p[i] *= s;
 }
 
-void Axpy(float* y, const float* x, float scale, int64_t n) {
-#if TABREP_KERNELS_X86
-  if (ActiveSimdLevel() == SimdLevel::kAvx2) {
-    AxpyAvx2(y, x, scale, n);
-    return;
-  }
-#endif
-  AxpyScalar(y, x, scale, n);
-}
-
-void Add(float* out, const float* a, const float* b, int64_t n) {
-#if TABREP_KERNELS_X86
-  if (ActiveSimdLevel() == SimdLevel::kAvx2) {
-    AddAvx2(out, a, b, n);
-    return;
-  }
-#endif
+void AddScalar(float* out, const float* a, const float* b, int64_t n) {
   for (int64_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
 }
 
-void Mul(float* out, const float* a, const float* b, int64_t n) {
-#if TABREP_KERNELS_X86
-  if (ActiveSimdLevel() == SimdLevel::kAvx2) {
-    MulAvx2(out, a, b, n);
-    return;
-  }
-#endif
+void MulScalar(float* out, const float* a, const float* b, int64_t n) {
   for (int64_t i = 0; i < n; ++i) out[i] = a[i] * b[i];
 }
 
-void Tanh(float* out, const float* a, int64_t n) {
-  // ~20 flops per element once the polynomial exp is inlined.
-  const int64_t grain = GrainForFlopsPerRow(20);
-  runtime::ParallelFor(0, n, grain, [&](int64_t lo, int64_t hi) {
-#if TABREP_KERNELS_X86
-    if (ActiveSimdLevel() == SimdLevel::kAvx2) {
-      TanhAvx2(out, a, lo, hi);
-      return;
-    }
-#endif
-    for (int64_t i = lo; i < hi; ++i) out[i] = std::tanh(a[i]);
-  });
+void TanhRangeScalar(float* out, const float* a, int64_t lo, int64_t hi) {
+  for (int64_t i = lo; i < hi; ++i) out[i] = std::tanh(a[i]);
 }
 
-void Gelu(float* out, const float* a, int64_t n) {
-  const int64_t grain = GrainForFlopsPerRow(30);
-  runtime::ParallelFor(0, n, grain, [&](int64_t lo, int64_t hi) {
-#if TABREP_KERNELS_X86
-    if (ActiveSimdLevel() == SimdLevel::kAvx2) {
-      GeluAvx2(out, a, lo, hi);
-      return;
-    }
-#endif
-    for (int64_t i = lo; i < hi; ++i) out[i] = GeluScalar(a[i]);
-  });
+void GeluRangeScalar(float* out, const float* a, int64_t lo, int64_t hi) {
+  for (int64_t i = lo; i < hi; ++i) out[i] = GeluScalar(a[i]);
 }
 
-float Dot(const float* a, const float* b, int64_t n) {
-#if TABREP_KERNELS_X86
-  if (ActiveSimdLevel() == SimdLevel::kAvx2) return DotAvx2(a, b, n);
-#endif
-  return DotScalar(a, b, n);
-}
-
-void MatMul(const float* a, const float* b, float* c, int64_t m, int64_t k,
-            int64_t n) {
-  if (m <= 0 || n <= 0) return;
-#if TABREP_KERNELS_X86
-  if (ActiveSimdLevel() == SimdLevel::kAvx2) {
-    MatMulAvx2(a, b, c, m, k, n);
-    return;
-  }
-#endif
+void MatMulScalarPar(const float* a, const float* b, float* c, int64_t m,
+                     int64_t k, int64_t n) {
   runtime::ParallelFor(0, m, GrainForFlopsPerRow(k * n),
                        [&](int64_t lo, int64_t hi) {
                          MatMulRowsScalar(a, b, c, k, n, lo, hi);
                        });
 }
 
-void MatMulTransposedB(const float* a, const float* b, float* c, int64_t m,
+void MatMulTBScalarPar(const float* a, const float* b, float* c, int64_t m,
                        int64_t k, int64_t n) {
-  if (m <= 0 || n <= 0) return;
   runtime::ParallelFor(0, m, GrainForFlopsPerRow(k * n),
                        [&](int64_t lo, int64_t hi) {
                          for (int64_t i = lo; i < hi; ++i) {
-                           ScoreRow(a + i * k, b, c + i * n, n, k);
+                           MatMulTBRowScalar(a + i * k, b, c + i * n, k, n);
                          }
                        });
 }
 
-void Transpose(const float* a, float* out, int64_t m, int64_t n) {
+#if TABREP_KERNELS_X86
+void MatMulTBAvx2Par(const float* a, const float* b, float* c, int64_t m,
+                     int64_t k, int64_t n) {
+  runtime::ParallelFor(0, m, GrainForFlopsPerRow(k * n),
+                       [&](int64_t lo, int64_t hi) {
+                         for (int64_t i = lo; i < hi; ++i) {
+                           MatMulTBRowAvx2(a + i * k, b, c + i * n, k, n);
+                         }
+                       });
+}
+#endif
+
+void TransposeBlocked(const float* a, float* out, int64_t m, int64_t n) {
   for (int64_t i0 = 0; i0 < m; i0 += kTransposeBlock) {
     const int64_t i1 = std::min(m, i0 + kTransposeBlock);
     for (int64_t j0 = 0; j0 < n; j0 += kTransposeBlock) {
@@ -847,59 +776,10 @@ void Transpose(const float* a, float* out, int64_t m, int64_t n) {
   }
 }
 
-void SoftmaxRows(float* p, int64_t rows, int64_t n) {
-  if (rows <= 0 || n <= 0) return;
-  runtime::ParallelFor(0, rows, GrainForFlopsPerRow(4 * n),
-                       [&](int64_t lo, int64_t hi) {
-                         for (int64_t r = lo; r < hi; ++r) {
-                           SoftmaxRow(p + r * n, n);
-                         }
-                       });
-}
-
-void LogSoftmaxRows(float* p, int64_t rows, int64_t n) {
-  if (rows <= 0 || n <= 0) return;
-  runtime::ParallelFor(0, rows, GrainForFlopsPerRow(4 * n),
-                       [&](int64_t lo, int64_t hi) {
-                         for (int64_t r = lo; r < hi; ++r) {
-#if TABREP_KERNELS_X86
-                           if (ActiveSimdLevel() == SimdLevel::kAvx2) {
-                             LogSoftmaxRowAvx2(p + r * n, n);
-                             continue;
-                           }
-#endif
-                           LogSoftmaxRowScalar(p + r * n, n);
-                         }
-                       });
-}
-
-void LayerNormRows(float* p, const float* gamma, const float* beta,
-                   int64_t rows, int64_t n, float eps) {
-  if (rows <= 0 || n <= 0) return;
-  runtime::ParallelFor(0, rows, GrainForFlopsPerRow(6 * n),
-                       [&](int64_t lo, int64_t hi) {
-                         for (int64_t r = lo; r < hi; ++r) {
-#if TABREP_KERNELS_X86
-                           if (ActiveSimdLevel() == SimdLevel::kAvx2) {
-                             LayerNormRowAvx2(p + r * n, gamma, beta, n, eps);
-                             continue;
-                           }
-#endif
-                           LayerNormRowScalar(p + r * n, gamma, beta, n, eps);
-                         }
-                       });
-}
-
-void FusedAttention(const float* q, const float* k, const float* v,
-                    const float* bias, float scale, int64_t tq, int64_t tk,
-                    int64_t dk, int64_t dv, float* out, float* probs_out) {
-  if (tq <= 0 || tk <= 0) return;
-#if TABREP_KERNELS_X86
-  if (ActiveSimdLevel() == SimdLevel::kAvx2) {
-    FusedAttentionAvx2(q, k, v, bias, scale, tq, tk, dk, dv, out, probs_out);
-    return;
-  }
-#endif
+void FusedAttentionScalarPar(const float* q, const float* k, const float* v,
+                             const float* bias, float scale, int64_t tq,
+                             int64_t tk, int64_t dk, int64_t dv, float* out,
+                             float* probs_out) {
   const int64_t grain = GrainForFlopsPerRow(tk * (dk + dv));
   runtime::ParallelFor(0, tq, grain, [&](int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) {
@@ -920,6 +800,273 @@ void FusedAttention(const float* q, const float* k, const float* v,
       ContextRowScalar(s, v, out + i * dv, tk, dv);
     }
   });
+}
+
+// ======================================================================
+// The dispatch registry. One OpEntry per op, resolved once against
+// ActiveSimdLevel() on first use; every kernel call below goes through
+// its entry's resolved pointer.
+// ======================================================================
+
+struct Registry {
+  detail::OpEntry<void (*)(float*, int64_t, float)> scale;
+  detail::OpEntry<void (*)(float*, const float*, float, int64_t)> axpy;
+  detail::OpEntry<void (*)(float*, const float*, const float*, int64_t)> add;
+  detail::OpEntry<void (*)(float*, const float*, const float*, int64_t)> mul;
+  detail::OpEntry<void (*)(float*, const float*, int64_t, int64_t)> tanh_range;
+  detail::OpEntry<void (*)(float*, const float*, int64_t, int64_t)> gelu_range;
+  detail::OpEntry<float (*)(const float*, const float*, int64_t)> dot;
+  detail::OpEntry<void (*)(const float*, const float*, float*, int64_t,
+                           int64_t, int64_t)>
+      matmul;
+  detail::OpEntry<void (*)(const float*, const float*, float*, int64_t,
+                           int64_t, int64_t)>
+      matmul_tb;
+  detail::OpEntry<void (*)(const float*, float*, int64_t, int64_t)> transpose;
+  detail::OpEntry<void (*)(float*, int64_t)> softmax_row;
+  detail::OpEntry<void (*)(float*, int64_t)> log_softmax_row;
+  detail::OpEntry<void (*)(float*, const float*, const float*, int64_t, float)>
+      layernorm_row;
+  detail::OpEntry<void (*)(const float*, const float*, const float*,
+                           const float*, float, int64_t, int64_t, int64_t,
+                           int64_t, float*, float*)>
+      attention;
+
+  template <typename V>
+  void ForEach(V&& visit) {
+    visit(scale);
+    visit(axpy);
+    visit(add);
+    visit(mul);
+    visit(tanh_range);
+    visit(gelu_range);
+    visit(dot);
+    visit(matmul);
+    visit(matmul_tb);
+    visit(transpose);
+    visit(softmax_row);
+    visit(log_softmax_row);
+    visit(layernorm_row);
+    visit(attention);
+  }
+};
+
+Registry BuildRegistry() {
+  using SL = SimdLevel;
+  Registry r;
+  r.scale = {"scale", {{SL::kScalar, "scalar", &ScaleScalar}}};
+  r.axpy = {"axpy", {{SL::kScalar, "scalar", &AxpyScalar}}};
+  r.add = {"add", {{SL::kScalar, "scalar", &AddScalar}}};
+  r.mul = {"mul", {{SL::kScalar, "scalar", &MulScalar}}};
+  r.tanh_range = {"tanh", {{SL::kScalar, "scalar", &TanhRangeScalar}}};
+  r.gelu_range = {"gelu", {{SL::kScalar, "scalar", &GeluRangeScalar}}};
+  r.dot = {"dot", {{SL::kScalar, "scalar", &DotScalar}}};
+  r.matmul = {"matmul",
+              {{SL::kNaive, "naive", &naive::MatMul},
+               {SL::kScalar, "scalar", &MatMulScalarPar}}};
+  r.matmul_tb = {"matmul_tb",
+                 {{SL::kNaive, "naive", &naive::MatMulTransposedB},
+                  {SL::kScalar, "scalar", &MatMulTBScalarPar}}};
+  r.transpose = {"transpose",
+                 {{SL::kNaive, "naive", &naive::Transpose},
+                  {SL::kScalar, "scalar", &TransposeBlocked}}};
+  r.softmax_row = {"softmax_rows", {{SL::kScalar, "scalar", &SoftmaxRowScalar}}};
+  r.log_softmax_row = {"log_softmax_rows",
+                       {{SL::kScalar, "scalar", &LogSoftmaxRowScalar}}};
+  r.layernorm_row = {"layernorm_rows",
+                     {{SL::kScalar, "scalar", &LayerNormRowScalar}}};
+  r.attention = {"attention",
+                 {{SL::kNaive, "naive", &naive::FusedAttention},
+                  {SL::kScalar, "scalar", &FusedAttentionScalarPar}}};
+#if TABREP_KERNELS_X86
+  r.scale.variants.push_back({SL::kAvx2, "avx2", &ScaleAvx2});
+  r.axpy.variants.push_back({SL::kAvx2, "avx2", &AxpyAvx2});
+  r.add.variants.push_back({SL::kAvx2, "avx2", &AddAvx2});
+  r.mul.variants.push_back({SL::kAvx2, "avx2", &MulAvx2});
+  r.tanh_range.variants.push_back({SL::kAvx2, "avx2", &TanhAvx2});
+  r.gelu_range.variants.push_back({SL::kAvx2, "avx2", &GeluAvx2});
+  r.dot.variants.push_back({SL::kAvx2, "avx2", &DotAvx2});
+  r.matmul.variants.push_back({SL::kAvx2, "avx2", &MatMulAvx2});
+  r.matmul_tb.variants.push_back({SL::kAvx2, "avx2", &MatMulTBAvx2Par});
+  r.softmax_row.variants.push_back({SL::kAvx2, "avx2", &SoftmaxRowAvx2});
+  r.log_softmax_row.variants.push_back({SL::kAvx2, "avx2", &LogSoftmaxRowAvx2});
+  r.layernorm_row.variants.push_back({SL::kAvx2, "avx2", &LayerNormRowAvx2});
+  r.attention.variants.push_back({SL::kAvx2, "avx2", &FusedAttentionAvx2});
+#endif
+  const SimdLevel cap = ActiveSimdLevel();
+  r.ForEach([cap](auto& entry) { entry.Resolve(cap); });
+  return r;
+}
+
+Registry& Reg() {
+  static Registry r = BuildRegistry();
+  return r;
+}
+
+std::vector<detail::VariantProvider>& Providers() {
+  static std::vector<detail::VariantProvider> providers;
+  return providers;
+}
+
+[[maybe_unused]] const bool kF32VariantsRegistered = [] {
+  detail::RegisterVariantProvider([](std::vector<OpVariants>* out) {
+    Reg().ForEach([out](auto& entry) { entry.Describe(out); });
+  });
+  return true;
+}();
+
+}  // namespace
+
+SimdLevel ActiveSimdLevel() {
+  static const SimdLevel level = DetectSimdLevel();
+  return level;
+}
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kNaive:
+      return "naive";
+    case SimdLevel::kScalar:
+    default:
+      return "scalar";
+  }
+}
+
+bool Avx2CompiledIn() { return TABREP_KERNELS_X86 != 0; }
+
+namespace detail {
+
+void RegisterVariantProvider(VariantProvider provider) {
+  for (VariantProvider p : Providers()) {
+    if (p == provider) return;
+  }
+  Providers().push_back(provider);
+}
+
+}  // namespace detail
+
+std::vector<OpVariants> ActiveVariantTable() {
+  std::vector<OpVariants> out;
+  for (detail::VariantProvider p : Providers()) p(&out);
+  std::sort(out.begin(), out.end(),
+            [](const OpVariants& a, const OpVariants& b) { return a.op < b.op; });
+  return out;
+}
+
+std::string VariantTableJson() {
+  std::string out = "{";
+  bool first = true;
+  for (const OpVariants& entry : ActiveVariantTable()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + entry.op + "\":{\"active\":\"" + entry.active +
+           "\",\"available\":[";
+    for (size_t i = 0; i < entry.available.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "\"" + entry.available[i] + "\"";
+    }
+    out += "]}";
+  }
+  out += "}";
+  return out;
+}
+
+int64_t GrainForFlopsPerRow(int64_t flops_per_row) {
+  return std::max<int64_t>(1, kChunkFlops / std::max<int64_t>(flops_per_row, 1));
+}
+
+void Fill(float* p, int64_t n, float value) {
+  std::fill_n(p, static_cast<size_t>(n), value);
+}
+
+void Scale(float* p, int64_t n, float s) { Reg().scale.fn(p, n, s); }
+
+void Axpy(float* y, const float* x, float scale, int64_t n) {
+  Reg().axpy.fn(y, x, scale, n);
+}
+
+void Add(float* out, const float* a, const float* b, int64_t n) {
+  Reg().add.fn(out, a, b, n);
+}
+
+void Mul(float* out, const float* a, const float* b, int64_t n) {
+  Reg().mul.fn(out, a, b, n);
+}
+
+void Tanh(float* out, const float* a, int64_t n) {
+  // ~20 flops per element once the polynomial exp is inlined.
+  const auto fn = Reg().tanh_range.fn;
+  const int64_t grain = GrainForFlopsPerRow(20);
+  runtime::ParallelFor(0, n, grain, [&](int64_t lo, int64_t hi) {
+    fn(out, a, lo, hi);
+  });
+}
+
+void Gelu(float* out, const float* a, int64_t n) {
+  const auto fn = Reg().gelu_range.fn;
+  const int64_t grain = GrainForFlopsPerRow(30);
+  runtime::ParallelFor(0, n, grain, [&](int64_t lo, int64_t hi) {
+    fn(out, a, lo, hi);
+  });
+}
+
+float Dot(const float* a, const float* b, int64_t n) {
+  return Reg().dot.fn(a, b, n);
+}
+
+void MatMul(const float* a, const float* b, float* c, int64_t m, int64_t k,
+            int64_t n) {
+  if (m <= 0 || n <= 0) return;
+  Reg().matmul.fn(a, b, c, m, k, n);
+}
+
+void MatMulTransposedB(const float* a, const float* b, float* c, int64_t m,
+                       int64_t k, int64_t n) {
+  if (m <= 0 || n <= 0) return;
+  Reg().matmul_tb.fn(a, b, c, m, k, n);
+}
+
+void Transpose(const float* a, float* out, int64_t m, int64_t n) {
+  Reg().transpose.fn(a, out, m, n);
+}
+
+void SoftmaxRows(float* p, int64_t rows, int64_t n) {
+  if (rows <= 0 || n <= 0) return;
+  const auto fn = Reg().softmax_row.fn;
+  runtime::ParallelFor(0, rows, GrainForFlopsPerRow(4 * n),
+                       [&](int64_t lo, int64_t hi) {
+                         for (int64_t r = lo; r < hi; ++r) fn(p + r * n, n);
+                       });
+}
+
+void LogSoftmaxRows(float* p, int64_t rows, int64_t n) {
+  if (rows <= 0 || n <= 0) return;
+  const auto fn = Reg().log_softmax_row.fn;
+  runtime::ParallelFor(0, rows, GrainForFlopsPerRow(4 * n),
+                       [&](int64_t lo, int64_t hi) {
+                         for (int64_t r = lo; r < hi; ++r) fn(p + r * n, n);
+                       });
+}
+
+void LayerNormRows(float* p, const float* gamma, const float* beta,
+                   int64_t rows, int64_t n, float eps) {
+  if (rows <= 0 || n <= 0) return;
+  const auto fn = Reg().layernorm_row.fn;
+  runtime::ParallelFor(0, rows, GrainForFlopsPerRow(6 * n),
+                       [&](int64_t lo, int64_t hi) {
+                         for (int64_t r = lo; r < hi; ++r) {
+                           fn(p + r * n, gamma, beta, n, eps);
+                         }
+                       });
+}
+
+void FusedAttention(const float* q, const float* k, const float* v,
+                    const float* bias, float scale, int64_t tq, int64_t tk,
+                    int64_t dk, int64_t dv, float* out, float* probs_out) {
+  if (tq <= 0 || tk <= 0) return;
+  Reg().attention.fn(q, k, v, bias, scale, tq, tk, dk, dv, out, probs_out);
 }
 
 // ======================================================================

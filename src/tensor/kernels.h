@@ -2,6 +2,8 @@
 #define TABREP_TENSOR_KERNELS_H_
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 namespace tabrep::kernels {
 
@@ -20,28 +22,75 @@ namespace tabrep::kernels {
 //    element is produced by exactly one chunk with a loop structure
 //    independent of the chunk bounds — results are bitwise identical
 //    at any thread count.
-//  * One SIMD decision per process. ActiveSimdLevel() is resolved
-//    once (compiled-in support ∧ cpu detection ∧ TABREP_SIMD
-//    override) and never changes, so a fixed build on a fixed machine
-//    always takes the same code path. The AVX2/FMA path and the
-//    portable path may differ in low-order bits (FMA contraction,
+//  * One dispatch decision per process. Each op resolves its variant
+//    table once (compiled-in support ∧ cpu detection ∧ TABREP_SIMD
+//    override) and never changes it, so a fixed build on a fixed
+//    machine always takes the same code path. The AVX2/FMA path and
+//    the portable path may differ in low-order bits (FMA contraction,
 //    polynomial exp/tanh); the naive references below define the
 //    semantics both must match to tight tolerance.
 
-/// Instruction sets a kernel dispatch can resolve to.
-enum class SimdLevel { kScalar = 0, kAvx2 = 1 };
+/// Instruction/algorithm tiers a kernel dispatch can resolve to,
+/// ordered from reference to fastest. The active level caps which
+/// variant each op picks; ops without a variant at or below the cap
+/// fall back to their lowest registered variant (e.g. elementwise ops
+/// have no separate naive algorithm, so kNaive resolves them to
+/// scalar).
+enum class SimdLevel { kNaive = 0, kScalar = 1, kAvx2 = 2 };
 
-/// The level every kernel in this process dispatches to. Resolved once
-/// on first use: TABREP_SIMD=off|0|scalar forces kScalar,
-/// TABREP_SIMD=avx2 requests AVX2 (falls back to scalar when the cpu
-/// or build lacks it), anything else auto-detects.
+/// The level capping every kernel dispatch in this process. Resolved
+/// once on first use from TABREP_SIMD (case-insensitive):
+///   auto, detect            — best of compiled-in support ∧ cpu
+///   avx2                    — AVX2/FMA (falls back with a logged
+///                             warning when the build or cpu lacks it)
+///   scalar, 0, off, false, none — portable scalar
+///   naive                   — serial reference algorithms
+/// Unknown values log a warning and auto-detect.
 SimdLevel ActiveSimdLevel();
 
-/// "scalar" / "avx2".
+/// "naive" / "scalar" / "avx2".
 const char* SimdLevelName(SimdLevel level);
 
 /// True when this binary carries the AVX2/FMA code path at all.
 bool Avx2CompiledIn();
+
+// -- Dispatch registry ---------------------------------------------------
+//
+// Every op in the kernel layer resolves through a per-op variant table
+// built once at startup: the registered variants (naive / scalar /
+// avx2 / int8's scalar+avx2 tiers) filtered by compiled-in support,
+// capped by ActiveSimdLevel(). The tables are enumerable so tests can
+// pin a variant (via TABREP_SIMD) and assert which one is live, the
+// benches can label rows, and the net stats plane can report the
+// deployed configuration.
+
+/// One op's resolved dispatch entry.
+struct OpVariants {
+  std::string op;                      // e.g. "matmul"
+  std::string active;                  // variant name actually dispatched
+  std::vector<std::string> available;  // all compiled-in variants
+};
+
+/// Snapshot of every registered op's variant table, sorted by op name.
+/// Forces resolution (same function-local-static path the kernels use),
+/// so the result reflects exactly what subsequent calls dispatch to.
+std::vector<OpVariants> ActiveVariantTable();
+
+/// ActiveVariantTable as a JSON object:
+///   {"matmul":{"active":"avx2","available":["naive","scalar","avx2"]},…}
+/// Embedded verbatim in the net server's kStats "server" section.
+std::string VariantTableJson();
+
+namespace detail {
+
+/// Cross-TU hook: each kernel translation unit (kernels.cc,
+/// kernels_int8.cc) registers one provider that appends its resolved
+/// op entries. Providers run on every ActiveVariantTable() call; the
+/// underlying tables are still resolved exactly once.
+using VariantProvider = void (*)(std::vector<OpVariants>*);
+void RegisterVariantProvider(VariantProvider provider);
+
+}  // namespace detail
 
 /// Row-partition grain: chunks sized so each covers roughly 2^15
 /// multiply-adds, amortizing pool dispatch on small shapes. Depends

@@ -1,0 +1,447 @@
+#include "tensor/kernels_int8.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/logging.h"
+#include "runtime/runtime.h"
+#include "tensor/kernel_registry.h"
+#include "tensor/kernels.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define TABREP_KERNELS_INT8_X86 1
+#include <immintrin.h>
+#else
+#define TABREP_KERNELS_INT8_X86 0
+#endif
+
+namespace tabrep::kernels {
+
+namespace {
+
+constexpr int64_t kColPanel = 8;  // output channels per packed panel
+constexpr int64_t kKGroup = 4;    // k rows per maddubs group
+
+/// Thread-local scratch for one quantized activation row (k_pad bytes).
+std::vector<uint8_t>& ActScratch(size_t n) {
+  thread_local std::vector<uint8_t> buf;
+  if (buf.size() < n) buf.resize(n);
+  return buf;
+}
+
+/// clamp-in-float before rounding so the scalar and AVX2 tiers saturate
+/// identically; round-nearest-even matches _mm256_cvtps_epi32.
+inline uint8_t QuantizeOneU8(float x, float inv_step) {
+  float v = x * inv_step;
+  v = std::min(static_cast<float>(kActQuantMax),
+               std::max(-static_cast<float>(kActQuantMax), v));
+  return static_cast<uint8_t>(std::lrintf(v) + kActZeroPoint);
+}
+
+void QuantizeRowScalar(const float* x, uint8_t* out, int64_t n,
+                       float inv_step) {
+  for (int64_t i = 0; i < n; ++i) out[i] = QuantizeOneU8(x[i], inv_step);
+}
+
+/// One output row of the integer GEMM against the packed layout (see
+/// QuantizedMatrix): per column, accumulate over k in ascending
+/// k-group order, then dequantize. The accumulation order is fixed by
+/// the layout alone, so any chunking of rows gives identical results.
+void Int8GemmRowScalar(const uint8_t* au8, const QuantizedMatrix& w,
+                       const float* bias, float act_step, float* orow) {
+  const int64_t panels = (w.n + kColPanel - 1) / kColPanel;
+  const int64_t kgroups = w.k_pad / kKGroup;
+  for (int64_t p = 0; p < panels; ++p) {
+    const int8_t* pw = w.packed.data() + p * w.k_pad * kColPanel;
+    const int64_t j0 = p * kColPanel;
+    const int64_t cols = std::min<int64_t>(kColPanel, w.n - j0);
+    for (int64_t c = 0; c < cols; ++c) {
+      int32_t acc = 0;
+      for (int64_t kg = 0; kg < kgroups; ++kg) {
+        const int8_t* wp = pw + kg * kKGroup * kColPanel + kKGroup * c;
+        const uint8_t* ap = au8 + kg * kKGroup;
+        acc += static_cast<int32_t>(ap[0]) * wp[0] +
+               static_cast<int32_t>(ap[1]) * wp[1] +
+               static_cast<int32_t>(ap[2]) * wp[2] +
+               static_cast<int32_t>(ap[3]) * wp[3];
+      }
+      const int64_t j = j0 + c;
+      const float deq =
+          static_cast<float>(acc - w.colsum[static_cast<size_t>(j)]) *
+          act_step * w.scale[static_cast<size_t>(j)];
+      orow[j] = bias != nullptr ? deq + bias[j] : deq;
+    }
+  }
+}
+
+void MatMulInt8Scalar(const float* x, int64_t m, const QuantizedMatrix& w,
+                      const float* bias, float act_absmax, float* out) {
+  const float inv_step =
+      act_absmax > 0.0f ? static_cast<float>(kActQuantMax) / act_absmax : 0.0f;
+  const float act_step =
+      act_absmax > 0.0f ? act_absmax / static_cast<float>(kActQuantMax) : 0.0f;
+  runtime::ParallelFor(0, m, GrainForFlopsPerRow(w.k * w.n),
+                       [&](int64_t lo, int64_t hi) {
+                         std::vector<uint8_t>& au8 =
+                             ActScratch(static_cast<size_t>(w.k_pad));
+                         for (int64_t i = lo; i < hi; ++i) {
+                           QuantizeRowScalar(x + i * w.k, au8.data(), w.k,
+                                             inv_step);
+                           for (int64_t kk = w.k; kk < w.k_pad; ++kk) {
+                             au8[static_cast<size_t>(kk)] =
+                                 static_cast<uint8_t>(kActZeroPoint);
+                           }
+                           Int8GemmRowScalar(au8.data(), w, bias, act_step,
+                                             out + i * w.n);
+                         }
+                       });
+}
+
+#if TABREP_KERNELS_INT8_X86
+
+__attribute__((target("avx2"))) void QuantizeRowAvx2(const float* x,
+                                                     uint8_t* out, int64_t n,
+                                                     float inv_step) {
+  const __m256 vinv = _mm256_set1_ps(inv_step);
+  const __m256 vmax = _mm256_set1_ps(static_cast<float>(kActQuantMax));
+  const __m256 vmin = _mm256_set1_ps(-static_cast<float>(kActQuantMax));
+  const __m256i vzp = _mm256_set1_epi32(kActZeroPoint);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 v = _mm256_mul_ps(_mm256_loadu_ps(x + i), vinv);
+    v = _mm256_max_ps(vmin, _mm256_min_ps(vmax, v));
+    const __m256i q = _mm256_add_epi32(_mm256_cvtps_epi32(v), vzp);
+    const __m128i p16 = _mm_packus_epi32(_mm256_castsi256_si128(q),
+                                         _mm256_extracti128_si256(q, 1));
+    const __m128i p8 = _mm_packus_epi16(p16, p16);
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(out + i), p8);
+  }
+  for (; i < n; ++i) out[i] = QuantizeOneU8(x[i], inv_step);
+}
+
+/// Integer accumulation for one k-group against one packed panel:
+/// maddubs pairs (u8 act · s8 weight, exact — see kWeightQuantMax),
+/// madd folds the pairs to one int32 per column.
+__attribute__((target("avx2"))) inline __m256i DotGroup(__m256i a4,
+                                                        const int8_t* pw,
+                                                        __m256i ones,
+                                                        __m256i acc) {
+  const __m256i wv =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pw));
+  return _mm256_add_epi32(acc,
+                          _mm256_madd_epi16(_mm256_maddubs_epi16(a4, wv), ones));
+}
+
+/// Dequantize-and-store epilogue for one full 8-column panel.
+__attribute__((target("avx2"))) inline void StoreDequant8(
+    __m256i acc, const QuantizedMatrix& w, int64_t j0, const float* bias,
+    __m256 vstep, float* orow) {
+  const __m256i cs = _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(w.colsum.data() + j0));
+  const __m256 f = _mm256_cvtepi32_ps(_mm256_sub_epi32(acc, cs));
+  const __m256 sc = _mm256_mul_ps(vstep, _mm256_loadu_ps(w.scale.data() + j0));
+  __m256 r = _mm256_mul_ps(f, sc);
+  if (bias != nullptr) r = _mm256_add_ps(r, _mm256_loadu_ps(bias + j0));
+  _mm256_storeu_ps(orow + j0, r);
+}
+
+/// Single-panel-at-a-time finish for panels [p_start, panels): shared
+/// by the one-row kernel's remainder and the two-row kernel's tail so
+/// every path produces bit-identical per-element results.
+__attribute__((target("avx2"))) void Int8GemmRowTailAvx2(
+    const uint8_t* au8, const QuantizedMatrix& w, const float* bias,
+    float act_step, float* orow, int64_t p_start) {
+  const int64_t panels = (w.n + kColPanel - 1) / kColPanel;
+  const int64_t kgroups = w.k_pad / kKGroup;
+  const int64_t panel_stride = w.k_pad * kColPanel;
+  const __m256i ones = _mm256_set1_epi16(1);
+  const __m256 vstep = _mm256_set1_ps(act_step);
+  const int8_t* packed = w.packed.data();
+  for (int64_t p = p_start; p < panels; ++p) {
+    const int8_t* pw = packed + p * panel_stride;
+    __m256i acc = _mm256_setzero_si256();
+    for (int64_t kg = 0; kg < kgroups; ++kg) {
+      int32_t abits;
+      std::memcpy(&abits, au8 + kg * kKGroup, sizeof(abits));
+      acc = DotGroup(_mm256_set1_epi32(abits), pw + kg * kKGroup * kColPanel,
+                     ones, acc);
+    }
+    const int64_t j0 = p * kColPanel;
+    if (w.n - j0 >= kColPanel) {
+      StoreDequant8(acc, w, j0, bias, vstep, orow);
+    } else {
+      // Partial tail panel: spill the lanes and finish scalar so no
+      // vector load runs past scale/colsum/bias.
+      alignas(32) int32_t lanes[8];
+      _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+      for (int64_t j = j0; j < w.n; ++j) {
+        const float deq =
+            static_cast<float>(lanes[j - j0] -
+                               w.colsum[static_cast<size_t>(j)]) *
+            act_step * w.scale[static_cast<size_t>(j)];
+        orow[j] = bias != nullptr ? deq + bias[j] : deq;
+      }
+    }
+  }
+}
+
+__attribute__((target("avx2"))) void Int8GemmRowAvx2(const uint8_t* au8,
+                                                     const QuantizedMatrix& w,
+                                                     const float* bias,
+                                                     float act_step,
+                                                     float* orow) {
+  const int64_t full_panels = w.n / kColPanel;
+  const int64_t kgroups = w.k_pad / kKGroup;
+  const int64_t panel_stride = w.k_pad * kColPanel;
+  const __m256i ones = _mm256_set1_epi16(1);
+  const __m256 vstep = _mm256_set1_ps(act_step);
+  const int8_t* packed = w.packed.data();
+
+  int64_t p = 0;
+  // Four panels (32 output channels) per pass: one activation
+  // broadcast feeds four maddubs/madd/add chains, amortizing the
+  // k-group load.
+  for (; p + 4 <= full_panels; p += 4) {
+    const int8_t* pw0 = packed + (p + 0) * panel_stride;
+    const int8_t* pw1 = packed + (p + 1) * panel_stride;
+    const int8_t* pw2 = packed + (p + 2) * panel_stride;
+    const int8_t* pw3 = packed + (p + 3) * panel_stride;
+    __m256i acc0 = _mm256_setzero_si256(), acc1 = _mm256_setzero_si256();
+    __m256i acc2 = _mm256_setzero_si256(), acc3 = _mm256_setzero_si256();
+    for (int64_t kg = 0; kg < kgroups; ++kg) {
+      int32_t abits;
+      std::memcpy(&abits, au8 + kg * kKGroup, sizeof(abits));
+      const __m256i a4 = _mm256_set1_epi32(abits);
+      const int64_t off = kg * kKGroup * kColPanel;
+      acc0 = DotGroup(a4, pw0 + off, ones, acc0);
+      acc1 = DotGroup(a4, pw1 + off, ones, acc1);
+      acc2 = DotGroup(a4, pw2 + off, ones, acc2);
+      acc3 = DotGroup(a4, pw3 + off, ones, acc3);
+    }
+    StoreDequant8(acc0, w, (p + 0) * kColPanel, bias, vstep, orow);
+    StoreDequant8(acc1, w, (p + 1) * kColPanel, bias, vstep, orow);
+    StoreDequant8(acc2, w, (p + 2) * kColPanel, bias, vstep, orow);
+    StoreDequant8(acc3, w, (p + 3) * kColPanel, bias, vstep, orow);
+  }
+  Int8GemmRowTailAvx2(au8, w, bias, act_step, orow, p);
+}
+
+/// Two output rows at once: each packed k-group load now feeds eight
+/// dot chains instead of four, halving weight traffic per output —
+/// the single-row kernel is weight-bandwidth/issue bound. Every output
+/// element keeps the exact accumulation sequence of the single-row
+/// kernel (same k-group order, same integer arithmetic, same
+/// epilogue), so row pairing can never change a bit of the result.
+__attribute__((target("avx2"))) void Int8GemmRow2Avx2(
+    const uint8_t* a0u8, const uint8_t* a1u8, const QuantizedMatrix& w,
+    const float* bias, float act_step, float* orow0, float* orow1) {
+  const int64_t full_panels = w.n / kColPanel;
+  const int64_t kgroups = w.k_pad / kKGroup;
+  const int64_t panel_stride = w.k_pad * kColPanel;
+  const __m256i ones = _mm256_set1_epi16(1);
+  const __m256 vstep = _mm256_set1_ps(act_step);
+  const int8_t* packed = w.packed.data();
+
+  int64_t p = 0;
+  for (; p + 4 <= full_panels; p += 4) {
+    const int8_t* pw0 = packed + (p + 0) * panel_stride;
+    const int8_t* pw1 = packed + (p + 1) * panel_stride;
+    const int8_t* pw2 = packed + (p + 2) * panel_stride;
+    const int8_t* pw3 = packed + (p + 3) * panel_stride;
+    __m256i acc00 = _mm256_setzero_si256(), acc01 = _mm256_setzero_si256();
+    __m256i acc02 = _mm256_setzero_si256(), acc03 = _mm256_setzero_si256();
+    __m256i acc10 = _mm256_setzero_si256(), acc11 = _mm256_setzero_si256();
+    __m256i acc12 = _mm256_setzero_si256(), acc13 = _mm256_setzero_si256();
+    for (int64_t kg = 0; kg < kgroups; ++kg) {
+      int32_t abits0, abits1;
+      std::memcpy(&abits0, a0u8 + kg * kKGroup, sizeof(abits0));
+      std::memcpy(&abits1, a1u8 + kg * kKGroup, sizeof(abits1));
+      const __m256i a40 = _mm256_set1_epi32(abits0);
+      const __m256i a41 = _mm256_set1_epi32(abits1);
+      const int64_t off = kg * kKGroup * kColPanel;
+      acc00 = DotGroup(a40, pw0 + off, ones, acc00);
+      acc10 = DotGroup(a41, pw0 + off, ones, acc10);
+      acc01 = DotGroup(a40, pw1 + off, ones, acc01);
+      acc11 = DotGroup(a41, pw1 + off, ones, acc11);
+      acc02 = DotGroup(a40, pw2 + off, ones, acc02);
+      acc12 = DotGroup(a41, pw2 + off, ones, acc12);
+      acc03 = DotGroup(a40, pw3 + off, ones, acc03);
+      acc13 = DotGroup(a41, pw3 + off, ones, acc13);
+    }
+    StoreDequant8(acc00, w, (p + 0) * kColPanel, bias, vstep, orow0);
+    StoreDequant8(acc01, w, (p + 1) * kColPanel, bias, vstep, orow0);
+    StoreDequant8(acc02, w, (p + 2) * kColPanel, bias, vstep, orow0);
+    StoreDequant8(acc03, w, (p + 3) * kColPanel, bias, vstep, orow0);
+    StoreDequant8(acc10, w, (p + 0) * kColPanel, bias, vstep, orow1);
+    StoreDequant8(acc11, w, (p + 1) * kColPanel, bias, vstep, orow1);
+    StoreDequant8(acc12, w, (p + 2) * kColPanel, bias, vstep, orow1);
+    StoreDequant8(acc13, w, (p + 3) * kColPanel, bias, vstep, orow1);
+  }
+  if (p < (w.n + kColPanel - 1) / kColPanel) {
+    // Remaining 1–3 full panels plus any partial tail: reuse the
+    // single-row tail path (bitwise-identical per element).
+    Int8GemmRowTailAvx2(a0u8, w, bias, act_step, orow0, p);
+    Int8GemmRowTailAvx2(a1u8, w, bias, act_step, orow1, p);
+  }
+}
+
+void MatMulInt8Avx2(const float* x, int64_t m, const QuantizedMatrix& w,
+                    const float* bias, float act_absmax, float* out) {
+  const float inv_step =
+      act_absmax > 0.0f ? static_cast<float>(kActQuantMax) / act_absmax : 0.0f;
+  const float act_step =
+      act_absmax > 0.0f ? act_absmax / static_cast<float>(kActQuantMax) : 0.0f;
+  runtime::ParallelFor(
+      0, m, GrainForFlopsPerRow(w.k * w.n), [&](int64_t lo, int64_t hi) {
+        // One thread-local buffer holding two quantized rows.
+        std::vector<uint8_t>& scratch =
+            ActScratch(static_cast<size_t>(2 * w.k_pad));
+        uint8_t* au8_0 = scratch.data();
+        uint8_t* au8_1 = scratch.data() + w.k_pad;
+        const auto quantize_row = [&](int64_t i, uint8_t* dst) {
+          QuantizeRowAvx2(x + i * w.k, dst, w.k, inv_step);
+          for (int64_t kk = w.k; kk < w.k_pad; ++kk) {
+            dst[kk] = static_cast<uint8_t>(kActZeroPoint);
+          }
+        };
+        int64_t i = lo;
+        for (; i + 2 <= hi; i += 2) {
+          quantize_row(i, au8_0);
+          quantize_row(i + 1, au8_1);
+          Int8GemmRow2Avx2(au8_0, au8_1, w, bias, act_step, out + i * w.n,
+                           out + (i + 1) * w.n);
+        }
+        for (; i < hi; ++i) {
+          quantize_row(i, au8_0);
+          Int8GemmRowAvx2(au8_0, w, bias, act_step, out + i * w.n);
+        }
+      });
+}
+
+#endif  // TABREP_KERNELS_INT8_X86
+
+/// The int8 side of the dispatch registry (ops "quantize_u8" and
+/// "matmul_int8"), resolved against the same ActiveSimdLevel() cap as
+/// the f32 table.
+struct Int8Registry {
+  detail::OpEntry<void (*)(const float*, uint8_t*, int64_t, float)> quantize;
+  detail::OpEntry<void (*)(const float*, int64_t, const QuantizedMatrix&,
+                           const float*, float, float*)>
+      matmul_int8;
+
+  template <typename V>
+  void ForEach(V&& visit) {
+    visit(quantize);
+    visit(matmul_int8);
+  }
+};
+
+Int8Registry BuildInt8Registry() {
+  using SL = SimdLevel;
+  Int8Registry r;
+  r.quantize = {"quantize_u8", {{SL::kScalar, "scalar", &QuantizeRowScalar}}};
+  r.matmul_int8 = {"matmul_int8",
+                   {{SL::kScalar, "scalar", &MatMulInt8Scalar}}};
+#if TABREP_KERNELS_INT8_X86
+  r.quantize.variants.push_back({SL::kAvx2, "avx2", &QuantizeRowAvx2});
+  r.matmul_int8.variants.push_back({SL::kAvx2, "avx2", &MatMulInt8Avx2});
+#endif
+  const SimdLevel cap = ActiveSimdLevel();
+  r.ForEach([cap](auto& entry) { entry.Resolve(cap); });
+  return r;
+}
+
+Int8Registry& Reg8() {
+  static Int8Registry r = BuildInt8Registry();
+  return r;
+}
+
+[[maybe_unused]] const bool kInt8VariantsRegistered = [] {
+  detail::RegisterVariantProvider([](std::vector<OpVariants>* out) {
+    Reg8().ForEach([out](auto& entry) { entry.Describe(out); });
+  });
+  return true;
+}();
+
+}  // namespace
+
+const char* PrecisionName(Precision precision) {
+  return precision == Precision::kInt8 ? "int8" : "f32";
+}
+
+QuantizedMatrix PackWeightsInt8(const float* w, int64_t k, int64_t n) {
+  TABREP_CHECK(k > 0 && n > 0) << "PackWeightsInt8 needs a non-empty matrix";
+  QuantizedMatrix q;
+  q.k = k;
+  q.n = n;
+  q.k_pad = (k + kKGroup - 1) / kKGroup * kKGroup;
+  const int64_t n_pad = (n + kColPanel - 1) / kColPanel * kColPanel;
+  q.packed.assign(static_cast<size_t>(n_pad * q.k_pad), 0);
+  q.scale.resize(static_cast<size_t>(n));
+  q.colsum.resize(static_cast<size_t>(n));
+  for (int64_t j = 0; j < n; ++j) {
+    float absmax = 0.0f;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      absmax = std::max(absmax, std::fabs(w[kk * n + j]));
+    }
+    const float scale =
+        absmax > 0.0f ? absmax / static_cast<float>(kWeightQuantMax) : 0.0f;
+    const float inv =
+        absmax > 0.0f ? static_cast<float>(kWeightQuantMax) / absmax : 0.0f;
+    q.scale[static_cast<size_t>(j)] = scale;
+    int8_t* panel =
+        q.packed.data() + (j / kColPanel) * q.k_pad * kColPanel;
+    const int64_t c = j % kColPanel;
+    int32_t sum = 0;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      float v = w[kk * n + j] * inv;
+      v = std::min(static_cast<float>(kWeightQuantMax),
+                   std::max(-static_cast<float>(kWeightQuantMax), v));
+      const int8_t wq = static_cast<int8_t>(std::lrintf(v));
+      sum += wq;
+      panel[(kk / kKGroup) * kKGroup * kColPanel + kKGroup * c +
+            (kk % kKGroup)] = wq;
+    }
+    q.colsum[static_cast<size_t>(j)] = kActZeroPoint * sum;
+  }
+  return q;
+}
+
+void DequantizeWeights(const QuantizedMatrix& w, float* out) {
+  for (int64_t j = 0; j < w.n; ++j) {
+    const int8_t* panel =
+        w.packed.data() + (j / kColPanel) * w.k_pad * kColPanel;
+    const int64_t c = j % kColPanel;
+    const float scale = w.scale[static_cast<size_t>(j)];
+    for (int64_t kk = 0; kk < w.k; ++kk) {
+      out[kk * w.n + j] =
+          scale * static_cast<float>(
+                      panel[(kk / kKGroup) * kKGroup * kColPanel +
+                            kKGroup * c + (kk % kKGroup)]);
+    }
+  }
+}
+
+void QuantizeU8(const float* x, uint8_t* out, int64_t n, float act_absmax) {
+  const float inv_step =
+      act_absmax > 0.0f ? static_cast<float>(kActQuantMax) / act_absmax : 0.0f;
+  Reg8().quantize.fn(x, out, n, inv_step);
+}
+
+void DequantizeU8(const uint8_t* q, float* out, int64_t n, float act_absmax) {
+  const float step =
+      act_absmax > 0.0f ? act_absmax / static_cast<float>(kActQuantMax) : 0.0f;
+  for (int64_t i = 0; i < n; ++i) {
+    out[i] = static_cast<float>(static_cast<int>(q[i]) - kActZeroPoint) * step;
+  }
+}
+
+void MatMulInt8(const float* x, int64_t m, const QuantizedMatrix& w,
+                const float* bias, float act_absmax, float* out) {
+  if (m <= 0 || w.empty()) return;
+  Reg8().matmul_int8.fn(x, m, w, bias, act_absmax, out);
+}
+
+}  // namespace tabrep::kernels

@@ -1,0 +1,98 @@
+#ifndef TABREP_TENSOR_KERNELS_INT8_H_
+#define TABREP_TENSOR_KERNELS_INT8_H_
+
+// Int8 quantized inference kernels (ISSUE 9). The scheme is the
+// standard post-training static one:
+//
+//  * Weights: per-output-channel symmetric. Column j of W[k,n] is
+//    quantized with scale[j] = absmax_j / kWeightQuantMax and packed
+//    ahead of time (PackWeightsInt8). The reduced range ±63 (not ±127)
+//    caps every u8·s8 pair sum at 2·255·63 = 32130 < 32767, so the
+//    AVX2 maddubs accumulation is exact — no int16 saturation anywhere
+//    in the integer pipeline, which is what makes results bitwise
+//    reproducible within a variant.
+//  * Activations: per-tensor symmetric with a statically calibrated
+//    absmax (recorded by the calibration pass, stored in the
+//    checkpoint). x quantizes to unsigned q+128 with
+//    q = clamp(round(x·127/absmax), -127, 127); the constant +128
+//    offset is folded out exactly via the packed column sums.
+//  * Epilogue: out[i,j] = act_step·scale[j]·(acc[i,j] − colsum[j]) +
+//    bias[j] in float, one multiply-multiply-add per element, computed
+//    by whichever chunk owns row i — bitwise identical at any thread
+//    count within a variant; scalar vs AVX2 agree to tolerance only
+//    (rounding-mode and contraction differences), like the f32 tiers.
+//
+// Inputs are assumed finite (the float clamp before rounding keeps the
+// scalar and vector paths aligned; NaN/Inf activations are outside the
+// contract, as everywhere else in the kernel layer).
+//
+// The variants here register with the kernel dispatch registry as ops
+// "quantize_u8" and "matmul_int8" (tiers scalar / avx2), so they honor
+// TABREP_SIMD pinning and appear in ActiveVariantTable().
+
+#include <cstdint>
+#include <vector>
+
+namespace tabrep::kernels {
+
+/// Numeric precision an inference call runs at. Routed from
+/// EncodeOptions::precision down through the nn layers to Linear.
+enum class Precision : uint8_t { kFloat32 = 0, kInt8 = 1 };
+
+/// "f32" / "int8".
+const char* PrecisionName(Precision precision);
+
+/// Weight quantization range ±63: keeps maddubs pair sums exact (see
+/// file header).
+inline constexpr int kWeightQuantMax = 63;
+/// Activation quantization range ±127 around the u8 zero point 128.
+inline constexpr int kActQuantMax = 127;
+inline constexpr int kActZeroPoint = 128;
+
+/// Per-output-channel int8 weights, packed for the u8·s8 dot-product
+/// microkernel: columns in panels of 8, k in groups of 4 —
+/// packed[panel·k_pad·8 + kg·32 + 4·c + i] = wq[kg·4 + i, panel·8 + c],
+/// zero-padded past k and n. Both the scalar and AVX2 tiers read this
+/// one layout, so a packed checkpoint serves either dispatch.
+struct QuantizedMatrix {
+  int64_t k = 0;      // input features
+  int64_t n = 0;      // output channels
+  int64_t k_pad = 0;  // k rounded up to a multiple of 4
+  std::vector<int8_t> packed;   // [round8(n) * k_pad]
+  std::vector<float> scale;     // [n] per-channel weight scales
+  std::vector<int32_t> colsum;  // [n] kActZeroPoint * sum_k wq[k, j]
+  bool empty() const { return n == 0; }
+};
+
+/// Quantizes and packs w[k,n] (row-major). Deterministic: scales come
+/// from exact column absmax, rounding is round-nearest-even, and the
+/// layout depends only on the shape. An all-zero column gets scale 0
+/// and contributes exactly bias to the output.
+QuantizedMatrix PackWeightsInt8(const float* w, int64_t k, int64_t n);
+
+/// Reconstructs the dequantized weights wq[k,n]·scale into out (for
+/// round-trip tests and error-bound checks).
+void DequantizeWeights(const QuantizedMatrix& w, float* out);
+
+/// Quantizes n floats to u8 around kActZeroPoint: out[i] =
+/// clamp(round(x[i]·inv_step), ±kActQuantMax) + kActZeroPoint, where
+/// inv_step = kActQuantMax / act_absmax (0 when act_absmax <= 0, which
+/// maps everything to the zero point). Registry op "quantize_u8".
+void QuantizeU8(const float* x, uint8_t* out, int64_t n, float act_absmax);
+
+/// Inverse map for round-trip tests: out[i] =
+/// (q[i] − kActZeroPoint) · act_absmax / kActQuantMax.
+void DequantizeU8(const uint8_t* q, float* out, int64_t n, float act_absmax);
+
+/// out[m,n] = dequant(quant(x[m,k]) · w) + bias (bias may be null).
+/// Quantizes each activation row on the fly with the calibrated
+/// act_absmax, runs the integer GEMM, dequantizes on the epilogue.
+/// Parallel over rows; every output element is produced by the chunk
+/// owning its row with a fixed accumulation order. Registry op
+/// "matmul_int8".
+void MatMulInt8(const float* x, int64_t m, const QuantizedMatrix& w,
+                const float* bias, float act_absmax, float* out);
+
+}  // namespace tabrep::kernels
+
+#endif  // TABREP_TENSOR_KERNELS_INT8_H_

@@ -1,14 +1,20 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
 #include "runtime/runtime.h"
 #include "tensor/aligned_buffer.h"
 #include "tensor/kernels.h"
+#include "tensor/kernels_int8.h"
 #include "tensor/tensor.h"
 
 // Proves the vectorized kernels match the retained naive references
@@ -263,11 +269,220 @@ TEST(KernelsTest, SimdLevelIsResolvedAndNamed) {
   const kernels::SimdLevel level = kernels::ActiveSimdLevel();
   EXPECT_EQ(level, kernels::ActiveSimdLevel());  // stable across calls
   const char* name = kernels::SimdLevelName(level);
-  EXPECT_TRUE(std::string(name) == "scalar" || std::string(name) == "avx2");
+  EXPECT_TRUE(std::string(name) == "naive" || std::string(name) == "scalar" ||
+              std::string(name) == "avx2");
   if (level == kernels::SimdLevel::kAvx2) {
     EXPECT_TRUE(kernels::Avx2CompiledIn());
   }
 }
 
+// -- Dispatch registry ----------------------------------------------------
+
+TEST(KernelsTest, VariantTableEnumeratesOpsAndPinsActive) {
+  const std::vector<kernels::OpVariants> table = kernels::ActiveVariantTable();
+  std::map<std::string, kernels::OpVariants> by_op;
+  for (const kernels::OpVariants& op : table) by_op[op.op] = op;
+  // Core f32 ops plus the int8 translation unit's ops must all be
+  // registered — the cross-TU provider hook is load-bearing here.
+  for (const char* op : {"matmul", "matmul_tb", "dot", "softmax_rows",
+                         "attention", "quantize_u8", "matmul_int8"}) {
+    ASSERT_EQ(by_op.count(op), 1u) << op;
+  }
+  const std::string active_level =
+      kernels::SimdLevelName(kernels::ActiveSimdLevel());
+  for (const kernels::OpVariants& op : table) {
+    ASSERT_FALSE(op.available.empty()) << op.op;
+    // The dispatched variant is always one of the compiled-in ones.
+    EXPECT_NE(std::find(op.available.begin(), op.available.end(), op.active),
+              op.available.end())
+        << op.op << " active=" << op.active;
+    // No op may dispatch above the resolved level.
+    if (op.active == "avx2") EXPECT_EQ(active_level, "avx2") << op.op;
+    if (active_level == "naive") EXPECT_NE(op.active, "avx2") << op.op;
+  }
+}
+
+TEST(KernelsTest, VariantTableJsonMentionsEveryOp) {
+  const std::string json = kernels::VariantTableJson();
+  for (const kernels::OpVariants& op : kernels::ActiveVariantTable()) {
+    EXPECT_NE(json.find("\"" + op.op + "\":{\"active\":\"" + op.active + "\""),
+              std::string::npos)
+        << op.op;
+  }
+}
+
+// -- Int8 quantization properties (randomized, seeded) --------------------
+
+TEST(KernelsTest, PackWeightsPerChannelScaleIsAbsmaxOverRange) {
+  Rng rng(50);
+  for (const MatShape& s : kMatShapes) {
+    std::vector<float> w = RandomVec(s.k * s.n, rng, -3.0f, 3.0f);
+    kernels::QuantizedMatrix q = kernels::PackWeightsInt8(w.data(), s.k, s.n);
+    ASSERT_EQ(q.k, s.k);
+    ASSERT_EQ(q.n, s.n);
+    ASSERT_EQ(q.scale.size(), static_cast<size_t>(s.n));
+    for (int64_t j = 0; j < s.n; ++j) {
+      float absmax = 0.0f;
+      for (int64_t i = 0; i < s.k; ++i)
+        absmax = std::max(absmax, std::fabs(w[i * s.n + j]));
+      EXPECT_FLOAT_EQ(q.scale[j],
+                      absmax / static_cast<float>(kernels::kWeightQuantMax))
+          << "col " << j;
+    }
+  }
+}
+
+TEST(KernelsTest, WeightRoundTripErrorBoundedByHalfStep) {
+  Rng rng(51);
+  for (const MatShape& s : kMatShapes) {
+    std::vector<float> w = RandomVec(s.k * s.n, rng, -2.0f, 2.0f);
+    kernels::QuantizedMatrix q = kernels::PackWeightsInt8(w.data(), s.k, s.n);
+    std::vector<float> back(static_cast<size_t>(s.k * s.n), -99.0f);
+    kernels::DequantizeWeights(q, back.data());
+    for (int64_t i = 0; i < s.k; ++i) {
+      for (int64_t j = 0; j < s.n; ++j) {
+        // Round-nearest within the symmetric range: error is at most
+        // half a quantization step of channel j.
+        const float err = std::fabs(back[i * s.n + j] - w[i * s.n + j]);
+        ASSERT_LE(err, 0.5f * q.scale[j] + 1e-6f)
+            << "(" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+TEST(KernelsTest, ActivationRoundTripBoundedAndSaturates) {
+  Rng rng(52);
+  const int64_t n = 513;
+  const float absmax = 2.5f;
+  std::vector<float> x = RandomVec(n, rng, -absmax, absmax);
+  // Out-of-range and boundary probes: quantization must saturate, not
+  // wrap, and zero must land exactly on the zero point.
+  x[0] = 10.0f;
+  x[1] = -10.0f;
+  x[2] = absmax;
+  x[3] = -absmax;
+  x[4] = 0.0f;
+  std::vector<uint8_t> q(static_cast<size_t>(n));
+  std::vector<float> back(static_cast<size_t>(n));
+  kernels::QuantizeU8(x.data(), q.data(), n, absmax);
+  kernels::DequantizeU8(q.data(), back.data(), n, absmax);
+  EXPECT_EQ(q[0], kernels::kActZeroPoint + kernels::kActQuantMax);  // 255
+  EXPECT_EQ(q[1], kernels::kActZeroPoint - kernels::kActQuantMax);  // 1
+  EXPECT_EQ(q[4], kernels::kActZeroPoint);
+  const float step = absmax / static_cast<float>(kernels::kActQuantMax);
+  for (int64_t i = 0; i < n; ++i) {
+    const float clamped = std::min(absmax, std::max(-absmax, x[i]));
+    ASSERT_NEAR(back[i], clamped, 0.5f * step + 1e-6f) << i;
+  }
+}
+
+TEST(KernelsTest, ZeroAbsmaxQuantizesToZeroPoint) {
+  const float x[3] = {-1.0f, 0.0f, 5.0f};
+  uint8_t q[3] = {0, 0, 0};
+  float back[3] = {-99.0f, -99.0f, -99.0f};
+  kernels::QuantizeU8(x, q, 3, 0.0f);
+  kernels::DequantizeU8(q, back, 3, 0.0f);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(q[i], kernels::kActZeroPoint) << i;
+    EXPECT_EQ(back[i], 0.0f) << i;
+  }
+}
+
+TEST(KernelsTest, ZeroChannelContributesExactlyBias) {
+  Rng rng(53);
+  const int64_t m = 5, k = 37, n = 19;
+  std::vector<float> w = RandomVec(k * n, rng);
+  for (int64_t i = 0; i < k; ++i) w[i * n + 7] = 0.0f;  // dead channel
+  std::vector<float> x = RandomVec(m * k, rng);
+  std::vector<float> bias = RandomVec(n, rng, -0.5f, 0.5f);
+  kernels::QuantizedMatrix q = kernels::PackWeightsInt8(w.data(), k, n);
+  EXPECT_EQ(q.scale[7], 0.0f);
+  std::vector<float> out(static_cast<size_t>(m * n));
+  kernels::MatMulInt8(x.data(), m, q, bias.data(), 2.0f, out.data());
+  // scale 0 zeroes the dequantize multiply, so the dead channel's
+  // output is bitwise the bias — no accumulated quantization noise.
+  for (int64_t i = 0; i < m; ++i) EXPECT_EQ(out[i * n + 7], bias[7]) << i;
+}
+
+TEST(KernelsTest, MatMulInt8MatchesDequantizedReference) {
+  Rng rng(54);
+  for (const MatShape& s : kMatShapes) {
+    std::vector<float> x = RandomVec(s.m * s.k, rng, -1.0f, 1.0f);
+    std::vector<float> w = RandomVec(s.k * s.n, rng, -1.0f, 1.0f);
+    std::vector<float> bias = RandomVec(s.n, rng, -0.5f, 0.5f);
+    float act_absmax = 0.0f;
+    for (float v : x) act_absmax = std::max(act_absmax, std::fabs(v));
+    kernels::QuantizedMatrix q = kernels::PackWeightsInt8(w.data(), s.k, s.n);
+    std::vector<float> got(static_cast<size_t>(s.m * s.n), -99.0f);
+    kernels::MatMulInt8(x.data(), s.m, q, bias.data(), act_absmax, got.data());
+
+    // Reference over the *dequantized* operands in double: isolates the
+    // integer pipeline (which must be exact up to the float epilogue)
+    // from the quantization error itself.
+    std::vector<float> wd(static_cast<size_t>(s.k * s.n));
+    kernels::DequantizeWeights(q, wd.data());
+    std::vector<uint8_t> xq(static_cast<size_t>(s.k));
+    std::vector<float> xd(static_cast<size_t>(s.k));
+    std::vector<float> want(static_cast<size_t>(s.m * s.n));
+    for (int64_t i = 0; i < s.m; ++i) {
+      kernels::QuantizeU8(x.data() + i * s.k, xq.data(), s.k, act_absmax);
+      kernels::DequantizeU8(xq.data(), xd.data(), s.k, act_absmax);
+      for (int64_t j = 0; j < s.n; ++j) {
+        double acc = 0.0;
+        for (int64_t kk = 0; kk < s.k; ++kk)
+          acc += static_cast<double>(xd[kk]) *
+                 static_cast<double>(wd[kk * s.n + j]);
+        want[i * s.n + j] = static_cast<float>(acc) + bias[j];
+      }
+    }
+    ExpectAllNear(got, want, 1e-4f);
+  }
+}
+
+TEST(KernelsTest, MatMulInt8ThreadCountInvariantBitwise) {
+  Rng rng(55);
+  const int64_t m = 33, k = 70, n = 45;
+  std::vector<float> x = RandomVec(m * k, rng);
+  std::vector<float> w = RandomVec(k * n, rng);
+  std::vector<float> bias = RandomVec(n, rng);
+  kernels::QuantizedMatrix q = kernels::PackWeightsInt8(w.data(), k, n);
+  std::vector<float> o1(static_cast<size_t>(m * n));
+  std::vector<float> o4(static_cast<size_t>(m * n));
+  {
+    ScopedThreads threads(1);
+    kernels::MatMulInt8(x.data(), m, q, bias.data(), 1.5f, o1.data());
+  }
+  {
+    ScopedThreads threads(4);
+    kernels::MatMulInt8(x.data(), m, q, bias.data(), 1.5f, o4.data());
+  }
+  EXPECT_EQ(std::memcmp(o1.data(), o4.data(), o1.size() * sizeof(float)), 0);
+}
+
 }  // namespace
 }  // namespace tabrep
+
+// TABREP_REQUIRE_SIMD pins the ctest variant-matrix entries: when the
+// resolved dispatch level cannot honor the requested tier (e.g. an
+// avx2 run on a host without AVX2), the binary reports a ctest SKIP
+// (exit 77, see SKIP_RETURN_CODE) instead of silently testing the
+// fallback tier a second time. Defining main here is safe alongside
+// gtest_main: the linker only pulls its archive member when main is
+// unresolved.
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  const char* required = std::getenv("TABREP_REQUIRE_SIMD");
+  if (required != nullptr && *required != '\0') {
+    const char* active =
+        tabrep::kernels::SimdLevelName(tabrep::kernels::ActiveSimdLevel());
+    if (std::string(required) != active) {
+      std::printf(
+          "SKIPPED: TABREP_REQUIRE_SIMD=%s but the active kernel dispatch "
+          "level is '%s' (host or build cannot honor the requested tier)\n",
+          required, active);
+      return 77;
+    }
+  }
+  return RUN_ALL_TESTS();
+}

@@ -24,11 +24,20 @@ if(NOT DEFINED MODE)
   set(MODE check)
 endif()
 
+# BENCH_ARGS (optional, semicolon list): extra argv for the bench
+# binary. m1 (google-benchmark) passes --benchmark_filter=^$ so the
+# gated run executes only its deterministic fixed-iteration throughput
+# block — adaptive benchmark iteration counts would make the op/chunk
+# counters machine-dependent, which is exactly what this gate forbids.
+if(NOT DEFINED BENCH_ARGS)
+  set(BENCH_ARGS "")
+endif()
 file(REMOVE_RECURSE ${WORK_DIR})
 file(MAKE_DIRECTORY ${WORK_DIR})
 execute_process(
   COMMAND ${CMAKE_COMMAND} -E env
           TABREP_SMOKE=1 TABREP_TRACE=0 TABREP_NUM_THREADS=2 ${BENCH_BIN}
+          ${BENCH_ARGS}
   WORKING_DIRECTORY ${WORK_DIR}
   RESULT_VARIABLE rc
   OUTPUT_VARIABLE out
@@ -58,9 +67,16 @@ if(NOT EXISTS ${baseline})
           "record_bench_baseline target and commit bench/baseline/")
 endif()
 
+# DIFF_EXTRA (optional, semicolon list): extra bench_diff flags for
+# this bench. m1 passes --noisy-gauge-slack=1000000 because its
+# tabrep.bench.* gauges record machine-speed GOPS — cross-machine by
+# nature; the int8 speedup floor has its own committed-artifact gate.
+if(NOT DEFINED DIFF_EXTRA)
+  set(DIFF_EXTRA "")
+endif()
 execute_process(
   COMMAND ${DIFF_BIN} --max-p95-regress=1000000 --max-total-regress=1000000
-          ${baseline} ${report}
+          ${DIFF_EXTRA} ${baseline} ${report}
   RESULT_VARIABLE rc
   OUTPUT_VARIABLE out
   ERROR_VARIABLE out)

@@ -1,0 +1,54 @@
+# Int8 speedup gate for the M1 microbench artifact (ISSUE 9):
+#   cmake -DREPORT=.../BENCH_m1_micro.json [-DMIN_SPEEDUP=1.5]
+#         -P bench_int8_gate.cmake
+#
+# Companion to bench_baseline_gate_m1: the baseline diff treats the
+# tabrep.bench.* gauges as noisy (they are machine-speed GOPS numbers),
+# so this gate pins the committed artifact's contract directly — the
+# int8 gauges must be present and the recorded f32-vs-int8 matmul
+# speedup must clear the floor the ISSUE accepts (>= 1.5x on the pinned
+# smoke environment the baseline was recorded under). A re-record on a
+# machine where the quantized path lost its edge fails here, not
+# silently.
+
+if(NOT DEFINED REPORT)
+  message(FATAL_ERROR "bench_int8_gate: missing -DREPORT=...")
+endif()
+if(NOT EXISTS ${REPORT})
+  message(FATAL_ERROR "bench_int8_gate: ${REPORT} does not exist")
+endif()
+if(NOT DEFINED MIN_SPEEDUP)
+  set(MIN_SPEEDUP 1.5)
+endif()
+file(READ ${REPORT} report_json)
+
+foreach(gauge matmul_f32_gops matmul_int8_gops int8_speedup)
+  set(name "tabrep.bench.m1.${gauge}")
+  string(REGEX MATCH "\"${name}\":[0-9]" hit "${report_json}")
+  if(hit STREQUAL "")
+    message(FATAL_ERROR
+            "bench_int8_gate: ${REPORT} has no ${name} gauge; the m1 "
+            "bench stopped recording its int8 throughput block (or the "
+            "baseline predates the int8 path — re-record with the "
+            "record_bench_baseline target)")
+  endif()
+  message(STATUS "bench_int8_gate: ${name} present")
+endforeach()
+
+string(REGEX MATCH "\"tabrep\\.bench\\.m1\\.int8_speedup\":([0-9]*\\.?[0-9]*)"
+       _ "${report_json}")
+set(speedup ${CMAKE_MATCH_1})
+if(speedup STREQUAL "")
+  message(FATAL_ERROR
+          "bench_int8_gate: could not parse tabrep.bench.m1.int8_speedup "
+          "from ${REPORT}")
+endif()
+if(speedup LESS ${MIN_SPEEDUP})
+  message(FATAL_ERROR
+          "bench_int8_gate: recorded int8 matmul speedup ${speedup}x is "
+          "below the ${MIN_SPEEDUP}x floor; the quantized path lost its "
+          "edge on the recording machine")
+endif()
+message(STATUS
+        "bench_int8_gate: int8 matmul speedup ${speedup}x >= "
+        "${MIN_SPEEDUP}x OK")

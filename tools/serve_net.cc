@@ -79,6 +79,24 @@ int main(int argc, char** argv) {
   TableEncoderModel model(config);
   model.SetTraining(false);
 
+  // Calibrate the int8 inference path on the same fixed-seed world, so
+  // wire clients setting kFlagInt8 exercise the quantized kernels
+  // instead of the per-layer f32 fallback. TABREP_INT8_CALIBRATE=0
+  // opts out (serves int8 requests via the fallback).
+  if (serve::EnvInt64("TABREP_INT8_CALIBRATE", 1) != 0) {
+    SerializerOptions sopts;
+    sopts.max_tokens = 96;
+    TableSerializer serializer(&tokenizer, sopts);
+    std::vector<TokenizedTable> calibration;
+    calibration.reserve(corpus.tables.size());
+    for (const Table& table : corpus.tables) {
+      calibration.push_back(serializer.Serialize(table));
+    }
+    const int64_t calibrated = model.CalibrateInt8(calibration);
+    std::printf("serve_net: int8-calibrated %lld linear layers\n",
+                static_cast<long long>(calibrated));
+  }
+
   serve::BatchedEncoder encoder(&model, serve::OptionsFromEnv());
   net::ServerOptions options = net::ServerOptions::FromEnv();
   if (port >= 0) options.port = port;

@@ -134,6 +134,18 @@ void PrintTick(const obs::JsonValue& stats, const obs::JsonValue& health,
                 port != nullptr ? port->AsNumber() : 0.0,
                 (uptime != nullptr ? uptime->AsNumber() : 0.0) / 1e6,
                 conns != nullptr ? conns->AsNumber() : 0.0);
+    // The resolved kernel variant table the server reports (ISSUE 9):
+    // one line per op, active variant plus what else was compiled in.
+    const obs::JsonValue* kernels = server->Find("kernels");
+    if (kernels != nullptr) {
+      std::string line = "kernels:";
+      for (const auto& [op, entry] : kernels->members()) {
+        const obs::JsonValue* active = entry.Find("active");
+        line += " " + op + "=" +
+                (active != nullptr ? active->AsString() : "?");
+      }
+      std::printf("%s\n", line.c_str());
+    }
   }
   PrintHealth(health);
 
