@@ -117,10 +117,13 @@ ServerOptions ServerOptions::FromEnv() {
   options.watchdog_deadman_ms = serve::EnvInt64(
       "TABREP_WATCHDOG_DEADMAN_MS", options.watchdog_deadman_ms);
   options.slo = obs::SloConfig::FromEnv();
+  options.shards = serve::EnvInt64("TABREP_SHARDS", options.shards);
+  options.steal_threshold =
+      serve::EnvInt64("TABREP_STEAL_THRESHOLD", options.steal_threshold);
   return options;
 }
 
-Server::Server(serve::BatchedEncoder* encoder, ServerOptions options)
+Server::Server(serve::EncodeService* encoder, ServerOptions options)
     : encoder_(encoder), options_(options) {
   TABREP_CHECK(encoder_ != nullptr) << "net::Server needs an encoder";
 }
@@ -192,10 +195,31 @@ Status Server::Start() {
     // they are machine- and moment-dependent, and the bench baseline
     // gate diffs Registry values across runs.
     watchdog_->WatchHeartbeat("event_loop", &loop_heartbeat_);
-    watchdog_->WatchHeartbeat("dispatcher", &encoder_->heartbeat());
+    // One watched heartbeat per dispatcher. The single-shard name stays
+    // "dispatcher" (the name tests and runbooks pin for the
+    // dispatcher_stall health reason); shard i of a cluster reports as
+    // "dispatcher_s<i>" so the verdict says WHICH replica wedged.
+    const int64_t shards = encoder_->shard_count();
+    if (shards == 1) {
+      watchdog_->WatchHeartbeat("dispatcher", &encoder_->shard_heartbeat(0));
+    } else {
+      for (int64_t s = 0; s < shards; ++s) {
+        watchdog_->WatchHeartbeat("dispatcher_s" + std::to_string(s),
+                                  &encoder_->shard_heartbeat(s));
+      }
+    }
     watchdog_->AddProbe("queue_depth", [this] {
       return static_cast<double>(encoder_->queue_depth());
     });
+    if (shards > 1) {
+      for (int64_t s = 0; s < shards; ++s) {
+        watchdog_->AddProbe("shard" + std::to_string(s) + "_depth",
+                            [this, s] {
+                              return static_cast<double>(
+                                  encoder_->shard_queue_depth(s));
+                            });
+      }
+    }
     watchdog_->AddProbe("inflight", [this] {
       return static_cast<double>(
           global_inflight_.load(std::memory_order_relaxed));
@@ -643,6 +667,11 @@ std::string Server::StatsJson() const {
   // wire v1.
   out += ",\"kernels\":";
   out += kernels::VariantTableJson();
+  // Replica topology (ISSUE 10): shard count, live per-shard queue
+  // depths, routed/steal tallies, current weights version. Additive
+  // within wire v1; single-encoder servers report shards:1.
+  out += ",\"cluster\":";
+  out += encoder_->TopologyJson();
   out += "},\"metrics\":";
   // The whole registry — counters, gauges, and the stage histograms
   // with count/sum, which is what lets statscope and loadgen compute
@@ -681,6 +710,13 @@ std::string Server::HealthJson() const {
   }
   out += "\",\"queue_depth\":";
   out += std::to_string(encoder_->queue_depth());
+  // Additive within wire v1 (ISSUE 10): how many replicas answer this
+  // port and the newest published weights generation, so a health
+  // probe can watch a rollover complete without parsing kStats.
+  out += ",\"shards\":";
+  out += std::to_string(encoder_->shard_count());
+  out += ",\"weights_version\":";
+  out += std::to_string(encoder_->weights_version());
   out += ",\"inflight\":";
   out += std::to_string(global_inflight_.load(std::memory_order_relaxed));
   out += ",\"connections\":";

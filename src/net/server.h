@@ -78,6 +78,15 @@ struct ServerOptions {
   /// the log writes a line per request from the event loop.
   std::string access_log_path;
 
+  /// Cluster topology knobs (ISSUE 10). The Server itself serves
+  /// whatever EncodeService it was handed; these exist so the binary
+  /// that builds the backend (tools/serve_net) and ServerOptions::
+  /// FromEnv share one resolved source of truth for the shard count
+  /// and steal threshold (TABREP_SHARDS / TABREP_STEAL_THRESHOLD —
+  /// the same variables serve::ClusterOptionsFromEnv reads).
+  int64_t shards = 1;
+  int64_t steal_threshold = 8;
+
   /// Runtime self-observability (ISSUE 8). When true, Start() spins up
   /// a WindowedRegistry (ticked once per watchdog interval) plus an
   /// obs::Watchdog that checks the event-loop and dispatcher
@@ -98,7 +107,8 @@ struct ServerOptions {
   ///   TABREP_NET_MAX_PAYLOAD, TABREP_NET_ACCESS_LOG,
   ///   TABREP_NET_WATCHDOG (0 disables), TABREP_WINDOW_SECS,
   ///   TABREP_WATCHDOG_INTERVAL_MS, TABREP_WATCHDOG_DEADMAN_MS,
-  ///   TABREP_SLO_P99_US, TABREP_SLO_SHED_RATE.
+  ///   TABREP_SLO_P99_US, TABREP_SLO_SHED_RATE,
+  ///   TABREP_SHARDS, TABREP_STEAL_THRESHOLD.
   static ServerOptions FromEnv();
 };
 
@@ -106,9 +116,14 @@ struct ServerOptions {
 /// binds/listens and spins up the event-loop and completion threads;
 /// Stop() (idempotent, also run by the destructor) closes every
 /// connection and joins them. The encoder must outlive the Server.
+///
+/// The backend is any serve::EncodeService — a single BatchedEncoder
+/// or a serve::Cluster of N shards. The server is topology-agnostic:
+/// it submits through the interface and reads the shard layout only to
+/// wire watchdog heartbeats/probes and the kStats "cluster" section.
 class Server {
  public:
-  explicit Server(serve::BatchedEncoder* encoder, ServerOptions options = {});
+  explicit Server(serve::EncodeService* encoder, ServerOptions options = {});
   ~Server();
 
   Server(const Server&) = delete;
@@ -194,7 +209,7 @@ class Server {
   /// Stage histograms (OK requests only) + access log (all requests).
   void FinishRequest(obs::RequestContext& trace);
 
-  serve::BatchedEncoder* encoder_;
+  serve::EncodeService* encoder_;
   ServerOptions options_;
   uint16_t port_ = 0;
 

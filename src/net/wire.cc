@@ -283,6 +283,12 @@ void EncodeEncodedTable(const serve::EncodedTable& encoded, std::string* out,
     AppendTensor(out, encoded.cells);
   }
   if (encoded.precision == kernels::Precision::kInt8) *flags |= kFlagInt8;
+  // Trailing, flag-gated (v1-additive): the weights generation the
+  // encode ran under. 0 ("unknown") stays legacy-shaped on the wire.
+  if (encoded.weights_version != 0) {
+    *flags |= kFlagHasVersion;
+    AppendU64(out, encoded.weights_version);
+  }
 }
 
 StatusOr<serve::EncodedTable> DecodeEncodedTable(std::string_view payload,
@@ -297,6 +303,11 @@ StatusOr<serve::EncodedTable> DecodeEncodedTable(std::string_view payload,
     encoded.has_cells = true;
   }
   if (flags & kFlagInt8) encoded.precision = kernels::Precision::kInt8;
+  if (flags & kFlagHasVersion) {
+    uint64_t version = 0;
+    TABREP_RETURN_IF_ERROR(reader.ReadU64(&version));
+    encoded.weights_version = version;
+  }
   TABREP_RETURN_IF_ERROR(ExpectFullyConsumed(reader));
   return encoded;
 }

@@ -15,7 +15,10 @@
 //   7      1    flags        kFlagHasCells on encode responses;
 //                            kFlagInt8 on encode requests (asks for
 //                            the int8 inference path) and responses
-//                            (the precision the encode ran under)
+//                            (the precision the encode ran under);
+//                            kFlagHasVersion on encode responses (the
+//                            payload's trailing u64 is the weights-
+//                            snapshot version the encode ran under)
 //   8      4    seq          client-chosen id, echoed in the response
 //   12     4    payload_size bounded by the decoder's max_payload
 //   16     …    payload
@@ -90,6 +93,13 @@ inline constexpr uint8_t kFlagHasCells = 0x1;
 /// the response. Additive within version 1 — old servers ignore
 /// unknown flag bits and serve f32, old clients never set it.
 inline constexpr uint8_t kFlagInt8 = 0x2;
+/// Encode responses: the payload's trailing 8 bytes are the u64
+/// weights-snapshot version the encode ran under (ISSUE 10 hot
+/// reload). Additive within version 1 — old clients that predate the
+/// flag never see it set by an old server; a new server always sets
+/// it, and a new client decodes the field only when the flag is
+/// present (a missing version decodes as 0, "unknown").
+inline constexpr uint8_t kFlagHasVersion = 0x4;
 
 /// StatusCode <-> wire status byte. The mapping is the enum's
 /// underlying value, pinned by tests so the wire contract survives
@@ -155,9 +165,10 @@ void EncodeTokenizedTable(const TokenizedTable& table, std::string* out);
 /// trailing garbage, or counts that do not fit the payload.
 StatusOr<TokenizedTable> DecodeTokenizedTable(std::string_view payload);
 
-/// Appends the encode-response payload (hidden, optionally cells) to
-/// *out and sets kFlagHasCells in *flags when cells ride along.
-/// Tensors cross the wire as raw row-major float32 — bitwise exact.
+/// Appends the encode-response payload (hidden, optionally cells,
+/// trailing weights version) to *out and sets kFlagHasCells /
+/// kFlagHasVersion in *flags for the optional parts. Tensors cross
+/// the wire as raw row-major float32 — bitwise exact.
 void EncodeEncodedTable(const serve::EncodedTable& encoded, std::string* out,
                         uint8_t* flags);
 

@@ -48,9 +48,13 @@ struct BenchDiffOptions {
   /// they are machine-speed numbers, not workload counts, so they get
   /// the noisy-gauge treatment — the floor they must clear is enforced
   /// by a dedicated committed-artifact gate instead.
+  /// "tabrep.cluster." covers the router's routed/steal split: whether
+  /// a given request steals depends on instantaneous queue depths, so
+  /// the split (never the sum) wobbles run-to-run exactly like the
+  /// serve cache hit/miss split does.
   std::vector<std::string> noisy_counter_prefixes = {
       "tabrep.mem.", "tabrep.serve.", "tabrep.serve.stage.", "tabrep.net.",
-      "tabrep.bench."};
+      "tabrep.bench.", "tabrep.cluster."};
   double noisy_counter_slack = 512.0;
   /// Gauges compare with the counter threshold, but a noisy-prefix
   /// gauge gets this absolute slack instead of noisy_counter_slack:

@@ -151,16 +151,54 @@ std::size_t EncodeCache::size() const {
   return lru_.size();
 }
 
+WeightsSnapshotPtr BorrowSnapshot(models::TableEncoderModel* model) {
+  TABREP_CHECK(model != nullptr) << "BorrowSnapshot needs a model";
+  auto snapshot = std::make_shared<WeightsSnapshot>();
+  // Non-owning: the caller manages the model's lifetime (the legacy
+  // raw-pointer contract every pre-cluster call site relies on).
+  snapshot->model =
+      std::shared_ptr<models::TableEncoderModel>(model, [](auto*) {});
+  snapshot->version = 1;
+  return snapshot;
+}
+
 BatchedEncoder::BatchedEncoder(models::TableEncoderModel* model,
                                BatchedEncoderOptions options)
-    : model_(model),
+    : BatchedEncoder(BorrowSnapshot(model), options) {}
+
+BatchedEncoder::BatchedEncoder(WeightsSnapshotPtr snapshot,
+                               BatchedEncoderOptions options)
+    : snapshot_(std::move(snapshot)),
       options_(options),
       cache_(static_cast<std::size_t>(
           std::max<int64_t>(0, ResolveCacheCapacity(options.cache_capacity)))) {
-  TABREP_CHECK(model_ != nullptr) << "BatchedEncoder needs a model";
+  const WeightsSnapshotPtr& current = snapshot_;
+  TABREP_CHECK(current != nullptr && current->model != nullptr)
+      << "BatchedEncoder needs a weights snapshot";
   TABREP_CHECK(options_.max_batch >= 1) << "max_batch must be >= 1";
-  model_->SetTraining(false);  // serving is inference-only
+  current->model->SetTraining(false);  // serving is inference-only
   dispatcher_ = std::thread([this] { DispatcherLoop(); });
+}
+
+void BatchedEncoder::SetSnapshot(WeightsSnapshotPtr snapshot) {
+  TABREP_CHECK(snapshot != nullptr && snapshot->model != nullptr)
+      << "SetSnapshot needs a weights snapshot";
+  snapshot->model->SetTraining(false);
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  snapshot_ = std::move(snapshot);
+}
+
+uint64_t BatchedEncoder::weights_version() const {
+  return CurrentSnapshot()->version;
+}
+
+std::string BatchedEncoder::TopologyJson() const {
+  std::string out = "{\"shards\":1,\"weights_version\":";
+  out += std::to_string(weights_version());
+  out += ",\"shard_depth\":[";
+  out += std::to_string(queue_depth());
+  out += "]}";
+  return out;
 }
 
 BatchedEncoder::~BatchedEncoder() {
@@ -172,9 +210,9 @@ BatchedEncoder::~BatchedEncoder() {
   dispatcher_.join();
 }
 
-std::future<StatusOr<EncodedTablePtr>> BatchedEncoder::Submit(
+std::future<StatusOr<EncodedTablePtr>> BatchedEncoder::SubmitSalted(
     const TokenizedTable& input, obs::RequestContext* trace,
-    kernels::Precision precision) {
+    kernels::Precision precision, uint64_t key_salt) {
   RequestsCounter().Increment();
   if (trace != nullptr) trace->submitted = true;
   // Fast paths resolve here without ever touching the dispatcher;
@@ -187,13 +225,26 @@ std::future<StatusOr<EncodedTablePtr>> BatchedEncoder::Submit(
     trace->encode_start = now;
     trace->encode_end = now;
   };
+  // The weights generation this request will encode under, captured
+  // exactly once: everything downstream — cache key, coalescing
+  // partner, the model the dispatcher runs — derives from it, so a
+  // SetSnapshot racing this call flips the whole request to one side
+  // or the other, never a torn mix.
+  const WeightsSnapshotPtr snapshot = CurrentSnapshot();
   // f32 requests keep the bare table hash (the key committed baselines
   // and older callers observe); int8 salts it so the two precisions
-  // cache and coalesce independently.
+  // cache and coalesce independently. The snapshot version is mixed in
+  // only past the initial generation, keeping single-generation keys
+  // (and any test pinning them) stable: after a reload the old
+  // generation's cache entries become unreachable — stale weights are
+  // never served, without an eager cache flush. A router steal salt
+  // (see SubmitSalted's contract) partitions the keyspace further.
   uint64_t key = HashTokenizedTable(input);
   if (precision == kernels::Precision::kInt8) {
     HashMix(key, 0x38746e69ull);  // "int8"
   }
+  if (snapshot->version != 1) HashMix(key, snapshot->version);
+  if (key_salt != 0) HashMix(key, key_salt);
   if (EncodedTablePtr cached = cache_.Get(key)) {
     CacheHitCounter().Increment();
     if (trace != nullptr) trace->cache_hit = true;
@@ -232,17 +283,13 @@ std::future<StatusOr<EncodedTablePtr>> BatchedEncoder::Submit(
     pending->key = key;
     pending->table = input;  // the documented copy
     pending->precision = precision;
+    pending->snapshot = snapshot;
     pending->waiters.push_back(Waiter{std::move(promise), trace});
     inflight_[key] = pending;
     queue_.push_back(std::move(pending));
   }
   work_cv_.notify_one();
   return future;
-}
-
-StatusOr<EncodedTablePtr> BatchedEncoder::Encode(const TokenizedTable& input,
-                                                 kernels::Precision precision) {
-  return Submit(input, nullptr, precision).get();
 }
 
 int64_t BatchedEncoder::queue_depth() const {
@@ -321,9 +368,13 @@ void BatchedEncoder::DispatcherLoop() {
         opts.need_cells = options_.need_cells;
         opts.inference = true;
         opts.precision = p.precision;
-        models::Encoded enc = model_->Encode(p.table, rng, opts);
+        // The snapshot captured at Submit time, not snapshot_: a
+        // publish that landed while this request was queued must not
+        // retroactively change what it encodes with.
+        models::Encoded enc = p.snapshot->model->Encode(p.table, rng, opts);
         auto result = std::make_shared<EncodedTable>();
         result->precision = p.precision;
+        result->weights_version = p.snapshot->version;
         result->hidden = enc.hidden.value();
         if (enc.has_cells) {
           result->cells = enc.cells.value();

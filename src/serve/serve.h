@@ -21,7 +21,20 @@
 // Counters (tabrep.serve.*): requests, cache.hit, cache.miss,
 // coalesced, encoded, shed; histogram batch.size records how many
 // tables each dispatcher wakeup carried.
+//
+// Weights are copy-on-write snapshots (ISSUE 10): the encoder holds a
+// mutex-guarded shared_ptr to an immutable {model, version} pair, every
+// Submit captures the snapshot it will encode under, and SetSnapshot
+// swaps in new weights without dropping, blocking, or reordering
+// in-flight requests — a request admitted under version V encodes
+// under version V even if V+1 is published before its batch runs. The
+// snapshot version is mixed into the cache key (entries from old
+// weights become unreachable, never served stale) and echoed in
+// EncodedTable::weights_version so clients can observe a rollover.
+// serve::Cluster (serve/cluster.h) shards N BatchedEncoders behind a
+// hash-affinity router on top of exactly these primitives.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -55,9 +68,28 @@ struct EncodedTable {
   /// f32 per layer when uncalibrated, but the request-level label is
   /// what was asked for and cached under).
   kernels::Precision precision = kernels::Precision::kFloat32;
+  /// Version of the weights snapshot this encoding was produced under
+  /// (monotonic per encoder/cluster, starts at 1). 0 means "unknown" —
+  /// only decoded legacy wire payloads carry that.
+  uint64_t weights_version = 0;
 };
 
 using EncodedTablePtr = std::shared_ptr<const EncodedTable>;
+
+/// One immutable generation of model weights. The serving layer never
+/// mutates a model it encodes with after construction-time eval-mode
+/// setup; swapping generations means swapping the pointer, so readers
+/// holding the old snapshot finish on the old weights (copy-on-write).
+struct WeightsSnapshot {
+  std::shared_ptr<models::TableEncoderModel> model;
+  uint64_t version = 1;
+};
+
+using WeightsSnapshotPtr = std::shared_ptr<const WeightsSnapshot>;
+
+/// Wraps a caller-owned model (not freed) into a version-1 snapshot.
+/// The model must outlive every encoder still holding the snapshot.
+WeightsSnapshotPtr BorrowSnapshot(models::TableEncoderModel* model);
 
 /// Mutex-guarded LRU map from table hash to encoding. Capacity 0
 /// disables caching (every Get misses, Put is a no-op).
@@ -132,15 +164,62 @@ std::string EnvString(const char* name, std::string fallback);
 ///   TABREP_SERVE_MAX_QUEUE    -> max_queue
 BatchedEncoderOptions OptionsFromEnv();
 
+/// What the network front-end needs from an encode backend — one
+/// BatchedEncoder or a serve::Cluster of them, interchangeably. The
+/// shard-indexed accessors let the server wire per-shard watchdog
+/// heartbeats and depth probes without knowing the concrete topology.
+class EncodeService {
+ public:
+  virtual ~EncodeService() = default;
+
+  /// Non-blocking typed admission; see BatchedEncoder::Submit for the
+  /// full future/trace contract every implementation honors.
+  virtual std::future<StatusOr<EncodedTablePtr>> Submit(
+      const TokenizedTable& input, obs::RequestContext* trace = nullptr,
+      kernels::Precision precision = kernels::Precision::kFloat32) = 0;
+
+  /// Blocking convenience wrapper: Submit + wait. The table is copied;
+  /// safe to destroy `input` while the request is in flight.
+  StatusOr<EncodedTablePtr> Encode(
+      const TokenizedTable& input,
+      kernels::Precision precision = kernels::Precision::kFloat32) {
+    return Submit(input, nullptr, precision).get();
+  }
+
+  /// Distinct tables waiting for a dispatcher right now, summed over
+  /// shards (racy by nature, like any depth).
+  virtual int64_t queue_depth() const = 0;
+
+  /// Replica topology: shard_count() is >= 1; the per-shard accessors
+  /// take 0 <= shard < shard_count().
+  virtual int64_t shard_count() const = 0;
+  virtual int64_t shard_queue_depth(int64_t shard) const = 0;
+  virtual const obs::Heartbeat& shard_heartbeat(int64_t shard) const = 0;
+
+  /// Version of the newest published weights snapshot (monotonic,
+  /// starts at 1). Individual responses echo the version they actually
+  /// encoded under, which lags this during a rollover.
+  virtual uint64_t weights_version() const = 0;
+
+  /// One JSON object describing the topology for the kStats "cluster"
+  /// section: shard count, per-shard live queue depths, steal/routed
+  /// counts, weights version.
+  virtual std::string TopologyJson() const = 0;
+};
+
 /// Thread-safe micro-batching facade over TableEncoderModel::Encode.
 /// Puts the model in eval mode on construction; the destructor drains
 /// every accepted request (fulfilling its future) before joining the
 /// dispatcher.
-class BatchedEncoder {
+class BatchedEncoder : public EncodeService {
  public:
   explicit BatchedEncoder(models::TableEncoderModel* model,
                           BatchedEncoderOptions options = {});
-  ~BatchedEncoder();
+  /// Snapshot-owning form (serve::Cluster replicas): the encoder keeps
+  /// the snapshot's model alive through the shared_ptr.
+  explicit BatchedEncoder(WeightsSnapshotPtr snapshot,
+                          BatchedEncoderOptions options = {});
+  ~BatchedEncoder() override;
 
   BatchedEncoder(const BatchedEncoder&) = delete;
   BatchedEncoder& operator=(const BatchedEncoder&) = delete;
@@ -166,21 +245,43 @@ class BatchedEncoder {
   /// time so the queue/batch/inference stages read as ~zero.
   std::future<StatusOr<EncodedTablePtr>> Submit(
       const TokenizedTable& input, obs::RequestContext* trace = nullptr,
-      kernels::Precision precision = kernels::Precision::kFloat32);
+      kernels::Precision precision = kernels::Precision::kFloat32) override {
+    return SubmitSalted(input, trace, precision, 0);
+  }
 
-  /// Blocking convenience wrapper: Submit + wait. Same status
-  /// contract, same lifetime contract (the table is copied; safe to
-  /// destroy `input` while the request is in flight).
-  StatusOr<EncodedTablePtr> Encode(
-      const TokenizedTable& input,
-      kernels::Precision precision = kernels::Precision::kFloat32);
+  /// Submit with an extra cache-key salt. The cluster router uses this
+  /// for stolen requests: a non-zero salt keeps the thief shard's
+  /// cache and coalescing keyspace disjoint from its home-routed
+  /// traffic, so stealing perturbs only *where* a table is encoded —
+  /// never what any cache serves for the home key. Encoded bytes are
+  /// identical either way (the key pins the snapshot version too).
+  std::future<StatusOr<EncodedTablePtr>> SubmitSalted(
+      const TokenizedTable& input, obs::RequestContext* trace,
+      kernels::Precision precision, uint64_t key_salt);
 
   const EncodeCache& cache() const { return cache_; }
   const BatchedEncoderOptions& options() const { return options_; }
 
   /// Distinct tables waiting for the dispatcher right now (kHealth
   /// wire probes report this; it is racy by nature, like any depth).
-  int64_t queue_depth() const;
+  int64_t queue_depth() const override;
+
+  /// A BatchedEncoder is the degenerate one-shard service.
+  int64_t shard_count() const override { return 1; }
+  int64_t shard_queue_depth(int64_t) const override { return queue_depth(); }
+  const obs::Heartbeat& shard_heartbeat(int64_t) const override {
+    return heartbeat_;
+  }
+  uint64_t weights_version() const override;
+  std::string TopologyJson() const override;
+
+  /// Atomically swaps in a new weights generation (copy-on-write hot
+  /// reload). Requests already admitted keep encoding under the
+  /// snapshot they captured at Submit time; requests admitted after
+  /// the store encode under (and cache-key under) the new one. The
+  /// caller is responsible for version monotonicity (serve::Cluster
+  /// enforces it); the model is put in eval mode here.
+  void SetSnapshot(WeightsSnapshotPtr snapshot);
 
   /// Dispatcher liveness beacon (ISSUE 8): beaten at the top of every
   /// dispatcher iteration and on every idle wakeup, so a wedged batch
@@ -207,6 +308,10 @@ class BatchedEncoder {
     uint64_t key = 0;
     TokenizedTable table;  // owned copy of the leader's input
     kernels::Precision precision = kernels::Precision::kFloat32;
+    /// The weights generation captured at Submit time: the dispatcher
+    /// encodes with exactly this model even if a newer snapshot is
+    /// published while the request waits (never-torn reloads).
+    WeightsSnapshotPtr snapshot;
     std::vector<Waiter> waiters;
     obs::RequestContext::TimePoint dequeued{};
     obs::RequestContext::TimePoint encode_start{};
@@ -216,7 +321,18 @@ class BatchedEncoder {
 
   void DispatcherLoop();
 
-  models::TableEncoderModel* model_;
+  /// The current weights generation; Submit copies it once per request
+  /// and SetSnapshot swaps it, both under snapshot_mu_ (a dedicated
+  /// mutex, not std::atomic<shared_ptr>, whose libstdc++ lock-bit
+  /// implementation ThreadSanitizer cannot model — the copy is one
+  /// refcount bump, trivial next to an encode). Old generations die
+  /// when the last Pending/cache-free reference drops.
+  WeightsSnapshotPtr CurrentSnapshot() const {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    return snapshot_;
+  }
+  mutable std::mutex snapshot_mu_;
+  WeightsSnapshotPtr snapshot_;
   BatchedEncoderOptions options_;
   EncodeCache cache_;
 

@@ -21,6 +21,7 @@
 #include "net/wire.h"
 #include "obs/json.h"
 #include "serialize/vocab_builder.h"
+#include "serve/cluster.h"
 #include "serve/serve.h"
 #include "table/synth.h"
 
@@ -354,6 +355,43 @@ TEST(WirePayloadTest, EncodedTableRoundTripsBitwise) {
   ASSERT_FALSE(wrong.ok());
 }
 
+TEST(WirePayloadTest, WeightsVersionIsFlagGatedAndRoundTrips) {
+  serve::EncodedTable encoded;
+  encoded.hidden = Tensor({2, 3});
+  for (int64_t i = 0; i < encoded.hidden.numel(); ++i) {
+    encoded.hidden.data()[i] = static_cast<float>(i);
+  }
+
+  // Version 0 ("unknown") encodes exactly like a pre-version payload:
+  // no flag, no trailing bytes — old clients parse it unchanged.
+  std::string legacy;
+  uint8_t legacy_flags = 0;
+  net::EncodeEncodedTable(encoded, &legacy, &legacy_flags);
+  EXPECT_FALSE(legacy_flags & net::kFlagHasVersion);
+
+  encoded.weights_version = 7;
+  std::string payload;
+  uint8_t flags = 0;
+  net::EncodeEncodedTable(encoded, &payload, &flags);
+  EXPECT_TRUE(flags & net::kFlagHasVersion);
+  EXPECT_EQ(payload.size(), legacy.size() + 8);  // one trailing u64
+
+  StatusOr<serve::EncodedTable> back = net::DecodeEncodedTable(payload, flags);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->weights_version, 7u);
+  EXPECT_TRUE(BitwiseEqual(encoded.hidden, back->hidden));
+
+  // A payload without the flag decodes to version 0, not garbage.
+  StatusOr<serve::EncodedTable> old = net::DecodeEncodedTable(legacy, 0);
+  ASSERT_TRUE(old.ok());
+  EXPECT_EQ(old->weights_version, 0u);
+
+  // The flag without the trailing bytes is a typed truncation error.
+  StatusOr<serve::EncodedTable> torn =
+      net::DecodeEncodedTable(legacy, net::kFlagHasVersion);
+  ASSERT_FALSE(torn.ok());
+}
+
 // --- End-to-end over real sockets. --------------------------------------
 
 /// Corpus + tokenizer + model shared by the socket tests (vocab
@@ -659,13 +697,20 @@ TEST_F(NetFixture, SaturatedQueueShedsWithTypedOverloadedAndZeroDrops) {
 TEST_F(NetFixture, ServerOptionsFromEnv) {
   setenv("TABREP_NET_MAX_QUEUE", "9", 1);
   setenv("TABREP_NET_MAX_INFLIGHT_PER_CONN", "3", 1);
+  setenv("TABREP_SHARDS", "4", 1);
+  setenv("TABREP_STEAL_THRESHOLD", "13", 1);
   net::ServerOptions options = net::ServerOptions::FromEnv();
   EXPECT_EQ(options.max_queue, 9);
   EXPECT_EQ(options.max_inflight_per_conn, 3);
+  EXPECT_EQ(options.shards, 4);
+  EXPECT_EQ(options.steal_threshold, 13);
   unsetenv("TABREP_NET_MAX_QUEUE");
   unsetenv("TABREP_NET_MAX_INFLIGHT_PER_CONN");
+  unsetenv("TABREP_SHARDS");
+  unsetenv("TABREP_STEAL_THRESHOLD");
   net::ServerOptions defaults = net::ServerOptions::FromEnv();
   EXPECT_EQ(defaults.max_queue, net::ServerOptions{}.max_queue);
+  EXPECT_EQ(defaults.shards, net::ServerOptions{}.shards);
 }
 
 // --- Stats/health introspection plane. ----------------------------------
@@ -742,6 +787,59 @@ TEST_F(NetFixture, StatsAndHealthRoundTripUnderLoad) {
     EXPECT_GE(health->Find("queue_depth")->AsNumber(), 0.0);
   }
   hammer.join();
+}
+
+TEST_F(NetFixture, ClusterBackedServerEchoesVersionAndTopology) {
+  // The server is topology-agnostic: hand it a 2-shard cluster and the
+  // whole wire contract must hold, with every encode response carrying
+  // the weights version it ran under and the stats plane growing a
+  // "cluster" section.
+  serve::ClusterOptions copts;
+  copts.shards = 2;
+  serve::Cluster cluster(model_, copts);
+  net::ServerOptions sopts;
+  sopts.shards = 2;
+  net::Server server(&cluster, sopts);
+  ASSERT_TRUE(server.Start().ok());
+
+  StatusOr<net::Client> client = net::Client::Connect("127.0.0.1",
+                                                      server.port());
+  ASSERT_TRUE(client.ok());
+  for (int i = 0; i < 6; ++i) {
+    TokenizedTable t = serializer_->Serialize(corpus_->tables[i]);
+    Rng rng(1);
+    models::EncodeOptions opts;
+    opts.inference = true;
+    Tensor direct = model_->Encode(t, rng, opts).hidden.value();
+    StatusOr<net::EncodeResult> result = client->Encode(t);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_TRUE(result->status.ok()) << result->status.ToString();
+    EXPECT_TRUE(BitwiseEqual(result->encoded.hidden, direct))
+        << "table " << i << " through the cluster";
+    EXPECT_EQ(result->encoded.weights_version, 1u);
+  }
+
+  StatusOr<std::string> stats_json = client->Stats();
+  ASSERT_TRUE(stats_json.ok());
+  Result<obs::JsonValue> stats = obs::JsonParse(*stats_json);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  const obs::JsonValue* shards = stats->Get({"server", "cluster", "shards"});
+  ASSERT_NE(shards, nullptr) << *stats_json;
+  EXPECT_EQ(shards->AsNumber(), 2.0);
+  const obs::JsonValue* version =
+      stats->Get({"server", "cluster", "weights_version"});
+  ASSERT_NE(version, nullptr);
+  EXPECT_EQ(version->AsNumber(), 1.0);
+  ASSERT_NE(stats->Get({"server", "cluster", "shard_depth"}), nullptr);
+
+  StatusOr<std::string> health_json = client->Health();
+  ASSERT_TRUE(health_json.ok());
+  Result<obs::JsonValue> health = obs::JsonParse(*health_json);
+  ASSERT_TRUE(health.ok());
+  ASSERT_NE(health->Find("shards"), nullptr) << *health_json;
+  EXPECT_EQ(health->Find("shards")->AsNumber(), 2.0);
+  ASSERT_NE(health->Find("weights_version"), nullptr);
+  EXPECT_EQ(health->Find("weights_version")->AsNumber(), 1.0);
 }
 
 TEST_F(NetFixture, StatsRequestWithPayloadIsTypedInvalidArgument) {

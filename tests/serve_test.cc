@@ -12,6 +12,7 @@
 #include "obs/metrics.h"
 #include "runtime/runtime.h"
 #include "serialize/vocab_builder.h"
+#include "serve/cluster.h"
 #include "serve/serve.h"
 #include "table/synth.h"
 #include "tensor/autograd.h"
@@ -387,6 +388,23 @@ TEST(ServeOptionsTest, OptionsFromEnvReadsEveryTunable) {
   serve::BatchedEncoderOptions defaults = serve::OptionsFromEnv();
   EXPECT_EQ(defaults.max_batch, serve::BatchedEncoderOptions{}.max_batch);
   EXPECT_EQ(defaults.cache_capacity, 256);  // the documented default
+}
+
+TEST(ServeOptionsTest, ClusterOptionsFromEnvRoundTrips) {
+  setenv("TABREP_SHARDS", "4", 1);
+  setenv("TABREP_STEAL_THRESHOLD", "13", 1);
+  setenv("TABREP_ENCODE_CACHE", "9", 1);  // nested encoder options too
+  serve::ClusterOptions options = serve::ClusterOptionsFromEnv();
+  EXPECT_EQ(options.shards, 4);
+  EXPECT_EQ(options.steal_threshold, 13);
+  EXPECT_EQ(options.encoder.cache_capacity, 9);
+  unsetenv("TABREP_SHARDS");
+  unsetenv("TABREP_STEAL_THRESHOLD");
+  unsetenv("TABREP_ENCODE_CACHE");
+  serve::ClusterOptions defaults = serve::ClusterOptionsFromEnv();
+  EXPECT_EQ(defaults.shards, serve::ClusterOptions{}.shards);
+  EXPECT_EQ(defaults.steal_threshold,
+            serve::ClusterOptions{}.steal_threshold);
 }
 
 TEST(ServeOptionsTest, EnvInt64FallsBackOnGarbage) {

@@ -1,0 +1,56 @@
+# Cluster scaling-floor gate for the S3 bench artifact (ISSUE 10):
+#   cmake -DREPORT=.../BENCH_s3.json [-DMIN_SCALING=2.5]
+#         -P bench_cluster_gate.cmake
+#
+# Companion to bench_baseline_gate_s3: the baseline diff treats the
+# tabrep.bench.s3.* gauges as noisy (throughput is machine speed), so
+# this gate pins the committed artifact's contract directly — the
+# scaling gauges must be present and the recorded warm 4-vs-1-shard
+# throughput ratio must clear the floor the ISSUE accepts (>= 2.5x on
+# the pinned smoke environment the baseline was recorded under). A
+# re-record on which hash-affinity sharding stopped paying for itself
+# fails here, not silently.
+
+if(NOT DEFINED REPORT)
+  message(FATAL_ERROR "bench_cluster_gate: missing -DREPORT=...")
+endif()
+if(NOT EXISTS ${REPORT})
+  message(FATAL_ERROR "bench_cluster_gate: ${REPORT} does not exist")
+endif()
+if(NOT DEFINED MIN_SCALING)
+  set(MIN_SCALING 2.5)
+endif()
+file(READ ${REPORT} report_json)
+
+foreach(gauge warm_tps_1 warm_tps_4 warm_scaling_4v1 steal_rate
+        reload_p99_us reload_final_version)
+  set(name "tabrep.bench.s3.${gauge}")
+  string(REGEX MATCH "\"${name}\":[0-9]" hit "${report_json}")
+  if(hit STREQUAL "")
+    message(FATAL_ERROR
+            "bench_cluster_gate: ${REPORT} has no ${name} gauge; the s3 "
+            "bench stopped recording its cluster block (or the baseline "
+            "predates the sharded serving path — re-record with the "
+            "record_bench_baseline target)")
+  endif()
+  message(STATUS "bench_cluster_gate: ${name} present")
+endforeach()
+
+string(REGEX MATCH
+       "\"tabrep\\.bench\\.s3\\.warm_scaling_4v1\":([0-9]*\\.?[0-9]*)"
+       _ "${report_json}")
+set(scaling ${CMAKE_MATCH_1})
+if(scaling STREQUAL "")
+  message(FATAL_ERROR
+          "bench_cluster_gate: could not parse "
+          "tabrep.bench.s3.warm_scaling_4v1 from ${REPORT}")
+endif()
+if(scaling LESS ${MIN_SCALING})
+  message(FATAL_ERROR
+          "bench_cluster_gate: recorded warm 4-vs-1-shard scaling "
+          "${scaling}x is below the ${MIN_SCALING}x floor; hash-affinity "
+          "sharding lost its edge on the recording machine")
+endif()
+message(STATUS
+        "bench_cluster_gate: warm 4-vs-1-shard scaling ${scaling}x >= "
+        "${MIN_SCALING}x OK")

@@ -16,11 +16,27 @@
 // Usage:
 //   loadgen --port=PORT [--host=127.0.0.1] [--connections=4]
 //           [--requests=64] [--mode=closed|open] [--rate=200]
-//           [--tables=24] [--stats=1]
+//           [--tables=24] [--stats=1] [--key-skew=ALPHA]
 //           [--slo-p99-us=US] [--slo-shed-rate=FRACTION]
 //
 //   --requests is per connection; --rate is per connection in req/s
 //   (open mode only). Exit code 0 unless a transport error occurred.
+//
+// --key-skew=ALPHA replaces the default round-robin table selection
+// with a zipf-ish draw: table i is picked with probability
+// proportional to 1/(i+1)^ALPHA, from a per-connection deterministic
+// LCG (seeded by the connection index, so two runs still send
+// identical workloads). Skewed keys concentrate traffic on a few home
+// shards of a serve::Cluster backend, which is how you provoke work
+// stealing from the outside. ALPHA=0 (default) keeps round-robin.
+//
+// Every OK response's weights-snapshot version (ISSUE 10 hot reload)
+// is tracked per connection: the summary reports the first/last
+// version each connection observed and how many times it changed
+// mid-run — pointed at a server with --reload-every-ms, this shows the
+// reload wavefront passing through live connections without a single
+// failed request. A pre-cluster server that never sets the version
+// flag reports version 0 ("unknown") and zero transitions.
 //
 // The run ends with an SLO verdict: the measured client-side p99 and
 // shed rate evaluated against the same thresholds the server watchdog
@@ -44,6 +60,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -75,6 +92,7 @@ struct Options {
   double rate = 200.0;   // per connection, open loop only
   int num_tables = 24;
   int stats = 1;         // fetch kStats before/after, print attribution
+  double key_skew = 0.0; // zipf-ish exponent; 0 = round-robin
   obs::SloConfig slo;    // env defaults; --slo-* flags override
 };
 
@@ -104,6 +122,7 @@ bool ParseDoubleFlag(const char* arg, const char* name, double* out) {
                "usage: loadgen --port=PORT [--host=H] [--connections=N]\n"
                "               [--requests=R] [--mode=closed|open]\n"
                "               [--rate=QPS] [--tables=T] [--stats=0|1]\n"
+               "               [--key-skew=ALPHA]\n"
                "               [--slo-p99-us=US] [--slo-shed-rate=F]\n");
   std::exit(2);
 }
@@ -121,6 +140,49 @@ struct ConnStats {
   uint64_t overloaded = 0;
   uint64_t app_error = 0;        // typed non-overload server errors
   uint64_t transport_error = 0;  // connect/read/write failures
+  /// Weights-snapshot versions observed on OK responses. 0 = the
+  /// server never reported one (pre-version binary, or no OK yet).
+  uint64_t first_version = 0;
+  uint64_t last_version = 0;
+  uint64_t version_transitions = 0;  // times the version changed mid-run
+};
+
+/// Per-connection deterministic table selection. With alpha == 0 the
+/// picker is the historical round-robin, byte-for-byte. With alpha > 0
+/// it draws zipf-ish (P(i) ∝ 1/(i+1)^alpha) from an LCG seeded by the
+/// connection index — deterministic per run, skewed toward low table
+/// ids, so a sharded server sees a few hot home shards.
+class KeyPicker {
+ public:
+  KeyPicker(size_t n, double alpha, int conn_index)
+      : n_(n), state_(0x9e3779b97f4a7c15ull ^
+                      static_cast<uint64_t>(conn_index) * 0xbf58476d1ce4e5b9ull) {
+    if (alpha <= 0.0) return;
+    cdf_.reserve(n);
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), alpha);
+      cdf_.push_back(total);
+    }
+    for (double& c : cdf_) c /= total;
+  }
+
+  size_t Pick(int conn_index, int r) {
+    if (cdf_.empty()) {
+      return static_cast<size_t>(conn_index + r) % n_;
+    }
+    state_ = state_ * 6364136223846793005ull + 1442695040888963407ull;
+    const double u =
+        static_cast<double>(state_ >> 11) * (1.0 / 9007199254740992.0);
+    const size_t idx = static_cast<size_t>(
+        std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+    return idx < n_ ? idx : n_ - 1;
+  }
+
+ private:
+  size_t n_;
+  uint64_t state_;
+  std::vector<double> cdf_;  // empty = round-robin
 };
 
 double Percentile(std::vector<double>& v, double p) {
@@ -136,6 +198,14 @@ void Tally(const StatusOr<net::EncodeResult>& result, ConnStats* stats) {
     ++stats->transport_error;
   } else if (result->status.ok()) {
     ++stats->ok;
+    const uint64_t version = result->encoded.weights_version;
+    if (version != 0) {
+      if (stats->last_version != 0 && version != stats->last_version) {
+        ++stats->version_transitions;
+      }
+      if (stats->first_version == 0) stats->first_version = version;
+      stats->last_version = version;
+    }
   } else if (result->status.code() == StatusCode::kOverloaded) {
     ++stats->overloaded;
   } else {
@@ -224,9 +294,9 @@ void RunClosed(const Options& options,
     stats->transport_error += static_cast<uint64_t>(options.requests);
     return;
   }
+  KeyPicker picker(inputs.size(), options.key_skew, conn_index);
   for (int r = 0; r < options.requests; ++r) {
-    const TokenizedTable& in =
-        inputs[static_cast<size_t>(conn_index + r) % inputs.size()];
+    const TokenizedTable& in = inputs[picker.Pick(conn_index, r)];
     const double t0 = NowSeconds();
     StatusOr<net::EncodeResult> result = client->Encode(in);
     stats->latencies_us.push_back((NowSeconds() - t0) * 1e6);
@@ -269,9 +339,9 @@ void RunOpen(const Options& options,
   });
   const double interval = options.rate > 0.0 ? 1.0 / options.rate : 0.0;
   const double start = NowSeconds();
+  KeyPicker picker(inputs.size(), options.key_skew, conn_index);
   for (int r = 0; r < options.requests; ++r) {
-    const TokenizedTable& in =
-        inputs[static_cast<size_t>(conn_index + r) % inputs.size()];
+    const TokenizedTable& in = inputs[picker.Pick(conn_index, r)];
     if (!client->SendEncodeRequest(in, static_cast<uint32_t>(r + 1)).ok()) {
       break;
     }
@@ -299,6 +369,7 @@ int main(int argc, char** argv) {
         ParseIntFlag(arg, "--stats", &options.stats) ||
         ParseStringFlag(arg, "--host", &options.host) ||
         ParseStringFlag(arg, "--mode", &mode) ||
+        ParseDoubleFlag(arg, "--key-skew", &options.key_skew) ||
         ParseDoubleFlag(arg, "--slo-p99-us", &options.slo.target_p99_us) ||
         ParseDoubleFlag(arg, "--slo-shed-rate", &options.slo.max_shed_rate)) {
       continue;
@@ -381,6 +452,37 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(total.overloaded),
               static_cast<unsigned long long>(total.app_error),
               static_cast<unsigned long long>(total.transport_error));
+
+  // Weights-version view (ISSUE 10 hot reload): what each connection
+  // saw. Against a server republishing mid-run, transitions > 0 with
+  // zero error/transport counts is the observable proof that a reload
+  // dropped nothing. Servers that never set the version flag report 0.
+  uint64_t transitions = 0;
+  uint64_t min_first = 0;
+  uint64_t max_last = 0;
+  for (const ConnStats& s : stats) {
+    transitions += s.version_transitions;
+    if (s.first_version != 0 &&
+        (min_first == 0 || s.first_version < min_first)) {
+      min_first = s.first_version;
+    }
+    max_last = std::max(max_last, s.last_version);
+  }
+  if (max_last != 0) {
+    std::printf("weights version: %llu -> %llu, %llu transitions observed\n",
+                static_cast<unsigned long long>(min_first),
+                static_cast<unsigned long long>(max_last),
+                static_cast<unsigned long long>(transitions));
+    if (transitions > 0) {
+      for (size_t c = 0; c < stats.size(); ++c) {
+        std::printf("  conn %zu: v%llu -> v%llu (%llu transitions)\n", c,
+                    static_cast<unsigned long long>(stats[c].first_version),
+                    static_cast<unsigned long long>(stats[c].last_version),
+                    static_cast<unsigned long long>(
+                        stats[c].version_transitions));
+      }
+    }
+  }
 
   if (options.stats != 0 && before.ok) {
     const StageSnapshot after = FetchStageSnapshot(options);

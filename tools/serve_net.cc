@@ -7,12 +7,21 @@
 // requests until SIGINT/SIGTERM.
 //
 // Usage:
-//   serve_net [--port=PORT] [--tables=T]
+//   serve_net [--port=PORT] [--tables=T] [--shards=N]
+//             [--reload-every-ms=MS]
 //
 // Every net::ServerOptions tunable is also honored from the
 // environment (TABREP_NET_PORT etc., see net/server.h); --port wins
-// over TABREP_NET_PORT. Prints the bound port on startup (port 0
-// binds an ephemeral one).
+// over TABREP_NET_PORT, --shards over TABREP_SHARDS. Prints the bound
+// port on startup (port 0 binds an ephemeral one).
+//
+// The backend is a serve::Cluster of N BatchedEncoder replicas behind
+// the hash-affinity router (N=1 behaves like the pre-cluster single
+// encoder, still through the router). --reload-every-ms=MS republishes
+// the checkpoint every MS milliseconds, bumping the weights version
+// without changing the weights — a deterministic rollover generator,
+// so tools/loadgen can observe in-flight version transitions against a
+// stock binary.
 
 #include <csignal>
 #include <cstdio>
@@ -26,8 +35,10 @@
 #include "net/server.h"
 #include "serialize/serializer.h"
 #include "serialize/vocab_builder.h"
+#include "serve/cluster.h"
 #include "serve/serve.h"
 #include "table/synth.h"
+#include "tensor/io.h"
 
 namespace {
 
@@ -48,12 +59,18 @@ int main(int argc, char** argv) {
 
   int port = -1;
   int num_tables = 24;
+  int shards = -1;
+  int reload_every_ms = 0;
   for (int i = 1; i < argc; ++i) {
     if (ParseIntFlag(argv[i], "--port", &port) ||
-        ParseIntFlag(argv[i], "--tables", &num_tables)) {
+        ParseIntFlag(argv[i], "--tables", &num_tables) ||
+        ParseIntFlag(argv[i], "--shards", &shards) ||
+        ParseIntFlag(argv[i], "--reload-every-ms", &reload_every_ms)) {
       continue;
     }
-    std::fprintf(stderr, "usage: serve_net [--port=PORT] [--tables=T]\n");
+    std::fprintf(stderr,
+                 "usage: serve_net [--port=PORT] [--tables=T] [--shards=N]\n"
+                 "                 [--reload-every-ms=MS]\n");
     return 2;
   }
 
@@ -97,26 +114,58 @@ int main(int argc, char** argv) {
                 static_cast<long long>(calibrated));
   }
 
-  serve::BatchedEncoder encoder(&model, serve::OptionsFromEnv());
   net::ServerOptions options = net::ServerOptions::FromEnv();
   if (port >= 0) options.port = port;
-  net::Server server(&encoder, options);
+  if (shards >= 1) options.shards = shards;
+
+  // The cluster knobs come from the same env vars ServerOptions
+  // resolved; the --shards flag wins over both.
+  serve::ClusterOptions copts_cluster = serve::ClusterOptionsFromEnv();
+  copts_cluster.shards = options.shards;
+  copts_cluster.steal_threshold = options.steal_threshold;
+  serve::Cluster cluster(&model, copts_cluster);
+
+  net::Server server(&cluster, options);
   Status started = server.Start();
   if (!started.ok()) {
     std::fprintf(stderr, "serve_net: %s\n", started.ToString().c_str());
     return 1;
   }
   const std::string family(ModelFamilyName(config.family));
-  std::printf("serve_net: listening on 127.0.0.1:%u (model %s, vocab %lld)\n",
+  std::printf("serve_net: listening on 127.0.0.1:%u (model %s, vocab %lld, "
+              "%lld shards)\n",
               server.port(), family.c_str(),
-              static_cast<long long>(config.vocab_size));
+              static_cast<long long>(config.vocab_size),
+              static_cast<long long>(cluster.shard_count()));
   std::fflush(stdout);
+
+  // A checkpoint for the periodic republish: the model's own state
+  // dict, so every rollover is weight-identical (responses stay
+  // bitwise stable across versions — only the echoed version moves).
+  TensorMap checkpoint;
+  if (reload_every_ms > 0) checkpoint = model.ExportStateDict();
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
+  int64_t ms_until_reload = reload_every_ms;
   while (g_stop == 0) {
     struct timespec ts = {0, 100 * 1000 * 1000};  // 100ms
     nanosleep(&ts, nullptr);
+    if (reload_every_ms > 0) {
+      ms_until_reload -= 100;
+      if (ms_until_reload <= 0) {
+        ms_until_reload = reload_every_ms;
+        StatusOr<uint64_t> version = cluster.PublishWeights(checkpoint);
+        if (version.ok()) {
+          std::printf("serve_net: published weights version %llu\n",
+                      static_cast<unsigned long long>(*version));
+          std::fflush(stdout);
+        } else {
+          std::fprintf(stderr, "serve_net: publish failed: %s\n",
+                       version.status().ToString().c_str());
+        }
+      }
+    }
   }
   std::printf("serve_net: shutting down\n");
   return 0;

@@ -28,6 +28,12 @@
 //           TABREP_WINDOW_SECS seconds, no client-side deltas — plus
 //           sparklines of how each windowed value moved across recent
 //           polls (render-only history; the numbers are the server's).
+//           Against a sharded backend (ISSUE 10) the dashboard adds a
+//           per-shard panel: live queue depth per shard (with depth
+//           sparklines), the published weights version, and the
+//           interval steal rate, all from the kStats "cluster"
+//           section. --json carries that section untouched, like
+//           every other server payload.
 //
 // Usage:
 //   statscope --port=PORT [--host=127.0.0.1] [--interval-ms=1000]
@@ -145,6 +151,34 @@ void PrintTick(const obs::JsonValue& stats, const obs::JsonValue& health,
                 (active != nullptr ? active->AsString() : "?");
       }
       std::printf("%s\n", line.c_str());
+    }
+    // Cluster topology (ISSUE 10): shard count, live per-shard queue
+    // depths, the published weights version, and the routed/steal
+    // split. The cumulative routed/steal counters also appear in the
+    // counter table below with per-interval deltas.
+    const obs::JsonValue* cluster = server->Find("cluster");
+    if (cluster != nullptr) {
+      const obs::JsonValue* shards = cluster->Find("shards");
+      const obs::JsonValue* version = cluster->Find("weights_version");
+      const obs::JsonValue* routed = cluster->Find("routed");
+      const obs::JsonValue* steal = cluster->Find("steal");
+      std::string depths;
+      const obs::JsonValue* depth = cluster->Find("shard_depth");
+      if (depth != nullptr) {
+        for (const obs::JsonValue& d : depth->items()) {
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), "%s%.0f",
+                        depths.empty() ? "" : " ", d.AsNumber());
+          depths += buf;
+        }
+      }
+      std::printf("cluster: %.0f shards  weights v%.0f  routed %.0f  "
+                  "stolen %.0f  depth [%s]\n",
+                  shards != nullptr ? shards->AsNumber() : 1.0,
+                  version != nullptr ? version->AsNumber() : 0.0,
+                  routed != nullptr ? routed->AsNumber() : 0.0,
+                  steal != nullptr ? steal->AsNumber() : 0.0,
+                  depths.c_str());
     }
   }
   PrintHealth(health);
@@ -267,6 +301,49 @@ void PrintDash(const obs::JsonValue& stats, const obs::JsonValue& health,
               wsecs != nullptr ? wsecs->AsNumber() : 0.0,
               covered != nullptr ? covered->AsNumber() : 0.0);
   PrintHealth(health);
+
+  // Per-shard panel (ISSUE 10): live queue depth per shard with a
+  // depth sparkline, plus the published weights version and the
+  // interval steal rate (stolen / routed over the last poll interval,
+  // from the cumulative counters the server reports).
+  const obs::JsonValue* cluster =
+      server != nullptr ? server->Find("cluster") : nullptr;
+  if (cluster != nullptr) {
+    const obs::JsonValue* shards = cluster->Find("shards");
+    const obs::JsonValue* version = cluster->Find("weights_version");
+    const obs::JsonValue* routed = cluster->Find("routed");
+    const obs::JsonValue* steal = cluster->Find("steal");
+    const double routed_v = routed != nullptr ? routed->AsNumber() : 0.0;
+    const double steal_v = steal != nullptr ? steal->AsNumber() : 0.0;
+    // Interval rate from the previous poll's cumulative values (the
+    // history deques double as last-poll storage).
+    std::deque<double>& routed_h = (*history)["cluster:routed"];
+    std::deque<double>& steal_h = (*history)["cluster:steal"];
+    const double routed_d =
+        routed_h.empty() ? 0.0 : routed_v - routed_h.back();
+    const double steal_d = steal_h.empty() ? 0.0 : steal_v - steal_h.back();
+    PushSpark(history, "cluster:routed", routed_v);
+    PushSpark(history, "cluster:steal", steal_v);
+    const double steal_rate =
+        routed_d > 0.0 && steal_d >= 0.0 ? steal_d / routed_d : 0.0;
+    std::printf("\nshards: %.0f   weights v%.0f   routed +%.0f   "
+                "stolen +%.0f (%.1f%% interval steal rate)\n",
+                shards != nullptr ? shards->AsNumber() : 1.0,
+                version != nullptr ? version->AsNumber() : 0.0,
+                routed_d > 0.0 ? routed_d : 0.0,
+                steal_d > 0.0 ? steal_d : 0.0, 100.0 * steal_rate);
+    const obs::JsonValue* depth = cluster->Find("shard_depth");
+    if (depth != nullptr) {
+      int i = 0;
+      for (const obs::JsonValue& d : depth->items()) {
+        const std::string key = "shard:" + std::to_string(i);
+        PushSpark(history, key, d.AsNumber());
+        std::printf("  shard %-2d depth %6.0f  %s\n", i, d.AsNumber(),
+                    Sparkline((*history)[key]).c_str());
+        ++i;
+      }
+    }
+  }
 
   const obs::JsonValue* wc =
       window != nullptr ? window->Find("counters") : nullptr;
